@@ -1,0 +1,51 @@
+//! A1 — decision-time micro-benchmarks of the selection algorithms.
+//!
+//! The PAM poster's algorithm runs in an operator control loop, so its own
+//! cost is not critical, but it should stay negligible next to a polling
+//! interval; this bench tracks it across chain lengths, against the naive
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pam_core::{
+    ChainModel, MigrationStrategy, NaiveBottleneck, PamPlanner, Placement, VnfDescriptor,
+};
+use pam_types::{Device, Endpoint, Gbps, NfId};
+
+fn chain_of(n: usize) -> (ChainModel, Placement) {
+    let vnfs = (0..n)
+        .map(|i| {
+            VnfDescriptor::new(
+                NfId::from(i),
+                &format!("vnf{i}"),
+                Gbps::new(2.0 + (i % 7) as f64),
+                Gbps::new(3.0 + (i % 5) as f64),
+            )
+            .with_load_factor(0.4 + 0.1 * (i % 6) as f64)
+        })
+        .collect();
+    let chain = ChainModel::new("bench", Endpoint::Host, Endpoint::Wire, vnfs);
+    let devices = (0..n)
+        .map(|i| if i % 4 == 3 { Device::Cpu } else { Device::SmartNic })
+        .collect();
+    (chain, Placement::from_devices(devices))
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_micro");
+    for &len in &[4usize, 16, 64] {
+        let (chain, placement) = chain_of(len);
+        let offered = Gbps::new(3.5);
+        group.bench_with_input(BenchmarkId::new("pam_plan", len), &len, |b, _| {
+            let planner = PamPlanner::new();
+            b.iter(|| planner.decide(&chain, &placement, offered))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_bottleneck", len), &len, |b, _| {
+            let baseline = NaiveBottleneck::new();
+            b.iter(|| baseline.decide(&chain, &placement, offered))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 — Figure 2(a): service-chain latency under Original / Naive / PAM.
+//!
+//! Prints the reproduced figure (full packet-size sweep), then benchmarks the
+//! reduced-sweep reproduction so regressions in simulation speed are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_experiments::figure2::{run_figure2, Figure2Config};
+
+fn bench_figure2_latency(c: &mut Criterion) {
+    let results = run_figure2(&Figure2Config::default());
+    println!("\n{}", results.render_latency());
+    println!(
+        "PAM reduces mean service-chain latency by {:.1}% vs the naive migration (paper: ~18%)\n",
+        results.pam_latency_reduction_vs_naive()
+    );
+
+    let mut group = c.benchmark_group("figure2_latency");
+    group.sample_size(10);
+    group.bench_function("quick_sweep", |b| {
+        b.iter(|| run_figure2(&Figure2Config::quick()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_latency);
+criterion_main!(benches);

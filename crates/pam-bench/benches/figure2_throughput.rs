@@ -1,0 +1,31 @@
+//! E3 — Figure 2(b): service-chain throughput under Original / Naive / PAM.
+//!
+//! Prints the reproduced figure, then benchmarks a single-strategy run (the
+//! per-bar cost of the reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_core::StrategyKind;
+use pam_experiments::figure2::{run_figure2, Figure2Config};
+use pam_types::ByteSize;
+
+fn bench_figure2_throughput(c: &mut Criterion) {
+    let results = run_figure2(&Figure2Config::default());
+    println!("\n{}", results.render_throughput());
+
+    let mut group = c.benchmark_group("figure2_throughput");
+    group.sample_size(10);
+    group.bench_function("pam_single_size", |b| {
+        b.iter(|| {
+            let config = Figure2Config {
+                packet_sizes: vec![ByteSize::bytes(512)],
+                strategies: vec![StrategyKind::Pam],
+                ..Figure2Config::quick()
+            };
+            run_figure2(&config)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2_throughput);
+criterion_main!(benches);

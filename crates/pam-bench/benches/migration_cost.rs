@@ -1,0 +1,19 @@
+//! A4 — live-migration cost (state size, blackout) vs flow-table size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_experiments::ablations::{migration_cost_sweep, render_migration_cost};
+
+fn bench_migration_cost(c: &mut Criterion) {
+    let rows = migration_cost_sweep(&[100, 1_000, 10_000, 50_000]);
+    println!("\n{}", render_migration_cost(&rows));
+
+    let mut group = c.benchmark_group("migration_cost");
+    group.sample_size(10);
+    group.bench_function("migrate_monitor_1000_flows", |b| {
+        b.iter(|| migration_cost_sweep(&[1_000]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration_cost);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! A3 — how the naive-vs-PAM latency gap scales with PCIe crossing latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_experiments::ablations::{pcie_sweep, render_pcie_sweep};
+use pam_types::SimDuration;
+
+fn bench_pcie_sweep(c: &mut Criterion) {
+    let latencies: Vec<SimDuration> = [2u64, 5, 10, 22, 40, 60]
+        .iter()
+        .map(|&us| SimDuration::from_micros(us))
+        .collect();
+    println!("\n{}", render_pcie_sweep(&pcie_sweep(&latencies)));
+
+    let mut group = c.benchmark_group("pcie_sweep");
+    group.bench_function("analytical_sweep", |b| b.iter(|| pcie_sweep(&latencies)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcie_sweep);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! A2 — strategy comparison over random overloaded chains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_experiments::ablations::{render_strategy_sweep, strategy_sweep};
+
+fn bench_strategy_sweep(c: &mut Criterion) {
+    let scenarios = 200;
+    let rows = strategy_sweep(scenarios, 2018);
+    println!("\n{}", render_strategy_sweep(&rows, scenarios));
+
+    let mut group = c.benchmark_group("strategy_sweep");
+    group.sample_size(20);
+    group.bench_function("sweep_50_chains", |b| b.iter(|| strategy_sweep(50, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy_sweep);
+criterion_main!(benches);

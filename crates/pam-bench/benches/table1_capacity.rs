@@ -1,0 +1,30 @@
+//! E1 — Table 1: vNF capacities on the SmartNIC and CPU.
+//!
+//! Prints the reproduced table once, then benchmarks a single capacity probe
+//! (the measurement primitive behind every cell of the table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_experiments::table1::run_table1;
+use pam_nf::{NfKind, ProfileCatalog};
+use pam_runtime::probe_capacity;
+use pam_types::Device;
+
+fn bench_table1(c: &mut Criterion) {
+    let results = run_table1(&[]);
+    println!("\n{}", results.render());
+    println!(
+        "worst relative error vs the paper's Table 1: {:.1}%\n",
+        results.worst_relative_error() * 100.0
+    );
+
+    let catalog = ProfileCatalog::table1();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("probe_logger_on_nic", |b| {
+        b.iter(|| probe_capacity(NfKind::Logger, Device::SmartNic, &catalog))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

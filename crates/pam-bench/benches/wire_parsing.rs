@@ -1,0 +1,45 @@
+//! Micro-benchmarks of the wire layer and the vNFs' per-packet work — the
+//! substrate cost every packet of the reproduction pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pam_nf::{build_kind, NfContext, NfKind, Packet};
+use pam_types::SimTime;
+use pam_wire::{EthernetFrame, FiveTuple, Ipv4Packet, PacketBuilder, TransportKind};
+
+fn bench_wire(c: &mut Criterion) {
+    let bytes = PacketBuilder::new()
+        .transport(TransportKind::Tcp)
+        .total_len(512)
+        .build();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("build_512B_tcp", |b| {
+        b.iter(|| PacketBuilder::new().transport(TransportKind::Tcp).total_len(512).build())
+    });
+    group.bench_function("parse_five_tuple", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::new_checked(&bytes[..]).unwrap();
+            let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+            FiveTuple::from_ipv4(&ip).unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("nf_process");
+    group.throughput(Throughput::Elements(1));
+    for kind in [NfKind::Firewall, NfKind::Monitor, NfKind::LoadBalancer, NfKind::Dpi] {
+        group.bench_function(kind.name(), |b| {
+            let mut nf = build_kind(kind);
+            let ctx = NfContext::at(SimTime::ZERO);
+            b.iter(|| {
+                let mut packet = Packet::from_bytes(1, bytes.clone(), SimTime::ZERO);
+                nf.process(&mut packet, &ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

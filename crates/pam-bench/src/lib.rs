@@ -1,0 +1,6 @@
+//! Benchmark crate: every Criterion target under `benches/` regenerates one
+//! of the paper's tables or figures (printing the reproduced rows as part of
+//! its output) and then measures the relevant code path. See `DESIGN.md`
+//! section 4 for the experiment index.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,176 @@
+//! Step 1 of PAM: border vNF identification.
+//!
+//! A *border* vNF is a SmartNIC-resident vNF whose upstream (left border) or
+//! downstream (right border) neighbour on the packet path already sits on the
+//! CPU side of the PCIe link — where "neighbour" includes the chain's ingress
+//! and egress endpoints (a chain that starts at the host makes its first
+//! NIC-resident vNF a border). Moving a border vNF to the CPU never adds a
+//! PCIe crossing, which is the entire reason PAM restricts its choices to
+//! them.
+
+use pam_types::{Device, NfId, Side};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ChainModel, Placement};
+
+/// The left and right border sets (`B_L` and `B_R` in the poster).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BorderSets {
+    /// SmartNIC vNFs whose *upstream* neighbour is on the host side.
+    pub left: Vec<NfId>,
+    /// SmartNIC vNFs whose *downstream* neighbour is on the host side.
+    pub right: Vec<NfId>,
+}
+
+impl BorderSets {
+    /// All border vNFs (left ∪ right), deduplicated, in chain order.
+    pub fn all(&self) -> Vec<NfId> {
+        let mut all: Vec<NfId> = self.left.iter().chain(self.right.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// True when there is no border vNF (the whole chain is on one side, or
+    /// nothing is left on the SmartNIC).
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+
+    /// True when `id` is a border vNF.
+    pub fn contains(&self, id: NfId) -> bool {
+        self.left.contains(&id) || self.right.contains(&id)
+    }
+}
+
+/// Computes the border sets of a chain under a placement.
+pub fn border_sets(chain: &ChainModel, placement: &Placement) -> BorderSets {
+    let mut sets = BorderSets::default();
+    let len = chain.len();
+    for index in 0..len {
+        let id = NfId::from(index);
+        let Ok(device) = placement.device_of(id) else {
+            continue;
+        };
+        if device != Device::SmartNic {
+            continue;
+        }
+        // Upstream neighbour: previous vNF, or the ingress endpoint.
+        let upstream_side = if index == 0 {
+            chain.ingress.side()
+        } else {
+            placement
+                .device_of(NfId::from(index - 1))
+                .map(|d| d.side())
+                .unwrap_or(Side::Nic)
+        };
+        // Downstream neighbour: next vNF, or the egress endpoint.
+        let downstream_side = if index + 1 == len {
+            chain.egress.side()
+        } else {
+            placement
+                .device_of(NfId::from(index + 1))
+                .map(|d| d.side())
+                .unwrap_or(Side::Nic)
+        };
+        if upstream_side == Side::Host {
+            sets.left.push(id);
+        }
+        if downstream_side == Side::Host {
+            sets.right.push(id);
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::{Endpoint, Gbps};
+    use crate::model::VnfDescriptor;
+
+    fn chain_of(n: usize, ingress: Endpoint, egress: Endpoint) -> ChainModel {
+        let vnfs = (0..n)
+            .map(|i| {
+                VnfDescriptor::new(NfId::from(i), &format!("vnf{i}"), Gbps::new(5.0), Gbps::new(5.0))
+            })
+            .collect();
+        ChainModel::new("test", ingress, egress, vnfs)
+    }
+
+    #[test]
+    fn figure1_borders_are_firewall_and_logger() {
+        let chain = ChainModel::figure1_example();
+        let placement = Placement::figure1_initial();
+        let sets = border_sets(&chain, &placement);
+        // Firewall (position 0) borders the host-side ingress; Logger
+        // (position 2) borders the CPU-resident Load Balancer.
+        assert_eq!(sets.left, vec![NfId::new(0)]);
+        assert_eq!(sets.right, vec![NfId::new(2)]);
+        assert_eq!(sets.all(), vec![NfId::new(0), NfId::new(2)]);
+        assert!(sets.contains(NfId::new(2)));
+        assert!(!sets.contains(NfId::new(1)));
+        assert!(!sets.is_empty());
+    }
+
+    #[test]
+    fn after_migrating_the_logger_the_monitor_becomes_a_border() {
+        let chain = ChainModel::figure1_example();
+        let mut placement = Placement::figure1_initial();
+        placement.set(NfId::new(2), Device::Cpu).unwrap();
+        let sets = border_sets(&chain, &placement);
+        assert_eq!(sets.left, vec![NfId::new(0)]);
+        assert_eq!(sets.right, vec![NfId::new(1)]);
+    }
+
+    #[test]
+    fn wire_to_wire_chain_fully_on_nic_has_no_borders() {
+        let chain = chain_of(3, Endpoint::Wire, Endpoint::Wire);
+        let placement = Placement::all_on(Device::SmartNic, 3);
+        let sets = border_sets(&chain, &placement);
+        assert!(sets.is_empty());
+        assert!(sets.all().is_empty());
+    }
+
+    #[test]
+    fn host_to_host_single_nic_vnf_is_both_left_and_right_border() {
+        let chain = chain_of(1, Endpoint::Host, Endpoint::Host);
+        let placement = Placement::all_on(Device::SmartNic, 1);
+        let sets = border_sets(&chain, &placement);
+        assert_eq!(sets.left, vec![NfId::new(0)]);
+        assert_eq!(sets.right, vec![NfId::new(0)]);
+        // The union deduplicates.
+        assert_eq!(sets.all(), vec![NfId::new(0)]);
+    }
+
+    #[test]
+    fn cpu_resident_vnfs_are_never_borders() {
+        let chain = chain_of(4, Endpoint::Host, Endpoint::Host);
+        let placement = Placement::all_on(Device::Cpu, 4);
+        assert!(border_sets(&chain, &placement).is_empty());
+    }
+
+    #[test]
+    fn interleaved_placement_has_multiple_borders() {
+        // NIC, CPU, NIC, CPU: both NIC vNFs border CPUs on both sides
+        // (position 0 also borders the wire ingress on the NIC side).
+        let chain = chain_of(4, Endpoint::Wire, Endpoint::Host);
+        let placement = Placement::from_devices(vec![
+            Device::SmartNic,
+            Device::Cpu,
+            Device::SmartNic,
+            Device::Cpu,
+        ]);
+        let sets = border_sets(&chain, &placement);
+        assert_eq!(sets.left, vec![NfId::new(2)]);
+        assert_eq!(sets.right, vec![NfId::new(0), NfId::new(2)]);
+        assert_eq!(sets.all(), vec![NfId::new(0), NfId::new(2)]);
+    }
+
+    #[test]
+    fn empty_chain_has_no_borders() {
+        let chain = chain_of(0, Endpoint::Wire, Endpoint::Host);
+        let placement = Placement::all_on(Device::SmartNic, 0);
+        assert!(border_sets(&chain, &placement).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The analytical service-chain latency model.
+//!
+//! The poster's argument is entirely about latency composition: a packet's
+//! end-to-end latency is the sum of per-hop processing latency plus one PCIe
+//! crossing cost for every device boundary on its path. This module encodes
+//! that sum so planners (and the ablation benches) can compare placements
+//! without running the packet-level simulator; the integration tests check
+//! that the two agree on ordering and roughly on magnitude.
+
+use pam_types::{ByteSize, Gbps, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ChainModel, Placement};
+
+/// The analytical latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One-way PCIe crossing latency (DMA + rings + batching).
+    pub pcie_crossing_latency: SimDuration,
+    /// The packet size used for capacity-dependent service terms.
+    pub packet_size: ByteSize,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            pcie_crossing_latency: SimDuration::from_micros(22),
+            packet_size: ByteSize::bytes(512),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with a custom crossing latency (used by the PCIe ablation).
+    pub fn with_crossing_latency(latency: SimDuration) -> Self {
+        LatencyModel {
+            pcie_crossing_latency: latency,
+            ..Default::default()
+        }
+    }
+
+    /// A model evaluated at a specific packet size.
+    pub fn at_packet_size(mut self, size: ByteSize) -> Self {
+        self.packet_size = size;
+        self
+    }
+
+    /// The per-hop latency of one vNF under a placement: its fixed pipeline
+    /// latency on that device plus the capacity-dependent service time for
+    /// the configured packet size.
+    pub fn hop_latency(&self, chain: &ChainModel, placement: &Placement, nf: pam_types::NfId) -> SimDuration {
+        let Ok(vnf) = chain.vnf(nf) else {
+            return SimDuration::ZERO;
+        };
+        let Ok(device) = placement.device_of(nf) else {
+            return SimDuration::ZERO;
+        };
+        let capacity = vnf.capacity_on(device);
+        let service = if capacity.as_gbps() > 0.0 {
+            SimDuration::transmission(self.packet_size, capacity) * vnf.load_factor
+        } else {
+            SimDuration::ZERO
+        };
+        vnf.latency_on(device) + service
+    }
+
+    /// The end-to-end chain latency estimate under a placement: the sum of
+    /// per-hop latencies plus the PCIe crossing cost of the path (including
+    /// a serialisation term per crossing at an effective PCIe rate folded
+    /// into the crossing latency).
+    pub fn chain_latency(&self, chain: &ChainModel, placement: &Placement) -> SimDuration {
+        let hops: SimDuration = chain
+            .ids()
+            .map(|id| self.hop_latency(chain, placement, id))
+            .sum();
+        let crossings = placement.pcie_crossings(chain) as u64;
+        hops + self.pcie_crossing_latency.saturating_mul(crossings)
+    }
+
+    /// The latency penalty of `candidate` relative to `baseline` (saturating
+    /// at zero when the candidate is faster).
+    pub fn penalty(
+        &self,
+        chain: &ChainModel,
+        baseline: &Placement,
+        candidate: &Placement,
+    ) -> SimDuration {
+        self.chain_latency(chain, candidate)
+            .saturating_sub(self.chain_latency(chain, baseline))
+    }
+
+    /// The relative latency change of `candidate` vs `baseline` in percent
+    /// (positive = candidate is slower).
+    pub fn relative_change_percent(
+        &self,
+        chain: &ChainModel,
+        baseline: &Placement,
+        candidate: &Placement,
+    ) -> f64 {
+        let base = self.chain_latency(chain, baseline).as_nanos() as f64;
+        let cand = self.chain_latency(chain, candidate).as_nanos() as f64;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (cand - base) / base * 100.0
+    }
+
+    /// The line-rate serialisation time of the configured packet at `rate`
+    /// (exposed for reports that break latency into components).
+    pub fn serialisation(&self, rate: Gbps) -> SimDuration {
+        SimDuration::transmission(self.packet_size, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::{Device, NfId};
+
+    fn figure1() -> (ChainModel, Placement) {
+        (ChainModel::figure1_example(), Placement::figure1_initial())
+    }
+
+    fn naive_placement() -> Placement {
+        let mut p = Placement::figure1_initial();
+        p.set(NfId::new(1), Device::Cpu).unwrap();
+        p
+    }
+
+    fn pam_placement() -> Placement {
+        let mut p = Placement::figure1_initial();
+        p.set(NfId::new(2), Device::Cpu).unwrap();
+        p
+    }
+
+    #[test]
+    fn hop_latency_includes_device_latency_and_service() {
+        let (chain, placement) = figure1();
+        let model = LatencyModel::default();
+        // Logger on the NIC: 32 us pipeline + 0.25 × (512·8 bits / 2 Gbps) = 32.512 us.
+        let logger = model.hop_latency(&chain, &placement, NfId::new(2));
+        assert_eq!(logger, SimDuration::from_nanos(32_512));
+        // Unknown position contributes nothing.
+        assert_eq!(
+            model.hop_latency(&chain, &placement, NfId::new(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn figure2a_ordering_pam_beats_naive_and_matches_original() {
+        let (chain, original) = figure1();
+        let model = LatencyModel::default();
+        let l_orig = model.chain_latency(&chain, &original);
+        let l_naive = model.chain_latency(&chain, &naive_placement());
+        let l_pam = model.chain_latency(&chain, &pam_placement());
+
+        // Naive adds two crossings; PAM adds none.
+        assert!(l_naive > l_pam);
+        // PAM is within a few percent of the original (only the Logger's
+        // device-local latency changes).
+        let pam_vs_orig = model.relative_change_percent(&chain, &original, &pam_placement());
+        assert!(pam_vs_orig.abs() < 5.0, "PAM vs original {pam_vs_orig}%");
+        // And PAM is substantially (roughly the paper's 18%) below naive.
+        let reduction = (l_naive.as_nanos() as f64 - l_pam.as_nanos() as f64)
+            / l_naive.as_nanos() as f64
+            * 100.0;
+        assert!(
+            (10.0..30.0).contains(&reduction),
+            "PAM latency reduction vs naive was {reduction:.1}%"
+        );
+        assert!(l_orig <= l_naive);
+    }
+
+    #[test]
+    fn penalty_is_the_crossing_cost_for_the_naive_migration() {
+        let (chain, original) = figure1();
+        let model = LatencyModel::default();
+        let penalty = model.penalty(&chain, &original, &naive_placement());
+        // Two extra crossings at 22 us plus the Monitor's CPU-vs-NIC latency
+        // and service-time delta.
+        assert!(penalty >= SimDuration::from_micros(44));
+        assert!(penalty < SimDuration::from_micros(60));
+        // Penalty of a faster placement saturates at zero.
+        assert_eq!(
+            model.penalty(&chain, &naive_placement(), &original),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn crossing_latency_sweep_scales_the_gap_linearly() {
+        let (chain, original) = figure1();
+        let cheap = LatencyModel::with_crossing_latency(SimDuration::from_micros(2));
+        let expensive = LatencyModel::with_crossing_latency(SimDuration::from_micros(60));
+        let gap_cheap = cheap.penalty(&chain, &original, &naive_placement());
+        let gap_expensive = expensive.penalty(&chain, &original, &naive_placement());
+        // Two extra crossings: the gap grows by 2 × (60 - 2) us.
+        let delta = gap_expensive - gap_cheap;
+        assert_eq!(delta, SimDuration::from_micros(116));
+    }
+
+    #[test]
+    fn packet_size_affects_service_terms_only() {
+        let (chain, original) = figure1();
+        let small = LatencyModel::default().at_packet_size(ByteSize::bytes(64));
+        let large = LatencyModel::default().at_packet_size(ByteSize::bytes(1500));
+        let l_small = small.chain_latency(&chain, &original);
+        let l_large = large.chain_latency(&chain, &original);
+        assert!(l_large > l_small);
+        // The difference is bounded by the extra serialisation across four hops.
+        assert!(l_large - l_small < SimDuration::from_micros(10));
+        assert_eq!(
+            small.serialisation(Gbps::new(10.0)),
+            SimDuration::from_nanos(51)
+        );
+    }
+
+    #[test]
+    fn relative_change_of_identical_placements_is_zero() {
+        let (chain, original) = figure1();
+        let model = LatencyModel::default();
+        assert_eq!(
+            model.relative_change_percent(&chain, &original, &original),
+            0.0
+        );
+        let empty_chain = ChainModel::new("empty", chain.ingress, chain.egress, vec![]);
+        let empty_placement = Placement::all_on(Device::SmartNic, 0);
+        // A degenerate chain still produces a finite (crossing-only) latency.
+        assert_eq!(
+            model.chain_latency(&empty_chain, &empty_placement),
+            SimDuration::from_micros(22)
+        );
+    }
+}

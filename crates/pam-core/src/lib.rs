@@ -1,0 +1,43 @@
+//! The PAM contribution: push-aside migration planning for SmartNIC/CPU
+//! service chains.
+//!
+//! This crate is a faithful implementation of §2 of the poster:
+//!
+//! * [`model`] — the linear resource model: vNF descriptors with per-device
+//!   capacities (`θ^S`, `θ^C`), chain placements, device utilisation and the
+//!   feasibility predicates of Eq. 2 and Eq. 3.
+//! * [`border`] — Step 1: identifying the left/right *border* vNFs, the only
+//!   vNFs whose migration adds no PCIe crossing.
+//! * [`pam`] — Steps 2–3: the iterative selection loop (Eq. 1 selection,
+//!   Eq. 2 CPU check, Eq. 3 termination) that produces a [`MigrationPlan`] or
+//!   reports that scale-out is unavoidable.
+//! * [`naive`] — the baselines: the UNO-style "migrate the bottleneck vNF"
+//!   strategy the paper compares against (its Figure 1b), the literal
+//!   "minimum SmartNIC capacity" reading of §3, and the do-nothing original.
+//! * [`latency`] — the analytical chain-latency model (per-hop latency plus
+//!   per-crossing PCIe cost) used by planners and cross-checked against the
+//!   packet-level simulator in the integration tests.
+//! * [`strategy`] — the common [`MigrationStrategy`] interface the
+//!   orchestrator drives.
+//!
+//! The crate depends only on `pam-types`, so the algorithms can be reused
+//! against a real data plane as easily as against the bundled simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod border;
+pub mod latency;
+pub mod model;
+pub mod naive;
+pub mod pam;
+pub mod plan;
+pub mod strategy;
+
+pub use border::{border_sets, BorderSets};
+pub use latency::LatencyModel;
+pub use model::{ChainModel, Placement, ResourceModel, VnfDescriptor};
+pub use naive::{NaiveBottleneck, NaiveMinCapacity, NoMigration};
+pub use pam::PamPlanner;
+pub use plan::{Decision, MigrationMove, MigrationPlan};
+pub use strategy::{MigrationStrategy, StrategyKind};

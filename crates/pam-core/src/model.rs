@@ -1,0 +1,543 @@
+//! The linear resource model of poster §2.
+//!
+//! Following CoCo [5], the poster assumes that a vNF's resource utilisation
+//! on either device grows linearly with its throughput: a vNF whose capacity
+//! on the SmartNIC is `θ^S` consumes a fraction `θ_cur / θ^S` of the NIC when
+//! it carries `θ_cur`. A device is overloaded when the sum of those fractions
+//! over resident vNFs exceeds one. That is the entire analytical machinery
+//! PAM needs; this module provides it over three small types:
+//!
+//! * [`VnfDescriptor`] — one vNF's capacities, load factor and fixed per-hop
+//!   latencies.
+//! * [`ChainModel`] — the ordered chain of descriptors between two endpoints.
+//! * [`Placement`] — which device each chain position currently runs on.
+//!
+//! [`ResourceModel`] bundles a chain, a placement and an offered load and
+//! answers the utilisation/feasibility questions (including Eq. 2 and Eq. 3).
+
+use pam_types::{Device, Endpoint, Gbps, Hop, NfId, PamError, Ratio, Result, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The description of one vNF position the planner reasons about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VnfDescriptor {
+    /// Which chain position this describes.
+    pub id: NfId,
+    /// Human-readable name (used in plans and reports).
+    pub name: String,
+    /// Maximum throughput on the SmartNIC (`θ^S`).
+    pub nic_capacity: Gbps,
+    /// Maximum throughput on the CPU (`θ^C`).
+    pub cpu_capacity: Gbps,
+    /// Fraction of chain traffic this vNF actually processes.
+    pub load_factor: f64,
+    /// Fixed per-packet latency when running on the SmartNIC.
+    pub nic_latency: SimDuration,
+    /// Fixed per-packet latency when running on the CPU.
+    pub cpu_latency: SimDuration,
+}
+
+impl VnfDescriptor {
+    /// A descriptor with unit load factor and default per-hop latencies.
+    pub fn new(id: NfId, name: &str, nic_capacity: Gbps, cpu_capacity: Gbps) -> Self {
+        VnfDescriptor {
+            id,
+            name: name.to_string(),
+            nic_capacity,
+            cpu_capacity,
+            load_factor: 1.0,
+            nic_latency: SimDuration::from_micros(32),
+            cpu_latency: SimDuration::from_micros(40),
+        }
+    }
+
+    /// Overrides the load factor.
+    pub fn with_load_factor(mut self, load_factor: f64) -> Self {
+        self.load_factor = load_factor;
+        self
+    }
+
+    /// Overrides the per-hop latencies.
+    pub fn with_latencies(mut self, nic: SimDuration, cpu: SimDuration) -> Self {
+        self.nic_latency = nic;
+        self.cpu_latency = cpu;
+        self
+    }
+
+    /// The capacity on a device.
+    pub fn capacity_on(&self, device: Device) -> Gbps {
+        match device {
+            Device::SmartNic => self.nic_capacity,
+            Device::Cpu => self.cpu_capacity,
+        }
+    }
+
+    /// The fixed per-hop latency on a device.
+    pub fn latency_on(&self, device: Device) -> SimDuration {
+        match device {
+            Device::SmartNic => self.nic_latency,
+            Device::Cpu => self.cpu_latency,
+        }
+    }
+
+    /// The utilisation this vNF adds to `device` when the chain carries
+    /// `offered` (`load_factor × θ_cur / θ_capacity`).
+    pub fn utilisation_on(&self, device: Device, offered: Gbps) -> Ratio {
+        let effective = offered * self.load_factor;
+        effective.utilisation_of(self.capacity_on(device))
+    }
+}
+
+/// The logical service chain the planner reasons about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainModel {
+    /// Chain name used in reports.
+    pub name: String,
+    /// Where traffic enters the chain.
+    pub ingress: Endpoint,
+    /// Where traffic leaves the chain.
+    pub egress: Endpoint,
+    vnfs: Vec<VnfDescriptor>,
+}
+
+impl ChainModel {
+    /// Creates a chain model; descriptor ids are rewritten to match their
+    /// position so the two can never disagree.
+    pub fn new(name: &str, ingress: Endpoint, egress: Endpoint, mut vnfs: Vec<VnfDescriptor>) -> Self {
+        for (index, vnf) in vnfs.iter_mut().enumerate() {
+            vnf.id = NfId::from(index);
+        }
+        ChainModel {
+            name: name.to_string(),
+            ingress,
+            egress,
+            vnfs,
+        }
+    }
+
+    /// The poster's Figure 1 chain with the Table 1 capacities:
+    /// host → Firewall → Monitor → Logger (sampling, load factor 0.25) →
+    /// Load Balancer → wire. The `>10 Gbps` load-balancer NIC capacity is
+    /// modelled as 14 Gbps.
+    pub fn figure1_example() -> Self {
+        ChainModel::new(
+            "figure1",
+            Endpoint::Host,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(0), "Firewall", Gbps::new(10.0), Gbps::new(4.0)),
+                VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(3.2), Gbps::new(10.0)),
+                VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(4.0))
+                    .with_load_factor(0.25),
+                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(4.0)),
+            ],
+        )
+    }
+
+    /// The vNF descriptors in chain order.
+    pub fn vnfs(&self) -> &[VnfDescriptor] {
+        &self.vnfs
+    }
+
+    /// Number of vNF positions.
+    pub fn len(&self) -> usize {
+        self.vnfs.len()
+    }
+
+    /// True when the chain has no vNFs.
+    pub fn is_empty(&self) -> bool {
+        self.vnfs.is_empty()
+    }
+
+    /// The descriptor at a position.
+    pub fn vnf(&self, id: NfId) -> Result<&VnfDescriptor> {
+        self.vnfs.get(id.index()).ok_or(PamError::UnknownNf(id))
+    }
+
+    /// All position ids in chain order.
+    pub fn ids(&self) -> impl Iterator<Item = NfId> + '_ {
+        (0..self.vnfs.len()).map(NfId::from)
+    }
+}
+
+/// Which device each chain position runs on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    devices: Vec<Device>,
+}
+
+impl Placement {
+    /// Every position on the same device.
+    pub fn all_on(device: Device, len: usize) -> Self {
+        Placement {
+            devices: vec![device; len],
+        }
+    }
+
+    /// A placement from an explicit per-position list.
+    pub fn from_devices(devices: Vec<Device>) -> Self {
+        Placement { devices }
+    }
+
+    /// The initial placement of the poster's Figure 1(a): Firewall, Monitor
+    /// and Logger on the SmartNIC, the Load Balancer on the CPU.
+    pub fn figure1_initial() -> Self {
+        Placement::from_devices(vec![
+            Device::SmartNic,
+            Device::SmartNic,
+            Device::SmartNic,
+            Device::Cpu,
+        ])
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the placement covers no positions.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device a position runs on.
+    pub fn device_of(&self, id: NfId) -> Result<Device> {
+        self.devices
+            .get(id.index())
+            .copied()
+            .ok_or(PamError::UnknownNf(id))
+    }
+
+    /// Moves a position to a device.
+    pub fn set(&mut self, id: NfId, device: Device) -> Result<()> {
+        let slot = self
+            .devices
+            .get_mut(id.index())
+            .ok_or(PamError::UnknownNf(id))?;
+        *slot = device;
+        Ok(())
+    }
+
+    /// The ids currently placed on `device`, in chain order.
+    pub fn on_device(&self, device: Device) -> Vec<NfId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == device)
+            .map(|(i, _)| NfId::from(i))
+            .collect()
+    }
+
+    /// The packet path through the server for a chain under this placement:
+    /// ingress endpoint, one hop per vNF, egress endpoint.
+    pub fn path(&self, chain: &ChainModel) -> Vec<Hop> {
+        let mut hops = Vec::with_capacity(self.devices.len() + 2);
+        hops.push(Hop::Endpoint(chain.ingress));
+        for (index, device) in self.devices.iter().enumerate() {
+            hops.push(Hop::Vnf {
+                nf: NfId::from(index),
+                device: *device,
+            });
+        }
+        hops.push(Hop::Endpoint(chain.egress));
+        hops
+    }
+
+    /// The number of PCIe crossings a packet pays under this placement.
+    pub fn pcie_crossings(&self, chain: &ChainModel) -> usize {
+        pam_types::device::pcie_crossings(&self.path(chain))
+    }
+}
+
+/// A chain, a placement and an offered load, bundled with the utilisation
+/// queries the PAM algorithm needs.
+#[derive(Debug, Clone)]
+pub struct ResourceModel<'a> {
+    chain: &'a ChainModel,
+    placement: &'a Placement,
+    offered: Gbps,
+}
+
+impl<'a> ResourceModel<'a> {
+    /// Creates a resource model for a chain under a placement carrying
+    /// `offered` Gbps.
+    pub fn new(chain: &'a ChainModel, placement: &'a Placement, offered: Gbps) -> Self {
+        ResourceModel {
+            chain,
+            placement,
+            offered,
+        }
+    }
+
+    /// The offered load the model evaluates.
+    pub fn offered(&self) -> Gbps {
+        self.offered
+    }
+
+    /// The utilisation of `device`: the sum of `θ_cur/θ_i` over resident vNFs.
+    pub fn device_utilisation(&self, device: Device) -> Ratio {
+        self.placement
+            .on_device(device)
+            .into_iter()
+            .filter_map(|id| self.chain.vnf(id).ok())
+            .map(|vnf| vnf.utilisation_on(device, self.offered))
+            .sum()
+    }
+
+    /// The utilisation of `device` if the positions in `excluding` were
+    /// removed from it — the left-hand side of Eq. 3.
+    pub fn device_utilisation_excluding(&self, device: Device, excluding: &[NfId]) -> Ratio {
+        self.placement
+            .on_device(device)
+            .into_iter()
+            .filter(|id| !excluding.contains(id))
+            .filter_map(|id| self.chain.vnf(id).ok())
+            .map(|vnf| vnf.utilisation_on(device, self.offered))
+            .sum()
+    }
+
+    /// True when `device` is overloaded against `threshold` (the paper uses
+    /// a threshold of exactly one).
+    pub fn is_overloaded(&self, device: Device, threshold: f64) -> bool {
+        self.device_utilisation(device).value() > threshold
+    }
+
+    /// Eq. 2: would moving `candidate` onto the CPU keep the CPU feasible?
+    /// (`Σ_{i on CPU} θ_cur/θ^C_i + θ_cur/θ^C_candidate < 1`)
+    pub fn cpu_accepts(&self, candidate: NfId) -> Result<bool> {
+        let candidate_vnf = self.chain.vnf(candidate)?;
+        let existing = self.device_utilisation(Device::Cpu);
+        let added = candidate_vnf.utilisation_on(Device::Cpu, self.offered);
+        Ok((existing + added).is_feasible())
+    }
+
+    /// Eq. 3: is the SmartNIC feasible once the positions in `migrated` have
+    /// left it? (`Σ_{i on S, i ∉ migrated} θ_cur/θ^S_i < 1`)
+    pub fn nic_relieved_excluding(&self, migrated: &[NfId]) -> bool {
+        self.device_utilisation_excluding(Device::SmartNic, migrated)
+            .is_feasible()
+    }
+
+    /// The vNF on `device` with the highest individual utilisation — the
+    /// "bottleneck"/hot-spot vNF the naive strategy targets.
+    pub fn hottest_on(&self, device: Device) -> Option<NfId> {
+        self.placement
+            .on_device(device)
+            .into_iter()
+            .filter_map(|id| {
+                self.chain
+                    .vnf(id)
+                    .ok()
+                    .map(|vnf| (id, vnf.utilisation_on(device, self.offered)))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(id, _)| id)
+    }
+
+    /// The maximum chain throughput this placement can sustain: the load at
+    /// which the most loaded device reaches utilisation 1.
+    pub fn sustainable_throughput(&self) -> Gbps {
+        let mut limit = f64::INFINITY;
+        for device in Device::ALL {
+            let per_gbps: f64 = self
+                .placement
+                .on_device(device)
+                .into_iter()
+                .filter_map(|id| self.chain.vnf(id).ok())
+                .map(|vnf| vnf.utilisation_on(device, Gbps::new(1.0)).value())
+                .sum();
+            if per_gbps > 0.0 {
+                limit = limit.min(1.0 / per_gbps);
+            }
+        }
+        if limit.is_finite() {
+            Gbps::new(limit)
+        } else {
+            Gbps::new(f64::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> (ChainModel, Placement) {
+        (ChainModel::figure1_example(), Placement::figure1_initial())
+    }
+
+    #[test]
+    fn figure1_example_matches_table1() {
+        let chain = ChainModel::figure1_example();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(chain.vnf(NfId::new(0)).unwrap().nic_capacity, Gbps::new(10.0));
+        assert_eq!(chain.vnf(NfId::new(1)).unwrap().cpu_capacity, Gbps::new(10.0));
+        assert_eq!(chain.vnf(NfId::new(2)).unwrap().nic_capacity, Gbps::new(2.0));
+        assert_eq!(chain.vnf(NfId::new(2)).unwrap().load_factor, 0.25);
+        assert!(chain.vnf(NfId::new(3)).unwrap().nic_capacity > Gbps::new(10.0));
+        assert!(chain.vnf(NfId::new(9)).is_err());
+        assert!(!chain.is_empty());
+        assert_eq!(chain.ids().count(), 4);
+    }
+
+    #[test]
+    fn descriptor_ids_are_rewritten_to_match_positions() {
+        let chain = ChainModel::new(
+            "c",
+            Endpoint::Wire,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(9), "a", Gbps::new(1.0), Gbps::new(1.0)),
+                VnfDescriptor::new(NfId::new(9), "b", Gbps::new(1.0), Gbps::new(1.0)),
+            ],
+        );
+        assert_eq!(chain.vnfs()[0].id, NfId::new(0));
+        assert_eq!(chain.vnfs()[1].id, NfId::new(1));
+    }
+
+    #[test]
+    fn placement_accessors() {
+        let (chain, mut placement) = figure1();
+        assert_eq!(placement.len(), 4);
+        assert!(!placement.is_empty());
+        assert_eq!(placement.device_of(NfId::new(0)).unwrap(), Device::SmartNic);
+        assert_eq!(placement.device_of(NfId::new(3)).unwrap(), Device::Cpu);
+        assert_eq!(
+            placement.on_device(Device::SmartNic),
+            vec![NfId::new(0), NfId::new(1), NfId::new(2)]
+        );
+        placement.set(NfId::new(2), Device::Cpu).unwrap();
+        assert_eq!(placement.on_device(Device::Cpu), vec![NfId::new(2), NfId::new(3)]);
+        assert!(placement.set(NfId::new(9), Device::Cpu).is_err());
+        assert!(placement.device_of(NfId::new(9)).is_err());
+        let _ = chain;
+    }
+
+    #[test]
+    fn figure1_crossing_counts_match_the_poster_figures() {
+        let (chain, original) = figure1();
+        assert_eq!(original.pcie_crossings(&chain), 3);
+
+        // Naive migration (Figure 1b): Monitor to the CPU adds two crossings.
+        let mut naive = original.clone();
+        naive.set(NfId::new(1), Device::Cpu).unwrap();
+        assert_eq!(naive.pcie_crossings(&chain), 5);
+
+        // PAM migration (Figure 1c): Logger to the CPU adds none.
+        let mut pam = original.clone();
+        pam.set(NfId::new(2), Device::Cpu).unwrap();
+        assert_eq!(pam.pcie_crossings(&chain), 3);
+    }
+
+    #[test]
+    fn utilisation_matches_hand_computation() {
+        let (chain, placement) = figure1();
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(2.2));
+        // NIC: FW 2.2/10 + Monitor 2.2/3.2 + Logger 0.25·2.2/2 = 0.22 + 0.6875 + 0.275.
+        let nic = model.device_utilisation(Device::SmartNic).value();
+        assert!((nic - 1.1825).abs() < 1e-9, "nic utilisation {nic}");
+        // CPU: LB 2.2/4 = 0.55.
+        let cpu = model.device_utilisation(Device::Cpu).value();
+        assert!((cpu - 0.55).abs() < 1e-9, "cpu utilisation {cpu}");
+        assert!(model.is_overloaded(Device::SmartNic, 1.0));
+        assert!(!model.is_overloaded(Device::Cpu, 1.0));
+        assert_eq!(model.offered(), Gbps::new(2.2));
+    }
+
+    #[test]
+    fn eq2_cpu_acceptance() {
+        let (chain, placement) = figure1();
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(2.2));
+        // Logger on the CPU: 0.55 + 0.25·2.2/4 = 0.6875 < 1 → accepted.
+        assert!(model.cpu_accepts(NfId::new(2)).unwrap());
+        // Firewall on the CPU: 0.55 + 2.2/4 = 1.1 ≥ 1 → rejected.
+        assert!(!model.cpu_accepts(NfId::new(0)).unwrap());
+        assert!(model.cpu_accepts(NfId::new(9)).is_err());
+    }
+
+    #[test]
+    fn eq3_nic_relief() {
+        let (chain, placement) = figure1();
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(2.2));
+        // Removing the Logger leaves 0.9075 < 1 → relieved.
+        assert!(model.nic_relieved_excluding(&[NfId::new(2)]));
+        // Removing nothing leaves 1.1825 ≥ 1 → still overloaded.
+        assert!(!model.nic_relieved_excluding(&[]));
+        // Removing only the Firewall leaves 0.9625 < 1 → relieved as well
+        // (but PAM would not pick it: Eq. 1 prefers the smaller capacity).
+        assert!(model.nic_relieved_excluding(&[NfId::new(0)]));
+    }
+
+    #[test]
+    fn hottest_vnf_is_the_monitor_in_the_figure1_scenario() {
+        let (chain, placement) = figure1();
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(2.2));
+        assert_eq!(model.hottest_on(Device::SmartNic), Some(NfId::new(1)));
+        assert_eq!(model.hottest_on(Device::Cpu), Some(NfId::new(3)));
+    }
+
+    #[test]
+    fn sustainable_throughput_is_the_binding_constraint() {
+        let (chain, placement) = figure1();
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(1.0));
+        // NIC binds: 1/(0.1 + 0.3125 + 0.125) ≈ 1.860 Gbps.
+        let cap = model.sustainable_throughput().as_gbps();
+        assert!((cap - 1.0 / 0.5375).abs() < 1e-9, "capacity {cap}");
+
+        // After PAM migrates the Logger, the NIC constraint loosens.
+        let mut migrated = placement.clone();
+        migrated.set(NfId::new(2), Device::Cpu).unwrap();
+        let model = ResourceModel::new(&chain, &migrated, Gbps::new(1.0));
+        let cap_after = model.sustainable_throughput().as_gbps();
+        assert!(cap_after > cap);
+        // Now the NIC allows 1/(0.1+0.3125) ≈ 2.424 and the CPU 1/(0.25+0.0625) = 3.2.
+        assert!((cap_after - 1.0 / 0.4125).abs() < 1e-9, "capacity {cap_after}");
+    }
+
+    #[test]
+    fn empty_chain_has_unbounded_throughput() {
+        let chain = ChainModel::new("empty", Endpoint::Wire, Endpoint::Host, vec![]);
+        let placement = Placement::all_on(Device::SmartNic, 0);
+        let model = ResourceModel::new(&chain, &placement, Gbps::new(1.0));
+        assert!(model.sustainable_throughput() > Gbps::new(1e9));
+        assert_eq!(model.device_utilisation(Device::SmartNic), Ratio::ZERO);
+        assert_eq!(model.hottest_on(Device::SmartNic), None);
+        assert_eq!(placement.pcie_crossings(&chain), 1);
+    }
+
+    #[test]
+    fn path_includes_endpoints_and_every_hop() {
+        let (chain, placement) = figure1();
+        let path = placement.path(&chain);
+        assert_eq!(path.len(), 6);
+        assert_eq!(path[0], Hop::Endpoint(Endpoint::Host));
+        assert_eq!(path[5], Hop::Endpoint(Endpoint::Wire));
+        assert_eq!(path[1].nf(), Some(NfId::new(0)));
+    }
+
+    #[test]
+    fn descriptor_builders() {
+        let v = VnfDescriptor::new(NfId::new(0), "x", Gbps::new(2.0), Gbps::new(4.0))
+            .with_load_factor(0.5)
+            .with_latencies(SimDuration::from_micros(10), SimDuration::from_micros(20));
+        assert_eq!(v.capacity_on(Device::SmartNic), Gbps::new(2.0));
+        assert_eq!(v.capacity_on(Device::Cpu), Gbps::new(4.0));
+        assert_eq!(v.latency_on(Device::SmartNic), SimDuration::from_micros(10));
+        assert_eq!(v.latency_on(Device::Cpu), SimDuration::from_micros(20));
+        let util = v.utilisation_on(Device::SmartNic, Gbps::new(2.0));
+        assert!((util.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let chain = ChainModel::figure1_example();
+        let placement = Placement::figure1_initial();
+        let chain_json = serde_json::to_string(&chain).unwrap();
+        let placement_json = serde_json::to_string(&placement).unwrap();
+        assert_eq!(serde_json::from_str::<ChainModel>(&chain_json).unwrap(), chain);
+        assert_eq!(
+            serde_json::from_str::<Placement>(&placement_json).unwrap(),
+            placement
+        );
+    }
+}

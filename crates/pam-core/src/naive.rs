@@ -1,0 +1,224 @@
+//! Baseline migration strategies.
+//!
+//! The poster compares PAM against the "naive" approach inherited from UNO:
+//! when the SmartNIC is overloaded, pick a single vNF on it and move it to
+//! the CPU, without considering where the vNF sits in the chain. Two readings
+//! of the baseline appear in the poster and both are implemented:
+//!
+//! * [`NaiveBottleneck`] — migrate the *bottleneck* vNF, i.e. the
+//!   SmartNIC-resident vNF with the highest utilisation (UNO's description
+//!   and the poster's Figure 1(b), where the overloaded Monitor is moved).
+//!   This is the baseline used in the Figure 2 reproduction.
+//! * [`NaiveMinCapacity`] — the literal sentence in §3: "pick the vNF on
+//!   SmartNIC with minimal capacity `θ^S`".
+//!
+//! [`NoMigration`] is the "Original" bar of Figure 2: leave the chain alone.
+
+use pam_types::{Device, Gbps};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ChainModel, Placement, ResourceModel};
+use crate::plan::{Decision, MigrationPlan};
+use crate::strategy::MigrationStrategy;
+
+/// UNO-style baseline: migrate the most-utilised SmartNIC vNF to the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveBottleneck {
+    /// Utilisation above which the SmartNIC counts as overloaded.
+    pub overload_threshold: f64,
+}
+
+impl Default for NaiveBottleneck {
+    fn default() -> Self {
+        NaiveBottleneck {
+            overload_threshold: 1.0,
+        }
+    }
+}
+
+impl NaiveBottleneck {
+    /// A baseline with the paper's threshold of 1.0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MigrationStrategy for NaiveBottleneck {
+    fn name(&self) -> &'static str {
+        "naive-bottleneck"
+    }
+
+    fn decide(&self, chain: &ChainModel, placement: &Placement, offered: Gbps) -> Decision {
+        let model = ResourceModel::new(chain, placement, offered);
+        if !model.is_overloaded(Device::SmartNic, self.overload_threshold) {
+            return Decision::NoAction;
+        }
+        let Some(bottleneck) = model.hottest_on(Device::SmartNic) else {
+            return Decision::ScaleOut;
+        };
+        // The naive strategy still refuses to overload the CPU outright — UNO
+        // checks CPU headroom before migrating. If even that fails, scale out.
+        if !model.cpu_accepts(bottleneck).unwrap_or(false) {
+            return Decision::ScaleOut;
+        }
+        Decision::Migrate(MigrationPlan::single(bottleneck, Device::SmartNic, Device::Cpu))
+    }
+}
+
+/// The literal §3 baseline: migrate the SmartNIC vNF with minimum `θ^S`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveMinCapacity {
+    /// Utilisation above which the SmartNIC counts as overloaded.
+    pub overload_threshold: f64,
+}
+
+impl Default for NaiveMinCapacity {
+    fn default() -> Self {
+        NaiveMinCapacity {
+            overload_threshold: 1.0,
+        }
+    }
+}
+
+impl NaiveMinCapacity {
+    /// A baseline with the paper's threshold of 1.0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MigrationStrategy for NaiveMinCapacity {
+    fn name(&self) -> &'static str {
+        "naive-min-capacity"
+    }
+
+    fn decide(&self, chain: &ChainModel, placement: &Placement, offered: Gbps) -> Decision {
+        let model = ResourceModel::new(chain, placement, offered);
+        if !model.is_overloaded(Device::SmartNic, self.overload_threshold) {
+            return Decision::NoAction;
+        }
+        let candidate = placement
+            .on_device(Device::SmartNic)
+            .into_iter()
+            .filter_map(|id| chain.vnf(id).ok())
+            .min_by(|a, b| {
+                a.nic_capacity
+                    .as_gbps()
+                    .partial_cmp(&b.nic_capacity.as_gbps())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|v| v.id);
+        let Some(chosen) = candidate else {
+            return Decision::ScaleOut;
+        };
+        if !model.cpu_accepts(chosen).unwrap_or(false) {
+            return Decision::ScaleOut;
+        }
+        Decision::Migrate(MigrationPlan::single(chosen, Device::SmartNic, Device::Cpu))
+    }
+}
+
+/// The "Original" configuration: never migrate anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoMigration;
+
+impl NoMigration {
+    /// Creates the do-nothing strategy.
+    pub fn new() -> Self {
+        NoMigration
+    }
+}
+
+impl MigrationStrategy for NoMigration {
+    fn name(&self) -> &'static str {
+        "original"
+    }
+
+    fn decide(&self, _chain: &ChainModel, _placement: &Placement, _offered: Gbps) -> Decision {
+        Decision::NoAction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::NfId;
+
+    fn figure1() -> (ChainModel, Placement) {
+        (ChainModel::figure1_example(), Placement::figure1_initial())
+    }
+
+    #[test]
+    fn bottleneck_baseline_migrates_the_monitor() {
+        let (chain, placement) = figure1();
+        let decision = NaiveBottleneck::new().decide(&chain, &placement, Gbps::new(2.2));
+        let plan = decision.plan().expect("should migrate");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.moves[0].nf, NfId::new(1), "the Monitor is the hot spot");
+        // This is exactly the Figure 1(b) situation: the migration adds two
+        // PCIe crossings.
+        let mut after = placement.clone();
+        after.set(plan.moves[0].nf, Device::Cpu).unwrap();
+        assert_eq!(after.pcie_crossings(&chain), placement.pcie_crossings(&chain) + 2);
+    }
+
+    #[test]
+    fn min_capacity_baseline_migrates_the_logger() {
+        let (chain, placement) = figure1();
+        let decision = NaiveMinCapacity::new().decide(&chain, &placement, Gbps::new(2.2));
+        let plan = decision.plan().expect("should migrate");
+        assert_eq!(plan.moves[0].nf, NfId::new(2), "the Logger has the smallest θ^S");
+    }
+
+    #[test]
+    fn baselines_do_nothing_below_threshold() {
+        let (chain, placement) = figure1();
+        assert!(NaiveBottleneck::new()
+            .decide(&chain, &placement, Gbps::new(1.0))
+            .is_no_action());
+        assert!(NaiveMinCapacity::new()
+            .decide(&chain, &placement, Gbps::new(1.0))
+            .is_no_action());
+    }
+
+    #[test]
+    fn original_never_acts() {
+        let (chain, placement) = figure1();
+        for load in [0.5, 2.2, 3.9] {
+            assert!(NoMigration::new()
+                .decide(&chain, &placement, Gbps::new(load))
+                .is_no_action());
+        }
+        assert_eq!(NoMigration::new().name(), "original");
+    }
+
+    #[test]
+    fn baselines_scale_out_when_the_cpu_cannot_take_the_pick() {
+        let (chain, placement) = figure1();
+        // At 3.9 Gbps the CPU is nearly full; neither baseline can place its pick.
+        assert!(NaiveBottleneck::new()
+            .decide(&chain, &placement, Gbps::new(3.9))
+            .is_scale_out());
+        assert!(NaiveMinCapacity::new()
+            .decide(&chain, &placement, Gbps::new(3.9))
+            .is_scale_out());
+    }
+
+    #[test]
+    fn empty_nic_forces_scale_out_for_bottleneck_baseline() {
+        let chain = ChainModel::figure1_example();
+        let placement = Placement::all_on(Device::Cpu, 4);
+        // The NIC has nothing on it, so it cannot be overloaded; but force the
+        // decision path by using a zero threshold.
+        let strategy = NaiveBottleneck {
+            overload_threshold: -1.0,
+        };
+        assert!(strategy.decide(&chain, &placement, Gbps::new(1.0)).is_scale_out());
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(NaiveBottleneck::new().name(), "naive-bottleneck");
+        assert_eq!(NaiveMinCapacity::new().name(), "naive-min-capacity");
+    }
+}

@@ -1,0 +1,333 @@
+//! Steps 2–3 of PAM: the border-vNF selection loop.
+//!
+//! Given an overloaded SmartNIC, PAM repeatedly:
+//!
+//! 1. recomputes the border sets under the working placement (Step 1),
+//! 2. selects the border vNF with the minimum SmartNIC capacity — Eq. 1 —
+//!    because that vNF frees the most NIC utilisation per migrated vNF,
+//! 3. checks Eq. 2: migrating it must not overload the CPU; if it would, the
+//!    candidate is discarded and the next border vNF is tried,
+//! 4. migrates it (appending to the plan) and checks Eq. 3: once the
+//!    SmartNIC's remaining utilisation is below one, the plan is complete.
+//!
+//! If no border candidate passes Eq. 2 while the SmartNIC is still
+//! overloaded, migration cannot help and the planner reports
+//! [`Decision::ScaleOut`] (the poster's "start another instance" case,
+//! handled by OpenNF-style scale-out in the orchestrator).
+
+use pam_types::{Device, Gbps, NfId};
+use serde::{Deserialize, Serialize};
+
+use crate::border::border_sets;
+use crate::model::{ChainModel, Placement, ResourceModel};
+use crate::plan::{Decision, MigrationPlan};
+use crate::strategy::MigrationStrategy;
+
+/// The PAM planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PamPlanner {
+    /// Utilisation above which a device counts as overloaded. The poster uses
+    /// exactly 1; operators usually act a little earlier.
+    pub overload_threshold: f64,
+}
+
+impl Default for PamPlanner {
+    fn default() -> Self {
+        PamPlanner {
+            overload_threshold: 1.0,
+        }
+    }
+}
+
+impl PamPlanner {
+    /// A planner with the paper's threshold of 1.0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A planner that reacts at a custom utilisation threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        PamPlanner {
+            overload_threshold: threshold,
+        }
+    }
+
+    /// Runs the selection loop. See the module documentation.
+    pub fn plan(&self, chain: &ChainModel, placement: &Placement, offered: Gbps) -> Decision {
+        let initial = ResourceModel::new(chain, placement, offered);
+        if !initial.is_overloaded(Device::SmartNic, self.overload_threshold) {
+            return Decision::NoAction;
+        }
+
+        let mut working = placement.clone();
+        let mut plan = MigrationPlan::empty();
+        let mut migrated: Vec<NfId> = Vec::new();
+        // Candidates discarded by the Eq. 2 check; the poster removes them
+        // from the border sets rather than reconsidering them.
+        let mut rejected: Vec<NfId> = Vec::new();
+
+        // The loop migrates at most every SmartNIC-resident vNF once.
+        let max_iterations = chain.len() + 1;
+        for _ in 0..max_iterations {
+            let model = ResourceModel::new(chain, &working, offered);
+            // Eq. 3 on the *working* placement: once the NIC is feasible,
+            // the accumulated plan is sufficient.
+            if !model.is_overloaded(Device::SmartNic, self.overload_threshold) {
+                break;
+            }
+
+            // Step 1 on the working placement (equivalent to the poster's
+            // incremental border-set update when a border vNF leaves).
+            let borders = border_sets(chain, &working);
+            // Step 2: Eq. 1 — minimum SmartNIC capacity first.
+            let mut candidates: Vec<NfId> = borders
+                .all()
+                .into_iter()
+                .filter(|id| !rejected.contains(id))
+                .collect();
+            candidates.sort_by(|a, b| {
+                let cap_a = chain.vnf(*a).map(|v| v.nic_capacity.as_gbps()).unwrap_or(f64::MAX);
+                let cap_b = chain.vnf(*b).map(|v| v.nic_capacity.as_gbps()).unwrap_or(f64::MAX);
+                cap_a.partial_cmp(&cap_b).unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            // Step 3, check 1 (Eq. 2): find the first candidate the CPU can absorb.
+            let mut selected = None;
+            for candidate in candidates {
+                if model.cpu_accepts(candidate).unwrap_or(false) {
+                    selected = Some(candidate);
+                    break;
+                }
+                rejected.push(candidate);
+            }
+
+            let Some(chosen) = selected else {
+                // No border vNF can move without overloading the CPU while the
+                // NIC is still overloaded: both devices are effectively full.
+                return Decision::ScaleOut;
+            };
+
+            if working.set(chosen, Device::Cpu).is_err() {
+                return Decision::ScaleOut;
+            }
+            plan.push(chosen, Device::SmartNic, Device::Cpu);
+            migrated.push(chosen);
+        }
+
+        // The loop always terminates with a feasible NIC (the break above) as
+        // long as it migrated something; if it somehow migrated everything
+        // and the NIC is still overloaded the offered load itself is
+        // infeasible.
+        let final_model = ResourceModel::new(chain, &working, offered);
+        if final_model.is_overloaded(Device::SmartNic, self.overload_threshold) {
+            return Decision::ScaleOut;
+        }
+        Decision::Migrate(plan)
+    }
+}
+
+impl MigrationStrategy for PamPlanner {
+    fn name(&self) -> &'static str {
+        "pam"
+    }
+
+    fn decide(&self, chain: &ChainModel, placement: &Placement, offered: Gbps) -> Decision {
+        self.plan(chain, placement, offered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::Endpoint;
+    use crate::model::VnfDescriptor;
+    use proptest::prelude::*;
+
+    fn figure1() -> (ChainModel, Placement) {
+        (ChainModel::figure1_example(), Placement::figure1_initial())
+    }
+
+    #[test]
+    fn below_overload_threshold_means_no_action() {
+        let (chain, placement) = figure1();
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(1.5));
+        assert_eq!(decision, Decision::NoAction);
+    }
+
+    #[test]
+    fn figure1_scenario_migrates_exactly_the_logger() {
+        let (chain, placement) = figure1();
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.2));
+        let plan = decision.plan().expect("PAM should migrate");
+        assert_eq!(plan.len(), 1, "one border migration suffices at 2.2 Gbps");
+        assert_eq!(plan.moves[0].nf, NfId::new(2), "the Logger is the border pick");
+        assert_eq!(plan.moves[0].to, Device::Cpu);
+    }
+
+    #[test]
+    fn pam_never_adds_pcie_crossings_in_the_figure1_scenario() {
+        let (chain, placement) = figure1();
+        let crossings_before = placement.pcie_crossings(&chain);
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.2));
+        let mut after = placement.clone();
+        for mv in &decision.plan().unwrap().moves {
+            after.set(mv.nf, mv.to).unwrap();
+        }
+        assert_eq!(after.pcie_crossings(&chain), crossings_before);
+    }
+
+    #[test]
+    fn heavier_overload_pushes_more_border_vnfs_aside() {
+        // At 2.9 Gbps the Logger alone is not enough (FW 0.29 + Monitor 0.906
+        // = 1.196 ≥ 1); PAM must also push the Monitor aside, which the CPU
+        // can absorb (LB 0.725 + Logger 0.181 + Monitor 0.29 = 1.196 ≥ 1 — it
+        // cannot!), so the planner reports scale-out at that point.
+        let (chain, placement) = figure1();
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.9));
+        assert!(decision.is_scale_out(), "decision was {decision}");
+    }
+
+    #[test]
+    fn multi_step_migration_when_cpu_has_headroom() {
+        // Same shape as Figure 1 but with a CPU roomy enough to take both the
+        // Logger and the Monitor: PAM should produce a two-move plan and the
+        // moves should be border vNFs at the time of their selection.
+        let chain = ChainModel::new(
+            "roomy-cpu",
+            Endpoint::Host,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(0), "Firewall", Gbps::new(10.0), Gbps::new(20.0)),
+                VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(3.2), Gbps::new(20.0)),
+                VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(20.0))
+                    .with_load_factor(0.25),
+                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(20.0)),
+            ],
+        );
+        let placement = Placement::figure1_initial();
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.9));
+        let plan = decision.plan().expect("should migrate");
+        assert_eq!(plan.migrated_nfs(), vec![NfId::new(2), NfId::new(1)]);
+        // Crossing count is preserved even after two migrations.
+        let mut after = placement.clone();
+        for mv in &plan.moves {
+            after.set(mv.nf, mv.to).unwrap();
+        }
+        assert_eq!(after.pcie_crossings(&chain), placement.pcie_crossings(&chain));
+        // And the NIC really is relieved.
+        let model = ResourceModel::new(&chain, &after, Gbps::new(2.9));
+        assert!(!model.is_overloaded(Device::SmartNic, 1.0));
+    }
+
+    #[test]
+    fn eq2_rejection_skips_to_the_next_border_candidate() {
+        // Make the Logger enormous on the CPU so Eq. 2 rejects it; PAM should
+        // then pick the other border vNF (the Firewall) instead of giving up.
+        let chain = ChainModel::new(
+            "logger-cpu-hostile",
+            Endpoint::Host,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(0), "Firewall", Gbps::new(10.0), Gbps::new(40.0)),
+                VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(3.2), Gbps::new(10.0)),
+                // Logger: tiny CPU capacity → Eq. 2 always fails for it.
+                VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(0.5))
+                    .with_load_factor(0.25),
+                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(4.0)),
+            ],
+        );
+        let placement = Placement::figure1_initial();
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.2));
+        let plan = decision.plan().expect("should still migrate");
+        assert!(!plan.migrates(NfId::new(2)), "the CPU-hostile logger must be skipped");
+        assert!(plan.migrates(NfId::new(0)), "the firewall is the next border pick");
+    }
+
+    #[test]
+    fn fully_saturated_cpu_forces_scale_out() {
+        let chain = ChainModel::figure1_example();
+        let placement = Placement::figure1_initial();
+        // At 3.9 Gbps the CPU's load balancer alone is at 0.975; nothing fits.
+        let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(3.9));
+        assert!(decision.is_scale_out());
+    }
+
+    #[test]
+    fn custom_threshold_reacts_earlier() {
+        let (chain, placement) = figure1();
+        // At 1.7 Gbps the NIC is at 0.91: below 1.0 but above a 0.85 threshold.
+        assert_eq!(
+            PamPlanner::new().plan(&chain, &placement, Gbps::new(1.7)),
+            Decision::NoAction
+        );
+        let eager = PamPlanner::with_threshold(0.85);
+        let decision = eager.plan(&chain, &placement, Gbps::new(1.7));
+        assert!(decision.plan().is_some());
+    }
+
+    #[test]
+    fn strategy_interface_reports_its_name() {
+        let planner = PamPlanner::new();
+        assert_eq!(planner.name(), "pam");
+        let (chain, placement) = figure1();
+        assert_eq!(
+            planner.decide(&chain, &placement, Gbps::new(1.0)),
+            Decision::NoAction
+        );
+    }
+
+    /// Strategy used by the property test below to build arbitrary chains.
+    fn arbitrary_chain(n: usize, caps: &[(f64, f64, f64)]) -> (ChainModel, Placement) {
+        let vnfs = (0..n)
+            .map(|i| {
+                let (nic, cpu, lf) = caps[i % caps.len()];
+                VnfDescriptor::new(NfId::from(i), &format!("vnf{i}"), Gbps::new(nic), Gbps::new(cpu))
+                    .with_load_factor(lf)
+            })
+            .collect();
+        let chain = ChainModel::new("prop", Endpoint::Host, Endpoint::Wire, vnfs);
+        // Alternate initial placement: last position on CPU, rest on the NIC
+        // (mirrors the Figure 1 shape at any length).
+        let devices = (0..n)
+            .map(|i| if i + 1 == n { Device::Cpu } else { Device::SmartNic })
+            .collect();
+        (chain, Placement::from_devices(devices))
+    }
+
+    proptest! {
+        /// Three invariants of the PAM planner, over random chains and loads:
+        /// (1) it only ever migrates NIC→CPU and each vNF at most once;
+        /// (2) executing the plan never increases the PCIe crossing count;
+        /// (3) if it returns a plan, the CPU is not overloaded afterwards
+        ///     under the linear model and the NIC is relieved.
+        #[test]
+        fn pam_invariants(
+            len in 2usize..9,
+            offered in 0.5f64..4.0,
+            caps in proptest::collection::vec((1.0f64..12.0, 1.0f64..12.0, 0.1f64..1.0), 1..6),
+        ) {
+            let (chain, placement) = arbitrary_chain(len, &caps);
+            let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(offered));
+            if let Decision::Migrate(plan) = decision {
+                // (1) moves are NIC → CPU, no duplicates.
+                let mut seen = std::collections::HashSet::new();
+                for mv in &plan.moves {
+                    prop_assert_eq!(mv.from, Device::SmartNic);
+                    prop_assert_eq!(mv.to, Device::Cpu);
+                    prop_assert!(seen.insert(mv.nf), "vNF migrated twice");
+                }
+                // (2) crossings never increase.
+                let before = placement.pcie_crossings(&chain);
+                let mut after = placement.clone();
+                for mv in &plan.moves {
+                    after.set(mv.nf, mv.to).unwrap();
+                }
+                prop_assert!(after.pcie_crossings(&chain) <= before);
+                // (3) post-plan feasibility under the model.
+                let model = ResourceModel::new(&chain, &after, Gbps::new(offered));
+                prop_assert!(!model.is_overloaded(Device::SmartNic, 1.0));
+                prop_assert!(model.device_utilisation(Device::Cpu).value() < 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Migration plans and planner decisions.
+
+use std::fmt;
+
+use pam_types::{Device, NfId};
+use serde::{Deserialize, Serialize};
+
+/// One vNF migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationMove {
+    /// The position being migrated.
+    pub nf: NfId,
+    /// The device it leaves.
+    pub from: Device,
+    /// The device it moves to.
+    pub to: Device,
+}
+
+impl fmt::Display for MigrationMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.nf, self.from.label(), self.to.label())
+    }
+}
+
+/// An ordered list of migrations produced by a strategy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The migrations, in execution order.
+    pub moves: Vec<MigrationMove>,
+}
+
+impl MigrationPlan {
+    /// An empty plan.
+    pub fn empty() -> Self {
+        MigrationPlan { moves: Vec::new() }
+    }
+
+    /// A plan with a single move.
+    pub fn single(nf: NfId, from: Device, to: Device) -> Self {
+        MigrationPlan {
+            moves: vec![MigrationMove { nf, from, to }],
+        }
+    }
+
+    /// Appends a move.
+    pub fn push(&mut self, nf: NfId, from: Device, to: Device) {
+        self.moves.push(MigrationMove { nf, from, to });
+    }
+
+    /// Number of migrations in the plan.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// True when the plan migrates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The positions migrated by the plan, in order.
+    pub fn migrated_nfs(&self) -> Vec<NfId> {
+        self.moves.iter().map(|m| m.nf).collect()
+    }
+
+    /// True when the plan migrates `nf`.
+    pub fn migrates(&self, nf: NfId) -> bool {
+        self.moves.iter().any(|m| m.nf == nf)
+    }
+}
+
+impl fmt::Display for MigrationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.moves.is_empty() {
+            return write!(f, "(no migration)");
+        }
+        let moves: Vec<String> = self.moves.iter().map(|m| m.to_string()).collect();
+        write!(f, "{}", moves.join(", "))
+    }
+}
+
+/// What a migration strategy decided to do about the current load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// No device is overloaded; leave the placement alone.
+    NoAction,
+    /// Execute the contained migrations.
+    Migrate(MigrationPlan),
+    /// Migration cannot relieve the overload (both devices saturated or no
+    /// feasible candidate); the operator must scale out a new instance.
+    ScaleOut,
+}
+
+impl Decision {
+    /// The migration plan, if the decision is to migrate.
+    pub fn plan(&self) -> Option<&MigrationPlan> {
+        match self {
+            Decision::Migrate(plan) => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// True when the decision is to do nothing.
+    pub fn is_no_action(&self) -> bool {
+        matches!(self, Decision::NoAction)
+    }
+
+    /// True when the decision is to scale out.
+    pub fn is_scale_out(&self) -> bool {
+        matches!(self, Decision::ScaleOut)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::NoAction => write!(f, "no action"),
+            Decision::Migrate(plan) => write!(f, "migrate [{plan}]"),
+            Decision::ScaleOut => write!(f, "scale out"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_building_and_queries() {
+        let mut plan = MigrationPlan::empty();
+        assert!(plan.is_empty());
+        plan.push(NfId::new(2), Device::SmartNic, Device::Cpu);
+        plan.push(NfId::new(1), Device::SmartNic, Device::Cpu);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.migrated_nfs(), vec![NfId::new(2), NfId::new(1)]);
+        assert!(plan.migrates(NfId::new(2)));
+        assert!(!plan.migrates(NfId::new(0)));
+        assert_eq!(plan.to_string(), "nf2: NIC -> CPU, nf1: NIC -> CPU");
+    }
+
+    #[test]
+    fn single_move_plan() {
+        let plan = MigrationPlan::single(NfId::new(3), Device::Cpu, Device::SmartNic);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.moves[0].to, Device::SmartNic);
+        assert_eq!(plan.moves[0].to_string(), "nf3: CPU -> NIC");
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let plan = MigrationPlan::single(NfId::new(2), Device::SmartNic, Device::Cpu);
+        let migrate = Decision::Migrate(plan.clone());
+        assert_eq!(migrate.plan(), Some(&plan));
+        assert!(!migrate.is_no_action());
+        assert!(!migrate.is_scale_out());
+        assert!(Decision::NoAction.is_no_action());
+        assert!(Decision::ScaleOut.is_scale_out());
+        assert_eq!(Decision::NoAction.plan(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Decision::NoAction.to_string(), "no action");
+        assert_eq!(Decision::ScaleOut.to_string(), "scale out");
+        assert_eq!(MigrationPlan::empty().to_string(), "(no migration)");
+        let d = Decision::Migrate(MigrationPlan::single(
+            NfId::new(2),
+            Device::SmartNic,
+            Device::Cpu,
+        ));
+        assert_eq!(d.to_string(), "migrate [nf2: NIC -> CPU]");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Decision::Migrate(MigrationPlan::single(
+            NfId::new(1),
+            Device::SmartNic,
+            Device::Cpu,
+        ));
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<Decision>(&json).unwrap(), d);
+    }
+}

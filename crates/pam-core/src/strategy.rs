@@ -1,0 +1,127 @@
+//! The common interface migration strategies expose to the orchestrator.
+
+use pam_types::Gbps;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ChainModel, Placement};
+use crate::naive::{NaiveBottleneck, NaiveMinCapacity, NoMigration};
+use crate::pam::PamPlanner;
+use crate::plan::Decision;
+
+/// A migration-selection strategy: given the chain, its current placement and
+/// the offered load, decide what (if anything) to migrate.
+pub trait MigrationStrategy: Send + Sync {
+    /// A short machine-readable name used in reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Produces a decision for the current situation.
+    fn decide(&self, chain: &ChainModel, placement: &Placement, offered: Gbps) -> Decision;
+}
+
+/// The strategies the experiments compare, as a plain enum so scenarios and
+/// CLI flags can name them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// No migration at all (the "Original" bar).
+    Original,
+    /// UNO-style bottleneck migration (the "Naive" bar).
+    NaiveBottleneck,
+    /// The literal §3 minimum-capacity baseline.
+    NaiveMinCapacity,
+    /// Push-aside migration (the "PAM" bar).
+    Pam,
+}
+
+impl StrategyKind {
+    /// Every strategy, in the order the paper's figures present them.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Original,
+        StrategyKind::NaiveBottleneck,
+        StrategyKind::NaiveMinCapacity,
+        StrategyKind::Pam,
+    ];
+
+    /// The three strategies shown in Figure 2.
+    pub const FIGURE2: [StrategyKind; 3] = [
+        StrategyKind::Original,
+        StrategyKind::NaiveBottleneck,
+        StrategyKind::Pam,
+    ];
+
+    /// Builds the strategy implementation.
+    pub fn build(self) -> Box<dyn MigrationStrategy> {
+        match self {
+            StrategyKind::Original => Box::new(NoMigration::new()),
+            StrategyKind::NaiveBottleneck => Box::new(NaiveBottleneck::new()),
+            StrategyKind::NaiveMinCapacity => Box::new(NaiveMinCapacity::new()),
+            StrategyKind::Pam => Box::new(PamPlanner::new()),
+        }
+    }
+
+    /// The label the paper's figures use.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Original => "Original",
+            StrategyKind::NaiveBottleneck => "Naive",
+            StrategyKind::NaiveMinCapacity => "Naive (min θS)",
+            StrategyKind::Pam => "PAM",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::{Device, NfId};
+
+    #[test]
+    fn every_kind_builds_a_strategy_with_a_distinct_name() {
+        let names: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.build().name()).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(StrategyKind::FIGURE2.len(), 3);
+    }
+
+    #[test]
+    fn built_strategies_agree_with_direct_construction_on_figure1() {
+        let chain = ChainModel::figure1_example();
+        let placement = Placement::figure1_initial();
+        let offered = Gbps::new(2.2);
+
+        let pam = StrategyKind::Pam.build().decide(&chain, &placement, offered);
+        assert_eq!(pam.plan().unwrap().moves[0].nf, NfId::new(2));
+        assert_eq!(pam.plan().unwrap().moves[0].to, Device::Cpu);
+
+        let naive = StrategyKind::NaiveBottleneck
+            .build()
+            .decide(&chain, &placement, offered);
+        assert_eq!(naive.plan().unwrap().moves[0].nf, NfId::new(1));
+
+        let original = StrategyKind::Original
+            .build()
+            .decide(&chain, &placement, offered);
+        assert!(original.is_no_action());
+    }
+
+    #[test]
+    fn labels_match_the_figures() {
+        assert_eq!(StrategyKind::Original.label(), "Original");
+        assert_eq!(StrategyKind::NaiveBottleneck.label(), "Naive");
+        assert_eq!(StrategyKind::Pam.to_string(), "PAM");
+        assert_eq!(StrategyKind::NaiveMinCapacity.to_string(), "Naive (min θS)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for kind in StrategyKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            assert_eq!(serde_json::from_str::<StrategyKind>(&json).unwrap(), kind);
+        }
+    }
+}

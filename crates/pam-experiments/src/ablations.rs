@@ -1,0 +1,315 @@
+//! Ablation experiments (A2–A4) beyond the poster's own evaluation.
+
+use pam_core::{
+    ChainModel, Decision, LatencyModel, Placement, ResourceModel, StrategyKind, VnfDescriptor,
+};
+use pam_nf::{NfKind, ServiceChainSpec};
+use pam_runtime::{ChainRuntime, RuntimeConfig};
+use pam_sim::SimRng;
+use pam_traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer,
+    TrafficSchedule,
+};
+use pam_types::{ByteSize, Device, Endpoint, Gbps, NfId, SimDuration};
+
+use crate::report::render_table;
+
+/// A3 — one row of the PCIe crossing-latency sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieSweepRow {
+    /// One-way PCIe crossing latency.
+    pub crossing_latency: SimDuration,
+    /// Chain latency of the original placement (analytical model).
+    pub original: SimDuration,
+    /// Chain latency after the naive migration.
+    pub naive: SimDuration,
+    /// Chain latency after the PAM migration.
+    pub pam: SimDuration,
+    /// PAM's latency reduction vs naive, in percent.
+    pub pam_reduction_percent: f64,
+}
+
+/// A3 — how the naive-vs-PAM latency gap scales with the PCIe crossing cost.
+pub fn pcie_sweep(crossing_latencies: &[SimDuration]) -> Vec<PcieSweepRow> {
+    let chain = ChainModel::figure1_example();
+    let original = Placement::figure1_initial();
+    let mut naive = original.clone();
+    naive.set(NfId::new(1), Device::Cpu).unwrap();
+    let mut pam = original.clone();
+    pam.set(NfId::new(2), Device::Cpu).unwrap();
+
+    crossing_latencies
+        .iter()
+        .map(|&latency| {
+            let model = LatencyModel::with_crossing_latency(latency);
+            let l_orig = model.chain_latency(&chain, &original);
+            let l_naive = model.chain_latency(&chain, &naive);
+            let l_pam = model.chain_latency(&chain, &pam);
+            let reduction = (l_naive.as_nanos() as f64 - l_pam.as_nanos() as f64)
+                / l_naive.as_nanos().max(1) as f64
+                * 100.0;
+            PcieSweepRow {
+                crossing_latency: latency,
+                original: l_orig,
+                naive: l_naive,
+                pam: l_pam,
+                pam_reduction_percent: reduction,
+            }
+        })
+        .collect()
+}
+
+/// Renders the A3 sweep.
+pub fn render_pcie_sweep(rows: &[PcieSweepRow]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}", r.crossing_latency.as_micros_f64()),
+                format!("{:.1}", r.original.as_micros_f64()),
+                format!("{:.1}", r.naive.as_micros_f64()),
+                format!("{:.1}", r.pam.as_micros_f64()),
+                format!("{:.1}%", r.pam_reduction_percent),
+            ]
+        })
+        .collect();
+    render_table(
+        "Ablation A3: chain latency vs PCIe crossing latency (us)",
+        &["crossing (us)", "Original", "Naive", "PAM", "PAM vs Naive"],
+        &rendered,
+    )
+}
+
+/// A2 — aggregate comparison of strategies over randomly generated chains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrategySweepSummary {
+    /// Scenarios in which the strategy produced a migration plan.
+    pub plans: usize,
+    /// Scenarios in which it reported scale-out.
+    pub scale_outs: usize,
+    /// Scenarios in which it relieved the SmartNIC (model-level check).
+    pub relieved: usize,
+    /// Total vNFs migrated across all scenarios.
+    pub total_moves: usize,
+    /// Total PCIe crossings added across all scenarios.
+    pub crossings_added: isize,
+}
+
+/// A2 — runs every strategy over `scenarios` random overloaded chains and
+/// summarises how often each relieves the overload and at what cost.
+pub fn strategy_sweep(scenarios: usize, seed: u64) -> Vec<(StrategyKind, StrategySweepSummary)> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut cases = Vec::new();
+    for _ in 0..scenarios {
+        let len = rng.index(6) + 3;
+        let vnfs: Vec<VnfDescriptor> = (0..len)
+            .map(|i| {
+                VnfDescriptor::new(
+                    NfId::from(i),
+                    &format!("vnf{i}"),
+                    Gbps::new(rng.uniform_range(1.5, 12.0)),
+                    Gbps::new(rng.uniform_range(1.5, 12.0)),
+                )
+                .with_load_factor(rng.uniform_range(0.2, 1.0))
+            })
+            .collect();
+        let chain = ChainModel::new("random", Endpoint::Host, Endpoint::Wire, vnfs);
+        // Figure-1 shaped initial placement: everything on the NIC except the
+        // last hop.
+        let devices = (0..len)
+            .map(|i| {
+                if i + 1 == len {
+                    Device::Cpu
+                } else {
+                    Device::SmartNic
+                }
+            })
+            .collect();
+        let placement = Placement::from_devices(devices);
+        // Offer load slightly above the NIC's sustainable point so the
+        // scenario is genuinely overloaded.
+        let sustainable = ResourceModel::new(&chain, &placement, Gbps::new(1.0))
+            .sustainable_throughput()
+            .as_gbps();
+        let offered = Gbps::new(sustainable * rng.uniform_range(1.05, 1.45));
+        cases.push((chain, placement, offered));
+    }
+
+    StrategyKind::ALL
+        .iter()
+        .map(|&kind| {
+            let strategy = kind.build();
+            let mut summary = StrategySweepSummary::default();
+            for (chain, placement, offered) in &cases {
+                match strategy.decide(chain, placement, *offered) {
+                    Decision::Migrate(plan) => {
+                        summary.plans += 1;
+                        summary.total_moves += plan.len();
+                        let mut after = placement.clone();
+                        for mv in &plan.moves {
+                            let _ = after.set(mv.nf, mv.to);
+                        }
+                        summary.crossings_added += after.pcie_crossings(chain) as isize
+                            - placement.pcie_crossings(chain) as isize;
+                        let model = ResourceModel::new(chain, &after, *offered);
+                        if !model.is_overloaded(Device::SmartNic, 1.0) {
+                            summary.relieved += 1;
+                        }
+                    }
+                    Decision::ScaleOut => summary.scale_outs += 1,
+                    Decision::NoAction => {}
+                }
+            }
+            (kind, summary)
+        })
+        .collect()
+}
+
+/// Renders the A2 sweep.
+pub fn render_strategy_sweep(rows: &[(StrategyKind, StrategySweepSummary)], scenarios: usize) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(kind, s)| {
+            vec![
+                kind.label().to_string(),
+                format!("{}", s.plans),
+                format!("{}", s.relieved),
+                format!("{}", s.scale_outs),
+                format!("{}", s.total_moves),
+                format!("{}", s.crossings_added),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!("Ablation A2: strategies over {scenarios} random overloaded chains"),
+        &["strategy", "plans", "relieved NIC", "scale-outs", "vNFs moved", "crossings added"],
+        &rendered,
+    )
+}
+
+/// A4 — one row of the migration-cost sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationCostRow {
+    /// Number of flows warmed into the monitor before migrating it.
+    pub flows: usize,
+    /// Serialised state size transferred over PCIe.
+    pub state_size: ByteSize,
+    /// Blackout (pause) duration of the migration.
+    pub blackout: SimDuration,
+}
+
+/// A4 — live-migration cost as a function of the migrating vNF's flow-table
+/// size (the reason PAM's border pick — the small Logger — also migrates
+/// faster than the naive pick — the large Monitor).
+pub fn migration_cost_sweep(flow_counts: &[usize]) -> Vec<MigrationCostRow> {
+    flow_counts
+        .iter()
+        .map(|&flows| {
+            let spec = ServiceChainSpec::new(
+                "monitor-only",
+                Endpoint::Wire,
+                Endpoint::Wire,
+                vec![NfKind::Monitor],
+            );
+            let placement = Placement::all_on(Device::SmartNic, 1);
+            let mut runtime =
+                ChainRuntime::new(spec, &placement, RuntimeConfig::evaluation_default()).unwrap();
+            // Warm the flow table with the requested number of flows.
+            let mut trace = TraceSynthesizer::new(TraceConfig {
+                sizes: PacketSizeProfile::Fixed(ByteSize::bytes(256)),
+                flows: FlowGeneratorConfig {
+                    flow_count: flows.max(1),
+                    zipf_exponent: 0.0,
+                    tcp_fraction: 1.0,
+                },
+                arrival: ArrivalProcess::Cbr,
+                schedule: TrafficSchedule::constant(
+                    Gbps::new(1.0),
+                    SimDuration::from_micros((flows.max(1) as u64) * 3),
+                ),
+                seed: 99,
+            });
+            runtime.run_to_completion(&mut trace);
+            let report = runtime
+                .live_migrate(NfId::new(0), Device::Cpu, runtime.now())
+                .unwrap();
+            MigrationCostRow {
+                flows: report.flows_transferred,
+                state_size: report.state_size,
+                blackout: report.blackout(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the A4 sweep.
+pub fn render_migration_cost(rows: &[MigrationCostRow]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.flows),
+                format!("{}", r.state_size),
+                format!("{:.1}", r.blackout.as_micros_f64()),
+            ]
+        })
+        .collect();
+    render_table(
+        "Ablation A4: live-migration cost vs flow-table size",
+        &["flows", "state transferred", "blackout (us)"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_sweep_gap_grows_with_crossing_latency() {
+        let rows = pcie_sweep(&[
+            SimDuration::from_micros(2),
+            SimDuration::from_micros(22),
+            SimDuration::from_micros(60),
+        ]);
+        assert_eq!(rows.len(), 3);
+        // The absolute naive-vs-PAM gap grows with the crossing latency.
+        let gap = |r: &PcieSweepRow| r.naive.as_nanos() - r.pam.as_nanos();
+        assert!(gap(&rows[2]) > gap(&rows[1]));
+        assert!(gap(&rows[1]) > gap(&rows[0]));
+        // PAM never exceeds naive.
+        assert!(rows.iter().all(|r| r.pam <= r.naive));
+        assert!(render_pcie_sweep(&rows).contains("PAM vs Naive"));
+    }
+
+    #[test]
+    fn strategy_sweep_shows_pam_never_adds_crossings() {
+        let rows = strategy_sweep(40, 7);
+        let pam = rows
+            .iter()
+            .find(|(k, _)| *k == StrategyKind::Pam)
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert!(pam.crossings_added <= 0);
+        let naive = rows
+            .iter()
+            .find(|(k, _)| *k == StrategyKind::NaiveBottleneck)
+            .map(|(_, s)| *s)
+            .unwrap();
+        // The naive baseline adds crossings over the sweep.
+        assert!(naive.crossings_added > 0);
+        // PAM relieves at least as many scenarios as it plans minus none.
+        assert_eq!(pam.relieved, pam.plans);
+        assert!(render_strategy_sweep(&rows, 40).contains("Naive"));
+    }
+
+    #[test]
+    fn migration_cost_grows_with_flow_count() {
+        let rows = migration_cost_sweep(&[100, 2000]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].flows > rows[0].flows);
+        assert!(rows[1].state_size > rows[0].state_size);
+        assert!(rows[1].blackout >= rows[0].blackout);
+        assert!(render_migration_cost(&rows).contains("blackout"));
+    }
+}

@@ -1,0 +1,78 @@
+//! `pam-repro` — regenerates the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! pam-repro table1      # Table 1: vNF capacities on SmartNIC and CPU
+//! pam-repro figure2a    # Figure 2(a): service chain latency
+//! pam-repro figure2b    # Figure 2(b): service chain throughput
+//! pam-repro ablations   # A2/A3/A4 ablation sweeps
+//! pam-repro quick       # a fast smoke run of figure 2 (reduced sweep)
+//! pam-repro all         # everything above
+//! ```
+
+use pam_experiments::ablations::{
+    migration_cost_sweep, pcie_sweep, render_migration_cost, render_pcie_sweep,
+    render_strategy_sweep, strategy_sweep,
+};
+use pam_experiments::figure2::{run_figure2, Figure2Config};
+use pam_experiments::table1::run_table1;
+use pam_types::SimDuration;
+
+fn print_table1() {
+    let results = run_table1(&[]);
+    println!("{}", results.render());
+    println!(
+        "worst relative error vs the paper's Table 1: {:.1}%\n",
+        results.worst_relative_error() * 100.0
+    );
+}
+
+fn print_figure2(config: &Figure2Config) {
+    let results = run_figure2(config);
+    println!("{}", results.render_latency());
+    println!(
+        "PAM reduces mean service-chain latency by {:.1}% vs the naive migration (paper: ~18%)\n",
+        results.pam_latency_reduction_vs_naive()
+    );
+    println!("{}", results.render_throughput());
+    println!();
+}
+
+fn print_ablations() {
+    let latencies: Vec<SimDuration> = [2u64, 5, 10, 22, 40, 60]
+        .iter()
+        .map(|&us| SimDuration::from_micros(us))
+        .collect();
+    println!("{}", render_pcie_sweep(&pcie_sweep(&latencies)));
+    println!();
+    let scenarios = 200;
+    println!(
+        "{}",
+        render_strategy_sweep(&strategy_sweep(scenarios, 2018), scenarios)
+    );
+    println!();
+    println!(
+        "{}",
+        render_migration_cost(&migration_cost_sweep(&[100, 1_000, 10_000, 50_000]))
+    );
+}
+
+fn main() {
+    let command = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match command.as_str() {
+        "table1" => print_table1(),
+        "figure2a" | "figure2b" | "figure2" => print_figure2(&Figure2Config::default()),
+        "quick" => print_figure2(&Figure2Config::quick()),
+        "ablations" => print_ablations(),
+        "all" => {
+            print_table1();
+            print_figure2(&Figure2Config::default());
+            print_ablations();
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("usage: pam-repro [table1|figure2a|figure2b|quick|ablations|all]");
+            std::process::exit(2);
+        }
+    }
+}

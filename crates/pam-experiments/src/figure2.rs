@@ -1,0 +1,320 @@
+//! E2/E3 — reproducing Figure 2: service-chain latency and throughput under
+//! the Original, Naive and PAM configurations.
+//!
+//! Each strategy is evaluated on the same Figure 1 scenario: traffic runs at
+//! a comfortable baseline, then fluctuates up to a level that overloads the
+//! SmartNIC; the orchestrator (running the strategy under test) reacts.
+//! Measurements follow the poster's reading:
+//!
+//! * **latency** — the "Original" bar is the chain *before migration*
+//!   (measured during the baseline phase: the poster compares PAM's
+//!   post-migration latency against the pre-migration latency and finds them
+//!   almost unchanged), while the Naive and PAM bars are measured after the
+//!   respective migration has settled;
+//! * **throughput** — all three bars are the delivered throughput during the
+//!   overload phase (for "Original" the overloaded SmartNIC keeps dropping,
+//!   which is why migration helps at all).
+//!
+//! The packet size is swept over the paper's 64 B – 1500 B set and the
+//! figures report the average across sizes, as in the poster.
+
+use pam_core::StrategyKind;
+use pam_orchestrator::{Orchestrator, OrchestratorConfig};
+use pam_types::{ByteSize, Gbps, SimDuration, SimTime};
+
+use crate::report::render_table;
+use crate::scenarios::Figure1Scenario;
+
+/// Configuration of the Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure2Config {
+    /// Packet sizes to sweep (averaged in the reported figures).
+    pub packet_sizes: Vec<ByteSize>,
+    /// The strategies to compare (defaults to the paper's three bars).
+    pub strategies: Vec<StrategyKind>,
+    /// The scenario template (loads, durations, seed).
+    pub scenario: Figure1Scenario,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            packet_sizes: pam_traffic::size::PAPER_SWEEP_SIZES
+                .iter()
+                .map(|&b| ByteSize::bytes(b))
+                .collect(),
+            strategies: StrategyKind::FIGURE2.to_vec(),
+            scenario: Figure1Scenario::default(),
+        }
+    }
+}
+
+impl Figure2Config {
+    /// A faster configuration for tests and smoke runs: two packet sizes and
+    /// shorter phases.
+    pub fn quick() -> Self {
+        Figure2Config {
+            packet_sizes: vec![ByteSize::bytes(256), ByteSize::bytes(1024)],
+            scenario: Figure1Scenario {
+                baseline_duration: SimDuration::from_millis(4),
+                overload_duration: SimDuration::from_millis(12),
+                ..Figure1Scenario::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// One bar of Figure 2 (averaged over the packet-size sweep).
+#[derive(Debug, Clone)]
+pub struct Figure2Row {
+    /// The strategy ("Original", "Naive", "PAM").
+    pub strategy: StrategyKind,
+    /// Mean service-chain latency.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile latency.
+    pub p99_latency: SimDuration,
+    /// Delivered throughput during the overload phase.
+    pub throughput: Gbps,
+    /// Mean PCIe crossings per delivered packet.
+    pub crossings_per_packet: f64,
+    /// vNFs migrated by the strategy.
+    pub migrations: usize,
+    /// Packets dropped in the overload phase (overload + migration drops).
+    pub dropped: u64,
+}
+
+/// The full Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure2Results {
+    /// One row per strategy.
+    pub rows: Vec<Figure2Row>,
+}
+
+impl Figure2Results {
+    /// The row for a strategy.
+    pub fn row(&self, strategy: StrategyKind) -> Option<&Figure2Row> {
+        self.rows.iter().find(|r| r.strategy == strategy)
+    }
+
+    /// PAM's latency reduction relative to the naive migration, in percent
+    /// (the paper reports ~18 %).
+    pub fn pam_latency_reduction_vs_naive(&self) -> f64 {
+        let (Some(naive), Some(pam)) = (
+            self.row(StrategyKind::NaiveBottleneck),
+            self.row(StrategyKind::Pam),
+        ) else {
+            return 0.0;
+        };
+        let naive_ns = naive.mean_latency.as_nanos() as f64;
+        let pam_ns = pam.mean_latency.as_nanos() as f64;
+        if naive_ns <= 0.0 {
+            return 0.0;
+        }
+        (naive_ns - pam_ns) / naive_ns * 100.0
+    }
+
+    /// Renders Figure 2(a): the latency comparison.
+    pub fn render_latency(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.strategy.label().to_string(),
+                    format!("{:.1}", row.mean_latency.as_micros_f64()),
+                    format!("{:.1}", row.p99_latency.as_micros_f64()),
+                    format!("{:.2}", row.crossings_per_packet),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figure 2(a): service chain latency",
+            &["strategy", "mean latency (us)", "p99 (us)", "PCIe crossings/pkt"],
+            &rows,
+        )
+    }
+
+    /// Renders Figure 2(b): the throughput comparison.
+    pub fn render_throughput(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.strategy.label().to_string(),
+                    format!("{:.2}", row.throughput.as_gbps()),
+                    format!("{}", row.migrations),
+                    format!("{}", row.dropped),
+                ]
+            })
+            .collect();
+        render_table(
+            "Figure 2(b): service chain throughput",
+            &["strategy", "throughput (Gbps)", "migrations", "drops (overload phase)"],
+            &rows,
+        )
+    }
+}
+
+struct SingleRun {
+    latency_mean: SimDuration,
+    latency_p99: SimDuration,
+    throughput: Gbps,
+    crossings_per_packet: f64,
+    migrations: usize,
+    dropped: u64,
+}
+
+/// Runs one strategy at one packet size and measures the relevant windows.
+fn run_single(strategy: StrategyKind, size: ByteSize, scenario: &Figure1Scenario) -> SingleRun {
+    let scenario = Figure1Scenario {
+        sizes: pam_traffic::PacketSizeProfile::Fixed(size),
+        ..scenario.clone()
+    };
+    let mut runtime = scenario.build_runtime().expect("scenario runtime");
+    let mut trace = scenario.build_trace();
+    let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(strategy));
+
+    let poll = orchestrator.config().poll_interval;
+    let onset = SimTime::ZERO + scenario.overload_onset();
+    let total = SimTime::ZERO + scenario.total_duration();
+    // Let the first half of the overload phase absorb the migration
+    // blackout and queue transients before measuring.
+    let settle = onset + (scenario.overload_duration / 2);
+
+    // Baseline phase: measure the pre-migration ("Original") latency window
+    // between 1 ms and the overload onset.
+    let baseline_measure_start = SimTime::from_millis(1).min(onset);
+    runtime.run_until(&mut trace, baseline_measure_start);
+    runtime.start_measurement(baseline_measure_start);
+
+    // Drive the control loop from the start (polling also happens during the
+    // baseline so the orchestrator proves it does not act without overload).
+    let mut next_poll = SimTime::ZERO + poll;
+    let mut baseline_report = None;
+    let mut drops_at_settle = 0;
+    let mut measuring_overload = false;
+    while next_poll <= total {
+        runtime.run_until(&mut trace, next_poll);
+        orchestrator.control_step(&mut runtime, next_poll);
+        if baseline_report.is_none() && next_poll >= onset {
+            baseline_report = Some(runtime.measure(next_poll));
+        }
+        if !measuring_overload && next_poll >= settle {
+            let outcome = runtime.outcome();
+            drops_at_settle = outcome.drops_overload + outcome.drops_migration;
+            runtime.start_measurement(next_poll);
+            measuring_overload = true;
+        }
+        next_poll += poll;
+    }
+    runtime.run_until(&mut trace, total);
+
+    let overload_report = runtime.measure(total);
+    let baseline_report = baseline_report.unwrap_or(overload_report);
+    let outcome = runtime.outcome();
+    let crossings_per_packet = if outcome.delivered > 0 {
+        outcome.pcie_crossings as f64 / outcome.delivered as f64
+    } else {
+        0.0
+    };
+
+    // Latency: Original = before migration; migrating strategies = after.
+    let (latency_mean, latency_p99) = if strategy == StrategyKind::Original {
+        (baseline_report.mean_latency, baseline_report.p99_latency)
+    } else {
+        (overload_report.mean_latency, overload_report.p99_latency)
+    };
+
+    SingleRun {
+        latency_mean,
+        latency_p99,
+        throughput: overload_report.delivered,
+        crossings_per_packet,
+        migrations: outcome.migrations.len(),
+        dropped: (outcome.drops_overload + outcome.drops_migration)
+            .saturating_sub(drops_at_settle),
+    }
+}
+
+/// Runs the full Figure 2 reproduction.
+pub fn run_figure2(config: &Figure2Config) -> Figure2Results {
+    let rows = config
+        .strategies
+        .iter()
+        .map(|&strategy| {
+            let runs: Vec<SingleRun> = config
+                .packet_sizes
+                .iter()
+                .map(|&size| run_single(strategy, size, &config.scenario))
+                .collect();
+            let n = runs.len().max(1) as f64;
+            let mean_latency = SimDuration::from_nanos(
+                (runs.iter().map(|r| r.latency_mean.as_nanos()).sum::<u64>() as f64 / n) as u64,
+            );
+            let p99_latency = SimDuration::from_nanos(
+                (runs.iter().map(|r| r.latency_p99.as_nanos()).sum::<u64>() as f64 / n) as u64,
+            );
+            let throughput =
+                Gbps::new(runs.iter().map(|r| r.throughput.as_gbps()).sum::<f64>() / n);
+            let crossings_per_packet =
+                runs.iter().map(|r| r.crossings_per_packet).sum::<f64>() / n;
+            let migrations = runs.iter().map(|r| r.migrations).max().unwrap_or(0);
+            let dropped = runs.iter().map(|r| r.dropped).sum::<u64>() / runs.len().max(1) as u64;
+            Figure2Row {
+                strategy,
+                mean_latency,
+                p99_latency,
+                throughput,
+                crossings_per_packet,
+                migrations,
+                dropped,
+            }
+        })
+        .collect();
+    Figure2Results { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figure2_reproduces_the_paper_shape() {
+        let results = run_figure2(&Figure2Config::quick());
+        let original = results.row(StrategyKind::Original).unwrap();
+        let naive = results.row(StrategyKind::NaiveBottleneck).unwrap();
+        let pam = results.row(StrategyKind::Pam).unwrap();
+
+        // Figure 2(a): PAM latency is well below naive and close to original.
+        assert!(pam.mean_latency < naive.mean_latency);
+        let reduction = results.pam_latency_reduction_vs_naive();
+        assert!(
+            (8.0..35.0).contains(&reduction),
+            "latency reduction {reduction:.1}% out of band"
+        );
+        let drift = (pam.mean_latency.as_micros_f64() - original.mean_latency.as_micros_f64())
+            .abs()
+            / original.mean_latency.as_micros_f64();
+        assert!(drift < 0.10, "PAM vs original drift {drift:.3}");
+
+        // Figure 2(b): both migrations beat the overloaded original; PAM is
+        // at least as good as naive.
+        assert!(naive.throughput.as_gbps() > original.throughput.as_gbps());
+        assert!(pam.throughput.as_gbps() >= naive.throughput.as_gbps() * 0.98);
+
+        // Crossing structure matches Figure 1.
+        assert!(naive.crossings_per_packet > pam.crossings_per_packet);
+        assert_eq!(original.migrations, 0);
+        assert_eq!(naive.migrations, 1);
+        assert_eq!(pam.migrations, 1);
+
+        // Rendering contains the paper's labels.
+        let latency_table = results.render_latency();
+        assert!(latency_table.contains("Original"));
+        assert!(latency_table.contains("PAM"));
+        let throughput_table = results.render_throughput();
+        assert!(throughput_table.contains("throughput (Gbps)"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The experiment harness: every table and figure of the poster, regenerated.
+//!
+//! | Experiment | Paper artefact | Entry point |
+//! |------------|----------------|-------------|
+//! | E1 | Table 1 — vNF capacities on SmartNIC and CPU | [`table1::run_table1`] |
+//! | E2 | Figure 2(a) — service-chain latency (Original / Naive / PAM) | [`figure2::run_figure2`] |
+//! | E3 | Figure 2(b) — service-chain throughput (Original / Naive / PAM) | [`figure2::run_figure2`] |
+//! | A1 | Ablation — algorithm decision time | `pam-bench/benches/algorithm_micro.rs` |
+//! | A2 | Ablation — strategy comparison over random chains | [`ablations::strategy_sweep`] |
+//! | A3 | Ablation — latency penalty vs PCIe crossing latency | [`ablations::pcie_sweep`] |
+//! | A4 | Ablation — live-migration cost vs flow-table size | [`ablations::migration_cost_sweep`] |
+//!
+//! Each experiment returns plain data rows plus a [`report`]-rendered text
+//! table whose layout mirrors the paper, so the benches' stdout doubles as
+//! the experiment record (`EXPERIMENTS.md` quotes it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figure2;
+pub mod report;
+pub mod scenarios;
+pub mod table1;
+
+pub use figure2::{run_figure2, Figure2Config, Figure2Results, Figure2Row};
+pub use scenarios::Figure1Scenario;
+pub use table1::{run_table1, Table1Results};

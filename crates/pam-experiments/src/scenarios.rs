@@ -1,0 +1,147 @@
+//! Evaluation scenarios.
+
+use pam_core::Placement;
+use pam_nf::{ProfileCatalog, ServiceChainSpec};
+use pam_runtime::{ChainRuntime, RuntimeConfig};
+use pam_traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer,
+    TrafficSchedule,
+};
+use pam_types::{ByteSize, Gbps, Result, SimDuration};
+
+/// The poster's Figure 1 scenario: the Firewall → Monitor → Logger → Load
+/// Balancer chain, Table 1 capacities with a sampling Logger, traffic that
+/// starts at a comfortable baseline and then fluctuates upward until the
+/// SmartNIC overloads.
+#[derive(Debug, Clone)]
+pub struct Figure1Scenario {
+    /// Offered load before the fluctuation.
+    pub baseline_load: Gbps,
+    /// Offered load after the fluctuation (overloads the SmartNIC).
+    pub overload_load: Gbps,
+    /// Duration of the baseline phase.
+    pub baseline_duration: SimDuration,
+    /// Duration of the overload phase.
+    pub overload_duration: SimDuration,
+    /// Packet sizes used by the sender.
+    pub sizes: PacketSizeProfile,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for Figure1Scenario {
+    fn default() -> Self {
+        Figure1Scenario {
+            baseline_load: Gbps::new(1.5),
+            overload_load: Gbps::new(2.2),
+            baseline_duration: SimDuration::from_millis(6),
+            overload_duration: SimDuration::from_millis(24),
+            sizes: PacketSizeProfile::paper_sweep(),
+            seed: pam_traffic::trace::DEFAULT_TRACE_SEED,
+        }
+    }
+}
+
+impl Figure1Scenario {
+    /// The scenario evaluated at a single fixed packet size (the paper sweeps
+    /// 64 B – 1500 B and reports the average; the sweep driver calls this per
+    /// size).
+    pub fn at_packet_size(size: ByteSize) -> Self {
+        Figure1Scenario {
+            sizes: PacketSizeProfile::Fixed(size),
+            ..Default::default()
+        }
+    }
+
+    /// Total duration of the scenario.
+    pub fn total_duration(&self) -> SimDuration {
+        self.baseline_duration + self.overload_duration
+    }
+
+    /// When the traffic fluctuation (overload onset) happens.
+    pub fn overload_onset(&self) -> SimDuration {
+        self.baseline_duration
+    }
+
+    /// The chain specification.
+    pub fn chain_spec(&self) -> ServiceChainSpec {
+        ServiceChainSpec::figure1()
+    }
+
+    /// The initial placement (Figure 1a).
+    pub fn initial_placement(&self) -> Placement {
+        Placement::figure1_initial()
+    }
+
+    /// The capacity catalogue (Table 1 with the sampling Logger).
+    pub fn catalog(&self) -> ProfileCatalog {
+        ProfileCatalog::figure1_scenario()
+    }
+
+    /// The runtime configuration.
+    pub fn runtime_config(&self) -> RuntimeConfig {
+        RuntimeConfig::evaluation_default().with_catalog(self.catalog())
+    }
+
+    /// Builds the runtime with the initial placement.
+    pub fn build_runtime(&self) -> Result<ChainRuntime> {
+        ChainRuntime::new(
+            self.chain_spec(),
+            &self.initial_placement(),
+            self.runtime_config(),
+        )
+    }
+
+    /// Builds the traffic for this scenario.
+    pub fn build_trace(&self) -> TraceSynthesizer {
+        TraceSynthesizer::new(TraceConfig {
+            sizes: self.sizes.clone(),
+            flows: FlowGeneratorConfig {
+                flow_count: 5_000,
+                zipf_exponent: 1.0,
+                tcp_fraction: 0.8,
+            },
+            arrival: ArrivalProcess::Cbr,
+            schedule: TrafficSchedule::step_overload(
+                self.baseline_load,
+                self.baseline_duration,
+                self.overload_load,
+                self.overload_duration,
+            ),
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_core::ResourceModel;
+    use pam_types::Device;
+
+    #[test]
+    fn default_scenario_overloads_the_nic_only_after_the_onset() {
+        let scenario = Figure1Scenario::default();
+        let runtime = scenario.build_runtime().unwrap();
+        let chain = runtime.chain_model();
+        let placement = scenario.initial_placement();
+        let before = ResourceModel::new(&chain, &placement, scenario.baseline_load);
+        let after = ResourceModel::new(&chain, &placement, scenario.overload_load);
+        assert!(!before.is_overloaded(Device::SmartNic, 1.0));
+        assert!(after.is_overloaded(Device::SmartNic, 1.0));
+        assert!(!after.is_overloaded(Device::Cpu, 1.0));
+        assert_eq!(scenario.total_duration(), SimDuration::from_millis(30));
+        assert_eq!(scenario.overload_onset(), SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn fixed_size_scenario_uses_that_size() {
+        let scenario = Figure1Scenario::at_packet_size(ByteSize::bytes(256));
+        assert_eq!(
+            scenario.sizes,
+            PacketSizeProfile::Fixed(ByteSize::bytes(256))
+        );
+        let trace = scenario.build_trace();
+        assert_eq!(trace.config().seed, pam_traffic::trace::DEFAULT_TRACE_SEED);
+    }
+}

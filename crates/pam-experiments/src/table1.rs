@@ -1,0 +1,102 @@
+//! E1 — reproducing Table 1: vNF capacities on the SmartNIC and CPU.
+
+use pam_nf::{NfKind, ProfileCatalog};
+use pam_runtime::{probe_capacity, CapacityProbeResult};
+use pam_types::Device;
+
+use crate::report::render_table;
+
+/// The measured capacities of one vNF kind on both devices.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// The vNF kind.
+    pub kind: NfKind,
+    /// Probe result on the SmartNIC.
+    pub nic: CapacityProbeResult,
+    /// Probe result on the CPU.
+    pub cpu: CapacityProbeResult,
+}
+
+/// The full Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Results {
+    /// One row per vNF kind, in the paper's column order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Results {
+    /// Renders the table in the paper's layout (vNFs as columns are awkward
+    /// in plain text, so vNFs are rows here; the numbers are what matters).
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                vec![
+                    row.kind.name().to_string(),
+                    format!("{:.2}", row.nic.measured.as_gbps()),
+                    format!("{:.2}", row.nic.configured.as_gbps()),
+                    format!("{:.2}", row.cpu.measured.as_gbps()),
+                    format!("{:.2}", row.cpu.configured.as_gbps()),
+                ]
+            })
+            .collect();
+        render_table(
+            "Table 1: capacity of vNFs on the SmartNIC and CPU (Gbps)",
+            &[
+                "vNF",
+                "θS measured",
+                "θS paper",
+                "θC measured",
+                "θC paper",
+            ],
+            &rows,
+        )
+    }
+
+    /// The worst relative error across every measurement.
+    pub fn worst_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| [r.nic.relative_error(), r.cpu.relative_error()])
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the capacity probe for every vNF of the paper's Table 1 on both
+/// devices. `kinds` defaults to the paper's four vNFs when empty.
+pub fn run_table1(kinds: &[NfKind]) -> Table1Results {
+    let catalog = ProfileCatalog::table1();
+    let kinds: Vec<NfKind> = if kinds.is_empty() {
+        NfKind::FIGURE1.to_vec()
+    } else {
+        kinds.to_vec()
+    };
+    let rows = kinds
+        .into_iter()
+        .map(|kind| Table1Row {
+            kind,
+            nic: probe_capacity(kind, Device::SmartNic, &catalog),
+            cpu: probe_capacity(kind, Device::Cpu, &catalog),
+        })
+        .collect();
+    Table1Results { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logger_row_reproduces_the_paper_within_tolerance() {
+        let results = run_table1(&[NfKind::Logger]);
+        assert_eq!(results.rows.len(), 1);
+        let row = &results.rows[0];
+        assert!((row.nic.measured.as_gbps() - 2.0).abs() / 2.0 < 0.1);
+        assert!((row.cpu.measured.as_gbps() - 4.0).abs() / 4.0 < 0.1);
+        assert!(results.worst_relative_error() < 0.1);
+        let text = results.render();
+        assert!(text.contains("Logger"));
+        assert!(text.contains("θS measured"));
+    }
+}

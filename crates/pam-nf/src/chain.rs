@@ -1,0 +1,257 @@
+//! Service-chain specifications.
+//!
+//! A [`ServiceChainSpec`] is the *logical* description of a chain: an ordered
+//! list of vNF positions between an ingress and an egress endpoint. Where
+//! each position currently runs (SmartNIC or CPU) is a separate concern —
+//! that is the `Placement` of `pam-core` — so the same spec can be evaluated
+//! under the original placement, the naive migration and PAM.
+
+use pam_types::{Endpoint, NfId, PamError, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::nf::NfKind;
+
+/// One position in a service chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NfSpec {
+    /// The kind of vNF at this position.
+    pub kind: NfKind,
+    /// Optional instance-specific label (e.g. "edge-firewall").
+    pub label: Option<String>,
+}
+
+impl NfSpec {
+    /// A spec with no label.
+    pub fn of(kind: NfKind) -> Self {
+        NfSpec { kind, label: None }
+    }
+
+    /// A spec with a label.
+    pub fn labeled(kind: NfKind, label: &str) -> Self {
+        NfSpec {
+            kind,
+            label: Some(label.to_string()),
+        }
+    }
+
+    /// The display name (label if present, kind name otherwise).
+    pub fn display_name(&self) -> String {
+        match &self.label {
+            Some(label) => label.clone(),
+            None => self.kind.name().to_string(),
+        }
+    }
+}
+
+/// A position in the chain together with its id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainPosition {
+    /// The position id (hop index).
+    pub id: NfId,
+    /// The vNF at this position.
+    pub spec: NfSpec,
+}
+
+/// An ordered service chain between two endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceChainSpec {
+    /// Chain name used in reports.
+    pub name: String,
+    /// Where traffic enters the chain.
+    pub ingress: Endpoint,
+    /// Where traffic leaves the chain.
+    pub egress: Endpoint,
+    positions: Vec<ChainPosition>,
+}
+
+impl ServiceChainSpec {
+    /// Creates a chain from an ordered list of vNF kinds.
+    pub fn new(name: &str, ingress: Endpoint, egress: Endpoint, kinds: Vec<NfKind>) -> Self {
+        let positions = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| ChainPosition {
+                id: NfId::from(i),
+                spec: NfSpec::of(kind),
+            })
+            .collect();
+        ServiceChainSpec {
+            name: name.to_string(),
+            ingress,
+            egress,
+            positions,
+        }
+    }
+
+    /// Creates a chain from labelled specs.
+    pub fn from_specs(
+        name: &str,
+        ingress: Endpoint,
+        egress: Endpoint,
+        specs: Vec<NfSpec>,
+    ) -> Self {
+        let positions = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| ChainPosition {
+                id: NfId::from(i),
+                spec,
+            })
+            .collect();
+        ServiceChainSpec {
+            name: name.to_string(),
+            ingress,
+            egress,
+            positions,
+        }
+    }
+
+    /// The poster's Figure 1 chain: traffic from the host traverses
+    /// Firewall → Monitor → Logger → Load Balancer and leaves on the wire.
+    /// The Firewall (next to the host-side ingress) and the Logger (next to
+    /// the CPU-resident Load Balancer) are the border vNFs of the initial
+    /// placement.
+    pub fn figure1() -> Self {
+        ServiceChainSpec::new(
+            "figure1",
+            Endpoint::Host,
+            Endpoint::Wire,
+            vec![
+                NfKind::Firewall,
+                NfKind::Monitor,
+                NfKind::Logger,
+                NfKind::LoadBalancer,
+            ],
+        )
+    }
+
+    /// The chain positions in order.
+    pub fn positions(&self) -> &[ChainPosition] {
+        &self.positions
+    }
+
+    /// The number of vNF positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the chain has no vNFs.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The kinds in chain order.
+    pub fn kinds(&self) -> Vec<NfKind> {
+        self.positions.iter().map(|p| p.spec.kind).collect()
+    }
+
+    /// Looks up a position by id.
+    pub fn position(&self, id: NfId) -> Result<&ChainPosition> {
+        self.positions
+            .get(id.index())
+            .ok_or(PamError::UnknownNf(id))
+    }
+
+    /// The upstream neighbour of a position (`None` when it is the first hop,
+    /// i.e. its neighbour is the ingress endpoint).
+    pub fn upstream_of(&self, id: NfId) -> Option<NfId> {
+        let index = id.index();
+        if index == 0 || index >= self.positions.len() {
+            None
+        } else {
+            Some(NfId::from(index - 1))
+        }
+    }
+
+    /// The downstream neighbour of a position (`None` when it is the last
+    /// hop, i.e. its neighbour is the egress endpoint).
+    pub fn downstream_of(&self, id: NfId) -> Option<NfId> {
+        let index = id.index();
+        if index + 1 >= self.positions.len() {
+            None
+        } else {
+            Some(NfId::from(index + 1))
+        }
+    }
+
+    /// Appends a position and returns its id.
+    pub fn push(&mut self, spec: NfSpec) -> NfId {
+        let id = NfId::from(self.positions.len());
+        self.positions.push(ChainPosition { id, spec });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_chain_matches_the_paper() {
+        let chain = ServiceChainSpec::figure1();
+        assert_eq!(chain.name, "figure1");
+        assert_eq!(
+            chain.kinds(),
+            vec![
+                NfKind::Firewall,
+                NfKind::Monitor,
+                NfKind::Logger,
+                NfKind::LoadBalancer
+            ]
+        );
+        assert_eq!(chain.len(), 4);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.ingress, Endpoint::Host);
+        assert_eq!(chain.egress, Endpoint::Wire);
+    }
+
+    #[test]
+    fn neighbours_follow_chain_order() {
+        let chain = ServiceChainSpec::figure1();
+        let firewall = NfId::new(0);
+        let monitor = NfId::new(1);
+        let lb = NfId::new(3);
+        assert_eq!(chain.upstream_of(firewall), None);
+        assert_eq!(chain.downstream_of(firewall), Some(monitor));
+        assert_eq!(chain.upstream_of(monitor), Some(firewall));
+        assert_eq!(chain.downstream_of(lb), None);
+        assert_eq!(chain.upstream_of(NfId::new(99)), None);
+        assert_eq!(chain.downstream_of(NfId::new(99)), None);
+    }
+
+    #[test]
+    fn position_lookup_and_errors() {
+        let chain = ServiceChainSpec::figure1();
+        assert_eq!(chain.position(NfId::new(2)).unwrap().spec.kind, NfKind::Logger);
+        assert!(matches!(
+            chain.position(NfId::new(7)),
+            Err(PamError::UnknownNf(_))
+        ));
+    }
+
+    #[test]
+    fn labelled_specs_and_push() {
+        let mut chain = ServiceChainSpec::from_specs(
+            "edge",
+            Endpoint::Wire,
+            Endpoint::Host,
+            vec![
+                NfSpec::labeled(NfKind::Firewall, "edge-fw"),
+                NfSpec::of(NfKind::Nat),
+            ],
+        );
+        assert_eq!(chain.positions()[0].spec.display_name(), "edge-fw");
+        assert_eq!(chain.positions()[1].spec.display_name(), "NAT");
+        let id = chain.push(NfSpec::of(NfKind::Dpi));
+        assert_eq!(id, NfId::new(2));
+        assert_eq!(chain.len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let chain = ServiceChainSpec::figure1();
+        let json = serde_json::to_string(&chain).unwrap();
+        let back: ServiceChainSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, chain);
+    }
+}

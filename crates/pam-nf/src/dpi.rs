@@ -1,0 +1,286 @@
+//! A deep-packet-inspection vNF.
+//!
+//! Scans transport payloads for a set of byte-pattern signatures and drops
+//! (or just flags) matching packets. The scanner is a straightforward
+//! multi-pattern search; the point here is not string-matching throughput but
+//! having a payload-touching vNF whose capacity profile is far lower than the
+//! header-only vNFs, which the ablation experiments use to build chains with
+//! different hot-spot positions.
+
+use pam_types::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// One DPI signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpiRule {
+    /// Human-readable rule name.
+    pub name: String,
+    /// The byte pattern to search for in the transport payload.
+    pub pattern: Vec<u8>,
+    /// Whether matching packets are dropped (true) or just counted (false).
+    pub drop_on_match: bool,
+}
+
+impl DpiRule {
+    /// A dropping rule.
+    pub fn drop(name: &str, pattern: &[u8]) -> Self {
+        DpiRule {
+            name: name.to_string(),
+            pattern: pattern.to_vec(),
+            drop_on_match: true,
+        }
+    }
+
+    /// An alert-only rule.
+    pub fn alert(name: &str, pattern: &[u8]) -> Self {
+        DpiRule {
+            name: name.to_string(),
+            pattern: pattern.to_vec(),
+            drop_on_match: false,
+        }
+    }
+}
+
+/// Serialised DPI state (rules and counters).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct DpiState {
+    rules: Vec<DpiRule>,
+    scanned: u64,
+    matches: Vec<u64>,
+    dropped: u64,
+}
+
+/// The DPI vNF.
+#[derive(Debug)]
+pub struct DpiEngine {
+    rules: Vec<DpiRule>,
+    scanned: u64,
+    matches: Vec<u64>,
+    dropped: u64,
+}
+
+impl DpiEngine {
+    /// Creates a DPI engine with the given signatures.
+    pub fn new(rules: Vec<DpiRule>) -> Self {
+        let matches = vec![0; rules.len()];
+        DpiEngine {
+            rules,
+            scanned: 0,
+            matches,
+            dropped: 0,
+        }
+    }
+
+    /// The rule set used by the examples: a few classic probe signatures.
+    pub fn evaluation_default() -> Self {
+        DpiEngine::new(vec![
+            DpiRule::drop("exploit-shellcode", b"\x90\x90\x90\x90\x90\x90\x90\x90"),
+            DpiRule::drop("sql-injection", b"' OR '1'='1"),
+            DpiRule::alert("plaintext-password", b"password="),
+        ])
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[DpiRule] {
+        &self.rules
+    }
+
+    /// Packets scanned.
+    pub fn scanned(&self) -> u64 {
+        self.scanned
+    }
+
+    /// Packets dropped by a matching drop rule.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Match count per rule, in rule order.
+    pub fn match_counts(&self) -> &[u64] {
+        &self.matches
+    }
+
+    fn payload_contains(payload: &[u8], pattern: &[u8]) -> bool {
+        if pattern.is_empty() || pattern.len() > payload.len() {
+            return false;
+        }
+        payload.windows(pattern.len()).any(|w| w == pattern)
+    }
+}
+
+impl NetworkFunction for DpiEngine {
+    fn kind(&self) -> NfKind {
+        NfKind::Dpi
+    }
+
+    fn process(&mut self, packet: &mut Packet, _ctx: &NfContext) -> NfVerdict {
+        self.scanned += 1;
+        let payload = packet.transport_payload();
+        if payload.is_empty() {
+            return NfVerdict::Forward;
+        }
+        let mut verdict = NfVerdict::Forward;
+        for (index, rule) in self.rules.iter().enumerate() {
+            if Self::payload_contains(payload, &rule.pattern) {
+                self.matches[index] += 1;
+                if rule.drop_on_match {
+                    verdict = NfVerdict::Drop;
+                }
+            }
+        }
+        if verdict == NfVerdict::Drop {
+            self.dropped += 1;
+        }
+        verdict
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = DpiState {
+            rules: self.rules.clone(),
+            scanned: self.scanned,
+            matches: self.matches.clone(),
+            dropped: self.dropped,
+        };
+        NfState::encode(NfKind::Dpi, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: DpiState = state.decode(NfKind::Dpi)?;
+        self.rules = decoded.rules;
+        self.scanned = decoded.scanned;
+        self.matches = decoded.matches;
+        self.matches.resize(self.rules.len(), 0);
+        self.dropped = decoded.dropped;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.scanned = 0;
+        self.matches = vec![0; self.rules.len()];
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{EthernetFrame, Ipv4Packet, PacketBuilder, TransportKind, UdpDatagram};
+
+    /// Builds a UDP packet whose payload contains `needle` somewhere inside filler.
+    fn packet_with_payload(needle: &[u8]) -> Packet {
+        let total = 64 + needle.len() + 200;
+        let mut bytes = PacketBuilder::new()
+            .transport(TransportKind::Udp)
+            .total_len(total)
+            .payload_byte(b'x')
+            .build();
+        // Splice the needle into the middle of the UDP payload and refresh the
+        // UDP checksum so the packet stays wire-valid.
+        let eth_payload_start = 14;
+        let (src, dst);
+        {
+            let ip = Ipv4Packet::new_checked(&bytes[eth_payload_start..]).unwrap();
+            src = ip.src_addr().octets();
+            dst = ip.dst_addr().octets();
+        }
+        let udp_start = eth_payload_start + 20;
+        let mut udp = UdpDatagram::new_unchecked(&mut bytes[udp_start..]);
+        let payload = udp.payload_mut();
+        let offset = 50;
+        payload[offset..offset + needle.len()].copy_from_slice(needle);
+        udp.fill_checksum(src, dst);
+        // Sanity: the frame still parses.
+        EthernetFrame::new_checked(&bytes[..]).unwrap();
+        Packet::from_bytes(0, bytes, SimTime::ZERO)
+    }
+
+    #[test]
+    fn clean_traffic_is_forwarded() {
+        let mut dpi = DpiEngine::evaluation_default();
+        let mut p = packet_with_payload(b"hello world");
+        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(dpi.scanned(), 1);
+        assert_eq!(dpi.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_rule_drops_matching_packets() {
+        let mut dpi = DpiEngine::evaluation_default();
+        let mut p = packet_with_payload(b"' OR '1'='1");
+        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(dpi.dropped(), 1);
+        assert_eq!(dpi.match_counts()[1], 1);
+    }
+
+    #[test]
+    fn alert_rule_counts_but_forwards() {
+        let mut dpi = DpiEngine::evaluation_default();
+        let mut p = packet_with_payload(b"password=hunter2");
+        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(dpi.match_counts()[2], 1);
+        assert_eq!(dpi.dropped(), 0);
+    }
+
+    #[test]
+    fn multiple_rules_can_match_one_packet() {
+        let mut dpi = DpiEngine::new(vec![
+            DpiRule::alert("a", b"password="),
+            DpiRule::drop("b", b"hunter2"),
+        ]);
+        let mut p = packet_with_payload(b"password=hunter2");
+        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(dpi.match_counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn pattern_matching_edge_cases() {
+        assert!(!DpiEngine::payload_contains(b"abc", b""));
+        assert!(!DpiEngine::payload_contains(b"ab", b"abc"));
+        assert!(DpiEngine::payload_contains(b"abc", b"abc"));
+        assert!(DpiEngine::payload_contains(b"xxabcxx", b"abc"));
+        assert!(!DpiEngine::payload_contains(b"xxabXcxx", b"abc"));
+    }
+
+    #[test]
+    fn empty_payload_packets_are_forwarded() {
+        let mut dpi = DpiEngine::evaluation_default();
+        let bytes = PacketBuilder::new().transport(TransportKind::Udp).total_len(42).build();
+        let mut p = Packet::from_bytes(0, bytes, SimTime::ZERO);
+        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut dpi = DpiEngine::evaluation_default();
+        dpi.process(
+            &mut packet_with_payload(b"' OR '1'='1"),
+            &NfContext::at(SimTime::ZERO),
+        );
+        let state = dpi.export_state();
+        let mut restored = DpiEngine::new(vec![]);
+        restored.import_state(state).unwrap();
+        assert_eq!(restored.rules().len(), 3);
+        assert_eq!(restored.scanned(), 1);
+        assert_eq!(restored.dropped(), 1);
+        assert_eq!(restored.flow_count(), 0);
+        assert!(restored.import_state(NfState::empty(NfKind::Nat)).is_err());
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_rules() {
+        let mut dpi = DpiEngine::evaluation_default();
+        dpi.process(
+            &mut packet_with_payload(b"password=x"),
+            &NfContext::at(SimTime::ZERO),
+        );
+        dpi.reset();
+        assert_eq!(dpi.scanned(), 0);
+        assert_eq!(dpi.match_counts(), &[0, 0, 0]);
+        assert_eq!(dpi.rules().len(), 3);
+        assert_eq!(dpi.kind(), NfKind::Dpi);
+    }
+}

@@ -1,0 +1,383 @@
+//! A stateless 5-tuple firewall.
+//!
+//! Rules are evaluated in order; the first match decides. A rule matches on
+//! optional source/destination prefixes, optional destination-port range and
+//! optional protocol. The rule set is configuration rather than runtime
+//! state, but it is still exported during migration so the CPU-side instance
+//! enforces exactly the same policy the moment it takes over.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use pam_types::Result;
+use pam_wire::{FiveTuple, IpProtocol};
+use serde::{Deserialize, Serialize};
+
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// What a matching rule does with the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FirewallAction {
+    /// Let the packet continue through the chain.
+    Allow,
+    /// Drop the packet.
+    Deny,
+}
+
+/// An IPv4 prefix, e.g. `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address.
+    pub addr: Ipv4Addr,
+    /// Prefix length in bits (0–32).
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix; lengths above 32 are clamped.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        Prefix {
+            addr,
+            len: len.min(32),
+        }
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - u32::from(self.len));
+        (u32::from(addr) & mask) == (u32::from(self.addr) & mask)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+/// One firewall rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirewallRule {
+    /// Optional source prefix constraint.
+    pub src: Option<Prefix>,
+    /// Optional destination prefix constraint.
+    pub dst: Option<Prefix>,
+    /// Optional inclusive destination-port range.
+    pub dst_ports: Option<(u16, u16)>,
+    /// Optional protocol constraint.
+    pub protocol: Option<IpProtocol>,
+    /// Action when the rule matches.
+    pub action: FirewallAction,
+}
+
+impl FirewallRule {
+    /// A rule that allows everything (useful as an explicit default).
+    pub fn allow_all() -> Self {
+        FirewallRule {
+            src: None,
+            dst: None,
+            dst_ports: None,
+            protocol: None,
+            action: FirewallAction::Allow,
+        }
+    }
+
+    /// A rule denying a whole source prefix.
+    pub fn deny_src(prefix: Prefix) -> Self {
+        FirewallRule {
+            src: Some(prefix),
+            dst: None,
+            dst_ports: None,
+            protocol: None,
+            action: FirewallAction::Deny,
+        }
+    }
+
+    /// A rule denying a destination-port range for a protocol.
+    pub fn deny_dst_ports(protocol: IpProtocol, low: u16, high: u16) -> Self {
+        FirewallRule {
+            src: None,
+            dst: None,
+            dst_ports: Some((low, high)),
+            protocol: Some(protocol),
+            action: FirewallAction::Deny,
+        }
+    }
+
+    /// True when the rule matches the 5-tuple.
+    pub fn matches(&self, tuple: &FiveTuple) -> bool {
+        if let Some(src) = &self.src {
+            if !src.contains(tuple.src_ip) {
+                return false;
+            }
+        }
+        if let Some(dst) = &self.dst {
+            if !dst.contains(tuple.dst_ip) {
+                return false;
+            }
+        }
+        if let Some((low, high)) = self.dst_ports {
+            if tuple.dst_port < low || tuple.dst_port > high {
+                return false;
+            }
+        }
+        if let Some(protocol) = self.protocol {
+            if tuple.protocol != protocol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Counters the firewall keeps (observability only — not flow state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirewallCounters {
+    /// Packets allowed through.
+    pub allowed: u64,
+    /// Packets denied.
+    pub denied: u64,
+    /// Packets that failed to parse and were allowed through unchanged.
+    pub unparsed: u64,
+}
+
+/// The firewall vNF.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Firewall {
+    rules: Vec<FirewallRule>,
+    default_action: FirewallAction,
+    counters: FirewallCounters,
+}
+
+impl Firewall {
+    /// Creates a firewall with the given rules and default action.
+    pub fn new(rules: Vec<FirewallRule>, default_action: FirewallAction) -> Self {
+        Firewall {
+            rules,
+            default_action,
+            counters: FirewallCounters::default(),
+        }
+    }
+
+    /// The permissive firewall used by the paper-reproduction scenarios: a
+    /// small realistic rule set (bogon filtering and a blocked port range)
+    /// that passes the synthetic evaluation traffic.
+    pub fn evaluation_default() -> Self {
+        Firewall::new(
+            vec![
+                FirewallRule::deny_src(Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 8)),
+                FirewallRule::deny_src(Prefix::new(Ipv4Addr::new(127, 0, 0, 0), 8)),
+                FirewallRule::deny_dst_ports(IpProtocol::Tcp, 135, 139),
+                FirewallRule::deny_dst_ports(IpProtocol::Udp, 135, 139),
+            ],
+            FirewallAction::Allow,
+        )
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FirewallRule] {
+        &self.rules
+    }
+
+    /// Observability counters.
+    pub fn counters(&self) -> FirewallCounters {
+        self.counters
+    }
+
+    /// Evaluates the rule set against a 5-tuple.
+    pub fn evaluate(&self, tuple: &FiveTuple) -> FirewallAction {
+        for rule in &self.rules {
+            if rule.matches(tuple) {
+                return rule.action;
+            }
+        }
+        self.default_action
+    }
+}
+
+impl NetworkFunction for Firewall {
+    fn kind(&self) -> NfKind {
+        NfKind::Firewall
+    }
+
+    fn process(&mut self, packet: &mut Packet, _ctx: &NfContext) -> NfVerdict {
+        let Some(tuple) = packet.five_tuple() else {
+            // Non-IP traffic is outside the policy scope; pass it through.
+            self.counters.unparsed += 1;
+            return NfVerdict::Forward;
+        };
+        match self.evaluate(&tuple) {
+            FirewallAction::Allow => {
+                self.counters.allowed += 1;
+                NfVerdict::Forward
+            }
+            FirewallAction::Deny => {
+                self.counters.denied += 1;
+                NfVerdict::Drop
+            }
+        }
+    }
+
+    fn export_state(&self) -> NfState {
+        NfState::encode(NfKind::Firewall, self)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        *self = state.decode(NfKind::Firewall)?;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.counters = FirewallCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{PacketBuilder, TransportKind};
+
+    fn packet_to(dst_port: u16, src: Ipv4Addr) -> Packet {
+        let bytes = PacketBuilder::new()
+            .ips(src, Ipv4Addr::new(192, 168, 0, 10))
+            .ports(40_000, dst_port)
+            .transport(TransportKind::Tcp)
+            .total_len(128)
+            .build();
+        Packet::from_bytes(0, bytes, SimTime::ZERO)
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let p = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        assert!(p.contains(Ipv4Addr::new(10, 200, 3, 4)));
+        assert!(!p.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        assert!(Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0).contains(Ipv4Addr::new(8, 8, 8, 8)));
+        let host = Prefix::new(Ipv4Addr::new(10, 0, 0, 1), 32);
+        assert!(host.contains(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(!host.contains(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 40).len, 32);
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let fw = Firewall::new(
+            vec![
+                FirewallRule {
+                    src: Some(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
+                    dst: None,
+                    dst_ports: None,
+                    protocol: None,
+                    action: FirewallAction::Allow,
+                },
+                FirewallRule::deny_src(Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
+            ],
+            FirewallAction::Deny,
+        );
+        let tuple = FiveTuple::tcp(
+            Ipv4Addr::new(10, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            80,
+        );
+        assert_eq!(fw.evaluate(&tuple), FirewallAction::Allow);
+        // No rule matches a non-10/8 source; the default applies.
+        let other = FiveTuple::tcp(
+            Ipv4Addr::new(20, 1, 1, 1),
+            1,
+            Ipv4Addr::new(2, 2, 2, 2),
+            80,
+        );
+        assert_eq!(fw.evaluate(&other), FirewallAction::Deny);
+    }
+
+    #[test]
+    fn port_range_and_protocol_rules() {
+        let rule = FirewallRule::deny_dst_ports(IpProtocol::Tcp, 135, 139);
+        let inside = FiveTuple::tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            5,
+            Ipv4Addr::new(2, 2, 2, 2),
+            137,
+        );
+        let outside = FiveTuple::tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            5,
+            Ipv4Addr::new(2, 2, 2, 2),
+            140,
+        );
+        let udp = FiveTuple::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            5,
+            Ipv4Addr::new(2, 2, 2, 2),
+            137,
+        );
+        assert!(rule.matches(&inside));
+        assert!(!rule.matches(&outside));
+        assert!(!rule.matches(&udp));
+        assert!(FirewallRule::allow_all().matches(&udp));
+    }
+
+    #[test]
+    fn process_allows_and_denies() {
+        let mut fw = Firewall::evaluation_default();
+        let ctx = NfContext::at(SimTime::ZERO);
+
+        let mut ok = packet_to(443, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(fw.process(&mut ok, &ctx), NfVerdict::Forward);
+
+        let mut blocked_port = packet_to(137, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(fw.process(&mut blocked_port, &ctx), NfVerdict::Drop);
+
+        let mut bogon = packet_to(443, Ipv4Addr::new(127, 0, 0, 1));
+        assert_eq!(fw.process(&mut bogon, &ctx), NfVerdict::Drop);
+
+        let counters = fw.counters();
+        assert_eq!(counters.allowed, 1);
+        assert_eq!(counters.denied, 2);
+    }
+
+    #[test]
+    fn non_ip_traffic_is_forwarded() {
+        let mut fw = Firewall::evaluation_default();
+        let mut junk = Packet::from_bytes(0, vec![0u8; 16], SimTime::ZERO);
+        assert_eq!(
+            fw.process(&mut junk, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
+        assert_eq!(fw.counters().unparsed, 1);
+    }
+
+    #[test]
+    fn state_export_import_preserves_rules_and_counters() {
+        let mut fw = Firewall::evaluation_default();
+        let ctx = NfContext::at(SimTime::ZERO);
+        fw.process(&mut packet_to(443, Ipv4Addr::new(10, 0, 0, 1)), &ctx);
+        let state = fw.export_state();
+
+        let mut restored = Firewall::new(vec![], FirewallAction::Deny);
+        restored.import_state(state).unwrap();
+        assert_eq!(restored.rules().len(), fw.rules().len());
+        assert_eq!(restored.counters(), fw.counters());
+        assert_eq!(restored.kind(), NfKind::Firewall);
+        assert_eq!(restored.flow_count(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters_only() {
+        let mut fw = Firewall::evaluation_default();
+        fw.process(
+            &mut packet_to(80, Ipv4Addr::new(10, 0, 0, 1)),
+            &NfContext::at(SimTime::ZERO),
+        );
+        fw.reset();
+        assert_eq!(fw.counters(), FirewallCounters::default());
+        assert!(!fw.rules().is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! A bounded per-flow state table.
+//!
+//! Stateful vNFs (monitor, NAT, load balancer, rate limiter) key their state
+//! by [`FlowId`]. The table bounds the number of entries — SmartNIC memory is
+//! small — and evicts the oldest entry when full, which is also how the
+//! Netronome flow caches behave. The whole table can be exported/imported for
+//! OpenNF-style state migration.
+
+use std::collections::{HashMap, VecDeque};
+
+use pam_types::FlowId;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Statistics accumulated by a [`FlowTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserted: u64,
+    /// Entries evicted to make room.
+    pub evicted: u64,
+}
+
+/// A bounded flow-keyed table with FIFO eviction.
+#[derive(Debug, Clone)]
+pub struct FlowTable<V> {
+    entries: HashMap<u64, V>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    stats: FlowTableStats,
+}
+
+impl<V> FlowTable<V> {
+    /// Creates a table bounded to `capacity` entries (zero = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        FlowTable {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: FlowTableStats::default(),
+        }
+    }
+
+    /// The configured capacity (zero = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a flow (counts hit/miss).
+    pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut V> {
+        let found = self.entries.get_mut(&flow.raw());
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Looks up a flow without mutating statistics.
+    pub fn peek(&self, flow: FlowId) -> Option<&V> {
+        self.entries.get(&flow.raw())
+    }
+
+    /// Returns the entry for `flow`, inserting the value produced by `make`
+    /// if absent (evicting the oldest entry when at capacity).
+    pub fn entry_or_insert_with(&mut self, flow: FlowId, make: impl FnOnce() -> V) -> &mut V {
+        let key = flow.raw();
+        if self.entries.contains_key(&key) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.stats.inserted += 1;
+            if self.capacity != 0 && self.entries.len() >= self.capacity {
+                self.evict_oldest();
+            }
+            self.entries.insert(key, make());
+            self.order.push_back(key);
+        }
+        self.entries.get_mut(&key).expect("entry was just ensured")
+    }
+
+    /// Removes a flow's entry.
+    pub fn remove(&mut self, flow: FlowId) -> Option<V> {
+        let key = flow.raw();
+        let removed = self.entries.remove(&key);
+        if removed.is_some() {
+            self.order.retain(|&k| k != key);
+        }
+        removed
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FlowTableStats {
+        self.stats
+    }
+
+    /// Iterates over `(flow, value)` pairs in eviction (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &V)> {
+        self.order
+            .iter()
+            .filter_map(move |k| self.entries.get(k).map(|v| (FlowId::new(*k), v)))
+    }
+
+    fn evict_oldest(&mut self) {
+        while let Some(oldest) = self.order.pop_front() {
+            if self.entries.remove(&oldest).is_some() {
+                self.stats.evicted += 1;
+                return;
+            }
+        }
+    }
+}
+
+impl<V: Serialize> FlowTable<V> {
+    /// Exports the table contents for state migration, in insertion order.
+    pub fn export(&self) -> Vec<(u64, serde_json::Value)> {
+        self.iter()
+            .map(|(flow, value)| {
+                (
+                    flow.raw(),
+                    serde_json::to_value(value).unwrap_or(serde_json::Value::Null),
+                )
+            })
+            .collect()
+    }
+}
+
+impl<V: DeserializeOwned> FlowTable<V> {
+    /// Imports previously exported contents, replacing the current entries.
+    /// Entries beyond the table capacity are dropped oldest-first (mirroring
+    /// what eviction would have done).
+    pub fn import(&mut self, entries: Vec<(u64, serde_json::Value)>) {
+        self.clear();
+        for (key, value) in entries {
+            if let Ok(value) = serde_json::from_value(value) {
+                if self.capacity != 0 && self.entries.len() >= self.capacity {
+                    self.evict_oldest();
+                }
+                self.entries.insert(key, value);
+                self.order.push_back(key);
+                self.stats.inserted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(n: u64) -> FlowId {
+        FlowId::new(n)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut table: FlowTable<u32> = FlowTable::new(8);
+        *table.entry_or_insert_with(flow(1), || 0) += 5;
+        *table.entry_or_insert_with(flow(1), || 0) += 5;
+        assert_eq!(table.peek(flow(1)), Some(&10));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get_mut(flow(2)), None);
+        assert_eq!(table.remove(flow(1)), Some(10));
+        assert!(table.is_empty());
+        assert_eq!(table.capacity(), 8);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_inserts() {
+        let mut table: FlowTable<u32> = FlowTable::new(4);
+        table.entry_or_insert_with(flow(1), || 1); // miss + insert
+        table.entry_or_insert_with(flow(1), || 1); // hit
+        table.get_mut(flow(1)); // hit
+        table.get_mut(flow(9)); // miss
+        let stats = table.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.evicted, 0);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let mut table: FlowTable<u32> = FlowTable::new(3);
+        for i in 0..5 {
+            table.entry_or_insert_with(flow(i), || i as u32);
+        }
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.stats().evicted, 2);
+        // Oldest flows 0 and 1 were evicted.
+        assert!(table.peek(flow(0)).is_none());
+        assert!(table.peek(flow(1)).is_none());
+        assert!(table.peek(flow(2)).is_some());
+        assert!(table.peek(flow(4)).is_some());
+    }
+
+    #[test]
+    fn unbounded_table_never_evicts() {
+        let mut table: FlowTable<u32> = FlowTable::new(0);
+        for i in 0..10_000 {
+            table.entry_or_insert_with(flow(i), || 0);
+        }
+        assert_eq!(table.len(), 10_000);
+        assert_eq!(table.stats().evicted, 0);
+    }
+
+    #[test]
+    fn iteration_in_insertion_order() {
+        let mut table: FlowTable<u32> = FlowTable::new(0);
+        for i in [5u64, 3, 9] {
+            table.entry_or_insert_with(flow(i), || i as u32 * 10);
+        }
+        let flows: Vec<u64> = table.iter().map(|(f, _)| f.raw()).collect();
+        assert_eq!(flows, vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut table: FlowTable<Vec<u32>> = FlowTable::new(16);
+        table.entry_or_insert_with(flow(1), || vec![1, 2]);
+        table.entry_or_insert_with(flow(2), || vec![3]);
+        let exported = table.export();
+        assert_eq!(exported.len(), 2);
+
+        let mut target: FlowTable<Vec<u32>> = FlowTable::new(16);
+        target.import(exported);
+        assert_eq!(target.len(), 2);
+        assert_eq!(target.peek(flow(1)), Some(&vec![1, 2]));
+        assert_eq!(target.peek(flow(2)), Some(&vec![3]));
+    }
+
+    #[test]
+    fn import_respects_capacity() {
+        let mut table: FlowTable<u32> = FlowTable::new(0);
+        for i in 0..10 {
+            table.entry_or_insert_with(flow(i), || i as u32);
+        }
+        let mut small: FlowTable<u32> = FlowTable::new(4);
+        small.import(table.export());
+        assert_eq!(small.len(), 4);
+        // The newest four entries survive.
+        assert!(small.peek(flow(9)).is_some());
+        assert!(small.peek(flow(0)).is_none());
+    }
+
+    #[test]
+    fn clear_resets_entries_but_keeps_stats() {
+        let mut table: FlowTable<u32> = FlowTable::new(4);
+        table.entry_or_insert_with(flow(1), || 1);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.stats().inserted, 1);
+    }
+
+    #[test]
+    fn remove_then_insert_does_not_double_evict() {
+        let mut table: FlowTable<u32> = FlowTable::new(2);
+        table.entry_or_insert_with(flow(1), || 1);
+        table.entry_or_insert_with(flow(2), || 2);
+        table.remove(flow(1));
+        table.entry_or_insert_with(flow(3), || 3);
+        // No eviction should have been necessary.
+        assert_eq!(table.stats().evicted, 0);
+        assert_eq!(table.len(), 2);
+    }
+}

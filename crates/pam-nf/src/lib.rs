@@ -1,0 +1,54 @@
+//! The network-function framework used by the PAM reproduction.
+//!
+//! The poster's service chain (Figure 1) is Firewall → Monitor → Logger →
+//! Load Balancer. This crate implements those vNFs — and a few more that the
+//! examples and ablation experiments use — as real packet processors over the
+//! wire formats of `pam-wire`, together with the framework pieces the
+//! runtime and the orchestrator need:
+//!
+//! * [`Packet`] — an owned packet with metadata (flow key, timestamps,
+//!   per-hop record) that travels through a chain.
+//! * [`NetworkFunction`] — the processing trait every vNF implements,
+//!   including OpenNF-style state export/import used during live migration.
+//! * [`NfKind`] and [`CapacityProfile`] — the vNF taxonomy and the Table 1
+//!   capacity numbers (SmartNIC vs CPU) that drive both the analytical
+//!   resource model and the packet-level simulator.
+//! * [`FlowTable`] — the shared per-flow state container (monitor counters,
+//!   NAT bindings, load-balancer stickiness) with capacity-bounded eviction.
+//! * [`ServiceChainSpec`] — an ordered description of a chain and its
+//!   ingress/egress endpoints, from which the runtime instantiates vNFs via
+//!   [`registry::build_nf`].
+//!
+//! Concrete vNFs: [`Firewall`], [`FlowMonitor`], [`Logger`], [`LoadBalancer`],
+//! [`Nat`], [`DpiEngine`], [`RateLimiter`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod dpi;
+pub mod firewall;
+pub mod flow_table;
+pub mod load_balancer;
+pub mod logger;
+pub mod monitor;
+pub mod nat;
+pub mod nf;
+pub mod packet;
+pub mod profile;
+pub mod rate_limiter;
+pub mod registry;
+
+pub use chain::{ChainPosition, NfSpec, ServiceChainSpec};
+pub use dpi::{DpiEngine, DpiRule};
+pub use firewall::{Firewall, FirewallAction, FirewallRule};
+pub use flow_table::{FlowTable, FlowTableStats};
+pub use load_balancer::{Backend, LoadBalancer};
+pub use logger::{LogEntry, Logger};
+pub use monitor::{FlowMonitor, FlowStatsEntry};
+pub use nat::Nat;
+pub use nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+pub use packet::Packet;
+pub use profile::{CapacityProfile, ProfileCatalog};
+pub use rate_limiter::RateLimiter;
+pub use registry::{build_kind, build_nf};

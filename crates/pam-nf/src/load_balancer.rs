@@ -1,0 +1,315 @@
+//! The L4 load balancer vNF.
+//!
+//! Rewrites the destination address of incoming packets to one of a set of
+//! backend servers. Backend selection uses a consistent-hash ring seeded by
+//! the flow's 5-tuple, plus a connection table that pins existing flows to
+//! their backend even if the backend set changes — which is exactly the state
+//! that must move intact when the vNF migrates between devices.
+
+use std::net::Ipv4Addr;
+
+use pam_types::Result;
+use pam_wire::five_tuple::stable_hash_bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::flow_table::FlowTable;
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// A backend server the load balancer can steer traffic to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backend {
+    /// The backend's address (written into the packet's destination field).
+    pub addr: Ipv4Addr,
+    /// Relative weight (number of virtual nodes on the hash ring).
+    pub weight: u32,
+}
+
+impl Backend {
+    /// A backend with weight 1.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        Backend { addr, weight: 1 }
+    }
+
+    /// A backend with an explicit weight.
+    pub fn weighted(addr: Ipv4Addr, weight: u32) -> Self {
+        Backend {
+            addr,
+            weight: weight.max(1),
+        }
+    }
+}
+
+/// Serialised load-balancer state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct LoadBalancerState {
+    backends: Vec<Backend>,
+    connections: Vec<(u64, serde_json::Value)>,
+    balanced: u64,
+    no_backend_drops: u64,
+}
+
+/// The load-balancer vNF.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    backends: Vec<Backend>,
+    ring: Vec<(u64, usize)>,
+    connections: FlowTable<Ipv4Addr>,
+    balanced: u64,
+    no_backend_drops: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a load balancer over `backends`, remembering up to
+    /// `max_connections` flow pinnings (zero = unbounded).
+    pub fn new(backends: Vec<Backend>, max_connections: usize) -> Self {
+        let ring = Self::build_ring(&backends);
+        LoadBalancer {
+            backends,
+            ring,
+            connections: FlowTable::new(max_connections),
+            balanced: 0,
+            no_backend_drops: 0,
+        }
+    }
+
+    /// The load balancer used by the evaluation scenarios: four equally
+    /// weighted backends.
+    pub fn evaluation_default() -> Self {
+        let backends = (1..=4)
+            .map(|i| Backend::new(Ipv4Addr::new(192, 0, 2, i)))
+            .collect();
+        LoadBalancer::new(backends, 65_536)
+    }
+
+    fn build_ring(backends: &[Backend]) -> Vec<(u64, usize)> {
+        let mut ring = Vec::new();
+        for (index, backend) in backends.iter().enumerate() {
+            for replica in 0..backend.weight.max(1) * 37 {
+                let key = format!("{}-{}", backend.addr, replica);
+                ring.push((stable_hash_bytes(key.as_bytes()), index));
+            }
+        }
+        ring.sort_unstable();
+        ring
+    }
+
+    /// The configured backends.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Number of packets steered.
+    pub fn balanced(&self) -> u64 {
+        self.balanced
+    }
+
+    /// Number of packets dropped because no backend was configured.
+    pub fn no_backend_drops(&self) -> u64 {
+        self.no_backend_drops
+    }
+
+    /// Chooses the backend for a new flow via the consistent-hash ring.
+    fn pick_backend(&self, flow_hash: u64) -> Option<Ipv4Addr> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let position = self
+            .ring
+            .binary_search_by(|(h, _)| h.cmp(&flow_hash))
+            .unwrap_or_else(|i| i)
+            % self.ring.len();
+        let (_, backend_index) = self.ring[position];
+        Some(self.backends[backend_index].addr)
+    }
+
+    /// Fraction of ring positions owned by each backend (used in tests to
+    /// check the ring stays balanced).
+    pub fn ring_share(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.backends.len()];
+        for (_, idx) in &self.ring {
+            counts[*idx] += 1;
+        }
+        let total = self.ring.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / total).collect()
+    }
+}
+
+impl NetworkFunction for LoadBalancer {
+    fn kind(&self) -> NfKind {
+        NfKind::LoadBalancer
+    }
+
+    fn process(&mut self, packet: &mut Packet, _ctx: &NfContext) -> NfVerdict {
+        let Some(tuple) = packet.five_tuple() else {
+            // Non-IP traffic is not load-balanced but not dropped either.
+            return NfVerdict::Forward;
+        };
+        let flow = tuple.flow_id();
+        let chosen = match self.connections.get_mut(flow) {
+            Some(existing) => *existing,
+            None => match self.pick_backend(tuple.stable_hash()) {
+                Some(backend) => {
+                    self.connections.entry_or_insert_with(flow, || backend);
+                    backend
+                }
+                None => {
+                    self.no_backend_drops += 1;
+                    return NfVerdict::Drop;
+                }
+            },
+        };
+        if let Ok(mut ip) = packet.ipv4_mut() {
+            ip.set_dst_addr(chosen);
+            ip.fill_checksum();
+        }
+        packet.invalidate_tuple();
+        self.balanced += 1;
+        NfVerdict::Forward
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = LoadBalancerState {
+            backends: self.backends.clone(),
+            connections: self.connections.export(),
+            balanced: self.balanced,
+            no_backend_drops: self.no_backend_drops,
+        };
+        NfState::encode(NfKind::LoadBalancer, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: LoadBalancerState = state.decode(NfKind::LoadBalancer)?;
+        self.backends = decoded.backends;
+        self.ring = Self::build_ring(&self.backends);
+        self.connections.import(decoded.connections);
+        self.balanced = decoded.balanced;
+        self.no_backend_drops = decoded.no_backend_drops;
+        Ok(())
+    }
+
+    fn flow_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    fn reset(&mut self) {
+        self.connections.clear();
+        self.balanced = 0;
+        self.no_backend_drops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{PacketBuilder, TransportKind};
+
+    fn packet_with_ports(src_port: u16) -> Packet {
+        let bytes = PacketBuilder::new()
+            .ips(Ipv4Addr::new(198, 51, 100, 7), Ipv4Addr::new(203, 0, 113, 10))
+            .ports(src_port, 80)
+            .transport(TransportKind::Tcp)
+            .total_len(128)
+            .build();
+        Packet::from_bytes(0, bytes, SimTime::ZERO)
+    }
+
+    fn backend_set(n: u8) -> Vec<Backend> {
+        (1..=n).map(|i| Backend::new(Ipv4Addr::new(192, 0, 2, i))).collect()
+    }
+
+    #[test]
+    fn rewrites_destination_to_a_backend() {
+        let mut lb = LoadBalancer::new(backend_set(4), 0);
+        let mut p = packet_with_ports(1234);
+        assert_eq!(lb.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        let dst = p.five_tuple().unwrap().dst_ip;
+        assert!(lb.backends().iter().any(|b| b.addr == dst));
+        assert_eq!(lb.balanced(), 1);
+        // The rewritten packet still has a valid IPv4 checksum.
+        assert!(p.ipv4().unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn same_flow_sticks_to_the_same_backend() {
+        let mut lb = LoadBalancer::new(backend_set(4), 0);
+        let mut first = packet_with_ports(999);
+        lb.process(&mut first, &NfContext::at(SimTime::ZERO));
+        let chosen = first.five_tuple().unwrap().dst_ip;
+        for _ in 0..10 {
+            let mut again = packet_with_ports(999);
+            lb.process(&mut again, &NfContext::at(SimTime::ZERO));
+            assert_eq!(again.five_tuple().unwrap().dst_ip, chosen);
+        }
+        assert_eq!(lb.flow_count(), 1);
+    }
+
+    #[test]
+    fn different_flows_spread_across_backends() {
+        let mut lb = LoadBalancer::new(backend_set(4), 0);
+        let mut used = std::collections::HashSet::new();
+        for port in 0..200u16 {
+            let mut p = packet_with_ports(port);
+            lb.process(&mut p, &NfContext::at(SimTime::ZERO));
+            used.insert(p.five_tuple().unwrap().dst_ip);
+        }
+        assert!(used.len() >= 3, "200 flows should hit at least 3 of 4 backends");
+    }
+
+    #[test]
+    fn ring_shares_are_roughly_proportional_to_weight() {
+        let backends = vec![
+            Backend::weighted(Ipv4Addr::new(192, 0, 2, 1), 1),
+            Backend::weighted(Ipv4Addr::new(192, 0, 2, 2), 3),
+        ];
+        let lb = LoadBalancer::new(backends, 0);
+        let shares = lb.ring_share();
+        assert!((shares[0] - 0.25).abs() < 0.05);
+        assert!((shares[1] - 0.75).abs() < 0.05);
+    }
+
+    #[test]
+    fn no_backends_means_drop() {
+        let mut lb = LoadBalancer::new(vec![], 0);
+        let mut p = packet_with_ports(5);
+        assert_eq!(lb.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(lb.no_backend_drops(), 1);
+    }
+
+    #[test]
+    fn non_ip_traffic_passes_through() {
+        let mut lb = LoadBalancer::evaluation_default();
+        let mut junk = Packet::from_bytes(0, vec![0u8; 18], SimTime::ZERO);
+        assert_eq!(lb.process(&mut junk, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(lb.balanced(), 0);
+    }
+
+    #[test]
+    fn migration_preserves_stickiness() {
+        let mut source = LoadBalancer::new(backend_set(4), 0);
+        let mut p = packet_with_ports(7777);
+        source.process(&mut p, &NfContext::at(SimTime::ZERO));
+        let chosen = p.five_tuple().unwrap().dst_ip;
+
+        let mut target = LoadBalancer::new(backend_set(2), 0);
+        target.import_state(source.export_state()).unwrap();
+        assert_eq!(target.backends().len(), 4);
+        let mut again = packet_with_ports(7777);
+        target.process(&mut again, &NfContext::at(SimTime::ZERO));
+        assert_eq!(again.five_tuple().unwrap().dst_ip, chosen);
+        assert_eq!(target.balanced(), 2);
+    }
+
+    #[test]
+    fn reset_clears_connections() {
+        let mut lb = LoadBalancer::evaluation_default();
+        let mut p = packet_with_ports(1);
+        lb.process(&mut p, &NfContext::at(SimTime::ZERO));
+        lb.reset();
+        assert_eq!(lb.flow_count(), 0);
+        assert_eq!(lb.balanced(), 0);
+        assert_eq!(lb.kind(), NfKind::LoadBalancer);
+        assert!(lb.import_state(NfState::empty(NfKind::Nat)).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The sampling packet logger vNF.
+//!
+//! Records a bounded ring of log entries describing sampled packets. Two
+//! properties matter for the reproduction:
+//!
+//! * the logger *samples* — by default it logs one packet in four
+//!   (`sample_every = 4`), which is the interpretation that reconciles the
+//!   poster's Table 1 (Logger has the lowest raw SmartNIC capacity) with its
+//!   Figure 1(b) (the Monitor, not the Logger, is the hot spot); the sampling
+//!   fraction corresponds to the `load_factor` of its capacity profile;
+//! * its runtime state (the ring buffer) is small, so PAM's choice to migrate
+//!   the Logger is also the cheapest state transfer in the chain.
+
+use pam_types::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Nanosecond timestamp of the logged packet.
+    pub timestamp_nanos: u64,
+    /// Flow the packet belonged to.
+    pub flow: u64,
+    /// Packet size in bytes.
+    pub size: u64,
+    /// Human-readable description of the packet's 5-tuple.
+    pub summary: String,
+}
+
+/// Serialised logger state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct LoggerState {
+    entries: Vec<LogEntry>,
+    observed: u64,
+    logged: u64,
+    sample_every: u64,
+}
+
+/// The sampling logger vNF.
+#[derive(Debug)]
+pub struct Logger {
+    entries: Vec<LogEntry>,
+    capacity: usize,
+    sample_every: u64,
+    observed: u64,
+    logged: u64,
+}
+
+impl Logger {
+    /// Creates a logger with a ring of `capacity` entries that logs one
+    /// packet out of every `sample_every` (values of 0 are treated as 1).
+    pub fn new(capacity: usize, sample_every: u64) -> Self {
+        Logger {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            sample_every: sample_every.max(1),
+            observed: 0,
+            logged: 0,
+        }
+    }
+
+    /// The logger used by the evaluation scenarios: a 4096-entry ring that
+    /// samples one packet in four (matching the Figure 1 scenario's
+    /// `load_factor = 0.25`).
+    pub fn evaluation_default() -> Self {
+        Logger::new(4096, 4)
+    }
+
+    /// Number of packets observed (logged or not).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of packets actually logged.
+    pub fn logged(&self) -> u64 {
+        self.logged
+    }
+
+    /// The current ring contents, oldest first.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// The sampling period (1 = log everything).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+}
+
+impl NetworkFunction for Logger {
+    fn kind(&self) -> NfKind {
+        NfKind::Logger
+    }
+
+    fn process(&mut self, packet: &mut Packet, ctx: &NfContext) -> NfVerdict {
+        self.observed += 1;
+        if self.observed % self.sample_every != 0 {
+            return NfVerdict::Forward;
+        }
+        let summary = match packet.five_tuple() {
+            Some(tuple) => tuple.to_string(),
+            None => format!("non-ip frame of {} bytes", packet.size().as_bytes()),
+        };
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(LogEntry {
+            timestamp_nanos: ctx.now.as_nanos(),
+            flow: packet.flow_id().raw(),
+            size: packet.size().as_bytes(),
+            summary,
+        });
+        self.logged += 1;
+        NfVerdict::Forward
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = LoggerState {
+            entries: self.entries.clone(),
+            observed: self.observed,
+            logged: self.logged,
+            sample_every: self.sample_every,
+        };
+        NfState::encode(NfKind::Logger, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: LoggerState = state.decode(NfKind::Logger)?;
+        self.entries = decoded.entries;
+        if self.entries.len() > self.capacity {
+            let excess = self.entries.len() - self.capacity;
+            self.entries.drain(..excess);
+        }
+        self.observed = decoded.observed;
+        self.logged = decoded.logged;
+        self.sample_every = decoded.sample_every.max(1);
+        Ok(())
+    }
+
+    fn flow_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.observed = 0;
+        self.logged = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{PacketBuilder, TransportKind};
+    use std::net::Ipv4Addr;
+
+    fn packet(n: u64) -> Packet {
+        let bytes = PacketBuilder::new()
+            .ips(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 9, 9, 9))
+            .ports(5000 + n as u16, 443)
+            .transport(TransportKind::Tcp)
+            .total_len(100)
+            .build();
+        Packet::from_bytes(n, bytes, SimTime::from_micros(n))
+    }
+
+    #[test]
+    fn samples_one_in_n() {
+        let mut logger = Logger::new(1000, 4);
+        for i in 0..100 {
+            let verdict = logger.process(&mut packet(i), &NfContext::at(SimTime::from_micros(i)));
+            assert_eq!(verdict, NfVerdict::Forward);
+        }
+        assert_eq!(logger.observed(), 100);
+        assert_eq!(logger.logged(), 25);
+        assert_eq!(logger.entries().len(), 25);
+        assert_eq!(logger.sample_every(), 4);
+    }
+
+    #[test]
+    fn sample_every_one_logs_everything() {
+        let mut logger = Logger::new(1000, 1);
+        for i in 0..10 {
+            logger.process(&mut packet(i), &NfContext::at(SimTime::ZERO));
+        }
+        assert_eq!(logger.logged(), 10);
+        // Zero is clamped to one.
+        assert_eq!(Logger::new(10, 0).sample_every(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_entries() {
+        let mut logger = Logger::new(5, 1);
+        for i in 0..20 {
+            logger.process(&mut packet(i), &NfContext::at(SimTime::from_micros(i)));
+        }
+        assert_eq!(logger.entries().len(), 5);
+        // Oldest remaining entry is from packet 15.
+        assert_eq!(logger.entries()[0].timestamp_nanos, 15_000);
+        assert_eq!(logger.entries()[4].timestamp_nanos, 19_000);
+        assert_eq!(logger.logged(), 20);
+    }
+
+    #[test]
+    fn log_entries_describe_the_packet() {
+        let mut logger = Logger::new(10, 1);
+        logger.process(&mut packet(3), &NfContext::at(SimTime::from_micros(7)));
+        let entry = &logger.entries()[0];
+        assert_eq!(entry.size, 100);
+        assert!(entry.summary.contains("TCP"));
+        assert!(entry.summary.contains("10.0.0.1"));
+        assert_eq!(entry.timestamp_nanos, 7_000);
+    }
+
+    #[test]
+    fn non_ip_packets_are_still_loggable() {
+        let mut logger = Logger::new(10, 1);
+        let mut junk = Packet::from_bytes(1, vec![0u8; 33], SimTime::ZERO);
+        logger.process(&mut junk, &NfContext::at(SimTime::ZERO));
+        assert!(logger.entries()[0].summary.contains("non-ip"));
+    }
+
+    #[test]
+    fn state_round_trip_and_capacity_clamp() {
+        let mut source = Logger::new(100, 2);
+        for i in 0..50 {
+            source.process(&mut packet(i), &NfContext::at(SimTime::from_micros(i)));
+        }
+        let state = source.export_state();
+
+        // Import into a logger with a smaller ring: the oldest entries are dropped.
+        let mut small = Logger::new(10, 1);
+        small.import_state(state.clone()).unwrap();
+        assert_eq!(small.entries().len(), 10);
+        assert_eq!(small.observed(), 50);
+        assert_eq!(small.logged(), 25);
+        assert_eq!(small.sample_every(), 2);
+
+        // Import into an equal-sized logger preserves everything.
+        let mut same = Logger::new(100, 1);
+        same.import_state(state).unwrap();
+        assert_eq!(same.entries().len(), 25);
+    }
+
+    #[test]
+    fn logger_state_is_much_smaller_than_monitor_state() {
+        use crate::monitor::FlowMonitor;
+        use crate::nf::NetworkFunction as _;
+
+        let mut logger = Logger::evaluation_default();
+        let mut monitor = FlowMonitor::evaluation_default();
+        for i in 0..2000 {
+            let mut p = packet(i);
+            logger.process(&mut p, &NfContext::at(SimTime::ZERO));
+            monitor.process(&mut p, &NfContext::at(SimTime::ZERO));
+        }
+        let logger_size = logger.export_state().estimated_size;
+        let monitor_size = monitor.export_state().estimated_size;
+        assert!(
+            monitor_size.as_bytes() > logger_size.as_bytes(),
+            "monitor state ({monitor_size}) should exceed logger state ({logger_size})"
+        );
+    }
+
+    #[test]
+    fn reset_and_wrong_kind_import() {
+        let mut logger = Logger::new(10, 1);
+        logger.process(&mut packet(1), &NfContext::at(SimTime::ZERO));
+        logger.reset();
+        assert_eq!(logger.observed(), 0);
+        assert!(logger.entries().is_empty());
+        assert!(logger.import_state(NfState::empty(NfKind::Monitor)).is_err());
+        assert_eq!(logger.kind(), NfKind::Logger);
+    }
+}

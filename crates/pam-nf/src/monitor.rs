@@ -1,0 +1,264 @@
+//! The flow monitor vNF.
+//!
+//! Keeps per-flow packet and byte counters plus a running heavy-hitter list —
+//! the classic traffic-monitoring middlebox. It touches every packet, which
+//! is exactly why it becomes the SmartNIC hot spot in the poster's Figure 1
+//! scenario, and it carries the largest per-flow state of the Figure 1 chain,
+//! which is what makes migrating it (the naive strategy) not only add PCIe
+//! crossings but also pause traffic for longer than migrating the Logger.
+
+use pam_types::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::flow_table::FlowTable;
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// Per-flow statistics kept by the monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowStatsEntry {
+    /// Packets observed.
+    pub packets: u64,
+    /// Bytes observed.
+    pub bytes: u64,
+    /// Nanosecond timestamp of the first packet.
+    pub first_seen_nanos: u64,
+    /// Nanosecond timestamp of the most recent packet.
+    pub last_seen_nanos: u64,
+}
+
+/// Serialised monitor state (flow table contents + totals).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct MonitorState {
+    flows: Vec<(u64, serde_json::Value)>,
+    total_packets: u64,
+    total_bytes: u64,
+}
+
+/// The flow-monitor vNF.
+#[derive(Debug)]
+pub struct FlowMonitor {
+    flows: FlowTable<FlowStatsEntry>,
+    total_packets: u64,
+    total_bytes: u64,
+    heavy_hitter_threshold_bytes: u64,
+}
+
+impl FlowMonitor {
+    /// Creates a monitor bounded to `max_flows` tracked flows
+    /// (zero = unbounded).
+    pub fn new(max_flows: usize) -> Self {
+        FlowMonitor {
+            flows: FlowTable::new(max_flows),
+            total_packets: 0,
+            total_bytes: 0,
+            heavy_hitter_threshold_bytes: 1 << 20, // 1 MiB
+        }
+    }
+
+    /// The monitor used by the evaluation scenarios: bounded to the size of
+    /// a SmartNIC flow cache.
+    pub fn evaluation_default() -> Self {
+        FlowMonitor::new(65_536)
+    }
+
+    /// Sets the byte threshold above which a flow counts as a heavy hitter.
+    pub fn with_heavy_hitter_threshold(mut self, bytes: u64) -> Self {
+        self.heavy_hitter_threshold_bytes = bytes;
+        self
+    }
+
+    /// Total packets observed.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Total bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Statistics for one flow, if tracked.
+    pub fn flow_stats(&self, flow: pam_types::FlowId) -> Option<FlowStatsEntry> {
+        self.flows.peek(flow).copied()
+    }
+
+    /// Flows whose byte count exceeds the heavy-hitter threshold, heaviest
+    /// first.
+    pub fn heavy_hitters(&self) -> Vec<(pam_types::FlowId, FlowStatsEntry)> {
+        let mut hitters: Vec<_> = self
+            .flows
+            .iter()
+            .filter(|(_, entry)| entry.bytes >= self.heavy_hitter_threshold_bytes)
+            .map(|(flow, entry)| (flow, *entry))
+            .collect();
+        hitters.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes));
+        hitters
+    }
+}
+
+impl NetworkFunction for FlowMonitor {
+    fn kind(&self) -> NfKind {
+        NfKind::Monitor
+    }
+
+    fn process(&mut self, packet: &mut Packet, ctx: &NfContext) -> NfVerdict {
+        let flow = packet.flow_id();
+        let size = packet.size().as_bytes();
+        let now = ctx.now;
+        let entry = self.flows.entry_or_insert_with(flow, || FlowStatsEntry {
+            first_seen_nanos: now.as_nanos(),
+            ..FlowStatsEntry::default()
+        });
+        entry.packets += 1;
+        entry.bytes += size;
+        entry.last_seen_nanos = now.as_nanos();
+        self.total_packets += 1;
+        self.total_bytes += size;
+        NfVerdict::Forward
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = MonitorState {
+            flows: self.flows.export(),
+            total_packets: self.total_packets,
+            total_bytes: self.total_bytes,
+        };
+        NfState::encode(NfKind::Monitor, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: MonitorState = state.decode(NfKind::Monitor)?;
+        self.flows.import(decoded.flows);
+        self.total_packets = decoded.total_packets;
+        self.total_bytes = decoded.total_bytes;
+        Ok(())
+    }
+
+    fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn reset(&mut self) {
+        self.flows.clear();
+        self.total_packets = 0;
+        self.total_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{PacketBuilder, TransportKind};
+    use std::net::Ipv4Addr;
+
+    fn packet_of_flow(src_port: u16, len: usize, at_micros: u64) -> (Packet, NfContext) {
+        let bytes = PacketBuilder::new()
+            .ips(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .ports(src_port, 80)
+            .transport(TransportKind::Udp)
+            .total_len(len)
+            .build();
+        (
+            Packet::from_bytes(0, bytes, SimTime::from_micros(at_micros)),
+            NfContext::at(SimTime::from_micros(at_micros)),
+        )
+    }
+
+    #[test]
+    fn counts_per_flow_and_totals() {
+        let mut monitor = FlowMonitor::new(0);
+        for i in 0..5 {
+            let (mut p, ctx) = packet_of_flow(1000, 200, i * 10);
+            assert_eq!(monitor.process(&mut p, &ctx), NfVerdict::Forward);
+        }
+        let (mut other, ctx) = packet_of_flow(2000, 100, 100);
+        monitor.process(&mut other, &ctx);
+
+        assert_eq!(monitor.total_packets(), 6);
+        assert_eq!(monitor.total_bytes(), 5 * 200 + 100);
+        assert_eq!(monitor.flow_count(), 2);
+
+        let (probe, _) = packet_of_flow(1000, 200, 0);
+        let stats = monitor.flow_stats(probe.flow_id()).unwrap();
+        assert_eq!(stats.packets, 5);
+        assert_eq!(stats.bytes, 1000);
+        assert_eq!(stats.first_seen_nanos, 0);
+        assert_eq!(stats.last_seen_nanos, 40_000);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_by_bytes() {
+        let mut monitor = FlowMonitor::new(0).with_heavy_hitter_threshold(1000);
+        for _ in 0..10 {
+            let (mut p, ctx) = packet_of_flow(1111, 500, 1);
+            monitor.process(&mut p, &ctx); // flow A: 5000 B
+        }
+        for _ in 0..3 {
+            let (mut p, ctx) = packet_of_flow(2222, 400, 1);
+            monitor.process(&mut p, &ctx); // flow B: 1200 B
+        }
+        let (mut p, ctx) = packet_of_flow(3333, 200, 1);
+        monitor.process(&mut p, &ctx); // flow C: below threshold
+
+        let hitters = monitor.heavy_hitters();
+        assert_eq!(hitters.len(), 2);
+        assert!(hitters[0].1.bytes >= hitters[1].1.bytes);
+        assert_eq!(hitters[0].1.bytes, 5000);
+    }
+
+    #[test]
+    fn bounded_flow_table_evicts() {
+        let mut monitor = FlowMonitor::new(2);
+        for port in [1u16, 2, 3, 4] {
+            let (mut p, ctx) = packet_of_flow(port, 64, 0);
+            monitor.process(&mut p, &ctx);
+        }
+        assert_eq!(monitor.flow_count(), 2);
+        // Totals still count everything.
+        assert_eq!(monitor.total_packets(), 4);
+    }
+
+    #[test]
+    fn state_migration_round_trip() {
+        let mut source = FlowMonitor::evaluation_default();
+        for port in 0..50u16 {
+            let (mut p, ctx) = packet_of_flow(port, 300, u64::from(port));
+            source.process(&mut p, &ctx);
+        }
+        let state = source.export_state();
+        assert!(state.estimated_size.as_bytes() > 1000);
+
+        let mut target = FlowMonitor::evaluation_default();
+        target.import_state(state).unwrap();
+        assert_eq!(target.flow_count(), 50);
+        assert_eq!(target.total_packets(), 50);
+        assert_eq!(target.total_bytes(), source.total_bytes());
+
+        // Processing continues seamlessly after import.
+        let (mut p, ctx) = packet_of_flow(0, 300, 1000);
+        target.process(&mut p, &ctx);
+        let (probe, _) = packet_of_flow(0, 300, 0);
+        assert_eq!(target.flow_stats(probe.flow_id()).unwrap().packets, 2);
+    }
+
+    #[test]
+    fn import_rejects_wrong_kind() {
+        let mut monitor = FlowMonitor::new(0);
+        let wrong = NfState::empty(NfKind::Logger);
+        assert!(monitor.import_state(wrong).is_err());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut monitor = FlowMonitor::new(0);
+        let (mut p, ctx) = packet_of_flow(9, 128, 0);
+        monitor.process(&mut p, &ctx);
+        monitor.reset();
+        assert_eq!(monitor.flow_count(), 0);
+        assert_eq!(monitor.total_packets(), 0);
+        assert_eq!(monitor.total_bytes(), 0);
+        assert_eq!(monitor.kind(), NfKind::Monitor);
+    }
+}

@@ -1,0 +1,266 @@
+//! A source NAT vNF.
+//!
+//! Rewrites the source address of outbound packets to a public address and a
+//! per-flow allocated port, keeping the binding table needed to keep a flow's
+//! translation stable. The binding table is the migratable state.
+
+use std::net::Ipv4Addr;
+
+use pam_types::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::flow_table::FlowTable;
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// A NAT binding: the translated (public) source endpoint for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Binding {
+    public_port: u16,
+}
+
+/// Serialised NAT state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct NatState {
+    bindings: Vec<(u64, serde_json::Value)>,
+    next_port: u16,
+    translated: u64,
+    exhausted_drops: u64,
+}
+
+/// The source-NAT vNF.
+#[derive(Debug)]
+pub struct Nat {
+    public_addr: Ipv4Addr,
+    port_range: (u16, u16),
+    next_port: u16,
+    bindings: FlowTable<Binding>,
+    translated: u64,
+    exhausted_drops: u64,
+}
+
+impl Nat {
+    /// Creates a NAT translating to `public_addr`, allocating ports from the
+    /// inclusive `port_range`, and remembering up to `max_bindings` flows.
+    pub fn new(public_addr: Ipv4Addr, port_range: (u16, u16), max_bindings: usize) -> Self {
+        let range = if port_range.0 <= port_range.1 {
+            port_range
+        } else {
+            (port_range.1, port_range.0)
+        };
+        Nat {
+            public_addr,
+            port_range: range,
+            next_port: range.0,
+            bindings: FlowTable::new(max_bindings),
+            translated: 0,
+            exhausted_drops: 0,
+        }
+    }
+
+    /// The NAT used by the examples: a /32 public address with the dynamic
+    /// port range.
+    pub fn evaluation_default() -> Self {
+        Nat::new(Ipv4Addr::new(203, 0, 113, 1), (20_000, 60_000), 65_536)
+    }
+
+    /// The public address packets are rewritten to.
+    pub fn public_addr(&self) -> Ipv4Addr {
+        self.public_addr
+    }
+
+    /// Number of packets translated.
+    pub fn translated(&self) -> u64 {
+        self.translated
+    }
+
+    /// Number of packets dropped because the port pool was exhausted.
+    pub fn exhausted_drops(&self) -> u64 {
+        self.exhausted_drops
+    }
+
+    fn allocate_port(&mut self) -> Option<u16> {
+        let span = u32::from(self.port_range.1 - self.port_range.0) + 1;
+        if (self.bindings.len() as u32) >= span {
+            return None;
+        }
+        let port = self.next_port;
+        self.next_port = if self.next_port >= self.port_range.1 {
+            self.port_range.0
+        } else {
+            self.next_port + 1
+        };
+        Some(port)
+    }
+}
+
+impl NetworkFunction for Nat {
+    fn kind(&self) -> NfKind {
+        NfKind::Nat
+    }
+
+    fn process(&mut self, packet: &mut Packet, _ctx: &NfContext) -> NfVerdict {
+        let Some(tuple) = packet.five_tuple() else {
+            return NfVerdict::Forward;
+        };
+        let flow = tuple.flow_id();
+        let binding = match self.bindings.get_mut(flow) {
+            Some(b) => *b,
+            None => match self.allocate_port() {
+                Some(public_port) => {
+                    let b = Binding { public_port };
+                    self.bindings.entry_or_insert_with(flow, || b);
+                    b
+                }
+                None => {
+                    self.exhausted_drops += 1;
+                    return NfVerdict::Drop;
+                }
+            },
+        };
+        // Rewrite the source address; port rewriting is reflected in the
+        // transport header's source-port field.
+        let public_addr = self.public_addr;
+        if let Ok(mut ip) = packet.ipv4_mut() {
+            ip.set_src_addr(public_addr);
+            ip.fill_checksum();
+            // Rewrite the transport source port in place (first two payload bytes).
+            let is_ported = ip.protocol().has_ports();
+            if is_ported {
+                let payload = ip.payload_mut();
+                if payload.len() >= 2 {
+                    payload[0..2].copy_from_slice(&binding.public_port.to_be_bytes());
+                }
+            }
+        }
+        packet.invalidate_tuple();
+        self.translated += 1;
+        NfVerdict::Forward
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = NatState {
+            bindings: self.bindings.export(),
+            next_port: self.next_port,
+            translated: self.translated,
+            exhausted_drops: self.exhausted_drops,
+        };
+        NfState::encode(NfKind::Nat, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: NatState = state.decode(NfKind::Nat)?;
+        self.bindings.import(decoded.bindings);
+        self.next_port = decoded.next_port.clamp(self.port_range.0, self.port_range.1);
+        self.translated = decoded.translated;
+        self.exhausted_drops = decoded.exhausted_drops;
+        Ok(())
+    }
+
+    fn flow_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn reset(&mut self) {
+        self.bindings.clear();
+        self.next_port = self.port_range.0;
+        self.translated = 0;
+        self.exhausted_drops = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimTime;
+    use pam_wire::{PacketBuilder, TransportKind};
+
+    fn packet_from(src_port: u16) -> Packet {
+        let bytes = PacketBuilder::new()
+            .ips(Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(8, 8, 8, 8))
+            .ports(src_port, 53)
+            .transport(TransportKind::Udp)
+            .total_len(90)
+            .build();
+        Packet::from_bytes(0, bytes, SimTime::ZERO)
+    }
+
+    #[test]
+    fn rewrites_source_address_and_port() {
+        let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 1), (30_000, 30_010), 0);
+        let mut p = packet_from(5555);
+        assert_eq!(nat.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        let t = p.five_tuple().unwrap();
+        assert_eq!(t.src_ip, Ipv4Addr::new(203, 0, 113, 1));
+        assert_eq!(t.src_port, 30_000);
+        assert_eq!(t.dst_ip, Ipv4Addr::new(8, 8, 8, 8));
+        assert!(p.ipv4().unwrap().verify_checksum());
+        assert_eq!(nat.translated(), 1);
+    }
+
+    #[test]
+    fn same_flow_keeps_its_binding() {
+        let mut nat = Nat::evaluation_default();
+        let mut first = packet_from(7000);
+        nat.process(&mut first, &NfContext::at(SimTime::ZERO));
+        let first_port = first.five_tuple().unwrap().src_port;
+        // Different flow gets a different port.
+        let mut other = packet_from(7001);
+        nat.process(&mut other, &NfContext::at(SimTime::ZERO));
+        assert_ne!(other.five_tuple().unwrap().src_port, first_port);
+        // Original flow still maps to the same port.
+        let mut again = packet_from(7000);
+        nat.process(&mut again, &NfContext::at(SimTime::ZERO));
+        assert_eq!(again.five_tuple().unwrap().src_port, first_port);
+        assert_eq!(nat.flow_count(), 2);
+    }
+
+    #[test]
+    fn port_pool_exhaustion_drops() {
+        let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 1), (1000, 1002), 0);
+        for port in 0..3u16 {
+            let mut p = packet_from(100 + port);
+            assert_eq!(nat.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        }
+        let mut overflow = packet_from(999);
+        assert_eq!(
+            nat.process(&mut overflow, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Drop
+        );
+        assert_eq!(nat.exhausted_drops(), 1);
+    }
+
+    #[test]
+    fn reversed_range_is_normalised() {
+        let nat = Nat::new(Ipv4Addr::new(1, 1, 1, 1), (2000, 1000), 0);
+        assert_eq!(nat.port_range, (1000, 2000));
+    }
+
+    #[test]
+    fn migration_keeps_bindings_stable() {
+        let mut source = Nat::evaluation_default();
+        let mut p = packet_from(4242);
+        source.process(&mut p, &NfContext::at(SimTime::ZERO));
+        let port = p.five_tuple().unwrap().src_port;
+
+        let mut target = Nat::evaluation_default();
+        target.import_state(source.export_state()).unwrap();
+        let mut again = packet_from(4242);
+        target.process(&mut again, &NfContext::at(SimTime::ZERO));
+        assert_eq!(again.five_tuple().unwrap().src_port, port);
+        assert_eq!(target.public_addr(), Ipv4Addr::new(203, 0, 113, 1));
+    }
+
+    #[test]
+    fn non_ip_and_reset() {
+        let mut nat = Nat::evaluation_default();
+        let mut junk = Packet::from_bytes(0, vec![0u8; 14], SimTime::ZERO);
+        assert_eq!(nat.process(&mut junk, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        nat.process(&mut packet_from(1), &NfContext::at(SimTime::ZERO));
+        nat.reset();
+        assert_eq!(nat.flow_count(), 0);
+        assert_eq!(nat.translated(), 0);
+        assert_eq!(nat.kind(), NfKind::Nat);
+        assert!(nat.import_state(NfState::empty(NfKind::Dpi)).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! A token-bucket rate limiter vNF.
+//!
+//! Enforces an aggregate bit-rate with a configurable burst allowance. Used
+//! by the dynamic-orchestration example to create traffic-dependent load and
+//! by tests as a second stateless-ish vNF with cheap state.
+
+use pam_types::{Gbps, Result, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
+use crate::packet::Packet;
+
+/// Serialised rate-limiter state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RateLimiterState {
+    rate_bits_per_sec: f64,
+    burst_bits: f64,
+    tokens_bits: f64,
+    last_refill_nanos: u64,
+    forwarded: u64,
+    dropped: u64,
+}
+
+/// The token-bucket rate limiter vNF.
+#[derive(Debug)]
+pub struct RateLimiter {
+    rate_bits_per_sec: f64,
+    burst_bits: f64,
+    tokens_bits: f64,
+    last_refill: SimTime,
+    forwarded: u64,
+    dropped: u64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter for `rate` with a burst allowance of `burst_bytes`.
+    pub fn new(rate: Gbps, burst_bytes: u64) -> Self {
+        let burst_bits = (burst_bytes * 8) as f64;
+        RateLimiter {
+            rate_bits_per_sec: rate.as_bits_per_sec(),
+            burst_bits,
+            tokens_bits: burst_bits,
+            last_refill: SimTime::ZERO,
+            forwarded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The limiter used by the examples: 5 Gbps with a 256 KiB burst.
+    pub fn evaluation_default() -> Self {
+        RateLimiter::new(Gbps::new(5.0), 256 * 1024)
+    }
+
+    /// Packets forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets dropped for exceeding the rate.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> Gbps {
+        Gbps::from_bits_per_sec(self.rate_bits_per_sec)
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        if elapsed > 0.0 {
+            self.tokens_bits =
+                (self.tokens_bits + elapsed * self.rate_bits_per_sec).min(self.burst_bits);
+            self.last_refill = now;
+        }
+    }
+}
+
+impl NetworkFunction for RateLimiter {
+    fn kind(&self) -> NfKind {
+        NfKind::RateLimiter
+    }
+
+    fn process(&mut self, packet: &mut Packet, ctx: &NfContext) -> NfVerdict {
+        self.refill(ctx.now);
+        let needed = packet.size().as_bits() as f64;
+        if self.tokens_bits >= needed {
+            self.tokens_bits -= needed;
+            self.forwarded += 1;
+            NfVerdict::Forward
+        } else {
+            self.dropped += 1;
+            NfVerdict::Drop
+        }
+    }
+
+    fn export_state(&self) -> NfState {
+        let state = RateLimiterState {
+            rate_bits_per_sec: self.rate_bits_per_sec,
+            burst_bits: self.burst_bits,
+            tokens_bits: self.tokens_bits,
+            last_refill_nanos: self.last_refill.as_nanos(),
+            forwarded: self.forwarded,
+            dropped: self.dropped,
+        };
+        NfState::encode(NfKind::RateLimiter, &state)
+    }
+
+    fn import_state(&mut self, state: NfState) -> Result<()> {
+        let decoded: RateLimiterState = state.decode(NfKind::RateLimiter)?;
+        self.rate_bits_per_sec = decoded.rate_bits_per_sec;
+        self.burst_bits = decoded.burst_bits;
+        self.tokens_bits = decoded.tokens_bits;
+        self.last_refill = SimTime::from_nanos(decoded.last_refill_nanos);
+        self.forwarded = decoded.forwarded;
+        self.dropped = decoded.dropped;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.tokens_bits = self.burst_bits;
+        self.last_refill = SimTime::ZERO;
+        self.forwarded = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_wire::PacketBuilder;
+
+    fn packet(len: usize, at: SimTime) -> (Packet, NfContext) {
+        let bytes = PacketBuilder::new().total_len(len).build();
+        (Packet::from_bytes(0, bytes, at), NfContext::at(at))
+    }
+
+    #[test]
+    fn within_burst_everything_passes() {
+        let mut rl = RateLimiter::new(Gbps::new(1.0), 10_000);
+        for _ in 0..10 {
+            let (mut p, ctx) = packet(1000, SimTime::ZERO);
+            assert_eq!(rl.process(&mut p, &ctx), NfVerdict::Forward);
+        }
+        assert_eq!(rl.forwarded(), 10);
+        assert_eq!(rl.dropped(), 0);
+    }
+
+    #[test]
+    fn exceeding_burst_drops_until_refill() {
+        let mut rl = RateLimiter::new(Gbps::new(1.0), 2_000);
+        // Burst covers exactly two 1000-byte packets.
+        let (mut a, ctx) = packet(1000, SimTime::ZERO);
+        let (mut b, _) = packet(1000, SimTime::ZERO);
+        let (mut c, _) = packet(1000, SimTime::ZERO);
+        assert_eq!(rl.process(&mut a, &ctx), NfVerdict::Forward);
+        assert_eq!(rl.process(&mut b, &ctx), NfVerdict::Forward);
+        assert_eq!(rl.process(&mut c, &ctx), NfVerdict::Drop);
+        // After 8 microseconds at 1 Gbps, 8000 bits (= 1000 bytes) have refilled.
+        let (mut d, later) = packet(1000, SimTime::from_micros(8));
+        assert_eq!(rl.process(&mut d, &later), NfVerdict::Forward);
+        assert_eq!(rl.dropped(), 1);
+    }
+
+    #[test]
+    fn sustained_rate_approximates_configured_rate() {
+        let mut rl = RateLimiter::new(Gbps::new(2.0), 4_000);
+        // Offer 4 Gbps for 1 ms: 500 packets of 1000 B every 2 us.
+        let mut forwarded_bytes = 0u64;
+        for i in 0..500u64 {
+            let at = SimTime::from_nanos(i * 2_000);
+            let (mut p, ctx) = packet(1000, at);
+            if rl.process(&mut p, &ctx) == NfVerdict::Forward {
+                forwarded_bytes += 1000;
+            }
+        }
+        let achieved = Gbps::from_bytes_per_sec(forwarded_bytes as f64 / 1e-3);
+        assert!(
+            (achieved.as_gbps() - 2.0).abs() < 0.2,
+            "achieved {achieved} should be close to the 2 Gbps limit"
+        );
+        assert!(rl.dropped() > 0);
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let mut rl = RateLimiter::new(Gbps::new(10.0), 1_000);
+        // A long idle period cannot accumulate more than one burst.
+        let (mut big, ctx) = packet(1400, SimTime::from_secs_f64(1.0));
+        assert_eq!(rl.process(&mut big, &ctx), NfVerdict::Drop);
+        let (mut ok, ctx) = packet(900, SimTime::from_secs_f64(1.0));
+        assert_eq!(rl.process(&mut ok, &ctx), NfVerdict::Forward);
+    }
+
+    #[test]
+    fn state_round_trip_and_reset() {
+        let mut rl = RateLimiter::evaluation_default();
+        let (mut p, ctx) = packet(1200, SimTime::from_micros(5));
+        rl.process(&mut p, &ctx);
+        let state = rl.export_state();
+
+        let mut restored = RateLimiter::new(Gbps::new(1.0), 1);
+        restored.import_state(state).unwrap();
+        assert_eq!(restored.forwarded(), 1);
+        assert!((restored.rate().as_gbps() - 5.0).abs() < 1e-9);
+
+        restored.reset();
+        assert_eq!(restored.forwarded(), 0);
+        assert_eq!(restored.kind(), NfKind::RateLimiter);
+        assert!(restored.import_state(NfState::empty(NfKind::Logger)).is_err());
+        assert_eq!(restored.flow_count(), 0);
+    }
+}

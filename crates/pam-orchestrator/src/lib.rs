@@ -1,0 +1,21 @@
+//! The control plane: periodic load polling, overload detection, strategy
+//! invocation and migration execution.
+//!
+//! Poster §2: "The network administrators can periodically query the load of
+//! SmartNIC and CPU and execute the PAM border vNF selection algorithm."
+//! [`Orchestrator`] is that administrator: every `poll_interval` of simulated
+//! time it reads the chain's metrics, asks the configured
+//! [`MigrationStrategy`] what to do, executes the resulting plan through the
+//! runtime's live-migration mechanism, and records a [`DecisionRecord`] so
+//! experiments can inspect exactly when and why each migration happened. If
+//! the strategy reports that migration cannot help ([`Decision::ScaleOut`]),
+//! the orchestrator counts a scale-out request — creating a second instance
+//! on another server is outside the poster's (and this reproduction's) data
+//! plane, but the signal is what an operator would act on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod orchestrator;
+
+pub use orchestrator::{DecisionRecord, Orchestrator, OrchestratorConfig};

@@ -1,0 +1,336 @@
+//! The periodic monitor → decide → migrate loop.
+
+use pam_core::{Decision, MigrationStrategy, ResourceModel, StrategyKind};
+use pam_runtime::{ChainRuntime, MigrationReport};
+use pam_traffic::TraceSynthesizer;
+use pam_types::{Device, Gbps, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Which migration-selection strategy to run.
+    pub strategy: StrategyKind,
+    /// How often the load is polled.
+    pub poll_interval: SimDuration,
+    /// Device utilisation above which the SmartNIC counts as overloaded.
+    pub overload_threshold: f64,
+    /// Minimum time between two migration actions (lets the previous
+    /// migration's blackout and queue transients settle before re-deciding).
+    pub cooldown: SimDuration,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            strategy: StrategyKind::Pam,
+            poll_interval: SimDuration::from_millis(1),
+            overload_threshold: 1.0,
+            cooldown: SimDuration::from_millis(4),
+        }
+    }
+}
+
+impl OrchestratorConfig {
+    /// A config running the given strategy with the default cadence.
+    pub fn with_strategy(strategy: StrategyKind) -> Self {
+        OrchestratorConfig {
+            strategy,
+            ..Default::default()
+        }
+    }
+}
+
+/// One control-loop decision and what came of it.
+#[derive(Debug, Clone)]
+pub struct DecisionRecord {
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// The offered load the decision was based on.
+    pub offered: Gbps,
+    /// The SmartNIC utilisation predicted by the resource model at that load.
+    pub nic_utilisation: f64,
+    /// The CPU utilisation predicted by the resource model at that load.
+    pub cpu_utilisation: f64,
+    /// What the strategy decided.
+    pub decision: Decision,
+    /// The migrations actually executed (empty for no-action / scale-out).
+    pub executed: Vec<MigrationReport>,
+}
+
+/// The control plane. See the crate documentation.
+pub struct Orchestrator {
+    config: OrchestratorConfig,
+    strategy: Box<dyn MigrationStrategy>,
+    log: Vec<DecisionRecord>,
+    last_migration_at: Option<SimTime>,
+    scale_out_requests: u64,
+}
+
+impl std::fmt::Debug for Orchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Orchestrator")
+            .field("strategy", &self.strategy.name())
+            .field("decisions", &self.log.len())
+            .field("scale_out_requests", &self.scale_out_requests)
+            .finish()
+    }
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator from its configuration.
+    pub fn new(config: OrchestratorConfig) -> Self {
+        Orchestrator {
+            strategy: config.strategy.build(),
+            config,
+            log: Vec::new(),
+            last_migration_at: None,
+            scale_out_requests: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// Every decision taken so far.
+    pub fn log(&self) -> &[DecisionRecord] {
+        &self.log
+    }
+
+    /// Number of migrations executed so far.
+    pub fn migrations_executed(&self) -> usize {
+        self.log.iter().map(|r| r.executed.len()).sum()
+    }
+
+    /// Number of times the strategy reported that scale-out is required.
+    pub fn scale_out_requests(&self) -> u64 {
+        self.scale_out_requests
+    }
+
+    /// Runs one control step at `now`: poll, decide, execute. Returns the
+    /// record of what happened (also appended to the log).
+    pub fn control_step(&mut self, runtime: &mut ChainRuntime, now: SimTime) -> DecisionRecord {
+        runtime.publish_metrics();
+        let snapshot = runtime.registry().snapshot();
+        let offered = snapshot.offered_load;
+        let chain = runtime.chain_model();
+        let placement = runtime.placement();
+        let model = ResourceModel::new(&chain, &placement, offered);
+        let nic_utilisation = model.device_utilisation(Device::SmartNic).value();
+        let cpu_utilisation = model.device_utilisation(Device::Cpu).value();
+
+        let in_cooldown = matches!(
+            self.last_migration_at,
+            Some(last) if now.duration_since(last) < self.config.cooldown
+        );
+        let decision = if in_cooldown {
+            Decision::NoAction
+        } else {
+            self.strategy.decide(&chain, &placement, offered)
+        };
+
+        let mut executed = Vec::new();
+        match &decision {
+            Decision::Migrate(plan) => {
+                for mv in &plan.moves {
+                    match runtime.live_migrate(mv.nf, mv.to, now) {
+                        Ok(report) => executed.push(report),
+                        Err(_) => {
+                            // The move was already in place (e.g. executed by a
+                            // previous step); skip it rather than abort the plan.
+                        }
+                    }
+                }
+                if !executed.is_empty() {
+                    self.last_migration_at = Some(now);
+                }
+            }
+            Decision::ScaleOut => {
+                self.scale_out_requests += 1;
+            }
+            Decision::NoAction => {}
+        }
+
+        let record = DecisionRecord {
+            at: now,
+            offered,
+            nic_utilisation,
+            cpu_utilisation,
+            decision,
+            executed,
+        };
+        self.log.push(record.clone());
+        record
+    }
+
+    /// Drives the runtime over `trace` until `until`, polling every
+    /// `poll_interval`. Returns the number of control steps taken.
+    pub fn run(
+        &mut self,
+        runtime: &mut ChainRuntime,
+        trace: &mut TraceSynthesizer,
+        until: SimTime,
+    ) -> usize {
+        let mut steps = 0;
+        let mut next_poll = SimTime::ZERO + self.config.poll_interval;
+        while next_poll <= until {
+            runtime.run_until(trace, next_poll);
+            self.control_step(runtime, next_poll);
+            steps += 1;
+            next_poll += self.config.poll_interval;
+        }
+        runtime.run_until(trace, until);
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_core::Placement;
+    use pam_nf::ServiceChainSpec;
+    use pam_runtime::RuntimeConfig;
+    use pam_traffic::{
+        ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule,
+    };
+    use pam_types::{ByteSize, NfId};
+
+    /// Baseline 1.5 Gbps for 6 ms, then a 2.2 Gbps overload for 14 ms.
+    fn overload_trace(seed: u64) -> TraceSynthesizer {
+        TraceSynthesizer::new(TraceConfig {
+            sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+            flows: FlowGeneratorConfig {
+                flow_count: 2000,
+                zipf_exponent: 1.0,
+                tcp_fraction: 0.8,
+            },
+            arrival: ArrivalProcess::Cbr,
+            schedule: TrafficSchedule::step_overload(
+                Gbps::new(1.5),
+                SimDuration::from_millis(6),
+                Gbps::new(2.2),
+                SimDuration::from_millis(14),
+            ),
+            seed,
+        })
+    }
+
+    fn runtime() -> ChainRuntime {
+        ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            RuntimeConfig::evaluation_default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pam_orchestration_migrates_the_logger_after_the_overload_onset() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(1);
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        let steps = orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        assert_eq!(steps, 20);
+        assert_eq!(orchestrator.migrations_executed(), 1);
+        let migration = &orchestrator
+            .log()
+            .iter()
+            .find(|r| !r.executed.is_empty())
+            .expect("one migration recorded")
+            .executed[0];
+        assert_eq!(migration.nf, NfId::new(2), "PAM migrates the Logger");
+        assert_eq!(migration.to, Device::Cpu);
+        // The migration happened after the load step at t = 6 ms.
+        assert!(migration.started_at >= SimTime::from_millis(6));
+        // Final placement has the Logger on the CPU, everything else unchanged.
+        let placement = runtime.placement();
+        assert_eq!(placement.device_of(NfId::new(2)).unwrap(), Device::Cpu);
+        assert_eq!(placement.device_of(NfId::new(1)).unwrap(), Device::SmartNic);
+        assert_eq!(orchestrator.scale_out_requests(), 0);
+    }
+
+    #[test]
+    fn naive_orchestration_migrates_the_monitor_instead() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(2);
+        let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(
+            StrategyKind::NaiveBottleneck,
+        ));
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        assert_eq!(orchestrator.migrations_executed(), 1);
+        let placement = runtime.placement();
+        assert_eq!(placement.device_of(NfId::new(1)).unwrap(), Device::Cpu);
+        assert_eq!(placement.device_of(NfId::new(2)).unwrap(), Device::SmartNic);
+    }
+
+    #[test]
+    fn original_strategy_never_migrates_and_keeps_dropping() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(3);
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Original));
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        assert_eq!(orchestrator.migrations_executed(), 0);
+        assert!(orchestrator.log().iter().all(|r| r.decision.is_no_action()));
+        // Without migration the overloaded NIC keeps dropping packets.
+        assert!(runtime.outcome().drops_overload > 0);
+    }
+
+    #[test]
+    fn cooldown_prevents_back_to_back_migrations() {
+        let mut runtime = runtime();
+        // Poll far more often than the cooldown allows acting.
+        let config = OrchestratorConfig {
+            strategy: StrategyKind::Pam,
+            poll_interval: SimDuration::from_micros(200),
+            overload_threshold: 1.0,
+            cooldown: SimDuration::from_millis(50),
+        };
+        let mut orchestrator = Orchestrator::new(config);
+        let mut trace = overload_trace(4);
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        assert_eq!(orchestrator.migrations_executed(), 1);
+    }
+
+    #[test]
+    fn hopeless_overload_is_reported_as_scale_out() {
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            RuntimeConfig::evaluation_default(),
+        )
+        .unwrap();
+        // 3.9 Gbps saturates both devices in the figure-1 profile set.
+        let mut trace = TraceSynthesizer::new(TraceConfig {
+            sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+            flows: FlowGeneratorConfig::default(),
+            arrival: ArrivalProcess::Cbr,
+            schedule: TrafficSchedule::constant(Gbps::new(3.9), SimDuration::from_millis(8)),
+            seed: 5,
+        });
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(8));
+        assert!(orchestrator.scale_out_requests() > 0);
+        assert_eq!(orchestrator.migrations_executed(), 0);
+    }
+
+    #[test]
+    fn decision_records_expose_model_state() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(6);
+        runtime.run_until(&mut trace, SimTime::from_millis(2));
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        let record = orchestrator.control_step(&mut runtime, SimTime::from_millis(2));
+        assert!(record.offered.as_gbps() > 1.0);
+        assert!(record.nic_utilisation > record.cpu_utilisation);
+        assert!(record.decision.is_no_action());
+        assert_eq!(orchestrator.log().len(), 1);
+        assert_eq!(orchestrator.config().strategy, StrategyKind::Pam);
+        assert!(format!("{orchestrator:?}").contains("pam"));
+    }
+}

@@ -1,0 +1,889 @@
+//! The packet-level chain runtime.
+//!
+//! Packets are processed one at a time, in ingress order, through the hops of
+//! the chain. Each hop charges:
+//!
+//! 1. a PCIe crossing (latency + serialisation on the link) whenever the
+//!    previous hop was on the other side of the link,
+//! 2. queueing + service on the hop's device — the device is a shared
+//!    work-conserving processor whose per-packet service time is derived from
+//!    the vNF's Table 1 capacity, so aggregate device utilisation matches the
+//!    analytical model of `pam-core`,
+//! 3. the vNF's fixed pipeline latency (which adds delay without consuming
+//!    device capacity), and
+//! 4. the vNF's own processing logic on the real packet bytes, whose verdict
+//!    may drop the packet.
+//!
+//! Live migration pauses one vNF while its serialised state crosses PCIe;
+//! packets that would have to wait longer than the staging-buffer bound are
+//! dropped, every other packet simply waits out the blackout.
+
+use pam_core::{ChainModel, Placement, VnfDescriptor};
+use pam_nf::{build_nf, NfContext, NfVerdict, Packet, ServiceChainSpec};
+use pam_sim::{ComputeDevice, EventQueue, LinkDirection, PcieLink, ProcessOutcome};
+use pam_telemetry::{ChainMetrics, LatencyHistogram, MetricsRegistry, ThroughputMeter};
+use pam_traffic::TraceSynthesizer;
+use pam_types::{
+    Device, Gbps, InstanceIdGen, NfId, PamError, Result, Side, SimDuration, SimTime,
+};
+
+use crate::config::RuntimeConfig;
+use crate::instance::VnfInstance;
+use crate::migration::MigrationReport;
+
+/// What happened to one injected packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// The packet traversed the whole chain; its end-to-end latency is given.
+    Delivered {
+        /// End-to-end latency from ingress to egress.
+        latency: SimDuration,
+    },
+    /// Dropped because a device queue exceeded its backlog bound (overload).
+    DroppedOverload,
+    /// Dropped by a vNF's own verdict (firewall rule, rate limit, ...).
+    DroppedPolicy,
+    /// Dropped because it arrived during a migration blackout and the staging
+    /// buffer bound was exceeded.
+    DroppedMigration,
+}
+
+impl PacketOutcome {
+    /// True when the packet was delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PacketOutcome::Delivered { .. })
+    }
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Packets injected at the ingress.
+    pub injected: u64,
+    /// Packets delivered at the egress.
+    pub delivered: u64,
+    /// Packets dropped due to device overload.
+    pub drops_overload: u64,
+    /// Packets dropped by vNF policy verdicts.
+    pub drops_policy: u64,
+    /// Packets dropped during migration blackouts.
+    pub drops_migration: u64,
+    /// Mean end-to-end latency of delivered packets.
+    pub mean_latency: SimDuration,
+    /// Median end-to-end latency.
+    pub p50_latency: SimDuration,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: SimDuration,
+    /// Delivered throughput over the whole run.
+    pub delivered_throughput: Gbps,
+    /// Total PCIe crossings paid by all packets.
+    pub pcie_crossings: u64,
+    /// Every live migration performed during the run.
+    pub migrations: Vec<MigrationReport>,
+}
+
+/// A measurement over an explicit window (see
+/// [`ChainRuntime::start_measurement`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowReport {
+    /// Mean end-to-end latency of packets delivered in the window.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile latency in the window.
+    pub p99_latency: SimDuration,
+    /// Delivered throughput over the window.
+    pub delivered: Gbps,
+    /// Offered throughput over the window.
+    pub offered: Gbps,
+    /// Packets delivered in the window.
+    pub delivered_packets: u64,
+}
+
+/// A packet travelling the chain: the event payload of the runtime's
+/// discrete-event loop. The event's firing time is the packet's arrival at
+/// the device hosting hop `hop`.
+#[derive(Debug, Clone)]
+struct InFlight {
+    packet: Packet,
+    hop: usize,
+    pipeline: SimDuration,
+}
+
+/// The packet-level service-chain runtime.
+///
+/// The `Debug` representation is intentionally shallow (placement, counters
+/// and clock) — the full state includes boxed vNFs and histograms.
+pub struct ChainRuntime {
+    config: RuntimeConfig,
+    spec: ServiceChainSpec,
+    instances: Vec<VnfInstance>,
+    nic: ComputeDevice,
+    cpu: ComputeDevice,
+    pcie: PcieLink,
+    registry: MetricsRegistry,
+    id_gen: InstanceIdGen,
+    events: EventQueue<InFlight>,
+
+    now: SimTime,
+    pending: Option<(SimTime, Packet)>,
+
+    // Whole-run accounting.
+    injected: u64,
+    delivered: u64,
+    delivered_bytes: u64,
+    drops_overload: u64,
+    drops_policy: u64,
+    drops_migration: u64,
+    latency_total: LatencyHistogram,
+    migrations: Vec<MigrationReport>,
+
+    // Explicit measurement window (experiments).
+    latency_window: LatencyHistogram,
+    delivered_meter: ThroughputMeter,
+    offered_meter: ThroughputMeter,
+
+    // Metrics-publication window (control plane).
+    next_metrics_at: SimTime,
+    bytes_injected_since_publish: u64,
+    bytes_delivered_since_publish: u64,
+    last_publish_at: SimTime,
+}
+
+impl std::fmt::Debug for ChainRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainRuntime")
+            .field("chain", &self.spec.name)
+            .field("now", &self.now)
+            .field("placement", &self.placement())
+            .field("injected", &self.injected)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl ChainRuntime {
+    /// Builds a runtime for `spec`, placing each position according to
+    /// `placement` and deriving timing from the profiles in `config`.
+    pub fn new(spec: ServiceChainSpec, placement: &Placement, config: RuntimeConfig) -> Result<Self> {
+        if placement.len() != spec.len() {
+            return Err(PamError::config(format!(
+                "placement covers {} positions but the chain has {}",
+                placement.len(),
+                spec.len()
+            )));
+        }
+        let id_gen = InstanceIdGen::new();
+        let mut instances = Vec::with_capacity(spec.len());
+        for position in spec.positions() {
+            let kind = position.spec.kind;
+            let profile = *config
+                .catalog
+                .get(kind)
+                .ok_or_else(|| PamError::config(format!("no capacity profile for {kind}")))?;
+            let device = placement.device_of(position.id)?;
+            instances.push(VnfInstance::new(
+                id_gen.next_id(),
+                position.id,
+                kind,
+                build_nf(&position.spec),
+                device,
+                profile,
+            ));
+        }
+        let metrics_interval = config.metrics_interval;
+        Ok(ChainRuntime {
+            nic: ComputeDevice::new(config.nic),
+            cpu: ComputeDevice::new(config.cpu),
+            pcie: PcieLink::new(config.pcie),
+            registry: MetricsRegistry::new(),
+            id_gen,
+            events: EventQueue::new(),
+            config,
+            spec,
+            instances,
+            now: SimTime::ZERO,
+            pending: None,
+            injected: 0,
+            delivered: 0,
+            delivered_bytes: 0,
+            drops_overload: 0,
+            drops_policy: 0,
+            drops_migration: 0,
+            latency_total: LatencyHistogram::new(),
+            migrations: Vec::new(),
+            latency_window: LatencyHistogram::new(),
+            delivered_meter: ThroughputMeter::new(),
+            offered_meter: ThroughputMeter::new(),
+            next_metrics_at: SimTime::ZERO + metrics_interval,
+            bytes_injected_since_publish: 0,
+            bytes_delivered_since_publish: 0,
+            last_publish_at: SimTime::ZERO,
+        })
+    }
+
+    /// The chain specification this runtime executes.
+    pub fn spec(&self) -> &ServiceChainSpec {
+        &self.spec
+    }
+
+    /// The metrics registry the control plane polls.
+    pub fn registry(&self) -> MetricsRegistry {
+        self.registry.clone()
+    }
+
+    /// The current simulation time (the ingress time of the last packet).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The current placement of every chain position.
+    pub fn placement(&self) -> Placement {
+        Placement::from_devices(self.instances.iter().map(|i| i.device).collect())
+    }
+
+    /// The analytical chain model corresponding to this runtime (descriptor
+    /// per position, built from the same capacity profiles), so planners in
+    /// `pam-core` reason about exactly the chain being simulated.
+    pub fn chain_model(&self) -> ChainModel {
+        let vnfs = self
+            .instances
+            .iter()
+            .map(|inst| {
+                VnfDescriptor::new(
+                    inst.nf_id,
+                    inst.kind.name(),
+                    inst.profile.nic_capacity,
+                    inst.profile.cpu_capacity,
+                )
+                .with_load_factor(inst.profile.load_factor)
+                .with_latencies(inst.profile.nic_latency, inst.profile.cpu_latency)
+            })
+            .collect();
+        ChainModel::new(&self.spec.name, self.spec.ingress, self.spec.egress, vnfs)
+    }
+
+    /// Per-instance views (for reporting).
+    pub fn instances(&self) -> &[VnfInstance] {
+        &self.instances
+    }
+
+    /// Submits one packet at its ingress time: the packet is accounted as
+    /// offered and its first hop is scheduled. Call [`ChainRuntime::drain_until`]
+    /// (or one of the `run_*` helpers) to actually advance the data plane.
+    pub fn submit(&mut self, send_time: SimTime, packet: Packet) {
+        self.injected += 1;
+        let size = packet.size();
+        self.offered_meter.record(size);
+        self.bytes_injected_since_publish += size.as_bytes();
+
+        // The first device arrival happens after the ingress-side PCIe
+        // crossing, if the first hop lives on the other side of the link.
+        let mut packet = packet;
+        let mut arrival = send_time;
+        if let Some(first) = self.instances.first() {
+            let ingress_side = self.spec.ingress.side();
+            let target_side = first.device.side();
+            if ingress_side != target_side {
+                arrival = self.cross(arrival, size, target_side);
+                packet.record_crossing();
+            }
+        }
+        self.events.schedule(
+            arrival,
+            InFlight {
+                packet,
+                hop: 0,
+                pipeline: SimDuration::ZERO,
+            },
+        );
+    }
+
+    /// Processes every scheduled hop event up to and including `until`,
+    /// advancing the simulated clock. Events are handled in global time
+    /// order, so the shared device processors see arrivals exactly as the
+    /// real hardware would.
+    pub fn drain_until(&mut self, until: SimTime) {
+        while let Some(next) = self.events.peek_time() {
+            if next > until {
+                break;
+            }
+            let (now, in_flight) = self.events.pop().expect("peeked event must pop");
+            self.now = self.now.max(now);
+            self.handle_arrival(now, in_flight);
+            if self.now >= self.next_metrics_at {
+                self.publish_metrics();
+            }
+        }
+    }
+
+    /// Handles one packet arriving at the device of chain hop
+    /// `in_flight.hop` at time `now`.
+    fn handle_arrival(&mut self, now: SimTime, mut in_flight: InFlight) {
+        let index = in_flight.hop;
+        let size = in_flight.packet.size();
+
+        // Migration blackout: wait (bounded) for the instance to resume by
+        // re-scheduling the arrival at the blackout end.
+        if let Some(until) = self.instances[index].paused_until {
+            if now < until {
+                let wait = until.duration_since(now);
+                if wait > self.config.migration_buffer_bound {
+                    self.drops_migration += 1;
+                    return;
+                }
+                self.events.schedule(until, in_flight);
+                return;
+            }
+        }
+
+        // Device queueing + service on the hop's shared processor.
+        let service = self.instances[index].service_time(size);
+        let device_kind = self.instances[index].device;
+        let device = match device_kind {
+            Device::SmartNic => &mut self.nic,
+            Device::Cpu => &mut self.cpu,
+        };
+        let finish = match device.process(now, size, service) {
+            ProcessOutcome::Rejected => {
+                self.drops_overload += 1;
+                return;
+            }
+            ProcessOutcome::Accepted { finish, .. } => finish,
+        };
+        // Fixed pipeline latency is experienced by the packet but does not
+        // occupy the device (deep pipelines keep serving other packets), so
+        // it accumulates on the packet rather than delaying later hops'
+        // queueing.
+        in_flight.pipeline += self.instances[index].pipeline_latency();
+
+        // The vNF's own logic on the real packet bytes.
+        let instance = &mut self.instances[index];
+        let verdict = instance
+            .nf
+            .process(&mut in_flight.packet, &NfContext::at(finish));
+        instance.processed += 1;
+        in_flight.packet.record_hop();
+        if verdict == NfVerdict::Drop {
+            instance.policy_drops += 1;
+            self.drops_policy += 1;
+            return;
+        }
+
+        let current_side = device_kind.side();
+        if index + 1 < self.instances.len() {
+            // Forward to the next hop, paying a crossing if it changes sides.
+            let next_side = self.instances[index + 1].device.side();
+            let mut arrival = finish;
+            if current_side != next_side {
+                arrival = self.cross(finish, size, next_side);
+                in_flight.packet.record_crossing();
+            }
+            in_flight.hop = index + 1;
+            self.events.schedule(arrival, in_flight);
+        } else {
+            // Egress: pay a final crossing if the egress endpoint is on the
+            // other side, then record delivery.
+            let egress_side = self.spec.egress.side();
+            let mut done = finish;
+            if current_side != egress_side {
+                done = self.cross(finish, size, egress_side);
+                in_flight.packet.record_crossing();
+            }
+            let latency = done.duration_since(in_flight.packet.ingress_time) + in_flight.pipeline;
+            self.delivered += 1;
+            self.delivered_bytes += size.as_bytes();
+            self.bytes_delivered_since_publish += size.as_bytes();
+            self.latency_total.record(latency);
+            self.latency_window.record(latency);
+            self.delivered_meter.record(size);
+            self.registry.record_latency(latency);
+        }
+    }
+
+    /// Performs a PCIe crossing towards `target_side` starting at `now` and
+    /// returns the arrival time on the far side.
+    fn cross(&mut self, now: SimTime, size: pam_types::ByteSize, target_side: Side) -> SimTime {
+        let direction = if target_side == Side::Host {
+            LinkDirection::NicToCpu
+        } else {
+            LinkDirection::CpuToNic
+        };
+        self.pcie.propagate(now, size, direction)
+    }
+
+    /// Convenience for tests and examples: submits a single packet and runs
+    /// the data plane until it has fully left the chain, returning what
+    /// happened to it. (With other packets still in flight the attribution is
+    /// by counter difference, so this is intended for one-packet-at-a-time
+    /// use.)
+    pub fn inject(&mut self, send_time: SimTime, packet: Packet) -> PacketOutcome {
+        let delivered_before = self.delivered;
+        let overload_before = self.drops_overload;
+        let policy_before = self.drops_policy;
+        let migration_before = self.drops_migration;
+        let latency_count_before = self.latency_total.count();
+        let mean_before = self.latency_total.mean();
+
+        self.submit(send_time, packet);
+        self.drain_until(SimTime::MAX);
+
+        if self.delivered > delivered_before {
+            // Recover this packet's latency from the histogram delta.
+            let count = self.latency_total.count();
+            let total_after = self.latency_total.mean().as_nanos() as u128 * u128::from(count);
+            let total_before =
+                mean_before.as_nanos() as u128 * u128::from(latency_count_before);
+            let latency = SimDuration::from_nanos(
+                (total_after.saturating_sub(total_before) / u128::from(count - latency_count_before))
+                    as u64,
+            );
+            PacketOutcome::Delivered { latency }
+        } else if self.drops_policy > policy_before {
+            PacketOutcome::DroppedPolicy
+        } else if self.drops_overload > overload_before {
+            PacketOutcome::DroppedOverload
+        } else if self.drops_migration > migration_before {
+            PacketOutcome::DroppedMigration
+        } else {
+            // The packet is still waiting on a paused instance; treat it as
+            // in flight (it will complete on the next drain).
+            PacketOutcome::DroppedMigration
+        }
+    }
+
+    /// Runs the trace until (and including) packets sent at `until`,
+    /// interleaving packet submission with hop processing in time order.
+    /// Returns the number of packets submitted.
+    pub fn run_until(&mut self, trace: &mut TraceSynthesizer, until: SimTime) -> u64 {
+        let mut submitted = 0;
+        loop {
+            if self.pending.is_none() {
+                self.pending = trace.next_packet();
+            }
+            match &self.pending {
+                Some((send_time, _)) if *send_time <= until => {
+                    let send_time = *send_time;
+                    // Process everything scheduled before this packet enters.
+                    self.drain_until(send_time);
+                    let (send_time, packet) = self.pending.take().expect("pending checked");
+                    self.now = self.now.max(send_time);
+                    self.submit(send_time, packet);
+                    submitted += 1;
+                }
+                _ => break,
+            }
+        }
+        self.drain_until(until);
+        submitted
+    }
+
+    /// Runs the trace to exhaustion and drains every in-flight packet.
+    pub fn run_to_completion(&mut self, trace: &mut TraceSynthesizer) -> u64 {
+        self.run_until(trace, SimTime::MAX)
+    }
+
+    /// Live-migrates the vNF at `nf` to `device`, OpenNF-style: pause, export
+    /// state, transfer it over PCIe, import on the target, resume. Traffic
+    /// arriving during the blackout waits (bounded) or is dropped.
+    pub fn live_migrate(&mut self, nf: NfId, device: Device, now: SimTime) -> Result<MigrationReport> {
+        let index = nf.index();
+        if index >= self.instances.len() {
+            return Err(PamError::UnknownNf(nf));
+        }
+        let (from, kind, state, flows) = {
+            let instance = &self.instances[index];
+            if instance.device == device {
+                return Err(PamError::state(format!(
+                    "{nf} already runs on {device}"
+                )));
+            }
+            if instance.is_paused(now) {
+                return Err(PamError::state(format!("{nf} is already migrating")));
+            }
+            (
+                instance.device,
+                instance.kind,
+                instance.nf.export_state(),
+                instance.nf.flow_count(),
+            )
+        };
+
+        let state_size = state
+            .estimated_size
+            .saturating_add(self.config.state_overhead_per_flow * flows as u64);
+        let direction = match device {
+            Device::Cpu => LinkDirection::NicToCpu,
+            Device::SmartNic => LinkDirection::CpuToNic,
+        };
+        let transfer_done = self.pcie.transfer(now, state_size, direction);
+        let completed_at = transfer_done + self.config.migration_control_overhead;
+
+        let mut target_nf = pam_nf::build_kind(kind);
+        target_nf.import_state(state)?;
+
+        let instance = &mut self.instances[index];
+        instance.nf = target_nf;
+        instance.device = device;
+        instance.id = self.id_gen.next_id();
+        instance.paused_until = Some(completed_at);
+
+        let report = MigrationReport {
+            nf,
+            from,
+            to: device,
+            started_at: now,
+            completed_at,
+            state_size,
+            flows_transferred: flows,
+            packets_dropped: 0,
+        };
+        self.migrations.push(report);
+        Ok(report)
+    }
+
+    /// Publishes a metrics snapshot to the registry (also called
+    /// automatically every `metrics_interval` of packet time).
+    pub fn publish_metrics(&mut self) {
+        let now = self.now;
+        let elapsed = now.duration_since(self.last_publish_at).as_secs_f64();
+        let (offered, delivered) = if elapsed > 0.0 {
+            (
+                Gbps::from_bytes_per_sec(self.bytes_injected_since_publish as f64 / elapsed),
+                Gbps::from_bytes_per_sec(self.bytes_delivered_since_publish as f64 / elapsed),
+            )
+        } else {
+            (Gbps::ZERO, Gbps::ZERO)
+        };
+
+        let mut metrics = ChainMetrics {
+            updated_at: now,
+            offered_load: offered,
+            delivered_load: delivered,
+            mean_latency: self.latency_window.mean(),
+            total_drops: self.drops_overload + self.drops_policy + self.drops_migration,
+            total_delivered: self.delivered,
+            ..ChainMetrics::default()
+        };
+        metrics.set_utilisation(Device::SmartNic, self.nic.utilisation(now));
+        metrics.set_utilisation(Device::Cpu, self.cpu.utilisation(now));
+        self.registry.publish(metrics);
+
+        self.bytes_injected_since_publish = 0;
+        self.bytes_delivered_since_publish = 0;
+        self.last_publish_at = now;
+        self.nic.start_window(now);
+        self.cpu.start_window(now);
+        self.next_metrics_at = now + self.config.metrics_interval;
+    }
+
+    /// Starts a fresh measurement window at `now` (latency and throughput
+    /// figures reported by [`ChainRuntime::measure`] cover only this window).
+    pub fn start_measurement(&mut self, now: SimTime) {
+        self.latency_window.reset();
+        self.delivered_meter.start_window(now);
+        self.offered_meter.start_window(now);
+    }
+
+    /// Reports the current measurement window, ending at `now`.
+    pub fn measure(&self, now: SimTime) -> WindowReport {
+        WindowReport {
+            mean_latency: self.latency_window.mean(),
+            p99_latency: self.latency_window.p99(),
+            delivered: self.delivered_meter.throughput(now),
+            offered: self.offered_meter.throughput(now),
+            delivered_packets: self.delivered_meter.packets(),
+        }
+    }
+
+    /// Aggregate results over the whole run so far.
+    pub fn outcome(&self) -> RunOutcome {
+        let elapsed = self.now.as_secs_f64();
+        let delivered_throughput = if elapsed > 0.0 {
+            Gbps::from_bytes_per_sec(self.delivered_bytes as f64 / elapsed)
+        } else {
+            Gbps::ZERO
+        };
+        RunOutcome {
+            injected: self.injected,
+            delivered: self.delivered,
+            drops_overload: self.drops_overload,
+            drops_policy: self.drops_policy,
+            drops_migration: self.drops_migration,
+            mean_latency: self.latency_total.mean(),
+            p50_latency: self.latency_total.p50(),
+            p99_latency: self.latency_total.p99(),
+            delivered_throughput,
+            pcie_crossings: self.pcie.stats().total_crossings(),
+            migrations: self.migrations.clone(),
+        }
+    }
+
+    /// The PCIe link statistics (crossings per direction, bytes).
+    pub fn pcie_stats(&self) -> pam_sim::PcieLinkStats {
+        self.pcie.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_core::StrategyKind;
+    use pam_traffic::{ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule};
+    use pam_types::{ByteSize, Endpoint};
+
+    fn figure1_runtime(placement: &Placement) -> ChainRuntime {
+        ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            placement,
+            RuntimeConfig::evaluation_default(),
+        )
+        .unwrap()
+    }
+
+    fn trace(load: f64, millis: u64, seed: u64) -> TraceSynthesizer {
+        TraceSynthesizer::new(TraceConfig {
+            sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+            flows: FlowGeneratorConfig {
+                flow_count: 500,
+                zipf_exponent: 1.0,
+                tcp_fraction: 0.8,
+            },
+            arrival: ArrivalProcess::Cbr,
+            schedule: TrafficSchedule::constant(Gbps::new(load), SimDuration::from_millis(millis)),
+            seed,
+        })
+    }
+
+    #[test]
+    fn placement_and_spec_length_must_agree() {
+        let placement = Placement::all_on(Device::SmartNic, 2);
+        let err = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &placement,
+            RuntimeConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PamError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn light_load_delivers_everything_with_stable_latency() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let mut t = trace(1.0, 5, 1);
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.injected, outcome.delivered);
+        assert_eq!(outcome.drops_overload, 0);
+        // Latency is in the expected few-hundred-microsecond band:
+        // 4 hops of ~32-41 us plus 3 crossings of 22 us.
+        let mean = outcome.mean_latency.as_micros_f64();
+        assert!((150.0..350.0).contains(&mean), "mean latency {mean} us");
+        // Delivered throughput tracks the offered 1 Gbps.
+        assert!((outcome.delivered_throughput.as_gbps() - 1.0).abs() < 0.1);
+        // Three crossings per packet.
+        assert_eq!(outcome.pcie_crossings, 3 * outcome.delivered);
+    }
+
+    #[test]
+    fn measured_utilisation_matches_the_analytical_model() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let mut t = trace(1.5, 10, 2);
+        runtime.run_to_completion(&mut t);
+        runtime.publish_metrics();
+        let registry = runtime.registry();
+        // Average the published NIC utilisation over the run.
+        let history = registry.utilisation_history(Device::SmartNic);
+        let measured: f64 =
+            history.iter().map(|(_, u)| *u).sum::<f64>() / history.len().max(1) as f64;
+        // Analytical: 1.5 × (1/10 + 1/3.2 + 0.25/2) = 0.806.
+        let chain = runtime.chain_model();
+        let analytical = pam_core::ResourceModel::new(&chain, &placement, Gbps::new(1.5))
+            .device_utilisation(Device::SmartNic)
+            .value();
+        assert!(
+            (measured - analytical).abs() < 0.08,
+            "measured {measured:.3} vs analytical {analytical:.3}"
+        );
+    }
+
+    #[test]
+    fn overload_causes_drops_and_caps_delivered_throughput() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let mut t = trace(2.6, 10, 3);
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert!(outcome.drops_overload > 0, "expected overload drops");
+        // The NIC sustains at most ~1.86 Gbps under the figure-1 profiles.
+        let delivered = outcome.delivered_throughput.as_gbps();
+        assert!(delivered < 2.1, "delivered {delivered}");
+        assert!(delivered > 1.5, "delivered {delivered}");
+    }
+
+    #[test]
+    fn live_migration_moves_state_and_preserves_traffic() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let mut t = trace(1.5, 20, 4);
+        // Warm up so the monitor has flow state.
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        let flows_before = runtime.instances()[1].nf.flow_count();
+        assert!(flows_before > 0);
+
+        let report = runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        assert_eq!(report.from, Device::SmartNic);
+        assert_eq!(report.to, Device::Cpu);
+        assert!(report.blackout() > SimDuration::ZERO);
+
+        // The placement reflects the move and traffic keeps flowing.
+        assert_eq!(
+            runtime.placement().device_of(NfId::new(2)).unwrap(),
+            Device::Cpu
+        );
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert!(outcome.delivered > 0);
+        assert_eq!(outcome.migrations.len(), 1);
+
+        // Migrating to the same device or an unknown position is refused.
+        assert!(runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .is_err());
+        assert!(runtime
+            .live_migrate(NfId::new(9), Device::Cpu, runtime.now())
+            .is_err());
+    }
+
+    #[test]
+    fn naive_migration_adds_two_crossings_per_packet_pam_adds_none() {
+        // Run the same light trace under the three placements and compare
+        // per-packet crossing counts.
+        let original = Placement::figure1_initial();
+        let mut naive = original.clone();
+        naive.set(NfId::new(1), Device::Cpu).unwrap();
+        let mut pam = original.clone();
+        pam.set(NfId::new(2), Device::Cpu).unwrap();
+
+        let crossings_per_packet = |placement: &Placement| {
+            let mut runtime = figure1_runtime(placement);
+            let mut t = trace(1.0, 2, 5);
+            runtime.run_to_completion(&mut t);
+            let outcome = runtime.outcome();
+            outcome.pcie_crossings as f64 / outcome.delivered as f64
+        };
+        assert_eq!(crossings_per_packet(&original), 3.0);
+        assert_eq!(crossings_per_packet(&naive), 5.0);
+        assert_eq!(crossings_per_packet(&pam), 3.0);
+    }
+
+    #[test]
+    fn figure2_latency_ordering_holds_in_the_packet_level_simulation() {
+        let original = Placement::figure1_initial();
+        let mut naive = original.clone();
+        naive.set(NfId::new(1), Device::Cpu).unwrap();
+        let mut pam = original.clone();
+        pam.set(NfId::new(2), Device::Cpu).unwrap();
+
+        let mean_latency = |placement: &Placement| {
+            let mut runtime = figure1_runtime(placement);
+            let mut t = trace(1.5, 5, 6);
+            runtime.run_to_completion(&mut t);
+            runtime.outcome().mean_latency
+        };
+        let l_orig = mean_latency(&original);
+        let l_naive = mean_latency(&naive);
+        let l_pam = mean_latency(&pam);
+        assert!(l_naive > l_pam, "naive {l_naive} should exceed pam {l_pam}");
+        let reduction = (l_naive.as_nanos() as f64 - l_pam.as_nanos() as f64)
+            / l_naive.as_nanos() as f64;
+        assert!(
+            (0.08..0.35).contains(&reduction),
+            "latency reduction {reduction}"
+        );
+        let drift = (l_pam.as_nanos() as f64 - l_orig.as_nanos() as f64).abs()
+            / l_orig.as_nanos() as f64;
+        assert!(drift < 0.08, "PAM vs original drift {drift}");
+    }
+
+    #[test]
+    fn metrics_are_published_periodically() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let registry = runtime.registry();
+        let mut t = trace(1.0, 5, 7);
+        runtime.run_to_completion(&mut t);
+        let snapshot = registry.snapshot();
+        assert!(snapshot.updated_at > SimTime::ZERO);
+        assert!(snapshot.offered_load.as_gbps() > 0.5);
+        assert!(registry.utilisation_history(Device::SmartNic).len() >= 3);
+        assert!(registry.latency_histogram().count() > 0);
+    }
+
+    #[test]
+    fn measurement_windows_isolate_phases() {
+        let placement = Placement::figure1_initial();
+        let mut runtime = figure1_runtime(&placement);
+        let mut t = trace(1.0, 10, 8);
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        runtime.start_measurement(runtime.now());
+        let start = runtime.now();
+        runtime.run_to_completion(&mut t);
+        let report = runtime.measure(runtime.now());
+        assert!(report.delivered_packets > 0);
+        assert!(report.mean_latency > SimDuration::ZERO);
+        assert!((report.offered.as_gbps() - 1.0).abs() < 0.15);
+        assert!(report.delivered.as_gbps() > 0.8);
+        assert!(runtime.now() > start);
+        assert!(report.p99_latency >= report.mean_latency);
+    }
+
+    #[test]
+    fn pam_strategy_on_runtime_model_matches_direct_planning() {
+        // The chain model the runtime exposes must produce the same PAM
+        // decision as the hand-built figure-1 model.
+        let placement = Placement::figure1_initial();
+        let runtime = figure1_runtime(&placement);
+        let model = runtime.chain_model();
+        let decision = StrategyKind::Pam
+            .build()
+            .decide(&model, &placement, Gbps::new(2.2));
+        let direct = StrategyKind::Pam.build().decide(
+            &ChainModel::figure1_example(),
+            &placement,
+            Gbps::new(2.2),
+        );
+        assert_eq!(decision, direct);
+    }
+
+    #[test]
+    fn policy_drops_are_counted_separately() {
+        // A chain consisting of just a firewall that blocks the traffic's
+        // destination port.
+        let spec = ServiceChainSpec::new(
+            "fw-only",
+            Endpoint::Wire,
+            Endpoint::Host,
+            vec![pam_nf::NfKind::Firewall],
+        );
+        let placement = Placement::all_on(Device::SmartNic, 1);
+        let mut runtime =
+            ChainRuntime::new(spec, &placement, RuntimeConfig::evaluation_default()).unwrap();
+        // Build packets aimed at the blocked NetBIOS port range.
+        let bytes = pam_wire::PacketBuilder::new()
+            .ports(1000, 137)
+            .transport(pam_wire::TransportKind::Tcp)
+            .total_len(128)
+            .build();
+        for i in 0..10u64 {
+            let packet = Packet::from_bytes(i, bytes.clone(), SimTime::from_micros(i));
+            let outcome = runtime.inject(SimTime::from_micros(i), packet);
+            assert_eq!(outcome, PacketOutcome::DroppedPolicy);
+        }
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.drops_policy, 10);
+        assert_eq!(outcome.delivered, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Runtime configuration.
+
+use pam_nf::ProfileCatalog;
+use pam_sim::{DeviceConfig, PcieLinkConfig};
+use pam_types::{ByteSize, SimDuration};
+
+/// Configuration of a [`crate::ChainRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Capacity/latency profiles of the vNF kinds in use.
+    pub catalog: ProfileCatalog,
+    /// SmartNIC device model.
+    pub nic: DeviceConfig,
+    /// CPU device model.
+    pub cpu: DeviceConfig,
+    /// PCIe link model.
+    pub pcie: PcieLinkConfig,
+    /// How often the runtime publishes a metrics snapshot to the registry.
+    pub metrics_interval: SimDuration,
+    /// Fixed control-plane overhead added to every live migration on top of
+    /// the state-transfer time (ring reconfiguration, rule updates).
+    pub migration_control_overhead: SimDuration,
+    /// Maximum amount of traffic-time a migrating vNF may hold packets back;
+    /// packets that would wait longer than this during the blackout are
+    /// dropped (models a bounded staging buffer).
+    pub migration_buffer_bound: SimDuration,
+    /// Per-flow serialisation overhead charged when exporting vNF state
+    /// (models OpenNF's per-entry marshalling cost).
+    pub state_overhead_per_flow: ByteSize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            catalog: ProfileCatalog::figure1_scenario(),
+            nic: DeviceConfig::smartnic(),
+            cpu: DeviceConfig::cpu(),
+            pcie: PcieLinkConfig::default(),
+            metrics_interval: SimDuration::from_millis(1),
+            migration_control_overhead: SimDuration::from_micros(150),
+            migration_buffer_bound: SimDuration::from_millis(2),
+            state_overhead_per_flow: ByteSize::bytes(64),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The configuration used by the paper-reproduction experiments.
+    pub fn evaluation_default() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the capacity catalogue.
+    pub fn with_catalog(mut self, catalog: ProfileCatalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Overrides the PCIe link model (used by the PCIe-latency ablation).
+    pub fn with_pcie(mut self, pcie: PcieLinkConfig) -> Self {
+        self.pcie = pcie;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_types::SimDuration;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = RuntimeConfig::default();
+        assert_eq!(config.nic.device, pam_types::Device::SmartNic);
+        assert_eq!(config.cpu.device, pam_types::Device::Cpu);
+        assert!(config.metrics_interval > SimDuration::ZERO);
+        assert!(config.migration_buffer_bound > config.migration_control_overhead);
+        assert!(config.catalog.get(pam_nf::NfKind::Monitor).is_some());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let pcie = PcieLinkConfig::with_crossing_latency(SimDuration::from_micros(5));
+        let config = RuntimeConfig::evaluation_default()
+            .with_pcie(pcie)
+            .with_catalog(ProfileCatalog::table1());
+        assert_eq!(config.pcie.crossing_latency, SimDuration::from_micros(5));
+        assert_eq!(
+            config.catalog.expect(pam_nf::NfKind::Logger).load_factor,
+            1.0
+        );
+    }
+}

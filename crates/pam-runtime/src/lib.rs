@@ -1,0 +1,30 @@
+//! The packet-level service-chain runtime.
+//!
+//! This crate is the simulated data plane the experiments run on: it places
+//! the vNFs of a [`pam_nf::ServiceChainSpec`] onto the simulated SmartNIC and
+//! CPU of `pam-sim`, drives real packets (from `pam-traffic`) through them
+//! hop by hop, pays a PCIe crossing whenever consecutive hops sit on
+//! different devices, and supports *live migration* of a vNF between devices
+//! with OpenNF/UNO-style state transfer while traffic keeps flowing.
+//!
+//! * [`RuntimeConfig`] — device, PCIe and measurement configuration.
+//! * [`ChainRuntime`] — the simulation itself (`run_until`, `live_migrate`,
+//!   metrics publication).
+//! * [`RunOutcome`] / [`MigrationReport`] — what a run / a migration produced.
+//! * [`capacity_probe`] — measures a single vNF's saturation throughput on a
+//!   device, reproducing the paper's Table 1 from the simulated substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity_probe;
+pub mod chain;
+pub mod config;
+pub mod instance;
+pub mod migration;
+
+pub use capacity_probe::{probe_capacity, CapacityProbeResult};
+pub use chain::{ChainRuntime, PacketOutcome, RunOutcome};
+pub use config::RuntimeConfig;
+pub use instance::VnfInstance;
+pub use migration::MigrationReport;

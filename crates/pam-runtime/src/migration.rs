@@ -1,0 +1,56 @@
+//! Live-migration reporting.
+
+use pam_types::{ByteSize, Device, NfId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What one live migration cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// The chain position that moved.
+    pub nf: NfId,
+    /// The device it left.
+    pub from: Device,
+    /// The device it now runs on.
+    pub to: Device,
+    /// When the migration started.
+    pub started_at: SimTime,
+    /// When the instance resumed on the target device.
+    pub completed_at: SimTime,
+    /// Size of the serialised state transferred over PCIe.
+    pub state_size: ByteSize,
+    /// Number of per-flow entries transferred.
+    pub flows_transferred: usize,
+    /// Packets dropped because the staging buffer overflowed during the
+    /// blackout window.
+    pub packets_dropped: u64,
+}
+
+impl MigrationReport {
+    /// The blackout duration (time the vNF was unavailable).
+    pub fn blackout(&self) -> SimDuration {
+        self.completed_at.duration_since(self.started_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackout_is_the_pause_window() {
+        let report = MigrationReport {
+            nf: NfId::new(2),
+            from: Device::SmartNic,
+            to: Device::Cpu,
+            started_at: SimTime::from_millis(10),
+            completed_at: SimTime::from_millis(12),
+            state_size: ByteSize::kib(128),
+            flows_transferred: 1000,
+            packets_dropped: 3,
+        };
+        assert_eq!(report.blackout(), SimDuration::from_millis(2));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MigrationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

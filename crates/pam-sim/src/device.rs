@@ -1,0 +1,298 @@
+//! Compute-device models: the SmartNIC NPU and the host CPU.
+//!
+//! Following the poster's resource model (§2, after CoCo [5]), a device is a
+//! shared pool whose utilisation is the sum over resident vNFs of
+//! `θ_cur / θ_capacity`. The packet-level counterpart implemented here is a
+//! single work-conserving [`RateServer`] per device: processing a packet of
+//! `B` bits for a vNF whose capacity on this device is `θ` occupies the
+//! server for `B / θ` seconds (scaled by the vNF's load factor). Summing over
+//! resident vNFs reproduces exactly the analytical utilisation the PAM
+//! algorithm reasons about, which is what lets the runtime's measured
+//! utilisation and `pam-core`'s predicted utilisation be compared in tests.
+//!
+//! Fixed per-packet *pipeline latency* (NPU pipeline depth, DPDK batching,
+//! virtualisation overhead) is modelled separately by the runtime as a delay
+//! that does not occupy the server, so that a device can sustain multi-Gbps
+//! throughput while still adding tens of microseconds of per-packet latency —
+//! matching how the real hardware behaves.
+
+use pam_types::{ByteSize, Device, Gbps, SimDuration, SimTime};
+
+use crate::server::{RateServer, ServerStats};
+
+/// Configuration of a compute device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Which device this is.
+    pub device: Device,
+    /// Admission limit: a packet whose queueing delay (backlog) would exceed
+    /// this bound is dropped instead of enqueued. Zero means unbounded.
+    pub max_backlog: SimDuration,
+    /// Number of processing cores; informational (capacities in the vNF
+    /// profiles already account for intra-device parallelism) but reported in
+    /// experiment metadata.
+    pub cores: u32,
+}
+
+impl DeviceConfig {
+    /// The SmartNIC configuration used in the paper's testbed (Netronome
+    /// Agilio CX, 2×10 GbE): a modest backlog bound because NIC buffers are
+    /// small.
+    pub fn smartnic() -> Self {
+        DeviceConfig {
+            device: Device::SmartNic,
+            max_backlog: SimDuration::from_micros(200),
+            cores: 60,
+        }
+    }
+
+    /// The host CPU configuration (2× Xeon E5-2620 v2, 6 physical cores
+    /// each): deeper software queues.
+    pub fn cpu() -> Self {
+        DeviceConfig {
+            device: Device::Cpu,
+            max_backlog: SimDuration::from_micros(1000),
+            cores: 12,
+        }
+    }
+
+    /// The default configuration for a given device kind.
+    pub fn for_device(device: Device) -> Self {
+        match device {
+            Device::SmartNic => Self::smartnic(),
+            Device::Cpu => Self::cpu(),
+        }
+    }
+}
+
+/// Statistics accumulated by a [`ComputeDevice`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Packets processed to completion.
+    pub processed: u64,
+    /// Bytes processed to completion.
+    pub bytes: u64,
+    /// Packets rejected by the admission check.
+    pub rejected: u64,
+}
+
+/// The outcome of offering a packet to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// The packet was accepted; processing finishes at the given instant.
+    Accepted {
+        /// When service begins (after any queueing).
+        start: SimTime,
+        /// When service completes.
+        finish: SimTime,
+    },
+    /// The packet was dropped because the device backlog exceeded the bound.
+    Rejected,
+}
+
+/// A compute device: a shared rate server plus accounting.
+#[derive(Debug, Clone)]
+pub struct ComputeDevice {
+    config: DeviceConfig,
+    server: RateServer,
+    stats: DeviceStats,
+    window_start: SimTime,
+}
+
+impl ComputeDevice {
+    /// Creates a device from its configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        ComputeDevice {
+            config,
+            server: RateServer::new(),
+            stats: DeviceStats::default(),
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    /// Which device this is.
+    pub fn device(&self) -> Device {
+        self.config.device
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The service time a packet of `size` requires from a vNF with capacity
+    /// `capacity` on this device, scaled by the vNF's `load_factor`
+    /// (the fraction of traffic the vNF actually inspects, e.g. a sampling
+    /// logger).
+    pub fn service_time(size: ByteSize, capacity: Gbps, load_factor: f64) -> SimDuration {
+        if capacity.as_gbps() <= 0.0 {
+            // A vNF with no capacity on this device cannot run here; the
+            // planner never places one, but be defensive.
+            return SimDuration::from_millis(1);
+        }
+        SimDuration::transmission(size, capacity) * load_factor.max(0.0)
+    }
+
+    /// Offers a packet to the device at `now` with a precomputed service
+    /// time; the admission check compares the current backlog against the
+    /// configured bound.
+    pub fn process(&mut self, now: SimTime, size: ByteSize, service: SimDuration) -> ProcessOutcome {
+        if !self.config.max_backlog.is_zero() && self.server.backlog(now) > self.config.max_backlog
+        {
+            self.stats.rejected += 1;
+            return ProcessOutcome::Rejected;
+        }
+        let (start, finish) = self.server.serve(now, service);
+        self.stats.processed += 1;
+        self.stats.bytes += size.as_bytes();
+        ProcessOutcome::Accepted { start, finish }
+    }
+
+    /// The device's measured utilisation over the current window.
+    pub fn utilisation(&self, now: SimTime) -> f64 {
+        self.server.utilisation(self.window_start, now)
+    }
+
+    /// The throughput of *accepted* traffic over the current window.
+    pub fn delivered_throughput(&self, now: SimTime) -> Gbps {
+        let elapsed = now.duration_since(self.window_start).as_secs_f64();
+        if elapsed <= 0.0 {
+            return Gbps::ZERO;
+        }
+        Gbps::from_bytes_per_sec(self.stats.bytes as f64 / elapsed)
+    }
+
+    /// Current backlog (time until idle) seen by a packet arriving at `now`.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.server.backlog(now)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Low-level server statistics (waits, busy time).
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Starts a fresh measurement window at `now`, clearing counters but
+    /// keeping in-flight backlog.
+    pub fn start_window(&mut self, now: SimTime) {
+        self.window_start = now;
+        self.stats = DeviceStats::default();
+        self.server.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_scales_with_size_capacity_and_load_factor() {
+        // 1500 B at 2 Gbps (the Logger's SmartNIC capacity) = 6 us.
+        let full = ComputeDevice::service_time(ByteSize::bytes(1500), Gbps::new(2.0), 1.0);
+        assert_eq!(full, SimDuration::from_micros(6));
+        // A sampling logger that touches 25% of traffic costs a quarter.
+        let sampled = ComputeDevice::service_time(ByteSize::bytes(1500), Gbps::new(2.0), 0.25);
+        assert_eq!(sampled, SimDuration::from_nanos(1500));
+        // Larger capacity, shorter service.
+        let faster = ComputeDevice::service_time(ByteSize::bytes(1500), Gbps::new(10.0), 1.0);
+        assert!(faster < full);
+        // Zero capacity falls back to a punitive constant rather than dividing by zero.
+        let degenerate = ComputeDevice::service_time(ByteSize::bytes(64), Gbps::ZERO, 1.0);
+        assert_eq!(degenerate, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn acceptance_and_timing() {
+        let mut dev = ComputeDevice::new(DeviceConfig::smartnic());
+        let now = SimTime::from_micros(1);
+        match dev.process(now, ByteSize::bytes(1500), SimDuration::from_micros(6)) {
+            ProcessOutcome::Accepted { start, finish } => {
+                assert_eq!(start, now);
+                assert_eq!(finish, now + SimDuration::from_micros(6));
+            }
+            ProcessOutcome::Rejected => panic!("packet should be accepted"),
+        }
+        assert_eq!(dev.stats().processed, 1);
+        assert_eq!(dev.stats().bytes, 1500);
+        assert_eq!(dev.device(), Device::SmartNic);
+    }
+
+    #[test]
+    fn backlog_bound_drops_excess() {
+        let config = DeviceConfig {
+            device: Device::SmartNic,
+            max_backlog: SimDuration::from_micros(10),
+            cores: 1,
+        };
+        let mut dev = ComputeDevice::new(config);
+        let now = SimTime::ZERO;
+        // Fill slightly beyond the bound: each job takes 6 us.
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for _ in 0..5 {
+            match dev.process(now, ByteSize::bytes(1500), SimDuration::from_micros(6)) {
+                ProcessOutcome::Accepted { .. } => accepted += 1,
+                ProcessOutcome::Rejected => rejected += 1,
+            }
+        }
+        // Jobs 1 and 2 accepted (backlog 0 then 6 us); job 3 sees 12 us > 10 us.
+        assert_eq!(accepted, 2);
+        assert_eq!(rejected, 3);
+        assert_eq!(dev.stats().rejected, 3);
+        assert_eq!(dev.backlog(now), SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn unbounded_backlog_never_rejects() {
+        let config = DeviceConfig {
+            device: Device::Cpu,
+            max_backlog: SimDuration::ZERO,
+            cores: 12,
+        };
+        let mut dev = ComputeDevice::new(config);
+        for _ in 0..100 {
+            match dev.process(SimTime::ZERO, ByteSize::bytes(64), SimDuration::from_micros(50)) {
+                ProcessOutcome::Accepted { .. } => {}
+                ProcessOutcome::Rejected => panic!("unbounded device must not reject"),
+            }
+        }
+        assert_eq!(dev.stats().rejected, 0);
+    }
+
+    #[test]
+    fn utilisation_and_throughput_measurement() {
+        let mut dev = ComputeDevice::new(DeviceConfig::cpu());
+        dev.start_window(SimTime::ZERO);
+        // 100 packets of 1250 bytes each, 1 us service each, over 1 ms.
+        for i in 0..100u64 {
+            let now = SimTime::from_micros(i * 10);
+            dev.process(now, ByteSize::bytes(1250), SimDuration::from_micros(1));
+        }
+        let now = SimTime::from_millis(1);
+        assert!((dev.utilisation(now) - 0.1).abs() < 0.01);
+        // 125 000 bytes in 1 ms = 1 Gbps.
+        assert!((dev.delivered_throughput(now).as_gbps() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn window_reset_clears_counters_but_not_backlog() {
+        let mut dev = ComputeDevice::new(DeviceConfig::smartnic());
+        dev.process(SimTime::ZERO, ByteSize::bytes(1500), SimDuration::from_micros(50));
+        dev.start_window(SimTime::from_micros(10));
+        assert_eq!(dev.stats().processed, 0);
+        assert!(dev.backlog(SimTime::from_micros(10)) > SimDuration::ZERO);
+        assert_eq!(dev.delivered_throughput(SimTime::from_micros(10)), Gbps::ZERO);
+    }
+
+    #[test]
+    fn default_configs_differ_per_device() {
+        assert_eq!(DeviceConfig::for_device(Device::SmartNic).device, Device::SmartNic);
+        assert_eq!(DeviceConfig::for_device(Device::Cpu).device, Device::Cpu);
+        assert!(DeviceConfig::cpu().max_backlog > DeviceConfig::smartnic().max_backlog);
+    }
+}

@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation core for the PAM workspace.
+//!
+//! The paper's testbed — a Netronome Agilio CX SmartNIC, Xeon CPUs and the
+//! PCIe link between them — is reproduced here as a discrete-event
+//! simulation. This crate provides the reusable building blocks; the
+//! packet-level service-chain runtime in `pam-runtime` composes them:
+//!
+//! * [`EventQueue`] and the [`EventHandler`]/[`run_until`] driver — a
+//!   time-ordered, insertion-stable event loop. Determinism matters: two runs
+//!   with the same seed produce byte-identical results, which the
+//!   reproducibility tests rely on.
+//! * [`SimRng`] — a seeded random-number generator with the sampling helpers
+//!   the traffic generator and workloads need.
+//! * [`DropTailQueue`] — a bounded FIFO with drop accounting, used for every
+//!   ingress/device queue.
+//! * [`RateServer`] — a work-conserving FIFO server whose service times are
+//!   derived from throughput capacities; this is what turns the paper's
+//!   "resource utilisation grows linearly with throughput" assumption into
+//!   packet timings.
+//! * [`ComputeDevice`] — a SmartNIC NPU or host CPU modelled as a shared
+//!   [`RateServer`] plus utilisation accounting (the quantity Eq. 2 and Eq. 3
+//!   of the poster constrain).
+//! * [`PcieLink`] — the latency/bandwidth model of the PCIe path between the
+//!   two devices, with per-direction crossing counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod events;
+pub mod link;
+pub mod queue;
+pub mod rng;
+pub mod server;
+
+pub use device::{ComputeDevice, DeviceConfig, DeviceStats, ProcessOutcome};
+pub use events::{run_until, EventHandler, EventQueue, ScheduledEvent};
+pub use link::{LinkDirection, PcieLink, PcieLinkConfig, PcieLinkStats};
+pub use queue::{DropTailQueue, QueueStats};
+pub use rng::SimRng;
+pub use server::{RateServer, ServerStats};

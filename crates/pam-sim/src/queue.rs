@@ -1,0 +1,195 @@
+//! Bounded drop-tail FIFO queues.
+//!
+//! Every staging point in the simulated data path — the NIC ingress ring,
+//! the per-device run queues, the PCIe in-flight queue — is a bounded FIFO
+//! with drop-tail semantics. Drops are what turn overload into measurable
+//! throughput loss in the Figure 2(b) reproduction, so the queue keeps
+//! careful accounting.
+
+use std::collections::VecDeque;
+
+/// Statistics accumulated by a [`DropTailQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted into the queue.
+    pub enqueued: u64,
+    /// Items rejected because the queue was full.
+    pub dropped: u64,
+    /// Items removed from the queue.
+    pub dequeued: u64,
+    /// Highest occupancy ever observed.
+    pub high_watermark: usize,
+}
+
+impl QueueStats {
+    /// Fraction of offered items that were dropped (`0` when nothing was offered).
+    pub fn drop_ratio(&self) -> f64 {
+        let offered = self.enqueued + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
+/// A bounded FIFO queue with drop-tail admission.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl<T> DropTailQueue<T> {
+    /// Creates a queue that holds at most `capacity` items. A capacity of
+    /// zero is treated as unbounded (used for control-plane queues that must
+    /// never drop).
+    pub fn new(capacity: usize) -> Self {
+        DropTailQueue {
+            items: VecDeque::new(),
+            capacity,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Attempts to enqueue an item. Returns `Err(item)` when the queue is
+    /// full so the caller can account for the drop in its own terms.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.capacity != 0 && self.items.len() >= self.capacity {
+            self.stats.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes the item at the head of the queue.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.stats.dequeued += 1;
+        }
+        item
+    }
+
+    /// A reference to the head item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the next push would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.capacity != 0 && self.items.len() >= self.capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drains every queued item (used when a vNF instance is torn down during
+    /// migration; the caller decides whether drained packets count as lost).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+
+    /// Iterates over queued items from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTailQueue::new(10);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drops_when_full_and_counts() {
+        let mut q = DropTailQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        let stats = q.stats();
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.dropped, 1);
+        assert!((stats.drop_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        // Popping frees space again.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(4).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut q = DropTailQueue::new(0);
+        for i in 0..10_000 {
+            assert!(q.push(i).is_ok());
+        }
+        assert!(!q.is_full());
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak_occupancy() {
+        let mut q = DropTailQueue::new(8);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..4 {
+            q.pop();
+        }
+        q.push(99).unwrap();
+        assert_eq!(q.stats().high_watermark, 6);
+        assert_eq!(q.stats().dequeued, 4);
+    }
+
+    #[test]
+    fn peek_drain_and_iter() {
+        let mut q = DropTailQueue::new(4);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        assert_eq!(q.peek(), Some(&"a"));
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec!["a", "b"]);
+        let drained = q.drain_all();
+        assert_eq!(drained, vec!["a", "b"]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn drop_ratio_with_no_traffic_is_zero() {
+        let q: DropTailQueue<u8> = DropTailQueue::new(1);
+        assert_eq!(q.stats().drop_ratio(), 0.0);
+        assert_eq!(q.capacity(), 1);
+    }
+}

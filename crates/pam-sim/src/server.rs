@@ -1,0 +1,175 @@
+//! A work-conserving FIFO rate server.
+//!
+//! [`RateServer`] is the timing primitive behind both compute devices and the
+//! PCIe link: callers convert a packet (or DMA transfer) into a service time
+//! and the server answers *when* that work starts and finishes, assuming FIFO
+//! order and no idling while work is pending.
+
+use pam_types::{SimDuration, SimTime};
+
+/// Statistics accumulated by a [`RateServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Number of jobs served.
+    pub served: u64,
+    /// Total busy time accumulated by served jobs.
+    pub busy: SimDuration,
+    /// Total time jobs spent waiting before service started.
+    pub waited: SimDuration,
+    /// Largest backlog (time until the server becomes free) ever observed at
+    /// job arrival.
+    pub max_backlog: SimDuration,
+}
+
+impl ServerStats {
+    /// Mean waiting time per served job.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.served == 0 {
+            SimDuration::ZERO
+        } else {
+            self.waited / self.served
+        }
+    }
+}
+
+/// A work-conserving FIFO server.
+///
+/// The server has no internal queue of job payloads: it only tracks the time
+/// at which it will next be free. Callers that need to bound queueing use
+/// [`RateServer::backlog`] for admission control before calling
+/// [`RateServer::serve`].
+#[derive(Debug, Clone, Default)]
+pub struct RateServer {
+    next_free: SimTime,
+    stats: ServerStats,
+}
+
+impl RateServer {
+    /// Creates an idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instant the server becomes free given everything served so far.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// How long a job arriving at `now` would wait before starting service.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.next_free.duration_since(now)
+    }
+
+    /// True if a job arriving at `now` would start immediately.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.next_free <= now
+    }
+
+    /// Serves a job arriving at `now` that needs `service` time.
+    /// Returns the `(start, finish)` instants and updates the backlog.
+    pub fn serve(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let wait = self.backlog(now);
+        let start = now.max(self.next_free);
+        let finish = start + service;
+        self.next_free = finish;
+        self.stats.served += 1;
+        self.stats.busy += service;
+        self.stats.waited += wait;
+        self.stats.max_backlog = self.stats.max_backlog.max(wait);
+        (start, finish)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The fraction of `[window_start, now]` the server spent busy.
+    ///
+    /// This is the measured counterpart of the paper's analytical utilisation
+    /// `θ_cur / θ_cap`; the two agree in the tests of `pam-runtime`.
+    pub fn utilisation(&self, window_start: SimTime, now: SimTime) -> f64 {
+        let elapsed = now.duration_since(window_start);
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.stats.busy.as_nanos() as f64 / elapsed.as_nanos() as f64).min(1.0)
+    }
+
+    /// Forgets accumulated statistics (the backlog is kept, since work in
+    /// flight does not disappear when a measurement window rolls over).
+    pub fn reset_stats(&mut self) {
+        self.stats = ServerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s = RateServer::new();
+        let now = SimTime::from_micros(10);
+        assert!(s.is_idle(now));
+        let (start, finish) = s.serve(now, SimDuration::from_micros(3));
+        assert_eq!(start, now);
+        assert_eq!(finish, SimTime::from_micros(13));
+        assert_eq!(s.next_free(), finish);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = RateServer::new();
+        let t0 = SimTime::from_micros(0);
+        let (_, f1) = s.serve(t0, SimDuration::from_micros(5));
+        // Second job arrives while the first is in service.
+        let (start2, f2) = s.serve(SimTime::from_micros(2), SimDuration::from_micros(5));
+        assert_eq!(start2, f1);
+        assert_eq!(f2, SimTime::from_micros(10));
+        assert_eq!(s.backlog(SimTime::from_micros(2)), SimDuration::from_micros(8));
+        assert!(!s.is_idle(SimTime::from_micros(9)));
+        assert!(s.is_idle(SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn stats_accumulate_waits_and_busy_time() {
+        let mut s = RateServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_micros(10));
+        s.serve(SimTime::ZERO, SimDuration::from_micros(10));
+        s.serve(SimTime::from_micros(50), SimDuration::from_micros(2));
+        let stats = s.stats();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.busy, SimDuration::from_micros(22));
+        assert_eq!(stats.waited, SimDuration::from_micros(10));
+        assert_eq!(stats.max_backlog, SimDuration::from_micros(10));
+        assert_eq!(stats.mean_wait(), SimDuration::from_nanos(3333));
+    }
+
+    #[test]
+    fn mean_wait_of_idle_server_is_zero() {
+        assert_eq!(ServerStats::default().mean_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilisation_tracks_busy_fraction() {
+        let mut s = RateServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_micros(30));
+        let util = s.utilisation(SimTime::ZERO, SimTime::from_micros(100));
+        assert!((util - 0.3).abs() < 1e-9);
+        // Utilisation is clamped to 1 even if busy time exceeds the window
+        // (possible when the backlog extends beyond `now`).
+        s.serve(SimTime::ZERO, SimDuration::from_micros(200));
+        assert_eq!(s.utilisation(SimTime::ZERO, SimTime::from_micros(100)), 1.0);
+        assert_eq!(s.utilisation(SimTime::ZERO, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_backlog() {
+        let mut s = RateServer::new();
+        s.serve(SimTime::ZERO, SimDuration::from_micros(100));
+        s.reset_stats();
+        assert_eq!(s.stats().served, 0);
+        assert_eq!(s.next_free(), SimTime::from_micros(100));
+    }
+}

@@ -1,0 +1,144 @@
+//! Packet arrival processes.
+//!
+//! Given a target offered load and the size of the next packet, an arrival
+//! process answers "how long after the previous packet does this one start?".
+//! Three processes are provided: deterministic CBR pacing (what a DPDK packet
+//! sender does), Poisson arrivals, and a two-state bursty on/off process that
+//! stresses queues harder at the same mean rate.
+
+use pam_sim::SimRng;
+use pam_types::{ByteSize, Gbps, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The arrival pacing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Constant bit rate: back-to-back pacing at exactly the offered load.
+    Cbr,
+    /// Poisson arrivals with the offered load as the mean rate.
+    Poisson,
+    /// Bursty on/off: bursts at `peak_factor` times the offered load
+    /// alternating with idle gaps, preserving the mean.
+    Bursty {
+        /// Ratio of the in-burst rate to the mean rate (> 1).
+        peak_factor: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The inter-arrival gap before a packet of `size`, given the target
+    /// `offered_load`. Returns zero for non-positive loads (caller treats
+    /// that as "no traffic").
+    pub fn next_gap(
+        &self,
+        offered_load: Gbps,
+        size: ByteSize,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        if offered_load.as_gbps() <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let mean_gap_secs = size.as_bits() as f64 / offered_load.as_bits_per_sec();
+        match self {
+            ArrivalProcess::Cbr => SimDuration::from_secs_f64(mean_gap_secs),
+            ArrivalProcess::Poisson => {
+                SimDuration::from_secs_f64(rng.exponential(mean_gap_secs))
+            }
+            ArrivalProcess::Bursty { peak_factor } => {
+                let peak = peak_factor.max(1.0);
+                // With probability 1/peak the packet is sent at the peak rate
+                // (gap mean/peak); otherwise the gap is mean·(1 + 1/peak), so
+                // the expected gap stays exactly `mean_gap_secs`.
+                if rng.chance(1.0 / peak) {
+                    SimDuration::from_secs_f64(mean_gap_secs / peak)
+                } else {
+                    SimDuration::from_secs_f64(mean_gap_secs * (1.0 + 1.0 / peak))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_rate_of(process: ArrivalProcess, offered: Gbps, size: ByteSize) -> Gbps {
+        let mut rng = SimRng::seed_from(11);
+        let n = 100_000u64;
+        let total: SimDuration = (0..n)
+            .map(|_| process.next_gap(offered, size, &mut rng))
+            .sum();
+        let bytes = size.as_bytes() as f64 * n as f64;
+        Gbps::from_bytes_per_sec(bytes / total.as_secs_f64())
+    }
+
+    #[test]
+    fn cbr_gap_matches_line_rate_exactly() {
+        let gap = ArrivalProcess::Cbr.next_gap(
+            Gbps::new(2.0),
+            ByteSize::bytes(1000),
+            &mut SimRng::seed_from(1),
+        );
+        // 8000 bits at 2 Gbps = 4 us.
+        assert_eq!(gap, SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn poisson_preserves_the_mean_rate() {
+        let achieved = mean_rate_of(ArrivalProcess::Poisson, Gbps::new(3.0), ByteSize::bytes(512));
+        assert!((achieved.as_gbps() - 3.0).abs() < 0.1, "achieved {achieved}");
+    }
+
+    #[test]
+    fn bursty_preserves_the_mean_rate() {
+        let achieved = mean_rate_of(
+            ArrivalProcess::Bursty { peak_factor: 4.0 },
+            Gbps::new(2.0),
+            ByteSize::bytes(800),
+        );
+        assert!((achieved.as_gbps() - 2.0).abs() < 0.15, "achieved {achieved}");
+    }
+
+    #[test]
+    fn bursty_has_higher_gap_variance_than_cbr() {
+        let mut rng = SimRng::seed_from(5);
+        let offered = Gbps::new(2.0);
+        let size = ByteSize::bytes(1000);
+        let gaps =
+            |p: ArrivalProcess, rng: &mut SimRng| -> Vec<f64> {
+                (0..20_000)
+                    .map(|_| p.next_gap(offered, size, rng).as_secs_f64())
+                    .collect()
+            };
+        let variance = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        let cbr = gaps(ArrivalProcess::Cbr, &mut rng);
+        let bursty = gaps(ArrivalProcess::Bursty { peak_factor: 5.0 }, &mut rng);
+        assert!(variance(&bursty) > 10.0 * variance(&cbr).max(1e-30));
+    }
+
+    #[test]
+    fn zero_or_negative_load_yields_zero_gap() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(
+            ArrivalProcess::Cbr.next_gap(Gbps::ZERO, ByteSize::bytes(64), &mut rng),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            ArrivalProcess::Poisson.next_gap(Gbps::new(-1.0), ByteSize::bytes(64), &mut rng),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn larger_packets_get_proportionally_longer_gaps() {
+        let mut rng = SimRng::seed_from(2);
+        let small = ArrivalProcess::Cbr.next_gap(Gbps::new(1.0), ByteSize::bytes(64), &mut rng);
+        let large = ArrivalProcess::Cbr.next_gap(Gbps::new(1.0), ByteSize::bytes(1500), &mut rng);
+        let ratio = large.as_nanos() as f64 / small.as_nanos() as f64;
+        assert!((ratio - 1500.0 / 64.0).abs() < 0.05);
+    }
+}

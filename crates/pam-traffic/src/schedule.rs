@@ -1,0 +1,175 @@
+//! Piecewise-constant offered-load schedules.
+//!
+//! The PAM scenario is inherently dynamic: the chain runs comfortably, then
+//! "network traffic fluctuates" (poster §1) and the SmartNIC becomes
+//! overloaded. A [`TrafficSchedule`] describes that fluctuation as a sequence
+//! of phases, each holding a constant offered load for a duration; the trace
+//! synthesizer consults it for the load in force at each packet's send time.
+
+use pam_types::{Gbps, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One constant-load phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Offered load during the phase.
+    pub load: Gbps,
+    /// How long the phase lasts.
+    pub duration: SimDuration,
+}
+
+impl Phase {
+    /// Creates a phase.
+    pub fn new(load: Gbps, duration: SimDuration) -> Self {
+        Phase { load, duration }
+    }
+}
+
+/// A piecewise-constant offered-load schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSchedule {
+    phases: Vec<Phase>,
+}
+
+impl TrafficSchedule {
+    /// A schedule with a single constant phase.
+    pub fn constant(load: Gbps, duration: SimDuration) -> Self {
+        TrafficSchedule {
+            phases: vec![Phase::new(load, duration)],
+        }
+    }
+
+    /// A schedule built from explicit phases.
+    pub fn from_phases(phases: Vec<Phase>) -> Self {
+        TrafficSchedule { phases }
+    }
+
+    /// The paper's overload scenario: a baseline load for `baseline_for`,
+    /// then a step up to `overload` for the rest of the run.
+    pub fn step_overload(
+        baseline: Gbps,
+        baseline_for: SimDuration,
+        overload: Gbps,
+        overload_for: SimDuration,
+    ) -> Self {
+        TrafficSchedule {
+            phases: vec![
+                Phase::new(baseline, baseline_for),
+                Phase::new(overload, overload_for),
+            ],
+        }
+    }
+
+    /// The phases of the schedule.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total duration covered by the schedule.
+    pub fn total_duration(&self) -> SimDuration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The offered load in force at `time` (zero after the schedule ends).
+    pub fn load_at(&self, time: SimTime) -> Gbps {
+        let mut start = SimTime::ZERO;
+        for phase in &self.phases {
+            let end = start + phase.duration;
+            if time < end {
+                return phase.load;
+            }
+            start = end;
+        }
+        Gbps::ZERO
+    }
+
+    /// The time at which the phase containing `time` ends (`None` after the
+    /// schedule ends).
+    pub fn phase_end_after(&self, time: SimTime) -> Option<SimTime> {
+        let mut start = SimTime::ZERO;
+        for phase in &self.phases {
+            let end = start + phase.duration;
+            if time < end {
+                return Some(end);
+            }
+            start = end;
+        }
+        None
+    }
+
+    /// The mean offered load over the whole schedule.
+    pub fn mean_load(&self) -> Gbps {
+        let total = self.total_duration().as_secs_f64();
+        if total <= 0.0 {
+            return Gbps::ZERO;
+        }
+        let weighted: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.load.as_gbps() * p.duration.as_secs_f64())
+            .sum();
+        Gbps::new(weighted / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step() -> TrafficSchedule {
+        TrafficSchedule::step_overload(
+            Gbps::new(1.5),
+            SimDuration::from_millis(10),
+            Gbps::new(2.2),
+            SimDuration::from_millis(30),
+        )
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = TrafficSchedule::constant(Gbps::new(2.0), SimDuration::from_millis(5));
+        assert_eq!(s.load_at(SimTime::ZERO), Gbps::new(2.0));
+        assert_eq!(s.load_at(SimTime::from_millis(4)), Gbps::new(2.0));
+        assert_eq!(s.load_at(SimTime::from_millis(5)), Gbps::ZERO);
+        assert_eq!(s.total_duration(), SimDuration::from_millis(5));
+        assert_eq!(s.mean_load(), Gbps::new(2.0));
+        assert_eq!(s.phases().len(), 1);
+    }
+
+    #[test]
+    fn step_overload_switches_load_at_the_boundary() {
+        let s = step();
+        assert_eq!(s.load_at(SimTime::from_millis(3)), Gbps::new(1.5));
+        assert_eq!(s.load_at(SimTime::from_millis(10)), Gbps::new(2.2));
+        assert_eq!(s.load_at(SimTime::from_millis(39)), Gbps::new(2.2));
+        assert_eq!(s.load_at(SimTime::from_millis(40)), Gbps::ZERO);
+        assert_eq!(s.total_duration(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn phase_end_lookup() {
+        let s = step();
+        assert_eq!(s.phase_end_after(SimTime::ZERO), Some(SimTime::from_millis(10)));
+        assert_eq!(
+            s.phase_end_after(SimTime::from_millis(12)),
+            Some(SimTime::from_millis(40))
+        );
+        assert_eq!(s.phase_end_after(SimTime::from_millis(40)), None);
+    }
+
+    #[test]
+    fn mean_load_is_duration_weighted() {
+        let s = step();
+        let expected = (1.5 * 10.0 + 2.2 * 30.0) / 40.0;
+        assert!((s.mean_load().as_gbps() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule_is_silent() {
+        let s = TrafficSchedule::from_phases(vec![]);
+        assert_eq!(s.load_at(SimTime::ZERO), Gbps::ZERO);
+        assert_eq!(s.total_duration(), SimDuration::ZERO);
+        assert_eq!(s.mean_load(), Gbps::ZERO);
+        assert_eq!(s.phase_end_after(SimTime::ZERO), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Packet-size profiles.
+
+use pam_types::ByteSize;
+use pam_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The packet sizes the paper sweeps (64 B to 1500 B).
+pub const PAPER_SWEEP_SIZES: [u64; 6] = [64, 128, 256, 512, 1024, 1500];
+
+/// How packet sizes are drawn.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PacketSizeProfile {
+    /// Every packet has the same size.
+    Fixed(ByteSize),
+    /// Sizes are drawn uniformly from the given set (the paper's sweep uses
+    /// [`PAPER_SWEEP_SIZES`]).
+    UniformChoice(Vec<ByteSize>),
+    /// The classic simple IMIX: 64 B (58%), 576 B (33%), 1500 B (9%).
+    Imix,
+}
+
+impl PacketSizeProfile {
+    /// The paper's evaluation sweep as a uniform choice over
+    /// [`PAPER_SWEEP_SIZES`].
+    pub fn paper_sweep() -> Self {
+        PacketSizeProfile::UniformChoice(
+            PAPER_SWEEP_SIZES.iter().map(|&b| ByteSize::bytes(b)).collect(),
+        )
+    }
+
+    /// Draws one packet size.
+    pub fn sample(&self, rng: &mut SimRng) -> ByteSize {
+        match self {
+            PacketSizeProfile::Fixed(size) => *size,
+            PacketSizeProfile::UniformChoice(sizes) => {
+                if sizes.is_empty() {
+                    ByteSize::MIN_FRAME
+                } else {
+                    sizes[rng.index(sizes.len())]
+                }
+            }
+            PacketSizeProfile::Imix => {
+                let u = rng.uniform();
+                if u < 0.58 {
+                    ByteSize::bytes(64)
+                } else if u < 0.91 {
+                    ByteSize::bytes(576)
+                } else {
+                    ByteSize::bytes(1500)
+                }
+            }
+        }
+    }
+
+    /// The mean packet size of the profile (exact, not sampled).
+    pub fn mean_size(&self) -> f64 {
+        match self {
+            PacketSizeProfile::Fixed(size) => size.as_bytes() as f64,
+            PacketSizeProfile::UniformChoice(sizes) => {
+                if sizes.is_empty() {
+                    ByteSize::MIN_FRAME.as_bytes() as f64
+                } else {
+                    sizes.iter().map(|s| s.as_bytes() as f64).sum::<f64>() / sizes.len() as f64
+                }
+            }
+            PacketSizeProfile::Imix => 0.58 * 64.0 + 0.33 * 576.0 + 0.09 * 1500.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_profile_is_constant() {
+        let profile = PacketSizeProfile::Fixed(ByteSize::bytes(512));
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(profile.sample(&mut rng), ByteSize::bytes(512));
+        }
+        assert_eq!(profile.mean_size(), 512.0);
+    }
+
+    #[test]
+    fn paper_sweep_covers_all_sizes() {
+        let profile = PacketSizeProfile::paper_sweep();
+        let mut rng = SimRng::seed_from(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(profile.sample(&mut rng).as_bytes());
+        }
+        for expected in PAPER_SWEEP_SIZES {
+            assert!(seen.contains(&expected), "size {expected} never drawn");
+        }
+        assert!((profile.mean_size() - 580.667).abs() < 0.01);
+    }
+
+    #[test]
+    fn imix_mix_is_roughly_correct() {
+        let profile = PacketSizeProfile::Imix;
+        let mut rng = SimRng::seed_from(3);
+        let n = 50_000;
+        let small = (0..n)
+            .filter(|_| profile.sample(&mut rng) == ByteSize::bytes(64))
+            .count();
+        let fraction = small as f64 / n as f64;
+        assert!((fraction - 0.58).abs() < 0.02, "64B fraction {fraction}");
+        assert!((profile.mean_size() - (0.58 * 64.0 + 0.33 * 576.0 + 0.09 * 1500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_choice_falls_back_to_min_frame() {
+        let profile = PacketSizeProfile::UniformChoice(vec![]);
+        let mut rng = SimRng::seed_from(4);
+        assert_eq!(profile.sample(&mut rng), ByteSize::MIN_FRAME);
+        assert_eq!(profile.mean_size(), 64.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let profile = PacketSizeProfile::paper_sweep();
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let seq_a: Vec<_> = (0..64).map(|_| profile.sample(&mut a)).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| profile.sample(&mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,275 @@
+//! Devices, endpoints and chain hops.
+//!
+//! PAM's whole contribution is about *where* each vNF of a service chain
+//! runs: on the SmartNIC's NPU or on the host CPU, with a PCIe crossing paid
+//! every time consecutive hops sit on different sides. This module defines
+//! that vocabulary:
+//!
+//! * [`Device`] — the two compute devices of a server in the paper's setting.
+//! * [`Endpoint`] — where a chain begins and ends: the physical wire (NIC
+//!   port) or the host (a VM / application / kernel path on the CPU side).
+//! * [`Side`] — the PCIe side of either of the above; border identification
+//!   and crossing counting operate purely on sides.
+//! * [`Hop`] — one element of a packet's path (endpoint or placed vNF).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::NfId;
+
+/// A compute device inside the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// The SmartNIC's network processing unit (e.g. a Netronome Agilio CX).
+    SmartNic,
+    /// The host CPU (e.g. Intel Xeon cores running DPDK-based vNFs).
+    Cpu,
+}
+
+impl Device {
+    /// Both devices, in a fixed order (useful for iteration and reporting).
+    pub const ALL: [Device; 2] = [Device::SmartNic, Device::Cpu];
+
+    /// The other device: CPU for the SmartNIC and vice versa. Migration in a
+    /// two-device server always targets the opposite device.
+    pub const fn other(self) -> Device {
+        match self {
+            Device::SmartNic => Device::Cpu,
+            Device::Cpu => Device::SmartNic,
+        }
+    }
+
+    /// The PCIe side this device sits on.
+    pub const fn side(self) -> Side {
+        match self {
+            Device::SmartNic => Side::Nic,
+            Device::Cpu => Side::Host,
+        }
+    }
+
+    /// Short label used in tables and logs (`NIC` / `CPU`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Device::SmartNic => "NIC",
+            Device::Cpu => "CPU",
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Device::SmartNic => write!(f, "SmartNIC"),
+            Device::Cpu => write!(f, "CPU"),
+        }
+    }
+}
+
+/// Where a service chain begins or ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The physical port of the NIC: traffic arrives from / departs to the
+    /// wire without crossing PCIe.
+    Wire,
+    /// The host side: traffic originates from or is consumed by an
+    /// application, VM or the kernel network stack on the CPU.
+    Host,
+}
+
+impl Endpoint {
+    /// The PCIe side of the endpoint.
+    pub const fn side(self) -> Side {
+        match self {
+            Endpoint::Wire => Side::Nic,
+            Endpoint::Host => Side::Host,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Wire => write!(f, "wire"),
+            Endpoint::Host => write!(f, "host"),
+        }
+    }
+}
+
+/// The PCIe side of a hop: either on the NIC or on the host.
+///
+/// A packet pays one PCIe crossing every time two consecutive hops have
+/// different sides. Border vNFs (poster §2, Step 1) are exactly the
+/// NIC-resident vNFs with a host-side neighbour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// On the SmartNIC side of the PCIe link.
+    Nic,
+    /// On the host (CPU) side of the PCIe link.
+    Host,
+}
+
+impl Side {
+    /// True when moving from `self` to `next` crosses the PCIe link.
+    pub const fn crosses_to(self, next: Side) -> bool {
+        !matches!(
+            (self, next),
+            (Side::Nic, Side::Nic) | (Side::Host, Side::Host)
+        )
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Nic => write!(f, "nic-side"),
+            Side::Host => write!(f, "host-side"),
+        }
+    }
+}
+
+/// One hop of a packet's path through the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hop {
+    /// The chain's ingress or egress endpoint.
+    Endpoint(Endpoint),
+    /// A vNF placed on a device.
+    Vnf {
+        /// Which chain position this hop is.
+        nf: NfId,
+        /// The device the vNF currently runs on.
+        device: Device,
+    },
+}
+
+impl Hop {
+    /// The PCIe side of this hop.
+    pub const fn side(self) -> Side {
+        match self {
+            Hop::Endpoint(e) => e.side(),
+            Hop::Vnf { device, .. } => device.side(),
+        }
+    }
+
+    /// The vNF id if this hop is a vNF.
+    pub const fn nf(self) -> Option<NfId> {
+        match self {
+            Hop::Vnf { nf, .. } => Some(nf),
+            Hop::Endpoint(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hop::Endpoint(e) => write!(f, "[{e}]"),
+            Hop::Vnf { nf, device } => write!(f, "{nf}@{}", device.label()),
+        }
+    }
+}
+
+/// Counts the PCIe crossings along a path of hops.
+///
+/// This is the quantity PAM minimises implicitly: migrating a *border* vNF
+/// leaves the crossing count unchanged while migrating an interior vNF adds
+/// two crossings (poster Figure 1b vs 1c).
+pub fn pcie_crossings(path: &[Hop]) -> usize {
+    path.windows(2)
+        .filter(|w| w[0].side().crosses_to(w[1].side()))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vnf(i: u64, d: Device) -> Hop {
+        Hop::Vnf {
+            nf: NfId::new(i),
+            device: d,
+        }
+    }
+
+    #[test]
+    fn device_other_and_side() {
+        assert_eq!(Device::SmartNic.other(), Device::Cpu);
+        assert_eq!(Device::Cpu.other(), Device::SmartNic);
+        assert_eq!(Device::SmartNic.side(), Side::Nic);
+        assert_eq!(Device::Cpu.side(), Side::Host);
+        assert_eq!(Device::ALL.len(), 2);
+    }
+
+    #[test]
+    fn endpoint_sides() {
+        assert_eq!(Endpoint::Wire.side(), Side::Nic);
+        assert_eq!(Endpoint::Host.side(), Side::Host);
+    }
+
+    #[test]
+    fn side_crossing_logic() {
+        assert!(!Side::Nic.crosses_to(Side::Nic));
+        assert!(!Side::Host.crosses_to(Side::Host));
+        assert!(Side::Nic.crosses_to(Side::Host));
+        assert!(Side::Host.crosses_to(Side::Nic));
+    }
+
+    /// The Figure 1(a) chain: host -> FW(S) -> Monitor(S) -> Logger(S) -> LB(C) -> wire.
+    fn figure1_path(monitor_dev: Device, logger_dev: Device) -> Vec<Hop> {
+        vec![
+            Hop::Endpoint(Endpoint::Host),
+            vnf(0, Device::SmartNic),
+            vnf(1, monitor_dev),
+            vnf(2, logger_dev),
+            vnf(3, Device::Cpu),
+            Hop::Endpoint(Endpoint::Wire),
+        ]
+    }
+
+    #[test]
+    fn figure1_original_has_three_crossings() {
+        // host->FW (1), Logger->LB (1), LB->wire (1)
+        let path = figure1_path(Device::SmartNic, Device::SmartNic);
+        assert_eq!(pcie_crossings(&path), 3);
+    }
+
+    #[test]
+    fn figure1_naive_migration_adds_two_crossings() {
+        // Migrating the interior Monitor to the CPU (Figure 1b).
+        let path = figure1_path(Device::Cpu, Device::SmartNic);
+        assert_eq!(pcie_crossings(&path), 5);
+    }
+
+    #[test]
+    fn figure1_pam_migration_adds_no_crossing() {
+        // Migrating the border Logger to the CPU (Figure 1c).
+        let path = figure1_path(Device::SmartNic, Device::Cpu);
+        assert_eq!(pcie_crossings(&path), 3);
+    }
+
+    #[test]
+    fn crossings_of_trivial_paths() {
+        assert_eq!(pcie_crossings(&[]), 0);
+        assert_eq!(pcie_crossings(&[Hop::Endpoint(Endpoint::Wire)]), 0);
+        let all_nic = vec![
+            Hop::Endpoint(Endpoint::Wire),
+            vnf(0, Device::SmartNic),
+            vnf(1, Device::SmartNic),
+            Hop::Endpoint(Endpoint::Wire),
+        ];
+        assert_eq!(pcie_crossings(&all_nic), 0);
+    }
+
+    #[test]
+    fn hop_accessors_and_display() {
+        let h = vnf(2, Device::SmartNic);
+        assert_eq!(h.nf(), Some(NfId::new(2)));
+        assert_eq!(h.side(), Side::Nic);
+        assert_eq!(h.to_string(), "nf2@NIC");
+        let e = Hop::Endpoint(Endpoint::Host);
+        assert_eq!(e.nf(), None);
+        assert_eq!(e.to_string(), "[host]");
+        assert_eq!(Device::SmartNic.to_string(), "SmartNIC");
+        assert_eq!(Side::Host.to_string(), "host-side");
+    }
+}

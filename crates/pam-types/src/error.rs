@@ -1,0 +1,141 @@
+//! The shared error type.
+//!
+//! Most operations in the workspace are infallible by construction (the
+//! simulator and the algorithms work on validated in-memory structures), so
+//! the error enum stays small: malformed packets, invalid configuration,
+//! unknown identifiers and infeasible migration plans.
+
+use std::fmt;
+
+use crate::id::{InstanceId, NfId};
+
+/// Errors shared across the PAM workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PamError {
+    /// A packet buffer was too short or otherwise malformed for the requested
+    /// wire format.
+    Malformed {
+        /// Which protocol layer rejected the buffer.
+        layer: &'static str,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// A checksum did not verify.
+    ChecksumMismatch {
+        /// Which protocol layer detected the mismatch.
+        layer: &'static str,
+    },
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+    /// A vNF position referenced by an operation does not exist in the chain.
+    UnknownNf(NfId),
+    /// A runtime instance referenced by an operation does not exist.
+    UnknownInstance(InstanceId),
+    /// The requested migration or placement is infeasible under the resource
+    /// model (e.g. it would overload the CPU — Eq. 2 of the poster).
+    Infeasible(String),
+    /// Both the SmartNIC and the CPU are overloaded; the operator must scale
+    /// out to a new instance instead of migrating (poster §2, final case).
+    ScaleOutRequired,
+    /// An operation was attempted in a state that does not allow it
+    /// (e.g. migrating an instance that is already being migrated).
+    InvalidState(String),
+}
+
+impl fmt::Display for PamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PamError::Malformed { layer, reason } => {
+                write!(f, "malformed {layer} packet: {reason}")
+            }
+            PamError::ChecksumMismatch { layer } => write!(f, "{layer} checksum mismatch"),
+            PamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PamError::UnknownNf(id) => write!(f, "unknown vNF position {id}"),
+            PamError::UnknownInstance(id) => write!(f, "unknown vNF instance {id}"),
+            PamError::Infeasible(msg) => write!(f, "infeasible operation: {msg}"),
+            PamError::ScaleOutRequired => {
+                write!(f, "both SmartNIC and CPU are overloaded: scale-out required")
+            }
+            PamError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PamError {}
+
+impl PamError {
+    /// Convenience constructor for [`PamError::Malformed`].
+    pub fn malformed(layer: &'static str, reason: impl Into<String>) -> Self {
+        PamError::Malformed {
+            layer,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`PamError::InvalidConfig`].
+    pub fn config(reason: impl Into<String>) -> Self {
+        PamError::InvalidConfig(reason.into())
+    }
+
+    /// Convenience constructor for [`PamError::Infeasible`].
+    pub fn infeasible(reason: impl Into<String>) -> Self {
+        PamError::Infeasible(reason.into())
+    }
+
+    /// Convenience constructor for [`PamError::InvalidState`].
+    pub fn state(reason: impl Into<String>) -> Self {
+        PamError::InvalidState(reason.into())
+    }
+}
+
+/// Result alias using [`PamError`].
+pub type Result<T> = std::result::Result<T, PamError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = PamError::malformed("ipv4", "total length exceeds buffer");
+        assert_eq!(
+            e.to_string(),
+            "malformed ipv4 packet: total length exceeds buffer"
+        );
+        assert_eq!(
+            PamError::ChecksumMismatch { layer: "tcp" }.to_string(),
+            "tcp checksum mismatch"
+        );
+        assert_eq!(
+            PamError::UnknownNf(NfId::new(4)).to_string(),
+            "unknown vNF position nf4"
+        );
+        assert_eq!(
+            PamError::UnknownInstance(InstanceId::new(2)).to_string(),
+            "unknown vNF instance inst2"
+        );
+        assert!(PamError::ScaleOutRequired.to_string().contains("scale-out"));
+        assert!(PamError::config("bad").to_string().contains("bad"));
+        assert!(PamError::infeasible("cpu full").to_string().contains("cpu full"));
+        assert!(PamError::state("busy").to_string().contains("busy"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&PamError::ScaleOutRequired);
+    }
+
+    #[test]
+    fn result_alias_works() {
+        fn f(ok: bool) -> Result<u32> {
+            if ok {
+                Ok(1)
+            } else {
+                Err(PamError::ScaleOutRequired)
+            }
+        }
+        assert_eq!(f(true).unwrap(), 1);
+        assert!(f(false).is_err());
+    }
+}

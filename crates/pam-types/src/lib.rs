@@ -1,0 +1,33 @@
+//! Shared vocabulary types for the PAM workspace.
+//!
+//! Every other crate in the workspace builds on the small set of concepts
+//! defined here:
+//!
+//! * [`units`] — throughput and size units ([`Gbps`], [`ByteSize`]) with the
+//!   arithmetic the resource model needs.
+//! * [`time`] — the simulation clock ([`SimTime`]) and durations
+//!   ([`SimDuration`]), stored as integer nanoseconds so discrete-event
+//!   ordering is exact and reproducible.
+//! * [`id`] — strongly typed identifiers for vNFs, instances, chains, flows
+//!   and devices.
+//! * [`device`] — where things run: the [`Device`] (SmartNIC or host CPU),
+//!   chain [`Endpoint`]s (the physical wire or the host), and the
+//!   [`Side`] abstraction PAM's border analysis is defined over.
+//! * [`error`] — the shared [`PamError`] type.
+//!
+//! The crate has no dependencies beyond `serde` and forbids `unsafe` code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod id;
+pub mod time;
+pub mod units;
+
+pub use device::{Device, Endpoint, Hop, Side};
+pub use error::{PamError, Result};
+pub use id::{ChainId, DeviceId, FlowId, InstanceId, InstanceIdGen, NfId};
+pub use time::{SimDuration, SimTime};
+pub use units::{ByteSize, Gbps, Ratio};

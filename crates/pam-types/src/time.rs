@@ -1,0 +1,405 @@
+//! Simulation time.
+//!
+//! The discrete-event simulator and every latency measurement in the
+//! workspace use an integer nanosecond clock: [`SimTime`] is an instant on
+//! that clock and [`SimDuration`] the difference between two instants.
+//! Integer nanoseconds keep event ordering exact (no floating-point ties) and
+//! make runs bit-for-bit reproducible for a given seed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{ByteSize, Gbps};
+
+/// An instant on the simulation clock, in nanoseconds since the start of the
+/// simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for events that are never scheduled.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant from seconds since simulation start.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start (fractional).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Seconds since simulation start (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is in the future.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, `None` on overflow.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulation time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds (rounded to nanoseconds).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Creates a duration from fractional microseconds (rounded to nanoseconds).
+    pub fn from_micros_f64(micros: f64) -> Self {
+        SimDuration((micros.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// The time needed to serialise `size` bytes onto a link of rate `rate`.
+    ///
+    /// Returns [`SimDuration::ZERO`] for a zero rate rather than dividing by
+    /// zero; callers treat a zero-rate link as infinitely fast (pure latency).
+    pub fn transmission(size: ByteSize, rate: Gbps) -> Self {
+        if rate.as_gbps() <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(size.as_bits() as f64 / rate.as_bits_per_sec())
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this duration (fractional).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds in this duration (fractional).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds in this duration (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2} us", self.as_micros_f64())
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * rhs.max(0.0)).round() as u64)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_nanos(d.0)
+    }
+}
+
+impl From<std::time::Duration> for SimDuration {
+    fn from(d: std::time::Duration) -> Self {
+        SimDuration(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_nanos(1_000_000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(
+            SimDuration::from_micros_f64(22.5),
+            SimDuration::from_nanos(22_500)
+        );
+    }
+
+    #[test]
+    fn time_duration_arithmetic() {
+        let t0 = SimTime::from_micros(100);
+        let d = SimDuration::from_micros(25);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_nanos(), 125_000);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.duration_since(t0), d);
+        // saturating behaviour when "earlier" is later
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+        assert_eq!(t0 - d, SimTime::from_micros(75));
+    }
+
+    #[test]
+    fn transmission_time_matches_line_rate() {
+        // 1500 B at 10 Gbps = 1.2 microseconds.
+        let d = SimDuration::transmission(ByteSize::bytes(1500), Gbps::new(10.0));
+        assert_eq!(d, SimDuration::from_nanos(1200));
+        // 64 B at 10 Gbps = 51.2 ns.
+        let d = SimDuration::transmission(ByteSize::bytes(64), Gbps::new(10.0));
+        assert_eq!(d, SimDuration::from_nanos(51));
+        // Zero rate means "no serialisation delay".
+        assert_eq!(
+            SimDuration::transmission(ByteSize::bytes(1500), Gbps::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d * 3u64, SimDuration::from_micros(30));
+        assert_eq!(d * 0.5, SimDuration::from_micros(5));
+        assert_eq!(d / 2, SimDuration::from_micros(5));
+        assert_eq!(d.saturating_mul(4), SimDuration::from_micros(40));
+        let total: SimDuration = vec![d, d, d].into_iter().sum();
+        assert_eq!(total, SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn saturating_subtraction() {
+        let a = SimDuration::from_micros(5);
+        let b = SimDuration::from_micros(9);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        let mut c = a;
+        c -= b;
+        assert_eq!(c, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(950)), "950 ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(22)), "22.00 us");
+        assert_eq!(format!("{}", SimDuration::from_millis(3)), "3.000 ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000 s");
+        assert_eq!(format!("{}", SimTime::from_micros(22)), "t=22.00 us");
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d = SimDuration::from_millis(12);
+        let std: std::time::Duration = d.into();
+        assert_eq!(std.as_millis(), 12);
+        assert_eq!(SimDuration::from(std), d);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimDuration::from_nanos(3).max(SimDuration::from_nanos(7)),
+            SimDuration::from_nanos(7)
+        );
+        assert!(SimDuration::ZERO.is_zero());
+        assert_eq!(SimTime::MAX.as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_nanos(5)),
+            Some(SimTime::from_nanos(5))
+        );
+    }
+}

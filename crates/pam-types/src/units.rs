@@ -1,0 +1,503 @@
+//! Throughput and size units.
+//!
+//! The PAM resource model (poster §2) works in units of throughput: every vNF
+//! has a capacity `θ^S_i` on the SmartNIC and `θ^C_i` on the CPU, expressed in
+//! Gbps, and resource consumption is the ratio of current throughput to
+//! capacity. [`Gbps`] and [`Ratio`] make that arithmetic explicit and keep the
+//! unit conversions (bits vs bytes, Gbps vs bits-per-nanosecond) in one place.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A throughput expressed in gigabits per second.
+///
+/// This is the unit the paper's Table 1 uses for vNF capacities and the unit
+/// the experiment harness reports. Internally stored as an `f64` number of
+/// Gbps; helper constructors cover the other representations used in the
+/// workspace (bits/s, bytes over a duration, packets of a given size at a
+/// rate).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Gbps(pub f64);
+
+impl Gbps {
+    /// Zero throughput.
+    pub const ZERO: Gbps = Gbps(0.0);
+
+    /// Creates a throughput from a number of gigabits per second.
+    pub const fn new(gbps: f64) -> Self {
+        Gbps(gbps)
+    }
+
+    /// Creates a throughput from bits per second.
+    pub fn from_bits_per_sec(bps: f64) -> Self {
+        Gbps(bps / 1e9)
+    }
+
+    /// Creates a throughput from bytes per second.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        Gbps(bytes_per_sec * 8.0 / 1e9)
+    }
+
+    /// Creates a throughput from megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        Gbps(mbps / 1e3)
+    }
+
+    /// The throughput achieved by sending `packets_per_sec` packets of
+    /// `packet_size` bytes each.
+    pub fn from_packet_rate(packets_per_sec: f64, packet_size: ByteSize) -> Self {
+        Gbps::from_bytes_per_sec(packets_per_sec * packet_size.as_bytes() as f64)
+    }
+
+    /// Value in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0
+    }
+
+    /// Value in bits per second.
+    pub fn as_bits_per_sec(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Value in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0 * 1e9 / 8.0
+    }
+
+    /// Value in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Number of packets per second of `packet_size` this throughput carries.
+    pub fn packet_rate(self, packet_size: ByteSize) -> f64 {
+        if packet_size.as_bytes() == 0 {
+            return 0.0;
+        }
+        self.as_bytes_per_sec() / packet_size.as_bytes() as f64
+    }
+
+    /// The utilisation ratio of this throughput against a `capacity`
+    /// (`θ_cur / θ_cap` in the paper's notation).
+    ///
+    /// A zero or negative capacity yields [`Ratio::SATURATED`] — anything
+    /// offered to a device with no capacity is, by definition, overload.
+    pub fn utilisation_of(self, capacity: Gbps) -> Ratio {
+        if capacity.0 <= 0.0 {
+            if self.0 <= 0.0 {
+                Ratio::ZERO
+            } else {
+                Ratio::SATURATED
+            }
+        } else {
+            Ratio(self.0 / capacity.0)
+        }
+    }
+
+    /// Clamps a possibly negative intermediate value back to zero.
+    pub fn max_zero(self) -> Gbps {
+        Gbps(self.0.max(0.0))
+    }
+
+    /// Returns the smaller of two throughputs.
+    pub fn min(self, other: Gbps) -> Gbps {
+        Gbps(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two throughputs.
+    pub fn max(self, other: Gbps) -> Gbps {
+        Gbps(self.0.max(other.0))
+    }
+
+    /// True when the value is finite and non-negative.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Gbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 || self.0 == 0.0 {
+            write!(f, "{:.2} Gbps", self.0)
+        } else {
+            write!(f, "{:.1} Mbps", self.0 * 1e3)
+        }
+    }
+}
+
+impl Add for Gbps {
+    type Output = Gbps;
+    fn add(self, rhs: Gbps) -> Gbps {
+        Gbps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Gbps {
+    fn add_assign(&mut self, rhs: Gbps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Gbps {
+    type Output = Gbps;
+    fn sub(self, rhs: Gbps) -> Gbps {
+        Gbps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Gbps {
+    fn sub_assign(&mut self, rhs: Gbps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Gbps {
+    type Output = Gbps;
+    fn mul(self, rhs: f64) -> Gbps {
+        Gbps(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Gbps {
+    type Output = Gbps;
+    fn div(self, rhs: f64) -> Gbps {
+        Gbps(self.0 / rhs)
+    }
+}
+
+impl Div<Gbps> for Gbps {
+    type Output = f64;
+    fn div(self, rhs: Gbps) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Gbps {
+    fn sum<I: Iterator<Item = Gbps>>(iter: I) -> Gbps {
+        iter.fold(Gbps::ZERO, |a, b| a + b)
+    }
+}
+
+/// A dimensionless utilisation ratio (`θ_cur / θ_cap`).
+///
+/// `1.0` means a device or vNF is exactly at capacity; anything above is
+/// overload. The paper's feasibility conditions (Eq. 2 and Eq. 3) are
+/// comparisons of sums of these ratios against 1.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(pub f64);
+
+impl Ratio {
+    /// Zero utilisation.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// Exactly at capacity.
+    pub const FULL: Ratio = Ratio(1.0);
+    /// A sentinel ratio used when capacity is zero but load is offered.
+    pub const SATURATED: Ratio = Ratio(f64::INFINITY);
+
+    /// Creates a ratio from a raw value.
+    pub const fn new(value: f64) -> Self {
+        Ratio(value)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value expressed as a percentage.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// True when the ratio indicates overload with respect to `threshold`
+    /// (strictly greater, matching the paper's `< 1` feasibility conditions).
+    pub fn exceeds(self, threshold: Ratio) -> bool {
+        self.0 > threshold.0
+    }
+
+    /// True when strictly below 1.0 (the paper's feasibility test).
+    pub fn is_feasible(self) -> bool {
+        self.0 < 1.0
+    }
+
+    /// Headroom left before reaching 1.0 (never negative).
+    pub fn headroom(self) -> Ratio {
+        Ratio((1.0 - self.0).max(0.0))
+    }
+
+    /// Saturating clamp to `[0, 1]`, useful for display.
+    pub fn clamped(self) -> Ratio {
+        Ratio(self.0.clamp(0.0, 1.0))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: f64) -> Ratio {
+        Ratio(self.0 * rhs)
+    }
+}
+
+impl Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |a, b| a + b)
+    }
+}
+
+/// A size in bytes.
+///
+/// Packet sizes in the evaluation range from 64 B to 1500 B; buffer and state
+/// sizes during migration are larger, so the type is backed by a `u64`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+    /// The minimum Ethernet frame size used in the evaluation (64 B).
+    pub const MIN_FRAME: ByteSize = ByteSize(64);
+    /// The maximum standard Ethernet frame size used in the evaluation (1500 B).
+    pub const MAX_FRAME: ByteSize = ByteSize(1500);
+
+    /// Creates a size from a number of bytes.
+    pub const fn bytes(n: u64) -> Self {
+        ByteSize(n)
+    }
+
+    /// Creates a size from a number of kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * 1024)
+    }
+
+    /// Creates a size from a number of mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * 1024 * 1024)
+    }
+
+    /// Number of bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits.
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const KIB: u64 = 1024;
+        const MIB: u64 = 1024 * 1024;
+        const GIB: u64 = 1024 * 1024 * 1024;
+        if self.0 >= GIB {
+            write!(f, "{:.2} GiB", self.0 as f64 / GIB as f64)
+        } else if self.0 >= MIB {
+            write!(f, "{:.2} MiB", self.0 as f64 / MIB as f64)
+        } else if self.0 >= 16 * KIB {
+            write!(f, "{:.1} KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversions_round_trip() {
+        let g = Gbps::new(10.0);
+        assert_eq!(g.as_bits_per_sec(), 10e9);
+        assert_eq!(g.as_bytes_per_sec(), 1.25e9);
+        assert_eq!(Gbps::from_bits_per_sec(10e9), g);
+        assert_eq!(Gbps::from_bytes_per_sec(1.25e9), g);
+        assert_eq!(Gbps::from_mbps(10_000.0), g);
+        assert!((g.as_mbps() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbps_packet_rate_matches_inverse() {
+        let size = ByteSize::bytes(1000);
+        let g = Gbps::from_packet_rate(1_000_000.0, size);
+        assert!((g.as_gbps() - 8.0).abs() < 1e-9);
+        assert!((g.packet_rate(size) - 1_000_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gbps_packet_rate_zero_size_is_zero() {
+        assert_eq!(Gbps::new(10.0).packet_rate(ByteSize::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilisation_matches_paper_example() {
+        // Logger at 1 Gbps of offered load against its 2 Gbps SmartNIC capacity.
+        let util = Gbps::new(1.0).utilisation_of(Gbps::new(2.0));
+        assert!((util.value() - 0.5).abs() < 1e-12);
+        assert!(util.is_feasible());
+    }
+
+    #[test]
+    fn utilisation_with_zero_capacity_saturates() {
+        assert_eq!(
+            Gbps::new(1.0).utilisation_of(Gbps::ZERO),
+            Ratio::SATURATED
+        );
+        assert_eq!(Gbps::ZERO.utilisation_of(Gbps::ZERO), Ratio::ZERO);
+    }
+
+    #[test]
+    fn ratio_feasibility_is_strict() {
+        assert!(Ratio::new(0.999).is_feasible());
+        assert!(!Ratio::FULL.is_feasible());
+        assert!(!Ratio::new(1.2).is_feasible());
+    }
+
+    #[test]
+    fn ratio_headroom_never_negative() {
+        assert_eq!(Ratio::new(1.4).headroom(), Ratio::ZERO);
+        assert!((Ratio::new(0.25).headroom().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_sum_matches_manual_addition() {
+        let total: Ratio = [0.1, 0.2, 0.3].iter().map(|&v| Ratio::new(v)).sum();
+        assert!((total.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gbps_arithmetic() {
+        let a = Gbps::new(3.0);
+        let b = Gbps::new(1.5);
+        assert_eq!(a + b, Gbps::new(4.5));
+        assert_eq!(a - b, Gbps::new(1.5));
+        assert_eq!(a * 2.0, Gbps::new(6.0));
+        assert_eq!(a / 2.0, Gbps::new(1.5));
+        assert!((a / b - 2.0).abs() < 1e-12);
+        let sum: Gbps = vec![a, b, b].into_iter().sum();
+        assert_eq!(sum, Gbps::new(6.0));
+    }
+
+    #[test]
+    fn gbps_min_max_and_clamp() {
+        let a = Gbps::new(3.0);
+        let b = Gbps::new(1.5);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!((b - a).max_zero(), Gbps::ZERO);
+        assert!(a.is_valid());
+        assert!(!Gbps::new(f64::NAN).is_valid());
+        assert!(!Gbps::new(-1.0).is_valid());
+    }
+
+    #[test]
+    fn byte_size_constructors_and_display() {
+        assert_eq!(ByteSize::kib(2).as_bytes(), 2048);
+        assert_eq!(ByteSize::mib(1).as_bytes(), 1024 * 1024);
+        assert_eq!(ByteSize::bytes(64).as_bits(), 512);
+        assert_eq!(format!("{}", ByteSize::bytes(1500)), "1500 B");
+        assert_eq!(format!("{}", ByteSize::mib(3)), "3.00 MiB");
+    }
+
+    #[test]
+    fn byte_size_saturating_ops() {
+        let a = ByteSize::bytes(10);
+        let b = ByteSize::bytes(30);
+        assert_eq!(a.saturating_sub(b), ByteSize::ZERO);
+        assert_eq!(a.saturating_add(b), ByteSize::bytes(40));
+        assert_eq!(b - a, ByteSize::bytes(20));
+        assert_eq!(a * 3, ByteSize::bytes(30));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Gbps::new(3.2)), "3.20 Gbps");
+        assert_eq!(format!("{}", Gbps::new(0.5)), "500.0 Mbps");
+        assert_eq!(format!("{}", Ratio::new(0.345)), "34.5%");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g: Gbps = serde_json::from_str("3.2").unwrap();
+        assert_eq!(g, Gbps::new(3.2));
+        assert_eq!(serde_json::to_string(&ByteSize::bytes(64)).unwrap(), "64");
+    }
+}

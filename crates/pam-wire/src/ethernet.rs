@@ -1,0 +1,302 @@
+//! Ethernet II frames.
+
+use std::fmt;
+
+use pam_types::PamError;
+
+/// Length of an Ethernet II header: destination + source MAC + ethertype.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddress(pub [u8; 6]);
+
+impl MacAddress {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddress = MacAddress([0xff; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddress(octets)
+    }
+
+    /// The raw octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// True when the group (multicast) bit is set.
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for unicast (not multicast, not broadcast) addresses.
+    pub fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// A deterministic, locally administered unicast address derived from an
+    /// index. Used by the traffic generator to synthesise endpoints.
+    pub const fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddress([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// The ethertype of the payload carried by a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806) — recognised but not processed by any vNF here.
+    Arp,
+    /// Any other ethertype, kept verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit on-wire value.
+    pub const fn value(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses a 16-bit on-wire value.
+    pub const fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A view over a buffer containing an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer, checking that it is long enough to hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self, PamError> {
+        if buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            return Err(PamError::malformed(
+                "ethernet",
+                format!(
+                    "buffer length {} is shorter than the {ETHERNET_HEADER_LEN}-byte header",
+                    buffer.as_ref().len()
+                ),
+            ));
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Wraps a buffer without length checks; accessors panic on short buffers.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddress {
+        let b = self.buffer.as_ref();
+        MacAddress([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddress {
+        let b = self.buffer.as_ref();
+        MacAddress([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// The ethertype field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from_value(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// The payload following the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Total frame length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: MacAddress) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: MacAddress) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the ethertype field.
+    pub fn set_ethertype(&mut self, ethertype: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&ethertype.value().to_be_bytes());
+    }
+
+    /// Mutable access to the payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+/// A parsed, validated representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source MAC address.
+    pub src: MacAddress,
+    /// Destination MAC address.
+    pub dst: MacAddress,
+    /// Payload ethertype.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parses the header fields out of a frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Self {
+        EthernetRepr {
+            src: frame.src_addr(),
+            dst: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Emits the header fields into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut EthernetFrame<T>) {
+        frame.set_src_addr(self.src);
+        frame.set_dst_addr(self.dst);
+        frame.set_ethertype(self.ethertype);
+    }
+
+    /// The length this header occupies on the wire.
+    pub const fn header_len(&self) -> usize {
+        ETHERNET_HEADER_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut buf = vec![0u8; ETHERNET_HEADER_LEN + 4];
+        buf[0..6].copy_from_slice(&[0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff]);
+        buf[6..12].copy_from_slice(&[0x02, 0x00, 0x00, 0x00, 0x00, 0x01]);
+        buf[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+        buf[14..].copy_from_slice(&[1, 2, 3, 4]);
+        buf
+    }
+
+    #[test]
+    fn parse_fields() {
+        let frame = EthernetFrame::new_checked(sample_frame()).unwrap();
+        assert_eq!(
+            frame.dst_addr(),
+            MacAddress::new([0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff])
+        );
+        assert_eq!(frame.src_addr(), MacAddress::from_index(1));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[1, 2, 3, 4]);
+        assert_eq!(frame.total_len(), 18);
+    }
+
+    #[test]
+    fn short_buffer_is_rejected() {
+        let err = EthernetFrame::new_checked([0u8; 10]).unwrap_err();
+        assert!(matches!(err, PamError::Malformed { layer: "ethernet", .. }));
+    }
+
+    #[test]
+    fn repr_round_trip() {
+        let frame = EthernetFrame::new_checked(sample_frame()).unwrap();
+        let repr = EthernetRepr::parse(&frame);
+        let mut out = EthernetFrame::new_unchecked(vec![0u8; ETHERNET_HEADER_LEN + 4]);
+        repr.emit(&mut out);
+        out.payload_mut().copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(out.into_inner(), sample_frame());
+        assert_eq!(repr.header_len(), 14);
+    }
+
+    #[test]
+    fn setters_update_fields() {
+        let mut frame = EthernetFrame::new_unchecked(vec![0u8; ETHERNET_HEADER_LEN]);
+        frame.set_dst_addr(MacAddress::BROADCAST);
+        frame.set_src_addr(MacAddress::from_index(7));
+        frame.set_ethertype(EtherType::Arp);
+        assert!(frame.dst_addr().is_broadcast());
+        assert!(frame.dst_addr().is_multicast());
+        assert!(frame.src_addr().is_unicast());
+        assert_eq!(frame.ethertype(), EtherType::Arp);
+    }
+
+    #[test]
+    fn ethertype_values() {
+        assert_eq!(EtherType::Ipv4.value(), 0x0800);
+        assert_eq!(EtherType::from_value(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_value(0x86dd), EtherType::Other(0x86dd));
+        assert_eq!(EtherType::Other(0x86dd).value(), 0x86dd);
+        assert_eq!(EtherType::Ipv4.to_string(), "IPv4");
+        assert_eq!(EtherType::Arp.to_string(), "ARP");
+        assert_eq!(EtherType::Other(0x86dd).to_string(), "0x86dd");
+    }
+
+    #[test]
+    fn mac_display_and_classes() {
+        let mac = MacAddress::new([0x02, 0x00, 0x00, 0x00, 0x00, 0x2a]);
+        assert_eq!(mac.to_string(), "02:00:00:00:00:2a");
+        assert!(mac.is_unicast());
+        assert!(!mac.is_broadcast());
+        assert!(MacAddress::new([0x01, 0, 0, 0, 0, 0]).is_multicast());
+        assert_eq!(mac.octets()[5], 0x2a);
+    }
+
+    #[test]
+    fn mac_from_index_is_deterministic_and_unique() {
+        let a = MacAddress::from_index(1);
+        let b = MacAddress::from_index(2);
+        assert_ne!(a, b);
+        assert_eq!(a, MacAddress::from_index(1));
+    }
+}

@@ -1,0 +1,381 @@
+//! IPv4 packets.
+
+use std::net::Ipv4Addr;
+
+use pam_types::PamError;
+
+use crate::checksum::internet_checksum;
+use crate::five_tuple::IpProtocol;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// A view over a buffer containing an IPv4 packet (header + payload).
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer, validating version, header length and total length.
+    pub fn new_checked(buffer: T) -> Result<Self, PamError> {
+        let len = buffer.as_ref().len();
+        if len < IPV4_HEADER_LEN {
+            return Err(PamError::malformed(
+                "ipv4",
+                format!("buffer length {len} is shorter than the 20-byte header"),
+            ));
+        }
+        let packet = Ipv4Packet { buffer };
+        if packet.version() != 4 {
+            return Err(PamError::malformed(
+                "ipv4",
+                format!("version {} is not 4", packet.version()),
+            ));
+        }
+        if packet.header_len() < IPV4_HEADER_LEN || packet.header_len() > len {
+            return Err(PamError::malformed(
+                "ipv4",
+                format!("header length {} is out of range", packet.header_len()),
+            ));
+        }
+        if (packet.total_len() as usize) < packet.header_len()
+            || packet.total_len() as usize > len
+        {
+            return Err(PamError::malformed(
+                "ipv4",
+                format!("total length {} is out of range", packet.total_len()),
+            ));
+        }
+        Ok(packet)
+    }
+
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[0] & 0x0f) as usize) * 4
+    }
+
+    /// Differentiated services field.
+    pub fn dscp(&self) -> u8 {
+        self.buffer.as_ref()[1] >> 2
+    }
+
+    /// Total length field (header + payload) in bytes.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Identification field.
+    pub fn identification(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Time-to-live field.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Transport protocol carried in the payload.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from_number(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// True when the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..self.header_len()];
+        internet_checksum(header) == 0
+    }
+
+    /// The transport payload (bytes after the header, bounded by total length).
+    pub fn payload(&self) -> &[u8] {
+        let header_len = self.header_len();
+        let total = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[header_len..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Sets version 4 and the header length in bytes (must be a multiple of 4).
+    pub fn set_version_and_header_len(&mut self, header_len: usize) {
+        self.buffer.as_mut()[0] = 0x40 | ((header_len / 4) as u8 & 0x0f);
+    }
+
+    /// Sets the DSCP field.
+    pub fn set_dscp(&mut self, dscp: u8) {
+        self.buffer.as_mut()[1] = dscp << 2;
+    }
+
+    /// Sets the total length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the identification field.
+    pub fn set_identification(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Sets flags and fragment offset to "don't fragment, offset 0".
+    pub fn set_dont_fragment(&mut self) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&0x4000u16.to_be_bytes());
+    }
+
+    /// Sets the time-to-live field.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Decrements TTL and refreshes the checksum, returning the new TTL.
+    /// Routers and forwarding vNFs use this.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        let ttl = self.ttl().saturating_sub(1);
+        self.set_ttl(ttl);
+        self.fill_checksum();
+        ttl
+    }
+
+    /// Sets the transport protocol field.
+    pub fn set_protocol(&mut self, protocol: IpProtocol) {
+        self.buffer.as_mut()[9] = protocol.number();
+    }
+
+    /// Sets the checksum field.
+    pub fn set_checksum(&mut self, checksum: u16) {
+        self.buffer.as_mut()[10..12].copy_from_slice(&checksum.to_be_bytes());
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&addr.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, addr: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&addr.octets());
+    }
+
+    /// Zeroes the checksum field, recomputes it over the header and stores it.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let header_len = self.header_len();
+        let csum = internet_checksum(&self.buffer.as_ref()[..header_len]);
+        self.set_checksum(csum);
+    }
+
+    /// Mutable access to the transport payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let header_len = self.header_len();
+        let total = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[header_len..total]
+    }
+}
+
+/// A parsed, validated representation of an IPv4 header (without options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes (excluding the IPv4 header).
+    pub payload_len: usize,
+    /// Time-to-live.
+    pub ttl: u8,
+    /// Differentiated services code point.
+    pub dscp: u8,
+}
+
+impl Ipv4Repr {
+    /// Parses a packet view into a repr, verifying the header checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> Result<Self, PamError> {
+        if !packet.verify_checksum() {
+            return Err(PamError::ChecksumMismatch { layer: "ipv4" });
+        }
+        Ok(Ipv4Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: packet.total_len() as usize - packet.header_len(),
+            ttl: packet.ttl(),
+            dscp: packet.dscp(),
+        })
+    }
+
+    /// Emits this header into a packet view and fills in the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) {
+        packet.set_version_and_header_len(IPV4_HEADER_LEN);
+        packet.set_dscp(self.dscp);
+        packet.set_total_len((IPV4_HEADER_LEN + self.payload_len) as u16);
+        packet.set_identification(0);
+        packet.set_dont_fragment();
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src);
+        packet.set_dst_addr(self.dst);
+        packet.fill_checksum();
+    }
+
+    /// Length of the emitted header.
+    pub const fn header_len(&self) -> usize {
+        IPV4_HEADER_LEN
+    }
+
+    /// Total length (header + payload) of the emitted packet.
+    pub const fn total_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 1, 2),
+            protocol: IpProtocol::Udp,
+            payload_len: 8,
+            ttl: 64,
+            dscp: 0,
+        }
+    }
+
+    fn emitted() -> Vec<u8> {
+        let repr = sample_repr();
+        let mut packet = Ipv4Packet::new_unchecked(vec![0u8; repr.total_len()]);
+        repr.emit(&mut packet);
+        packet.into_inner()
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let buf = emitted();
+        let packet = Ipv4Packet::new_checked(buf).unwrap();
+        assert!(packet.verify_checksum());
+        let parsed = Ipv4Repr::parse(&packet).unwrap();
+        assert_eq!(parsed, sample_repr());
+        assert_eq!(packet.version(), 4);
+        assert_eq!(packet.header_len(), IPV4_HEADER_LEN);
+        assert_eq!(packet.total_len(), 28);
+        assert_eq!(packet.payload().len(), 8);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_detected() {
+        let mut buf = emitted();
+        buf[15] ^= 0xff; // corrupt part of the source address
+        let packet = Ipv4Packet::new_checked(buf).unwrap();
+        assert!(!packet.verify_checksum());
+        assert_eq!(
+            Ipv4Repr::parse(&packet).unwrap_err(),
+            PamError::ChecksumMismatch { layer: "ipv4" }
+        );
+    }
+
+    #[test]
+    fn malformed_buffers_are_rejected() {
+        assert!(Ipv4Packet::new_checked(vec![0u8; 10]).is_err());
+
+        // Wrong version.
+        let mut buf = emitted();
+        buf[0] = 0x65;
+        assert!(Ipv4Packet::new_checked(buf).is_err());
+
+        // Header length larger than the buffer.
+        let mut buf = emitted();
+        buf[0] = 0x4f;
+        assert!(Ipv4Packet::new_checked(buf).is_err());
+
+        // Total length larger than the buffer.
+        let mut buf = emitted();
+        buf[2..4].copy_from_slice(&1000u16.to_be_bytes());
+        assert!(Ipv4Packet::new_checked(buf).is_err());
+    }
+
+    #[test]
+    fn ttl_decrement_refreshes_checksum() {
+        let buf = emitted();
+        let mut packet = Ipv4Packet::new_unchecked(buf);
+        let before = packet.checksum();
+        let ttl = packet.decrement_ttl();
+        assert_eq!(ttl, 63);
+        assert_ne!(packet.checksum(), before);
+        assert!(packet.verify_checksum());
+        // TTL never underflows.
+        packet.set_ttl(0);
+        assert_eq!(packet.decrement_ttl(), 0);
+    }
+
+    #[test]
+    fn nat_style_rewrite_keeps_packet_valid() {
+        let mut packet = Ipv4Packet::new_unchecked(emitted());
+        packet.set_src_addr(Ipv4Addr::new(203, 0, 113, 7));
+        packet.fill_checksum();
+        assert!(packet.verify_checksum());
+        let reparsed = Ipv4Repr::parse(&packet).unwrap();
+        assert_eq!(reparsed.src, Ipv4Addr::new(203, 0, 113, 7));
+        assert_eq!(reparsed.dst, sample_repr().dst);
+    }
+
+    #[test]
+    fn payload_mut_is_bounded_by_total_len() {
+        let repr = sample_repr();
+        // Buffer larger than total_len (e.g. minimum frame padding).
+        let mut buf = vec![0u8; repr.total_len() + 12];
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        assert_eq!(packet.payload().len(), 8);
+        packet.payload_mut().fill(0xab);
+        assert_eq!(packet.payload(), &[0xab; 8]);
+    }
+
+    #[test]
+    fn field_accessors() {
+        let mut packet = Ipv4Packet::new_unchecked(emitted());
+        packet.set_dscp(46); // expedited forwarding
+        packet.set_identification(0x1234);
+        packet.fill_checksum();
+        assert_eq!(packet.dscp(), 46);
+        assert_eq!(packet.identification(), 0x1234);
+        assert_eq!(packet.protocol(), IpProtocol::Udp);
+        assert_eq!(packet.ttl(), 64);
+    }
+}

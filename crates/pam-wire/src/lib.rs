@@ -1,0 +1,41 @@
+//! Packet wire formats for the PAM workspace.
+//!
+//! The vNFs in [`pam-nf`](https://docs.rs/pam-nf) operate on real packet
+//! bytes: the firewall matches 5-tuples, the NAT rewrites addresses and
+//! recomputes checksums, the DPI engine scans payloads. This crate provides
+//! the minimal, dependency-free wire formats those vNFs need, following the
+//! two-level design used by `smoltcp`:
+//!
+//! * **view types** ([`EthernetFrame`], [`Ipv4Packet`], [`TcpSegment`],
+//!   [`UdpDatagram`]) wrap a byte buffer (`AsRef<[u8]>`, optionally
+//!   `AsMut<[u8]>`) and expose typed field accessors without copying;
+//! * **repr types** ([`EthernetRepr`], [`Ipv4Repr`], [`TcpRepr`],
+//!   [`UdpRepr`]) are parsed, validated summaries that can be emitted back
+//!   into a buffer.
+//!
+//! [`FiveTuple`] extraction and the [`PacketBuilder`] used by the traffic
+//! generator sit on top.
+//!
+//! Supported: Ethernet II, IPv4 (no options beyond raw length handling),
+//! TCP, UDP, internet checksums. Deliberately unsupported (not needed by the
+//! reproduction): VLANs, IPv6, IP fragmentation and TCP option parsing
+//! beyond the data-offset field.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod five_tuple;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use builder::{PacketBuilder, TransportKind};
+pub use checksum::{internet_checksum, pseudo_header_checksum};
+pub use ethernet::{EtherType, EthernetFrame, EthernetRepr, MacAddress, ETHERNET_HEADER_LEN};
+pub use five_tuple::{FiveTuple, IpProtocol};
+pub use ipv4::{Ipv4Packet, Ipv4Repr, IPV4_HEADER_LEN};
+pub use tcp::{TcpFlags, TcpRepr, TcpSegment, TCP_HEADER_LEN};
+pub use udp::{UdpDatagram, UdpRepr, UDP_HEADER_LEN};

@@ -1,0 +1,391 @@
+//! TCP segments.
+
+use pam_types::PamError;
+use std::fmt;
+
+use crate::checksum::pseudo_header_checksum;
+use crate::five_tuple::IpProtocol;
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// FIN: sender has finished sending.
+    pub fin: bool,
+    /// SYN: synchronise sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+    /// ACK: the acknowledgement number is valid.
+    pub ack: bool,
+}
+
+impl TcpFlags {
+    /// Flags for a connection-opening SYN segment.
+    pub const SYN: TcpFlags = TcpFlags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: false,
+    };
+    /// Flags for an established-connection data segment (ACK set).
+    pub const ACK: TcpFlags = TcpFlags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+    };
+    /// Flags for a connection-closing FIN+ACK segment.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        fin: true,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+    };
+
+    /// Encodes the flags into the low byte of the TCP flags field.
+    pub fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.psh) << 3)
+            | (u8::from(self.ack) << 4)
+    }
+
+    /// Decodes the low byte of the TCP flags field.
+    pub fn from_byte(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.syn {
+            names.push("SYN");
+        }
+        if self.ack {
+            names.push("ACK");
+        }
+        if self.fin {
+            names.push("FIN");
+        }
+        if self.rst {
+            names.push("RST");
+        }
+        if self.psh {
+            names.push("PSH");
+        }
+        if names.is_empty() {
+            write!(f, "-")
+        } else {
+            write!(f, "{}", names.join("|"))
+        }
+    }
+}
+
+/// A view over a buffer containing a TCP segment (header + payload).
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps a buffer, checking it is long enough for the fixed header and
+    /// that the data offset is consistent.
+    pub fn new_checked(buffer: T) -> Result<Self, PamError> {
+        let len = buffer.as_ref().len();
+        if len < TCP_HEADER_LEN {
+            return Err(PamError::malformed(
+                "tcp",
+                format!("buffer length {len} is shorter than the 20-byte header"),
+            ));
+        }
+        let seg = TcpSegment { buffer };
+        if seg.header_len() < TCP_HEADER_LEN || seg.header_len() > len {
+            return Err(PamError::malformed(
+                "tcp",
+                format!("data offset {} bytes is out of range", seg.header_len()),
+            ));
+        }
+        Ok(seg)
+    }
+
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpSegment { buffer }
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_number(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[12] >> 4) as usize) * 4
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags::from_byte(self.buffer.as_ref()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// Payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verifies the checksum given the pseudo-header addresses.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        pseudo_header_checksum(src, dst, IpProtocol::Tcp, self.buffer.as_ref()) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq_number(&mut self, seq: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Sets the acknowledgement number.
+    pub fn set_ack_number(&mut self, ack: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&ack.to_be_bytes());
+    }
+
+    /// Sets the data offset for a header of `len` bytes (multiple of 4).
+    pub fn set_header_len(&mut self, len: usize) {
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Sets the control flags.
+    pub fn set_flags(&mut self, flags: TcpFlags) {
+        self.buffer.as_mut()[13] = flags.to_byte();
+    }
+
+    /// Sets the receive window.
+    pub fn set_window(&mut self, window: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&window.to_be_bytes());
+    }
+
+    /// Sets the checksum field.
+    pub fn set_checksum(&mut self, checksum: u16) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&checksum.to_be_bytes());
+    }
+
+    /// Computes and stores the checksum for the given pseudo-header addresses.
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.set_checksum(0);
+        let csum = pseudo_header_checksum(src, dst, IpProtocol::Tcp, self.buffer.as_ref());
+        self.set_checksum(csum);
+    }
+}
+
+/// A parsed representation of a TCP header (without options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpRepr {
+    /// Parses a segment view into a repr.
+    pub fn parse<T: AsRef<[u8]>>(seg: &TcpSegment<T>) -> Self {
+        TcpRepr {
+            src_port: seg.src_port(),
+            dst_port: seg.dst_port(),
+            seq: seg.seq_number(),
+            ack: seg.ack_number(),
+            flags: seg.flags(),
+            window: seg.window(),
+        }
+    }
+
+    /// Emits this header into a segment view (checksum left to the caller,
+    /// which knows the pseudo-header addresses).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, seg: &mut TcpSegment<T>) {
+        seg.set_src_port(self.src_port);
+        seg.set_dst_port(self.dst_port);
+        seg.set_seq_number(self.seq);
+        seg.set_ack_number(self.ack);
+        seg.set_header_len(TCP_HEADER_LEN);
+        seg.set_flags(self.flags);
+        seg.set_window(self.window);
+    }
+
+    /// Length of the emitted header.
+    pub const fn header_len(&self) -> usize {
+        TCP_HEADER_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [10, 0, 0, 1];
+    const DST: [u8; 4] = [10, 0, 0, 2];
+
+    fn sample_repr() -> TcpRepr {
+        TcpRepr {
+            src_port: 443,
+            dst_port: 51234,
+            seq: 0x0102_0304,
+            ack: 0x0a0b_0c0d,
+            flags: TcpFlags::ACK,
+            window: 29200,
+        }
+    }
+
+    fn emitted(payload: &[u8]) -> Vec<u8> {
+        let mut seg = TcpSegment::new_unchecked(vec![0u8; TCP_HEADER_LEN + payload.len()]);
+        sample_repr().emit(&mut seg);
+        seg.payload_dummy_fill(payload);
+        seg.fill_checksum(SRC, DST);
+        seg.into_inner()
+    }
+
+    impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+        fn payload_dummy_fill(&mut self, payload: &[u8]) {
+            let off = self.header_len();
+            self.buffer.as_mut()[off..off + payload.len()].copy_from_slice(payload);
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let buf = emitted(b"hello");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(TcpRepr::parse(&seg), sample_repr());
+        assert_eq!(seg.payload(), b"hello");
+        assert!(seg.verify_checksum(SRC, DST));
+        assert_eq!(sample_repr().header_len(), TCP_HEADER_LEN);
+    }
+
+    #[test]
+    fn checksum_depends_on_pseudo_header() {
+        let buf = emitted(b"data");
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!seg.verify_checksum(SRC, [10, 0, 0, 3]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = emitted(b"data");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!seg.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn short_and_inconsistent_buffers_rejected() {
+        assert!(TcpSegment::new_checked([0u8; 10]).is_err());
+        let mut buf = vec![0u8; TCP_HEADER_LEN];
+        buf[12] = 0xf0; // data offset 60 bytes > buffer
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+        buf[12] = 0x40; // data offset 16 bytes < 20
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for flags in [
+            TcpFlags::SYN,
+            TcpFlags::ACK,
+            TcpFlags::FIN_ACK,
+            TcpFlags {
+                rst: true,
+                psh: true,
+                ..TcpFlags::default()
+            },
+        ] {
+            assert_eq!(TcpFlags::from_byte(flags.to_byte()), flags);
+        }
+        assert_eq!(TcpFlags::SYN.to_string(), "SYN");
+        assert_eq!(TcpFlags::FIN_ACK.to_string(), "ACK|FIN");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+
+    #[test]
+    fn port_rewrite_keeps_checksum_valid_after_refill() {
+        let mut buf = emitted(b"payload");
+        {
+            let mut seg = TcpSegment::new_unchecked(&mut buf[..]);
+            seg.set_src_port(8080);
+            seg.fill_checksum(SRC, DST);
+        }
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.src_port(), 8080);
+        assert!(seg.verify_checksum(SRC, DST));
+    }
+}

@@ -1,0 +1,251 @@
+//! UDP datagrams.
+
+use pam_types::PamError;
+
+use crate::checksum::pseudo_header_checksum;
+use crate::five_tuple::IpProtocol;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A view over a buffer containing a UDP datagram (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer, checking header presence and length-field consistency.
+    pub fn new_checked(buffer: T) -> Result<Self, PamError> {
+        let len = buffer.as_ref().len();
+        if len < UDP_HEADER_LEN {
+            return Err(PamError::malformed(
+                "udp",
+                format!("buffer length {len} is shorter than the 8-byte header"),
+            ));
+        }
+        let dgram = UdpDatagram { buffer };
+        let field = dgram.length() as usize;
+        if field < UDP_HEADER_LEN || field > len {
+            return Err(PamError::malformed(
+                "udp",
+                format!("length field {field} is out of range for buffer of {len}"),
+            ));
+        }
+        Ok(dgram)
+    }
+
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Releases the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// The length field (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// The checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// The payload (bounded by the length field).
+    pub fn payload(&self) -> &[u8] {
+        let end = (self.length() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[UDP_HEADER_LEN..end]
+    }
+
+    /// Verifies the checksum given pseudo-header addresses. A zero checksum
+    /// means "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let end = (self.length() as usize).min(self.buffer.as_ref().len());
+        pseudo_header_checksum(src, dst, IpProtocol::Udp, &self.buffer.as_ref()[..end]) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_length(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the checksum field.
+    pub fn set_checksum(&mut self, checksum: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&checksum.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = (self.length() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN..end]
+    }
+
+    /// Computes and stores the checksum for the given pseudo-header
+    /// addresses. RFC 768 maps a computed value of zero to `0xffff`.
+    pub fn fill_checksum(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.set_checksum(0);
+        let end = (self.length() as usize).min(self.buffer.as_ref().len());
+        let mut csum =
+            pseudo_header_checksum(src, dst, IpProtocol::Udp, &self.buffer.as_ref()[..end]);
+        if csum == 0 {
+            csum = 0xffff;
+        }
+        self.set_checksum(csum);
+    }
+}
+
+/// A parsed representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes (excluding the UDP header).
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parses a datagram view into a repr.
+    pub fn parse<T: AsRef<[u8]>>(dgram: &UdpDatagram<T>) -> Self {
+        UdpRepr {
+            src_port: dgram.src_port(),
+            dst_port: dgram.dst_port(),
+            payload_len: dgram.length() as usize - UDP_HEADER_LEN,
+        }
+    }
+
+    /// Emits this header into a datagram view (checksum left to the caller).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, dgram: &mut UdpDatagram<T>) {
+        dgram.set_src_port(self.src_port);
+        dgram.set_dst_port(self.dst_port);
+        dgram.set_length((UDP_HEADER_LEN + self.payload_len) as u16);
+    }
+
+    /// Length of the emitted header.
+    pub const fn header_len(&self) -> usize {
+        UDP_HEADER_LEN
+    }
+
+    /// Total emitted length (header + payload).
+    pub const fn total_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [172, 16, 0, 1];
+    const DST: [u8; 4] = [172, 16, 0, 2];
+
+    fn emitted(payload: &[u8]) -> Vec<u8> {
+        let repr = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut dgram = UdpDatagram::new_unchecked(vec![0u8; repr.total_len()]);
+        repr.emit(&mut dgram);
+        dgram.payload_mut().copy_from_slice(payload);
+        dgram.fill_checksum(SRC, DST);
+        dgram.into_inner()
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let buf = emitted(b"query");
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        let repr = UdpRepr::parse(&dgram);
+        assert_eq!(repr.src_port, 5353);
+        assert_eq!(repr.dst_port, 53);
+        assert_eq!(repr.payload_len, 5);
+        assert_eq!(dgram.payload(), b"query");
+        assert!(dgram.verify_checksum(SRC, DST));
+        assert_eq!(repr.header_len(), 8);
+        assert_eq!(repr.total_len(), 13);
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let mut buf = emitted(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = emitted(b"abcdef");
+        buf[9] ^= 0x80;
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn invalid_length_field_rejected() {
+        assert!(UdpDatagram::new_checked([0u8; 4]).is_err());
+        let mut buf = emitted(b"abc");
+        buf[4..6].copy_from_slice(&3u16.to_be_bytes()); // < header
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // > buffer
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn payload_bounded_by_length_field() {
+        // Buffer padded beyond the UDP length field (e.g. minimum Ethernet frame).
+        let mut buf = emitted(b"ab");
+        buf.extend_from_slice(&[0xee; 10]);
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dgram.payload(), b"ab");
+    }
+
+    #[test]
+    fn port_rewrite() {
+        let mut buf = emitted(b"p");
+        {
+            let mut dgram = UdpDatagram::new_unchecked(&mut buf[..]);
+            dgram.set_dst_port(9999);
+            dgram.fill_checksum(SRC, DST);
+        }
+        let dgram = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dgram.dst_port(), 9999);
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+}

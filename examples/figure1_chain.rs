@@ -1,0 +1,69 @@
+//! The full Figure 1 scenario, packet by packet: the chain runs at a
+//! comfortable baseline, traffic fluctuates upward, the SmartNIC overloads,
+//! and the orchestrator (PAM vs the naive baseline) reacts by live-migrating
+//! a vNF. Prints the resulting latency/throughput comparison — the same
+//! pipeline the Figure 2 reproduction uses.
+//!
+//! Run with `cargo run --release --example figure1_chain`.
+
+use pam::experiments::figure2::{run_figure2, Figure2Config};
+use pam::experiments::Figure1Scenario;
+use pam::prelude::*;
+
+fn main() {
+    let scenario = Figure1Scenario::default();
+    println!(
+        "scenario: {} baseline for {}, then {} for {} (overloads the SmartNIC)",
+        scenario.baseline_load,
+        SimDuration::from(scenario.baseline_duration),
+        scenario.overload_load,
+        SimDuration::from(scenario.overload_duration),
+    );
+
+    // Watch one PAM-managed run in detail.
+    let mut runtime = scenario.build_runtime().expect("runtime");
+    let mut trace = scenario.build_trace();
+    let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+    orchestrator.run(
+        &mut runtime,
+        &mut trace,
+        SimTime::ZERO + scenario.total_duration(),
+    );
+
+    println!("\ncontrol-plane decisions:");
+    for record in orchestrator.log().iter().filter(|r| !r.decision.is_no_action()) {
+        println!(
+            "  {}: offered {}, NIC util {:.0}%, decision: {}",
+            record.at,
+            record.offered,
+            record.nic_utilisation * 100.0,
+            record.decision
+        );
+        for migration in &record.executed {
+            println!(
+                "    migrated {} {} -> {} ({} of state, blackout {})",
+                migration.nf,
+                migration.from,
+                migration.to,
+                migration.state_size,
+                migration.blackout()
+            );
+        }
+    }
+
+    let outcome = runtime.outcome();
+    println!(
+        "\nPAM run: delivered {}/{} packets, mean latency {}, delivered throughput {}",
+        outcome.delivered, outcome.injected, outcome.mean_latency, outcome.delivered_throughput
+    );
+
+    // And the full three-way comparison (reduced sweep so the example stays fast).
+    println!("\nFigure 2 (reduced packet-size sweep):\n");
+    let results = run_figure2(&Figure2Config::quick());
+    println!("{}", results.render_latency());
+    println!("{}", results.render_throughput());
+    println!(
+        "PAM latency reduction vs naive: {:.1}% (paper reports ~18%)",
+        results.pam_latency_reduction_vs_naive()
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: plan a push-aside migration for the poster's Figure 1 chain.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pam::prelude::*;
+
+fn main() {
+    // The Figure 1 chain (Firewall → Monitor → Logger → Load Balancer) with
+    // the paper's Table 1 capacities; everything but the Load Balancer starts
+    // on the SmartNIC.
+    let chain = ChainModel::figure1_example();
+    let placement = Placement::figure1_initial();
+
+    // Traffic has fluctuated up to 2.2 Gbps and the SmartNIC is overloaded.
+    let offered = Gbps::new(2.2);
+    let model = ResourceModel::new(&chain, &placement, offered);
+    println!("offered load: {offered}");
+    println!(
+        "SmartNIC utilisation: {:.1}%  CPU utilisation: {:.1}%",
+        model.device_utilisation(Device::SmartNic).value() * 100.0,
+        model.device_utilisation(Device::Cpu).value() * 100.0
+    );
+
+    // Ask the three strategies what to do.
+    let latency = LatencyModel::default();
+    for kind in [StrategyKind::Original, StrategyKind::NaiveBottleneck, StrategyKind::Pam] {
+        let decision = kind.build().decide(&chain, &placement, offered);
+        let mut after = placement.clone();
+        if let Some(plan) = decision.plan() {
+            for mv in &plan.moves {
+                after.set(mv.nf, mv.to).expect("valid move");
+            }
+        }
+        println!(
+            "\n{:<9} decision: {}",
+            kind.label(),
+            decision
+        );
+        println!(
+            "          PCIe crossings per packet: {} -> {}",
+            placement.pcie_crossings(&chain),
+            after.pcie_crossings(&chain)
+        );
+        println!(
+            "          estimated chain latency: {} -> {}",
+            latency.chain_latency(&chain, &placement),
+            latency.chain_latency(&chain, &after)
+        );
+    }
+
+    println!(
+        "\nPAM picks the border Logger (smallest θS among border vNFs), so the hot-spot\n\
+         Monitor gets its SmartNIC capacity back without any extra PCIe crossing."
+    );
+}

@@ -1,0 +1,60 @@
+//! PAM — *When Overloaded, Push Your Neighbor Aside!* — reproduced in Rust.
+//!
+//! This facade crate re-exports the whole workspace under one name so that
+//! examples, integration tests and downstream users can write `use pam::...`:
+//!
+//! * [`types`] — shared units, time, identifiers and devices.
+//! * [`wire`] — packet formats (Ethernet/IPv4/TCP/UDP).
+//! * [`sim`] — the discrete-event simulation core and device models.
+//! * [`nf`] — the network-function framework and the concrete vNFs.
+//! * [`traffic`] — synthetic traffic generation.
+//! * [`telemetry`] — counters, histograms and the metrics registry.
+//! * [`core`] — the PAM algorithm, its baselines and the resource model.
+//! * [`runtime`] — the packet-level chain runtime with live migration.
+//! * [`orchestrator`] — the periodic monitor/decide/migrate control loop.
+//! * [`experiments`] — the harness that regenerates the paper's tables and
+//!   figures.
+//!
+//! The [`prelude`] pulls in the handful of types almost every user needs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pam::prelude::*;
+//!
+//! // The poster's Figure 1 chain with Table 1 capacities, overloaded at 2.2 Gbps.
+//! let chain = ChainModel::figure1_example();
+//! let placement = Placement::figure1_initial();
+//! let decision = PamPlanner::new().decide(&chain, &placement, Gbps::new(2.2));
+//!
+//! // PAM pushes the border Logger aside instead of the overloaded Monitor.
+//! let plan = decision.plan().expect("the SmartNIC is overloaded");
+//! assert_eq!(plan.moves[0].nf, NfId::new(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pam_core as core;
+pub use pam_experiments as experiments;
+pub use pam_nf as nf;
+pub use pam_orchestrator as orchestrator;
+pub use pam_runtime as runtime;
+pub use pam_sim as sim;
+pub use pam_telemetry as telemetry;
+pub use pam_traffic as traffic;
+pub use pam_types as types;
+pub use pam_wire as wire;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use pam_core::{
+        ChainModel, Decision, LatencyModel, MigrationPlan, MigrationStrategy, NaiveBottleneck,
+        NoMigration, PamPlanner, Placement, ResourceModel, StrategyKind, VnfDescriptor,
+    };
+    pub use pam_nf::{NfKind, ProfileCatalog, ServiceChainSpec};
+    pub use pam_orchestrator::{Orchestrator, OrchestratorConfig};
+    pub use pam_runtime::{ChainRuntime, RuntimeConfig};
+    pub use pam_traffic::{PacketSizeProfile, TraceConfig, TraceSynthesizer, TrafficSchedule};
+    pub use pam_types::{ByteSize, Device, Endpoint, Gbps, NfId, SimDuration, SimTime};
+}

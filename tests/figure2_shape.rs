@@ -1,0 +1,71 @@
+//! Cross-crate integration test: the packet-level reproduction of Figure 2
+//! keeps the paper's qualitative result — PAM's latency stays at the
+//! pre-migration level while the naive migration pays for its extra PCIe
+//! crossings, and both migrations restore throughput the overloaded original
+//! cannot deliver.
+
+use pam::experiments::figure2::{run_figure2, Figure2Config};
+use pam::prelude::*;
+
+#[test]
+fn figure2_shape_is_reproduced_end_to_end() {
+    let results = run_figure2(&Figure2Config::quick());
+    let original = results.row(StrategyKind::Original).expect("original row");
+    let naive = results
+        .row(StrategyKind::NaiveBottleneck)
+        .expect("naive row");
+    let pam = results.row(StrategyKind::Pam).expect("pam row");
+
+    // Figure 2(a): latency ordering and magnitude.
+    assert!(
+        pam.mean_latency < naive.mean_latency,
+        "PAM ({}) must beat naive ({})",
+        pam.mean_latency,
+        naive.mean_latency
+    );
+    let reduction = results.pam_latency_reduction_vs_naive();
+    assert!(
+        (8.0..35.0).contains(&reduction),
+        "latency reduction {reduction:.1}% is out of the expected band around the paper's 18%"
+    );
+    let drift = (pam.mean_latency.as_micros_f64() - original.mean_latency.as_micros_f64()).abs()
+        / original.mean_latency.as_micros_f64();
+    assert!(
+        drift < 0.10,
+        "PAM latency should be almost unchanged vs the original chain (drift {drift:.3})"
+    );
+
+    // Figure 2(b): throughput ordering.
+    assert!(naive.throughput.as_gbps() > original.throughput.as_gbps());
+    assert!(pam.throughput.as_gbps() >= naive.throughput.as_gbps() * 0.98);
+
+    // Structural explanation: crossings per packet.
+    assert!(naive.crossings_per_packet > pam.crossings_per_packet + 1.0);
+}
+
+#[test]
+fn analytical_and_packet_level_models_agree_on_the_ordering() {
+    let chain = ChainModel::figure1_example();
+    let original = Placement::figure1_initial();
+    let mut naive = original.clone();
+    naive.set(NfId::new(1), Device::Cpu).unwrap();
+    let mut pam = original.clone();
+    pam.set(NfId::new(2), Device::Cpu).unwrap();
+
+    let model = LatencyModel::default();
+    let analytic_naive = model.chain_latency(&chain, &naive);
+    let analytic_pam = model.chain_latency(&chain, &pam);
+    assert!(analytic_pam < analytic_naive);
+
+    let packet_level = run_figure2(&Figure2Config::quick());
+    let sim_naive = packet_level
+        .row(StrategyKind::NaiveBottleneck)
+        .unwrap()
+        .mean_latency;
+    let sim_pam = packet_level.row(StrategyKind::Pam).unwrap().mean_latency;
+    // Orderings agree and magnitudes are within 25% of each other (the
+    // packet-level run adds queueing the analytical model ignores).
+    assert!(sim_pam < sim_naive);
+    let ratio = sim_pam.as_micros_f64() / analytic_pam.as_micros_f64();
+    assert!((0.75..1.35).contains(&ratio), "sim/analytic ratio {ratio:.2}");
+}

@@ -1,0 +1,63 @@
+//! End-to-end control-plane behaviour through the public facade: PAM and the
+//! naive baseline react to the same overload with different migrations, and
+//! Table 1 capacities are recovered by the capacity probe.
+
+use pam::prelude::*;
+use pam::runtime::probe_capacity;
+
+fn run_strategy(strategy: StrategyKind) -> (Placement, usize) {
+    let scenario = pam::experiments::Figure1Scenario {
+        sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+        baseline_duration: SimDuration::from_millis(3),
+        overload_duration: SimDuration::from_millis(9),
+        ..Default::default()
+    };
+    let mut runtime = scenario.build_runtime().unwrap();
+    let mut trace = scenario.build_trace();
+    let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(strategy));
+    orchestrator.run(
+        &mut runtime,
+        &mut trace,
+        SimTime::ZERO + scenario.total_duration(),
+    );
+    (runtime.placement(), orchestrator.migrations_executed())
+}
+
+#[test]
+fn pam_and_naive_pick_different_vnfs_for_the_same_overload() {
+    let (pam_placement, pam_migrations) = run_strategy(StrategyKind::Pam);
+    let (naive_placement, naive_migrations) = run_strategy(StrategyKind::NaiveBottleneck);
+
+    assert_eq!(pam_migrations, 1);
+    assert_eq!(naive_migrations, 1);
+
+    // PAM pushes the border Logger aside; naive moves the hot-spot Monitor.
+    assert_eq!(
+        pam_placement.device_of(NfId::new(2)).unwrap(),
+        Device::Cpu,
+        "PAM should migrate the Logger"
+    );
+    assert_eq!(
+        pam_placement.device_of(NfId::new(1)).unwrap(),
+        Device::SmartNic
+    );
+    assert_eq!(
+        naive_placement.device_of(NfId::new(1)).unwrap(),
+        Device::Cpu,
+        "the naive baseline should migrate the Monitor"
+    );
+
+    // Crossing counts follow Figure 1: PAM keeps 3, naive pays 5.
+    let chain = ChainModel::figure1_example();
+    assert_eq!(pam_placement.pcie_crossings(&chain), 3);
+    assert_eq!(naive_placement.pcie_crossings(&chain), 5);
+}
+
+#[test]
+fn capacity_probe_recovers_table1_for_the_monitor() {
+    let catalog = ProfileCatalog::table1();
+    let nic = probe_capacity(NfKind::Monitor, Device::SmartNic, &catalog);
+    let cpu = probe_capacity(NfKind::Monitor, Device::Cpu, &catalog);
+    assert!((nic.measured.as_gbps() - 3.2).abs() / 3.2 < 0.1);
+    assert!((cpu.measured.as_gbps() - 10.0).abs() / 10.0 < 0.1);
+}
