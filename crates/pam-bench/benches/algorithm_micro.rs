@@ -25,7 +25,13 @@ fn chain_of(n: usize) -> (ChainModel, Placement) {
         .collect();
     let chain = ChainModel::new("bench", Endpoint::Host, Endpoint::Wire, vnfs);
     let devices = (0..n)
-        .map(|i| if i % 4 == 3 { Device::Cpu } else { Device::SmartNic })
+        .map(|i| {
+            if i % 4 == 3 {
+                Device::Cpu
+            } else {
+                Device::SmartNic
+            }
+        })
         .collect();
     (chain, Placement::from_devices(devices))
 }

@@ -10,7 +10,7 @@ use pam_runtime::probe_capacity;
 use pam_types::Device;
 
 fn bench_table1(c: &mut Criterion) {
-    let results = run_table1(&[]);
+    let results = run_table1(&[]).unwrap();
     println!("\n{}", results.render());
     println!(
         "worst relative error vs the paper's Table 1: {:.1}%\n",

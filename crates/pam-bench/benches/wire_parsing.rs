@@ -15,7 +15,12 @@ fn bench_wire(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("build_512B_tcp", |b| {
-        b.iter(|| PacketBuilder::new().transport(TransportKind::Tcp).total_len(512).build())
+        b.iter(|| {
+            PacketBuilder::new()
+                .transport(TransportKind::Tcp)
+                .total_len(512)
+                .build()
+        })
     });
     group.bench_function("parse_five_tuple", |b| {
         b.iter(|| {
@@ -28,7 +33,12 @@ fn bench_wire(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("nf_process");
     group.throughput(Throughput::Elements(1));
-    for kind in [NfKind::Firewall, NfKind::Monitor, NfKind::LoadBalancer, NfKind::Dpi] {
+    for kind in [
+        NfKind::Firewall,
+        NfKind::Monitor,
+        NfKind::LoadBalancer,
+        NfKind::Dpi,
+    ] {
         group.bench_function(kind.name(), |b| {
             let mut nf = build_kind(kind);
             let ctx = NfContext::at(SimTime::ZERO);

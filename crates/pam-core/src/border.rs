@@ -86,13 +86,18 @@ pub fn border_sets(chain: &ChainModel, placement: &Placement) -> BorderSets {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pam_types::{Endpoint, Gbps};
     use crate::model::VnfDescriptor;
+    use pam_types::{Endpoint, Gbps};
 
     fn chain_of(n: usize, ingress: Endpoint, egress: Endpoint) -> ChainModel {
         let vnfs = (0..n)
             .map(|i| {
-                VnfDescriptor::new(NfId::from(i), &format!("vnf{i}"), Gbps::new(5.0), Gbps::new(5.0))
+                VnfDescriptor::new(
+                    NfId::from(i),
+                    &format!("vnf{i}"),
+                    Gbps::new(5.0),
+                    Gbps::new(5.0),
+                )
             })
             .collect();
         ChainModel::new("test", ingress, egress, vnfs)
@@ -165,6 +170,57 @@ mod tests {
         assert_eq!(sets.left, vec![NfId::new(2)]);
         assert_eq!(sets.right, vec![NfId::new(0), NfId::new(2)]);
         assert_eq!(sets.all(), vec![NfId::new(0), NfId::new(2)]);
+    }
+
+    #[test]
+    fn single_nf_chain_border_depends_on_endpoints() {
+        // Wire-to-wire: the lone NIC vNF has no host-side neighbour at all.
+        let wire = chain_of(1, Endpoint::Wire, Endpoint::Wire);
+        let placement = Placement::all_on(Device::SmartNic, 1);
+        assert!(border_sets(&wire, &placement).is_empty());
+
+        // Host ingress only: the lone vNF is a left border, not a right one.
+        let host_in = chain_of(1, Endpoint::Host, Endpoint::Wire);
+        let sets = border_sets(&host_in, &placement);
+        assert_eq!(sets.left, vec![NfId::new(0)]);
+        assert!(sets.right.is_empty());
+
+        // Wire ingress, host egress: right border only.
+        let host_out = chain_of(1, Endpoint::Wire, Endpoint::Host);
+        let sets = border_sets(&host_out, &placement);
+        assert!(sets.left.is_empty());
+        assert_eq!(sets.right, vec![NfId::new(0)]);
+    }
+
+    #[test]
+    fn fully_on_cpu_placement_has_no_borders_regardless_of_endpoints() {
+        for (ingress, egress) in [
+            (Endpoint::Wire, Endpoint::Wire),
+            (Endpoint::Host, Endpoint::Wire),
+            (Endpoint::Host, Endpoint::Host),
+        ] {
+            let chain = chain_of(3, ingress, egress);
+            let placement = Placement::all_on(Device::Cpu, 3);
+            let sets = border_sets(&chain, &placement);
+            assert!(
+                sets.is_empty(),
+                "CPU-resident vNFs can never be borders ({ingress:?} -> {egress:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn all_on_smartnic_placement_only_the_ends_can_be_borders() {
+        // Host endpoints on both sides: exactly the first and last NIC vNFs
+        // border the host, every interior vNF has NIC neighbours only.
+        let chain = chain_of(4, Endpoint::Host, Endpoint::Host);
+        let placement = Placement::all_on(Device::SmartNic, 4);
+        let sets = border_sets(&chain, &placement);
+        assert_eq!(sets.left, vec![NfId::new(0)]);
+        assert_eq!(sets.right, vec![NfId::new(3)]);
+        assert_eq!(sets.all(), vec![NfId::new(0), NfId::new(3)]);
+        assert!(!sets.contains(NfId::new(1)));
+        assert!(!sets.contains(NfId::new(2)));
     }
 
     #[test]

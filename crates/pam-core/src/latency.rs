@@ -48,7 +48,12 @@ impl LatencyModel {
     /// The per-hop latency of one vNF under a placement: its fixed pipeline
     /// latency on that device plus the capacity-dependent service time for
     /// the configured packet size.
-    pub fn hop_latency(&self, chain: &ChainModel, placement: &Placement, nf: pam_types::NfId) -> SimDuration {
+    pub fn hop_latency(
+        &self,
+        chain: &ChainModel,
+        placement: &Placement,
+        nf: pam_types::NfId,
+    ) -> SimDuration {
         let Ok(vnf) = chain.vnf(nf) else {
             return SimDuration::ZERO;
         };

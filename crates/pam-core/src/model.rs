@@ -103,7 +103,12 @@ pub struct ChainModel {
 impl ChainModel {
     /// Creates a chain model; descriptor ids are rewritten to match their
     /// position so the two can never disagree.
-    pub fn new(name: &str, ingress: Endpoint, egress: Endpoint, mut vnfs: Vec<VnfDescriptor>) -> Self {
+    pub fn new(
+        name: &str,
+        ingress: Endpoint,
+        egress: Endpoint,
+        mut vnfs: Vec<VnfDescriptor>,
+    ) -> Self {
         for (index, vnf) in vnfs.iter_mut().enumerate() {
             vnf.id = NfId::from(index);
         }
@@ -129,7 +134,12 @@ impl ChainModel {
                 VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(3.2), Gbps::new(10.0)),
                 VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(4.0))
                     .with_load_factor(0.25),
-                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(4.0)),
+                VnfDescriptor::new(
+                    NfId::new(3),
+                    "Load Balancer",
+                    Gbps::new(14.0),
+                    Gbps::new(4.0),
+                ),
             ],
         )
     }
@@ -370,9 +380,18 @@ mod tests {
     fn figure1_example_matches_table1() {
         let chain = ChainModel::figure1_example();
         assert_eq!(chain.len(), 4);
-        assert_eq!(chain.vnf(NfId::new(0)).unwrap().nic_capacity, Gbps::new(10.0));
-        assert_eq!(chain.vnf(NfId::new(1)).unwrap().cpu_capacity, Gbps::new(10.0));
-        assert_eq!(chain.vnf(NfId::new(2)).unwrap().nic_capacity, Gbps::new(2.0));
+        assert_eq!(
+            chain.vnf(NfId::new(0)).unwrap().nic_capacity,
+            Gbps::new(10.0)
+        );
+        assert_eq!(
+            chain.vnf(NfId::new(1)).unwrap().cpu_capacity,
+            Gbps::new(10.0)
+        );
+        assert_eq!(
+            chain.vnf(NfId::new(2)).unwrap().nic_capacity,
+            Gbps::new(2.0)
+        );
         assert_eq!(chain.vnf(NfId::new(2)).unwrap().load_factor, 0.25);
         assert!(chain.vnf(NfId::new(3)).unwrap().nic_capacity > Gbps::new(10.0));
         assert!(chain.vnf(NfId::new(9)).is_err());
@@ -407,7 +426,10 @@ mod tests {
             vec![NfId::new(0), NfId::new(1), NfId::new(2)]
         );
         placement.set(NfId::new(2), Device::Cpu).unwrap();
-        assert_eq!(placement.on_device(Device::Cpu), vec![NfId::new(2), NfId::new(3)]);
+        assert_eq!(
+            placement.on_device(Device::Cpu),
+            vec![NfId::new(2), NfId::new(3)]
+        );
         assert!(placement.set(NfId::new(9), Device::Cpu).is_err());
         assert!(placement.device_of(NfId::new(9)).is_err());
         let _ = chain;
@@ -491,7 +513,10 @@ mod tests {
         let cap_after = model.sustainable_throughput().as_gbps();
         assert!(cap_after > cap);
         // Now the NIC allows 1/(0.1+0.3125) ≈ 2.424 and the CPU 1/(0.25+0.0625) = 3.2.
-        assert!((cap_after - 1.0 / 0.4125).abs() < 1e-9, "capacity {cap_after}");
+        assert!(
+            (cap_after - 1.0 / 0.4125).abs() < 1e-9,
+            "capacity {cap_after}"
+        );
     }
 
     #[test]
@@ -534,7 +559,10 @@ mod tests {
         let placement = Placement::figure1_initial();
         let chain_json = serde_json::to_string(&chain).unwrap();
         let placement_json = serde_json::to_string(&placement).unwrap();
-        assert_eq!(serde_json::from_str::<ChainModel>(&chain_json).unwrap(), chain);
+        assert_eq!(
+            serde_json::from_str::<ChainModel>(&chain_json).unwrap(),
+            chain
+        );
         assert_eq!(
             serde_json::from_str::<Placement>(&placement_json).unwrap(),
             placement

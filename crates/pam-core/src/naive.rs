@@ -61,7 +61,11 @@ impl MigrationStrategy for NaiveBottleneck {
         if !model.cpu_accepts(bottleneck).unwrap_or(false) {
             return Decision::ScaleOut;
         }
-        Decision::Migrate(MigrationPlan::single(bottleneck, Device::SmartNic, Device::Cpu))
+        Decision::Migrate(MigrationPlan::single(
+            bottleneck,
+            Device::SmartNic,
+            Device::Cpu,
+        ))
     }
 }
 
@@ -154,12 +158,19 @@ mod tests {
         let decision = NaiveBottleneck::new().decide(&chain, &placement, Gbps::new(2.2));
         let plan = decision.plan().expect("should migrate");
         assert_eq!(plan.len(), 1);
-        assert_eq!(plan.moves[0].nf, NfId::new(1), "the Monitor is the hot spot");
+        assert_eq!(
+            plan.moves[0].nf,
+            NfId::new(1),
+            "the Monitor is the hot spot"
+        );
         // This is exactly the Figure 1(b) situation: the migration adds two
         // PCIe crossings.
         let mut after = placement.clone();
         after.set(plan.moves[0].nf, Device::Cpu).unwrap();
-        assert_eq!(after.pcie_crossings(&chain), placement.pcie_crossings(&chain) + 2);
+        assert_eq!(
+            after.pcie_crossings(&chain),
+            placement.pcie_crossings(&chain) + 2
+        );
     }
 
     #[test]
@@ -167,7 +178,11 @@ mod tests {
         let (chain, placement) = figure1();
         let decision = NaiveMinCapacity::new().decide(&chain, &placement, Gbps::new(2.2));
         let plan = decision.plan().expect("should migrate");
-        assert_eq!(plan.moves[0].nf, NfId::new(2), "the Logger has the smallest θ^S");
+        assert_eq!(
+            plan.moves[0].nf,
+            NfId::new(2),
+            "the Logger has the smallest θ^S"
+        );
     }
 
     #[test]
@@ -213,7 +228,9 @@ mod tests {
         let strategy = NaiveBottleneck {
             overload_threshold: -1.0,
         };
-        assert!(strategy.decide(&chain, &placement, Gbps::new(1.0)).is_scale_out());
+        assert!(strategy
+            .decide(&chain, &placement, Gbps::new(1.0))
+            .is_scale_out());
     }
 
     #[test]

@@ -86,9 +86,17 @@ impl PamPlanner {
                 .filter(|id| !rejected.contains(id))
                 .collect();
             candidates.sort_by(|a, b| {
-                let cap_a = chain.vnf(*a).map(|v| v.nic_capacity.as_gbps()).unwrap_or(f64::MAX);
-                let cap_b = chain.vnf(*b).map(|v| v.nic_capacity.as_gbps()).unwrap_or(f64::MAX);
-                cap_a.partial_cmp(&cap_b).unwrap_or(std::cmp::Ordering::Equal)
+                let cap_a = chain
+                    .vnf(*a)
+                    .map(|v| v.nic_capacity.as_gbps())
+                    .unwrap_or(f64::MAX);
+                let cap_b = chain
+                    .vnf(*b)
+                    .map(|v| v.nic_capacity.as_gbps())
+                    .unwrap_or(f64::MAX);
+                cap_a
+                    .partial_cmp(&cap_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
 
             // Step 3, check 1 (Eq. 2): find the first candidate the CPU can absorb.
@@ -139,8 +147,8 @@ impl MigrationStrategy for PamPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pam_types::Endpoint;
     use crate::model::VnfDescriptor;
+    use pam_types::Endpoint;
     use proptest::prelude::*;
 
     fn figure1() -> (ChainModel, Placement) {
@@ -160,7 +168,11 @@ mod tests {
         let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.2));
         let plan = decision.plan().expect("PAM should migrate");
         assert_eq!(plan.len(), 1, "one border migration suffices at 2.2 Gbps");
-        assert_eq!(plan.moves[0].nf, NfId::new(2), "the Logger is the border pick");
+        assert_eq!(
+            plan.moves[0].nf,
+            NfId::new(2),
+            "the Logger is the border pick"
+        );
         assert_eq!(plan.moves[0].to, Device::Cpu);
     }
 
@@ -201,7 +213,12 @@ mod tests {
                 VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(3.2), Gbps::new(20.0)),
                 VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(20.0))
                     .with_load_factor(0.25),
-                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(20.0)),
+                VnfDescriptor::new(
+                    NfId::new(3),
+                    "Load Balancer",
+                    Gbps::new(14.0),
+                    Gbps::new(20.0),
+                ),
             ],
         );
         let placement = Placement::figure1_initial();
@@ -213,7 +230,10 @@ mod tests {
         for mv in &plan.moves {
             after.set(mv.nf, mv.to).unwrap();
         }
-        assert_eq!(after.pcie_crossings(&chain), placement.pcie_crossings(&chain));
+        assert_eq!(
+            after.pcie_crossings(&chain),
+            placement.pcie_crossings(&chain)
+        );
         // And the NIC really is relieved.
         let model = ResourceModel::new(&chain, &after, Gbps::new(2.9));
         assert!(!model.is_overloaded(Device::SmartNic, 1.0));
@@ -233,14 +253,25 @@ mod tests {
                 // Logger: tiny CPU capacity → Eq. 2 always fails for it.
                 VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(0.5))
                     .with_load_factor(0.25),
-                VnfDescriptor::new(NfId::new(3), "Load Balancer", Gbps::new(14.0), Gbps::new(4.0)),
+                VnfDescriptor::new(
+                    NfId::new(3),
+                    "Load Balancer",
+                    Gbps::new(14.0),
+                    Gbps::new(4.0),
+                ),
             ],
         );
         let placement = Placement::figure1_initial();
         let decision = PamPlanner::new().plan(&chain, &placement, Gbps::new(2.2));
         let plan = decision.plan().expect("should still migrate");
-        assert!(!plan.migrates(NfId::new(2)), "the CPU-hostile logger must be skipped");
-        assert!(plan.migrates(NfId::new(0)), "the firewall is the next border pick");
+        assert!(
+            !plan.migrates(NfId::new(2)),
+            "the CPU-hostile logger must be skipped"
+        );
+        assert!(
+            plan.migrates(NfId::new(0)),
+            "the firewall is the next border pick"
+        );
     }
 
     #[test]
@@ -276,20 +307,76 @@ mod tests {
         );
     }
 
+    #[test]
+    fn decide_reports_scale_out_when_no_feasible_plan_exists() {
+        // Every vNF is tiny on the CPU, so no border migration can ever pass
+        // Eq. 2: with the NIC overloaded and no feasible plan, `decide` must
+        // return the scale-out verdict rather than a partial plan or a panic.
+        let chain = ChainModel::new(
+            "cpu-hostile",
+            Endpoint::Host,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(0), "Firewall", Gbps::new(3.0), Gbps::new(0.1)),
+                VnfDescriptor::new(NfId::new(1), "Monitor", Gbps::new(2.5), Gbps::new(0.1)),
+                VnfDescriptor::new(NfId::new(2), "Logger", Gbps::new(2.0), Gbps::new(0.1)),
+                VnfDescriptor::new(
+                    NfId::new(3),
+                    "Load Balancer",
+                    Gbps::new(9.0),
+                    Gbps::new(0.1),
+                ),
+            ],
+        );
+        let placement = Placement::figure1_initial();
+        let decision = PamPlanner::new().decide(&chain, &placement, Gbps::new(2.4));
+        assert!(decision.is_scale_out(), "decision was {decision}");
+        assert!(decision.plan().is_none());
+    }
+
+    #[test]
+    fn decide_reports_scale_out_when_no_border_exists() {
+        // A wire-to-wire chain entirely on the NIC has an empty border set;
+        // under overload PAM has nothing it may move, so it must scale out.
+        let chain = ChainModel::new(
+            "borderless",
+            Endpoint::Wire,
+            Endpoint::Wire,
+            vec![
+                VnfDescriptor::new(NfId::new(0), "Monitor", Gbps::new(1.0), Gbps::new(10.0)),
+                VnfDescriptor::new(NfId::new(1), "Logger", Gbps::new(1.0), Gbps::new(10.0)),
+            ],
+        );
+        let placement = Placement::all_on(Device::SmartNic, 2);
+        let decision = PamPlanner::new().decide(&chain, &placement, Gbps::new(1.5));
+        assert!(decision.is_scale_out(), "decision was {decision}");
+    }
+
     /// Strategy used by the property test below to build arbitrary chains.
     fn arbitrary_chain(n: usize, caps: &[(f64, f64, f64)]) -> (ChainModel, Placement) {
         let vnfs = (0..n)
             .map(|i| {
                 let (nic, cpu, lf) = caps[i % caps.len()];
-                VnfDescriptor::new(NfId::from(i), &format!("vnf{i}"), Gbps::new(nic), Gbps::new(cpu))
-                    .with_load_factor(lf)
+                VnfDescriptor::new(
+                    NfId::from(i),
+                    &format!("vnf{i}"),
+                    Gbps::new(nic),
+                    Gbps::new(cpu),
+                )
+                .with_load_factor(lf)
             })
             .collect();
         let chain = ChainModel::new("prop", Endpoint::Host, Endpoint::Wire, vnfs);
         // Alternate initial placement: last position on CPU, rest on the NIC
         // (mirrors the Figure 1 shape at any length).
         let devices = (0..n)
-            .map(|i| if i + 1 == n { Device::Cpu } else { Device::SmartNic })
+            .map(|i| {
+                if i + 1 == n {
+                    Device::Cpu
+                } else {
+                    Device::SmartNic
+                }
+            })
             .collect();
         (chain, Placement::from_devices(devices))
     }

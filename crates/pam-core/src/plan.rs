@@ -18,7 +18,13 @@ pub struct MigrationMove {
 
 impl fmt::Display for MigrationMove {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} -> {}", self.nf, self.from.label(), self.to.label())
+        write!(
+            f,
+            "{}: {} -> {}",
+            self.nf,
+            self.from.label(),
+            self.to.label()
+        )
     }
 }
 

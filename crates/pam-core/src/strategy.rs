@@ -94,7 +94,9 @@ mod tests {
         let placement = Placement::figure1_initial();
         let offered = Gbps::new(2.2);
 
-        let pam = StrategyKind::Pam.build().decide(&chain, &placement, offered);
+        let pam = StrategyKind::Pam
+            .build()
+            .decide(&chain, &placement, offered);
         assert_eq!(pam.plan().unwrap().moves[0].nf, NfId::new(2));
         assert_eq!(pam.plan().unwrap().moves[0].to, Device::Cpu);
 

@@ -166,7 +166,10 @@ pub fn strategy_sweep(scenarios: usize, seed: u64) -> Vec<(StrategyKind, Strateg
 }
 
 /// Renders the A2 sweep.
-pub fn render_strategy_sweep(rows: &[(StrategyKind, StrategySweepSummary)], scenarios: usize) -> String {
+pub fn render_strategy_sweep(
+    rows: &[(StrategyKind, StrategySweepSummary)],
+    scenarios: usize,
+) -> String {
     let rendered: Vec<Vec<String>> = rows
         .iter()
         .map(|(kind, s)| {
@@ -182,7 +185,14 @@ pub fn render_strategy_sweep(rows: &[(StrategyKind, StrategySweepSummary)], scen
         .collect();
     render_table(
         &format!("Ablation A2: strategies over {scenarios} random overloaded chains"),
-        &["strategy", "plans", "relieved NIC", "scale-outs", "vNFs moved", "crossings added"],
+        &[
+            "strategy",
+            "plans",
+            "relieved NIC",
+            "scale-outs",
+            "vNFs moved",
+            "crossings added",
+        ],
         &rendered,
     )
 }

@@ -19,7 +19,13 @@ use pam_experiments::table1::run_table1;
 use pam_types::SimDuration;
 
 fn print_table1() {
-    let results = run_table1(&[]);
+    let results = match run_table1(&[]) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("{}", results.render());
     println!(
         "worst relative error vs the paper's Table 1: {:.1}%\n",

@@ -130,7 +130,12 @@ impl Figure2Results {
             .collect();
         render_table(
             "Figure 2(a): service chain latency",
-            &["strategy", "mean latency (us)", "p99 (us)", "PCIe crossings/pkt"],
+            &[
+                "strategy",
+                "mean latency (us)",
+                "p99 (us)",
+                "PCIe crossings/pkt",
+            ],
             &rows,
         )
     }
@@ -151,7 +156,12 @@ impl Figure2Results {
             .collect();
         render_table(
             "Figure 2(b): service chain throughput",
-            &["strategy", "throughput (Gbps)", "migrations", "drops (overload phase)"],
+            &[
+                "strategy",
+                "throughput (Gbps)",
+                "migrations",
+                "drops (overload phase)",
+            ],
             &rows,
         )
     }
@@ -233,8 +243,7 @@ fn run_single(strategy: StrategyKind, size: ByteSize, scenario: &Figure1Scenario
         throughput: overload_report.delivered,
         crossings_per_packet,
         migrations: outcome.migrations.len(),
-        dropped: (outcome.drops_overload + outcome.drops_migration)
-            .saturating_sub(drops_at_settle),
+        dropped: (outcome.drops_overload + outcome.drops_migration).saturating_sub(drops_at_settle),
     }
 }
 
@@ -258,8 +267,7 @@ pub fn run_figure2(config: &Figure2Config) -> Figure2Results {
             );
             let throughput =
                 Gbps::new(runs.iter().map(|r| r.throughput.as_gbps()).sum::<f64>() / n);
-            let crossings_per_packet =
-                runs.iter().map(|r| r.crossings_per_packet).sum::<f64>() / n;
+            let crossings_per_packet = runs.iter().map(|r| r.crossings_per_packet).sum::<f64>() / n;
             let migrations = runs.iter().map(|r| r.migrations).max().unwrap_or(0);
             let dropped = runs.iter().map(|r| r.dropped).sum::<u64>() / runs.len().max(1) as u64;
             Figure2Row {

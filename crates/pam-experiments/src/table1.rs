@@ -43,13 +43,7 @@ impl Table1Results {
             .collect();
         render_table(
             "Table 1: capacity of vNFs on the SmartNIC and CPU (Gbps)",
-            &[
-                "vNF",
-                "θS measured",
-                "θS paper",
-                "θC measured",
-                "θC paper",
-            ],
+            &["vNF", "θS measured", "θS paper", "θC measured", "θC paper"],
             &rows,
         )
     }
@@ -65,22 +59,25 @@ impl Table1Results {
 
 /// Runs the capacity probe for every vNF of the paper's Table 1 on both
 /// devices. `kinds` defaults to the paper's four vNFs when empty.
-pub fn run_table1(kinds: &[NfKind]) -> Table1Results {
+///
+/// Fails with a typed error when a requested kind has no registered capacity
+/// profile instead of aborting mid-experiment.
+pub fn run_table1(kinds: &[NfKind]) -> pam_types::Result<Table1Results> {
     let catalog = ProfileCatalog::table1();
     let kinds: Vec<NfKind> = if kinds.is_empty() {
         NfKind::FIGURE1.to_vec()
     } else {
         kinds.to_vec()
     };
-    let rows = kinds
-        .into_iter()
-        .map(|kind| Table1Row {
+    let mut rows = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        rows.push(Table1Row {
             kind,
-            nic: probe_capacity(kind, Device::SmartNic, &catalog),
-            cpu: probe_capacity(kind, Device::Cpu, &catalog),
-        })
-        .collect();
-    Table1Results { rows }
+            nic: probe_capacity(kind, Device::SmartNic, &catalog)?,
+            cpu: probe_capacity(kind, Device::Cpu, &catalog)?,
+        });
+    }
+    Ok(Table1Results { rows })
 }
 
 #[cfg(test)]
@@ -89,7 +86,7 @@ mod tests {
 
     #[test]
     fn logger_row_reproduces_the_paper_within_tolerance() {
-        let results = run_table1(&[NfKind::Logger]);
+        let results = run_table1(&[NfKind::Logger]).unwrap();
         assert_eq!(results.rows.len(), 1);
         let row = &results.rows[0];
         assert!((row.nic.measured.as_gbps() - 2.0).abs() / 2.0 < 0.1);

@@ -84,12 +84,7 @@ impl ServiceChainSpec {
     }
 
     /// Creates a chain from labelled specs.
-    pub fn from_specs(
-        name: &str,
-        ingress: Endpoint,
-        egress: Endpoint,
-        specs: Vec<NfSpec>,
-    ) -> Self {
+    pub fn from_specs(name: &str, ingress: Endpoint, egress: Endpoint, specs: Vec<NfSpec>) -> Self {
         let positions = specs
             .into_iter()
             .enumerate()
@@ -222,7 +217,10 @@ mod tests {
     #[test]
     fn position_lookup_and_errors() {
         let chain = ServiceChainSpec::figure1();
-        assert_eq!(chain.position(NfId::new(2)).unwrap().spec.kind, NfKind::Logger);
+        assert_eq!(
+            chain.position(NfId::new(2)).unwrap().spec.kind,
+            NfKind::Logger
+        );
         assert!(matches!(
             chain.position(NfId::new(7)),
             Err(PamError::UnknownNf(_))

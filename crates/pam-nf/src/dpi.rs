@@ -202,7 +202,10 @@ mod tests {
     fn clean_traffic_is_forwarded() {
         let mut dpi = DpiEngine::evaluation_default();
         let mut p = packet_with_payload(b"hello world");
-        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            dpi.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         assert_eq!(dpi.scanned(), 1);
         assert_eq!(dpi.dropped(), 0);
     }
@@ -211,7 +214,10 @@ mod tests {
     fn drop_rule_drops_matching_packets() {
         let mut dpi = DpiEngine::evaluation_default();
         let mut p = packet_with_payload(b"' OR '1'='1");
-        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(
+            dpi.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Drop
+        );
         assert_eq!(dpi.dropped(), 1);
         assert_eq!(dpi.match_counts()[1], 1);
     }
@@ -220,7 +226,10 @@ mod tests {
     fn alert_rule_counts_but_forwards() {
         let mut dpi = DpiEngine::evaluation_default();
         let mut p = packet_with_payload(b"password=hunter2");
-        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            dpi.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         assert_eq!(dpi.match_counts()[2], 1);
         assert_eq!(dpi.dropped(), 0);
     }
@@ -232,7 +241,10 @@ mod tests {
             DpiRule::drop("b", b"hunter2"),
         ]);
         let mut p = packet_with_payload(b"password=hunter2");
-        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(
+            dpi.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Drop
+        );
         assert_eq!(dpi.match_counts(), &[1, 1]);
     }
 
@@ -248,9 +260,15 @@ mod tests {
     #[test]
     fn empty_payload_packets_are_forwarded() {
         let mut dpi = DpiEngine::evaluation_default();
-        let bytes = PacketBuilder::new().transport(TransportKind::Udp).total_len(42).build();
+        let bytes = PacketBuilder::new()
+            .transport(TransportKind::Udp)
+            .total_len(42)
+            .build();
         let mut p = Packet::from_bytes(0, bytes, SimTime::ZERO);
-        assert_eq!(dpi.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            dpi.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
     }
 
     #[test]

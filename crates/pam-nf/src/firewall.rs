@@ -280,44 +280,19 @@ mod tests {
             ],
             FirewallAction::Deny,
         );
-        let tuple = FiveTuple::tcp(
-            Ipv4Addr::new(10, 1, 1, 1),
-            1,
-            Ipv4Addr::new(2, 2, 2, 2),
-            80,
-        );
+        let tuple = FiveTuple::tcp(Ipv4Addr::new(10, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
         assert_eq!(fw.evaluate(&tuple), FirewallAction::Allow);
         // No rule matches a non-10/8 source; the default applies.
-        let other = FiveTuple::tcp(
-            Ipv4Addr::new(20, 1, 1, 1),
-            1,
-            Ipv4Addr::new(2, 2, 2, 2),
-            80,
-        );
+        let other = FiveTuple::tcp(Ipv4Addr::new(20, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80);
         assert_eq!(fw.evaluate(&other), FirewallAction::Deny);
     }
 
     #[test]
     fn port_range_and_protocol_rules() {
         let rule = FirewallRule::deny_dst_ports(IpProtocol::Tcp, 135, 139);
-        let inside = FiveTuple::tcp(
-            Ipv4Addr::new(1, 1, 1, 1),
-            5,
-            Ipv4Addr::new(2, 2, 2, 2),
-            137,
-        );
-        let outside = FiveTuple::tcp(
-            Ipv4Addr::new(1, 1, 1, 1),
-            5,
-            Ipv4Addr::new(2, 2, 2, 2),
-            140,
-        );
-        let udp = FiveTuple::udp(
-            Ipv4Addr::new(1, 1, 1, 1),
-            5,
-            Ipv4Addr::new(2, 2, 2, 2),
-            137,
-        );
+        let inside = FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 137);
+        let outside = FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 140);
+        let udp = FiveTuple::udp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 137);
         assert!(rule.matches(&inside));
         assert!(!rule.matches(&outside));
         assert!(!rule.matches(&udp));

@@ -51,4 +51,4 @@ pub use nf::{NetworkFunction, NfContext, NfKind, NfState, NfVerdict};
 pub use packet::Packet;
 pub use profile::{CapacityProfile, ProfileCatalog};
 pub use rate_limiter::RateLimiter;
-pub use registry::{build_kind, build_nf};
+pub use registry::{build_kind, build_nf, restore_kind, restore_nf};

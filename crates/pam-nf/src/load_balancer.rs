@@ -207,7 +207,10 @@ mod tests {
 
     fn packet_with_ports(src_port: u16) -> Packet {
         let bytes = PacketBuilder::new()
-            .ips(Ipv4Addr::new(198, 51, 100, 7), Ipv4Addr::new(203, 0, 113, 10))
+            .ips(
+                Ipv4Addr::new(198, 51, 100, 7),
+                Ipv4Addr::new(203, 0, 113, 10),
+            )
             .ports(src_port, 80)
             .transport(TransportKind::Tcp)
             .total_len(128)
@@ -216,14 +219,19 @@ mod tests {
     }
 
     fn backend_set(n: u8) -> Vec<Backend> {
-        (1..=n).map(|i| Backend::new(Ipv4Addr::new(192, 0, 2, i))).collect()
+        (1..=n)
+            .map(|i| Backend::new(Ipv4Addr::new(192, 0, 2, i)))
+            .collect()
     }
 
     #[test]
     fn rewrites_destination_to_a_backend() {
         let mut lb = LoadBalancer::new(backend_set(4), 0);
         let mut p = packet_with_ports(1234);
-        assert_eq!(lb.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            lb.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         let dst = p.five_tuple().unwrap().dst_ip;
         assert!(lb.backends().iter().any(|b| b.addr == dst));
         assert_eq!(lb.balanced(), 1);
@@ -254,7 +262,10 @@ mod tests {
             lb.process(&mut p, &NfContext::at(SimTime::ZERO));
             used.insert(p.five_tuple().unwrap().dst_ip);
         }
-        assert!(used.len() >= 3, "200 flows should hit at least 3 of 4 backends");
+        assert!(
+            used.len() >= 3,
+            "200 flows should hit at least 3 of 4 backends"
+        );
     }
 
     #[test]
@@ -273,7 +284,10 @@ mod tests {
     fn no_backends_means_drop() {
         let mut lb = LoadBalancer::new(vec![], 0);
         let mut p = packet_with_ports(5);
-        assert_eq!(lb.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Drop);
+        assert_eq!(
+            lb.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Drop
+        );
         assert_eq!(lb.no_backend_drops(), 1);
     }
 
@@ -281,7 +295,10 @@ mod tests {
     fn non_ip_traffic_passes_through() {
         let mut lb = LoadBalancer::evaluation_default();
         let mut junk = Packet::from_bytes(0, vec![0u8; 18], SimTime::ZERO);
-        assert_eq!(lb.process(&mut junk, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            lb.process(&mut junk, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         assert_eq!(lb.balanced(), 0);
     }
 

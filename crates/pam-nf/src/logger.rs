@@ -273,7 +273,9 @@ mod tests {
         logger.reset();
         assert_eq!(logger.observed(), 0);
         assert!(logger.entries().is_empty());
-        assert!(logger.import_state(NfState::empty(NfKind::Monitor)).is_err());
+        assert!(logger
+            .import_state(NfState::empty(NfKind::Monitor))
+            .is_err());
         assert_eq!(logger.kind(), NfKind::Logger);
     }
 }

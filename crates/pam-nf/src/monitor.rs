@@ -92,7 +92,7 @@ impl FlowMonitor {
             .filter(|(_, entry)| entry.bytes >= self.heavy_hitter_threshold_bytes)
             .map(|(flow, entry)| (flow, *entry))
             .collect();
-        hitters.sort_by(|a, b| b.1.bytes.cmp(&a.1.bytes));
+        hitters.sort_by_key(|(_, entry)| std::cmp::Reverse(entry.bytes));
         hitters
     }
 }

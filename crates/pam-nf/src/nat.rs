@@ -151,7 +151,9 @@ impl NetworkFunction for Nat {
     fn import_state(&mut self, state: NfState) -> Result<()> {
         let decoded: NatState = state.decode(NfKind::Nat)?;
         self.bindings.import(decoded.bindings);
-        self.next_port = decoded.next_port.clamp(self.port_range.0, self.port_range.1);
+        self.next_port = decoded
+            .next_port
+            .clamp(self.port_range.0, self.port_range.1);
         self.translated = decoded.translated;
         self.exhausted_drops = decoded.exhausted_drops;
         Ok(())
@@ -189,7 +191,10 @@ mod tests {
     fn rewrites_source_address_and_port() {
         let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 1), (30_000, 30_010), 0);
         let mut p = packet_from(5555);
-        assert_eq!(nat.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            nat.process(&mut p, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         let t = p.five_tuple().unwrap();
         assert_eq!(t.src_ip, Ipv4Addr::new(203, 0, 113, 1));
         assert_eq!(t.src_port, 30_000);
@@ -220,7 +225,10 @@ mod tests {
         let mut nat = Nat::new(Ipv4Addr::new(203, 0, 113, 1), (1000, 1002), 0);
         for port in 0..3u16 {
             let mut p = packet_from(100 + port);
-            assert_eq!(nat.process(&mut p, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+            assert_eq!(
+                nat.process(&mut p, &NfContext::at(SimTime::ZERO)),
+                NfVerdict::Forward
+            );
         }
         let mut overflow = packet_from(999);
         assert_eq!(
@@ -255,7 +263,10 @@ mod tests {
     fn non_ip_and_reset() {
         let mut nat = Nat::evaluation_default();
         let mut junk = Packet::from_bytes(0, vec![0u8; 14], SimTime::ZERO);
-        assert_eq!(nat.process(&mut junk, &NfContext::at(SimTime::ZERO)), NfVerdict::Forward);
+        assert_eq!(
+            nat.process(&mut junk, &NfContext::at(SimTime::ZERO)),
+            NfVerdict::Forward
+        );
         nat.process(&mut packet_from(1), &NfContext::at(SimTime::ZERO));
         nat.reset();
         assert_eq!(nat.flow_count(), 0);

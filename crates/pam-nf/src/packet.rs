@@ -189,10 +189,7 @@ mod tests {
             ip.fill_checksum();
         }
         p.invalidate_tuple();
-        assert_eq!(
-            p.five_tuple().unwrap().dst_ip,
-            Ipv4Addr::new(192, 0, 2, 9)
-        );
+        assert_eq!(p.five_tuple().unwrap().dst_ip, Ipv4Addr::new(192, 0, 2, 9));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use pam_types::{Device, Gbps, SimDuration};
+use pam_types::{Device, Gbps, PamError, Result, SimDuration};
 use serde::{Deserialize, Serialize};
 
 use crate::nf::NfKind;
@@ -152,12 +152,13 @@ impl ProfileCatalog {
         self.profiles.get(&kind)
     }
 
-    /// Looks up the profile for a kind, panicking with a clear message if it
-    /// is missing (experiment configuration error).
-    pub fn expect(&self, kind: NfKind) -> &CapacityProfile {
+    /// Looks up the profile for a kind, returning a typed error if it is
+    /// missing so callers can surface an unregistered kind as a recoverable
+    /// configuration problem instead of aborting.
+    pub fn require(&self, kind: NfKind) -> Result<&CapacityProfile> {
         self.profiles
             .get(&kind)
-            .unwrap_or_else(|| panic!("no capacity profile registered for {kind}"))
+            .ok_or_else(|| PamError::missing_profile(kind.name()))
     }
 
     /// Iterates over all profiles in a stable (kind) order.
@@ -189,16 +190,16 @@ mod tests {
     #[test]
     fn table1_matches_the_paper() {
         let catalog = ProfileCatalog::table1();
-        let fw = catalog.expect(NfKind::Firewall);
+        let fw = catalog.require(NfKind::Firewall).unwrap();
         assert_eq!(fw.nic_capacity, Gbps::new(10.0));
         assert_eq!(fw.cpu_capacity, Gbps::new(4.0));
-        let logger = catalog.expect(NfKind::Logger);
+        let logger = catalog.require(NfKind::Logger).unwrap();
         assert_eq!(logger.nic_capacity, Gbps::new(2.0));
         assert_eq!(logger.cpu_capacity, Gbps::new(4.0));
-        let monitor = catalog.expect(NfKind::Monitor);
+        let monitor = catalog.require(NfKind::Monitor).unwrap();
         assert_eq!(monitor.nic_capacity, Gbps::new(3.2));
         assert_eq!(monitor.cpu_capacity, Gbps::new(10.0));
-        let lb = catalog.expect(NfKind::LoadBalancer);
+        let lb = catalog.require(NfKind::LoadBalancer).unwrap();
         assert!(lb.nic_capacity > Gbps::new(10.0), "paper lists >10 Gbps");
         assert_eq!(lb.cpu_capacity, Gbps::new(4.0));
     }
@@ -217,7 +218,7 @@ mod tests {
     #[test]
     fn capacity_and_latency_lookup_by_device() {
         let catalog = ProfileCatalog::table1();
-        let monitor = catalog.expect(NfKind::Monitor);
+        let monitor = catalog.require(NfKind::Monitor).unwrap();
         assert_eq!(monitor.capacity_on(Device::SmartNic), Gbps::new(3.2));
         assert_eq!(monitor.capacity_on(Device::Cpu), Gbps::new(10.0));
         assert_eq!(monitor.latency_on(Device::SmartNic), DEFAULT_NIC_LATENCY);
@@ -227,7 +228,7 @@ mod tests {
     #[test]
     fn utilisation_is_linear_in_throughput() {
         let catalog = ProfileCatalog::table1();
-        let monitor = catalog.expect(NfKind::Monitor);
+        let monitor = catalog.require(NfKind::Monitor).unwrap();
         let at1 = monitor.utilisation_on(Device::SmartNic, Gbps::new(1.0));
         let at2 = monitor.utilisation_on(Device::SmartNic, Gbps::new(2.0));
         assert!((at2 - 2.0 * at1).abs() < 1e-12);
@@ -241,7 +242,15 @@ mod tests {
         let mut utils: Vec<(NfKind, f64)> = NfKind::FIGURE1
             .iter()
             .filter(|&&k| k != NfKind::LoadBalancer)
-            .map(|&k| (k, catalog.expect(k).utilisation_on(Device::SmartNic, t)))
+            .map(|&k| {
+                (
+                    k,
+                    catalog
+                        .require(k)
+                        .unwrap()
+                        .utilisation_on(Device::SmartNic, t),
+                )
+            })
             .collect();
         utils.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         assert_eq!(utils[0].0, NfKind::Monitor, "monitor must be the hot spot");
@@ -253,7 +262,10 @@ mod tests {
     #[test]
     fn load_factor_override() {
         let catalog = ProfileCatalog::table1();
-        let logger = catalog.expect(NfKind::Logger).with_load_factor(0.5);
+        let logger = catalog
+            .require(NfKind::Logger)
+            .unwrap()
+            .with_load_factor(0.5);
         assert_eq!(logger.load_factor, 0.5);
         assert!((logger.utilisation_on(Device::SmartNic, Gbps::new(2.0)) - 0.5).abs() < 1e-12);
     }
@@ -268,7 +280,9 @@ mod tests {
             nic_latency: DEFAULT_NIC_LATENCY,
             cpu_latency: DEFAULT_CPU_LATENCY,
         };
-        assert!(profile.utilisation_on(Device::SmartNic, Gbps::new(0.1)).is_infinite());
+        assert!(profile
+            .utilisation_on(Device::SmartNic, Gbps::new(0.1))
+            .is_infinite());
     }
 
     #[test]

@@ -207,7 +207,9 @@ mod tests {
         restored.reset();
         assert_eq!(restored.forwarded(), 0);
         assert_eq!(restored.kind(), NfKind::RateLimiter);
-        assert!(restored.import_state(NfState::empty(NfKind::Logger)).is_err());
+        assert!(restored
+            .import_state(NfState::empty(NfKind::Logger))
+            .is_err());
         assert_eq!(restored.flow_count(), 0);
     }
 }

@@ -1,4 +1,7 @@
-//! Building runnable vNF instances from chain specifications.
+//! Building runnable vNF instances from chain specifications, including
+//! rebuilding an instance from exported migration state.
+
+use pam_types::Result;
 
 use crate::chain::NfSpec;
 use crate::dpi::DpiEngine;
@@ -29,6 +32,23 @@ pub fn build_kind(kind: NfKind) -> Box<dyn NetworkFunction> {
         NfKind::Dpi => Box::new(DpiEngine::evaluation_default()),
         NfKind::RateLimiter => Box::new(RateLimiter::evaluation_default()),
     }
+}
+
+/// Builds a vNF of the given kind and restores previously exported state
+/// into it — the migration target's half of an OpenNF-style state transfer.
+///
+/// A kind mismatch or a malformed state blob is reported as a typed error so
+/// the runtime can abort just the migration, not the process.
+pub fn restore_kind(kind: NfKind, state: crate::nf::NfState) -> Result<Box<dyn NetworkFunction>> {
+    let mut nf = build_kind(kind);
+    nf.import_state(state)?;
+    Ok(nf)
+}
+
+/// Builds the vNF for a chain position and restores exported state into it.
+/// See [`restore_kind`].
+pub fn restore_nf(spec: &NfSpec, state: crate::nf::NfState) -> Result<Box<dyn NetworkFunction>> {
+    restore_kind(spec.kind, state)
 }
 
 #[cfg(test)]
@@ -75,7 +95,7 @@ mod tests {
     }
 
     #[test]
-    fn exported_state_reimports_into_fresh_instance() {
+    fn exported_state_restores_into_fresh_instance() {
         let bytes = PacketBuilder::new().total_len(200).build();
         let ctx = NfContext::at(SimTime::ZERO);
         for kind in NfKind::ALL {
@@ -83,10 +103,42 @@ mod tests {
             let mut packet = Packet::from_bytes(1, bytes.clone(), SimTime::ZERO);
             original.process(&mut packet, &ctx);
             let state = original.export_state();
-            let mut fresh = build_kind(kind);
-            fresh
-                .import_state(state)
-                .unwrap_or_else(|e| panic!("{kind} state import failed: {e}"));
+            let restored = restore_kind(kind, state);
+            assert!(
+                restored.is_ok(),
+                "{kind} state restore failed: {}",
+                restored.err().unwrap()
+            );
+            assert_eq!(restored.unwrap().kind(), kind);
         }
+    }
+
+    #[test]
+    fn kind_mismatch_during_restore_is_a_recoverable_error() {
+        let state = build_kind(NfKind::Monitor).export_state();
+        let err = match restore_kind(NfKind::Logger, state) {
+            Ok(_) => panic!("kind mismatch must not restore"),
+            Err(err) => err,
+        };
+        let message = err.to_string();
+        assert!(
+            message.contains("Monitor") && message.contains("Logger"),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn malformed_state_blob_during_restore_is_a_recoverable_error() {
+        use crate::nf::NfState;
+        use pam_types::ByteSize;
+
+        // A Monitor-tagged blob whose payload is not Monitor state.
+        let state = NfState {
+            kind: NfKind::Monitor,
+            data: serde_json::json!({"not": "monitor state"}),
+            estimated_size: ByteSize::bytes(32),
+        };
+        let result = restore_nf(&NfSpec::labeled(NfKind::Monitor, "edge"), state);
+        assert!(result.is_err(), "malformed state must not restore");
     }
 }

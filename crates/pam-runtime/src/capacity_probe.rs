@@ -11,7 +11,10 @@
 
 use pam_core::Placement;
 use pam_nf::{NfKind, ProfileCatalog, ServiceChainSpec};
-use pam_traffic::{ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer, TrafficSchedule};
+use pam_traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer,
+    TrafficSchedule,
+};
 use pam_types::{ByteSize, Device, Endpoint, Gbps, SimDuration};
 
 use crate::chain::ChainRuntime;
@@ -82,8 +85,16 @@ fn delivered_fraction(kind: NfKind, device: Device, load: Gbps, catalog: &Profil
 
 /// Probes the saturation throughput of `kind` on `device` by binary search
 /// over the offered load.
-pub fn probe_capacity(kind: NfKind, device: Device, catalog: &ProfileCatalog) -> CapacityProbeResult {
-    let configured = catalog.expect(kind).capacity_on(device);
+///
+/// Fails with [`pam_types::PamError::MissingProfile`] when the catalog has no
+/// profile for `kind`, so a misconfigured experiment is reported instead of
+/// aborting the process.
+pub fn probe_capacity(
+    kind: NfKind,
+    device: Device,
+    catalog: &ProfileCatalog,
+) -> pam_types::Result<CapacityProbeResult> {
+    let configured = catalog.require(kind)?.capacity_on(device);
     // The load factor scales the effective capacity seen from the chain's
     // point of view (a sampling logger saturates later than its raw capacity).
     let mut low = Gbps::new(0.05);
@@ -97,12 +108,12 @@ pub fn probe_capacity(kind: NfKind, device: Device, catalog: &ProfileCatalog) ->
             high = mid;
         }
     }
-    CapacityProbeResult {
+    Ok(CapacityProbeResult {
         kind,
         device,
         measured: low,
         configured,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -112,14 +123,14 @@ mod tests {
     #[test]
     fn probe_recovers_the_monitor_capacities_within_tolerance() {
         let catalog = ProfileCatalog::table1();
-        let nic = probe_capacity(NfKind::Monitor, Device::SmartNic, &catalog);
+        let nic = probe_capacity(NfKind::Monitor, Device::SmartNic, &catalog).unwrap();
         assert!(
             nic.relative_error() < 0.08,
             "NIC capacity measured {} vs configured {}",
             nic.measured,
             nic.configured
         );
-        let cpu = probe_capacity(NfKind::Monitor, Device::Cpu, &catalog);
+        let cpu = probe_capacity(NfKind::Monitor, Device::Cpu, &catalog).unwrap();
         assert!(
             cpu.relative_error() < 0.08,
             "CPU capacity measured {} vs configured {}",
@@ -132,13 +143,20 @@ mod tests {
     #[test]
     fn probe_recovers_the_logger_nic_capacity() {
         let catalog = ProfileCatalog::table1();
-        let result = probe_capacity(NfKind::Logger, Device::SmartNic, &catalog);
+        let result = probe_capacity(NfKind::Logger, Device::SmartNic, &catalog).unwrap();
         assert!(
             result.relative_error() < 0.08,
             "measured {} vs configured {}",
             result.measured,
             result.configured
         );
+    }
+
+    #[test]
+    fn probing_an_unregistered_kind_is_a_recoverable_error() {
+        let empty = ProfileCatalog::new();
+        let err = probe_capacity(NfKind::Monitor, Device::SmartNic, &empty).unwrap_err();
+        assert_eq!(err, pam_types::PamError::missing_profile("Monitor"));
     }
 
     #[test]

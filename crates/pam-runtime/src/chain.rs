@@ -23,9 +23,7 @@ use pam_nf::{build_nf, NfContext, NfVerdict, Packet, ServiceChainSpec};
 use pam_sim::{ComputeDevice, EventQueue, LinkDirection, PcieLink, ProcessOutcome};
 use pam_telemetry::{ChainMetrics, LatencyHistogram, MetricsRegistry, ThroughputMeter};
 use pam_traffic::TraceSynthesizer;
-use pam_types::{
-    Device, Gbps, InstanceIdGen, NfId, PamError, Result, Side, SimDuration, SimTime,
-};
+use pam_types::{Device, Gbps, InstanceIdGen, NfId, PamError, Result, Side, SimDuration, SimTime};
 
 use crate::config::RuntimeConfig;
 use crate::instance::VnfInstance;
@@ -163,7 +161,11 @@ impl std::fmt::Debug for ChainRuntime {
 impl ChainRuntime {
     /// Builds a runtime for `spec`, placing each position according to
     /// `placement` and deriving timing from the profiles in `config`.
-    pub fn new(spec: ServiceChainSpec, placement: &Placement, config: RuntimeConfig) -> Result<Self> {
+    pub fn new(
+        spec: ServiceChainSpec,
+        placement: &Placement,
+        config: RuntimeConfig,
+    ) -> Result<Self> {
         if placement.len() != spec.len() {
             return Err(PamError::config(format!(
                 "placement covers {} positions but the chain has {}",
@@ -175,10 +177,7 @@ impl ChainRuntime {
         let mut instances = Vec::with_capacity(spec.len());
         for position in spec.positions() {
             let kind = position.spec.kind;
-            let profile = *config
-                .catalog
-                .get(kind)
-                .ok_or_else(|| PamError::config(format!("no capacity profile for {kind}")))?;
+            let profile = *config.catalog.require(kind)?;
             let device = placement.device_of(position.id)?;
             instances.push(VnfInstance::new(
                 id_gen.next_id(),
@@ -430,11 +429,10 @@ impl ChainRuntime {
             // Recover this packet's latency from the histogram delta.
             let count = self.latency_total.count();
             let total_after = self.latency_total.mean().as_nanos() as u128 * u128::from(count);
-            let total_before =
-                mean_before.as_nanos() as u128 * u128::from(latency_count_before);
+            let total_before = mean_before.as_nanos() as u128 * u128::from(latency_count_before);
             let latency = SimDuration::from_nanos(
-                (total_after.saturating_sub(total_before) / u128::from(count - latency_count_before))
-                    as u64,
+                (total_after.saturating_sub(total_before)
+                    / u128::from(count - latency_count_before)) as u64,
             );
             PacketOutcome::Delivered { latency }
         } else if self.drops_policy > policy_before {
@@ -484,7 +482,12 @@ impl ChainRuntime {
     /// Live-migrates the vNF at `nf` to `device`, OpenNF-style: pause, export
     /// state, transfer it over PCIe, import on the target, resume. Traffic
     /// arriving during the blackout waits (bounded) or is dropped.
-    pub fn live_migrate(&mut self, nf: NfId, device: Device, now: SimTime) -> Result<MigrationReport> {
+    pub fn live_migrate(
+        &mut self,
+        nf: NfId,
+        device: Device,
+        now: SimTime,
+    ) -> Result<MigrationReport> {
         let index = nf.index();
         if index >= self.instances.len() {
             return Err(PamError::UnknownNf(nf));
@@ -492,9 +495,7 @@ impl ChainRuntime {
         let (from, kind, state, flows) = {
             let instance = &self.instances[index];
             if instance.device == device {
-                return Err(PamError::state(format!(
-                    "{nf} already runs on {device}"
-                )));
+                return Err(PamError::state(format!("{nf} already runs on {device}")));
             }
             if instance.is_paused(now) {
                 return Err(PamError::state(format!("{nf} is already migrating")));
@@ -514,11 +515,14 @@ impl ChainRuntime {
             Device::Cpu => LinkDirection::NicToCpu,
             Device::SmartNic => LinkDirection::CpuToNic,
         };
+
+        // Restore the target instance before booking the PCIe transfer: a
+        // rejected state blob must abort the migration without leaving a
+        // phantom transfer on the link.
+        let target_nf = pam_nf::restore_kind(kind, state)?;
+
         let transfer_done = self.pcie.transfer(now, state_size, direction);
         let completed_at = transfer_done + self.config.migration_control_overhead;
-
-        let mut target_nf = pam_nf::build_kind(kind);
-        target_nf.import_state(state)?;
 
         let instance = &mut self.instances[index];
         instance.nf = target_nf;
@@ -627,7 +631,9 @@ impl ChainRuntime {
 mod tests {
     use super::*;
     use pam_core::StrategyKind;
-    use pam_traffic::{ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule};
+    use pam_traffic::{
+        ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule,
+    };
     use pam_types::{ByteSize, Endpoint};
 
     fn figure1_runtime(placement: &Placement) -> ChainRuntime {
@@ -797,14 +803,14 @@ mod tests {
         let l_naive = mean_latency(&naive);
         let l_pam = mean_latency(&pam);
         assert!(l_naive > l_pam, "naive {l_naive} should exceed pam {l_pam}");
-        let reduction = (l_naive.as_nanos() as f64 - l_pam.as_nanos() as f64)
-            / l_naive.as_nanos() as f64;
+        let reduction =
+            (l_naive.as_nanos() as f64 - l_pam.as_nanos() as f64) / l_naive.as_nanos() as f64;
         assert!(
             (0.08..0.35).contains(&reduction),
             "latency reduction {reduction}"
         );
-        let drift = (l_pam.as_nanos() as f64 - l_orig.as_nanos() as f64).abs()
-            / l_orig.as_nanos() as f64;
+        let drift =
+            (l_pam.as_nanos() as f64 - l_orig.as_nanos() as f64).abs() / l_orig.as_nanos() as f64;
         assert!(drift < 0.08, "PAM vs original drift {drift}");
     }
 

@@ -86,7 +86,11 @@ mod tests {
             .with_catalog(ProfileCatalog::table1());
         assert_eq!(config.pcie.crossing_latency, SimDuration::from_micros(5));
         assert_eq!(
-            config.catalog.expect(pam_nf::NfKind::Logger).load_factor,
+            config
+                .catalog
+                .require(pam_nf::NfKind::Logger)
+                .unwrap()
+                .load_factor,
             1.0
         );
     }

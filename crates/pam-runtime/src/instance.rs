@@ -99,7 +99,7 @@ mod tests {
             NfKind::Monitor,
             build_kind(NfKind::Monitor),
             device,
-            *catalog.expect(NfKind::Monitor),
+            *catalog.require(NfKind::Monitor).unwrap(),
         )
     }
 
@@ -111,7 +111,9 @@ mod tests {
         assert_eq!(on_cpu.capacity(), Gbps::new(10.0));
         assert!(on_cpu.pipeline_latency() > on_nic.pipeline_latency());
         // Service time is shorter where capacity is higher.
-        assert!(on_cpu.service_time(ByteSize::bytes(512)) < on_nic.service_time(ByteSize::bytes(512)));
+        assert!(
+            on_cpu.service_time(ByteSize::bytes(512)) < on_nic.service_time(ByteSize::bytes(512))
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl ComputeDevice {
     /// Offers a packet to the device at `now` with a precomputed service
     /// time; the admission check compares the current backlog against the
     /// configured bound.
-    pub fn process(&mut self, now: SimTime, size: ByteSize, service: SimDuration) -> ProcessOutcome {
+    pub fn process(
+        &mut self,
+        now: SimTime,
+        size: ByteSize,
+        service: SimDuration,
+    ) -> ProcessOutcome {
         if !self.config.max_backlog.is_zero() && self.server.backlog(now) > self.config.max_backlog
         {
             self.stats.rejected += 1;
@@ -256,7 +261,11 @@ mod tests {
         };
         let mut dev = ComputeDevice::new(config);
         for _ in 0..100 {
-            match dev.process(SimTime::ZERO, ByteSize::bytes(64), SimDuration::from_micros(50)) {
+            match dev.process(
+                SimTime::ZERO,
+                ByteSize::bytes(64),
+                SimDuration::from_micros(50),
+            ) {
                 ProcessOutcome::Accepted { .. } => {}
                 ProcessOutcome::Rejected => panic!("unbounded device must not reject"),
             }
@@ -282,16 +291,26 @@ mod tests {
     #[test]
     fn window_reset_clears_counters_but_not_backlog() {
         let mut dev = ComputeDevice::new(DeviceConfig::smartnic());
-        dev.process(SimTime::ZERO, ByteSize::bytes(1500), SimDuration::from_micros(50));
+        dev.process(
+            SimTime::ZERO,
+            ByteSize::bytes(1500),
+            SimDuration::from_micros(50),
+        );
         dev.start_window(SimTime::from_micros(10));
         assert_eq!(dev.stats().processed, 0);
         assert!(dev.backlog(SimTime::from_micros(10)) > SimDuration::ZERO);
-        assert_eq!(dev.delivered_throughput(SimTime::from_micros(10)), Gbps::ZERO);
+        assert_eq!(
+            dev.delivered_throughput(SimTime::from_micros(10)),
+            Gbps::ZERO
+        );
     }
 
     #[test]
     fn default_configs_differ_per_device() {
-        assert_eq!(DeviceConfig::for_device(Device::SmartNic).device, Device::SmartNic);
+        assert_eq!(
+            DeviceConfig::for_device(Device::SmartNic).device,
+            Device::SmartNic
+        );
         assert_eq!(DeviceConfig::for_device(Device::Cpu).device, Device::Cpu);
         assert!(DeviceConfig::cpu().max_backlog > DeviceConfig::smartnic().max_backlog);
     }

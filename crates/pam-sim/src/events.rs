@@ -250,7 +250,10 @@ mod tests {
         // t=0: 1 fires; t=10: 2 fires (children at 20/30); t=20: the other 2
         // and the newly scheduled 3 both fire. Events beyond t=20 stay queued.
         assert_eq!(processed, 4);
-        assert!(handler.fired.iter().all(|(t, _)| *t <= SimTime::from_nanos(20)));
+        assert!(handler
+            .fired
+            .iter()
+            .all(|(t, _)| *t <= SimTime::from_nanos(20)));
         assert!(!q.is_empty());
     }
 

@@ -170,7 +170,11 @@ mod tests {
         };
         let mut link = PcieLink::new(config);
         // 1000 bytes at 8 Gbps = 1 us serialisation + 20 us latency.
-        let arrival = link.transfer(SimTime::ZERO, ByteSize::bytes(1000), LinkDirection::NicToCpu);
+        let arrival = link.transfer(
+            SimTime::ZERO,
+            ByteSize::bytes(1000),
+            LinkDirection::NicToCpu,
+        );
         assert_eq!(arrival, SimTime::from_micros(21));
     }
 
@@ -181,12 +185,24 @@ mod tests {
             bandwidth: Gbps::new(0.008), // deliberately slow: 1000 B = 1 ms
         };
         let mut link = PcieLink::new(config);
-        let a = link.transfer(SimTime::ZERO, ByteSize::bytes(1000), LinkDirection::NicToCpu);
+        let a = link.transfer(
+            SimTime::ZERO,
+            ByteSize::bytes(1000),
+            LinkDirection::NicToCpu,
+        );
         // Opposite direction does not queue behind the first transfer.
-        let b = link.transfer(SimTime::ZERO, ByteSize::bytes(1000), LinkDirection::CpuToNic);
+        let b = link.transfer(
+            SimTime::ZERO,
+            ByteSize::bytes(1000),
+            LinkDirection::CpuToNic,
+        );
         assert_eq!(a, b);
         // Same direction queues.
-        let c = link.transfer(SimTime::ZERO, ByteSize::bytes(1000), LinkDirection::NicToCpu);
+        let c = link.transfer(
+            SimTime::ZERO,
+            ByteSize::bytes(1000),
+            LinkDirection::NicToCpu,
+        );
         assert_eq!(c, a + SimDuration::from_millis(1));
     }
 
@@ -194,7 +210,11 @@ mod tests {
     fn stats_count_crossings_and_bytes() {
         let mut link = PcieLink::new(PcieLinkConfig::default());
         link.transfer(SimTime::ZERO, ByteSize::bytes(64), LinkDirection::NicToCpu);
-        link.transfer(SimTime::ZERO, ByteSize::bytes(1500), LinkDirection::CpuToNic);
+        link.transfer(
+            SimTime::ZERO,
+            ByteSize::bytes(1500),
+            LinkDirection::CpuToNic,
+        );
         link.transfer(SimTime::ZERO, ByteSize::bytes(128), LinkDirection::CpuToNic);
         let stats = link.stats();
         assert_eq!(stats.nic_to_cpu, 1);

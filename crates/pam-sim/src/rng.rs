@@ -176,7 +176,10 @@ mod tests {
         let mean = 4.0;
         let total: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
         let sample_mean = total / n as f64;
-        assert!((sample_mean - mean).abs() < 0.15, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.15,
+            "sample mean {sample_mean}"
+        );
         assert_eq!(rng.exponential(0.0), 0.0);
         assert_eq!(rng.exponential(-1.0), 0.0);
     }

@@ -127,7 +127,10 @@ mod tests {
         let (start2, f2) = s.serve(SimTime::from_micros(2), SimDuration::from_micros(5));
         assert_eq!(start2, f1);
         assert_eq!(f2, SimTime::from_micros(10));
-        assert_eq!(s.backlog(SimTime::from_micros(2)), SimDuration::from_micros(8));
+        assert_eq!(
+            s.backlog(SimTime::from_micros(2)),
+            SimDuration::from_micros(8)
+        );
         assert!(!s.is_idle(SimTime::from_micros(9)));
         assert!(s.is_idle(SimTime::from_micros(10)));
     }

@@ -53,7 +53,9 @@ impl LatencyHistogram {
     }
 
     fn bucket_value(index: usize) -> u64 {
-        10f64.powf((index as f64 + 0.5) / BUCKETS_PER_DECADE as f64).round() as u64
+        10f64
+            .powf((index as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
+            .round() as u64
     }
 
     /// Records one duration.

@@ -174,11 +174,7 @@ pub fn weighted_mean(pairs: &[(SimDuration, f64)]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    pairs
-        .iter()
-        .map(|(d, v)| d.as_secs_f64() * v)
-        .sum::<f64>()
-        / total
+    pairs.iter().map(|(d, v)| d.as_secs_f64() * v).sum::<f64>() / total
 }
 
 #[cfg(test)]
@@ -243,7 +239,10 @@ mod tests {
         }
         let mean = ts.mean_in(SimTime::from_millis(2), SimTime::from_millis(5));
         assert_eq!(mean, 3.0);
-        assert_eq!(ts.mean_in(SimTime::from_millis(50), SimTime::from_millis(60)), 0.0);
+        assert_eq!(
+            ts.mean_in(SimTime::from_millis(50), SimTime::from_millis(60)),
+            0.0
+        );
     }
 
     #[test]

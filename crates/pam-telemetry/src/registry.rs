@@ -160,8 +160,10 @@ mod tests {
     #[test]
     fn registry_publish_and_snapshot() {
         let registry = MetricsRegistry::new();
-        let mut metrics = ChainMetrics::default();
-        metrics.updated_at = SimTime::from_millis(5);
+        let mut metrics = ChainMetrics {
+            updated_at: SimTime::from_millis(5),
+            ..ChainMetrics::default()
+        };
         metrics.set_utilisation(Device::SmartNic, 1.2);
         metrics.offered_load = Gbps::new(2.2);
         registry.publish(metrics.clone());
@@ -176,8 +178,10 @@ mod tests {
     fn registry_keeps_utilisation_history() {
         let registry = MetricsRegistry::new();
         for i in 0..5u64 {
-            let mut m = ChainMetrics::default();
-            m.updated_at = SimTime::from_millis(i);
+            let mut m = ChainMetrics {
+                updated_at: SimTime::from_millis(i),
+                ..ChainMetrics::default()
+            };
             m.set_utilisation(Device::SmartNic, i as f64 / 10.0);
             m.set_utilisation(Device::Cpu, 0.5);
             registry.publish(m);

@@ -29,21 +29,14 @@ impl ArrivalProcess {
     /// The inter-arrival gap before a packet of `size`, given the target
     /// `offered_load`. Returns zero for non-positive loads (caller treats
     /// that as "no traffic").
-    pub fn next_gap(
-        &self,
-        offered_load: Gbps,
-        size: ByteSize,
-        rng: &mut SimRng,
-    ) -> SimDuration {
+    pub fn next_gap(&self, offered_load: Gbps, size: ByteSize, rng: &mut SimRng) -> SimDuration {
         if offered_load.as_gbps() <= 0.0 {
             return SimDuration::ZERO;
         }
         let mean_gap_secs = size.as_bits() as f64 / offered_load.as_bits_per_sec();
         match self {
             ArrivalProcess::Cbr => SimDuration::from_secs_f64(mean_gap_secs),
-            ArrivalProcess::Poisson => {
-                SimDuration::from_secs_f64(rng.exponential(mean_gap_secs))
-            }
+            ArrivalProcess::Poisson => SimDuration::from_secs_f64(rng.exponential(mean_gap_secs)),
             ArrivalProcess::Bursty { peak_factor } => {
                 let peak = peak_factor.max(1.0);
                 // With probability 1/peak the packet is sent at the peak rate
@@ -86,8 +79,15 @@ mod tests {
 
     #[test]
     fn poisson_preserves_the_mean_rate() {
-        let achieved = mean_rate_of(ArrivalProcess::Poisson, Gbps::new(3.0), ByteSize::bytes(512));
-        assert!((achieved.as_gbps() - 3.0).abs() < 0.1, "achieved {achieved}");
+        let achieved = mean_rate_of(
+            ArrivalProcess::Poisson,
+            Gbps::new(3.0),
+            ByteSize::bytes(512),
+        );
+        assert!(
+            (achieved.as_gbps() - 3.0).abs() < 0.1,
+            "achieved {achieved}"
+        );
     }
 
     #[test]
@@ -97,7 +97,10 @@ mod tests {
             Gbps::new(2.0),
             ByteSize::bytes(800),
         );
-        assert!((achieved.as_gbps() - 2.0).abs() < 0.15, "achieved {achieved}");
+        assert!(
+            (achieved.as_gbps() - 2.0).abs() < 0.15,
+            "achieved {achieved}"
+        );
     }
 
     #[test]
@@ -105,12 +108,11 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let offered = Gbps::new(2.0);
         let size = ByteSize::bytes(1000);
-        let gaps =
-            |p: ArrivalProcess, rng: &mut SimRng| -> Vec<f64> {
-                (0..20_000)
-                    .map(|_| p.next_gap(offered, size, rng).as_secs_f64())
-                    .collect()
-            };
+        let gaps = |p: ArrivalProcess, rng: &mut SimRng| -> Vec<f64> {
+            (0..20_000)
+                .map(|_| p.next_gap(offered, size, rng).as_secs_f64())
+                .collect()
+        };
         let variance = |xs: &[f64]| {
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64

@@ -148,7 +148,10 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let min = *counts.values().min().unwrap();
-        assert!(max < 3 * min, "uniform sampling spread too wide: {min}..{max}");
+        assert!(
+            max < 3 * min,
+            "uniform sampling spread too wide: {min}..{max}"
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn phase_end_lookup() {
         let s = step();
-        assert_eq!(s.phase_end_after(SimTime::ZERO), Some(SimTime::from_millis(10)));
+        assert_eq!(
+            s.phase_end_after(SimTime::ZERO),
+            Some(SimTime::from_millis(10))
+        );
         assert_eq!(
             s.phase_end_after(SimTime::from_millis(12)),
             Some(SimTime::from_millis(40))

@@ -1,7 +1,7 @@
 //! Packet-size profiles.
 
-use pam_types::ByteSize;
 use pam_sim::SimRng;
+use pam_types::ByteSize;
 use serde::{Deserialize, Serialize};
 
 /// The packet sizes the paper sweeps (64 B to 1500 B).
@@ -24,7 +24,10 @@ impl PacketSizeProfile {
     /// [`PAPER_SWEEP_SIZES`].
     pub fn paper_sweep() -> Self {
         PacketSizeProfile::UniformChoice(
-            PAPER_SWEEP_SIZES.iter().map(|&b| ByteSize::bytes(b)).collect(),
+            PAPER_SWEEP_SIZES
+                .iter()
+                .map(|&b| ByteSize::bytes(b))
+                .collect(),
         )
     }
 

@@ -42,7 +42,7 @@ impl TraceConfig {
 
 /// The default seed used by evaluation traces (the conference date of the
 /// poster, so reproduction runs are recognisably deterministic).
-pub const DEFAULT_TRACE_SEED: u64 = 2018_08_20;
+pub const DEFAULT_TRACE_SEED: u64 = 20180820;
 
 /// A generator of timestamped packets following a [`TraceConfig`].
 #[derive(Debug)]
@@ -92,10 +92,7 @@ impl TraceSynthesizer {
         // custom schedule may include quiet phases).
         let mut load = self.config.schedule.load_at(self.next_time);
         while load.as_gbps() <= 0.0 {
-            let Some(phase_end) = self.config.schedule.phase_end_after(self.next_time) else {
-                return None;
-            };
-            self.next_time = phase_end;
+            self.next_time = self.config.schedule.phase_end_after(self.next_time)?;
             load = self.config.schedule.load_at(self.next_time);
         }
 

@@ -29,6 +29,9 @@ pub enum PamError {
     InvalidConfig(String),
     /// A vNF position referenced by an operation does not exist in the chain.
     UnknownNf(NfId),
+    /// No capacity profile is registered for a vNF kind (the kind's name is
+    /// carried as a string so `pam-types` stays independent of `pam-nf`).
+    MissingProfile(String),
     /// A runtime instance referenced by an operation does not exist.
     UnknownInstance(InstanceId),
     /// The requested migration or placement is infeasible under the resource
@@ -51,10 +54,16 @@ impl fmt::Display for PamError {
             PamError::ChecksumMismatch { layer } => write!(f, "{layer} checksum mismatch"),
             PamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PamError::UnknownNf(id) => write!(f, "unknown vNF position {id}"),
+            PamError::MissingProfile(kind) => {
+                write!(f, "no capacity profile registered for {kind}")
+            }
             PamError::UnknownInstance(id) => write!(f, "unknown vNF instance {id}"),
             PamError::Infeasible(msg) => write!(f, "infeasible operation: {msg}"),
             PamError::ScaleOutRequired => {
-                write!(f, "both SmartNIC and CPU are overloaded: scale-out required")
+                write!(
+                    f,
+                    "both SmartNIC and CPU are overloaded: scale-out required"
+                )
             }
             PamError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
         }
@@ -75,6 +84,11 @@ impl PamError {
     /// Convenience constructor for [`PamError::InvalidConfig`].
     pub fn config(reason: impl Into<String>) -> Self {
         PamError::InvalidConfig(reason.into())
+    }
+
+    /// Convenience constructor for [`PamError::MissingProfile`].
+    pub fn missing_profile(kind: impl Into<String>) -> Self {
+        PamError::MissingProfile(kind.into())
     }
 
     /// Convenience constructor for [`PamError::Infeasible`].
@@ -115,8 +129,14 @@ mod tests {
             "unknown vNF instance inst2"
         );
         assert!(PamError::ScaleOutRequired.to_string().contains("scale-out"));
+        assert_eq!(
+            PamError::missing_profile("Monitor").to_string(),
+            "no capacity profile registered for Monitor"
+        );
         assert!(PamError::config("bad").to_string().contains("bad"));
-        assert!(PamError::infeasible("cpu full").to_string().contains("cpu full"));
+        assert!(PamError::infeasible("cpu full")
+            .to_string()
+            .contains("cpu full"));
         assert!(PamError::state("busy").to_string().contains("busy"));
     }
 

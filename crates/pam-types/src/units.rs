@@ -417,10 +417,7 @@ mod tests {
 
     #[test]
     fn utilisation_with_zero_capacity_saturates() {
-        assert_eq!(
-            Gbps::new(1.0).utilisation_of(Gbps::ZERO),
-            Ratio::SATURATED
-        );
+        assert_eq!(Gbps::new(1.0).utilisation_of(Gbps::ZERO), Ratio::SATURATED);
         assert_eq!(Gbps::ZERO.utilisation_of(Gbps::ZERO), Ratio::ZERO);
     }
 

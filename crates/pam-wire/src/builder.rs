@@ -227,9 +227,8 @@ impl PacketBuilder {
                 for b in seg.into_inner()[TCP_HEADER_LEN..].iter_mut() {
                     *b = self.payload_byte;
                 }
-                let mut seg = TcpSegment::new_unchecked(
-                    &mut buf[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..],
-                );
+                let mut seg =
+                    TcpSegment::new_unchecked(&mut buf[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..]);
                 seg.fill_checksum(src_octets, dst_octets);
             }
             TransportKind::Udp => {
@@ -318,8 +317,14 @@ mod tests {
 
     #[test]
     fn tiny_requested_length_is_raised_to_minimum() {
-        let bytes = PacketBuilder::new().transport(TransportKind::Tcp).total_len(1).build();
-        assert_eq!(bytes.len(), ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN);
+        let bytes = PacketBuilder::new()
+            .transport(TransportKind::Tcp)
+            .total_len(1)
+            .build();
+        assert_eq!(
+            bytes.len(),
+            ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN
+        );
         parse_all(&bytes);
     }
 
@@ -333,11 +338,15 @@ mod tests {
     #[test]
     fn header_overhead_matches_transport() {
         assert_eq!(
-            PacketBuilder::new().transport(TransportKind::Udp).header_overhead(),
+            PacketBuilder::new()
+                .transport(TransportKind::Udp)
+                .header_overhead(),
             42
         );
         assert_eq!(
-            PacketBuilder::new().transport(TransportKind::Tcp).header_overhead(),
+            PacketBuilder::new()
+                .transport(TransportKind::Tcp)
+                .header_overhead(),
             54
         );
         assert_eq!(MIN_FRAME_LEN, 42);

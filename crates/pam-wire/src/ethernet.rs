@@ -245,7 +245,13 @@ mod tests {
     #[test]
     fn short_buffer_is_rejected() {
         let err = EthernetFrame::new_checked([0u8; 10]).unwrap_err();
-        assert!(matches!(err, PamError::Malformed { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            PamError::Malformed {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -336,7 +336,13 @@ mod tests {
 
     #[test]
     fn stable_hash_bytes_is_stable() {
-        assert_eq!(stable_hash_bytes(b"backend-1"), stable_hash_bytes(b"backend-1"));
-        assert_ne!(stable_hash_bytes(b"backend-1"), stable_hash_bytes(b"backend-2"));
+        assert_eq!(
+            stable_hash_bytes(b"backend-1"),
+            stable_hash_bytes(b"backend-1")
+        );
+        assert_ne!(
+            stable_hash_bytes(b"backend-1"),
+            stable_hash_bytes(b"backend-2")
+        );
     }
 }

@@ -39,8 +39,7 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
                 format!("header length {} is out of range", packet.header_len()),
             ));
         }
-        if (packet.total_len() as usize) < packet.header_len()
-            || packet.total_len() as usize > len
+        if (packet.total_len() as usize) < packet.header_len() || packet.total_len() as usize > len
         {
             return Err(PamError::malformed(
                 "ipv4",

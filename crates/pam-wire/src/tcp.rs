@@ -350,7 +350,7 @@ mod tests {
     #[test]
     fn short_and_inconsistent_buffers_rejected() {
         assert!(TcpSegment::new_checked([0u8; 10]).is_err());
-        let mut buf = vec![0u8; TCP_HEADER_LEN];
+        let mut buf = [0u8; TCP_HEADER_LEN];
         buf[12] = 0xf0; // data offset 60 bytes > buffer
         assert!(TcpSegment::new_checked(&buf[..]).is_err());
         buf[12] = 0x40; // data offset 16 bytes < 20

@@ -15,9 +15,9 @@ fn main() {
     println!(
         "scenario: {} baseline for {}, then {} for {} (overloads the SmartNIC)",
         scenario.baseline_load,
-        SimDuration::from(scenario.baseline_duration),
+        scenario.baseline_duration,
         scenario.overload_load,
-        SimDuration::from(scenario.overload_duration),
+        scenario.overload_duration,
     );
 
     // Watch one PAM-managed run in detail.
@@ -31,7 +31,11 @@ fn main() {
     );
 
     println!("\ncontrol-plane decisions:");
-    for record in orchestrator.log().iter().filter(|r| !r.decision.is_no_action()) {
+    for record in orchestrator
+        .log()
+        .iter()
+        .filter(|r| !r.decision.is_no_action())
+    {
         println!(
             "  {}: offered {}, NIC util {:.0}%, decision: {}",
             record.at,

@@ -9,7 +9,10 @@
 use pam::experiments::Figure1Scenario;
 use pam::prelude::*;
 
-fn run_with(strategy: StrategyKind, scenario: &Figure1Scenario) -> (SimDuration, SimDuration, Gbps) {
+fn run_with(
+    strategy: StrategyKind,
+    scenario: &Figure1Scenario,
+) -> (SimDuration, SimDuration, Gbps) {
     let mut runtime = scenario.build_runtime().expect("runtime");
     let mut trace = scenario.build_trace();
     let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(strategy));
@@ -65,7 +68,11 @@ fn main() {
         .find(|(k, _)| *k == StrategyKind::NaiveBottleneck)
         .unwrap()
         .1;
-    let pam = rows.iter().find(|(k, _)| *k == StrategyKind::Pam).unwrap().1;
+    let pam = rows
+        .iter()
+        .find(|(k, _)| *k == StrategyKind::Pam)
+        .unwrap()
+        .1;
     let saved = naive.saturating_sub(pam);
     println!(
         "\nfor a 30 ms game-server tick budget, PAM returns {} per packet to the application\n\

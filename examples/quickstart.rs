@@ -23,7 +23,11 @@ fn main() {
 
     // Ask the three strategies what to do.
     let latency = LatencyModel::default();
-    for kind in [StrategyKind::Original, StrategyKind::NaiveBottleneck, StrategyKind::Pam] {
+    for kind in [
+        StrategyKind::Original,
+        StrategyKind::NaiveBottleneck,
+        StrategyKind::Pam,
+    ] {
         let decision = kind.build().decide(&chain, &placement, offered);
         let mut after = placement.clone();
         if let Some(plan) = decision.plan() {
@@ -31,11 +35,7 @@ fn main() {
                 after.set(mv.nf, mv.to).expect("valid move");
             }
         }
-        println!(
-            "\n{:<9} decision: {}",
-            kind.label(),
-            decision
-        );
+        println!("\n{:<9} decision: {}", kind.label(), decision);
         println!(
             "          PCIe crossings per packet: {} -> {}",
             placement.pcie_crossings(&chain),

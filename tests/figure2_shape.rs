@@ -67,5 +67,8 @@ fn analytical_and_packet_level_models_agree_on_the_ordering() {
     // packet-level run adds queueing the analytical model ignores).
     assert!(sim_pam < sim_naive);
     let ratio = sim_pam.as_micros_f64() / analytic_pam.as_micros_f64();
-    assert!((0.75..1.35).contains(&ratio), "sim/analytic ratio {ratio:.2}");
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "sim/analytic ratio {ratio:.2}"
+    );
 }

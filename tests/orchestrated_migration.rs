@@ -56,8 +56,8 @@ fn pam_and_naive_pick_different_vnfs_for_the_same_overload() {
 #[test]
 fn capacity_probe_recovers_table1_for_the_monitor() {
     let catalog = ProfileCatalog::table1();
-    let nic = probe_capacity(NfKind::Monitor, Device::SmartNic, &catalog);
-    let cpu = probe_capacity(NfKind::Monitor, Device::Cpu, &catalog);
+    let nic = probe_capacity(NfKind::Monitor, Device::SmartNic, &catalog).unwrap();
+    let cpu = probe_capacity(NfKind::Monitor, Device::Cpu, &catalog).unwrap();
     assert!((nic.measured.as_gbps() - 3.2).abs() / 3.2 < 0.1);
     assert!((cpu.measured.as_gbps() - 10.0).abs() / 10.0 < 0.1);
 }

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate (together with `serde_derive` and `serde_json` in `vendor/`)
+//! provides the subset of serde's surface the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs and enums, including
+//!   `#[serde(transparent)]` newtypes;
+//! * externally-tagged enum representation, matching real serde's default;
+//! * `serde::de::DeserializeOwned` as a trait bound;
+//! * JSON round-trips through the sibling `serde_json` stand-in.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! simple self-describing [`value::Value`] tree. That is all the workspace
+//! needs: state blobs, reports and test round-trips.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialization into the self-describing [`Value`] tree.
+///
+/// The derive macro implements this for structs and enums; implementations
+/// for primitives, collections and a few `std` types live in [`value`].
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// The (de)serialization error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The deserialization half of serde's module layout.
+pub mod de {
+    pub use super::Error;
+
+    /// A value that can be deserialized without borrowing from the input.
+    ///
+    /// In this stand-in every [`Deserialize`](super::Deserialize) type is
+    /// owned, so the trait is a blanket alias.
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// The serialization half of serde's module layout.
+pub mod ser {
+    pub use super::Error;
+}

@@ -1,0 +1,559 @@
+//! The self-describing value tree used by the offline serde stand-in,
+//! plus `Serialize`/`Deserialize` implementations for primitives and the
+//! collections the workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{Deserialize, Error, Serialize};
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// A key/value map with insertion order preserved.
+    Object(Map),
+}
+
+impl Value {
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A number: signed, unsigned or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The numeric value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The numeric value as `u64`, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) => u64::try_from(n).ok(),
+            Number::Float(f) => {
+                if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                    Some(f as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The numeric value as `i64`, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Number {
+    /// Numeric equality across representations, so a round-trip that turns
+    /// `2.0` into the integer `2` still compares equal.
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => return a == b,
+                (None, None) => {}
+                _ => return false,
+            },
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// An insertion-ordered string-keyed map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Builds a map from key/value pairs.
+    pub fn from_pairs(entries: Vec<(String, Value)>) -> Self {
+        Map { entries }
+    }
+
+    /// Appends or replaces an entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+fn expected(what: &'static str, got: &Value) -> Error {
+    Error::custom(format!("expected {what}, found {}", got.kind()))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| expected(stringify!($t), value)),
+                    _ => Err(expected(stringify!($t), value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| expected(stringify!($t), value)),
+                    _ => Err(expected(stringify!($t), value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    _ => Err(expected(stringify!($t), value)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::PosInt(v)),
+            // Out-of-range totals degrade to floats, as serde_json does for
+            // arbitrary-precision-disabled builds.
+            Err(_) => Value::Number(Number::Float(*self as f64)),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => n
+                .as_u64()
+                .map(u128::from)
+                .ok_or_else(|| expected("u128", value)),
+            _ => Err(expected("u128", value)),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => v.to_value(),
+            Err(_) => Value::Number(Number::Float(*self as f64)),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => n
+                .as_i64()
+                .map(i128::from)
+                .ok_or_else(|| expected("i128", value)),
+            _ => Err(expected("i128", value)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(expected("bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(expected("string", value)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(expected("single-character string", value)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(expected("array", value)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value.as_array().ok_or_else(|| expected("tuple array", value))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected a {LEN}-element array, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Serializes a map key, which must render as a string (serde_json's rule
+/// for JSON object keys).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(n) => match n {
+            Number::PosInt(v) => v.to_string(),
+            Number::NegInt(v) => v.to_string(),
+            Number::Float(v) => v.to_string(),
+        },
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map keys must serialize to strings, got {}", other.kind()),
+    }
+}
+
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    K::from_value(&Value::String(key.to_string())).or_else(|_| {
+        // Integer-keyed maps round-trip through stringified numbers.
+        let parsed = if let Ok(u) = key.parse::<u64>() {
+            Value::Number(Number::PosInt(u))
+        } else if let Ok(i) = key.parse::<i64>() {
+            Value::Number(Number::NegInt(i))
+        } else {
+            return Err(Error::custom(format!("invalid map key `{key}`")));
+        };
+        K::from_value(&parsed)
+    })
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(Map::from_pairs(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        ))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| expected("object", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        // Stable key order keeps serialization deterministic.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(Map::from_pairs(pairs))
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| expected("object", value))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => s
+                .parse()
+                .map_err(|_| Error::custom(format!("invalid IPv4 address `{s}`"))),
+            _ => Err(expected("IPv4 address string", value)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected {N} elements, found {}", v.len())))
+    }
+}

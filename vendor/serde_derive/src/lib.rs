@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the workspace uses — named-field structs, tuple structs, unit
+//! structs and enums whose variants are unit, tuple or struct-like — plus the
+//! `#[serde(transparent)]` container attribute. Generics are not supported
+//! (the workspace derives only on concrete types).
+//!
+//! The `syn`/`quote` crates are unavailable offline, so parsing walks the
+//! raw [`proc_macro::TokenStream`] directly and code generation goes through
+//! plain string formatting.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input looked like, reduced to the parts codegen needs.
+enum Shape {
+    Unit,
+    Named { fields: Vec<String> },
+    Tuple { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if attr_is_serde_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde derive does not support generics (type `{name}`)"
+            ));
+        }
+    }
+
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(g.stream())?,
+            },
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                fields: parse_named_fields(g.stream())?,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                arity: count_top_level_items(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("expected struct body, found {other:?}")),
+        }
+    };
+
+    Ok(Input {
+        name,
+        transparent,
+        shape,
+    })
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) is
+/// `serde(... transparent ...)`.
+fn attr_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Splits a comma-separated token stream at top level, tracking `<...>`
+/// nesting (angle brackets are punctuation, not groups).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(token);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Extracts the field name from one `attrs vis name: Type` segment.
+fn field_name(segment: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    loop {
+        match segment.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = segment.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => return Ok(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .iter()
+        .map(|s| field_name(s))
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(stream)
+        .iter()
+        .map(|segment| {
+            let mut i = 0;
+            // Skip variant attributes (doc comments etc.).
+            while matches!(segment.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                i += 2;
+            }
+            let name = match segment.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            i += 1;
+            let shape = match segment.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_top_level_items(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream())?)
+                }
+                None => VariantShape::Unit,
+                // `= discriminant` on unit variants.
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                other => return Err(format!("unexpected variant body: {other:?}")),
+            };
+            Ok(Variant { name, shape })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => "::serde::value::Value::Null".to_string(),
+        Shape::Named { fields } => {
+            if input.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let inserts: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!("__map.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n")
+                    })
+                    .collect();
+                format!(
+                    "let mut __map = ::serde::value::Map::new();\n{inserts}\
+                     ::serde::value::Value::Object(__map)"
+                )
+            }
+        }
+        Shape::Tuple { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_serialize_variant(type_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!("{type_name}::{v} => ::serde::value::Value::String({v:?}.to_string()),\n")
+        }
+        VariantShape::Tuple(arity) => {
+            let bindings: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let payload = if *arity == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{type_name}::{v}({binds}) => {{\n\
+                 let mut __map = ::serde::value::Map::new();\n\
+                 __map.insert({v:?}, {payload});\n\
+                 ::serde::value::Value::Object(__map)\n}}\n",
+                binds = bindings.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| format!("__inner.insert({f:?}, ::serde::Serialize::to_value({f}));\n"))
+                .collect();
+            format!(
+                "{type_name}::{v} {{ {binds} }} => {{\n\
+                 let mut __inner = ::serde::value::Map::new();\n{inserts}\
+                 let mut __map = ::serde::value::Map::new();\n\
+                 __map.insert({v:?}, ::serde::value::Value::Object(__inner));\n\
+                 ::serde::value::Value::Object(__map)\n}}\n",
+                binds = fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Named { fields } => {
+            if input.transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {f}: ::serde::Deserialize::from_value(__value)? }})",
+                    f = fields[0]
+                )
+            } else {
+                let gets: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(__obj.get({f:?})\
+                             .ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"` in \", {name:?})))?)?,\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __obj = __value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected an object for \", {name:?})))?;\n\
+                     Ok({name} {{\n{gets}}})"
+                )
+            }
+        }
+        Shape::Tuple { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Tuple { arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(concat!(\"expected an array for \", {name:?})))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return Err(::serde::Error::custom(concat!(\"wrong arity for \", {name:?})));\n}}\n\
+                 Ok({name}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Shape::Enum { variants } => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("{v:?} => Ok({name}::{v}),\n", v = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),\n"
+                )),
+                VariantShape::Tuple(arity) => {
+                    let gets: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{\n\
+                         let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected an array variant payload\"))?;\n\
+                         if __items.len() != {arity} {{\n\
+                         return Err(::serde::Error::custom(\"wrong variant arity\"));\n}}\n\
+                         Ok({name}::{vn}({gets}))\n}}\n",
+                        gets = gets.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let gets: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(__inner.get({f:?})\
+                                 .ok_or_else(|| ::serde::Error::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => {{\n\
+                         let __inner = __payload.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected an object variant payload\"))?;\n\
+                         Ok({name}::{vn} {{\n{gets}}})\n}}\n"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __value {{\n\
+         ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::value::Value::Object(__map) if __map.len() == 1 => {{\n\
+         let (__tag, __payload) = __map.iter().next().unwrap();\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }}\n\
+         __other => Err(::serde::Error::custom(concat!(\"expected a \", {name:?}, \" value\"))),\n\
+         }}"
+    )
+}
