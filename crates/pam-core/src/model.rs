@@ -1,6 +1,6 @@
 //! The linear resource model of poster §2.
 //!
-//! Following CoCo [5], the poster assumes that a vNF's resource utilisation
+//! Following CoCo \[5\], the poster assumes that a vNF's resource utilisation
 //! on either device grows linearly with its throughput: a vNF whose capacity
 //! on the SmartNIC is `θ^S` consumes a fraction `θ_cur / θ^S` of the NIC when
 //! it carries `θ_cur`. A device is overloaded when the sum of those fractions

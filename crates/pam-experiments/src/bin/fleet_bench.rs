@@ -1,0 +1,244 @@
+//! `fleet_bench` — the deterministic fleet benchmark harness behind CI's
+//! perf gate.
+//!
+//! ```text
+//! fleet_bench                               # run the matrix, JSON on stdout
+//! fleet_bench --out report.json             # write the JSON to a file
+//!                                           # instead of stdout
+//! fleet_bench --check BENCH_baseline.json   # compare against a baseline;
+//!                                           # exit 1 on regression
+//! fleet_bench --tolerance 0.25              # relative tolerance band
+//! fleet_bench --servers 4                   # fleet size (default 4)
+//! ```
+//!
+//! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
+//! the same build produce byte-identical JSON and the baseline comparison is
+//! meaningful: metrics moving past the tolerance band are real changes in
+//! the algorithms or the simulator, not noise.
+
+use std::process::ExitCode;
+
+use pam_experiments::fleet::{run_fleet_matrix, FleetBenchEntry, FleetBenchOutput};
+
+/// Relative tolerance band the gate allows before calling a change a
+/// regression (generous: the runs are deterministic, so any drift at all is
+/// an intentional code change — the band only tolerates *small* ones).
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Absolute slack on packet counters, so a baseline of zero drops does not
+/// fail on a handful of new ones.
+const COUNT_SLACK: f64 = 64.0;
+
+struct Args {
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+    servers: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: None,
+        check: None,
+        tolerance: DEFAULT_TOLERANCE,
+        servers: 4,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--out" => args.out = Some(value("--out")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--servers" => {
+                args.servers = value("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One gate comparison: fails when `current` worsens past the band.
+struct Check {
+    metric: &'static str,
+    baseline: f64,
+    current: f64,
+    failed: bool,
+}
+
+/// Metrics where *larger* is worse (latency, drops, blackout).
+fn worse_if_above(metric: &'static str, baseline: f64, current: f64, tolerance: f64) -> Check {
+    let slack = if metric.ends_with("drops") {
+        COUNT_SLACK
+    } else {
+        0.0
+    };
+    let bound = baseline * (1.0 + tolerance) + slack;
+    Check {
+        metric,
+        baseline,
+        current,
+        failed: current > bound,
+    }
+}
+
+/// Metrics where *smaller* is worse (delivered packets).
+fn worse_if_below(metric: &'static str, baseline: f64, current: f64, tolerance: f64) -> Check {
+    Check {
+        metric,
+        baseline,
+        current,
+        failed: current < baseline * (1.0 - tolerance),
+    }
+}
+
+fn gate_entry(baseline: &FleetBenchEntry, current: &FleetBenchEntry, tolerance: f64) -> Vec<Check> {
+    let b = &baseline.report.totals;
+    let c = &current.report.totals;
+    vec![
+        worse_if_above("p50_us", b.p50_us, c.p50_us, tolerance),
+        worse_if_above("p99_us", b.p99_us, c.p99_us, tolerance),
+        worse_if_above("mean_us", b.mean_us, c.mean_us, tolerance),
+        worse_if_above("blackout_us", b.blackout_us, c.blackout_us, tolerance),
+        worse_if_above(
+            "overload_drops",
+            b.drops_overload as f64,
+            c.drops_overload as f64,
+            tolerance,
+        ),
+        worse_if_above(
+            "migration_drops",
+            b.drops_migration as f64,
+            c.drops_migration as f64,
+            tolerance,
+        ),
+        worse_if_below(
+            "delivered",
+            b.delivered as f64,
+            c.delivered as f64,
+            tolerance,
+        ),
+    ]
+}
+
+fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: f64) -> bool {
+    // A baseline from a different configuration is a setup error, not a
+    // performance regression — comparing cells anyway would misattribute the
+    // whole delta to the algorithms.
+    if (baseline.version, baseline.servers, baseline.seed)
+        != (current.version, current.servers, current.seed)
+    {
+        eprintln!(
+            "perf-gate: CONFIG MISMATCH — baseline is version {} / {} servers / seed {}, \
+             this run is version {} / {} servers / seed {}; regenerate the baseline \
+             with the same flags instead of comparing",
+            baseline.version,
+            baseline.servers,
+            baseline.seed,
+            current.version,
+            current.servers,
+            current.seed
+        );
+        return false;
+    }
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for base in &baseline.results {
+        let Some(cur) = current
+            .results
+            .iter()
+            .find(|e| e.scenario == base.scenario && e.strategy == base.strategy)
+        else {
+            eprintln!(
+                "perf-gate: MISSING  {}/{} — cell not in current matrix",
+                base.scenario, base.strategy
+            );
+            missing += 1;
+            continue;
+        };
+        for check in gate_entry(base, cur, tolerance) {
+            if check.failed {
+                eprintln!(
+                    "perf-gate: FAIL     {}/{} {}: baseline {:.1}, current {:.1} (tolerance {:.0}%)",
+                    base.scenario,
+                    base.strategy,
+                    check.metric,
+                    check.baseline,
+                    check.current,
+                    tolerance * 100.0
+                );
+                regressions += 1;
+            }
+        }
+    }
+    if regressions == 0 && missing == 0 {
+        eprintln!(
+            "perf-gate: OK — {} cells within the {:.0}% band",
+            baseline.results.len(),
+            tolerance * 100.0
+        );
+        true
+    } else {
+        eprintln!("perf-gate: {regressions} regression(s), {missing} missing cell(s)");
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet_bench: {e}");
+            eprintln!(
+                "usage: fleet_bench [--out PATH] [--check BASELINE] [--tolerance F] [--servers N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let output = match run_fleet_matrix(args.servers) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("fleet_bench: matrix failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = serde_json::to_string(&output).expect("report serializes");
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("fleet_bench: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("{json}");
+    }
+
+    if let Some(path) = &args.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("fleet_bench: reading baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: FleetBenchOutput = match serde_json::from_str(&text) {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("fleet_bench: parsing baseline {path}: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !run_gate(&baseline, &output, args.tolerance) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

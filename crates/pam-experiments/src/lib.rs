@@ -9,6 +9,7 @@
 //! | A2 | Ablation — strategy comparison over random chains | [`ablations::strategy_sweep`] |
 //! | A3 | Ablation — latency penalty vs PCIe crossing latency | [`ablations::pcie_sweep`] |
 //! | A4 | Ablation — live-migration cost vs flow-table size | [`ablations::migration_cost_sweep`] |
+//! | F1 | Fleet — scenario × strategy matrix behind CI's perf gate | [`fleet::run_fleet_matrix`] |
 //!
 //! Each experiment returns plain data rows plus a [`report`]-rendered text
 //! table whose layout mirrors the paper, so the benches' stdout doubles as
@@ -19,10 +20,14 @@
 
 pub mod ablations;
 pub mod figure2;
+pub mod fleet;
 pub mod report;
 pub mod scenarios;
 pub mod table1;
 
 pub use figure2::{run_figure2, Figure2Config, Figure2Results, Figure2Row};
+pub use fleet::{
+    run_fleet_matrix, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+};
 pub use scenarios::Figure1Scenario;
 pub use table1::{run_table1, Table1Results};

@@ -1,0 +1,664 @@
+//! The fleet: N servers under one deterministic event queue, and the
+//! controller that walks the full decision ladder.
+//!
+//! The single-server orchestrator of PR 1 stops at the poster's escape
+//! hatch: when migration cannot relieve the overload it merely *counts* a
+//! scale-out request. The fleet controller acts on it. Every control tick
+//! it walks, per server, the ladder
+//!
+//! 1. **local PAM migration** — the server's own
+//!    [`Orchestrator`](pam_orchestrator::Orchestrator) runs its
+//!    strategy against the windowed load estimate and executes any
+//!    migration on the server's devices;
+//! 2. **cross-server scale-out** — if the strategy answers
+//!    [`Decision::ScaleOut`], a slice of the server's *flows* is re-steered
+//!    (flow-sticky, monotone; see [`SteeringTable`]) to the least-loaded
+//!    recipient with headroom;
+//! 3. **scale-in** — once the server's windowed *peak* utilisation has
+//!    receded, the spilled flows return home step by step.
+//!
+//! All data-plane and control-plane causality flows through a single
+//! [`EventQueue`] (home-packet arrivals and control ticks), so two runs of
+//! the same fleet are event-for-event identical — the replay-determinism
+//! tests serialize whole reports and compare bytes.
+
+use pam_core::{Decision, ResourceModel};
+use pam_orchestrator::OrchestratorConfig;
+use pam_sim::EventQueue;
+use pam_types::{Device, Gbps, Result, ServerId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::node::{FleetServer, ServerSpec};
+use crate::report::{FleetReport, FleetTotals, ServerReport};
+use crate::steering::SteeringTable;
+
+/// Fleet-level control parameters (the per-server loop keeps its own
+/// [`OrchestratorConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Per-server control loop (strategy, poll cadence, cooldown).
+    pub orchestrator: OrchestratorConfig,
+    /// Length of the sliding window feeding every fleet decision.
+    pub estimator_window: SimDuration,
+    /// Whether the ladder may re-steer flows across servers at all
+    /// (disabled for the pure single-box baselines).
+    pub scale_out_enabled: bool,
+    /// Fraction of a server's flows moved per scale-out action.
+    pub spill_step: f64,
+    /// Cap on the total fraction of one server's flows living elsewhere.
+    pub max_spill: f64,
+    /// A recipient must sit below this windowed NIC utilisation.
+    pub recipient_headroom: f64,
+    /// Scale in only when the windowed *peak* NIC utilisation of the home
+    /// server is below this.
+    pub scale_in_below: f64,
+    /// Minimum time between two scale actions on the same server.
+    pub scale_cooldown: SimDuration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            orchestrator: OrchestratorConfig::default(),
+            estimator_window: SimDuration::from_millis(2),
+            scale_out_enabled: true,
+            spill_step: 0.25,
+            max_spill: 0.5,
+            recipient_headroom: 0.7,
+            scale_in_below: 0.55,
+            scale_cooldown: SimDuration::from_millis(4),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The default fleet config running the given per-server strategy.
+    pub fn with_strategy(strategy: pam_core::StrategyKind) -> Self {
+        FleetConfig {
+            orchestrator: OrchestratorConfig::with_strategy(strategy),
+            ..Default::default()
+        }
+    }
+}
+
+/// What the fleet ladder did for one server at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FleetAction {
+    /// Nothing beyond the local decision.
+    None,
+    /// The local strategy executed this many migrations.
+    LocalMigration(u64),
+    /// Flows re-steered to the recipient; the new spill fraction.
+    ScaleOut(ServerId, f64),
+    /// The strategy wanted to scale out but no recipient had headroom.
+    ScaleOutBlocked,
+    /// Spilled flows returning home; the remaining spill fraction.
+    ScaleIn(f64),
+}
+
+/// One fleet-ladder decision for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetDecisionRecord {
+    /// When the tick ran.
+    pub at: SimTime,
+    /// The server the record is about.
+    pub server: ServerId,
+    /// The windowed mean load the decision was based on.
+    pub windowed_load: Gbps,
+    /// The windowed peak load (gates scale-in).
+    pub peak_load: Gbps,
+    /// Predicted SmartNIC utilisation at the windowed mean load.
+    pub nic_utilisation: f64,
+    /// What the ladder did.
+    pub action: FleetAction,
+}
+
+/// The events the fleet's single deterministic queue carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEvent {
+    /// The next home packet of this server is due.
+    Arrival(ServerId),
+    /// Run the control ladder over every server.
+    ControlTick,
+}
+
+/// N servers, the steering table and the decision-ladder controller.
+pub struct Fleet {
+    config: FleetConfig,
+    servers: Vec<FleetServer>,
+    steering: SteeringTable,
+    events: EventQueue<FleetEvent>,
+    log: Vec<FleetDecisionRecord>,
+    last_scale_action: Vec<Option<SimTime>>,
+    scale_outs: u64,
+    scale_ins: u64,
+    scale_out_blocked: u64,
+    control_steps: u64,
+    started: bool,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("servers", &self.servers.len())
+            .field("control_steps", &self.control_steps)
+            .field("scale_outs", &self.scale_outs)
+            .field("scale_ins", &self.scale_ins)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet from one spec per server.
+    pub fn new(specs: Vec<ServerSpec>, config: FleetConfig) -> Result<Self> {
+        let mut servers = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            servers.push(FleetServer::new(
+                ServerId::from(index),
+                spec,
+                config.orchestrator,
+                config.estimator_window,
+            )?);
+        }
+        let count = servers.len();
+        Ok(Fleet {
+            config,
+            servers,
+            steering: SteeringTable::new(count),
+            events: EventQueue::new(),
+            log: Vec::new(),
+            last_scale_action: vec![None; count],
+            scale_outs: 0,
+            scale_ins: 0,
+            scale_out_blocked: 0,
+            control_steps: 0,
+            started: false,
+        })
+    }
+
+    /// The fleet configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The servers, in id order.
+    pub fn servers(&self) -> &[FleetServer] {
+        &self.servers
+    }
+
+    /// The steering table.
+    pub fn steering(&self) -> &SteeringTable {
+        &self.steering
+    }
+
+    /// Every fleet-ladder decision taken so far.
+    pub fn log(&self) -> &[FleetDecisionRecord] {
+        &self.log
+    }
+
+    /// Number of scale-out actions executed.
+    pub fn scale_outs(&self) -> u64 {
+        self.scale_outs
+    }
+
+    /// Number of scale-in actions executed.
+    pub fn scale_ins(&self) -> u64 {
+        self.scale_ins
+    }
+
+    /// Runs the fleet until `until`, interleaving every server's home
+    /// arrivals and the control ticks through the single event queue.
+    /// Returns the number of control ticks run.
+    pub fn run(&mut self, until: SimTime) -> u64 {
+        if !self.started {
+            self.started = true;
+            for index in 0..self.servers.len() {
+                if let Some(at) = self.servers[index].next_arrival() {
+                    self.events
+                        .schedule(at, FleetEvent::Arrival(ServerId::from(index)));
+                }
+            }
+            self.events.schedule(
+                SimTime::ZERO + self.config.orchestrator.poll_interval,
+                FleetEvent::ControlTick,
+            );
+        }
+        let ticks_before = self.control_steps;
+        while let Some(next) = self.events.peek_time() {
+            if next > until {
+                break;
+            }
+            let (now, event) = self.events.pop().expect("peeked event must pop");
+            match event {
+                FleetEvent::Arrival(home) => self.on_arrival(now, home),
+                FleetEvent::ControlTick => {
+                    self.control_tick(now);
+                    self.events.schedule(
+                        now + self.config.orchestrator.poll_interval,
+                        FleetEvent::ControlTick,
+                    );
+                }
+            }
+        }
+        for server in &mut self.servers {
+            server.runtime_mut().drain_until(until);
+        }
+        self.control_steps - ticks_before
+    }
+
+    /// Delivers one home packet of `home`, re-steered or not.
+    fn on_arrival(&mut self, now: SimTime, home: ServerId) {
+        if let Some((send_time, packet)) = self.servers[home.index()].take_pending() {
+            debug_assert_eq!(
+                send_time, now,
+                "arrival event fires at the packet's send time"
+            );
+            let target = self.steering.route(home, packet.flow_id());
+            let server = &mut self.servers[target.index()];
+            server.note_arrival(packet.size());
+            let runtime = server.runtime_mut();
+            runtime.drain_until(now);
+            runtime.submit(now, packet);
+        }
+        if let Some(at) = self.servers[home.index()].next_arrival() {
+            self.events.schedule(at, FleetEvent::Arrival(home));
+        }
+    }
+
+    /// One pass of the decision ladder over every server, in id order.
+    fn control_tick(&mut self, now: SimTime) {
+        self.control_steps += 1;
+
+        // Phase 1 — measure: drain every data plane to `now` and feed the
+        // sliding windows with the load that actually arrived this tick
+        // (home plus re-steered traffic).
+        let interval = self.config.orchestrator.poll_interval;
+        for server in &mut self.servers {
+            server.runtime_mut().drain_until(now);
+            let offered = server.take_tick_load(interval);
+            server.estimator_mut().record(now, offered);
+        }
+
+        // Phase 2 — decide and act per server.
+        for index in 0..self.servers.len() {
+            let server_id = ServerId::from(index);
+            let windowed = self.servers[index].estimator().mean();
+            let peak = self.servers[index].estimator().peak();
+
+            let record = {
+                let server = &mut self.servers[index];
+                let (orchestrator, runtime) = server.control_parts();
+                orchestrator.step_with_load(runtime, now, windowed)
+            };
+
+            let action = match &record.decision {
+                Decision::Migrate(_) if !record.executed.is_empty() => {
+                    FleetAction::LocalMigration(record.executed.len() as u64)
+                }
+                Decision::ScaleOut if self.config.scale_out_enabled => {
+                    self.try_scale_out(now, server_id)
+                }
+                _ => self.try_scale_in(now, server_id, peak),
+            };
+
+            self.log.push(FleetDecisionRecord {
+                at: now,
+                server: server_id,
+                windowed_load: windowed,
+                peak_load: peak,
+                nic_utilisation: record.nic_utilisation,
+                action,
+            });
+        }
+    }
+
+    /// Rung 2 of the ladder: find a recipient with headroom and re-steer.
+    fn try_scale_out(&mut self, now: SimTime, home: ServerId) -> FleetAction {
+        if self.in_cooldown(now, home) || self.steering.fraction_of(home) >= self.config.max_spill {
+            return FleetAction::None;
+        }
+        // An existing spill keeps its recipient (one server's overflow never
+        // splits across two recipients), but a top-up must re-check that the
+        // recipient still has headroom — its own traffic may have risen since
+        // the first spill. Otherwise pick the server with the most windowed
+        // headroom (ties broken by lowest id, keeping the scan deterministic).
+        let recipient = match self.steering.spill_of(home) {
+            Some(spill) => {
+                let windowed = self.servers[spill.to.index()].estimator().mean();
+                if self.nic_utilisation_at(spill.to, windowed) < self.config.recipient_headroom {
+                    Some(spill.to)
+                } else {
+                    None
+                }
+            }
+            None => self.pick_recipient(home),
+        };
+        let Some(recipient) = recipient else {
+            self.scale_out_blocked += 1;
+            return FleetAction::ScaleOutBlocked;
+        };
+        let fraction = self.steering.scale_out(
+            home,
+            recipient,
+            self.config.spill_step,
+            self.config.max_spill,
+        );
+        self.scale_outs += 1;
+        self.last_scale_action[home.index()] = Some(now);
+        FleetAction::ScaleOut(recipient, fraction)
+    }
+
+    /// Rung 3 of the ladder: return spilled flows once the window is calm.
+    fn try_scale_in(&mut self, now: SimTime, home: ServerId, peak: Gbps) -> FleetAction {
+        if self.steering.fraction_of(home) == 0.0 || self.in_cooldown(now, home) {
+            return FleetAction::None;
+        }
+        if self.nic_utilisation_at(home, peak) >= self.config.scale_in_below {
+            return FleetAction::None;
+        }
+        let fraction = self.steering.scale_in(home, self.config.spill_step);
+        self.scale_ins += 1;
+        self.last_scale_action[home.index()] = Some(now);
+        FleetAction::ScaleIn(fraction)
+    }
+
+    /// The least-loaded server (by windowed mean) that is not `home`, has
+    /// NIC headroom at its windowed load, is not itself spilling, and is not
+    /// already the recipient of another server's spill. The last condition
+    /// matters within a single tick: the estimator lags spill decisions by up
+    /// to a window, so without it every overloaded home would pick the same
+    /// idle server before any re-steered packet shows up in its samples.
+    fn pick_recipient(&self, home: ServerId) -> Option<ServerId> {
+        let mut best: Option<(ServerId, f64)> = None;
+        for (index, server) in self.servers.iter().enumerate() {
+            let candidate = ServerId::from(index);
+            if candidate == home
+                || self.steering.fraction_of(candidate) > 0.0
+                || self.steering.is_recipient(candidate)
+            {
+                continue;
+            }
+            let windowed = server.estimator().mean();
+            let utilisation = self.nic_utilisation_at(candidate, windowed);
+            if utilisation >= self.config.recipient_headroom {
+                continue;
+            }
+            if best.map_or(true, |(_, u)| utilisation < u) {
+                best = Some((candidate, utilisation));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// The model-predicted SmartNIC utilisation of `server` at `load`.
+    fn nic_utilisation_at(&self, server: ServerId, load: Gbps) -> f64 {
+        let runtime = self.servers[server.index()].runtime();
+        let chain = runtime.chain_model();
+        let placement = runtime.placement();
+        ResourceModel::new(&chain, &placement, load)
+            .device_utilisation(Device::SmartNic)
+            .value()
+    }
+
+    fn in_cooldown(&self, now: SimTime, server: ServerId) -> bool {
+        matches!(
+            self.last_scale_action[server.index()],
+            Some(last) if now.duration_since(last) < self.config.scale_cooldown
+        )
+    }
+
+    /// The machine-readable report of everything the fleet did so far.
+    pub fn report(&self) -> FleetReport {
+        let mut merged = pam_telemetry::LatencyHistogram::new();
+        let mut totals = FleetTotals {
+            scale_outs: self.scale_outs,
+            scale_ins: self.scale_ins,
+            scale_out_blocked: self.scale_out_blocked,
+            control_steps: self.control_steps,
+            resteered_packets: self.steering.stats().resteered_packets,
+            ..FleetTotals::default()
+        };
+        let mut servers = Vec::with_capacity(self.servers.len());
+        for server in &self.servers {
+            let outcome = server.runtime().outcome();
+            // fold from +0.0: an empty `sum()` is IEEE -0.0, which would
+            // leak a "-0.0" into the JSON reports.
+            let blackout_us: f64 = outcome
+                .migrations
+                .iter()
+                .fold(0.0, |total, m| total + m.blackout().as_micros_f64());
+            merged.merge(&server.runtime().registry().latency_histogram());
+            totals.injected += outcome.injected;
+            totals.delivered += outcome.delivered;
+            totals.drops_overload += outcome.drops_overload;
+            totals.drops_policy += outcome.drops_policy;
+            totals.drops_migration += outcome.drops_migration;
+            totals.migrations += outcome.migrations.len() as u64;
+            totals.blackout_us += blackout_us;
+            servers.push(ServerReport {
+                server: server.id().raw(),
+                injected: outcome.injected,
+                delivered: outcome.delivered,
+                drops_overload: outcome.drops_overload,
+                drops_policy: outcome.drops_policy,
+                drops_migration: outcome.drops_migration,
+                p50_us: outcome.p50_latency.as_micros_f64(),
+                p99_us: outcome.p99_latency.as_micros_f64(),
+                mean_us: outcome.mean_latency.as_micros_f64(),
+                throughput_gbps: outcome.delivered_throughput.as_gbps(),
+                migrations: outcome.migrations.len() as u64,
+                blackout_us,
+                spill_fraction: self.steering.fraction_of(server.id()),
+            });
+        }
+        totals.p50_us = merged.p50().as_micros_f64();
+        totals.p99_us = merged.p99().as_micros_f64();
+        totals.mean_us = merged.mean().as_micros_f64();
+        FleetReport { servers, totals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_core::{Placement, StrategyKind};
+    use pam_nf::ServiceChainSpec;
+    use pam_runtime::RuntimeConfig;
+    use pam_traffic::{
+        ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule,
+    };
+    use pam_types::ByteSize;
+
+    fn spec_with(schedule: TrafficSchedule, seed: u64) -> ServerSpec {
+        ServerSpec {
+            chain: ServiceChainSpec::figure1(),
+            placement: Placement::figure1_initial(),
+            runtime: RuntimeConfig::evaluation_default(),
+            trace: TraceConfig {
+                sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+                flows: FlowGeneratorConfig {
+                    flow_count: 2000,
+                    zipf_exponent: 1.0,
+                    tcp_fraction: 0.8,
+                },
+                arrival: ArrivalProcess::Cbr,
+                schedule,
+                seed,
+            },
+        }
+    }
+
+    /// Server 0 takes a hopeless 3.9 Gbps burst (both devices saturated, the
+    /// strategy answers ScaleOut) and then goes almost quiet; server 1 idles
+    /// at 0.5 Gbps throughout.
+    fn hopeless_fleet(strategy: StrategyKind) -> Fleet {
+        let hot = TrafficSchedule::from_phases(vec![
+            pam_traffic::Phase::new(Gbps::new(3.9), SimDuration::from_millis(10)),
+            pam_traffic::Phase::new(Gbps::new(0.3), SimDuration::from_millis(20)),
+        ]);
+        let cold = TrafficSchedule::constant(Gbps::new(0.5), SimDuration::from_millis(30));
+        Fleet::new(
+            vec![spec_with(hot, 11), spec_with(cold, 12)],
+            FleetConfig::with_strategy(strategy),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hopeless_overload_scales_out_to_the_idle_server_and_back_in() {
+        let mut fleet = hopeless_fleet(StrategyKind::Pam);
+        let ticks = fleet.run(SimTime::from_millis(30));
+        assert_eq!(ticks, 30, "1 ms cadence over 30 ms");
+        assert!(fleet.scale_outs() > 0, "the ladder acted on ScaleOut");
+        let stats = fleet.steering().stats();
+        assert!(stats.resteered_packets > 0, "flows actually moved");
+        // Once the burst passed and the window drained, flows walked home.
+        assert!(fleet.scale_ins() > 0, "scale-in after the load receded");
+        assert_eq!(fleet.steering().fraction_of(ServerId::new(0)), 0.0);
+        // Both servers saw traffic; the idle server absorbed the spill.
+        let report = fleet.report();
+        assert!(report.servers[1].injected > 0);
+        assert!(report.totals.resteered_packets == stats.resteered_packets);
+        assert!(report.totals.control_steps == 30);
+    }
+
+    #[test]
+    fn scale_out_disabled_keeps_every_flow_home() {
+        let mut fleet = hopeless_fleet(StrategyKind::Pam);
+        fleet.config.scale_out_enabled = false;
+        fleet.run(SimTime::from_millis(30));
+        assert_eq!(fleet.scale_outs(), 0);
+        assert_eq!(fleet.steering().stats().resteered_packets, 0);
+        // The overload still shows up as drops on the hot server.
+        let report = fleet.report();
+        assert!(report.servers[0].drops_overload > 0);
+        assert_eq!(report.servers[1].drops_overload, 0);
+    }
+
+    #[test]
+    fn no_migration_baseline_takes_no_actions() {
+        let mut fleet = hopeless_fleet(StrategyKind::Original);
+        fleet.run(SimTime::from_millis(30));
+        assert_eq!(fleet.scale_outs(), 0);
+        assert_eq!(fleet.report().totals.migrations, 0);
+        assert!(fleet.log().iter().all(|r| r.action == FleetAction::None));
+    }
+
+    #[test]
+    fn moderate_overload_is_handled_locally_without_scale_out() {
+        // 2.2 Gbps overloads the NIC but PAM relieves it by migrating the
+        // Logger — rung 1 of the ladder suffices, rung 2 never fires.
+        let schedule = TrafficSchedule::step_overload(
+            Gbps::new(1.5),
+            SimDuration::from_millis(6),
+            Gbps::new(2.2),
+            SimDuration::from_millis(14),
+        );
+        let mut fleet = Fleet::new(
+            vec![
+                spec_with(schedule, 21),
+                spec_with(
+                    TrafficSchedule::constant(Gbps::new(1.0), SimDuration::from_millis(20)),
+                    22,
+                ),
+            ],
+            FleetConfig::with_strategy(StrategyKind::Pam),
+        )
+        .unwrap();
+        fleet.run(SimTime::from_millis(20));
+        let report = fleet.report();
+        assert!(report.totals.migrations >= 1, "local migration happened");
+        assert_eq!(fleet.scale_outs(), 0, "no cross-server action needed");
+        assert!(report.totals.blackout_us > 0.0);
+    }
+
+    #[test]
+    fn top_up_is_blocked_once_the_sticky_recipient_loses_headroom() {
+        // Server 0 is hopeless for a long stretch; server 1 runs at 1.2 Gbps
+        // (utilisation ~0.65, just under the 0.7 recipient headroom), so it
+        // qualifies for the first spill but any spilled traffic pushes it
+        // well past the bar. Later top-up attempts must be blocked instead
+        // of raising the spill to max on a recipient that no longer
+        // qualifies.
+        let hot = TrafficSchedule::constant(Gbps::new(3.9), SimDuration::from_millis(12));
+        let warm = TrafficSchedule::constant(Gbps::new(1.2), SimDuration::from_millis(12));
+        let mut fleet = Fleet::new(
+            vec![spec_with(hot, 41), spec_with(warm, 42)],
+            FleetConfig::with_strategy(StrategyKind::Pam),
+        )
+        .unwrap();
+        fleet.run(SimTime::from_millis(12));
+        assert_eq!(
+            fleet.steering().fraction_of(ServerId::new(0)),
+            fleet.config().spill_step,
+            "the spill stopped at one step"
+        );
+        assert!(
+            fleet
+                .log()
+                .iter()
+                .any(|r| r.action == FleetAction::ScaleOutBlocked),
+            "later top-ups were blocked, not granted"
+        );
+    }
+
+    #[test]
+    fn concurrent_hopeless_overloads_do_not_dogpile_one_recipient() {
+        // Three servers slammed at once, one idle: the idle server must end
+        // up the recipient of at most one spill — later homes are blocked
+        // rather than allowed to pile onto a recipient whose windowed load
+        // does not yet reflect the spill.
+        let hot = TrafficSchedule::from_phases(vec![
+            pam_traffic::Phase::new(Gbps::new(3.8), SimDuration::from_millis(12)),
+            pam_traffic::Phase::new(Gbps::new(0.3), SimDuration::from_millis(8)),
+        ]);
+        let idle = TrafficSchedule::constant(Gbps::new(0.5), SimDuration::from_millis(20));
+        let mut fleet = Fleet::new(
+            vec![
+                spec_with(hot.clone(), 31),
+                spec_with(hot.clone(), 32),
+                spec_with(hot, 33),
+                spec_with(idle, 34),
+            ],
+            FleetConfig::with_strategy(StrategyKind::Pam),
+        )
+        .unwrap();
+        fleet.run(SimTime::from_millis(20));
+        let recipient = ServerId::new(3);
+        let spills_into_idle = (0..3)
+            .filter(|&i| {
+                fleet
+                    .steering()
+                    .spill_of(ServerId::new(i))
+                    .is_some_and(|s| s.to == recipient)
+            })
+            .count();
+        assert!(
+            spills_into_idle <= 1,
+            "{spills_into_idle} homes spilled into the single idle server"
+        );
+        // The homes that could not find a recipient were blocked, not lost.
+        assert!(fleet.scale_outs() > 0);
+        assert!(
+            fleet
+                .log()
+                .iter()
+                .any(|r| r.action == FleetAction::ScaleOutBlocked),
+            "the surplus homes must report ScaleOutBlocked"
+        );
+    }
+
+    #[test]
+    fn run_can_be_resumed_without_double_scheduling() {
+        let mut whole = hopeless_fleet(StrategyKind::Pam);
+        whole.run(SimTime::from_millis(30));
+        let mut split = hopeless_fleet(StrategyKind::Pam);
+        split.run(SimTime::from_millis(13));
+        split.run(SimTime::from_millis(30));
+        assert_eq!(
+            serde_json::to_string(&whole.report()).unwrap(),
+            serde_json::to_string(&split.report()).unwrap(),
+            "split runs replay identically"
+        );
+    }
+}

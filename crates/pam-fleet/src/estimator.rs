@@ -1,0 +1,153 @@
+//! Sliding-window load estimation.
+//!
+//! The single-server orchestrator polls the *instantaneous* offered load,
+//! which whipsaws under bursty traffic: one quiet poll interval during a
+//! flash crowd and the controller believes the overload is gone. Following
+//! the Memento line of work (sliding-window sketches that survive bursts),
+//! the fleet controller instead feeds every decision from a
+//! [`SlidingWindowEstimator`]: a ring of timestamped load samples over a
+//! fixed window, answering both the windowed mean (used to decide
+//! migrations and scale-out) and the windowed peak (used to hold off
+//! scale-in until the *whole* window has receded).
+
+use std::collections::VecDeque;
+
+use pam_types::{Gbps, SimDuration, SimTime};
+
+/// A timestamped offered-load sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Sample {
+    at: SimTime,
+    load: Gbps,
+}
+
+/// A sliding window over offered-load samples.
+///
+/// Samples older than the configured window are evicted on every
+/// [`record`](SlidingWindowEstimator::record), so the estimator's memory is
+/// bounded by `window / sample_interval`. The queries (`mean`, `peak`,
+/// `latest`) do not evict — they reflect the window as of the most recent
+/// sample, so record at the current time before querying.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowEstimator {
+    window: SimDuration,
+    samples: VecDeque<Sample>,
+}
+
+impl SlidingWindowEstimator {
+    /// Creates an estimator remembering samples for `window`.
+    pub fn new(window: SimDuration) -> Self {
+        SlidingWindowEstimator {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records a load sample taken at `now` and evicts expired samples.
+    pub fn record(&mut self, now: SimTime, load: Gbps) {
+        self.samples.push_back(Sample { at: now, load });
+        self.evict(now);
+    }
+
+    /// Number of samples currently inside the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample is inside the window.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The windowed mean load (zero with no samples).
+    pub fn mean(&self) -> Gbps {
+        if self.samples.is_empty() {
+            return Gbps::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.load.as_gbps()).sum();
+        Gbps::new(sum / self.samples.len() as f64)
+    }
+
+    /// The windowed peak load (zero with no samples).
+    pub fn peak(&self) -> Gbps {
+        self.samples
+            .iter()
+            .map(|s| s.load)
+            .fold(Gbps::ZERO, Gbps::max)
+    }
+
+    /// The most recent sample (zero with no samples).
+    pub fn latest(&self) -> Gbps {
+        self.samples.back().map(|s| s.load).unwrap_or(Gbps::ZERO)
+    }
+
+    /// Drops samples that left the window as of `now`.
+    fn evict(&mut self, now: SimTime) {
+        while let Some(front) = self.samples.front() {
+            if now.duration_since(front.at) > self.window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator() -> SlidingWindowEstimator {
+        SlidingWindowEstimator::new(SimDuration::from_millis(4))
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let e = estimator();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.mean(), Gbps::ZERO);
+        assert_eq!(e.peak(), Gbps::ZERO);
+        assert_eq!(e.latest(), Gbps::ZERO);
+        assert_eq!(e.window(), SimDuration::from_millis(4));
+    }
+
+    #[test]
+    fn mean_and_peak_track_the_window() {
+        let mut e = estimator();
+        e.record(SimTime::from_millis(1), Gbps::new(1.0));
+        e.record(SimTime::from_millis(2), Gbps::new(3.0));
+        assert_eq!(e.len(), 2);
+        assert!((e.mean().as_gbps() - 2.0).abs() < 1e-12);
+        assert_eq!(e.peak(), Gbps::new(3.0));
+        assert_eq!(e.latest(), Gbps::new(3.0));
+    }
+
+    #[test]
+    fn samples_expire_after_the_window() {
+        let mut e = estimator();
+        e.record(SimTime::from_millis(1), Gbps::new(9.0));
+        e.record(SimTime::from_millis(6), Gbps::new(1.0));
+        // The 9 Gbps burst at t=1ms is 5ms old at t=6ms: outside the 4ms
+        // window, so only the recent sample remains.
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.mean(), Gbps::new(1.0));
+        assert_eq!(e.peak(), Gbps::new(1.0));
+    }
+
+    #[test]
+    fn peak_survives_a_quiet_poll_inside_the_window() {
+        let mut e = estimator();
+        e.record(SimTime::from_millis(1), Gbps::new(2.5));
+        e.record(SimTime::from_millis(2), Gbps::new(0.1));
+        // An instantaneous poll would see 0.1 Gbps and declare the overload
+        // over; the windowed peak still remembers the burst.
+        assert_eq!(e.peak(), Gbps::new(2.5));
+        assert_eq!(e.latest(), Gbps::new(0.1));
+    }
+}

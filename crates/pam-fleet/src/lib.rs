@@ -1,0 +1,32 @@
+//! The fleet layer: from one box to N.
+//!
+//! The poster's PAM loop saves a *single* server's SmartNIC by pushing
+//! neighbour vNFs to the host CPU; its answer to a hopeless overload is the
+//! stubbed "scale out" signal. This crate makes that signal real:
+//!
+//! * [`FleetServer`] — one server (SmartNIC + CPU + PCIe + chain runtime)
+//!   with its own local [`pam_orchestrator::Orchestrator`] and a
+//!   [`SlidingWindowEstimator`] smoothing its load;
+//! * [`SteeringTable`] — flow-sticky, monotone re-steering of a fraction of
+//!   one server's flows to another;
+//! * [`Fleet`] — N servers under a **single deterministic
+//!   [`pam_sim::EventQueue`]**, with a controller walking the full decision
+//!   ladder every tick: local PAM migration → cross-server scale-out →
+//!   scale-in when the windowed load recedes;
+//! * [`FleetReport`] — the machine-readable outcome (`fleet_bench` dumps it
+//!   as JSON and CI gates on it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod estimator;
+pub mod node;
+pub mod report;
+pub mod steering;
+
+pub use controller::{Fleet, FleetAction, FleetConfig, FleetDecisionRecord};
+pub use estimator::SlidingWindowEstimator;
+pub use node::{FleetServer, ServerSpec};
+pub use report::{FleetReport, FleetTotals, ServerReport};
+pub use steering::{Spill, SteeringStats, SteeringTable};

@@ -1,0 +1,183 @@
+//! One server of the fleet.
+//!
+//! A [`FleetServer`] bundles what PR 1's single-server pipeline kept at the
+//! top level: a packet-level [`ChainRuntime`] (its own SmartNIC, CPU and
+//! PCIe link), the home traffic arriving at that server, the per-server
+//! [`Orchestrator`] running the local PAM control loop, and the
+//! sliding-window estimator the fleet controller feeds its decisions from.
+
+use pam_core::Placement;
+use pam_nf::{Packet, ServiceChainSpec};
+use pam_orchestrator::{Orchestrator, OrchestratorConfig};
+use pam_runtime::{ChainRuntime, RuntimeConfig};
+use pam_traffic::{TraceConfig, TraceSynthesizer};
+use pam_types::{Result, ServerId, SimDuration, SimTime};
+
+use crate::estimator::SlidingWindowEstimator;
+
+/// Everything needed to stand up one server of the fleet.
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// The service chain deployed on the server.
+    pub chain: ServiceChainSpec,
+    /// The initial NIC/CPU placement.
+    pub placement: Placement,
+    /// Device, link and migration-cost parameters.
+    pub runtime: RuntimeConfig,
+    /// The server's home traffic (before any cross-server re-steering).
+    pub trace: TraceConfig,
+}
+
+/// One server: runtime, home traffic, local control loop and load window.
+pub struct FleetServer {
+    id: ServerId,
+    runtime: ChainRuntime,
+    trace: TraceSynthesizer,
+    pending: Option<(SimTime, Packet)>,
+    orchestrator: Orchestrator,
+    estimator: SlidingWindowEstimator,
+    bytes_since_tick: u64,
+}
+
+impl std::fmt::Debug for FleetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetServer")
+            .field("id", &self.id)
+            .field("orchestrator", &self.orchestrator)
+            .field("window_samples", &self.estimator.len())
+            .finish()
+    }
+}
+
+impl FleetServer {
+    /// Builds the server from its spec and control-loop parameters.
+    pub fn new(
+        id: ServerId,
+        spec: ServerSpec,
+        orchestrator: OrchestratorConfig,
+        estimator_window: SimDuration,
+    ) -> Result<Self> {
+        let runtime = ChainRuntime::new(spec.chain, &spec.placement, spec.runtime)?;
+        Ok(FleetServer {
+            id,
+            runtime,
+            trace: TraceSynthesizer::new(spec.trace),
+            pending: None,
+            orchestrator: Orchestrator::new(orchestrator),
+            estimator: SlidingWindowEstimator::new(estimator_window),
+            bytes_since_tick: 0,
+        })
+    }
+
+    /// The server's fleet id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The server's data plane.
+    pub fn runtime(&self) -> &ChainRuntime {
+        &self.runtime
+    }
+
+    /// Mutable access to the data plane (packet submission, draining).
+    pub fn runtime_mut(&mut self) -> &mut ChainRuntime {
+        &mut self.runtime
+    }
+
+    /// The server's local control loop.
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orchestrator
+    }
+
+    /// Mutable access to the local control loop.
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        &mut self.orchestrator
+    }
+
+    /// The server's sliding-window load estimator.
+    pub fn estimator(&self) -> &SlidingWindowEstimator {
+        &self.estimator
+    }
+
+    /// Mutable access to the estimator (the fleet records samples into it).
+    pub fn estimator_mut(&mut self) -> &mut SlidingWindowEstimator {
+        &mut self.estimator
+    }
+
+    /// The control loop and data plane together, split-borrowed so the
+    /// orchestrator can drive its own runtime.
+    pub fn control_parts(&mut self) -> (&mut Orchestrator, &mut ChainRuntime) {
+        (&mut self.orchestrator, &mut self.runtime)
+    }
+
+    /// Accounts one packet arriving at this server (home or re-steered).
+    pub fn note_arrival(&mut self, size: pam_types::ByteSize) {
+        self.bytes_since_tick += size.as_bytes();
+    }
+
+    /// The load that actually arrived since the previous tick, measured over
+    /// `interval`. Resets the per-tick byte counter.
+    pub fn take_tick_load(&mut self, interval: SimDuration) -> pam_types::Gbps {
+        let bytes = std::mem::take(&mut self.bytes_since_tick);
+        let secs = interval.as_secs_f64();
+        if secs <= 0.0 {
+            return pam_types::Gbps::ZERO;
+        }
+        pam_types::Gbps::from_bytes_per_sec(bytes as f64 / secs)
+    }
+
+    /// The send time of the server's next home packet, if any. Pulls the
+    /// packet out of the trace and parks it until [`FleetServer::take_pending`].
+    pub fn next_arrival(&mut self) -> Option<SimTime> {
+        if self.pending.is_none() {
+            self.pending = self.trace.next_packet();
+        }
+        self.pending.as_ref().map(|(t, _)| *t)
+    }
+
+    /// Takes the parked home packet (call after its arrival event fired).
+    pub fn take_pending(&mut self) -> Option<(SimTime, Packet)> {
+        self.pending.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam_traffic::{ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TrafficSchedule};
+    use pam_types::{ByteSize, Gbps};
+
+    fn spec() -> ServerSpec {
+        ServerSpec {
+            chain: ServiceChainSpec::figure1(),
+            placement: Placement::figure1_initial(),
+            runtime: RuntimeConfig::evaluation_default(),
+            trace: TraceConfig {
+                sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+                flows: FlowGeneratorConfig::default(),
+                arrival: ArrivalProcess::Cbr,
+                schedule: TrafficSchedule::constant(Gbps::new(1.0), SimDuration::from_millis(2)),
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn arrivals_are_parked_until_taken() {
+        let mut server = FleetServer::new(
+            ServerId::new(0),
+            spec(),
+            OrchestratorConfig::default(),
+            SimDuration::from_millis(3),
+        )
+        .unwrap();
+        let first = server.next_arrival().expect("trace has packets");
+        // Peeking again must not consume a second packet.
+        assert_eq!(server.next_arrival(), Some(first));
+        let (at, packet) = server.take_pending().expect("parked packet");
+        assert_eq!(at, first);
+        assert!(packet.size().as_bytes() > 0);
+        assert_ne!(server.next_arrival(), None);
+        assert_eq!(server.id(), ServerId::new(0));
+    }
+}

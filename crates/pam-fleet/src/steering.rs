@@ -1,0 +1,214 @@
+//! Flow-sticky cross-server re-steering.
+//!
+//! When a server's overload cannot be relieved locally (the strategy returns
+//! [`pam_core::Decision::ScaleOut`]), the fleet controller shifts a fraction
+//! of that server's *flows* to a recipient server. The split is by flow-hash
+//! threshold: a flow is spilled iff `hash(flow) < fraction · 2⁶⁴`. Two
+//! properties follow:
+//!
+//! * **stickiness** — a given flow always lands on the same server while the
+//!   fraction is unchanged, so per-flow vNF state never ping-pongs;
+//! * **monotonicity** — growing the fraction only *adds* spilled flows and
+//!   shrinking it only *returns* them, so each adjustment re-steers the
+//!   minimal set of flows (the same nesting trick consistent hashing uses).
+
+use pam_types::{FlowId, ServerId};
+use serde::{Deserialize, Serialize};
+
+/// One active spill: `fraction` of the home server's flows go to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spill {
+    /// The recipient server.
+    pub to: ServerId,
+    /// Fraction of the home server's flows re-steered, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Counters of what the steering layer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteeringStats {
+    /// Packets sent to a server other than their home server.
+    pub resteered_packets: u64,
+    /// Packets that stayed on their home server.
+    pub local_packets: u64,
+}
+
+/// The fleet's flow-steering table: at most one active spill per home server.
+#[derive(Debug, Clone)]
+pub struct SteeringTable {
+    spills: Vec<Option<Spill>>,
+    stats: SteeringStats,
+}
+
+impl SteeringTable {
+    /// A table for `servers` servers with no active spill.
+    pub fn new(servers: usize) -> Self {
+        SteeringTable {
+            spills: vec![None; servers],
+            stats: SteeringStats::default(),
+        }
+    }
+
+    /// The active spill of `home`, if any.
+    pub fn spill_of(&self, home: ServerId) -> Option<Spill> {
+        self.spills[home.index()]
+    }
+
+    /// The fraction of `home`'s flows currently re-steered (zero when none).
+    pub fn fraction_of(&self, home: ServerId) -> f64 {
+        self.spill_of(home).map_or(0.0, |s| s.fraction)
+    }
+
+    /// True when `server` is the recipient of any active spill.
+    pub fn is_recipient(&self, server: ServerId) -> bool {
+        self.spills
+            .iter()
+            .any(|s| s.is_some_and(|s| s.to == server))
+    }
+
+    /// Raises `home`'s spill towards `to` by `step`, capped at `max`.
+    /// Returns the new fraction. An existing spill keeps its recipient (the
+    /// ladder never splits one server's overflow across two recipients).
+    pub fn scale_out(&mut self, home: ServerId, to: ServerId, step: f64, max: f64) -> f64 {
+        let slot = &mut self.spills[home.index()];
+        let next = match slot {
+            Some(spill) => Spill {
+                to: spill.to,
+                fraction: (spill.fraction + step).min(max),
+            },
+            None => Spill {
+                to,
+                fraction: step.min(max),
+            },
+        };
+        *slot = Some(next);
+        next.fraction
+    }
+
+    /// Lowers `home`'s spill by `step`, removing it at zero. Returns the new
+    /// fraction.
+    pub fn scale_in(&mut self, home: ServerId, step: f64) -> f64 {
+        let slot = &mut self.spills[home.index()];
+        match slot {
+            Some(spill) => {
+                let next = spill.fraction - step;
+                if next <= f64::EPSILON {
+                    *slot = None;
+                    0.0
+                } else {
+                    spill.fraction = next;
+                    next
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Routes one packet of `home`'s ingress traffic: the home server itself
+    /// or the spill recipient, decided by the flow-hash threshold.
+    pub fn route(&mut self, home: ServerId, flow: FlowId) -> ServerId {
+        let target = match self.spills[home.index()] {
+            Some(spill) if flow_unit(flow) < spill.fraction => spill.to,
+            _ => home,
+        };
+        if target == home {
+            self.stats.local_packets += 1;
+        } else {
+            self.stats.resteered_packets += 1;
+        }
+        target
+    }
+
+    /// Accumulated routing counters.
+    pub fn stats(&self) -> SteeringStats {
+        self.stats
+    }
+}
+
+/// Maps a flow id to a uniform point in `[0, 1)` via splitmix64, so spill
+/// thresholds cut the flow population proportionally even for sequential ids.
+fn flow_unit(flow: FlowId) -> f64 {
+    let mut z = flow.raw().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: ServerId = ServerId::new(0);
+    const S1: ServerId = ServerId::new(1);
+    const S2: ServerId = ServerId::new(2);
+
+    #[test]
+    fn no_spill_routes_everything_home() {
+        let mut table = SteeringTable::new(3);
+        for raw in 0..100 {
+            assert_eq!(table.route(S0, FlowId::new(raw)), S0);
+        }
+        assert_eq!(table.stats().local_packets, 100);
+        assert_eq!(table.stats().resteered_packets, 0);
+        assert_eq!(table.fraction_of(S0), 0.0);
+        assert!(!table.is_recipient(S1));
+    }
+
+    #[test]
+    fn spill_fraction_splits_the_flow_population_proportionally() {
+        let mut table = SteeringTable::new(2);
+        table.scale_out(S0, S1, 0.3, 1.0);
+        let spilled = (0..10_000)
+            .filter(|raw| table.route(S0, FlowId::new(*raw)) == S1)
+            .count();
+        // splitmix64 is uniform: expect ~30% ± a small tolerance.
+        assert!((2_700..=3_300).contains(&spilled), "spilled {spilled}");
+        assert!(table.is_recipient(S1));
+    }
+
+    #[test]
+    fn growing_the_fraction_only_adds_flows() {
+        let mut a = SteeringTable::new(2);
+        let mut b = SteeringTable::new(2);
+        a.scale_out(S0, S1, 0.2, 1.0);
+        b.scale_out(S0, S1, 0.5, 1.0);
+        for raw in 0..5_000 {
+            let flow = FlowId::new(raw);
+            if a.route(S0, flow) == S1 {
+                assert_eq!(b.route(S0, flow), S1, "flow {raw} fell back home");
+            } else {
+                b.route(S0, flow);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_out_keeps_the_existing_recipient_and_caps_at_max() {
+        let mut table = SteeringTable::new(3);
+        assert_eq!(table.scale_out(S0, S1, 0.25, 0.6), 0.25);
+        // A later scale-out naming another recipient still tops up S1.
+        assert_eq!(table.scale_out(S0, S2, 0.25, 0.6), 0.5);
+        assert_eq!(table.spill_of(S0).unwrap().to, S1);
+        assert_eq!(table.scale_out(S0, S2, 0.25, 0.6), 0.6);
+    }
+
+    #[test]
+    fn scale_in_steps_down_and_removes_at_zero() {
+        let mut table = SteeringTable::new(2);
+        table.scale_out(S0, S1, 0.4, 1.0);
+        assert!((table.scale_in(S0, 0.25) - 0.15).abs() < 1e-12);
+        assert_eq!(table.scale_in(S0, 0.25), 0.0);
+        assert_eq!(table.spill_of(S0), None);
+        assert_eq!(table.scale_in(S0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn flow_unit_is_uniform_enough() {
+        let mean = (0..10_000)
+            .map(|raw| flow_unit(FlowId::new(raw)))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! vNFs process packets one at a time through [`NetworkFunction::process`].
 //! Live migration between the SmartNIC and the CPU (the mechanism PAM adopts
-//! from UNO [4] and OpenNF [1]) needs each vNF to be able to serialise its
+//! from UNO \[4\] and OpenNF \[1\]) needs each vNF to be able to serialise its
 //! runtime state on the source device and restore it on the target device;
 //! [`NfState`] carries that snapshot plus an estimated transfer size that the
 //! runtime uses to model the PCIe cost of the transfer.

@@ -5,10 +5,11 @@
 //! SmartNIC and CPU and execute the PAM border vNF selection algorithm."
 //! [`Orchestrator`] is that administrator: every `poll_interval` of simulated
 //! time it reads the chain's metrics, asks the configured
-//! [`MigrationStrategy`] what to do, executes the resulting plan through the
-//! runtime's live-migration mechanism, and records a [`DecisionRecord`] so
-//! experiments can inspect exactly when and why each migration happened. If
-//! the strategy reports that migration cannot help ([`Decision::ScaleOut`]),
+//! [`MigrationStrategy`](pam_core::MigrationStrategy) what to do, executes
+//! the resulting plan through the runtime's live-migration mechanism, and
+//! records a [`DecisionRecord`] so experiments can inspect exactly when and
+//! why each migration happened. If the strategy reports that migration
+//! cannot help ([`Decision::ScaleOut`](pam_core::Decision::ScaleOut)),
 //! the orchestrator counts a scale-out request — creating a second instance
 //! on another server is outside the poster's (and this reproduction's) data
 //! plane, but the signal is what an operator would act on.

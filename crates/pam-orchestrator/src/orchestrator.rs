@@ -42,7 +42,10 @@ impl OrchestratorConfig {
 }
 
 /// One control-loop decision and what came of it.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON so orchestrator traces can be dumped by the bench
+/// harness (see `fleet_bench`) instead of `Debug` strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionRecord {
     /// When the decision was taken.
     pub at: SimTime,
@@ -113,8 +116,21 @@ impl Orchestrator {
     /// record of what happened (also appended to the log).
     pub fn control_step(&mut self, runtime: &mut ChainRuntime, now: SimTime) -> DecisionRecord {
         runtime.publish_metrics();
-        let snapshot = runtime.registry().snapshot();
-        let offered = snapshot.offered_load;
+        let offered = runtime.registry().snapshot().offered_load;
+        self.step_with_load(runtime, now, offered)
+    }
+
+    /// Runs one control step at `now` against an externally supplied load
+    /// estimate (e.g. a fleet controller's sliding-window estimator), instead
+    /// of the instantaneous poll [`Orchestrator::control_step`] performs.
+    /// Decides and executes exactly like `control_step` and appends to the
+    /// same log.
+    pub fn step_with_load(
+        &mut self,
+        runtime: &mut ChainRuntime,
+        now: SimTime,
+        offered: Gbps,
+    ) -> DecisionRecord {
         let chain = runtime.chain_model();
         let placement = runtime.placement();
         let model = ResourceModel::new(&chain, &placement, offered);
@@ -316,6 +332,36 @@ mod tests {
         orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(8));
         assert!(orchestrator.scale_out_requests() > 0);
         assert_eq!(orchestrator.migrations_executed(), 0);
+    }
+
+    #[test]
+    fn decision_records_serialize_to_json() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(7);
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        let json = serde_json::to_string(orchestrator.log()).unwrap();
+        let back: Vec<DecisionRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, orchestrator.log());
+        assert!(json.contains("nic_utilisation"));
+    }
+
+    #[test]
+    fn step_with_load_drives_the_strategy_with_the_given_estimate() {
+        let mut runtime = runtime();
+        // Feed an overload estimate while the data plane is still idle: the
+        // decision must follow the supplied load, not the instantaneous poll.
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        let record =
+            orchestrator.step_with_load(&mut runtime, SimTime::from_millis(1), Gbps::new(2.2));
+        assert_eq!(record.offered, Gbps::new(2.2));
+        assert_eq!(orchestrator.migrations_executed(), 1);
+        assert_eq!(
+            runtime.placement().device_of(NfId::new(2)).unwrap(),
+            Device::Cpu
+        );
     }
 
     #[test]

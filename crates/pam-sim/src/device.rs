@@ -1,6 +1,6 @@
 //! Compute-device models: the SmartNIC NPU and the host CPU.
 //!
-//! Following the poster's resource model (§2, after CoCo [5]), a device is a
+//! Following the poster's resource model (§2, after CoCo \[5\]), a device is a
 //! shared pool whose utilisation is the sum over resident vNFs of
 //! `θ_cur / θ_capacity`. The packet-level counterpart implemented here is a
 //! single work-conserving [`RateServer`] per device: processing a packet of

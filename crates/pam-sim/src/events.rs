@@ -271,6 +271,70 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random interleavings: events pop in non-decreasing time order, and
+        /// events sharing a firing time pop in scheduling order — i.e. the
+        /// pop sequence is exactly a stable sort of the schedule sequence.
+        #[test]
+        fn equal_time_events_pop_in_scheduling_order(
+            times in proptest::collection::vec(0u64..16, 1..250),
+        ) {
+            let mut q = EventQueue::new();
+            for (seq, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), seq);
+            }
+            let popped: Vec<(SimTime, usize)> =
+                std::iter::from_fn(|| q.pop()).collect();
+
+            let mut expected: Vec<(SimTime, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(seq, t)| (SimTime::from_nanos(*t), seq))
+                .collect();
+            // `sort_by_key` is stable: ties keep their scheduling order.
+            expected.sort_by_key(|(t, _)| *t);
+            prop_assert_eq!(&popped, &expected);
+
+            for pair in popped.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0);
+                if pair[0].0 == pair[1].0 {
+                    prop_assert!(pair[0].1 < pair[1].1, "tie broke out of order");
+                }
+            }
+        }
+
+        /// Interleaving pops with schedules preserves the invariant: after
+        /// draining, everything scheduled at one instant still pops in the
+        /// order it was scheduled.
+        #[test]
+        fn interleaved_schedule_and_pop_keeps_ties_stable(
+            times in proptest::collection::vec((0u64..8, 0u64..8), 1..120),
+        ) {
+            let mut q = EventQueue::new();
+            let mut popped = Vec::new();
+            for (seq, (t, pre_pop)) in times.iter().enumerate() {
+                // Occasionally pop before scheduling, moving the clock.
+                if *pre_pop == 0 {
+                    if let Some(event) = q.pop() {
+                        popped.push(event);
+                    }
+                }
+                q.schedule(SimTime::from_nanos(*t), seq);
+            }
+            while let Some(event) = q.pop() {
+                popped.push(event);
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for pair in popped.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    prop_assert!(pair[0].1 < pair[1].1, "tie broke out of order");
+                }
+            }
+        }
+    }
+
     #[test]
     fn two_identical_schedules_replay_identically() {
         fn run() -> Vec<(SimTime, u32)> {

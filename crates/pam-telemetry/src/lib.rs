@@ -1,6 +1,6 @@
 //! Telemetry primitives for the PAM workspace.
 //!
-//! The poster's control loop "periodically query[s] the load of SmartNIC and
+//! The poster's control loop "periodically query\[s\] the load of SmartNIC and
 //! CPU" — this crate provides the measurement machinery behind that query,
 //! plus the latency/throughput instrumentation the experiments report:
 //!

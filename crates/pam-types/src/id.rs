@@ -77,10 +77,22 @@ define_id!(
     DeviceId,
     "dev"
 );
+define_id!(
+    /// Identifies a server (one SmartNIC + CPU pair) within a fleet.
+    ServerId,
+    "srv"
+);
 
 impl NfId {
     /// The hop index this id refers to, as a `usize` for indexing chain
     /// vectors.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ServerId {
+    /// The fleet index this id refers to, for indexing server vectors.
     pub const fn index(self) -> usize {
         self.0 as usize
     }

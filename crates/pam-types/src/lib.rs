@@ -28,6 +28,6 @@ pub mod units;
 
 pub use device::{Device, Endpoint, Hop, Side};
 pub use error::{PamError, Result};
-pub use id::{ChainId, DeviceId, FlowId, InstanceId, InstanceIdGen, NfId};
+pub use id::{ChainId, DeviceId, FlowId, InstanceId, InstanceIdGen, NfId, ServerId};
 pub use time::{SimDuration, SimTime};
 pub use units::{ByteSize, Gbps, Ratio};

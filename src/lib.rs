@@ -12,8 +12,10 @@
 //! * [`core`] — the PAM algorithm, its baselines and the resource model.
 //! * [`runtime`] — the packet-level chain runtime with live migration.
 //! * [`orchestrator`] — the periodic monitor/decide/migrate control loop.
+//! * [`fleet`] — N servers under one deterministic event queue, with
+//!   cross-server scale-out via flow re-steering.
 //! * [`experiments`] — the harness that regenerates the paper's tables and
-//!   figures.
+//!   figures, plus the fleet scenario matrix behind `fleet_bench`.
 //!
 //! The [`prelude`] pulls in the handful of types almost every user needs.
 //!
@@ -37,6 +39,7 @@
 
 pub use pam_core as core;
 pub use pam_experiments as experiments;
+pub use pam_fleet as fleet;
 pub use pam_nf as nf;
 pub use pam_orchestrator as orchestrator;
 pub use pam_runtime as runtime;
@@ -52,6 +55,7 @@ pub mod prelude {
         ChainModel, Decision, LatencyModel, MigrationPlan, MigrationStrategy, NaiveBottleneck,
         NoMigration, PamPlanner, Placement, ResourceModel, StrategyKind, VnfDescriptor,
     };
+    pub use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec};
     pub use pam_nf::{NfKind, ProfileCatalog, ServiceChainSpec};
     pub use pam_orchestrator::{Orchestrator, OrchestratorConfig};
     pub use pam_runtime::{ChainRuntime, RuntimeConfig};

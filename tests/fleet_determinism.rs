@@ -1,0 +1,40 @@
+//! Replay determinism of the fleet layer: two identical fleet runs produce
+//! byte-identical JSON reports, across every scenario in the matrix.
+
+use pam::core::StrategyKind;
+use pam::experiments::fleet::{FleetScenario, FleetScenarioKind};
+
+fn report_json(kind: FleetScenarioKind, strategy: StrategyKind, servers: usize) -> String {
+    let scenario = FleetScenario::new(kind, servers);
+    let report = scenario.run(strategy).expect("scenario runs");
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn every_scenario_replays_byte_identically_under_pam() {
+    for kind in FleetScenarioKind::ALL {
+        let a = report_json(kind, StrategyKind::Pam, 2);
+        let b = report_json(kind, StrategyKind::Pam, 2);
+        assert_eq!(a, b, "{kind} diverged between identical runs");
+    }
+}
+
+#[test]
+fn strategies_diverge_but_each_is_self_consistent() {
+    let kind = FleetScenarioKind::RollingHotspot;
+    let pam = report_json(kind, StrategyKind::Pam, 2);
+    let naive = report_json(kind, StrategyKind::NaiveBottleneck, 2);
+    assert_ne!(
+        pam, naive,
+        "different strategies must not produce one report"
+    );
+    assert_eq!(naive, report_json(kind, StrategyKind::NaiveBottleneck, 2));
+}
+
+#[test]
+fn fleet_size_changes_the_report_shape() {
+    let kind = FleetScenarioKind::FlashCrowd;
+    let two = report_json(kind, StrategyKind::Pam, 2);
+    let three = report_json(kind, StrategyKind::Pam, 3);
+    assert_ne!(two, three);
+}

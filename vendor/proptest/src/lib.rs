@@ -3,7 +3,7 @@
 //! Provides the subset the workspace's property tests use: the [`proptest!`]
 //! macro, `prop_assert!` / `prop_assert_eq!`, [`strategy::Strategy`] over
 //! numeric ranges and tuples, [`arbitrary::any`], and
-//! [`collection::vec`]. Cases are generated from a fixed seed so test runs
+//! [`collection::vec()`]. Cases are generated from a fixed seed so test runs
 //! are deterministic; there is no shrinking — a failing case panics with the
 //! generated values available via the assertion message.
 
@@ -156,7 +156,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// The number of elements a [`vec`] strategy may generate.
+    /// The number of elements a [`vec()`] strategy may generate.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -200,7 +200,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
