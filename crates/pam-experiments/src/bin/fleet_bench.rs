@@ -151,14 +151,14 @@ fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: 
     let mut regressions = 0usize;
     let mut missing = 0usize;
     for base in &baseline.results {
-        let Some(cur) = current
-            .results
-            .iter()
-            .find(|e| e.scenario == base.scenario && e.strategy == base.strategy)
-        else {
+        let Some(cur) = current.results.iter().find(|e| {
+            e.scenario == base.scenario
+                && e.strategy == base.strategy
+                && e.migration_mode == base.migration_mode
+        }) else {
             eprintln!(
-                "perf-gate: MISSING  {}/{} — cell not in current matrix",
-                base.scenario, base.strategy
+                "perf-gate: MISSING  {}/{}/{} — cell not in current matrix",
+                base.scenario, base.strategy, base.migration_mode
             );
             missing += 1;
             continue;
@@ -166,9 +166,10 @@ fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: 
         for check in gate_entry(base, cur, tolerance) {
             if check.failed {
                 eprintln!(
-                    "perf-gate: FAIL     {}/{} {}: baseline {:.1}, current {:.1} (tolerance {:.0}%)",
+                    "perf-gate: FAIL     {}/{}/{} {}: baseline {:.1}, current {:.1} (tolerance {:.0}%)",
                     base.scenario,
                     base.strategy,
+                    base.migration_mode,
                     check.metric,
                     check.baseline,
                     check.current,

@@ -10,15 +10,16 @@
 //! | `rolling_hotspot` | an overload that walks across the servers in turn | repeated migrate/recover cycles |
 //! | `correlated_overload` | every server slammed at once | the scale-out-blocked path |
 //!
-//! Every scenario is fully seeded: the same [`FleetScenario`] produces the
-//! same packet trace, the same decisions and a byte-identical
-//! [`pam_fleet::FleetReport`], which is what lets CI gate on the committed
-//! `BENCH_baseline.json`.
+//! Every scenario runs under either live-migration transfer mode
+//! ([`MigrationMode`], the benchmark matrix covers both), and is fully
+//! seeded: the same [`FleetScenario`] produces the same packet trace, the
+//! same decisions and a byte-identical [`pam_fleet::FleetReport`], which is
+//! what lets CI gate on the committed `BENCH_baseline.json`.
 
 use pam_core::{Placement, StrategyKind};
 use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec};
 use pam_nf::ServiceChainSpec;
-use pam_runtime::RuntimeConfig;
+use pam_runtime::{MigrationMode, RuntimeConfig};
 use pam_sim::PcieLinkConfig;
 use pam_traffic::{
     ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, Phase, TraceConfig, TrafficSchedule,
@@ -85,6 +86,8 @@ pub struct FleetScenario {
     pub baseline: Gbps,
     /// The overload every scenario ramps some server(s) to.
     pub peak: Gbps,
+    /// How every server transfers state during live migration.
+    pub migration_mode: MigrationMode,
     /// Base RNG seed; server `i` traces with `seed + i`.
     pub seed: u64,
 }
@@ -101,8 +104,15 @@ impl FleetScenario {
             servers,
             baseline: Gbps::new(1.4),
             peak: Gbps::new(1.90),
+            migration_mode: MigrationMode::StopAndCopy,
             seed: DEFAULT_FLEET_SEED,
         }
+    }
+
+    /// The same scenario running the given live-migration transfer mode.
+    pub fn with_mode(mut self, mode: MigrationMode) -> Self {
+        self.migration_mode = mode;
+        self
     }
 
     /// A load far past what migration can relieve on one box (both devices
@@ -191,10 +201,12 @@ impl FleetScenario {
         ServerSpec {
             chain: ServiceChainSpec::figure1(),
             placement: Placement::figure1_initial(),
-            runtime: RuntimeConfig::evaluation_default().with_pcie(PcieLinkConfig {
-                crossing_latency: SimDuration::from_micros(40),
-                ..PcieLinkConfig::default()
-            }),
+            runtime: RuntimeConfig::evaluation_default()
+                .with_pcie(PcieLinkConfig {
+                    crossing_latency: SimDuration::from_micros(40),
+                    ..PcieLinkConfig::default()
+                })
+                .with_migration_mode(self.migration_mode),
             trace: TraceConfig {
                 // The paper's mixed packet sizes: service-time variance gives
                 // the steady-state latency distribution a real tail, so p99
@@ -245,6 +257,8 @@ pub struct FleetBenchEntry {
     pub scenario: String,
     /// Strategy name (see [`pam_core::MigrationStrategy::name`]).
     pub strategy: String,
+    /// Live-migration transfer mode (see [`MigrationMode::name`]).
+    pub migration_mode: String,
     /// The run's full report.
     pub report: FleetReport,
 }
@@ -270,21 +284,29 @@ pub const FLEET_BENCH_STRATEGIES: [StrategyKind; 3] = [
     StrategyKind::Pam,
 ];
 
-/// Runs the full scenario × strategy matrix with the stable benchmark seed.
+/// The migration modes the fleet benchmark compares.
+pub const FLEET_BENCH_MODES: [MigrationMode; 2] =
+    [MigrationMode::StopAndCopy, MigrationMode::PreCopy];
+
+/// Runs the full scenario × strategy × migration-mode matrix with the stable
+/// benchmark seed.
 pub fn run_fleet_matrix(servers: usize) -> Result<FleetBenchOutput> {
     let mut results = Vec::new();
     for kind in FleetScenarioKind::ALL {
-        let scenario = FleetScenario::new(kind, servers);
-        for strategy in FLEET_BENCH_STRATEGIES {
-            results.push(FleetBenchEntry {
-                scenario: kind.name().to_string(),
-                strategy: strategy.build().name().to_string(),
-                report: scenario.run(strategy)?,
-            });
+        for mode in FLEET_BENCH_MODES {
+            let scenario = FleetScenario::new(kind, servers).with_mode(mode);
+            for strategy in FLEET_BENCH_STRATEGIES {
+                results.push(FleetBenchEntry {
+                    scenario: kind.name().to_string(),
+                    strategy: strategy.build().name().to_string(),
+                    migration_mode: mode.name().to_string(),
+                    report: scenario.run(strategy)?,
+                });
+            }
         }
     }
     Ok(FleetBenchOutput {
-        version: 1,
+        version: 2,
         servers,
         seed: DEFAULT_FLEET_SEED,
         results,
@@ -299,12 +321,17 @@ mod tests {
         output: &FleetBenchOutput,
         scenario: FleetScenarioKind,
         strategy: StrategyKind,
+        mode: MigrationMode,
     ) -> &FleetBenchEntry {
         let strategy = strategy.build().name().to_string();
         output
             .results
             .iter()
-            .find(|e| e.scenario == scenario.name() && e.strategy == strategy)
+            .find(|e| {
+                e.scenario == scenario.name()
+                    && e.strategy == strategy
+                    && e.migration_mode == mode.name()
+            })
             .expect("matrix cell present")
     }
 
@@ -400,19 +427,56 @@ mod tests {
     #[test]
     fn matrix_covers_every_cell_and_round_trips_through_json() {
         let output = run_fleet_matrix(2).unwrap();
-        assert_eq!(output.results.len(), 12);
+        assert_eq!(
+            output.results.len(),
+            24,
+            "4 scenarios x 2 modes x 3 strategies"
+        );
         let json = serde_json::to_string(&output).unwrap();
         let back: FleetBenchOutput = serde_json::from_str(&json).unwrap();
         assert_eq!(back, output);
-        // Spot-check: the no-migration baseline never migrates anywhere.
+        // Spot-check: the no-migration baseline never migrates anywhere,
+        // under either transfer mode.
         for kind in FleetScenarioKind::ALL {
-            assert_eq!(
-                entry(&output, kind, StrategyKind::Original)
-                    .report
-                    .totals
-                    .migrations,
-                0
-            );
+            for mode in FLEET_BENCH_MODES {
+                assert_eq!(
+                    entry(&output, kind, StrategyKind::Original, mode)
+                        .report
+                        .totals
+                        .migrations,
+                    0
+                );
+            }
         }
+    }
+
+    /// The PR's acceptance criterion: on the 4-server rolling hotspot at
+    /// equal config, pre-copy strictly shrinks the total blackout time and
+    /// never drops more packets to migration than stop-and-copy.
+    #[test]
+    fn pre_copy_beats_stop_and_copy_on_rolling_hotspot_blackout() {
+        let scenario = FleetScenario::new(FleetScenarioKind::RollingHotspot, 4);
+        let stop = scenario
+            .with_mode(MigrationMode::StopAndCopy)
+            .run(StrategyKind::Pam)
+            .unwrap();
+        let pre = scenario
+            .with_mode(MigrationMode::PreCopy)
+            .run(StrategyKind::Pam)
+            .unwrap();
+        assert!(stop.totals.migrations > 0, "the hotspot forces migrations");
+        assert!(pre.totals.migrations > 0);
+        assert!(
+            pre.totals.blackout_us < stop.totals.blackout_us,
+            "pre-copy blackout {} us !< stop-and-copy {} us",
+            pre.totals.blackout_us,
+            stop.totals.blackout_us
+        );
+        assert!(
+            pre.totals.drops_migration <= stop.totals.drops_migration,
+            "pre-copy dropped {} > stop-and-copy {}",
+            pre.totals.drops_migration,
+            stop.totals.drops_migration
+        );
     }
 }

@@ -24,8 +24,9 @@
 
 use pam_core::{Decision, ResourceModel};
 use pam_orchestrator::OrchestratorConfig;
-use pam_sim::EventQueue;
-use pam_types::{Device, Gbps, Result, ServerId, SimDuration, SimTime};
+use pam_runtime::state_transfer_size;
+use pam_sim::{EventQueue, LinkDirection, PcieLink, PcieLinkConfig};
+use pam_types::{ByteSize, Device, Gbps, Result, ServerId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::node::{FleetServer, ServerSpec};
@@ -54,6 +55,9 @@ pub struct FleetConfig {
     pub scale_in_below: f64,
     /// Minimum time between two scale actions on the same server.
     pub scale_cooldown: SimDuration,
+    /// The inter-server link cross-server state handoffs travel over (the
+    /// same rate-server + fixed-latency model the per-server PCIe uses).
+    pub interconnect: PcieLinkConfig,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +71,7 @@ impl Default for FleetConfig {
             recipient_headroom: 0.7,
             scale_in_below: 0.55,
             scale_cooldown: SimDuration::from_millis(4),
+            interconnect: PcieLinkConfig::inter_server(),
         }
     }
 }
@@ -130,10 +135,15 @@ pub struct Fleet {
     events: EventQueue<FleetEvent>,
     log: Vec<FleetDecisionRecord>,
     last_scale_action: Vec<Option<SimTime>>,
+    /// The inter-server link cross-server state handoffs travel over.
+    interconnect: PcieLink,
     scale_outs: u64,
     scale_ins: u64,
     scale_out_blocked: u64,
     control_steps: u64,
+    handoff_flows: u64,
+    handoff_bytes: u64,
+    handoff_us: f64,
     started: bool,
 }
 
@@ -162,16 +172,20 @@ impl Fleet {
         }
         let count = servers.len();
         Ok(Fleet {
-            config,
             servers,
             steering: SteeringTable::new(count),
             events: EventQueue::new(),
             log: Vec::new(),
             last_scale_action: vec![None; count],
+            interconnect: PcieLink::new(config.interconnect),
+            config,
             scale_outs: 0,
             scale_ins: 0,
             scale_out_blocked: 0,
             control_steps: 0,
+            handoff_flows: 0,
+            handoff_bytes: 0,
+            handoff_us: 0.0,
             started: false,
         })
     }
@@ -337,12 +351,34 @@ impl Fleet {
             self.scale_out_blocked += 1;
             return FleetAction::ScaleOutBlocked;
         };
+        let before = self.steering.fraction_of(home);
         let fraction = self.steering.scale_out(
             home,
             recipient,
             self.config.spill_step,
             self.config.max_spill,
         );
+        // OpenNF-style state handoff: the per-flow state of the newly
+        // re-steered slice moves to the recipient over the inter-server
+        // link. The same sizing model as live migration applies (the spill
+        // is flow-sticky, so each flow's state moves exactly once per step);
+        // the transfer is non-blocking — re-steered packets that beat their
+        // state simply re-create it, exactly as OpenNF's loss-free mode
+        // would buffer — but its bytes and duration are accounted.
+        let runtime = self.servers[home.index()].runtime();
+        let moved_flows =
+            (runtime.stateful_flow_entries() as f64 * (fraction - before).max(0.0)).round() as u64;
+        let bytes = state_transfer_size(
+            ByteSize::ZERO,
+            runtime.config().state_overhead_per_flow,
+            moved_flows as usize,
+        );
+        let done = self
+            .interconnect
+            .transfer(now, bytes, LinkDirection::NicToCpu);
+        self.handoff_flows += moved_flows;
+        self.handoff_bytes += bytes.as_bytes();
+        self.handoff_us += done.duration_since(now).as_micros_f64();
         self.scale_outs += 1;
         self.last_scale_action[home.index()] = Some(now);
         FleetAction::ScaleOut(recipient, fraction)
@@ -416,6 +452,9 @@ impl Fleet {
             scale_out_blocked: self.scale_out_blocked,
             control_steps: self.control_steps,
             resteered_packets: self.steering.stats().resteered_packets,
+            handoff_flows: self.handoff_flows,
+            handoff_bytes: self.handoff_bytes,
+            handoff_us: self.handoff_us,
             ..FleetTotals::default()
         };
         let mut servers = Vec::with_capacity(self.servers.len());
@@ -646,6 +685,26 @@ mod tests {
                 .any(|r| r.action == FleetAction::ScaleOutBlocked),
             "the surplus homes must report ScaleOutBlocked"
         );
+    }
+
+    #[test]
+    fn scale_out_ships_state_over_the_inter_server_link() {
+        let mut fleet = hopeless_fleet(StrategyKind::Pam);
+        fleet.run(SimTime::from_millis(30));
+        assert!(fleet.scale_outs() > 0);
+        let report = fleet.report();
+        assert!(
+            report.totals.handoff_flows > 0,
+            "spilled flows hand their state off"
+        );
+        assert!(report.totals.handoff_bytes >= report.totals.handoff_flows * 64);
+        // Each handoff pays at least the link's one-way latency (40 us).
+        assert!(report.totals.handoff_us >= 40.0 * fleet.scale_outs() as f64);
+        // No scale-out → no handoff.
+        let mut idle = hopeless_fleet(StrategyKind::Original);
+        idle.run(SimTime::from_millis(30));
+        assert_eq!(idle.report().totals.handoff_flows, 0);
+        assert_eq!(idle.report().totals.handoff_us, 0.0);
     }
 
     #[test]

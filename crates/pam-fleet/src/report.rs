@@ -71,6 +71,12 @@ pub struct FleetTotals {
     pub resteered_packets: u64,
     /// Control ticks the fleet controller ran.
     pub control_steps: u64,
+    /// Per-flow state entries handed to scale-out recipients.
+    pub handoff_flows: u64,
+    /// Bytes of state shipped over the inter-server link.
+    pub handoff_bytes: u64,
+    /// Total inter-server state-transfer time (non-blocking), microseconds.
+    pub handoff_us: f64,
 }
 
 /// The full report of one fleet run.

@@ -5,12 +5,25 @@
 //! small — and evicts the oldest entry when full, which is also how the
 //! Netronome flow caches behave. The whole table can be exported/imported for
 //! OpenNF-style state migration.
+//!
+//! For iterative pre-copy migration the table also tracks which flows were
+//! *dirtied* (inserted or mutated) and which were *removed* (evicted or
+//! deleted) since the last [`FlowTable::clear_dirty`]. A migration round
+//! exports just that delta ([`FlowTable::export_dirty`]) and the target
+//! replays it with [`FlowTable::import_dirty`], which reproduces the source
+//! table exactly — including its insertion order, so later evictions behave
+//! identically after the handover.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 use pam_types::FlowId;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+
+/// The delta exported by [`FlowTable::export_dirty`]: flows removed since the
+/// last dirty-clear (in sorted key order, deterministic) and the current
+/// values of flows dirtied since then (in table insertion order).
+pub type FlowDelta = (Vec<u64>, Vec<(u64, serde_json::Value)>);
 
 /// Statistics accumulated by a [`FlowTable`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +45,13 @@ pub struct FlowTable<V> {
     order: VecDeque<u64>,
     capacity: usize,
     stats: FlowTableStats,
+    /// Flows inserted or mutated since the last [`FlowTable::clear_dirty`].
+    /// Export order comes from `order`, so the set type never leaks into
+    /// anything observable.
+    dirty: HashSet<u64>,
+    /// Flows evicted/removed since the last [`FlowTable::clear_dirty`]
+    /// (sorted so delta exports are deterministic).
+    dead: BTreeSet<u64>,
 }
 
 impl<V> FlowTable<V> {
@@ -42,6 +62,8 @@ impl<V> FlowTable<V> {
             order: VecDeque::new(),
             capacity,
             stats: FlowTableStats::default(),
+            dirty: HashSet::new(),
+            dead: BTreeSet::new(),
         }
     }
 
@@ -60,9 +82,24 @@ impl<V> FlowTable<V> {
         self.entries.is_empty()
     }
 
-    /// Looks up a flow (counts hit/miss).
+    /// Looks up a flow for mutation (counts hit/miss and conservatively marks
+    /// the flow dirty — callers take `&mut V`, so the entry may change).
     pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut V> {
         let found = self.entries.get_mut(&flow.raw());
+        if found.is_some() {
+            self.stats.hits += 1;
+            self.dirty.insert(flow.raw());
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Read-only lookup that still counts hit/miss statistics but does not
+    /// mark the flow dirty (for vNFs whose entries are write-once, like NAT
+    /// bindings, so pre-copy deltas stay small).
+    pub fn lookup(&mut self, flow: FlowId) -> Option<&V> {
+        let found = self.entries.get(&flow.raw());
         if found.is_some() {
             self.stats.hits += 1;
         } else {
@@ -91,6 +128,11 @@ impl<V> FlowTable<V> {
             self.entries.insert(key, make());
             self.order.push_back(key);
         }
+        // Both paths hand out `&mut V`, so the entry counts as dirtied. Note
+        // a re-inserted key keeps any earlier tombstone: the delta replays
+        // "remove, then append", which reproduces the source's insertion
+        // order on the migration target.
+        self.dirty.insert(key);
         self.entries.get_mut(&key).expect("entry was just ensured")
     }
 
@@ -100,14 +142,31 @@ impl<V> FlowTable<V> {
         let removed = self.entries.remove(&key);
         if removed.is_some() {
             self.order.retain(|&k| k != key);
+            self.dirty.remove(&key);
+            self.dead.insert(key);
         }
         removed
     }
 
-    /// Removes every entry.
+    /// Removes every entry (also resets dirty tracking: a cleared table is a
+    /// fresh baseline, not a delta against the old contents).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.order.clear();
+        self.dirty.clear();
+        self.dead.clear();
+    }
+
+    /// Number of flows dirtied since the last [`FlowTable::clear_dirty`].
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks the current contents as the baseline for the next delta export:
+    /// clears both the dirty and the removed sets.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+        self.dead.clear();
     }
 
     /// Accumulated statistics.
@@ -126,6 +185,8 @@ impl<V> FlowTable<V> {
         while let Some(oldest) = self.order.pop_front() {
             if self.entries.remove(&oldest).is_some() {
                 self.stats.evicted += 1;
+                self.dirty.remove(&oldest);
+                self.dead.insert(oldest);
                 return;
             }
         }
@@ -144,6 +205,29 @@ impl<V: Serialize> FlowTable<V> {
             })
             .collect()
     }
+
+    /// Exports only the flows changed since the last
+    /// [`FlowTable::clear_dirty`]: the removed keys (sorted) plus the live
+    /// dirty entries in insertion order. Applying the delta with
+    /// [`FlowTable::import_dirty`] to a copy taken at the previous clear
+    /// reproduces the current table exactly, insertion order included.
+    pub fn export_dirty(&self) -> FlowDelta {
+        let removed: Vec<u64> = self.dead.iter().copied().collect();
+        let entries = self
+            .order
+            .iter()
+            .filter(|k| self.dirty.contains(*k))
+            .filter_map(|k| {
+                self.entries.get(k).map(|v| {
+                    (
+                        *k,
+                        serde_json::to_value(v).unwrap_or(serde_json::Value::Null),
+                    )
+                })
+            })
+            .collect();
+        (removed, entries)
+    }
 }
 
 impl<V: DeserializeOwned> FlowTable<V> {
@@ -160,6 +244,32 @@ impl<V: DeserializeOwned> FlowTable<V> {
                 self.entries.insert(key, value);
                 self.order.push_back(key);
                 self.stats.inserted += 1;
+            }
+        }
+        // A freshly imported table is a clean baseline for dirty tracking.
+        self.clear_dirty();
+    }
+
+    /// Merges a delta produced by [`FlowTable::export_dirty`]: removals are
+    /// applied first, then dirty entries are upserted — existing keys keep
+    /// their position, new keys append in delta (= source insertion) order.
+    pub fn import_dirty(&mut self, delta: FlowDelta) {
+        let (removed, entries) = delta;
+        for key in removed {
+            self.remove(FlowId::new(key));
+        }
+        for (key, value) in entries {
+            if let Ok(value) = serde_json::from_value(value) {
+                if let Some(slot) = self.entries.get_mut(&key) {
+                    *slot = value;
+                } else {
+                    if self.capacity != 0 && self.entries.len() >= self.capacity {
+                        self.evict_oldest();
+                    }
+                    self.entries.insert(key, value);
+                    self.order.push_back(key);
+                    self.stats.inserted += 1;
+                }
             }
         }
     }
@@ -271,6 +381,63 @@ mod tests {
         table.clear();
         assert!(table.is_empty());
         assert_eq!(table.stats().inserted, 1);
+    }
+
+    #[test]
+    fn dirty_tracking_marks_inserts_mutations_and_removals() {
+        let mut table: FlowTable<u32> = FlowTable::new(0);
+        table.entry_or_insert_with(flow(1), || 1);
+        table.entry_or_insert_with(flow(2), || 2);
+        assert_eq!(table.dirty_len(), 2);
+        table.clear_dirty();
+        assert_eq!(table.dirty_len(), 0);
+        // Reads don't dirty; mutable access does.
+        assert!(table.peek(flow(1)).is_some());
+        assert!(table.lookup(flow(1)).is_some());
+        assert_eq!(table.dirty_len(), 0);
+        *table.get_mut(flow(2)).unwrap() += 1;
+        assert_eq!(table.dirty_len(), 1);
+        // Removal lands in the tombstone list, not the dirty list.
+        table.remove(flow(1));
+        let (removed, entries) = table.export_dirty();
+        assert_eq!(removed, vec![1]);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, 2);
+    }
+
+    #[test]
+    fn dirty_delta_replays_to_the_exact_source_table() {
+        let mut source: FlowTable<u32> = FlowTable::new(3);
+        for i in 0..3 {
+            source.entry_or_insert_with(flow(i), || i as u32);
+        }
+        // Target mirrors the snapshot.
+        let mut target: FlowTable<u32> = FlowTable::new(3);
+        target.import(source.export());
+        source.clear_dirty();
+
+        // Mutate, evict (capacity 3: inserting 3 evicts 0), and re-insert an
+        // evicted key so it moves to the back of the insertion order.
+        *source.get_mut(flow(1)).unwrap() = 10;
+        source.entry_or_insert_with(flow(3), || 30); // evicts 0
+        source.entry_or_insert_with(flow(0), || 99); // evicts 1, re-adds 0
+
+        target.import_dirty(source.export_dirty());
+        let source_order: Vec<(u64, u32)> = source.iter().map(|(f, v)| (f.raw(), *v)).collect();
+        let target_order: Vec<(u64, u32)> = target.iter().map(|(f, v)| (f.raw(), *v)).collect();
+        assert_eq!(source_order, target_order, "delta replay must mirror");
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut source: FlowTable<u32> = FlowTable::new(0);
+        source.entry_or_insert_with(flow(7), || 7);
+        let mut target: FlowTable<u32> = FlowTable::new(0);
+        target.import(source.export());
+        source.clear_dirty();
+        target.import_dirty(source.export_dirty());
+        assert_eq!(target.len(), 1);
+        assert_eq!(target.peek(flow(7)), Some(&7));
     }
 
     #[test]

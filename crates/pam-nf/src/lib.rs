@@ -42,7 +42,7 @@ pub mod registry;
 pub use chain::{ChainPosition, NfSpec, ServiceChainSpec};
 pub use dpi::{DpiEngine, DpiRule};
 pub use firewall::{Firewall, FirewallAction, FirewallRule};
-pub use flow_table::{FlowTable, FlowTableStats};
+pub use flow_table::{FlowDelta, FlowTable, FlowTableStats};
 pub use load_balancer::{Backend, LoadBalancer};
 pub use logger::{LogEntry, Logger};
 pub use monitor::{FlowMonitor, FlowStatsEntry};

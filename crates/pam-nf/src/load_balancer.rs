@@ -49,6 +49,17 @@ struct LoadBalancerState {
     no_backend_drops: u64,
 }
 
+/// One pre-copy round's worth of load-balancer state: stickiness pinnings
+/// are write-once, so the delta carries only flows pinned (or evicted) since
+/// the last round.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct LoadBalancerDelta {
+    removed: Vec<u64>,
+    connections: Vec<(u64, serde_json::Value)>,
+    balanced: u64,
+    no_backend_drops: u64,
+}
+
 /// The load-balancer vNF.
 #[derive(Debug)]
 pub struct LoadBalancer {
@@ -146,7 +157,9 @@ impl NetworkFunction for LoadBalancer {
             return NfVerdict::Forward;
         };
         let flow = tuple.flow_id();
-        let chosen = match self.connections.get_mut(flow) {
+        // Read-only lookup: a pinned connection never re-balances, so repeat
+        // packets must not re-dirty the flow (keeps pre-copy deltas small).
+        let chosen = match self.connections.lookup(flow) {
             Some(existing) => *existing,
             None => match self.pick_backend(tuple.stable_hash()) {
                 Some(backend) => {
@@ -190,6 +203,34 @@ impl NetworkFunction for LoadBalancer {
 
     fn flow_count(&self) -> usize {
         self.connections.len()
+    }
+
+    fn clear_dirty(&mut self) {
+        self.connections.clear_dirty();
+    }
+
+    fn dirty_flow_count(&self) -> usize {
+        self.connections.dirty_len()
+    }
+
+    fn export_dirty_state(&self) -> NfState {
+        let (removed, connections) = self.connections.export_dirty();
+        let delta = LoadBalancerDelta {
+            removed,
+            connections,
+            balanced: self.balanced,
+            no_backend_drops: self.no_backend_drops,
+        };
+        NfState::encode(NfKind::LoadBalancer, &delta)
+    }
+
+    fn import_dirty_state(&mut self, state: NfState) -> Result<()> {
+        let delta: LoadBalancerDelta = state.decode(NfKind::LoadBalancer)?;
+        self.connections
+            .import_dirty((delta.removed, delta.connections));
+        self.balanced = delta.balanced;
+        self.no_backend_drops = delta.no_backend_drops;
+        Ok(())
     }
 
     fn reset(&mut self) {

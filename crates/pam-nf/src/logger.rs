@@ -39,10 +39,24 @@ struct LoggerState {
     sample_every: u64,
 }
 
+/// One pre-copy round's worth of logger state: the ring entries appended
+/// since the last round (always the tail of the ring — appends happen at the
+/// back, evictions only at the front) plus the counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct LoggerDelta {
+    appended: Vec<LogEntry>,
+    observed: u64,
+    logged: u64,
+    sample_every: u64,
+}
+
 /// The sampling logger vNF.
 #[derive(Debug)]
 pub struct Logger {
     entries: Vec<LogEntry>,
+    /// Ring entries appended since the last `clear_dirty` (saturates at the
+    /// ring capacity: older appends have been evicted again).
+    appended_since_clear: usize,
     capacity: usize,
     sample_every: u64,
     observed: u64,
@@ -55,6 +69,7 @@ impl Logger {
     pub fn new(capacity: usize, sample_every: u64) -> Self {
         Logger {
             entries: Vec::with_capacity(capacity.min(4096)),
+            appended_since_clear: 0,
             capacity: capacity.max(1),
             sample_every: sample_every.max(1),
             observed: 0,
@@ -113,6 +128,7 @@ impl NetworkFunction for Logger {
             size: packet.size().as_bytes(),
             summary,
         });
+        self.appended_since_clear = (self.appended_since_clear + 1).min(self.capacity);
         self.logged += 1;
         NfVerdict::Forward
     }
@@ -137,6 +153,7 @@ impl NetworkFunction for Logger {
         self.observed = decoded.observed;
         self.logged = decoded.logged;
         self.sample_every = decoded.sample_every.max(1);
+        self.appended_since_clear = 0;
         Ok(())
     }
 
@@ -144,8 +161,42 @@ impl NetworkFunction for Logger {
         self.entries.len()
     }
 
+    fn clear_dirty(&mut self) {
+        self.appended_since_clear = 0;
+    }
+
+    fn dirty_flow_count(&self) -> usize {
+        self.appended_since_clear.min(self.entries.len())
+    }
+
+    fn export_dirty_state(&self) -> NfState {
+        // Entries appended since the last clear are exactly the ring's tail.
+        let tail = self.dirty_flow_count();
+        let delta = LoggerDelta {
+            appended: self.entries[self.entries.len() - tail..].to_vec(),
+            observed: self.observed,
+            logged: self.logged,
+            sample_every: self.sample_every,
+        };
+        NfState::encode(NfKind::Logger, &delta)
+    }
+
+    fn import_dirty_state(&mut self, state: NfState) -> Result<()> {
+        let delta: LoggerDelta = state.decode(NfKind::Logger)?;
+        self.entries.extend(delta.appended);
+        if self.entries.len() > self.capacity {
+            let excess = self.entries.len() - self.capacity;
+            self.entries.drain(..excess);
+        }
+        self.observed = delta.observed;
+        self.logged = delta.logged;
+        self.sample_every = delta.sample_every.max(1);
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.entries.clear();
+        self.appended_since_clear = 0;
         self.observed = 0;
         self.logged = 0;
     }

@@ -28,6 +28,17 @@ struct NatState {
     exhausted_drops: u64,
 }
 
+/// One pre-copy round's worth of NAT state. Bindings are write-once, so the
+/// delta carries only flows bound (or evicted) since the last round.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct NatDelta {
+    removed: Vec<u64>,
+    bindings: Vec<(u64, serde_json::Value)>,
+    next_port: u16,
+    translated: u64,
+    exhausted_drops: u64,
+}
+
 /// The source-NAT vNF.
 #[derive(Debug)]
 pub struct Nat {
@@ -104,7 +115,9 @@ impl NetworkFunction for Nat {
             return NfVerdict::Forward;
         };
         let flow = tuple.flow_id();
-        let binding = match self.bindings.get_mut(flow) {
+        // Read-only lookup: an established binding never changes, so repeat
+        // packets must not re-dirty the flow (keeps pre-copy deltas small).
+        let binding = match self.bindings.lookup(flow) {
             Some(b) => *b,
             None => match self.allocate_port() {
                 Some(public_port) => {
@@ -161,6 +174,35 @@ impl NetworkFunction for Nat {
 
     fn flow_count(&self) -> usize {
         self.bindings.len()
+    }
+
+    fn clear_dirty(&mut self) {
+        self.bindings.clear_dirty();
+    }
+
+    fn dirty_flow_count(&self) -> usize {
+        self.bindings.dirty_len()
+    }
+
+    fn export_dirty_state(&self) -> NfState {
+        let (removed, bindings) = self.bindings.export_dirty();
+        let delta = NatDelta {
+            removed,
+            bindings,
+            next_port: self.next_port,
+            translated: self.translated,
+            exhausted_drops: self.exhausted_drops,
+        };
+        NfState::encode(NfKind::Nat, &delta)
+    }
+
+    fn import_dirty_state(&mut self, state: NfState) -> Result<()> {
+        let delta: NatDelta = state.decode(NfKind::Nat)?;
+        self.bindings.import_dirty((delta.removed, delta.bindings));
+        self.next_port = delta.next_port.clamp(self.port_range.0, self.port_range.1);
+        self.translated = delta.translated;
+        self.exhausted_drops = delta.exhausted_drops;
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -257,6 +299,54 @@ mod tests {
         target.process(&mut again, &NfContext::at(SimTime::ZERO));
         assert_eq!(again.five_tuple().unwrap().src_port, port);
         assert_eq!(target.public_addr(), Ipv4Addr::new(203, 0, 113, 1));
+    }
+
+    #[test]
+    fn repeat_packets_do_not_redirty_established_bindings() {
+        let mut nat = Nat::evaluation_default();
+        let mut p = packet_from(4000);
+        nat.process(&mut p, &NfContext::at(SimTime::ZERO));
+        assert_eq!(nat.dirty_flow_count(), 1, "first packet binds (dirty)");
+        nat.clear_dirty();
+        for _ in 0..5 {
+            let mut again = packet_from(4000);
+            nat.process(&mut again, &NfContext::at(SimTime::ZERO));
+        }
+        assert_eq!(nat.dirty_flow_count(), 0, "established flow stays clean");
+    }
+
+    #[test]
+    fn dirty_delta_keeps_bindings_and_port_cursor_in_sync() {
+        let mut source = Nat::evaluation_default();
+        for port in 0..10u16 {
+            let mut p = packet_from(port);
+            source.process(&mut p, &NfContext::at(SimTime::ZERO));
+        }
+        let mut target = Nat::evaluation_default();
+        target.import_state(source.export_state()).unwrap();
+        source.clear_dirty();
+
+        // New flows bound after the snapshot arrive via the delta.
+        for port in 100..105u16 {
+            let mut p = packet_from(port);
+            source.process(&mut p, &NfContext::at(SimTime::ZERO));
+        }
+        target
+            .import_dirty_state(source.export_dirty_state())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&target.export_state()).unwrap(),
+            serde_json::to_string(&source.export_state()).unwrap()
+        );
+        // A post-handover packet of an old flow keeps its translation.
+        let mut old = packet_from(3);
+        let mut on_target = packet_from(3);
+        source.process(&mut old, &NfContext::at(SimTime::ZERO));
+        target.process(&mut on_target, &NfContext::at(SimTime::ZERO));
+        assert_eq!(
+            old.five_tuple().unwrap().src_port,
+            on_target.five_tuple().unwrap().src_port
+        );
     }
 
     #[test]

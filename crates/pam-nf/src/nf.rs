@@ -184,6 +184,32 @@ pub trait NetworkFunction: Send {
         0
     }
 
+    /// Marks the current state as the baseline for dirty tracking. Iterative
+    /// pre-copy migration calls this right after each round's export so the
+    /// next round sees only what changed since. The default is a no-op, which
+    /// pairs with the conservative defaults below (everything always dirty).
+    fn clear_dirty(&mut self) {}
+
+    /// Number of flows dirtied since the last [`NetworkFunction::clear_dirty`].
+    /// Defaults to [`NetworkFunction::flow_count`] — "all state is dirty" —
+    /// which is always safe: pre-copy then converges via its round cap.
+    fn dirty_flow_count(&self) -> usize {
+        self.flow_count()
+    }
+
+    /// Exports only the state changed since the last
+    /// [`NetworkFunction::clear_dirty`]. Defaults to a full export.
+    fn export_dirty_state(&self) -> NfState {
+        self.export_state()
+    }
+
+    /// Merges a delta produced by [`NetworkFunction::export_dirty_state`]
+    /// into this instance (the migration target applies one per pre-copy
+    /// round). Defaults to a full-state import, matching the default export.
+    fn import_dirty_state(&mut self, state: NfState) -> Result<()> {
+        self.import_state(state)
+    }
+
     /// Clears all runtime state.
     fn reset(&mut self);
 }

@@ -30,6 +30,9 @@ pub struct RateLimiter {
     last_refill: SimTime,
     forwarded: u64,
     dropped: u64,
+    /// True when the bucket changed since the last `clear_dirty` — the whole
+    /// limiter state is one tiny "flow" for pre-copy accounting.
+    dirty: bool,
 }
 
 impl RateLimiter {
@@ -43,6 +46,7 @@ impl RateLimiter {
             last_refill: SimTime::ZERO,
             forwarded: 0,
             dropped: 0,
+            dirty: false,
         }
     }
 
@@ -83,6 +87,7 @@ impl NetworkFunction for RateLimiter {
 
     fn process(&mut self, packet: &mut Packet, ctx: &NfContext) -> NfVerdict {
         self.refill(ctx.now);
+        self.dirty = true;
         let needed = packet.size().as_bits() as f64;
         if self.tokens_bits >= needed {
             self.tokens_bits -= needed;
@@ -114,7 +119,16 @@ impl NetworkFunction for RateLimiter {
         self.last_refill = SimTime::from_nanos(decoded.last_refill_nanos);
         self.forwarded = decoded.forwarded;
         self.dropped = decoded.dropped;
+        self.dirty = false;
         Ok(())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty = false;
+    }
+
+    fn dirty_flow_count(&self) -> usize {
+        usize::from(self.dirty)
     }
 
     fn reset(&mut self) {
@@ -190,6 +204,22 @@ mod tests {
         assert_eq!(rl.process(&mut big, &ctx), NfVerdict::Drop);
         let (mut ok, ctx) = packet(900, SimTime::from_secs_f64(1.0));
         assert_eq!(rl.process(&mut ok, &ctx), NfVerdict::Forward);
+    }
+
+    #[test]
+    fn dirty_flag_tracks_bucket_activity() {
+        let mut rl = RateLimiter::evaluation_default();
+        assert_eq!(rl.dirty_flow_count(), 0);
+        let (mut p, ctx) = packet(500, SimTime::from_micros(1));
+        rl.process(&mut p, &ctx);
+        assert_eq!(rl.dirty_flow_count(), 1);
+        rl.clear_dirty();
+        assert_eq!(rl.dirty_flow_count(), 0);
+        // The default delta path (full state) restores exactly.
+        let mut target = RateLimiter::new(Gbps::new(1.0), 1);
+        target.import_dirty_state(rl.export_dirty_state()).unwrap();
+        assert_eq!(target.forwarded(), 1);
+        assert_eq!(target.dirty_flow_count(), 0);
     }
 
     #[test]

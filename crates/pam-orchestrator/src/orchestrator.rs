@@ -1,7 +1,7 @@
 //! The periodic monitor → decide → migrate loop.
 
 use pam_core::{Decision, MigrationStrategy, ResourceModel, StrategyKind};
-use pam_runtime::{ChainRuntime, MigrationReport};
+use pam_runtime::{ChainRuntime, MigrationEstimate, MigrationReport};
 use pam_traffic::TraceSynthesizer;
 use pam_types::{Device, Gbps, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -57,7 +57,17 @@ pub struct DecisionRecord {
     pub cpu_utilisation: f64,
     /// What the strategy decided.
     pub decision: Decision,
+    /// The runtime's cost estimate for the decision's first move, taken
+    /// *before* executing it. Under pre-copy this prices the expected
+    /// residual dirty set — the blackout-critical transfer — rather than the
+    /// total flow count. `None` for no-action / scale-out decisions.
+    pub estimate: Option<MigrationEstimate>,
     /// The migrations actually executed (empty for no-action / scale-out).
+    /// These are as-of-initiation snapshots: under pre-copy the rounds,
+    /// residual and real blackout are unknown here, and under either mode
+    /// `packets_dropped` is still zero (drops happen during the blackout,
+    /// after this record is taken). The authoritative completed reports live
+    /// in the runtime's [`pam_runtime::RunOutcome::migrations`].
     pub executed: Vec<MigrationReport>,
 }
 
@@ -148,11 +158,27 @@ impl Orchestrator {
         };
 
         let mut executed = Vec::new();
+        let mut estimate = None;
         match &decision {
             Decision::Migrate(plan) => {
+                // Price the plan's first move before touching anything: the
+                // estimate is what a cost-aware operator would have seen.
+                estimate = plan
+                    .moves
+                    .first()
+                    .and_then(|mv| runtime.estimate_migration(mv.nf, mv.to).ok());
                 for mv in &plan.moves {
                     match runtime.live_migrate(mv.nf, mv.to, now) {
                         Ok(report) => executed.push(report),
+                        Err(_) if runtime.pre_copy_in_progress() => {
+                            // The engine runs one migration at a time (the
+                            // pre-copy path): this move cannot start yet, and
+                            // neither can any later one. Stop here — once the
+                            // in-flight handover lands and the cooldown
+                            // expires, the strategy re-plans against the new
+                            // placement and picks the remaining moves up.
+                            break;
+                        }
                         Err(_) => {
                             // The move was already in place (e.g. executed by a
                             // previous step); skip it rather than abort the plan.
@@ -175,6 +201,7 @@ impl Orchestrator {
             nic_utilisation,
             cpu_utilisation,
             decision,
+            estimate,
             executed,
         };
         self.log.push(record.clone());
@@ -358,6 +385,68 @@ mod tests {
             orchestrator.step_with_load(&mut runtime, SimTime::from_millis(1), Gbps::new(2.2));
         assert_eq!(record.offered, Gbps::new(2.2));
         assert_eq!(orchestrator.migrations_executed(), 1);
+        assert_eq!(
+            runtime.placement().device_of(NfId::new(2)).unwrap(),
+            Device::Cpu
+        );
+    }
+
+    #[test]
+    fn migrate_decisions_carry_a_cost_estimate() {
+        let mut runtime = runtime();
+        let mut trace = overload_trace(8);
+        runtime.run_until(&mut trace, SimTime::from_millis(8));
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        let record =
+            orchestrator.step_with_load(&mut runtime, SimTime::from_millis(8), Gbps::new(2.2));
+        let estimate = record.estimate.expect("migrate decisions are priced");
+        assert_eq!(
+            estimate.mode,
+            pam_runtime::MigrationMode::StopAndCopy,
+            "default runtime config"
+        );
+        assert_eq!(estimate.frozen_flows, estimate.flows);
+        assert!(estimate.blackout > pam_types::SimDuration::ZERO);
+        // Idle polls carry no estimate.
+        let calm =
+            orchestrator.step_with_load(&mut runtime, SimTime::from_millis(9), Gbps::new(0.5));
+        assert!(calm.estimate.is_none());
+    }
+
+    #[test]
+    fn pre_copy_orchestration_completes_the_handover_asynchronously() {
+        use pam_runtime::MigrationMode;
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            RuntimeConfig::evaluation_default().with_migration_mode(MigrationMode::PreCopy),
+        )
+        .unwrap();
+        let mut trace = overload_trace(9);
+        let mut orchestrator =
+            Orchestrator::new(OrchestratorConfig::with_strategy(StrategyKind::Pam));
+        orchestrator.run(&mut runtime, &mut trace, SimTime::from_millis(20));
+        // The orchestrator initiated exactly one migration and the engine
+        // completed it during later draining.
+        assert_eq!(orchestrator.migrations_executed(), 1);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.migrations.len(), 1, "handover completed");
+        let report = &outcome.migrations[0];
+        assert_eq!(report.mode, MigrationMode::PreCopy);
+        assert_eq!(report.nf, NfId::new(2));
+        assert!(report.rounds.len() >= 2);
+        assert!(report.paused_at > report.started_at);
+        // The estimate priced the residual set, not the whole table.
+        let priced = orchestrator
+            .log()
+            .iter()
+            .find_map(|r| r.estimate)
+            .expect("the migrate tick was priced");
+        assert_eq!(priced.mode, MigrationMode::PreCopy);
+        assert!(priced.frozen_flows <= 64);
+        assert!(priced.frozen_flows < priced.flows);
+        // Final placement matches the stop-and-copy behaviour.
         assert_eq!(
             runtime.placement().device_of(NfId::new(2)).unwrap(),
             Device::Cpu

@@ -14,20 +14,27 @@
 //! 4. the vNF's own processing logic on the real packet bytes, whose verdict
 //!    may drop the packet.
 //!
-//! Live migration pauses one vNF while its serialised state crosses PCIe;
+//! Live migration comes in two flavours (see [`crate::migration`]):
+//! stop-and-copy pauses one vNF while its whole serialised state crosses
+//! PCIe; iterative pre-copy ships the state in rounds while the source keeps
+//! serving and freezes only the residual dirty set. During any blackout,
 //! packets that would have to wait longer than the staging-buffer bound are
-//! dropped, every other packet simply waits out the blackout.
+//! dropped, every other packet simply waits it out.
 
 use pam_core::{ChainModel, Placement, VnfDescriptor};
-use pam_nf::{build_nf, NfContext, NfVerdict, Packet, ServiceChainSpec};
+use pam_nf::{build_nf, NetworkFunction, NfContext, NfVerdict, Packet, ServiceChainSpec};
 use pam_sim::{ComputeDevice, EventQueue, LinkDirection, PcieLink, ProcessOutcome};
 use pam_telemetry::{ChainMetrics, LatencyHistogram, MetricsRegistry, ThroughputMeter};
 use pam_traffic::TraceSynthesizer;
-use pam_types::{Device, Gbps, InstanceIdGen, NfId, PamError, Result, Side, SimDuration, SimTime};
+use pam_types::{
+    ByteSize, Device, Gbps, InstanceIdGen, NfId, PamError, Result, Side, SimDuration, SimTime,
+};
 
 use crate::config::RuntimeConfig;
 use crate::instance::VnfInstance;
-use crate::migration::MigrationReport;
+use crate::migration::{
+    state_transfer_size, MigrationEstimate, MigrationMode, MigrationReport, MigrationRound,
+};
 
 /// What happened to one injected packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +113,30 @@ struct InFlight {
     pipeline: SimDuration,
 }
 
+/// Everything the runtime's single deterministic event queue carries.
+#[derive(Debug)]
+enum RuntimeEvent {
+    /// A packet arriving at the device of its current hop.
+    Packet(InFlight),
+    /// A pre-copy round's transfer finished; export the next delta (or
+    /// freeze and hand over).
+    MigrationRound,
+}
+
+/// An iterative pre-copy migration in flight: the staged target instance is
+/// warmed round by round while the source keeps serving.
+struct PreCopyInFlight {
+    nf_index: usize,
+    from: Device,
+    to: Device,
+    started_at: SimTime,
+    /// The target-side instance accumulating snapshot + deltas.
+    target: Box<dyn NetworkFunction>,
+    rounds: Vec<MigrationRound>,
+    total_bytes: ByteSize,
+    total_flows: usize,
+}
+
 /// The packet-level service-chain runtime.
 ///
 /// The `Debug` representation is intentionally shallow (placement, counters
@@ -119,10 +150,15 @@ pub struct ChainRuntime {
     pcie: PcieLink,
     registry: MetricsRegistry,
     id_gen: InstanceIdGen,
-    events: EventQueue<InFlight>,
+    events: EventQueue<RuntimeEvent>,
 
     now: SimTime,
     pending: Option<(SimTime, Packet)>,
+    /// At most one pre-copy migration runs at a time.
+    pre_copy: Option<PreCopyInFlight>,
+    /// When set, every delivered packet's `(id, egress flow)` is appended in
+    /// delivery order (tests use this to check per-flow ordering).
+    egress_log: Option<Vec<(u64, u64)>>,
 
     // Whole-run accounting.
     injected: u64,
@@ -201,6 +237,8 @@ impl ChainRuntime {
             instances,
             now: SimTime::ZERO,
             pending: None,
+            pre_copy: None,
+            egress_log: None,
             injected: 0,
             delivered: 0,
             delivered_bytes: 0,
@@ -222,6 +260,17 @@ impl ChainRuntime {
     /// The chain specification this runtime executes.
     pub fn spec(&self) -> &ServiceChainSpec {
         &self.spec
+    }
+
+    /// The configuration this runtime was built from.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Total per-flow state entries currently held across all instances
+    /// (drives cross-server state-handoff sizing in the fleet layer).
+    pub fn stateful_flow_entries(&self) -> usize {
+        self.instances.iter().map(|i| i.nf.flow_count()).sum()
     }
 
     /// The metrics registry the control plane polls.
@@ -288,11 +337,11 @@ impl ChainRuntime {
         }
         self.events.schedule(
             arrival,
-            InFlight {
+            RuntimeEvent::Packet(InFlight {
                 packet,
                 hop: 0,
                 pipeline: SimDuration::ZERO,
-            },
+            }),
         );
     }
 
@@ -305,9 +354,12 @@ impl ChainRuntime {
             if next > until {
                 break;
             }
-            let (now, in_flight) = self.events.pop().expect("peeked event must pop");
+            let (now, event) = self.events.pop().expect("peeked event must pop");
             self.now = self.now.max(now);
-            self.handle_arrival(now, in_flight);
+            match event {
+                RuntimeEvent::Packet(in_flight) => self.handle_arrival(now, in_flight),
+                RuntimeEvent::MigrationRound => self.on_migration_round(now),
+            }
             if self.now >= self.next_metrics_at {
                 self.publish_metrics();
             }
@@ -327,9 +379,25 @@ impl ChainRuntime {
                 let wait = until.duration_since(now);
                 if wait > self.config.migration_buffer_bound {
                     self.drops_migration += 1;
+                    // Attribute the drop to the migration whose blackout this
+                    // is. Usually the most recent report, but a multi-move
+                    // stop-and-copy plan pauses several instances with
+                    // overlapping windows, so scan backwards for the report
+                    // that owns this pause.
+                    if let Some(migration) = self
+                        .migrations
+                        .iter_mut()
+                        .rev()
+                        .find(|m| m.completed_at == until)
+                    {
+                        migration.packets_dropped += 1;
+                    }
                     return;
                 }
-                self.events.schedule(until, in_flight);
+                // Held packets re-fire at the blackout end; equal-time events
+                // pop in scheduling order, so per-flow ordering is preserved
+                // across the handover.
+                self.events.schedule(until, RuntimeEvent::Packet(in_flight));
                 return;
             }
         }
@@ -377,7 +445,8 @@ impl ChainRuntime {
                 in_flight.packet.record_crossing();
             }
             in_flight.hop = index + 1;
-            self.events.schedule(arrival, in_flight);
+            self.events
+                .schedule(arrival, RuntimeEvent::Packet(in_flight));
         } else {
             // Egress: pay a final crossing if the egress endpoint is on the
             // other side, then record delivery.
@@ -388,6 +457,9 @@ impl ChainRuntime {
                 in_flight.packet.record_crossing();
             }
             let latency = done.duration_since(in_flight.packet.ingress_time) + in_flight.pipeline;
+            if let Some(log) = &mut self.egress_log {
+                log.push((in_flight.packet.id, in_flight.packet.flow_id().raw()));
+            }
             self.delivered += 1;
             self.delivered_bytes += size.as_bytes();
             self.bytes_delivered_since_publish += size.as_bytes();
@@ -479,27 +551,73 @@ impl ChainRuntime {
         self.run_until(trace, SimTime::MAX)
     }
 
-    /// Live-migrates the vNF at `nf` to `device`, OpenNF-style: pause, export
-    /// state, transfer it over PCIe, import on the target, resume. Traffic
-    /// arriving during the blackout waits (bounded) or is dropped.
+    /// Live-migrates the vNF at `nf` to `device` using the configured
+    /// [`MigrationMode`].
+    ///
+    /// * **Stop-and-copy** completes synchronously: pause, export state,
+    ///   transfer it over PCIe, import on the target, resume. The returned
+    ///   report is final and also recorded in [`RunOutcome::migrations`].
+    /// * **Pre-copy** only *starts* here: the snapshot round is booked on the
+    ///   link and later rounds run as events interleaved with the data plane,
+    ///   so the source keeps serving. The returned report describes the
+    ///   initiation (`completed_at == started_at`, zero blackout); the
+    ///   authoritative completed report is appended to
+    ///   [`RunOutcome::migrations`] when the handover finishes.
+    ///
+    /// Traffic arriving during any blackout waits (bounded) or is dropped.
     pub fn live_migrate(
         &mut self,
         nf: NfId,
         device: Device,
         now: SimTime,
     ) -> Result<MigrationReport> {
+        match self.config.migration.mode {
+            MigrationMode::StopAndCopy => self.stop_and_copy_migrate(nf, device, now),
+            MigrationMode::PreCopy => self.start_pre_copy(nf, device, now),
+        }
+    }
+
+    /// Validates that position `nf` exists and may start migrating to
+    /// `device` at `now`; returns its index.
+    fn check_migratable(&self, nf: NfId, device: Device, now: SimTime) -> Result<usize> {
         let index = nf.index();
         if index >= self.instances.len() {
             return Err(PamError::UnknownNf(nf));
         }
+        if let Some(pre_copy) = &self.pre_copy {
+            return Err(PamError::state(format!(
+                "{} is still pre-copying; only one migration may run at a time",
+                self.instances[pre_copy.nf_index].nf_id
+            )));
+        }
+        let instance = &self.instances[index];
+        if instance.device == device {
+            return Err(PamError::state(format!("{nf} already runs on {device}")));
+        }
+        if instance.is_paused(now) {
+            return Err(PamError::state(format!("{nf} is already migrating")));
+        }
+        Ok(index)
+    }
+
+    /// The link direction a transfer towards `device` takes.
+    fn transfer_direction(device: Device) -> LinkDirection {
+        match device {
+            Device::Cpu => LinkDirection::NicToCpu,
+            Device::SmartNic => LinkDirection::CpuToNic,
+        }
+    }
+
+    /// The classic OpenNF stop-and-copy transfer (see [`ChainRuntime::live_migrate`]).
+    fn stop_and_copy_migrate(
+        &mut self,
+        nf: NfId,
+        device: Device,
+        now: SimTime,
+    ) -> Result<MigrationReport> {
+        let index = self.check_migratable(nf, device, now)?;
         let (from, kind, state, flows) = {
             let instance = &self.instances[index];
-            if instance.device == device {
-                return Err(PamError::state(format!("{nf} already runs on {device}")));
-            }
-            if instance.is_paused(now) {
-                return Err(PamError::state(format!("{nf} is already migrating")));
-            }
             (
                 instance.device,
                 instance.kind,
@@ -508,20 +626,21 @@ impl ChainRuntime {
             )
         };
 
-        let state_size = state
-            .estimated_size
-            .saturating_add(self.config.state_overhead_per_flow * flows as u64);
-        let direction = match device {
-            Device::Cpu => LinkDirection::NicToCpu,
-            Device::SmartNic => LinkDirection::CpuToNic,
-        };
+        let state_size = state_transfer_size(
+            state.estimated_size,
+            self.config.state_overhead_per_flow,
+            flows,
+        );
 
         // Restore the target instance before booking the PCIe transfer: a
         // rejected state blob must abort the migration without leaving a
         // phantom transfer on the link.
-        let target_nf = pam_nf::restore_kind(kind, state)?;
+        let mut target_nf = pam_nf::restore_kind(kind, state)?;
+        target_nf.clear_dirty();
 
-        let transfer_done = self.pcie.transfer(now, state_size, direction);
+        let transfer_done = self
+            .pcie
+            .transfer(now, state_size, Self::transfer_direction(device));
         let completed_at = transfer_done + self.config.migration_control_overhead;
 
         let instance = &mut self.instances[index];
@@ -534,14 +653,229 @@ impl ChainRuntime {
             nf,
             from,
             to: device,
+            mode: MigrationMode::StopAndCopy,
             started_at: now,
+            paused_at: now,
             completed_at,
             state_size,
             flows_transferred: flows,
+            residual_dirty_flows: flows,
+            rounds: vec![MigrationRound {
+                round: 1,
+                flows,
+                bytes: state_size,
+                duration: transfer_done.duration_since(now),
+            }],
             packets_dropped: 0,
         };
-        self.migrations.push(report);
+        self.migrations.push(report.clone());
         Ok(report)
+    }
+
+    /// Starts an iterative pre-copy migration: books the snapshot round on
+    /// the link and schedules the first round-completion event. The source
+    /// keeps serving until the final freeze (see
+    /// [`ChainRuntime::on_migration_round`]).
+    fn start_pre_copy(
+        &mut self,
+        nf: NfId,
+        device: Device,
+        now: SimTime,
+    ) -> Result<MigrationReport> {
+        let index = self.check_migratable(nf, device, now)?;
+        let (from, kind, state, flows) = {
+            let instance = &self.instances[index];
+            (
+                instance.device,
+                instance.kind,
+                instance.nf.export_state(),
+                instance.nf.flow_count(),
+            )
+        };
+
+        let bytes = state_transfer_size(
+            state.estimated_size,
+            self.config.state_overhead_per_flow,
+            flows,
+        );
+
+        // Stage the target instance from the snapshot before booking the
+        // transfer, so a rejected blob aborts cleanly (as in stop-and-copy).
+        let mut target = pam_nf::restore_kind(kind, state)?;
+        target.clear_dirty();
+        // Every mutation from here on belongs to the next round's delta.
+        self.instances[index].nf.clear_dirty();
+
+        let transfer_done = self
+            .pcie
+            .transfer(now, bytes, Self::transfer_direction(device));
+        let snapshot_round = MigrationRound {
+            round: 1,
+            flows,
+            bytes,
+            duration: transfer_done.duration_since(now),
+        };
+        self.events
+            .schedule(transfer_done, RuntimeEvent::MigrationRound);
+        self.pre_copy = Some(PreCopyInFlight {
+            nf_index: index,
+            from,
+            to: device,
+            started_at: now,
+            target,
+            rounds: vec![snapshot_round],
+            total_bytes: bytes,
+            total_flows: flows,
+        });
+
+        // Initiation record: no blackout yet, nothing frozen. The completed
+        // report (with rounds, residual and real blackout) lands in
+        // `RunOutcome::migrations` at handover.
+        Ok(MigrationReport {
+            nf,
+            from,
+            to: device,
+            mode: MigrationMode::PreCopy,
+            started_at: now,
+            paused_at: now,
+            completed_at: now,
+            state_size: bytes,
+            flows_transferred: flows,
+            residual_dirty_flows: flows,
+            rounds: vec![snapshot_round],
+            packets_dropped: 0,
+        })
+    }
+
+    /// One pre-copy round finished its transfer at `now`: export the flows
+    /// dirtied meanwhile and either keep iterating or — once the dirty set is
+    /// within the convergence bound or the round cap is hit — freeze the
+    /// source, ship the residual and hand over.
+    fn on_migration_round(&mut self, now: SimTime) {
+        let Some(mut pre_copy) = self.pre_copy.take() else {
+            // The migration was aborted; the stale round event is a no-op.
+            return;
+        };
+        let index = pre_copy.nf_index;
+        let knobs = self.config.migration;
+        let dirty = self.instances[index].nf.dirty_flow_count();
+        let finalize =
+            dirty <= knobs.convergence_flows || pre_copy.rounds.len() >= knobs.max_precopy_rounds;
+
+        let delta = self.instances[index].nf.export_dirty_state();
+        self.instances[index].nf.clear_dirty();
+        let bytes = state_transfer_size(
+            delta.estimated_size,
+            self.config.state_overhead_per_flow,
+            dirty,
+        );
+        if pre_copy.target.import_dirty_state(delta).is_err() {
+            // A corrupt delta aborts the migration: the source was never
+            // paused and stays authoritative; the staged target is dropped.
+            return;
+        }
+        let transfer_done = self
+            .pcie
+            .transfer(now, bytes, Self::transfer_direction(pre_copy.to));
+        pre_copy.rounds.push(MigrationRound {
+            round: pre_copy.rounds.len() as u32 + 1,
+            flows: dirty,
+            bytes,
+            duration: transfer_done.duration_since(now),
+        });
+        pre_copy.total_bytes = pre_copy.total_bytes.saturating_add(bytes);
+        pre_copy.total_flows += dirty;
+
+        if !finalize {
+            self.events
+                .schedule(transfer_done, RuntimeEvent::MigrationRound);
+            self.pre_copy = Some(pre_copy);
+            return;
+        }
+
+        // Final freeze: the residual delta exported above is the last state
+        // to move; the source pauses from `now` until the transfer (plus the
+        // control-plane overhead) completes, then the target takes over.
+        let completed_at = transfer_done + self.config.migration_control_overhead;
+        let instance = &mut self.instances[index];
+        let mut target = pre_copy.target;
+        target.clear_dirty();
+        instance.nf = target;
+        instance.device = pre_copy.to;
+        instance.id = self.id_gen.next_id();
+        instance.paused_until = Some(completed_at);
+
+        self.migrations.push(MigrationReport {
+            nf: instance.nf_id,
+            from: pre_copy.from,
+            to: pre_copy.to,
+            mode: MigrationMode::PreCopy,
+            started_at: pre_copy.started_at,
+            paused_at: now,
+            completed_at,
+            state_size: pre_copy.total_bytes,
+            flows_transferred: pre_copy.total_flows,
+            residual_dirty_flows: dirty,
+            rounds: pre_copy.rounds,
+            packets_dropped: 0,
+        });
+    }
+
+    /// True while a pre-copy migration is still iterating or any instance is
+    /// paused in a blackout at `now`.
+    pub fn migration_in_progress(&self, now: SimTime) -> bool {
+        self.pre_copy.is_some() || self.instances.iter().any(|i| i.is_paused(now))
+    }
+
+    /// True while the pre-copy engine is iterating (its one-at-a-time rule
+    /// refuses every other migration until the handover lands). A pending
+    /// stop-and-copy blackout does *not* set this: stop-and-copy moves of
+    /// other instances may still proceed.
+    pub fn pre_copy_in_progress(&self) -> bool {
+        self.pre_copy.is_some()
+    }
+
+    /// Estimates what migrating `nf` to `device` would cost under the
+    /// configured mode *without* performing it. Under pre-copy the
+    /// blackout-critical set is the expected residual dirty set (bounded by
+    /// the convergence knob), not the total flow count — the orchestrator's
+    /// cost model uses exactly this.
+    pub fn estimate_migration(&self, nf: NfId, device: Device) -> Result<MigrationEstimate> {
+        let index = nf.index();
+        if index >= self.instances.len() {
+            return Err(PamError::UnknownNf(nf));
+        }
+        let instance = &self.instances[index];
+        if instance.device == device {
+            return Err(PamError::state(format!("{nf} already runs on {device}")));
+        }
+        let flows = instance.nf.flow_count();
+        let mode = self.config.migration.mode;
+        let frozen_flows = match mode {
+            MigrationMode::StopAndCopy => flows,
+            MigrationMode::PreCopy => flows.min(self.config.migration.convergence_flows),
+        };
+        Ok(MigrationEstimate::new(
+            mode,
+            flows,
+            frozen_flows,
+            self.config.state_overhead_per_flow,
+            self.pcie.config().bandwidth,
+            self.pcie.crossing_latency(),
+            self.config.migration_control_overhead,
+        ))
+    }
+
+    /// Starts recording every delivered packet's `(id, egress flow)` pair in
+    /// delivery order (see [`ChainRuntime::egress_log`]).
+    pub fn record_egress(&mut self) {
+        self.egress_log = Some(Vec::new());
+    }
+
+    /// The recorded egress log (empty unless [`ChainRuntime::record_egress`]
+    /// was called).
+    pub fn egress_log(&self) -> &[(u64, u64)] {
+        self.egress_log.as_deref().unwrap_or(&[])
     }
 
     /// Publishes a metrics snapshot to the registry (also called
@@ -761,6 +1095,188 @@ mod tests {
         assert!(runtime
             .live_migrate(NfId::new(9), Device::Cpu, runtime.now())
             .is_err());
+    }
+
+    #[test]
+    fn pre_copy_migration_converges_and_shrinks_the_blackout() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+
+        let run = |mode: MigrationMode| {
+            let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+                mode,
+                max_precopy_rounds: 8,
+                convergence_flows: 16,
+            });
+            let mut runtime = ChainRuntime::new(
+                ServiceChainSpec::figure1(),
+                &Placement::figure1_initial(),
+                config,
+            )
+            .unwrap();
+            let mut t = trace(1.5, 20, 4);
+            runtime.run_until(&mut t, SimTime::from_millis(5));
+            runtime
+                .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+                .unwrap();
+            runtime.run_to_completion(&mut t);
+            runtime.outcome()
+        };
+
+        let stop = run(MigrationMode::StopAndCopy);
+        let pre = run(MigrationMode::PreCopy);
+        assert_eq!(stop.migrations.len(), 1);
+        assert_eq!(pre.migrations.len(), 1, "pre-copy handover completed");
+
+        let stop_report = &stop.migrations[0];
+        let pre_report = &pre.migrations[0];
+        assert_eq!(pre_report.mode, MigrationMode::PreCopy);
+        assert_eq!(pre_report.to, Device::Cpu);
+        assert!(
+            pre_report.rounds.len() >= 2,
+            "snapshot + at least one delta"
+        );
+        assert!(
+            pre_report.residual_dirty_flows <= 16,
+            "converged to the configured bound: {} flows frozen",
+            pre_report.residual_dirty_flows
+        );
+        assert!(
+            pre_report.blackout() < stop_report.blackout(),
+            "pre-copy blackout {} must beat stop-and-copy {}",
+            pre_report.blackout(),
+            stop_report.blackout()
+        );
+        assert!(pre_report.total_duration() >= pre_report.blackout());
+        // The paused window starts strictly after the snapshot round.
+        assert!(pre_report.paused_at > pre_report.started_at);
+        // Both runs deliver traffic after the handover.
+        assert!(pre.delivered > 0);
+    }
+
+    #[test]
+    fn pre_copy_hands_over_the_exact_source_state() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+
+        // Two identical runtimes over the same trace; one migrates the
+        // monitor with pre-copy, the other never migrates. After draining,
+        // the migrated monitor's flow statistics must equal the unmigrated
+        // one's (timestamps included: the monitor sees the same packets at
+        // the same service-completion times only if nothing was dropped, so
+        // compare the mode-invariant packet/byte counters).
+        let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 8,
+            convergence_flows: 16,
+        });
+        let mut migrated = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let mut baseline = figure1_runtime(&Placement::figure1_initial());
+
+        let mut t1 = trace(1.2, 10, 9);
+        let mut t2 = trace(1.2, 10, 9);
+        migrated.run_until(&mut t1, SimTime::from_millis(4));
+        baseline.run_until(&mut t2, SimTime::from_millis(4));
+        migrated
+            .live_migrate(NfId::new(1), Device::Cpu, migrated.now())
+            .unwrap();
+        migrated.run_to_completion(&mut t1);
+        baseline.run_to_completion(&mut t2);
+
+        assert_eq!(migrated.outcome().drops_migration, 0, "no blackout drops");
+        let migrated_state = migrated.instances()[1].nf.export_state();
+        let baseline_state = baseline.instances()[1].nf.export_state();
+        let uint = |value: &serde_json::Value| -> u64 {
+            match value {
+                serde_json::Value::Number(n) => n.as_u64().expect("non-negative integer"),
+                other => panic!("expected a number, got {}", other.kind()),
+            }
+        };
+        let flows = |state: &pam_nf::NfState| -> Vec<(u64, u64, u64)> {
+            let object = state.data.as_object().unwrap();
+            let mut rows: Vec<(u64, u64, u64)> = object
+                .get("flows")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|pair| {
+                    let entry = pair.as_array().unwrap();
+                    let stats = entry[1].as_object().unwrap();
+                    (
+                        uint(&entry[0]),
+                        uint(stats.get("packets").unwrap()),
+                        uint(stats.get("bytes").unwrap()),
+                    )
+                })
+                .collect();
+            rows.sort_unstable();
+            rows
+        };
+        assert_eq!(flows(&migrated_state), flows(&baseline_state));
+    }
+
+    #[test]
+    fn concurrent_migrations_are_refused_while_pre_copy_is_in_flight() {
+        use crate::migration::MigrationMode;
+
+        let config =
+            RuntimeConfig::evaluation_default().with_migration_mode(MigrationMode::PreCopy);
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let mut t = trace(1.5, 10, 11);
+        runtime.run_until(&mut t, SimTime::from_millis(3));
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        assert!(runtime.migration_in_progress(runtime.now()));
+        // Any second migration — same or different position — is refused
+        // while the engine is iterating.
+        assert!(runtime
+            .live_migrate(NfId::new(1), Device::Cpu, runtime.now())
+            .is_err());
+        runtime.run_to_completion(&mut t);
+        assert_eq!(runtime.outcome().migrations.len(), 1);
+    }
+
+    #[test]
+    fn migration_estimates_follow_the_mode() {
+        use crate::migration::MigrationMode;
+
+        let mut stop = figure1_runtime(&Placement::figure1_initial());
+        let mut t = trace(1.5, 10, 12);
+        stop.run_until(&mut t, SimTime::from_millis(5));
+        let full = stop.estimate_migration(NfId::new(1), Device::Cpu).unwrap();
+        assert_eq!(full.mode, MigrationMode::StopAndCopy);
+        assert_eq!(full.frozen_flows, full.flows);
+        assert!(full.flows > 64, "warm-up tracked many flows");
+
+        let config =
+            RuntimeConfig::evaluation_default().with_migration_mode(MigrationMode::PreCopy);
+        let mut pre = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let mut t = trace(1.5, 10, 12);
+        pre.run_until(&mut t, SimTime::from_millis(5));
+        let residual = pre.estimate_migration(NfId::new(1), Device::Cpu).unwrap();
+        assert_eq!(residual.mode, MigrationMode::PreCopy);
+        assert_eq!(residual.frozen_flows, 64, "bounded by convergence knob");
+        assert!(residual.blackout < full.blackout);
+        // Estimating an in-place "move" is refused.
+        assert!(pre
+            .estimate_migration(NfId::new(1), Device::SmartNic)
+            .is_err());
+        assert!(pre.estimate_migration(NfId::new(9), Device::Cpu).is_err());
     }
 
     #[test]

@@ -4,6 +4,8 @@ use pam_nf::ProfileCatalog;
 use pam_sim::{DeviceConfig, PcieLinkConfig};
 use pam_types::{ByteSize, SimDuration};
 
+use crate::migration::{MigrationConfig, MigrationMode};
+
 /// Configuration of a [`crate::ChainRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -27,6 +29,9 @@ pub struct RuntimeConfig {
     /// Per-flow serialisation overhead charged when exporting vNF state
     /// (models OpenNF's per-entry marshalling cost).
     pub state_overhead_per_flow: ByteSize,
+    /// Live-migration engine knobs: transfer mode, pre-copy round cap and
+    /// convergence bound.
+    pub migration: MigrationConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -40,6 +45,7 @@ impl Default for RuntimeConfig {
             migration_control_overhead: SimDuration::from_micros(150),
             migration_buffer_bound: SimDuration::from_millis(2),
             state_overhead_per_flow: ByteSize::bytes(64),
+            migration: MigrationConfig::default(),
         }
     }
 }
@@ -59,6 +65,19 @@ impl RuntimeConfig {
     /// Overrides the PCIe link model (used by the PCIe-latency ablation).
     pub fn with_pcie(mut self, pcie: PcieLinkConfig) -> Self {
         self.pcie = pcie;
+        self
+    }
+
+    /// Overrides the live-migration engine configuration.
+    pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
+        self.migration = migration;
+        self
+    }
+
+    /// Selects the live-migration transfer mode, keeping the other engine
+    /// knobs at their current values.
+    pub fn with_migration_mode(mut self, mode: MigrationMode) -> Self {
+        self.migration.mode = mode;
         self
     }
 }
@@ -93,5 +112,20 @@ mod tests {
                 .load_factor,
             1.0
         );
+    }
+
+    #[test]
+    fn migration_builders_select_mode_and_knobs() {
+        let config = RuntimeConfig::default();
+        assert_eq!(config.migration.mode, MigrationMode::StopAndCopy);
+        let pre = RuntimeConfig::default().with_migration_mode(MigrationMode::PreCopy);
+        assert_eq!(pre.migration.mode, MigrationMode::PreCopy);
+        let custom = RuntimeConfig::default().with_migration(MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 3,
+            convergence_flows: 8,
+        });
+        assert_eq!(custom.migration.max_precopy_rounds, 3);
+        assert_eq!(custom.migration.convergence_flows, 8);
     }
 }

@@ -7,9 +7,14 @@
 //! different devices, and supports *live migration* of a vNF between devices
 //! with OpenNF/UNO-style state transfer while traffic keeps flowing.
 //!
-//! * [`RuntimeConfig`] — device, PCIe and measurement configuration.
+//! * [`RuntimeConfig`] — device, PCIe, measurement and migration-engine
+//!   configuration ([`MigrationConfig`]).
 //! * [`ChainRuntime`] — the simulation itself (`run_until`, `live_migrate`,
 //!   metrics publication).
+//! * [`migration`] — the live-migration engine's types: stop-and-copy vs
+//!   iterative pre-copy ([`MigrationMode`]), per-round accounting
+//!   ([`MigrationRound`]) and pre-execution cost estimates
+//!   ([`MigrationEstimate`]).
 //! * [`RunOutcome`] / [`MigrationReport`] — what a run / a migration produced.
 //! * [`capacity_probe`] — measures a single vNF's saturation throughput on a
 //!   device, reproducing the paper's Table 1 from the simulated substrate.
@@ -27,4 +32,7 @@ pub use capacity_probe::{probe_capacity, CapacityProbeResult};
 pub use chain::{ChainRuntime, PacketOutcome, RunOutcome};
 pub use config::RuntimeConfig;
 pub use instance::VnfInstance;
-pub use migration::MigrationReport;
+pub use migration::{
+    state_transfer_size, MigrationConfig, MigrationEstimate, MigrationMode, MigrationReport,
+    MigrationRound,
+};

@@ -1,10 +1,158 @@
-//! Live-migration reporting.
+//! Live-migration configuration, per-round accounting and reports.
+//!
+//! Two transfer mechanisms are modelled (selected by [`MigrationMode`] in
+//! [`MigrationConfig`]):
+//!
+//! * **stop-and-copy** — the classic OpenNF transfer: pause the vNF, ship
+//!   its whole serialised state across the link, resume on the target. The
+//!   blackout covers the entire transfer, so it grows linearly with the
+//!   flow-table size.
+//! * **iterative pre-copy** — a snapshot round copies *all* flows while the
+//!   source keeps serving; each later round copies only the flows dirtied
+//!   since the previous round; once the dirty set is small enough (or the
+//!   round cap is hit) a short stop-and-copy freezes just the residual dirty
+//!   set. The blackout covers only that final round, which is why pre-copy
+//!   turns migration blackouts into a near-zero tail.
+//!
+//! Every round is recorded in the [`MigrationReport`] so experiments can
+//! attribute bytes and time to the snapshot, the dirty rounds, and the final
+//! freeze separately.
 
-use pam_types::{ByteSize, Device, NfId, SimDuration, SimTime};
+use pam_types::{ByteSize, Device, Gbps, NfId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// What one live migration cost.
+/// How a vNF's state is transferred during live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationMode {
+    /// Pause, copy everything, resume: the whole transfer is blackout.
+    StopAndCopy,
+    /// Iterative pre-copy: copy while serving, freeze only the residual
+    /// dirty set.
+    PreCopy,
+}
+
+impl MigrationMode {
+    /// Both modes, in report order.
+    pub const ALL: [MigrationMode; 2] = [MigrationMode::StopAndCopy, MigrationMode::PreCopy];
+
+    /// The machine-readable name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationMode::StopAndCopy => "stop_and_copy",
+            MigrationMode::PreCopy => "pre_copy",
+        }
+    }
+
+    /// Parses a CLI mode name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::fmt::Display for MigrationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Knobs of the live-migration engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Which transfer mechanism to use.
+    pub mode: MigrationMode,
+    /// Maximum number of non-blocking pre-copy rounds (the snapshot round
+    /// counts) before the final freeze is forced regardless of convergence.
+    pub max_precopy_rounds: usize,
+    /// Convergence bound: once a round leaves at most this many dirty flows,
+    /// the engine freezes the residual set and hands over.
+    pub convergence_flows: usize,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            mode: MigrationMode::StopAndCopy,
+            max_precopy_rounds: 8,
+            convergence_flows: 64,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// The default knobs running the given mode.
+    pub fn with_mode(mode: MigrationMode) -> Self {
+        MigrationConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
+
+/// One round of a live migration's state transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationRound {
+    /// 1-based round number (round 1 is the full snapshot).
+    pub round: u32,
+    /// Flow entries carried by this round.
+    pub flows: usize,
+    /// Bytes shipped over the link (serialised state + per-flow overhead).
+    pub bytes: ByteSize,
+    /// Wall-clock duration of the round's transfer (including link queueing).
+    pub duration: SimDuration,
+}
+
+/// The modelled size of one state transfer: the serialised payload plus the
+/// OpenNF-style per-entry marshalling overhead. All arithmetic saturates so
+/// absurd sizes clamp instead of wrapping.
+pub fn state_transfer_size(payload: ByteSize, per_flow: ByteSize, flows: usize) -> ByteSize {
+    payload.saturating_add(per_flow.saturating_mul(flows as u64))
+}
+
+/// A pre-execution estimate of what migrating one vNF would cost, produced by
+/// [`crate::ChainRuntime::estimate_migration`]. Under [`MigrationMode::PreCopy`]
+/// the estimate is based on the *expected residual dirty set* (bounded by the
+/// convergence knob), not the total flow count — only the residual is frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEstimate {
+    /// The mode the estimate assumes.
+    pub mode: MigrationMode,
+    /// Flow entries currently held by the vNF.
+    pub flows: usize,
+    /// Flow entries expected in the blackout-critical (final) transfer.
+    pub frozen_flows: usize,
+    /// Bytes expected in the blackout-critical transfer.
+    pub frozen_bytes: ByteSize,
+    /// Expected blackout (final transfer + control overhead).
+    pub blackout: SimDuration,
+}
+
+impl MigrationEstimate {
+    /// Builds an estimate from the flow counts and the link/overhead model.
+    pub fn new(
+        mode: MigrationMode,
+        flows: usize,
+        frozen_flows: usize,
+        per_flow: ByteSize,
+        link_bandwidth: Gbps,
+        crossing_latency: SimDuration,
+        control_overhead: SimDuration,
+    ) -> Self {
+        let frozen_bytes = state_transfer_size(ByteSize::ZERO, per_flow, frozen_flows);
+        let blackout = SimDuration::transmission(frozen_bytes, link_bandwidth)
+            + crossing_latency
+            + control_overhead;
+        MigrationEstimate {
+            mode,
+            flows,
+            frozen_flows,
+            frozen_bytes,
+            blackout,
+        }
+    }
+}
+
+/// What one live migration cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MigrationReport {
     /// The chain position that moved.
     pub nf: NfId,
@@ -12,22 +160,41 @@ pub struct MigrationReport {
     pub from: Device,
     /// The device it now runs on.
     pub to: Device,
-    /// When the migration started.
+    /// The transfer mechanism used.
+    pub mode: MigrationMode,
+    /// When the migration started (the snapshot export under pre-copy).
     pub started_at: SimTime,
+    /// When the source was frozen for the final transfer. Equal to
+    /// `started_at` under stop-and-copy; under pre-copy everything before
+    /// this instant was copied while traffic kept flowing.
+    pub paused_at: SimTime,
     /// When the instance resumed on the target device.
     pub completed_at: SimTime,
-    /// Size of the serialised state transferred over PCIe.
+    /// Total serialised state transferred over the link, all rounds.
     pub state_size: ByteSize,
-    /// Number of per-flow entries transferred.
+    /// Total per-flow entries transferred, all rounds (a flow dirtied in `n`
+    /// rounds counts `n` times).
     pub flows_transferred: usize,
+    /// Flow entries still dirty at the freeze — what the final blackout
+    /// round had to carry.
+    pub residual_dirty_flows: usize,
+    /// Per-round transfer accounting (one entry under stop-and-copy).
+    pub rounds: Vec<MigrationRound>,
     /// Packets dropped because the staging buffer overflowed during the
     /// blackout window.
     pub packets_dropped: u64,
 }
 
 impl MigrationReport {
-    /// The blackout duration (time the vNF was unavailable).
+    /// The blackout duration: the window the vNF was actually unavailable
+    /// (freeze → resume). Pre-copy rounds before the freeze do not count —
+    /// the source kept serving through them.
     pub fn blackout(&self) -> SimDuration {
+        self.completed_at.duration_since(self.paused_at)
+    }
+
+    /// The whole migration's duration, including non-blocking rounds.
+    pub fn total_duration(&self) -> SimDuration {
         self.completed_at.duration_since(self.started_at)
     }
 }
@@ -42,15 +209,117 @@ mod tests {
             nf: NfId::new(2),
             from: Device::SmartNic,
             to: Device::Cpu,
+            mode: MigrationMode::StopAndCopy,
             started_at: SimTime::from_millis(10),
+            paused_at: SimTime::from_millis(10),
             completed_at: SimTime::from_millis(12),
             state_size: ByteSize::kib(128),
             flows_transferred: 1000,
+            residual_dirty_flows: 1000,
+            rounds: vec![MigrationRound {
+                round: 1,
+                flows: 1000,
+                bytes: ByteSize::kib(128),
+                duration: SimDuration::from_millis(2),
+            }],
             packets_dropped: 3,
         };
         assert_eq!(report.blackout(), SimDuration::from_millis(2));
+        assert_eq!(report.total_duration(), SimDuration::from_millis(2));
         let json = serde_json::to_string(&report).unwrap();
         let back: MigrationReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn pre_copy_blackout_excludes_the_serving_rounds() {
+        let report = MigrationReport {
+            nf: NfId::new(1),
+            from: Device::SmartNic,
+            to: Device::Cpu,
+            mode: MigrationMode::PreCopy,
+            started_at: SimTime::from_millis(10),
+            paused_at: SimTime::from_millis(14),
+            completed_at: SimTime::from_millis(15),
+            state_size: ByteSize::kib(200),
+            flows_transferred: 1200,
+            residual_dirty_flows: 40,
+            rounds: Vec::new(),
+            packets_dropped: 0,
+        };
+        assert_eq!(report.blackout(), SimDuration::from_millis(1));
+        assert_eq!(report.total_duration(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in MigrationMode::ALL {
+            assert_eq!(MigrationMode::from_name(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(MigrationMode::from_name("hot_potato"), None);
+        let json = serde_json::to_string(&MigrationMode::PreCopy).unwrap();
+        let back: MigrationMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, MigrationMode::PreCopy);
+    }
+
+    #[test]
+    fn transfer_size_saturates_at_u64_adjacent_inputs() {
+        // Regression for the former unchecked `per_flow * flows` multiply.
+        assert_eq!(
+            state_transfer_size(ByteSize::bytes(100), ByteSize::bytes(64), 10),
+            ByteSize::bytes(740)
+        );
+        assert_eq!(
+            state_transfer_size(ByteSize::bytes(1), ByteSize::bytes(u64::MAX / 2), 3),
+            ByteSize::bytes(u64::MAX)
+        );
+        assert_eq!(
+            state_transfer_size(
+                ByteSize::bytes(u64::MAX),
+                ByteSize::bytes(u64::MAX),
+                usize::MAX
+            ),
+            ByteSize::bytes(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn estimate_charges_only_the_frozen_set() {
+        let full = MigrationEstimate::new(
+            MigrationMode::StopAndCopy,
+            10_000,
+            10_000,
+            ByteSize::bytes(64),
+            Gbps::new(63.0),
+            SimDuration::from_micros(22),
+            SimDuration::from_micros(150),
+        );
+        let residual = MigrationEstimate::new(
+            MigrationMode::PreCopy,
+            10_000,
+            64,
+            ByteSize::bytes(64),
+            Gbps::new(63.0),
+            SimDuration::from_micros(22),
+            SimDuration::from_micros(150),
+        );
+        assert!(residual.frozen_bytes < full.frozen_bytes);
+        assert!(residual.blackout < full.blackout);
+        assert_eq!(residual.flows, full.flows);
+        let json = serde_json::to_string(&residual).unwrap();
+        let back: MigrationEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, residual);
+    }
+
+    #[test]
+    fn config_defaults_and_mode_builder() {
+        let config = MigrationConfig::default();
+        assert_eq!(config.mode, MigrationMode::StopAndCopy);
+        assert!(config.max_precopy_rounds >= 2);
+        assert!(config.convergence_flows > 0);
+        let pre = MigrationConfig::with_mode(MigrationMode::PreCopy);
+        assert_eq!(pre.mode, MigrationMode::PreCopy);
+        assert_eq!(pre.max_precopy_rounds, config.max_precopy_rounds);
     }
 }

@@ -10,6 +10,7 @@
 //! each migration strategy caused.
 
 use pam_types::{ByteSize, Gbps, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 use crate::server::RateServer;
 
@@ -27,8 +28,10 @@ impl LinkDirection {
     pub const ALL: [LinkDirection; 2] = [LinkDirection::NicToCpu, LinkDirection::CpuToNic];
 }
 
-/// Configuration of the PCIe link model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Configuration of the PCIe link model. The same rate-server + fixed
+/// latency shape also models other point-to-point transports (the fleet
+/// layer instantiates one as its inter-server state-handoff link).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PcieLinkConfig {
     /// Fixed one-way crossing latency (DMA + descriptor ring + batching).
     pub crossing_latency: SimDuration,
@@ -58,6 +61,15 @@ impl PcieLinkConfig {
             ..Default::default()
         }
     }
+
+    /// A LAN-grade inter-server link (25 GbE, ~40 µs one-way): what the
+    /// fleet layer ships cross-server state handoffs over.
+    pub fn inter_server() -> Self {
+        PcieLinkConfig {
+            crossing_latency: SimDuration::from_micros(40),
+            bandwidth: Gbps::new(25.0),
+        }
+    }
 }
 
 /// Per-direction statistics of the PCIe link.
@@ -85,6 +97,11 @@ pub struct PcieLink {
     config: PcieLinkConfig,
     nic_to_cpu: RateServer,
     cpu_to_nic: RateServer,
+    /// Last per-packet delivery instant per direction: DMA descriptor rings
+    /// complete in order, so a later (smaller) packet must not overtake an
+    /// earlier (larger) one on the same direction.
+    delivered_nic_to_cpu: SimTime,
+    delivered_cpu_to_nic: SimTime,
     stats: PcieLinkStats,
 }
 
@@ -95,6 +112,8 @@ impl PcieLink {
             config,
             nic_to_cpu: RateServer::new(),
             cpu_to_nic: RateServer::new(),
+            delivered_nic_to_cpu: SimTime::ZERO,
+            delivered_cpu_to_nic: SimTime::ZERO,
             stats: PcieLinkStats::default(),
         }
     }
@@ -131,6 +150,12 @@ impl PcieLink {
     /// a shared FIFO would manufacture queueing that the real link does not
     /// have. Bulk transfers that genuinely contend (migration state) use
     /// [`PcieLink::transfer`] instead.
+    ///
+    /// Delivery is FIFO per direction: DMA descriptor rings complete in
+    /// order, so when a small packet's serialisation would let it finish
+    /// before an earlier larger one, its delivery is held to the earlier
+    /// packet's instant (otherwise a migration-blackout burst draining
+    /// back-to-back through a crossing would reorder packets within a flow).
     pub fn propagate(&mut self, now: SimTime, size: ByteSize, direction: LinkDirection) -> SimTime {
         let serialisation = SimDuration::transmission(size, self.config.bandwidth);
         match direction {
@@ -138,7 +163,14 @@ impl PcieLink {
             LinkDirection::CpuToNic => self.stats.cpu_to_nic += 1,
         }
         self.stats.bytes += size.as_bytes();
-        now + serialisation + self.config.crossing_latency
+        let arrival = now + serialisation + self.config.crossing_latency;
+        let delivered = match direction {
+            LinkDirection::NicToCpu => &mut self.delivered_nic_to_cpu,
+            LinkDirection::CpuToNic => &mut self.delivered_cpu_to_nic,
+        };
+        let arrival = arrival.max(*delivered);
+        *delivered = arrival;
+        arrival
     }
 
     /// The pure one-way latency a crossing adds on top of serialisation and
@@ -233,6 +265,53 @@ mod tests {
         let swept = PcieLinkConfig::with_crossing_latency(SimDuration::from_micros(5));
         assert_eq!(swept.crossing_latency, SimDuration::from_micros(5));
         assert_eq!(swept.bandwidth, Gbps::new(63.0));
+        // The inter-server flavour is slower and farther than PCIe.
+        let lan = PcieLinkConfig::inter_server();
+        assert!(lan.bandwidth < swept.bandwidth);
+        assert!(lan.crossing_latency > SimDuration::from_micros(22));
+    }
+
+    #[test]
+    fn link_config_round_trips_through_serde() {
+        let config = PcieLinkConfig::inter_server();
+        let json = pam_types_serde_round_trip(&config);
+        assert_eq!(json, config);
+    }
+
+    /// Serialize → deserialize helper (the vendored serde has no generic
+    /// `to_string` round-trip assert).
+    fn pam_types_serde_round_trip(config: &PcieLinkConfig) -> PcieLinkConfig {
+        let value = serde::Serialize::to_value(config);
+        serde::Deserialize::from_value(&value).unwrap()
+    }
+
+    #[test]
+    fn per_packet_delivery_is_fifo_per_direction() {
+        let mut link = PcieLink::new(PcieLinkConfig::default());
+        // A 1500 B packet enters, then a 64 B packet 10 ns later: without the
+        // FIFO clamp the small packet's shorter serialisation would let it
+        // overtake. It must instead deliver at the same instant (ring order).
+        let big = link.propagate(
+            SimTime::ZERO,
+            ByteSize::bytes(1500),
+            LinkDirection::NicToCpu,
+        );
+        let small = link.propagate(
+            SimTime::from_nanos(10),
+            ByteSize::bytes(64),
+            LinkDirection::NicToCpu,
+        );
+        assert!(
+            small >= big,
+            "FIFO delivery: {small} must not precede {big}"
+        );
+        // The opposite direction is independent.
+        let other = link.propagate(
+            SimTime::from_nanos(10),
+            ByteSize::bytes(64),
+            LinkDirection::CpuToNic,
+        );
+        assert!(other < big);
     }
 
     #[test]

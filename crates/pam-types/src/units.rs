@@ -323,6 +323,13 @@ impl ByteSize {
         ByteSize(self.0.saturating_add(rhs.0))
     }
 
+    /// Saturating multiplication by a scalar. State-sizing arithmetic
+    /// (per-flow overhead × flow count) uses this so absurd configurations
+    /// clamp instead of wrapping.
+    pub fn saturating_mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.saturating_mul(rhs))
+    }
+
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
         ByteSize(self.0.saturating_sub(rhs.0))
@@ -482,6 +489,21 @@ mod tests {
         assert_eq!(a.saturating_add(b), ByteSize::bytes(40));
         assert_eq!(b - a, ByteSize::bytes(20));
         assert_eq!(a * 3, ByteSize::bytes(30));
+        assert_eq!(a.saturating_mul(3), ByteSize::bytes(30));
+    }
+
+    #[test]
+    fn byte_size_saturating_mul_clamps_near_u64_max() {
+        // u64::MAX-adjacent sizes must clamp, not wrap (regression for the
+        // migration state-sizing arithmetic).
+        let huge = ByteSize::bytes(u64::MAX / 2);
+        assert_eq!(huge.saturating_mul(3), ByteSize::bytes(u64::MAX));
+        assert_eq!(huge.saturating_mul(2), ByteSize::bytes(u64::MAX - 1));
+        assert_eq!(
+            ByteSize::bytes(u64::MAX).saturating_mul(u64::MAX),
+            ByteSize::bytes(u64::MAX)
+        );
+        assert_eq!(ByteSize::bytes(u64::MAX).saturating_mul(0), ByteSize::ZERO);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Replay determinism of the fleet layer: two identical fleet runs produce
-//! byte-identical JSON reports, across every scenario in the matrix.
+//! byte-identical JSON reports, across every scenario in the matrix and
+//! under both live-migration transfer modes.
 
 use pam::core::StrategyKind;
 use pam::experiments::fleet::{FleetScenario, FleetScenarioKind};
+use pam::runtime::MigrationMode;
 
-fn report_json(kind: FleetScenarioKind, strategy: StrategyKind, servers: usize) -> String {
-    let scenario = FleetScenario::new(kind, servers);
+fn report_json(
+    kind: FleetScenarioKind,
+    strategy: StrategyKind,
+    servers: usize,
+    mode: MigrationMode,
+) -> String {
+    let scenario = FleetScenario::new(kind, servers).with_mode(mode);
     let report = scenario.run(strategy).expect("scenario runs");
     serde_json::to_string(&report).expect("report serializes")
 }
@@ -13,28 +20,64 @@ fn report_json(kind: FleetScenarioKind, strategy: StrategyKind, servers: usize) 
 #[test]
 fn every_scenario_replays_byte_identically_under_pam() {
     for kind in FleetScenarioKind::ALL {
-        let a = report_json(kind, StrategyKind::Pam, 2);
-        let b = report_json(kind, StrategyKind::Pam, 2);
+        let a = report_json(kind, StrategyKind::Pam, 2, MigrationMode::StopAndCopy);
+        let b = report_json(kind, StrategyKind::Pam, 2, MigrationMode::StopAndCopy);
         assert_eq!(a, b, "{kind} diverged between identical runs");
     }
 }
 
 #[test]
+fn every_scenario_replays_byte_identically_with_pre_copy() {
+    for kind in FleetScenarioKind::ALL {
+        let a = report_json(kind, StrategyKind::Pam, 2, MigrationMode::PreCopy);
+        let b = report_json(kind, StrategyKind::Pam, 2, MigrationMode::PreCopy);
+        assert_eq!(a, b, "{kind} diverged between identical pre-copy runs");
+    }
+}
+
+#[test]
+fn migration_modes_produce_distinct_but_self_consistent_reports() {
+    // The modes must actually change the metrics (blackout accounting), and
+    // each must replay exactly.
+    let kind = FleetScenarioKind::RollingHotspot;
+    let stop = report_json(kind, StrategyKind::Pam, 2, MigrationMode::StopAndCopy);
+    let pre = report_json(kind, StrategyKind::Pam, 2, MigrationMode::PreCopy);
+    assert_ne!(stop, pre, "modes must not produce one report");
+    assert_eq!(
+        pre,
+        report_json(kind, StrategyKind::Pam, 2, MigrationMode::PreCopy)
+    );
+}
+
+#[test]
 fn strategies_diverge_but_each_is_self_consistent() {
     let kind = FleetScenarioKind::RollingHotspot;
-    let pam = report_json(kind, StrategyKind::Pam, 2);
-    let naive = report_json(kind, StrategyKind::NaiveBottleneck, 2);
+    let pam = report_json(kind, StrategyKind::Pam, 2, MigrationMode::StopAndCopy);
+    let naive = report_json(
+        kind,
+        StrategyKind::NaiveBottleneck,
+        2,
+        MigrationMode::StopAndCopy,
+    );
     assert_ne!(
         pam, naive,
         "different strategies must not produce one report"
     );
-    assert_eq!(naive, report_json(kind, StrategyKind::NaiveBottleneck, 2));
+    assert_eq!(
+        naive,
+        report_json(
+            kind,
+            StrategyKind::NaiveBottleneck,
+            2,
+            MigrationMode::StopAndCopy
+        )
+    );
 }
 
 #[test]
 fn fleet_size_changes_the_report_shape() {
     let kind = FleetScenarioKind::FlashCrowd;
-    let two = report_json(kind, StrategyKind::Pam, 2);
-    let three = report_json(kind, StrategyKind::Pam, 3);
+    let two = report_json(kind, StrategyKind::Pam, 2, MigrationMode::PreCopy);
+    let three = report_json(kind, StrategyKind::Pam, 3, MigrationMode::PreCopy);
     assert_ne!(two, three);
 }

@@ -1,0 +1,130 @@
+//! Differential test: `stop_and_copy` and `pre_copy` runs over the same
+//! seeded trace must produce identical per-flow NF outcomes — the same
+//! flow-table contents (per-flow packet/byte counters) and the same NAT
+//! bindings and port cursor — differing only in latency/blackout metrics.
+//!
+//! The trace is sized so neither run drops anything (no overload, staging
+//! buffer far larger than any blackout): then every packet reaches every NF
+//! in both runs and the only mode-dependent observable is *when*, which the
+//! per-flow comparison deliberately projects out (timestamps are latency).
+
+use pam::core::Placement;
+use pam::nf::{NfKind, ServiceChainSpec};
+use pam::runtime::{ChainRuntime, MigrationMode, RunOutcome, RuntimeConfig};
+use pam::traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer,
+    TrafficSchedule,
+};
+use pam::types::{Device, Endpoint, Gbps, NfId, SimDuration, SimTime};
+use serde_json::Value;
+
+/// Monitor → NAT on the SmartNIC; the monitor migrates to the CPU mid-run.
+fn run_mode(mode: MigrationMode) -> (ChainRuntime, RunOutcome) {
+    let spec = ServiceChainSpec::new(
+        "monitor-nat",
+        Endpoint::Wire,
+        Endpoint::Host,
+        vec![NfKind::Monitor, NfKind::Nat],
+    );
+    let placement = Placement::all_on(Device::SmartNic, 2);
+    let config = RuntimeConfig::evaluation_default().with_migration_mode(mode);
+    let mut runtime = ChainRuntime::new(spec, &placement, config).unwrap();
+    let mut trace = TraceSynthesizer::new(TraceConfig {
+        sizes: PacketSizeProfile::paper_sweep(),
+        flows: FlowGeneratorConfig {
+            flow_count: 600,
+            zipf_exponent: 1.0,
+            tcp_fraction: 0.8,
+        },
+        arrival: ArrivalProcess::Cbr,
+        schedule: TrafficSchedule::constant(Gbps::new(1.2), SimDuration::from_millis(8)),
+        seed: 2018,
+    });
+    runtime.run_until(&mut trace, SimTime::from_millis(3));
+    runtime
+        .live_migrate(NfId::new(0), Device::Cpu, runtime.now())
+        .unwrap();
+    runtime.run_to_completion(&mut trace);
+    let outcome = runtime.outcome();
+    (runtime, outcome)
+}
+
+fn uint(value: &Value) -> u64 {
+    match value {
+        Value::Number(n) => n.as_u64().expect("non-negative integer"),
+        other => panic!("expected a number, got {}", other.kind()),
+    }
+}
+
+/// The monitor's mode-invariant projection: sorted (flow, packets, bytes).
+fn monitor_rows(runtime: &ChainRuntime) -> Vec<(u64, u64, u64)> {
+    let state = runtime.instances()[0].nf.export_state();
+    let object = state.data.as_object().unwrap();
+    let mut rows: Vec<(u64, u64, u64)> = object
+        .get("flows")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let entry = pair.as_array().unwrap();
+            let stats = entry[1].as_object().unwrap();
+            (
+                uint(&entry[0]),
+                uint(stats.get("packets").unwrap()),
+                uint(stats.get("bytes").unwrap()),
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// The NAT's end state is already timestamp-free: compare it byte for byte.
+fn nat_state_json(runtime: &ChainRuntime) -> String {
+    serde_json::to_string(&runtime.instances()[1].nf.export_state()).unwrap()
+}
+
+#[test]
+fn modes_agree_on_per_flow_nf_outcomes() {
+    let (stop_runtime, stop) = run_mode(MigrationMode::StopAndCopy);
+    let (pre_runtime, pre) = run_mode(MigrationMode::PreCopy);
+
+    // Precondition for an exact comparison: nothing dropped in either run.
+    for (name, outcome) in [("stop_and_copy", &stop), ("pre_copy", &pre)] {
+        assert_eq!(outcome.drops_overload, 0, "{name}: overload drops");
+        assert_eq!(outcome.drops_policy, 0, "{name}: policy drops");
+        assert_eq!(outcome.drops_migration, 0, "{name}: migration drops");
+        assert_eq!(outcome.injected, outcome.delivered, "{name}: lost packets");
+        assert_eq!(outcome.migrations.len(), 1, "{name}: one migration");
+    }
+
+    // Identical per-flow NF end states...
+    assert_eq!(
+        monitor_rows(&stop_runtime),
+        monitor_rows(&pre_runtime),
+        "monitor per-flow counters diverged between modes"
+    );
+    assert_eq!(
+        nat_state_json(&stop_runtime),
+        nat_state_json(&pre_runtime),
+        "NAT bindings diverged between modes"
+    );
+    assert_eq!(
+        stop_runtime.instances()[0].nf.flow_count(),
+        pre_runtime.instances()[0].nf.flow_count()
+    );
+
+    // ...while the migration metrics differ exactly as designed: same total
+    // traffic, but pre-copy's blackout is strictly shorter.
+    assert_eq!(stop.injected, pre.injected);
+    let stop_blackout = stop.migrations[0].blackout();
+    let pre_blackout = pre.migrations[0].blackout();
+    assert!(
+        pre_blackout < stop_blackout,
+        "pre-copy blackout {pre_blackout} !< stop-and-copy {stop_blackout}"
+    );
+    assert_eq!(stop.migrations[0].mode, MigrationMode::StopAndCopy);
+    assert_eq!(pre.migrations[0].mode, MigrationMode::PreCopy);
+    assert!(pre.migrations[0].residual_dirty_flows < stop.migrations[0].residual_dirty_flows);
+}

@@ -11,8 +11,20 @@ pub mod test_runner {
     pub use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Number of random cases each property runs.
+    /// Default number of random cases each property runs (override at run
+    /// time with the `PROPTEST_CASES` environment variable, as the real
+    /// proptest supports — CI's dedicated property job raises it to 1024).
     pub const CASES: usize = 64;
+
+    /// Number of cases to run: `PROPTEST_CASES` when set and parseable,
+    /// [`CASES`] otherwise.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(CASES)
+    }
 
     /// The deterministic per-test RNG.
     pub type TestRng = StdRng;
@@ -230,7 +242,7 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut __rng = $crate::test_runner::deterministic_rng();
-                for __case in 0..$crate::test_runner::CASES {
+                for __case in 0..$crate::test_runner::cases() {
                     $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
                     $body
                 }
@@ -279,6 +291,17 @@ mod tests {
         fn tuple_strategies_work(t in (1u32..4, 0.0f64..1.0)) {
             prop_assert!((1..4).contains(&t.0));
             prop_assert!((0.0..1.0).contains(&t.1));
+        }
+    }
+
+    #[test]
+    fn case_count_defaults_and_env_override() {
+        // Without the env var (or with garbage) the default applies; the CI
+        // property job sets PROPTEST_CASES=1024 to deepen the search.
+        let cases = crate::test_runner::cases();
+        assert!(cases >= 1);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cases, crate::test_runner::CASES);
         }
     }
 }
