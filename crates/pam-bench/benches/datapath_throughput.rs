@@ -1,0 +1,84 @@
+//! Datapath throughput — how fast the simulator chews packets as the
+//! doorbell batch size grows.
+//!
+//! The batched datapath coalesces same-hop packets into batch service events
+//! and whole-batch DMA bursts, so the event count per delivered packet drops
+//! roughly with the batch size. This bench drives the figure-1 chain with a
+//! heavy small-packet trace at each batch size, prints a simulated-packets
+//!-per-wall-second table, and registers one criterion group per batch size
+//! so regressions in the batched hot path are visible in isolation.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pam_core::Placement;
+use pam_nf::ServiceChainSpec;
+use pam_runtime::{ChainRuntime, RuntimeConfig};
+use pam_traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule,
+};
+use pam_types::{ByteSize, Gbps, SimDuration};
+
+/// The batch sizes the sweep compares (1 = the unbatched baseline).
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+/// A heavy small-packet trace: per-packet overheads dominate, which is
+/// exactly where doorbell batching pays.
+fn small_packet_trace() -> TraceConfig {
+    TraceConfig {
+        sizes: PacketSizeProfile::Fixed(ByteSize::bytes(128)),
+        flows: FlowGeneratorConfig {
+            flow_count: 1000,
+            zipf_exponent: 1.0,
+            tcp_fraction: 0.8,
+        },
+        arrival: ArrivalProcess::Cbr,
+        schedule: TrafficSchedule::constant(Gbps::new(1.2), SimDuration::from_millis(4)),
+        seed: 42,
+    }
+}
+
+/// Runs the figure-1 chain over the trace at `max_batch`, returning the
+/// number of packets injected.
+fn run_datapath(max_batch: usize) -> u64 {
+    let mut runtime = ChainRuntime::new(
+        ServiceChainSpec::figure1(),
+        &Placement::figure1_initial(),
+        RuntimeConfig::evaluation_default().with_max_batch(max_batch),
+    )
+    .expect("runtime builds");
+    let mut trace = pam_traffic::TraceSynthesizer::new(small_packet_trace());
+    runtime.run_to_completion(&mut trace)
+}
+
+fn bench_datapath_throughput(c: &mut Criterion) {
+    // The headline table: simulated packets per wall-clock second per batch
+    // size, with the batch=1 run as the speedup reference.
+    println!("\ndatapath_throughput — figure-1 chain, 128 B packets at 1.2 Gbps");
+    println!("batch | wall ms | sim pkts/s | speedup");
+    let mut reference = 0.0f64;
+    for &batch in &BATCHES {
+        let start = Instant::now();
+        let injected = run_datapath(batch);
+        let wall = start.elapsed().as_secs_f64();
+        if batch == 1 {
+            reference = wall;
+        }
+        println!(
+            "{batch:5} | {:7.1} | {:10.0} | {:.2}x",
+            wall * 1e3,
+            injected as f64 / wall.max(1e-9),
+            reference / wall.max(1e-9),
+        );
+    }
+
+    let mut group = c.benchmark_group("datapath_throughput");
+    group.sample_size(10);
+    for &batch in &BATCHES {
+        group.bench_function(format!("batch_{batch}"), |b| b.iter(|| run_datapath(batch)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath_throughput);
+criterion_main!(benches);

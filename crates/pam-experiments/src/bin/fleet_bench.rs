@@ -9,16 +9,27 @@
 //!                                           # exit 1 on regression
 //! fleet_bench --tolerance 0.25              # relative tolerance band
 //! fleet_bench --servers 4                   # fleet size (default 4)
+//! fleet_bench --summary summary.md          # write a markdown summary
+//!                                           # (gate table + datapath
+//!                                           # throughput sweep) — CI appends
+//!                                           # it to $GITHUB_STEP_SUMMARY
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
 //! the same build produce byte-identical JSON and the baseline comparison is
 //! meaningful: metrics moving past the tolerance band are real changes in
-//! the algorithms or the simulator, not noise.
+//! the algorithms or the simulator, not noise. (The wall-clock column of the
+//! `--summary` throughput sweep is the one machine-dependent number; it is
+//! reported for reading, never gated.)
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use pam_experiments::fleet::{run_fleet_matrix, FleetBenchEntry, FleetBenchOutput};
+use pam_core::StrategyKind;
+use pam_experiments::fleet::{
+    run_fleet_matrix, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+};
 
 /// Relative tolerance band the gate allows before calling a change a
 /// regression (generous: the runs are deterministic, so any drift at all is
@@ -32,6 +43,7 @@ const COUNT_SLACK: f64 = 64.0;
 struct Args {
     out: Option<String>,
     check: Option<String>,
+    summary: Option<String>,
     tolerance: f64,
     servers: usize,
 }
@@ -40,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         out: None,
         check: None,
+        summary: None,
         tolerance: DEFAULT_TOLERANCE,
         servers: 4,
     };
@@ -49,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
+            "--summary" => args.summary = Some(value("--summary")?),
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -97,6 +111,20 @@ fn worse_if_below(metric: &'static str, baseline: f64, current: f64, tolerance: 
         current,
         failed: current < baseline * (1.0 - tolerance),
     }
+}
+
+/// Finds the entry of `results` at the same matrix coordinates as `cell`
+/// (the one matching predicate shared by the gate and the summary table).
+fn find_cell<'a>(
+    results: &'a [FleetBenchEntry],
+    cell: &FleetBenchEntry,
+) -> Option<&'a FleetBenchEntry> {
+    results.iter().find(|e| {
+        e.scenario == cell.scenario
+            && e.strategy == cell.strategy
+            && e.migration_mode == cell.migration_mode
+            && e.batch == cell.batch
+    })
 }
 
 fn gate_entry(baseline: &FleetBenchEntry, current: &FleetBenchEntry, tolerance: f64) -> Vec<Check> {
@@ -151,14 +179,10 @@ fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: 
     let mut regressions = 0usize;
     let mut missing = 0usize;
     for base in &baseline.results {
-        let Some(cur) = current.results.iter().find(|e| {
-            e.scenario == base.scenario
-                && e.strategy == base.strategy
-                && e.migration_mode == base.migration_mode
-        }) else {
+        let Some(cur) = find_cell(&current.results, base) else {
             eprintln!(
-                "perf-gate: MISSING  {}/{}/{} — cell not in current matrix",
-                base.scenario, base.strategy, base.migration_mode
+                "perf-gate: MISSING  {}/{}/{}/batch{} — cell not in current matrix",
+                base.scenario, base.strategy, base.migration_mode, base.batch
             );
             missing += 1;
             continue;
@@ -166,10 +190,11 @@ fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: 
         for check in gate_entry(base, cur, tolerance) {
             if check.failed {
                 eprintln!(
-                    "perf-gate: FAIL     {}/{}/{} {}: baseline {:.1}, current {:.1} (tolerance {:.0}%)",
+                    "perf-gate: FAIL     {}/{}/{}/batch{} {}: baseline {:.1}, current {:.1} (tolerance {:.0}%)",
                     base.scenario,
                     base.strategy,
                     base.migration_mode,
+                    base.batch,
                     check.metric,
                     check.baseline,
                     check.current,
@@ -192,13 +217,150 @@ fn run_gate(baseline: &FleetBenchOutput, current: &FleetBenchOutput, tolerance: 
     }
 }
 
+/// One point of the datapath-throughput sweep: the rolling-hotspot scenario
+/// under PAM at one batch size, with the harness wall-clock alongside the
+/// (deterministic) simulation metrics.
+struct ThroughputPoint {
+    batch: u32,
+    wall_secs: f64,
+    injected: u64,
+    delivered: u64,
+    p99_us: f64,
+}
+
+/// Runs the rolling-hotspot scenario across batch sizes, timing each run.
+/// The simulation metrics are deterministic; only `wall_secs` depends on the
+/// machine (which is why the summary reports it but the gate ignores it).
+fn throughput_sweep(servers: usize) -> Vec<ThroughputPoint> {
+    [1u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&batch| {
+            let scenario =
+                FleetScenario::new(FleetScenarioKind::RollingHotspot, servers).with_batch(batch);
+            let start = Instant::now();
+            let report = scenario.run(StrategyKind::Pam).expect("scenario runs");
+            let wall_secs = start.elapsed().as_secs_f64();
+            ThroughputPoint {
+                batch,
+                wall_secs,
+                injected: report.totals.injected,
+                delivered: report.totals.delivered,
+                p99_us: report.totals.p99_us,
+            }
+        })
+        .collect()
+}
+
+/// Renders the gate comparison as a markdown table (one row per cell). With
+/// no baseline the table still lists every cell, with its status marked
+/// `new`.
+fn render_gate_markdown(
+    baseline: Option<&FleetBenchOutput>,
+    current: &FleetBenchOutput,
+    tolerance: f64,
+) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Fleet perf gate — {} cells, ±{:.0}% band\n",
+        current.results.len(),
+        tolerance * 100.0
+    );
+    let _ = writeln!(
+        md,
+        "| scenario | strategy | mode | batch | p50 µs | p99 µs | mean µs | delivered | drops | blackout µs | status |"
+    );
+    let _ = writeln!(md, "|---|---|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    for cur in &current.results {
+        let totals = &cur.report.totals;
+        let drops = totals.drops_overload + totals.drops_policy + totals.drops_migration;
+        let status = match baseline.and_then(|b| find_cell(&b.results, cur)) {
+            None => "new".to_string(),
+            Some(base) => {
+                let failed: Vec<&str> = gate_entry(base, cur, tolerance)
+                    .into_iter()
+                    .filter(|c| c.failed)
+                    .map(|c| c.metric)
+                    .collect();
+                if failed.is_empty() {
+                    "ok".to_string()
+                } else {
+                    format!("**FAIL** ({})", failed.join(", "))
+                }
+            }
+        };
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {} | {} | {:.1} | {} |",
+            cur.scenario,
+            cur.strategy,
+            cur.migration_mode,
+            cur.batch,
+            totals.p50_us,
+            totals.p99_us,
+            totals.mean_us,
+            totals.delivered,
+            drops,
+            totals.blackout_us,
+            status
+        );
+    }
+    md
+}
+
+/// Renders the datapath-throughput sweep as a markdown table.
+fn render_throughput_markdown(points: &[ThroughputPoint]) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Datapath throughput — rolling hotspot under PAM, by batch size\n"
+    );
+    let _ = writeln!(
+        md,
+        "Simulated packets per wall-clock second (machine-dependent, reported \
+         for reading only — the gate never compares it)."
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| batch | wall ms | sim pkts/s | speedup | injected | delivered | p99 µs |"
+    );
+    let _ = writeln!(md, "|---:|---:|---:|---:|---:|---:|---:|");
+    let reference = points.first().map(|p| p.wall_secs).unwrap_or(0.0);
+    for point in points {
+        let pkts_per_sec = if point.wall_secs > 0.0 {
+            point.injected as f64 / point.wall_secs
+        } else {
+            0.0
+        };
+        let speedup = if point.wall_secs > 0.0 {
+            reference / point.wall_secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            md,
+            "| {} | {:.1} | {:.0} | {:.2}x | {} | {} | {:.1} |",
+            point.batch,
+            point.wall_secs * 1e3,
+            pkts_per_sec,
+            speedup,
+            point.injected,
+            point.delivered,
+            point.p99_us
+        );
+    }
+    md
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
             eprintln!("fleet_bench: {e}");
             eprintln!(
-                "usage: fleet_bench [--out PATH] [--check BASELINE] [--tolerance F] [--servers N]"
+                "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
+                 [--tolerance F] [--servers N]"
             );
             return ExitCode::FAILURE;
         }
@@ -222,24 +384,43 @@ fn main() -> ExitCode {
         println!("{json}");
     }
 
-    if let Some(path) = &args.check {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("fleet_bench: reading baseline {path}: {e}");
-                return ExitCode::FAILURE;
+    let baseline: Option<FleetBenchOutput> = match &args.check {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("fleet_bench: reading baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(baseline) => Some(baseline),
+                Err(e) => {
+                    eprintln!("fleet_bench: parsing baseline {path}: {e:?}");
+                    return ExitCode::FAILURE;
+                }
             }
-        };
-        let baseline: FleetBenchOutput = match serde_json::from_str(&text) {
-            Ok(baseline) => baseline,
-            Err(e) => {
-                eprintln!("fleet_bench: parsing baseline {path}: {e:?}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if !run_gate(&baseline, &output, args.tolerance) {
+        }
+        None => None,
+    };
+    let gate_ok = match &baseline {
+        Some(baseline) => run_gate(baseline, &output, args.tolerance),
+        None => true,
+    };
+
+    if let Some(path) = &args.summary {
+        let mut md = render_gate_markdown(baseline.as_ref(), &output, args.tolerance);
+        md.push('\n');
+        md.push_str(&render_throughput_markdown(&throughput_sweep(args.servers)));
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("fleet_bench: writing summary {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+
+    if gate_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -88,6 +88,9 @@ pub struct FleetScenario {
     pub peak: Gbps,
     /// How every server transfers state during live migration.
     pub migration_mode: MigrationMode,
+    /// Doorbell batch size of every server's datapath (1 = unbatched; see
+    /// [`pam_runtime::BatchConfig`]).
+    pub batch: u32,
     /// Base RNG seed; server `i` traces with `seed + i`.
     pub seed: u64,
 }
@@ -105,6 +108,7 @@ impl FleetScenario {
             baseline: Gbps::new(1.4),
             peak: Gbps::new(1.90),
             migration_mode: MigrationMode::StopAndCopy,
+            batch: 1,
             seed: DEFAULT_FLEET_SEED,
         }
     }
@@ -112,6 +116,13 @@ impl FleetScenario {
     /// The same scenario running the given live-migration transfer mode.
     pub fn with_mode(mut self, mode: MigrationMode) -> Self {
         self.migration_mode = mode;
+        self
+    }
+
+    /// The same scenario with every server's datapath batching up to `batch`
+    /// packets per doorbell (1 restores the unbatched baseline).
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch.max(1);
         self
     }
 
@@ -206,7 +217,8 @@ impl FleetScenario {
                     crossing_latency: SimDuration::from_micros(40),
                     ..PcieLinkConfig::default()
                 })
-                .with_migration_mode(self.migration_mode),
+                .with_migration_mode(self.migration_mode)
+                .with_max_batch(self.batch as usize),
             trace: TraceConfig {
                 // The paper's mixed packet sizes: service-time variance gives
                 // the steady-state latency distribution a real tail, so p99
@@ -259,6 +271,8 @@ pub struct FleetBenchEntry {
     pub strategy: String,
     /// Live-migration transfer mode (see [`MigrationMode::name`]).
     pub migration_mode: String,
+    /// Doorbell batch size of the cell's datapath (1 = unbatched).
+    pub batch: u32,
     /// The run's full report.
     pub report: FleetReport,
 }
@@ -288,25 +302,36 @@ pub const FLEET_BENCH_STRATEGIES: [StrategyKind; 3] = [
 pub const FLEET_BENCH_MODES: [MigrationMode; 2] =
     [MigrationMode::StopAndCopy, MigrationMode::PreCopy];
 
-/// Runs the full scenario × strategy × migration-mode matrix with the stable
-/// benchmark seed.
+/// The doorbell batch sizes the fleet benchmark compares. `1` is the
+/// unbatched baseline the historical (v2) numbers are pinned to — those
+/// cells reproduce the v2 reports byte-identically — and `8` is the batched
+/// datapath.
+pub const FLEET_BENCH_BATCHES: [u32; 2] = [1, 8];
+
+/// Runs the full scenario × migration-mode × batch × strategy matrix with
+/// the stable benchmark seed.
 pub fn run_fleet_matrix(servers: usize) -> Result<FleetBenchOutput> {
     let mut results = Vec::new();
     for kind in FleetScenarioKind::ALL {
         for mode in FLEET_BENCH_MODES {
-            let scenario = FleetScenario::new(kind, servers).with_mode(mode);
-            for strategy in FLEET_BENCH_STRATEGIES {
-                results.push(FleetBenchEntry {
-                    scenario: kind.name().to_string(),
-                    strategy: strategy.build().name().to_string(),
-                    migration_mode: mode.name().to_string(),
-                    report: scenario.run(strategy)?,
-                });
+            for batch in FLEET_BENCH_BATCHES {
+                let scenario = FleetScenario::new(kind, servers)
+                    .with_mode(mode)
+                    .with_batch(batch);
+                for strategy in FLEET_BENCH_STRATEGIES {
+                    results.push(FleetBenchEntry {
+                        scenario: kind.name().to_string(),
+                        strategy: strategy.build().name().to_string(),
+                        migration_mode: mode.name().to_string(),
+                        batch,
+                        report: scenario.run(strategy)?,
+                    });
+                }
             }
         }
     }
     Ok(FleetBenchOutput {
-        version: 2,
+        version: 3,
         servers,
         seed: DEFAULT_FLEET_SEED,
         results,
@@ -322,6 +347,7 @@ mod tests {
         scenario: FleetScenarioKind,
         strategy: StrategyKind,
         mode: MigrationMode,
+        batch: u32,
     ) -> &FleetBenchEntry {
         let strategy = strategy.build().name().to_string();
         output
@@ -331,6 +357,7 @@ mod tests {
                 e.scenario == scenario.name()
                     && e.strategy == strategy
                     && e.migration_mode == mode.name()
+                    && e.batch == batch
             })
             .expect("matrix cell present")
     }
@@ -429,24 +456,61 @@ mod tests {
         let output = run_fleet_matrix(2).unwrap();
         assert_eq!(
             output.results.len(),
-            24,
-            "4 scenarios x 2 modes x 3 strategies"
+            48,
+            "4 scenarios x 2 modes x 2 batches x 3 strategies"
         );
         let json = serde_json::to_string(&output).unwrap();
         let back: FleetBenchOutput = serde_json::from_str(&json).unwrap();
         assert_eq!(back, output);
         // Spot-check: the no-migration baseline never migrates anywhere,
-        // under either transfer mode.
+        // under either transfer mode and either batch size.
         for kind in FleetScenarioKind::ALL {
             for mode in FLEET_BENCH_MODES {
-                assert_eq!(
-                    entry(&output, kind, StrategyKind::Original, mode)
-                        .report
-                        .totals
-                        .migrations,
-                    0
-                );
+                for batch in FLEET_BENCH_BATCHES {
+                    assert_eq!(
+                        entry(&output, kind, StrategyKind::Original, mode, batch)
+                            .report
+                            .totals
+                            .migrations,
+                        0
+                    );
+                }
             }
+        }
+    }
+
+    /// The tentpole's fidelity criterion: batch=1 must be *exactly* the
+    /// historical unbatched datapath — an explicitly batch-1 scenario yields
+    /// a byte-identical report to the default-constructed one.
+    #[test]
+    fn batch_one_is_byte_identical_to_the_default_datapath() {
+        let kind = FleetScenarioKind::RollingHotspot;
+        let default_run = FleetScenario::new(kind, 2).run(StrategyKind::Pam).unwrap();
+        let batch1_run = FleetScenario::new(kind, 2)
+            .with_batch(1)
+            .run(StrategyKind::Pam)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&default_run).unwrap(),
+            serde_json::to_string(&batch1_run).unwrap()
+        );
+    }
+
+    /// Batching must not change *what* is delivered on a drop-free scenario,
+    /// only when: the diurnal wave under the no-migration strategy drops
+    /// nothing — for any cause — at either batch size. (Injected and
+    /// delivered differ only by the in-flight tail cut off at the horizon,
+    /// which grows slightly with the batch size.)
+    #[test]
+    fn batched_diurnal_wave_stays_drop_free() {
+        for batch in FLEET_BENCH_BATCHES {
+            let report = FleetScenario::new(FleetScenarioKind::DiurnalWave, 2)
+                .with_batch(batch)
+                .run(StrategyKind::Original)
+                .unwrap();
+            assert_eq!(report.totals.drops_overload, 0, "batch={batch}");
+            assert_eq!(report.totals.drops_policy, 0, "batch={batch}");
+            assert_eq!(report.totals.drops_migration, 0, "batch={batch}");
         }
     }
 

@@ -134,6 +134,30 @@ impl LoadBalancer {
         Some(self.backends[backend_index].addr)
     }
 
+    /// The (possibly freshly pinned) backend for `flow`, or `None` when no
+    /// backend is configured. Pinned connections are looked up read-only so
+    /// repeat packets never re-dirty the flow (keeps pre-copy deltas small).
+    fn backend_for(&mut self, flow: pam_types::FlowId, flow_hash: u64) -> Option<Ipv4Addr> {
+        match self.connections.lookup(flow) {
+            Some(existing) => Some(*existing),
+            None => {
+                let backend = self.pick_backend(flow_hash)?;
+                self.connections.entry_or_insert_with(flow, || backend);
+                Some(backend)
+            }
+        }
+    }
+
+    /// Rewrites `packet`'s destination to `backend` and counts it.
+    fn steer(&mut self, packet: &mut Packet, backend: Ipv4Addr) {
+        if let Ok(mut ip) = packet.ipv4_mut() {
+            ip.set_dst_addr(backend);
+            ip.fill_checksum();
+        }
+        packet.invalidate_tuple();
+        self.balanced += 1;
+    }
+
     /// Fraction of ring positions owned by each backend (used in tests to
     /// check the ring stays balanced).
     pub fn ring_share(&self) -> Vec<f64> {
@@ -157,28 +181,48 @@ impl NetworkFunction for LoadBalancer {
             return NfVerdict::Forward;
         };
         let flow = tuple.flow_id();
-        // Read-only lookup: a pinned connection never re-balances, so repeat
-        // packets must not re-dirty the flow (keeps pre-copy deltas small).
-        let chosen = match self.connections.lookup(flow) {
-            Some(existing) => *existing,
-            None => match self.pick_backend(tuple.stable_hash()) {
-                Some(backend) => {
-                    self.connections.entry_or_insert_with(flow, || backend);
-                    backend
-                }
-                None => {
-                    self.no_backend_drops += 1;
-                    return NfVerdict::Drop;
-                }
-            },
-        };
-        if let Ok(mut ip) = packet.ipv4_mut() {
-            ip.set_dst_addr(chosen);
-            ip.fill_checksum();
+        match self.backend_for(flow, tuple.stable_hash()) {
+            Some(chosen) => {
+                self.steer(packet, chosen);
+                NfVerdict::Forward
+            }
+            None => {
+                self.no_backend_drops += 1;
+                NfVerdict::Drop
+            }
         }
-        packet.invalidate_tuple();
-        self.balanced += 1;
-        NfVerdict::Forward
+    }
+
+    /// Batch-amortised steering: a run of same-flow packets resolves its
+    /// backend (connection-table lookup or ring walk) once and reuses it for
+    /// the rest of the run. The destination rewrite stays per packet.
+    /// Observationally identical to the per-packet default.
+    fn process_batch(&mut self, packets: &mut [Packet], _ctx: &NfContext) -> Vec<NfVerdict> {
+        let mut cached: Option<(pam_types::FlowId, Ipv4Addr)> = None;
+        packets
+            .iter_mut()
+            .map(|packet| {
+                let Some(tuple) = packet.five_tuple() else {
+                    return NfVerdict::Forward;
+                };
+                let flow = tuple.flow_id();
+                let chosen = match cached {
+                    Some((hit, backend)) if hit == flow => Some(backend),
+                    _ => self.backend_for(flow, tuple.stable_hash()),
+                };
+                match chosen {
+                    Some(backend) => {
+                        cached = Some((flow, backend));
+                        self.steer(packet, backend);
+                        NfVerdict::Forward
+                    }
+                    None => {
+                        self.no_backend_drops += 1;
+                        NfVerdict::Drop
+                    }
+                }
+            })
+            .collect()
     }
 
     fn export_state(&self) -> NfState {
@@ -257,6 +301,35 @@ mod tests {
             .total_len(128)
             .build();
         Packet::from_bytes(0, bytes, SimTime::ZERO)
+    }
+
+    #[test]
+    fn batch_processing_is_observationally_identical_to_the_loop() {
+        let ports = [100u16, 100, 200, 100, 300, 300, 200, 200];
+        let ctx = NfContext::at(SimTime::ZERO);
+        let packets: Vec<Packet> = ports.iter().map(|&p| packet_with_ports(p)).collect();
+
+        let mut looped = LoadBalancer::evaluation_default();
+        let mut looped_packets = packets.clone();
+        let loop_verdicts: Vec<NfVerdict> = looped_packets
+            .iter_mut()
+            .map(|p| looped.process(p, &ctx))
+            .collect();
+
+        let mut batched = LoadBalancer::evaluation_default();
+        let mut batched_packets = packets.clone();
+        let batch_verdicts = batched.process_batch(&mut batched_packets, &ctx);
+
+        assert_eq!(batch_verdicts, loop_verdicts);
+        for (a, b) in looped_packets.iter().zip(&batched_packets) {
+            assert_eq!(a.bytes(), b.bytes(), "identical steering rewrites");
+        }
+        assert_eq!(
+            serde_json::to_string(&batched.export_state()).unwrap(),
+            serde_json::to_string(&looped.export_state()).unwrap(),
+            "batched LB state must equal the per-packet loop's"
+        );
+        assert_eq!(batched.balanced(), looped.balanced());
     }
 
     fn backend_set(n: u8) -> Vec<Backend> {

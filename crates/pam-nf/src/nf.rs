@@ -172,6 +172,30 @@ pub trait NetworkFunction: Send {
     /// Processes one packet, possibly mutating it, and returns a verdict.
     fn process(&mut self, packet: &mut Packet, ctx: &NfContext) -> NfVerdict;
 
+    /// Processes a doorbell batch of packets that were serviced together,
+    /// returning one verdict per packet (in order).
+    ///
+    /// The default loops over [`NetworkFunction::process`], so every vNF is
+    /// batch-correct by construction. Implementations with real per-batch
+    /// amortisation (the monitor's per-flow counter runs, the NAT's and load
+    /// balancer's repeated-flow lookups) override it — but any override MUST
+    /// be observationally equivalent to the default: same verdicts, same end
+    /// state. `ctx.now` is the device clock at batch service completion, the
+    /// single timestamp every packet of the batch is accounted at.
+    ///
+    /// One deliberate consequence of the shared timestamp: *time-dependent*
+    /// vNFs observe the doorbell's burstiness. A token-bucket
+    /// [rate limiter](crate::RateLimiter) refills once per batch, not
+    /// between the batch's packets — exactly as real hardware sees a DMA'd
+    /// burst arrive at one instant — so its verdicts may legitimately differ
+    /// between batch sizes even though every state-keyed vNF's must not.
+    fn process_batch(&mut self, packets: &mut [Packet], ctx: &NfContext) -> Vec<NfVerdict> {
+        packets
+            .iter_mut()
+            .map(|packet| self.process(packet, ctx))
+            .collect()
+    }
+
     /// Exports the vNF's migratable runtime state.
     fn export_state(&self) -> NfState;
 

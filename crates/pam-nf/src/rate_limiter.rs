@@ -207,6 +207,38 @@ mod tests {
     }
 
     #[test]
+    fn a_doorbell_batch_refills_the_bucket_once_not_between_packets() {
+        // Pinned, *intended* batch semantics (see the `process_batch` docs):
+        // a batch's packets share one timestamp, so the bucket refills once
+        // per batch and the whole burst draws from the same token pool —
+        // exactly how a DMA'd burst hits real hardware. Spread over time the
+        // same packets would earn refills in between, so a rate limiter's
+        // verdicts legitimately depend on the batch size.
+        let rl = || RateLimiter::new(Gbps::new(8.0), 250); // 2000-bit burst
+                                                           // Three 125 B (1000-bit) packets, 1 us apart: each inter-packet gap
+                                                           // refills up to 8000 bits (capped at the burst) — spread out, every
+                                                           // packet forwards.
+        let mut spread = rl();
+        for i in 0..3u64 {
+            let (mut p, ctx) = packet(125, SimTime::from_micros(1 + i));
+            assert_eq!(spread.process(&mut p, &ctx), NfVerdict::Forward);
+        }
+        // The same three packets as one doorbell batch at the last instant:
+        // one refill caps at the 2000-bit burst, so the third packet drops.
+        let mut batched = rl();
+        let mut batch: Vec<Packet> = (0..3u64)
+            .map(|i| packet(125, SimTime::from_micros(1 + i)).0)
+            .collect();
+        let ctx = NfContext::at(SimTime::from_micros(3));
+        let verdicts = batched.process_batch(&mut batch, &ctx);
+        assert_eq!(
+            verdicts,
+            vec![NfVerdict::Forward, NfVerdict::Forward, NfVerdict::Drop]
+        );
+        assert_eq!(batched.dropped(), 1);
+    }
+
+    #[test]
     fn dirty_flag_tracks_bucket_activity() {
         let mut rl = RateLimiter::evaluation_default();
         assert_eq!(rl.dirty_flow_count(), 0);

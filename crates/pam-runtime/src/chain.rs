@@ -1,18 +1,25 @@
 //! The packet-level chain runtime.
 //!
-//! Packets are processed one at a time, in ingress order, through the hops of
-//! the chain. Each hop charges:
+//! Packets travel in ingress order through the hops of the chain. At each
+//! hop, arrivals are staged into a *doorbell batch* (see
+//! [`crate::BatchConfig`]): the batch closes — and becomes one service event —
+//! when it reaches `max_batch` packets or when `max_wait` elapses after its
+//! first packet arrived. With `max_batch = 1` (the default) staging is
+//! degenerate and every packet is serviced the instant it arrives, exactly
+//! reproducing the unbatched datapath. Each batch charges:
 //!
-//! 1. a PCIe crossing (latency + serialisation on the link) whenever the
-//!    previous hop was on the other side of the link,
-//! 2. queueing + service on the hop's device — the device is a shared
-//!    work-conserving processor whose per-packet service time is derived from
-//!    the vNF's Table 1 capacity, so aggregate device utilisation matches the
-//!    analytical model of `pam-core`,
-//! 3. the vNF's fixed pipeline latency (which adds delay without consuming
-//!    device capacity), and
-//! 4. the vNF's own processing logic on the real packet bytes, whose verdict
-//!    may drop the packet.
+//! 1. queueing + service on the hop's device for every packet of the batch —
+//!    the device is a shared work-conserving processor whose per-packet
+//!    service time is derived from the vNF's Table 1 capacity, so aggregate
+//!    device utilisation matches the analytical model of `pam-core`,
+//! 2. the vNF's fixed pipeline latency (which adds delay without consuming
+//!    device capacity),
+//! 3. the vNF's own processing logic on the real packet bytes — the whole
+//!    batch via [`pam_nf::NetworkFunction::process_batch`], whose per-packet
+//!    verdicts may drop packets — and
+//! 4. a *single coalesced PCIe DMA burst* towards the next hop whenever it
+//!    sits on the other side of the link (one setup cost for the whole
+//!    batch: [`pam_sim::PcieLink::propagate_burst`]).
 //!
 //! Live migration comes in two flavours (see [`crate::migration`]):
 //! stop-and-copy pauses one vNF while its whole serialised state crosses
@@ -118,9 +125,25 @@ struct InFlight {
 enum RuntimeEvent {
     /// A packet arriving at the device of its current hop.
     Packet(InFlight),
+    /// A closed batch whose packets arrive together (in batch order) at the
+    /// device of their shared hop.
+    Batch(Vec<InFlight>),
+    /// The doorbell timeout of hop `hop`'s open batch `seq`: if that batch
+    /// is still open when this fires, it closes regardless of size.
+    Doorbell { hop: usize, seq: u64 },
     /// A pre-copy round's transfer finished; export the next delta (or
     /// freeze and hand over).
     MigrationRound,
+}
+
+/// The doorbell staging buffer of one chain hop.
+#[derive(Debug, Default)]
+struct HopStage {
+    /// Packets of the currently open batch, in arrival order.
+    packets: Vec<InFlight>,
+    /// Identity of the open batch; bumped on every close so a doorbell
+    /// carrying a stale seq (its batch already closed on size) is a no-op.
+    seq: u64,
 }
 
 /// An iterative pre-copy migration in flight: the staged target instance is
@@ -145,6 +168,8 @@ pub struct ChainRuntime {
     config: RuntimeConfig,
     spec: ServiceChainSpec,
     instances: Vec<VnfInstance>,
+    /// One doorbell staging buffer per chain hop.
+    stages: Vec<HopStage>,
     nic: ComputeDevice,
     cpu: ComputeDevice,
     pcie: PcieLink,
@@ -225,7 +250,9 @@ impl ChainRuntime {
             ));
         }
         let metrics_interval = config.metrics_interval;
+        let stages = (0..instances.len()).map(|_| HopStage::default()).collect();
         Ok(ChainRuntime {
+            stages,
             nic: ComputeDevice::new(config.nic),
             cpu: ComputeDevice::new(config.cpu),
             pcie: PcieLink::new(config.pcie),
@@ -358,6 +385,16 @@ impl ChainRuntime {
             self.now = self.now.max(now);
             match event {
                 RuntimeEvent::Packet(in_flight) => self.handle_arrival(now, in_flight),
+                RuntimeEvent::Batch(batch) => {
+                    for in_flight in batch {
+                        self.handle_arrival(now, in_flight);
+                    }
+                }
+                RuntimeEvent::Doorbell { hop, seq } => {
+                    if self.stages[hop].seq == seq && !self.stages[hop].packets.is_empty() {
+                        self.close_batch(now, hop);
+                    }
+                }
                 RuntimeEvent::MigrationRound => self.on_migration_round(now),
             }
             if self.now >= self.next_metrics_at {
@@ -366,11 +403,29 @@ impl ChainRuntime {
         }
     }
 
+    /// Counts one packet dropped during the blackout ending at `until` and
+    /// attributes it to the migration that owns that blackout. Usually the
+    /// most recent report, but a multi-move stop-and-copy plan pauses several
+    /// instances with overlapping windows, so scan backwards for the report
+    /// whose pause this is.
+    fn drop_for_blackout(&mut self, until: SimTime) {
+        self.drops_migration += 1;
+        if let Some(migration) = self
+            .migrations
+            .iter_mut()
+            .rev()
+            .find(|m| m.completed_at == until)
+        {
+            migration.packets_dropped += 1;
+        }
+    }
+
     /// Handles one packet arriving at the device of chain hop
-    /// `in_flight.hop` at time `now`.
-    fn handle_arrival(&mut self, now: SimTime, mut in_flight: InFlight) {
+    /// `in_flight.hop` at time `now`: the packet either waits out (or is
+    /// dropped by) a migration blackout, or joins the hop's open doorbell
+    /// batch.
+    fn handle_arrival(&mut self, now: SimTime, in_flight: InFlight) {
         let index = in_flight.hop;
-        let size = in_flight.packet.size();
 
         // Migration blackout: wait (bounded) for the instance to resume by
         // re-scheduling the arrival at the blackout end.
@@ -378,20 +433,7 @@ impl ChainRuntime {
             if now < until {
                 let wait = until.duration_since(now);
                 if wait > self.config.migration_buffer_bound {
-                    self.drops_migration += 1;
-                    // Attribute the drop to the migration whose blackout this
-                    // is. Usually the most recent report, but a multi-move
-                    // stop-and-copy plan pauses several instances with
-                    // overlapping windows, so scan backwards for the report
-                    // that owns this pause.
-                    if let Some(migration) = self
-                        .migrations
-                        .iter_mut()
-                        .rev()
-                        .find(|m| m.completed_at == until)
-                    {
-                        migration.packets_dropped += 1;
-                    }
+                    self.drop_for_blackout(until);
                     return;
                 }
                 // Held packets re-fire at the blackout end; equal-time events
@@ -402,71 +444,173 @@ impl ChainRuntime {
             }
         }
 
-        // Device queueing + service on the hop's shared processor.
-        let service = self.instances[index].service_time(size);
-        let device_kind = self.instances[index].device;
-        let device = match device_kind {
-            Device::SmartNic => &mut self.nic,
-            Device::Cpu => &mut self.cpu,
-        };
-        let finish = match device.process(now, size, service) {
-            ProcessOutcome::Rejected => {
-                self.drops_overload += 1;
+        // Stage into the hop's open batch; the doorbell rings (the batch is
+        // serviced) on size or on timeout, whichever comes first. With
+        // `max_batch = 1` the batch closes right here and the packet is
+        // serviced at its arrival instant, exactly like the unbatched
+        // datapath.
+        let stage = &mut self.stages[index];
+        stage.packets.push(in_flight);
+        if stage.packets.len() >= self.config.batch.max_batch.max(1) {
+            self.close_batch(now, index);
+        } else if stage.packets.len() == 1 {
+            let seq = stage.seq;
+            self.events.schedule(
+                now + self.config.batch.max_wait,
+                RuntimeEvent::Doorbell { hop: index, seq },
+            );
+        }
+    }
+
+    /// Applies the blackout policy to packets awaiting service at a paused
+    /// hop: each packet waits out the blackout — re-firing at its end, in the
+    /// order the packets are given — or is dropped when the wait exceeds the
+    /// staging-buffer bound.
+    fn hold_or_drop_for_blackout(&mut self, held: Vec<InFlight>, now: SimTime, until: SimTime) {
+        if until.duration_since(now) > self.config.migration_buffer_bound {
+            for _ in &held {
+                self.drop_for_blackout(until);
+            }
+        } else {
+            for in_flight in held {
+                self.events.schedule(until, RuntimeEvent::Packet(in_flight));
+            }
+        }
+    }
+
+    /// Flushes hop `index`'s open batch into the blackout policy the moment
+    /// its instance pauses (both migration paths call this right after
+    /// setting `paused_until`). Staged packets arrived *before* the pause, so
+    /// they must keep their arrival-order priority over packets that arrive
+    /// during the blackout — letting the doorbell fire mid-blackout instead
+    /// would re-queue them at the blackout end *behind* later same-flow
+    /// arrivals and reorder the flow.
+    fn flush_stage_for_pause(&mut self, index: usize, now: SimTime, until: SimTime) {
+        let staged = std::mem::take(&mut self.stages[index].packets);
+        if staged.is_empty() {
+            return;
+        }
+        self.stages[index].seq += 1;
+        self.hold_or_drop_for_blackout(staged, now, until);
+    }
+
+    /// Rings the doorbell of hop `index`: services the staged batch on the
+    /// hop's device, runs the vNF over the whole batch, and forwards the
+    /// survivors together (one coalesced DMA burst when the next hop sits on
+    /// the other side of the PCIe link).
+    fn close_batch(&mut self, now: SimTime, index: usize) {
+        let staged = std::mem::take(&mut self.stages[index].packets);
+        self.stages[index].seq += 1;
+        if staged.is_empty() {
+            return;
+        }
+
+        // Defensive: migrations flush a hop's open batch the moment they
+        // pause it (see [`ChainRuntime::flush_stage_for_pause`]), so a batch
+        // can only close on a paused instance if a future pause path forgets
+        // that flush. Apply the blackout policy rather than servicing a
+        // paused vNF.
+        if let Some(until) = self.instances[index].paused_until {
+            if now < until {
+                self.hold_or_drop_for_blackout(staged, now, until);
                 return;
             }
-            ProcessOutcome::Accepted { finish, .. } => finish,
-        };
-        // Fixed pipeline latency is experienced by the packet but does not
-        // occupy the device (deep pipelines keep serving other packets), so
-        // it accumulates on the packet rather than delaying later hops'
-        // queueing.
-        in_flight.pipeline += self.instances[index].pipeline_latency();
+        }
 
-        // The vNF's own logic on the real packet bytes.
-        let instance = &mut self.instances[index];
-        let verdict = instance
-            .nf
-            .process(&mut in_flight.packet, &NfContext::at(finish));
-        instance.processed += 1;
-        in_flight.packet.record_hop();
-        if verdict == NfVerdict::Drop {
-            instance.policy_drops += 1;
-            self.drops_policy += 1;
+        // Device queueing + service on the hop's shared processor: the whole
+        // batch is offered back-to-back at the doorbell instant and the batch
+        // completes when its last accepted packet does. Fixed pipeline
+        // latency is experienced by each packet but does not occupy the
+        // device (deep pipelines keep serving other packets), so it
+        // accumulates on the packet rather than delaying later hops'
+        // queueing.
+        let device_kind = self.instances[index].device;
+        let pipeline_latency = self.instances[index].pipeline_latency();
+        let mut accepted = Vec::with_capacity(staged.len());
+        let mut batch_finish = now;
+        for mut in_flight in staged {
+            let size = in_flight.packet.size();
+            let service = self.instances[index].service_time(size);
+            let device = match device_kind {
+                Device::SmartNic => &mut self.nic,
+                Device::Cpu => &mut self.cpu,
+            };
+            match device.process(now, size, service) {
+                ProcessOutcome::Rejected => self.drops_overload += 1,
+                ProcessOutcome::Accepted { finish, .. } => {
+                    batch_finish = batch_finish.max(finish);
+                    in_flight.pipeline += pipeline_latency;
+                    accepted.push(in_flight);
+                }
+            }
+        }
+        if accepted.is_empty() {
+            return;
+        }
+
+        // The vNF's own logic on the real packet bytes, over the whole batch.
+        // This is the datapath's single NfContext construction: `now` is the
+        // device clock at batch service completion, shared by every packet of
+        // the batch (for a batch of one it is that packet's service finish).
+        let ctx = NfContext::at(batch_finish);
+        let (mut packets, pipelines): (Vec<Packet>, Vec<SimDuration>) =
+            accepted.into_iter().map(|f| (f.packet, f.pipeline)).unzip();
+        let verdicts = self.instances[index].nf.process_batch(&mut packets, &ctx);
+        self.instances[index].processed += packets.len() as u64;
+        let mut survivors = Vec::with_capacity(packets.len());
+        let mut policy_drops = 0u64;
+        for ((mut packet, pipeline), verdict) in packets.into_iter().zip(pipelines).zip(verdicts) {
+            packet.record_hop();
+            if verdict == NfVerdict::Drop {
+                policy_drops += 1;
+            } else {
+                survivors.push(InFlight {
+                    packet,
+                    hop: index + 1,
+                    pipeline,
+                });
+            }
+        }
+        self.instances[index].policy_drops += policy_drops;
+        self.drops_policy += policy_drops;
+        if survivors.is_empty() {
             return;
         }
 
         let current_side = device_kind.side();
         if index + 1 < self.instances.len() {
-            // Forward to the next hop, paying a crossing if it changes sides.
+            // Forward the surviving batch to the next hop, paying a single
+            // coalesced DMA burst if it changes sides.
             let next_side = self.instances[index + 1].device.side();
-            let mut arrival = finish;
+            let mut arrival = batch_finish;
             if current_side != next_side {
-                arrival = self.cross(finish, size, next_side);
-                in_flight.packet.record_crossing();
+                arrival = self.cross_burst(batch_finish, &mut survivors, next_side);
             }
-            in_flight.hop = index + 1;
             self.events
-                .schedule(arrival, RuntimeEvent::Packet(in_flight));
+                .schedule(arrival, RuntimeEvent::Batch(survivors));
         } else {
-            // Egress: pay a final crossing if the egress endpoint is on the
-            // other side, then record delivery.
+            // Egress: pay a final burst crossing if the egress endpoint is on
+            // the other side, then record deliveries in batch order.
             let egress_side = self.spec.egress.side();
-            let mut done = finish;
+            let mut done = batch_finish;
             if current_side != egress_side {
-                done = self.cross(finish, size, egress_side);
-                in_flight.packet.record_crossing();
+                done = self.cross_burst(batch_finish, &mut survivors, egress_side);
             }
-            let latency = done.duration_since(in_flight.packet.ingress_time) + in_flight.pipeline;
-            if let Some(log) = &mut self.egress_log {
-                log.push((in_flight.packet.id, in_flight.packet.flow_id().raw()));
+            for in_flight in survivors {
+                let size = in_flight.packet.size();
+                let latency =
+                    done.duration_since(in_flight.packet.ingress_time) + in_flight.pipeline;
+                if let Some(log) = &mut self.egress_log {
+                    log.push((in_flight.packet.id, in_flight.packet.flow_id().raw()));
+                }
+                self.delivered += 1;
+                self.delivered_bytes += size.as_bytes();
+                self.bytes_delivered_since_publish += size.as_bytes();
+                self.latency_total.record(latency);
+                self.latency_window.record(latency);
+                self.delivered_meter.record(size);
+                self.registry.record_latency(latency);
             }
-            self.delivered += 1;
-            self.delivered_bytes += size.as_bytes();
-            self.bytes_delivered_since_publish += size.as_bytes();
-            self.latency_total.record(latency);
-            self.latency_window.record(latency);
-            self.delivered_meter.record(size);
-            self.registry.record_latency(latency);
         }
     }
 
@@ -479,6 +623,28 @@ impl ChainRuntime {
             LinkDirection::CpuToNic
         };
         self.pcie.propagate(now, size, direction)
+    }
+
+    /// Crosses a whole batch towards `target_side` as one coalesced DMA
+    /// burst starting at `now`, recording the crossing on every packet, and
+    /// returns the burst's arrival time on the far side.
+    fn cross_burst(&mut self, now: SimTime, batch: &mut [InFlight], target_side: Side) -> SimTime {
+        let direction = if target_side == Side::Host {
+            LinkDirection::NicToCpu
+        } else {
+            LinkDirection::CpuToNic
+        };
+        let mut total = 0u64;
+        for in_flight in batch.iter_mut() {
+            total += in_flight.packet.size().as_bytes();
+            in_flight.packet.record_crossing();
+        }
+        self.pcie.propagate_burst(
+            now,
+            batch.len() as u64,
+            pam_types::ByteSize::bytes(total),
+            direction,
+        )
     }
 
     /// Convenience for tests and examples: submits a single packet and runs
@@ -669,6 +835,8 @@ impl ChainRuntime {
             packets_dropped: 0,
         };
         self.migrations.push(report.clone());
+        // After the report is recorded, so flushed-batch drops attribute to it.
+        self.flush_stage_for_pause(index, now, completed_at);
         Ok(report)
     }
 
@@ -819,6 +987,8 @@ impl ChainRuntime {
             rounds: pre_copy.rounds,
             packets_dropped: 0,
         });
+        // After the report is recorded, so flushed-batch drops attribute to it.
+        self.flush_stage_for_pause(index, now, completed_at);
     }
 
     /// True while a pre-copy migration is still iterating or any instance is
@@ -1378,6 +1548,199 @@ mod tests {
             Gbps::new(2.2),
         );
         assert_eq!(decision, direct);
+    }
+
+    #[test]
+    fn doorbell_timeout_adds_exactly_one_wait_per_hop_to_a_lone_packet() {
+        use crate::config::BatchConfig;
+
+        let run_one = |config: RuntimeConfig| {
+            let mut runtime = ChainRuntime::new(
+                ServiceChainSpec::figure1(),
+                &Placement::figure1_initial(),
+                config,
+            )
+            .unwrap();
+            let bytes = pam_wire::PacketBuilder::new()
+                .ports(1000, 80)
+                .transport(pam_wire::TransportKind::Tcp)
+                .total_len(512)
+                .build();
+            let packet = Packet::from_bytes(0, bytes, SimTime::ZERO);
+            match runtime.inject(SimTime::ZERO, packet) {
+                PacketOutcome::Delivered { latency } => latency,
+                other => panic!("expected delivery, got {other:?}"),
+            }
+        };
+
+        let unbatched = run_one(RuntimeConfig::evaluation_default());
+        // A batch that never fills: every hop holds the lone packet for the
+        // full doorbell timeout, nothing else changes.
+        let wait = SimDuration::from_micros(7);
+        let batched = run_one(
+            RuntimeConfig::evaluation_default().with_batch(BatchConfig::of(32).with_max_wait(wait)),
+        );
+        assert_eq!(
+            batched,
+            unbatched + wait * 4,
+            "four hops, one doorbell wait each"
+        );
+    }
+
+    #[test]
+    fn batch_closes_on_size_without_waiting_for_the_doorbell() {
+        use crate::config::BatchConfig;
+
+        // Two same-instant packets fill a max_batch=2 stage immediately; with
+        // an absurdly long doorbell timeout, low latency proves the size
+        // trigger closed the batch, not the timer.
+        let config = RuntimeConfig::evaluation_default()
+            .with_batch(BatchConfig::of(2).with_max_wait(SimDuration::from_millis(50)));
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let bytes = pam_wire::PacketBuilder::new()
+            .ports(1000, 80)
+            .transport(pam_wire::TransportKind::Tcp)
+            .total_len(512)
+            .build();
+        for id in 0..2u64 {
+            runtime.submit(
+                SimTime::ZERO,
+                Packet::from_bytes(id, bytes.clone(), SimTime::ZERO),
+            );
+        }
+        runtime.drain_until(SimTime::MAX);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.delivered, 2);
+        assert!(
+            outcome.p99_latency < SimDuration::from_millis(1),
+            "size-closed batches must not wait out the 50 ms doorbell: {}",
+            outcome.p99_latency
+        );
+    }
+
+    #[test]
+    fn batching_coalesces_crossings_into_fewer_dma_bursts() {
+        let run = |max_batch: usize| {
+            let mut runtime = ChainRuntime::new(
+                ServiceChainSpec::figure1(),
+                &Placement::figure1_initial(),
+                RuntimeConfig::evaluation_default().with_max_batch(max_batch),
+            )
+            .unwrap();
+            let mut t = trace(1.5, 5, 21);
+            runtime.run_to_completion(&mut t);
+            (runtime.outcome(), runtime.pcie_stats())
+        };
+
+        let (unbatched, single) = run(1);
+        let (batched, coalesced) = run(8);
+        // Per-packet crossing counts are batch-invariant (three per packet on
+        // the figure-1 placement)...
+        assert_eq!(unbatched.pcie_crossings, 3 * unbatched.delivered);
+        assert_eq!(batched.pcie_crossings, 3 * batched.delivered);
+        assert_eq!(single.dma_bursts, single.total_crossings());
+        // ...but the batched datapath rings far fewer doorbells.
+        assert!(
+            coalesced.dma_bursts * 2 < coalesced.total_crossings(),
+            "{} bursts for {} crossings",
+            coalesced.dma_bursts,
+            coalesced.total_crossings()
+        );
+        // Same traffic delivered (the horizon-tail packets still drain on
+        // run_to_completion), per-flow totals checked by the differential
+        // integration suite.
+        assert_eq!(batched.injected, unbatched.injected);
+        assert_eq!(batched.delivered, unbatched.delivered);
+        assert_eq!(batched.drops_overload + batched.drops_policy, 0);
+    }
+
+    #[test]
+    fn pause_flushes_the_open_batch_ahead_of_blackout_arrivals() {
+        // A packet staged before the pause and a same-flow packet arriving
+        // during the blackout must egress in arrival order: migration
+        // flushes the open batch the moment it pauses, so the held packet
+        // re-fires at the blackout end *before* the later arrival
+        // (equal-time events pop in scheduling order). Letting the doorbell
+        // fire mid-blackout instead would re-queue it behind the later
+        // packet and reorder the flow.
+        let spec = ServiceChainSpec::new(
+            "mon-only",
+            Endpoint::Wire,
+            Endpoint::Host,
+            vec![pam_nf::NfKind::Monitor],
+        );
+        let placement = Placement::all_on(Device::SmartNic, 1);
+        let config = RuntimeConfig::evaluation_default().with_max_batch(8);
+        let mut runtime = ChainRuntime::new(spec, &placement, config).unwrap();
+        runtime.record_egress();
+        let bytes = pam_wire::PacketBuilder::new()
+            .ports(1000, 80)
+            .transport(pam_wire::TransportKind::Tcp)
+            .total_len(256)
+            .build();
+        // Packet 1 arrives at t=0 and stages (its doorbell would ring at the
+        // 5 us timeout)...
+        runtime.submit(
+            SimTime::ZERO,
+            Packet::from_bytes(1, bytes.clone(), SimTime::ZERO),
+        );
+        runtime.drain_until(SimTime::from_micros(2));
+        // ...the monitor migrates at t=2 us (the blackout outlives the
+        // doorbell timeout by far)...
+        runtime
+            .live_migrate(NfId::new(0), Device::Cpu, SimTime::from_micros(2))
+            .unwrap();
+        // ...and packet 2 of the same flow arrives mid-blackout at t=3 us.
+        runtime.submit(
+            SimTime::from_micros(3),
+            Packet::from_bytes(2, bytes, SimTime::from_micros(3)),
+        );
+        runtime.drain_until(SimTime::MAX);
+        let ids: Vec<u64> = runtime.egress_log().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2], "pre-pause packet must egress first");
+        assert_eq!(
+            runtime.outcome().drops_migration,
+            0,
+            "blackout fits the bound"
+        );
+    }
+
+    #[test]
+    fn batched_migration_still_converges_and_preserves_traffic() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+
+        let config = RuntimeConfig::evaluation_default()
+            .with_max_batch(8)
+            .with_migration(MigrationConfig {
+                mode: MigrationMode::PreCopy,
+                max_precopy_rounds: 8,
+                convergence_flows: 16,
+            });
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let mut t = trace(1.5, 20, 4);
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.migrations.len(), 1, "handover completed");
+        assert_eq!(outcome.migrations[0].mode, MigrationMode::PreCopy);
+        assert!(outcome.delivered > 0);
+        assert_eq!(
+            runtime.placement().device_of(NfId::new(2)).unwrap(),
+            Device::Cpu
+        );
     }
 
     #[test]

@@ -6,6 +6,71 @@ use pam_types::{ByteSize, SimDuration};
 
 use crate::migration::{MigrationConfig, MigrationMode};
 
+/// Doorbell batching knobs of the [`crate::ChainRuntime`] datapath.
+///
+/// Each chain hop stages arriving packets into an open batch and rings the
+/// device's doorbell — one batch service event, one coalesced PCIe DMA burst
+/// towards the next hop — when either bound is hit:
+///
+/// * **size**: the batch reaches [`BatchConfig::max_batch`] packets, or
+/// * **timeout**: [`BatchConfig::max_wait`] elapses after the first packet of
+///   the batch arrived (so a lone packet is never held hostage).
+///
+/// `max_batch = 1` (the default) disables staging entirely: every packet is
+/// serviced the instant it arrives and crosses PCIe alone, reproducing the
+/// unbatched datapath event-for-event — the committed `BENCH_baseline.json`
+/// is pinned to this setting. `max_batch > 1` trades a bounded added wait
+/// (≤ `max_wait` per hop) for `1/batch` of the per-packet DMA setups (see
+/// [`pam_sim::PcieLink::propagate_burst`]) and amortised vNF work (see
+/// [`pam_nf::NetworkFunction::process_batch`]), which is also what makes the
+/// simulator itself measurably faster on heavy small-packet workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum packets per batch; the doorbell rings when a hop's open batch
+    /// reaches this size. `1` disables batching (and is the baseline mode).
+    pub max_batch: usize,
+    /// Maximum time the first packet of a batch may wait before the doorbell
+    /// rings regardless of batch size (the latency bound of batching).
+    pub max_wait: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::unbatched()
+    }
+}
+
+impl BatchConfig {
+    /// The unbatched datapath: one packet per service event, one DMA per
+    /// packet. This is the configuration every baseline number is pinned to.
+    pub const fn unbatched() -> Self {
+        BatchConfig {
+            max_batch: 1,
+            max_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// A batched datapath closing at `max_batch` packets or after the
+    /// default 5 µs doorbell timeout, whichever comes first.
+    pub fn of(max_batch: usize) -> Self {
+        BatchConfig {
+            max_batch: max_batch.max(1),
+            max_wait: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Overrides the doorbell timeout.
+    pub const fn with_max_wait(mut self, max_wait: SimDuration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// True when staging is enabled (`max_batch > 1`).
+    pub fn is_batched(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
 /// Configuration of a [`crate::ChainRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -32,6 +97,8 @@ pub struct RuntimeConfig {
     /// Live-migration engine knobs: transfer mode, pre-copy round cap and
     /// convergence bound.
     pub migration: MigrationConfig,
+    /// Datapath doorbell-batching knobs (defaults to unbatched).
+    pub batch: BatchConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +113,7 @@ impl Default for RuntimeConfig {
             migration_buffer_bound: SimDuration::from_millis(2),
             state_overhead_per_flow: ByteSize::bytes(64),
             migration: MigrationConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -80,6 +148,23 @@ impl RuntimeConfig {
         self.migration.mode = mode;
         self
     }
+
+    /// Overrides the datapath batching knobs.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Selects a doorbell batch size with the default timeout, keeping every
+    /// other knob at its current value (`1` restores the unbatched baseline).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.batch = if max_batch <= 1 {
+            BatchConfig::unbatched()
+        } else {
+            BatchConfig::of(max_batch)
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +197,31 @@ mod tests {
                 .load_factor,
             1.0
         );
+    }
+
+    #[test]
+    fn batch_builders_and_defaults() {
+        let config = RuntimeConfig::default();
+        assert_eq!(config.batch, BatchConfig::unbatched());
+        assert!(!config.batch.is_batched());
+        assert_eq!(config.batch.max_batch, 1);
+
+        let batched = RuntimeConfig::default().with_max_batch(8);
+        assert!(batched.batch.is_batched());
+        assert_eq!(batched.batch.max_batch, 8);
+        assert_eq!(batched.batch.max_wait, SimDuration::from_micros(5));
+
+        // Degenerate sizes collapse to the unbatched baseline.
+        assert_eq!(
+            RuntimeConfig::default().with_max_batch(0).batch,
+            BatchConfig::unbatched()
+        );
+        assert_eq!(BatchConfig::of(0).max_batch, 1);
+
+        let tuned = BatchConfig::of(16).with_max_wait(SimDuration::from_micros(50));
+        assert_eq!(tuned.max_wait, SimDuration::from_micros(50));
+        let config = RuntimeConfig::default().with_batch(tuned);
+        assert_eq!(config.batch, tuned);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! different devices, and supports *live migration* of a vNF between devices
 //! with OpenNF/UNO-style state transfer while traffic keeps flowing.
 //!
-//! * [`RuntimeConfig`] — device, PCIe, measurement and migration-engine
-//!   configuration ([`MigrationConfig`]).
+//! * [`RuntimeConfig`] — device, PCIe, measurement, migration-engine
+//!   ([`MigrationConfig`]) and doorbell-batching ([`BatchConfig`])
+//!   configuration.
 //! * [`ChainRuntime`] — the simulation itself (`run_until`, `live_migrate`,
-//!   metrics publication).
+//!   metrics publication), servicing packets in doorbell batches and
+//!   coalescing PCIe crossings into DMA bursts when `max_batch > 1`.
 //! * [`migration`] — the live-migration engine's types: stop-and-copy vs
 //!   iterative pre-copy ([`MigrationMode`]), per-round accounting
 //!   ([`MigrationRound`]) and pre-execution cost estimates
@@ -30,7 +32,7 @@ pub mod migration;
 
 pub use capacity_probe::{probe_capacity, CapacityProbeResult};
 pub use chain::{ChainRuntime, PacketOutcome, RunOutcome};
-pub use config::RuntimeConfig;
+pub use config::{BatchConfig, RuntimeConfig};
 pub use instance::VnfInstance;
 pub use migration::{
     state_transfer_size, MigrationConfig, MigrationEstimate, MigrationMode, MigrationReport,

@@ -1,0 +1,182 @@
+//! Differential test: the batched datapath must change *when* packets move,
+//! never *what* happens to them. A `batch=N` run over the same seeded trace
+//! as a `batch=1` run must produce identical per-flow NF end states (monitor
+//! counters, NAT bindings and port cursor) and identical per-flow egress
+//! order — batching may reorder packets of *different* flows (they share a
+//! doorbell batch) but never packets of the same flow.
+//!
+//! The trace is sized so no run drops anything: then every packet reaches
+//! every NF at every batch size and the only batch-dependent observable is
+//! timing, which the comparisons deliberately project out (timestamps are
+//! latency).
+
+use pam::core::Placement;
+use pam::nf::{NfKind, ServiceChainSpec};
+use pam::runtime::{ChainRuntime, MigrationMode, RunOutcome, RuntimeConfig};
+use pam::traffic::{
+    ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TraceSynthesizer,
+    TrafficSchedule,
+};
+use pam::types::{Device, Endpoint, Gbps, NfId, SimDuration, SimTime};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Monitor → NAT on the SmartNIC, as in the migration differential suite;
+/// optionally the monitor migrates to the CPU mid-run so the batched path is
+/// also exercised across a blackout and handover.
+fn run_batched(max_batch: usize, migrate: bool) -> (ChainRuntime, RunOutcome) {
+    let spec = ServiceChainSpec::new(
+        "monitor-nat",
+        Endpoint::Wire,
+        Endpoint::Host,
+        vec![NfKind::Monitor, NfKind::Nat],
+    );
+    let placement = Placement::all_on(Device::SmartNic, 2);
+    let config = RuntimeConfig::evaluation_default()
+        .with_migration_mode(MigrationMode::PreCopy)
+        .with_max_batch(max_batch);
+    let mut runtime = ChainRuntime::new(spec, &placement, config).unwrap();
+    runtime.record_egress();
+    let mut trace = TraceSynthesizer::new(TraceConfig {
+        sizes: PacketSizeProfile::paper_sweep(),
+        flows: FlowGeneratorConfig {
+            flow_count: 600,
+            zipf_exponent: 1.0,
+            tcp_fraction: 0.8,
+        },
+        arrival: ArrivalProcess::Cbr,
+        schedule: TrafficSchedule::constant(Gbps::new(1.2), SimDuration::from_millis(8)),
+        seed: 2018,
+    });
+    if migrate {
+        runtime.run_until(&mut trace, SimTime::from_millis(3));
+        runtime
+            .live_migrate(NfId::new(0), Device::Cpu, runtime.now())
+            .unwrap();
+    }
+    runtime.run_to_completion(&mut trace);
+    let outcome = runtime.outcome();
+    (runtime, outcome)
+}
+
+fn uint(value: &Value) -> u64 {
+    match value {
+        Value::Number(n) => n.as_u64().expect("non-negative integer"),
+        other => panic!("expected a number, got {}", other.kind()),
+    }
+}
+
+/// The monitor's batch-invariant projection: sorted (flow, packets, bytes).
+fn monitor_rows(runtime: &ChainRuntime) -> Vec<(u64, u64, u64)> {
+    let state = runtime.instances()[0].nf.export_state();
+    let object = state.data.as_object().unwrap();
+    let mut rows: Vec<(u64, u64, u64)> = object
+        .get("flows")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let entry = pair.as_array().unwrap();
+            let stats = entry[1].as_object().unwrap();
+            (
+                uint(&entry[0]),
+                uint(stats.get("packets").unwrap()),
+                uint(stats.get("bytes").unwrap()),
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// The NAT's end state is already timestamp-free: compare it byte for byte.
+fn nat_state_json(runtime: &ChainRuntime) -> String {
+    serde_json::to_string(&runtime.instances()[1].nf.export_state()).unwrap()
+}
+
+/// The egress log projected per flow: for each flow, the packet ids in
+/// delivery order. Batching may interleave flows differently but must keep
+/// every flow's own sequence intact and identical across batch sizes.
+fn per_flow_egress(runtime: &ChainRuntime) -> BTreeMap<u64, Vec<u64>> {
+    let mut flows: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (id, flow) in runtime.egress_log() {
+        flows.entry(*flow).or_default().push(*id);
+    }
+    flows
+}
+
+fn assert_no_drops(name: &str, outcome: &RunOutcome) {
+    assert_eq!(outcome.drops_overload, 0, "{name}: overload drops");
+    assert_eq!(outcome.drops_policy, 0, "{name}: policy drops");
+    assert_eq!(outcome.drops_migration, 0, "{name}: migration drops");
+    assert_eq!(outcome.injected, outcome.delivered, "{name}: lost packets");
+}
+
+#[test]
+fn batch_sizes_agree_on_per_flow_nf_end_states_and_egress_order() {
+    let (baseline_runtime, baseline) = run_batched(1, false);
+    assert_no_drops("batch=1", &baseline);
+    let reference_rows = monitor_rows(&baseline_runtime);
+    let reference_nat = nat_state_json(&baseline_runtime);
+    let reference_egress = per_flow_egress(&baseline_runtime);
+    assert!(reference_rows.len() > 100, "trace exercises many flows");
+
+    for max_batch in [2usize, 8, 32] {
+        let (runtime, outcome) = run_batched(max_batch, false);
+        assert_no_drops(&format!("batch={max_batch}"), &outcome);
+        assert_eq!(outcome.injected, baseline.injected);
+        assert_eq!(
+            monitor_rows(&runtime),
+            reference_rows,
+            "batch={max_batch}: monitor per-flow counters diverged"
+        );
+        assert_eq!(
+            nat_state_json(&runtime),
+            reference_nat,
+            "batch={max_batch}: NAT bindings diverged"
+        );
+        assert_eq!(
+            per_flow_egress(&runtime),
+            reference_egress,
+            "batch={max_batch}: per-flow egress order diverged"
+        );
+    }
+}
+
+#[test]
+fn batched_runs_agree_across_a_live_migration() {
+    let (baseline_runtime, baseline) = run_batched(1, true);
+    let (batched_runtime, batched) = run_batched(8, true);
+    for (name, outcome) in [("batch=1", &baseline), ("batch=8", &batched)] {
+        assert_no_drops(name, outcome);
+        assert_eq!(outcome.migrations.len(), 1, "{name}: one migration");
+    }
+    assert_eq!(
+        monitor_rows(&baseline_runtime),
+        monitor_rows(&batched_runtime)
+    );
+    assert_eq!(
+        nat_state_json(&baseline_runtime),
+        nat_state_json(&batched_runtime)
+    );
+    assert_eq!(
+        per_flow_egress(&baseline_runtime),
+        per_flow_egress(&batched_runtime)
+    );
+}
+
+#[test]
+fn batched_replay_is_deterministic() {
+    // Two identical batched runs must agree on everything observable, down
+    // to the exact egress interleaving and latency percentiles.
+    let (a_runtime, a) = run_batched(8, true);
+    let (b_runtime, b) = run_batched(8, true);
+    assert_eq!(a_runtime.egress_log(), b_runtime.egress_log());
+    assert_eq!(a.injected, b.injected);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.mean_latency, b.mean_latency);
+    assert_eq!(a.p50_latency, b.p50_latency);
+    assert_eq!(a.p99_latency, b.p99_latency);
+    assert_eq!(a.pcie_crossings, b.pcie_crossings);
+}

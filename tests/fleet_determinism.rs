@@ -36,6 +36,43 @@ fn every_scenario_replays_byte_identically_with_pre_copy() {
 }
 
 #[test]
+fn every_scenario_replays_byte_identically_with_a_batched_datapath() {
+    for kind in FleetScenarioKind::ALL {
+        let run = || {
+            let scenario = FleetScenario::new(kind, 2)
+                .with_mode(MigrationMode::PreCopy)
+                .with_batch(8);
+            let report = scenario.run(StrategyKind::Pam).expect("scenario runs");
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "{kind} diverged between identical batched runs"
+        );
+    }
+}
+
+#[test]
+fn batch_size_changes_the_report_but_batch_one_is_the_baseline() {
+    let kind = FleetScenarioKind::RollingHotspot;
+    let unbatched = FleetScenario::new(kind, 2);
+    let baseline = serde_json::to_string(&unbatched.run(StrategyKind::Pam).unwrap()).unwrap();
+    // batch=1 is the identity knob...
+    let batch1 = unbatched.with_batch(1);
+    assert_eq!(
+        baseline,
+        serde_json::to_string(&batch1.run(StrategyKind::Pam).unwrap()).unwrap()
+    );
+    // ...and batch=8 is a genuinely different (but self-consistent) datapath.
+    let batch8 = unbatched.with_batch(8);
+    assert_ne!(
+        baseline,
+        serde_json::to_string(&batch8.run(StrategyKind::Pam).unwrap()).unwrap()
+    );
+}
+
+#[test]
 fn migration_modes_produce_distinct_but_self_consistent_reports() {
     // The modes must actually change the metrics (blackout accounting), and
     // each must replay exactly.
