@@ -9,10 +9,19 @@
 //!                                           # exit 1 on regression
 //! fleet_bench --tolerance 0.25              # relative tolerance band
 //! fleet_bench --servers 4                   # fleet size (default 4)
+//! fleet_bench --jobs 4                      # run matrix cells on N worker
+//!                                           # threads (default: available
+//!                                           # parallelism); the JSON is
+//!                                           # byte-identical at any N
+//! fleet_bench --timings timings.json        # write per-cell wall-clock and
+//!                                           # events/sec to a separate JSON
+//!                                           # (kept out of the main output
+//!                                           # so it stays deterministic)
 //! fleet_bench --summary summary.md          # write a markdown summary
-//!                                           # (gate table + datapath
-//!                                           # throughput sweep) — CI appends
-//!                                           # it to $GITHUB_STEP_SUMMARY
+//!                                           # (gate table + simulator
+//!                                           # throughput + datapath sweep) —
+//!                                           # CI appends it to
+//!                                           # $GITHUB_STEP_SUMMARY
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
@@ -28,7 +37,8 @@ use std::time::Instant;
 
 use pam_core::StrategyKind;
 use pam_experiments::fleet::{
-    run_fleet_matrix, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+    run_fleet_matrix_jobs, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+    MatrixTimings,
 };
 
 /// Relative tolerance band the gate allows before calling a change a
@@ -44,8 +54,17 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     summary: Option<String>,
+    timings: Option<String>,
     tolerance: f64,
     servers: usize,
+    jobs: usize,
+}
+
+/// The default worker-thread count: the machine's available parallelism.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,8 +72,10 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         check: None,
         summary: None,
+        timings: None,
         tolerance: DEFAULT_TOLERANCE,
         servers: 4,
+        jobs: default_jobs(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -63,6 +84,13 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--check" => args.check = Some(value("--check")?),
             "--summary" => args.summary = Some(value("--summary")?),
+            "--timings" => args.timings = Some(value("--timings")?),
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -308,6 +336,49 @@ fn render_gate_markdown(
     md
 }
 
+/// Renders the simulator-throughput measurements (per-cell wall-clock and
+/// events/second, plus the matrix total) as a markdown table. Wall-clock
+/// numbers are machine-dependent: they are reported for reading, never
+/// gated, and never part of the deterministic benchmark JSON.
+fn render_simulator_throughput_markdown(timings: &MatrixTimings) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Simulator throughput — {} cells on {} thread(s), {:.0} ms total\n",
+        timings.cells.len(),
+        timings.jobs,
+        timings.total_wall_ms
+    );
+    let _ = writeln!(
+        md,
+        "{} simulated events in total — {:.2}M events/s aggregate. Slowest cells:",
+        timings.total_events,
+        timings.total_events as f64 / timings.total_wall_ms / 1e3,
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| scenario | strategy | mode | batch | wall ms | events | events/s |"
+    );
+    let _ = writeln!(md, "|---|---|---|---:|---:|---:|---:|");
+    let mut slowest: Vec<&pam_experiments::fleet::CellTiming> = timings.cells.iter().collect();
+    slowest.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+    for cell in slowest.into_iter().take(8) {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {:.1} | {} | {:.0} |",
+            cell.scenario,
+            cell.strategy,
+            cell.migration_mode,
+            cell.batch,
+            cell.wall_ms,
+            cell.events,
+            cell.events_per_sec
+        );
+    }
+    md
+}
+
 /// Renders the datapath-throughput sweep as a markdown table.
 fn render_throughput_markdown(points: &[ThroughputPoint]) -> String {
     let mut md = String::new();
@@ -360,19 +431,34 @@ fn main() -> ExitCode {
             eprintln!("fleet_bench: {e}");
             eprintln!(
                 "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
-                 [--tolerance F] [--servers N]"
+                 [--timings PATH] [--tolerance F] [--servers N] [--jobs N]"
             );
             return ExitCode::FAILURE;
         }
     };
 
-    let output = match run_fleet_matrix(args.servers) {
+    let (output, timings) = match run_fleet_matrix_jobs(args.servers, args.jobs) {
         Ok(output) => output,
         Err(e) => {
             eprintln!("fleet_bench: matrix failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    eprintln!(
+        "fleet_bench: {} cells on {} thread(s) in {:.1} ms ({:.2}M events/s aggregate)",
+        timings.cells.len(),
+        timings.jobs,
+        timings.total_wall_ms,
+        timings.total_events as f64 / timings.total_wall_ms / 1e3,
+    );
+
+    if let Some(path) = &args.timings {
+        let json = serde_json::to_string(&timings).expect("timings serialize");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("fleet_bench: writing timings {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let json = serde_json::to_string(&output).expect("report serializes");
 
     if let Some(path) = &args.out {
@@ -410,6 +496,8 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.summary {
         let mut md = render_gate_markdown(baseline.as_ref(), &output, args.tolerance);
+        md.push('\n');
+        md.push_str(&render_simulator_throughput_markdown(&timings));
         md.push('\n');
         md.push_str(&render_throughput_markdown(&throughput_sweep(args.servers)));
         if let Err(e) = std::fs::write(path, md) {

@@ -256,9 +256,17 @@ impl FleetScenario {
 
     /// Runs the scenario to its horizon and returns the fleet's report.
     pub fn run(&self, strategy: StrategyKind) -> Result<FleetReport> {
+        Ok(self.run_with_stats(strategy)?.0)
+    }
+
+    /// Runs the scenario and additionally returns the total number of
+    /// discrete events the run scheduled (deterministic; feeds the
+    /// events/second throughput figures of `fleet_bench --timings`).
+    pub fn run_with_stats(&self, strategy: StrategyKind) -> Result<(FleetReport, u64)> {
         let mut fleet = self.build_fleet(strategy)?;
         fleet.run(self.horizon());
-        Ok(fleet.report())
+        let events = fleet.events_scheduled();
+        Ok((fleet.report(), events))
     }
 }
 
@@ -308,34 +316,166 @@ pub const FLEET_BENCH_MODES: [MigrationMode; 2] =
 /// datapath.
 pub const FLEET_BENCH_BATCHES: [u32; 2] = [1, 8];
 
-/// Runs the full scenario × migration-mode × batch × strategy matrix with
-/// the stable benchmark seed.
-pub fn run_fleet_matrix(servers: usize) -> Result<FleetBenchOutput> {
-    let mut results = Vec::new();
+/// Per-cell simulator-throughput measurement of one matrix run: how long the
+/// cell took on the wall clock and how many discrete events it scheduled.
+/// `events` is deterministic; `wall_ms` (and therefore `events_per_sec`) is
+/// machine-dependent, which is why timings live *next to* the benchmark
+/// output (`fleet_bench --timings`), never inside it — the main JSON must
+/// stay byte-identical across runs, thread counts and machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Scenario name of the cell.
+    pub scenario: String,
+    /// Strategy name of the cell.
+    pub strategy: String,
+    /// Migration mode of the cell.
+    pub migration_mode: String,
+    /// Doorbell batch size of the cell.
+    pub batch: u32,
+    /// Wall-clock time of the cell run, milliseconds.
+    pub wall_ms: f64,
+    /// Discrete events the run scheduled (deterministic).
+    pub events: u64,
+    /// Simulator throughput of the cell: `events / wall seconds`.
+    pub events_per_sec: f64,
+}
+
+/// The simulator-throughput side channel of one matrix run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixTimings {
+    /// Worker threads the matrix ran on.
+    pub jobs: usize,
+    /// End-to-end wall clock of the whole matrix, milliseconds.
+    pub total_wall_ms: f64,
+    /// Sum of all cells' events (deterministic).
+    pub total_events: u64,
+    /// Per-cell measurements, in canonical matrix order.
+    pub cells: Vec<CellTiming>,
+}
+
+/// One finished matrix cell: its benchmark entry plus its timing.
+type CellOutcome = Result<(FleetBenchEntry, CellTiming)>;
+
+/// The canonical matrix coordinates, in output order.
+fn matrix_cells() -> Vec<(FleetScenarioKind, MigrationMode, u32, StrategyKind)> {
+    let mut cells = Vec::new();
     for kind in FleetScenarioKind::ALL {
         for mode in FLEET_BENCH_MODES {
             for batch in FLEET_BENCH_BATCHES {
-                let scenario = FleetScenario::new(kind, servers)
-                    .with_mode(mode)
-                    .with_batch(batch);
                 for strategy in FLEET_BENCH_STRATEGIES {
-                    results.push(FleetBenchEntry {
-                        scenario: kind.name().to_string(),
-                        strategy: strategy.build().name().to_string(),
-                        migration_mode: mode.name().to_string(),
-                        batch,
-                        report: scenario.run(strategy)?,
-                    });
+                    cells.push((kind, mode, batch, strategy));
                 }
             }
         }
     }
-    Ok(FleetBenchOutput {
-        version: 3,
-        servers,
-        seed: DEFAULT_FLEET_SEED,
-        results,
-    })
+    cells
+}
+
+/// Runs one matrix cell, returning its entry and timing.
+fn run_cell(
+    servers: usize,
+    (kind, mode, batch, strategy): (FleetScenarioKind, MigrationMode, u32, StrategyKind),
+) -> CellOutcome {
+    let scenario = FleetScenario::new(kind, servers)
+        .with_mode(mode)
+        .with_batch(batch);
+    let start = std::time::Instant::now();
+    let (report, events) = scenario.run_with_stats(strategy)?;
+    let wall = start.elapsed().as_secs_f64();
+    let entry = FleetBenchEntry {
+        scenario: kind.name().to_string(),
+        strategy: strategy.build().name().to_string(),
+        migration_mode: mode.name().to_string(),
+        batch,
+        report,
+    };
+    let timing = CellTiming {
+        scenario: entry.scenario.clone(),
+        strategy: entry.strategy.clone(),
+        migration_mode: entry.migration_mode.clone(),
+        batch,
+        wall_ms: wall * 1e3,
+        events,
+        events_per_sec: if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        },
+    };
+    Ok((entry, timing))
+}
+
+/// Runs the full scenario × migration-mode × batch × strategy matrix with
+/// the stable benchmark seed, single-threaded.
+pub fn run_fleet_matrix(servers: usize) -> Result<FleetBenchOutput> {
+    Ok(run_fleet_matrix_jobs(servers, 1)?.0)
+}
+
+/// Runs the full matrix across `jobs` worker threads.
+///
+/// Every cell is an independent, fully seeded simulation, so cells execute
+/// concurrently without sharing any state; workers claim cells from an
+/// atomic cursor (deterministic *work list*, racy *assignment*) and write
+/// results into the cell's own slot. The output is assembled in canonical
+/// matrix order afterwards, so the `FleetBenchOutput` — and its serialized
+/// JSON — is byte-identical for every `jobs` value, which CI pins by
+/// diffing `--jobs 1` against `--jobs 4` runs. Timings are returned
+/// separately (wall-clock is the one machine-dependent number).
+pub fn run_fleet_matrix_jobs(
+    servers: usize,
+    jobs: usize,
+) -> Result<(FleetBenchOutput, MatrixTimings)> {
+    let started = std::time::Instant::now();
+    let cells = matrix_cells();
+    let jobs = jobs.max(1).min(cells.len());
+    let mut slots: Vec<Option<CellOutcome>> = Vec::new();
+    if jobs == 1 {
+        slots.extend(cells.iter().map(|&cell| Some(run_cell(servers, cell))));
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<std::sync::Mutex<Option<CellOutcome>>> =
+            cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&cell) = cells.get(index) else {
+                        break;
+                    };
+                    let outcome = run_cell(servers, cell);
+                    *results[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+                });
+            }
+        });
+        slots.extend(
+            results
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner())),
+        );
+    }
+
+    let mut entries = Vec::with_capacity(slots.len());
+    let mut timings = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (entry, timing) = slot.expect("every cell was claimed and run")?;
+        entries.push(entry);
+        timings.push(timing);
+    }
+    let total_events = timings.iter().map(|t| t.events).sum();
+    Ok((
+        FleetBenchOutput {
+            version: 3,
+            servers,
+            seed: DEFAULT_FLEET_SEED,
+            results: entries,
+        },
+        MatrixTimings {
+            jobs,
+            total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            total_events,
+            cells: timings,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -477,6 +617,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The parallel-runner tentpole's fidelity criterion: the matrix output
+    /// must be byte-identical at every thread count — same cells, same
+    /// order, same numbers — and the per-cell event counts (the
+    /// deterministic half of the timings side channel) must agree too.
+    #[test]
+    fn parallel_matrix_is_byte_identical_to_serial() {
+        let (serial, serial_timings) = run_fleet_matrix_jobs(2, 1).unwrap();
+        let (parallel, parallel_timings) = run_fleet_matrix_jobs(2, 4).unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "matrix JSON must not depend on the thread count"
+        );
+        assert_eq!(serial_timings.cells.len(), 48);
+        assert_eq!(parallel_timings.cells.len(), 48);
+        assert_eq!(serial_timings.jobs, 1);
+        assert_eq!(parallel_timings.jobs, 4);
+        let serial_events: Vec<u64> = serial_timings.cells.iter().map(|c| c.events).collect();
+        let parallel_events: Vec<u64> = parallel_timings.cells.iter().map(|c| c.events).collect();
+        assert_eq!(
+            serial_events, parallel_events,
+            "event counts are deterministic"
+        );
+        assert!(serial_timings.total_events > 0);
+        assert!(serial_timings.cells.iter().all(|c| c.events > 0));
     }
 
     /// The tentpole's fidelity criterion: batch=1 must be *exactly* the

@@ -220,6 +220,19 @@ impl Fleet {
         self.scale_ins
     }
 
+    /// Total discrete events scheduled across the fleet: the controller's own
+    /// queue (arrivals, control ticks) plus every server runtime's data-plane
+    /// queue. Deterministic for a given scenario, so it doubles as the
+    /// denominator of the simulator's events/second throughput figure.
+    pub fn events_scheduled(&self) -> u64 {
+        self.events.scheduled_total()
+            + self
+                .servers
+                .iter()
+                .map(|s| s.runtime().events_scheduled())
+                .sum::<u64>()
+    }
+
     /// Runs the fleet until `until`, interleaving every server's home
     /// arrivals and the control ticks through the single event queue.
     /// Returns the number of control ticks run.

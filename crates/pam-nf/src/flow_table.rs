@@ -14,11 +14,13 @@
 //! table exactly — including its insertion order, so later evictions behave
 //! identically after the handover.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use pam_types::FlowId;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+
+use crate::fastmap::{FlowMap, FlowSet};
 
 /// The delta exported by [`FlowTable::export_dirty`]: flows removed since the
 /// last dirty-clear (in sorted key order, deterministic) and the current
@@ -39,16 +41,20 @@ pub struct FlowTableStats {
 }
 
 /// A bounded flow-keyed table with FIFO eviction.
+///
+/// The entry store and the dirty set are fixed-key FxHash open-addressing
+/// containers (see [`crate::fastmap`]): the per-packet lookup is the hottest
+/// simulator path, and SipHash was its single largest cost. Export order
+/// comes from `order`, never from either hash container, so the swap is
+/// byte-invisible to state migration and the benchmark baselines.
 #[derive(Debug, Clone)]
 pub struct FlowTable<V> {
-    entries: HashMap<u64, V>,
+    entries: FlowMap<V>,
     order: VecDeque<u64>,
     capacity: usize,
     stats: FlowTableStats,
     /// Flows inserted or mutated since the last [`FlowTable::clear_dirty`].
-    /// Export order comes from `order`, so the set type never leaks into
-    /// anything observable.
-    dirty: HashSet<u64>,
+    dirty: FlowSet,
     /// Flows evicted/removed since the last [`FlowTable::clear_dirty`]
     /// (sorted so delta exports are deterministic).
     dead: BTreeSet<u64>,
@@ -58,11 +64,11 @@ impl<V> FlowTable<V> {
     /// Creates a table bounded to `capacity` entries (zero = unbounded).
     pub fn new(capacity: usize) -> Self {
         FlowTable {
-            entries: HashMap::new(),
+            entries: FlowMap::new(),
             order: VecDeque::new(),
             capacity,
             stats: FlowTableStats::default(),
-            dirty: HashSet::new(),
+            dirty: FlowSet::new(),
             dead: BTreeSet::new(),
         }
     }
@@ -85,7 +91,7 @@ impl<V> FlowTable<V> {
     /// Looks up a flow for mutation (counts hit/miss and conservatively marks
     /// the flow dirty — callers take `&mut V`, so the entry may change).
     pub fn get_mut(&mut self, flow: FlowId) -> Option<&mut V> {
-        let found = self.entries.get_mut(&flow.raw());
+        let found = self.entries.get_mut(flow.raw());
         if found.is_some() {
             self.stats.hits += 1;
             self.dirty.insert(flow.raw());
@@ -99,7 +105,7 @@ impl<V> FlowTable<V> {
     /// mark the flow dirty (for vNFs whose entries are write-once, like NAT
     /// bindings, so pre-copy deltas stay small).
     pub fn lookup(&mut self, flow: FlowId) -> Option<&V> {
-        let found = self.entries.get(&flow.raw());
+        let found = self.entries.get(flow.raw());
         if found.is_some() {
             self.stats.hits += 1;
         } else {
@@ -110,14 +116,14 @@ impl<V> FlowTable<V> {
 
     /// Looks up a flow without mutating statistics.
     pub fn peek(&self, flow: FlowId) -> Option<&V> {
-        self.entries.get(&flow.raw())
+        self.entries.get(flow.raw())
     }
 
     /// Returns the entry for `flow`, inserting the value produced by `make`
     /// if absent (evicting the oldest entry when at capacity).
     pub fn entry_or_insert_with(&mut self, flow: FlowId, make: impl FnOnce() -> V) -> &mut V {
         let key = flow.raw();
-        if self.entries.contains_key(&key) {
+        if self.entries.contains(key) {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
@@ -133,16 +139,16 @@ impl<V> FlowTable<V> {
         // "remove, then append", which reproduces the source's insertion
         // order on the migration target.
         self.dirty.insert(key);
-        self.entries.get_mut(&key).expect("entry was just ensured")
+        self.entries.get_mut(key).expect("entry was just ensured")
     }
 
     /// Removes a flow's entry.
     pub fn remove(&mut self, flow: FlowId) -> Option<V> {
         let key = flow.raw();
-        let removed = self.entries.remove(&key);
+        let removed = self.entries.remove(key);
         if removed.is_some() {
             self.order.retain(|&k| k != key);
-            self.dirty.remove(&key);
+            self.dirty.remove(key);
             self.dead.insert(key);
         }
         removed
@@ -178,14 +184,14 @@ impl<V> FlowTable<V> {
     pub fn iter(&self) -> impl Iterator<Item = (FlowId, &V)> {
         self.order
             .iter()
-            .filter_map(move |k| self.entries.get(k).map(|v| (FlowId::new(*k), v)))
+            .filter_map(move |k| self.entries.get(*k).map(|v| (FlowId::new(*k), v)))
     }
 
     fn evict_oldest(&mut self) {
         while let Some(oldest) = self.order.pop_front() {
-            if self.entries.remove(&oldest).is_some() {
+            if self.entries.remove(oldest).is_some() {
                 self.stats.evicted += 1;
-                self.dirty.remove(&oldest);
+                self.dirty.remove(oldest);
                 self.dead.insert(oldest);
                 return;
             }
@@ -216,9 +222,9 @@ impl<V: Serialize> FlowTable<V> {
         let entries = self
             .order
             .iter()
-            .filter(|k| self.dirty.contains(*k))
+            .filter(|k| self.dirty.contains(**k))
             .filter_map(|k| {
-                self.entries.get(k).map(|v| {
+                self.entries.get(*k).map(|v| {
                     (
                         *k,
                         serde_json::to_value(v).unwrap_or(serde_json::Value::Null),
@@ -260,7 +266,7 @@ impl<V: DeserializeOwned> FlowTable<V> {
         }
         for (key, value) in entries {
             if let Ok(value) = serde_json::from_value(value) {
-                if let Some(slot) = self.entries.get_mut(&key) {
+                if let Some(slot) = self.entries.get_mut(key) {
                     *slot = value;
                 } else {
                     if self.capacity != 0 && self.entries.len() >= self.capacity {

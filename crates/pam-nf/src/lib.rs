@@ -27,6 +27,7 @@
 
 pub mod chain;
 pub mod dpi;
+pub mod fastmap;
 pub mod firewall;
 pub mod flow_table;
 pub mod load_balancer;

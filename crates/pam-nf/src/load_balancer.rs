@@ -153,8 +153,12 @@ impl LoadBalancer {
         if let Ok(mut ip) = packet.ipv4_mut() {
             ip.set_dst_addr(backend);
             ip.fill_checksum();
+            // The only field that changed is the destination address: patch
+            // the cached tuple instead of re-parsing the whole frame.
+            packet.patch_tuple(|tuple| tuple.dst_ip = backend);
+        } else {
+            packet.invalidate_tuple();
         }
-        packet.invalidate_tuple();
         self.balanced += 1;
     }
 
@@ -197,32 +201,34 @@ impl NetworkFunction for LoadBalancer {
     /// backend (connection-table lookup or ring walk) once and reuses it for
     /// the rest of the run. The destination rewrite stays per packet.
     /// Observationally identical to the per-packet default.
-    fn process_batch(&mut self, packets: &mut [Packet], _ctx: &NfContext) -> Vec<NfVerdict> {
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        _ctx: &NfContext,
+        verdicts: &mut Vec<NfVerdict>,
+    ) {
         let mut cached: Option<(pam_types::FlowId, Ipv4Addr)> = None;
-        packets
-            .iter_mut()
-            .map(|packet| {
-                let Some(tuple) = packet.five_tuple() else {
-                    return NfVerdict::Forward;
-                };
-                let flow = tuple.flow_id();
-                let chosen = match cached {
-                    Some((hit, backend)) if hit == flow => Some(backend),
-                    _ => self.backend_for(flow, tuple.stable_hash()),
-                };
-                match chosen {
-                    Some(backend) => {
-                        cached = Some((flow, backend));
-                        self.steer(packet, backend);
-                        NfVerdict::Forward
-                    }
-                    None => {
-                        self.no_backend_drops += 1;
-                        NfVerdict::Drop
-                    }
+        verdicts.extend(packets.iter_mut().map(|packet| {
+            let Some(tuple) = packet.five_tuple() else {
+                return NfVerdict::Forward;
+            };
+            let flow = tuple.flow_id();
+            let chosen = match cached {
+                Some((hit, backend)) if hit == flow => Some(backend),
+                _ => self.backend_for(flow, tuple.stable_hash()),
+            };
+            match chosen {
+                Some(backend) => {
+                    cached = Some((flow, backend));
+                    self.steer(packet, backend);
+                    NfVerdict::Forward
                 }
-            })
-            .collect()
+                None => {
+                    self.no_backend_drops += 1;
+                    NfVerdict::Drop
+                }
+            }
+        }));
     }
 
     fn export_state(&self) -> NfState {

@@ -11,6 +11,8 @@
 //! * its runtime state (the ring buffer) is small, so PAM's choice to migrate
 //!   the Logger is also the cheapest state transfer in the chain.
 
+use std::collections::VecDeque;
+
 use pam_types::Result;
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +55,10 @@ struct LoggerDelta {
 /// The sampling logger vNF.
 #[derive(Debug)]
 pub struct Logger {
-    entries: Vec<LogEntry>,
+    /// The ring, oldest entry at the front. A `VecDeque` keeps steady-state
+    /// eviction O(1); the old `Vec::remove(0)` memmoved the whole 4096-entry
+    /// ring for every sampled packet once it filled.
+    entries: VecDeque<LogEntry>,
     /// Ring entries appended since the last `clear_dirty` (saturates at the
     /// ring capacity: older appends have been evicted again).
     appended_since_clear: usize,
@@ -68,7 +73,7 @@ impl Logger {
     /// packet out of every `sample_every` (values of 0 are treated as 1).
     pub fn new(capacity: usize, sample_every: u64) -> Self {
         Logger {
-            entries: Vec::with_capacity(capacity.min(4096)),
+            entries: VecDeque::with_capacity(capacity.clamp(1, 4096)),
             appended_since_clear: 0,
             capacity: capacity.max(1),
             sample_every: sample_every.max(1),
@@ -95,7 +100,7 @@ impl Logger {
     }
 
     /// The current ring contents, oldest first.
-    pub fn entries(&self) -> &[LogEntry] {
+    pub fn entries(&self) -> &VecDeque<LogEntry> {
         &self.entries
     }
 
@@ -120,9 +125,9 @@ impl NetworkFunction for Logger {
             None => format!("non-ip frame of {} bytes", packet.size().as_bytes()),
         };
         if self.entries.len() >= self.capacity {
-            self.entries.remove(0);
+            self.entries.pop_front();
         }
-        self.entries.push(LogEntry {
+        self.entries.push_back(LogEntry {
             timestamp_nanos: ctx.now.as_nanos(),
             flow: packet.flow_id().raw(),
             size: packet.size().as_bytes(),
@@ -135,7 +140,7 @@ impl NetworkFunction for Logger {
 
     fn export_state(&self) -> NfState {
         let state = LoggerState {
-            entries: self.entries.clone(),
+            entries: self.entries.iter().cloned().collect(),
             observed: self.observed,
             logged: self.logged,
             sample_every: self.sample_every,
@@ -145,7 +150,7 @@ impl NetworkFunction for Logger {
 
     fn import_state(&mut self, state: NfState) -> Result<()> {
         let decoded: LoggerState = state.decode(NfKind::Logger)?;
-        self.entries = decoded.entries;
+        self.entries = VecDeque::from(decoded.entries);
         if self.entries.len() > self.capacity {
             let excess = self.entries.len() - self.capacity;
             self.entries.drain(..excess);
@@ -173,7 +178,12 @@ impl NetworkFunction for Logger {
         // Entries appended since the last clear are exactly the ring's tail.
         let tail = self.dirty_flow_count();
         let delta = LoggerDelta {
-            appended: self.entries[self.entries.len() - tail..].to_vec(),
+            appended: self
+                .entries
+                .iter()
+                .skip(self.entries.len() - tail)
+                .cloned()
+                .collect(),
             observed: self.observed,
             logged: self.logged,
             sample_every: self.sample_every,

@@ -133,9 +133,13 @@ impl NetworkFunction for FlowMonitor {
     /// of per packet), and the batch's totals are accumulated locally and
     /// added once. Observationally identical to the per-packet default —
     /// every packet of a doorbell batch is accounted at the same `ctx.now`.
-    fn process_batch(&mut self, packets: &mut [Packet], ctx: &NfContext) -> Vec<NfVerdict> {
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        ctx: &NfContext,
+        verdicts: &mut Vec<NfVerdict>,
+    ) {
         let now = ctx.now.as_nanos();
-        let mut verdicts = Vec::with_capacity(packets.len());
         let mut batch_packets = 0u64;
         let mut batch_bytes = 0u64;
         let mut index = 0;
@@ -161,7 +165,6 @@ impl NetworkFunction for FlowMonitor {
         }
         self.total_packets += batch_packets;
         self.total_bytes += batch_bytes;
-        verdicts
     }
 
     fn export_state(&self) -> NfState {

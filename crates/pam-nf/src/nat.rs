@@ -127,14 +127,25 @@ impl Nat {
             ip.fill_checksum();
             // Rewrite the transport source port in place (first two payload bytes).
             let is_ported = ip.protocol().has_ports();
+            let mut port_rewritten = false;
             if is_ported {
                 let payload = ip.payload_mut();
                 if payload.len() >= 2 {
                     payload[0..2].copy_from_slice(&binding.public_port.to_be_bytes());
+                    port_rewritten = true;
                 }
             }
+            // Patch the cached tuple with exactly the fields rewritten above
+            // instead of re-parsing the whole frame.
+            packet.patch_tuple(|tuple| {
+                tuple.src_ip = public_addr;
+                if port_rewritten {
+                    tuple.src_port = binding.public_port;
+                }
+            });
+        } else {
+            packet.invalidate_tuple();
         }
-        packet.invalidate_tuple();
         self.translated += 1;
     }
 }
@@ -166,32 +177,34 @@ impl NetworkFunction for Nat {
     /// taken *before* the rewrite, so the cache matches what the table would
     /// return). Header rewriting stays per packet — every packet's bytes
     /// change. Observationally identical to the per-packet default.
-    fn process_batch(&mut self, packets: &mut [Packet], _ctx: &NfContext) -> Vec<NfVerdict> {
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        _ctx: &NfContext,
+        verdicts: &mut Vec<NfVerdict>,
+    ) {
         let mut cached: Option<(pam_types::FlowId, Binding)> = None;
-        packets
-            .iter_mut()
-            .map(|packet| {
-                let Some(tuple) = packet.five_tuple() else {
-                    return NfVerdict::Forward;
-                };
-                let flow = tuple.flow_id();
-                let binding = match cached {
-                    Some((hit, binding)) if hit == flow => Some(binding),
-                    _ => self.binding_for(flow),
-                };
-                match binding {
-                    Some(binding) => {
-                        cached = Some((flow, binding));
-                        self.apply_binding(packet, binding);
-                        NfVerdict::Forward
-                    }
-                    None => {
-                        self.exhausted_drops += 1;
-                        NfVerdict::Drop
-                    }
+        verdicts.extend(packets.iter_mut().map(|packet| {
+            let Some(tuple) = packet.five_tuple() else {
+                return NfVerdict::Forward;
+            };
+            let flow = tuple.flow_id();
+            let binding = match cached {
+                Some((hit, binding)) if hit == flow => Some(binding),
+                _ => self.binding_for(flow),
+            };
+            match binding {
+                Some(binding) => {
+                    cached = Some((flow, binding));
+                    self.apply_binding(packet, binding);
+                    NfVerdict::Forward
                 }
-            })
-            .collect()
+                None => {
+                    self.exhausted_drops += 1;
+                    NfVerdict::Drop
+                }
+            }
+        }));
     }
 
     fn export_state(&self) -> NfState {

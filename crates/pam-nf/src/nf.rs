@@ -147,7 +147,10 @@ impl NfState {
                 self.kind, expected
             )));
         }
-        serde_json::from_value(self.data.clone())
+        // Deserialize through the by-reference trait entry point: cloning
+        // `self.data` first would deep-copy the whole state tree (the largest
+        // allocation of a migration import) only to drop it immediately.
+        T::from_value(&self.data)
             .map_err(|e| PamError::state(format!("corrupt {} state: {e}", self.kind)))
     }
 
@@ -190,10 +193,23 @@ pub trait NetworkFunction: Send {
     /// burst arrive at one instant — so its verdicts may legitimately differ
     /// between batch sizes even though every state-keyed vNF's must not.
     fn process_batch(&mut self, packets: &mut [Packet], ctx: &NfContext) -> Vec<NfVerdict> {
-        packets
-            .iter_mut()
-            .map(|packet| self.process(packet, ctx))
-            .collect()
+        let mut verdicts = Vec::with_capacity(packets.len());
+        self.process_batch_into(packets, ctx, &mut verdicts);
+        verdicts
+    }
+
+    /// Allocation-free flavour of [`NetworkFunction::process_batch`]: appends
+    /// one verdict per packet (in order) to `verdicts` instead of returning a
+    /// fresh `Vec`. The hot datapath calls this with a reused buffer so
+    /// steady-state batch service never touches the allocator; overriders of
+    /// the batch path implement *this* method and inherit `process_batch`.
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        ctx: &NfContext,
+        verdicts: &mut Vec<NfVerdict>,
+    ) {
+        verdicts.extend(packets.iter_mut().map(|packet| self.process(packet, ctx)));
     }
 
     /// Exports the vNF's migratable runtime state.

@@ -80,6 +80,19 @@ impl Packet {
         self.tuple = self.parse_tuple().ok();
     }
 
+    /// Applies a targeted header rewrite to the cached 5-tuple *without* a
+    /// full re-parse — the hot-path alternative to
+    /// [`Packet::invalidate_tuple`] for vNFs (NAT, load balancer) that know
+    /// exactly which fields they just rewrote in the frame bytes. The caller
+    /// must have written precisely the same change into the packet, so the
+    /// cache stays equal to what a re-parse would produce. No-op when the
+    /// packet never parsed as IPv4 (there is no cached tuple to patch).
+    pub fn patch_tuple(&mut self, rewrite: impl FnOnce(&mut FiveTuple)) {
+        if let Some(tuple) = &mut self.tuple {
+            rewrite(tuple);
+        }
+    }
+
     /// Parses the Ethernet/IPv4 headers and extracts the 5-tuple.
     pub fn parse_tuple(&self) -> Result<FiveTuple, PamError> {
         let eth = EthernetFrame::new_checked(self.bytes.as_slice())?;

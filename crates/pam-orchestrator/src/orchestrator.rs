@@ -126,7 +126,7 @@ impl Orchestrator {
     /// record of what happened (also appended to the log).
     pub fn control_step(&mut self, runtime: &mut ChainRuntime, now: SimTime) -> DecisionRecord {
         runtime.publish_metrics();
-        let offered = runtime.registry().snapshot().offered_load;
+        let offered = runtime.registry().offered_load();
         self.step_with_load(runtime, now, offered)
     }
 

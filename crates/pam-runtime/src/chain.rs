@@ -121,13 +121,23 @@ struct InFlight {
 }
 
 /// Everything the runtime's single deterministic event queue carries.
+///
+/// Batches travel in struct-of-arrays form (`packets` + parallel
+/// `pipelines`): the vNF batch API operates on `&mut [Packet]` *in place*,
+/// and forwarding a batch to the next hop moves two `Vec`s (pointer swaps)
+/// instead of copying every packet through an intermediate representation.
 #[derive(Debug)]
 enum RuntimeEvent {
     /// A packet arriving at the device of its current hop.
     Packet(InFlight),
     /// A closed batch whose packets arrive together (in batch order) at the
-    /// device of their shared hop.
-    Batch(Vec<InFlight>),
+    /// device of their shared hop. `pipelines[i]` is the accumulated
+    /// pipeline latency of `packets[i]`.
+    Batch {
+        hop: usize,
+        packets: Vec<Packet>,
+        pipelines: Vec<SimDuration>,
+    },
     /// The doorbell timeout of hop `hop`'s open batch `seq`: if that batch
     /// is still open when this fires, it closes regardless of size.
     Doorbell { hop: usize, seq: u64 },
@@ -136,14 +146,67 @@ enum RuntimeEvent {
     MigrationRound,
 }
 
-/// The doorbell staging buffer of one chain hop.
+/// The doorbell staging buffer of one chain hop (struct-of-arrays, see
+/// [`RuntimeEvent::Batch`]).
 #[derive(Debug, Default)]
 struct HopStage {
     /// Packets of the currently open batch, in arrival order.
-    packets: Vec<InFlight>,
+    packets: Vec<Packet>,
+    /// Accumulated pipeline latency of each staged packet.
+    pipelines: Vec<SimDuration>,
     /// Identity of the open batch; bumped on every close so a doorbell
     /// carrying a stale seq (its batch already closed on size) is a no-op.
     seq: u64,
+}
+
+/// A free list of recycled batch buffers. Staging buffers and in-flight
+/// [`RuntimeEvent::Batch`] payloads draw from and return to this pool, so
+/// once the pool and the per-buffer capacities are warm, steady-state batch
+/// service performs zero heap allocations (pinned by the counting-allocator
+/// test in `tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+struct BatchPool {
+    packet_buffers: Vec<Vec<Packet>>,
+    pipeline_buffers: Vec<Vec<SimDuration>>,
+    /// Every pooled buffer is topped up to this capacity on `put`, so a
+    /// buffer that first grew under a small partial batch converges to full
+    /// batch capacity the first time it returns — afterwards no buffer in
+    /// circulation can reallocate mid-service.
+    batch_capacity: usize,
+}
+
+impl BatchPool {
+    /// Upper bound on pooled buffers per kind: enough for every hop's stage
+    /// plus the batches in flight between hops; beyond that, buffers drop.
+    const MAX_FREE: usize = 64;
+
+    /// Takes a (cleared) packet buffer from the pool, or a fresh one.
+    fn take_packets(&mut self) -> Vec<Packet> {
+        self.packet_buffers.pop().unwrap_or_default()
+    }
+
+    /// Takes a (cleared) pipeline buffer from the pool, or a fresh one.
+    fn take_pipelines(&mut self) -> Vec<SimDuration> {
+        self.pipeline_buffers.pop().unwrap_or_default()
+    }
+
+    /// Clears both buffers of a batch and returns them to the pool.
+    fn put(&mut self, mut packets: Vec<Packet>, mut pipelines: Vec<SimDuration>) {
+        packets.clear();
+        pipelines.clear();
+        if self.packet_buffers.len() < Self::MAX_FREE {
+            if packets.capacity() < self.batch_capacity {
+                packets.reserve_exact(self.batch_capacity);
+            }
+            self.packet_buffers.push(packets);
+        }
+        if self.pipeline_buffers.len() < Self::MAX_FREE {
+            if pipelines.capacity() < self.batch_capacity {
+                pipelines.reserve_exact(self.batch_capacity);
+            }
+            self.pipeline_buffers.push(pipelines);
+        }
+    }
 }
 
 /// An iterative pre-copy migration in flight: the staged target instance is
@@ -170,6 +233,10 @@ pub struct ChainRuntime {
     instances: Vec<VnfInstance>,
     /// One doorbell staging buffer per chain hop.
     stages: Vec<HopStage>,
+    /// Recycled batch buffers (zero-allocation steady state).
+    pool: BatchPool,
+    /// Scratch: per-packet verdicts of the batch being serviced.
+    verdict_scratch: Vec<NfVerdict>,
     nic: ComputeDevice,
     cpu: ComputeDevice,
     pcie: PcieLink,
@@ -251,8 +318,27 @@ impl ChainRuntime {
         }
         let metrics_interval = config.metrics_interval;
         let stages = (0..instances.len()).map(|_| HopStage::default()).collect();
+        // Pre-warm the batch pool to its full depth, each buffer sized to the
+        // doorbell batch bound, so the steady state never has to grow a fresh
+        // one (a pool miss hands out an empty Vec that would reallocate as it
+        // fills; the in-flight peak — stages plus batches queued on the event
+        // queue — can exceed any smaller stock late in a run). ~40 KiB per
+        // runtime at the default batch bound.
+        let mut pool = BatchPool {
+            batch_capacity: config.batch.max_batch.max(1),
+            ..BatchPool::default()
+        };
+        let batch_capacity = pool.batch_capacity;
+        for _ in 0..BatchPool::MAX_FREE {
+            pool.put(
+                Vec::with_capacity(batch_capacity),
+                Vec::with_capacity(batch_capacity),
+            );
+        }
         Ok(ChainRuntime {
             stages,
+            pool,
+            verdict_scratch: Vec::new(),
             nic: ComputeDevice::new(config.nic),
             cpu: ComputeDevice::new(config.cpu),
             pcie: PcieLink::new(config.pcie),
@@ -308,6 +394,13 @@ impl ChainRuntime {
     /// The current simulation time (the ingress time of the last packet).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Total events ever scheduled on this runtime's queue (packet arrivals,
+    /// batches, doorbells, migration rounds) — the denominator of the
+    /// simulator's events/second throughput figure.
+    pub fn events_scheduled(&self) -> u64 {
+        self.events.scheduled_total()
     }
 
     /// The current placement of every chain position.
@@ -385,10 +478,22 @@ impl ChainRuntime {
             self.now = self.now.max(now);
             match event {
                 RuntimeEvent::Packet(in_flight) => self.handle_arrival(now, in_flight),
-                RuntimeEvent::Batch(batch) => {
-                    for in_flight in batch {
-                        self.handle_arrival(now, in_flight);
+                RuntimeEvent::Batch {
+                    hop,
+                    mut packets,
+                    mut pipelines,
+                } => {
+                    for (packet, pipeline) in packets.drain(..).zip(pipelines.drain(..)) {
+                        self.handle_arrival(
+                            now,
+                            InFlight {
+                                packet,
+                                hop,
+                                pipeline,
+                            },
+                        );
                     }
+                    self.pool.put(packets, pipelines);
                 }
                 RuntimeEvent::Doorbell { hop, seq } => {
                     if self.stages[hop].seq == seq && !self.stages[hop].packets.is_empty() {
@@ -450,7 +555,8 @@ impl ChainRuntime {
         // serviced at its arrival instant, exactly like the unbatched
         // datapath.
         let stage = &mut self.stages[index];
-        stage.packets.push(in_flight);
+        stage.packets.push(in_flight.packet);
+        stage.pipelines.push(in_flight.pipeline);
         if stage.packets.len() >= self.config.batch.max_batch.max(1) {
             self.close_batch(now, index);
         } else if stage.packets.len() == 1 {
@@ -466,16 +572,31 @@ impl ChainRuntime {
     /// hop: each packet waits out the blackout — re-firing at its end, in the
     /// order the packets are given — or is dropped when the wait exceeds the
     /// staging-buffer bound.
-    fn hold_or_drop_for_blackout(&mut self, held: Vec<InFlight>, now: SimTime, until: SimTime) {
+    fn hold_or_drop_for_blackout(
+        &mut self,
+        hop: usize,
+        mut packets: Vec<Packet>,
+        mut pipelines: Vec<SimDuration>,
+        now: SimTime,
+        until: SimTime,
+    ) {
         if until.duration_since(now) > self.config.migration_buffer_bound {
-            for _ in &held {
+            for _ in &packets {
                 self.drop_for_blackout(until);
             }
         } else {
-            for in_flight in held {
-                self.events.schedule(until, RuntimeEvent::Packet(in_flight));
+            for (packet, pipeline) in packets.drain(..).zip(pipelines.drain(..)) {
+                self.events.schedule(
+                    until,
+                    RuntimeEvent::Packet(InFlight {
+                        packet,
+                        hop,
+                        pipeline,
+                    }),
+                );
             }
         }
+        self.pool.put(packets, pipelines);
     }
 
     /// Flushes hop `index`'s open batch into the blackout policy the moment
@@ -486,12 +607,24 @@ impl ChainRuntime {
     /// would re-queue them at the blackout end *behind* later same-flow
     /// arrivals and reorder the flow.
     fn flush_stage_for_pause(&mut self, index: usize, now: SimTime, until: SimTime) {
-        let staged = std::mem::take(&mut self.stages[index].packets);
-        if staged.is_empty() {
+        if self.stages[index].packets.is_empty() {
             return;
         }
+        let (packets, pipelines) = self.take_stage(index);
+        self.hold_or_drop_for_blackout(index, packets, pipelines, now, until);
+    }
+
+    /// Swaps hop `index`'s staged batch out against fresh pool buffers and
+    /// bumps the stage's batch identity. The two parallel arrays (packets
+    /// and their accumulated pipeline latencies) must always move together —
+    /// this is the only place that detaches them from the stage.
+    fn take_stage(&mut self, index: usize) -> (Vec<Packet>, Vec<SimDuration>) {
+        let fresh_packets = self.pool.take_packets();
+        let fresh_pipelines = self.pool.take_pipelines();
+        let packets = std::mem::replace(&mut self.stages[index].packets, fresh_packets);
+        let pipelines = std::mem::replace(&mut self.stages[index].pipelines, fresh_pipelines);
         self.stages[index].seq += 1;
-        self.hold_or_drop_for_blackout(staged, now, until);
+        (packets, pipelines)
     }
 
     /// Rings the doorbell of hop `index`: services the staged batch on the
@@ -499,9 +632,9 @@ impl ChainRuntime {
     /// survivors together (one coalesced DMA burst when the next hop sits on
     /// the other side of the PCIe link).
     fn close_batch(&mut self, now: SimTime, index: usize) {
-        let staged = std::mem::take(&mut self.stages[index].packets);
-        self.stages[index].seq += 1;
-        if staged.is_empty() {
+        let (mut packets, mut pipelines) = self.take_stage(index);
+        if packets.is_empty() {
+            self.pool.put(packets, pipelines);
             return;
         }
 
@@ -512,7 +645,7 @@ impl ChainRuntime {
         // paused vNF.
         if let Some(until) = self.instances[index].paused_until {
             if now < until {
-                self.hold_or_drop_for_blackout(staged, now, until);
+                self.hold_or_drop_for_blackout(index, packets, pipelines, now, until);
                 return;
             }
         }
@@ -523,13 +656,14 @@ impl ChainRuntime {
         // latency is experienced by each packet but does not occupy the
         // device (deep pipelines keep serving other packets), so it
         // accumulates on the packet rather than delaying later hops'
-        // queueing.
+        // queueing. Rejected packets are compacted out in place (two-pointer
+        // swap, order-preserving for the accepted ones).
         let device_kind = self.instances[index].device;
         let pipeline_latency = self.instances[index].pipeline_latency();
-        let mut accepted = Vec::with_capacity(staged.len());
         let mut batch_finish = now;
-        for mut in_flight in staged {
-            let size = in_flight.packet.size();
+        let mut keep = 0;
+        for i in 0..packets.len() {
+            let size = packets[i].size();
             let service = self.instances[index].service_time(size);
             let device = match device_kind {
                 Device::SmartNic => &mut self.nic,
@@ -539,41 +673,55 @@ impl ChainRuntime {
                 ProcessOutcome::Rejected => self.drops_overload += 1,
                 ProcessOutcome::Accepted { finish, .. } => {
                     batch_finish = batch_finish.max(finish);
-                    in_flight.pipeline += pipeline_latency;
-                    accepted.push(in_flight);
+                    if keep != i {
+                        packets.swap(keep, i);
+                        pipelines.swap(keep, i);
+                    }
+                    pipelines[keep] += pipeline_latency;
+                    keep += 1;
                 }
             }
         }
-        if accepted.is_empty() {
+        packets.truncate(keep);
+        pipelines.truncate(keep);
+        if packets.is_empty() {
+            self.pool.put(packets, pipelines);
             return;
         }
 
-        // The vNF's own logic on the real packet bytes, over the whole batch.
-        // This is the datapath's single NfContext construction: `now` is the
-        // device clock at batch service completion, shared by every packet of
-        // the batch (for a batch of one it is that packet's service finish).
+        // The vNF's own logic on the real packet bytes, over the whole batch,
+        // in place. This is the datapath's single NfContext construction:
+        // `now` is the device clock at batch service completion, shared by
+        // every packet of the batch (for a batch of one it is that packet's
+        // service finish). The verdicts land in a reused scratch buffer and
+        // policy drops are compacted out in place, so the whole service path
+        // stays inside recycled capacity.
         let ctx = NfContext::at(batch_finish);
-        let (mut packets, pipelines): (Vec<Packet>, Vec<SimDuration>) =
-            accepted.into_iter().map(|f| (f.packet, f.pipeline)).unzip();
-        let verdicts = self.instances[index].nf.process_batch(&mut packets, &ctx);
+        self.verdict_scratch.clear();
+        self.instances[index]
+            .nf
+            .process_batch_into(&mut packets, &ctx, &mut self.verdict_scratch);
         self.instances[index].processed += packets.len() as u64;
-        let mut survivors = Vec::with_capacity(packets.len());
         let mut policy_drops = 0u64;
-        for ((mut packet, pipeline), verdict) in packets.into_iter().zip(pipelines).zip(verdicts) {
-            packet.record_hop();
-            if verdict == NfVerdict::Drop {
+        let mut keep = 0;
+        for i in 0..packets.len() {
+            packets[i].record_hop();
+            if self.verdict_scratch[i] == NfVerdict::Drop {
                 policy_drops += 1;
             } else {
-                survivors.push(InFlight {
-                    packet,
-                    hop: index + 1,
-                    pipeline,
-                });
+                if keep != i {
+                    packets.swap(keep, i);
+                    pipelines.swap(keep, i);
+                }
+                keep += 1;
             }
         }
+        packets.truncate(keep);
+        pipelines.truncate(keep);
         self.instances[index].policy_drops += policy_drops;
         self.drops_policy += policy_drops;
-        if survivors.is_empty() {
+        if packets.is_empty() {
+            self.pool.put(packets, pipelines);
             return;
         }
 
@@ -584,24 +732,29 @@ impl ChainRuntime {
             let next_side = self.instances[index + 1].device.side();
             let mut arrival = batch_finish;
             if current_side != next_side {
-                arrival = self.cross_burst(batch_finish, &mut survivors, next_side);
+                arrival = self.cross_burst(batch_finish, &mut packets, next_side);
             }
-            self.events
-                .schedule(arrival, RuntimeEvent::Batch(survivors));
+            self.events.schedule(
+                arrival,
+                RuntimeEvent::Batch {
+                    hop: index + 1,
+                    packets,
+                    pipelines,
+                },
+            );
         } else {
             // Egress: pay a final burst crossing if the egress endpoint is on
             // the other side, then record deliveries in batch order.
             let egress_side = self.spec.egress.side();
             let mut done = batch_finish;
             if current_side != egress_side {
-                done = self.cross_burst(batch_finish, &mut survivors, egress_side);
+                done = self.cross_burst(batch_finish, &mut packets, egress_side);
             }
-            for in_flight in survivors {
-                let size = in_flight.packet.size();
-                let latency =
-                    done.duration_since(in_flight.packet.ingress_time) + in_flight.pipeline;
+            for (packet, pipeline) in packets.drain(..).zip(pipelines.drain(..)) {
+                let size = packet.size();
+                let latency = done.duration_since(packet.ingress_time) + pipeline;
                 if let Some(log) = &mut self.egress_log {
-                    log.push((in_flight.packet.id, in_flight.packet.flow_id().raw()));
+                    log.push((packet.id, packet.flow_id().raw()));
                 }
                 self.delivered += 1;
                 self.delivered_bytes += size.as_bytes();
@@ -611,6 +764,7 @@ impl ChainRuntime {
                 self.delivered_meter.record(size);
                 self.registry.record_latency(latency);
             }
+            self.pool.put(packets, pipelines);
         }
     }
 
@@ -628,16 +782,16 @@ impl ChainRuntime {
     /// Crosses a whole batch towards `target_side` as one coalesced DMA
     /// burst starting at `now`, recording the crossing on every packet, and
     /// returns the burst's arrival time on the far side.
-    fn cross_burst(&mut self, now: SimTime, batch: &mut [InFlight], target_side: Side) -> SimTime {
+    fn cross_burst(&mut self, now: SimTime, batch: &mut [Packet], target_side: Side) -> SimTime {
         let direction = if target_side == Side::Host {
             LinkDirection::NicToCpu
         } else {
             LinkDirection::CpuToNic
         };
         let mut total = 0u64;
-        for in_flight in batch.iter_mut() {
-            total += in_flight.packet.size().as_bytes();
-            in_flight.packet.record_crossing();
+        for packet in batch.iter_mut() {
+            total += packet.size().as_bytes();
+            packet.record_crossing();
         }
         self.pcie.propagate_burst(
             now,

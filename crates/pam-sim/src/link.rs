@@ -94,19 +94,30 @@ impl PcieLinkStats {
     }
 }
 
+/// Per-direction link state: the rate server bulk transfers queue on, the
+/// FIFO delivery watermark of per-packet crossings, and the crossing count.
+/// Grouping these per direction means every link operation resolves its
+/// direction exactly once instead of re-matching for each field it touches.
+#[derive(Debug, Clone, Default)]
+struct DirectionState {
+    server: RateServer,
+    /// Running last-delivery watermark: DMA descriptor rings complete in
+    /// order, so a later (smaller) packet must not overtake an earlier
+    /// (larger) one on the same direction. Updated in O(1) per burst — the
+    /// clamp never re-scans earlier deliveries.
+    last_delivery: SimTime,
+    crossings: u64,
+}
+
 /// The PCIe link: an independent rate server per direction plus a fixed
 /// per-crossing latency.
 #[derive(Debug, Clone)]
 pub struct PcieLink {
     config: PcieLinkConfig,
-    nic_to_cpu: RateServer,
-    cpu_to_nic: RateServer,
-    /// Last per-packet delivery instant per direction: DMA descriptor rings
-    /// complete in order, so a later (smaller) packet must not overtake an
-    /// earlier (larger) one on the same direction.
-    delivered_nic_to_cpu: SimTime,
-    delivered_cpu_to_nic: SimTime,
-    stats: PcieLinkStats,
+    nic_to_cpu: DirectionState,
+    cpu_to_nic: DirectionState,
+    bytes: u64,
+    dma_bursts: u64,
 }
 
 impl PcieLink {
@@ -114,11 +125,10 @@ impl PcieLink {
     pub fn new(config: PcieLinkConfig) -> Self {
         PcieLink {
             config,
-            nic_to_cpu: RateServer::new(),
-            cpu_to_nic: RateServer::new(),
-            delivered_nic_to_cpu: SimTime::ZERO,
-            delivered_cpu_to_nic: SimTime::ZERO,
-            stats: PcieLinkStats::default(),
+            nic_to_cpu: DirectionState::default(),
+            cpu_to_nic: DirectionState::default(),
+            bytes: 0,
+            dma_bursts: 0,
         }
     }
 
@@ -127,21 +137,25 @@ impl PcieLink {
         &self.config
     }
 
+    /// The mutable per-direction state (the single direction resolution of
+    /// every link operation).
+    fn direction_mut(&mut self, direction: LinkDirection) -> &mut DirectionState {
+        match direction {
+            LinkDirection::NicToCpu => &mut self.nic_to_cpu,
+            LinkDirection::CpuToNic => &mut self.cpu_to_nic,
+        }
+    }
+
     /// Transfers `size` bytes in `direction` starting (at the earliest) at
     /// `now`; returns the instant the data is available on the far side.
     pub fn transfer(&mut self, now: SimTime, size: ByteSize, direction: LinkDirection) -> SimTime {
         let serialisation = SimDuration::transmission(size, self.config.bandwidth);
-        let server = match direction {
-            LinkDirection::NicToCpu => &mut self.nic_to_cpu,
-            LinkDirection::CpuToNic => &mut self.cpu_to_nic,
-        };
-        let (_, finish) = server.serve(now, serialisation);
-        match direction {
-            LinkDirection::NicToCpu => self.stats.nic_to_cpu += 1,
-            LinkDirection::CpuToNic => self.stats.cpu_to_nic += 1,
-        }
-        self.stats.bytes += size.as_bytes();
-        finish + self.config.crossing_latency
+        let crossing_latency = self.config.crossing_latency;
+        let state = self.direction_mut(direction);
+        let (_, finish) = state.server.serve(now, serialisation);
+        state.crossings += 1;
+        self.bytes += size.as_bytes();
+        finish + crossing_latency
     }
 
     /// Models an uncongested per-packet crossing starting at `now`: the data
@@ -186,19 +200,13 @@ impl PcieLink {
         direction: LinkDirection,
     ) -> SimTime {
         let serialisation = SimDuration::transmission(total, self.config.bandwidth);
-        match direction {
-            LinkDirection::NicToCpu => self.stats.nic_to_cpu += packets,
-            LinkDirection::CpuToNic => self.stats.cpu_to_nic += packets,
-        }
-        self.stats.bytes += total.as_bytes();
-        self.stats.dma_bursts += 1;
-        let arrival = now + serialisation + self.config.crossing_latency;
-        let delivered = match direction {
-            LinkDirection::NicToCpu => &mut self.delivered_nic_to_cpu,
-            LinkDirection::CpuToNic => &mut self.delivered_cpu_to_nic,
-        };
-        let arrival = arrival.max(*delivered);
-        *delivered = arrival;
+        let crossing_latency = self.config.crossing_latency;
+        self.bytes += total.as_bytes();
+        self.dma_bursts += 1;
+        let state = self.direction_mut(direction);
+        state.crossings += packets;
+        let arrival = (now + serialisation + crossing_latency).max(state.last_delivery);
+        state.last_delivery = arrival;
         arrival
     }
 
@@ -210,12 +218,21 @@ impl PcieLink {
 
     /// Accumulated statistics.
     pub fn stats(&self) -> PcieLinkStats {
-        self.stats
+        PcieLinkStats {
+            nic_to_cpu: self.nic_to_cpu.crossings,
+            cpu_to_nic: self.cpu_to_nic.crossings,
+            bytes: self.bytes,
+            dma_bursts: self.dma_bursts,
+        }
     }
 
-    /// Clears the statistics counters (queue state is preserved).
+    /// Clears the statistics counters (queue state — the rate servers and
+    /// the FIFO delivery watermarks — is preserved).
     pub fn reset_stats(&mut self) {
-        self.stats = PcieLinkStats::default();
+        self.nic_to_cpu.crossings = 0;
+        self.cpu_to_nic.crossings = 0;
+        self.bytes = 0;
+        self.dma_bursts = 0;
     }
 }
 

@@ -124,6 +124,13 @@ impl MetricsRegistry {
         self.inner.lock().current.clone()
     }
 
+    /// The offered load of the latest snapshot, without cloning the whole
+    /// snapshot (the control loop polls this every tick; the full
+    /// [`ChainMetrics`] clone allocates its utilisation map each time).
+    pub fn offered_load(&self) -> Gbps {
+        self.inner.lock().current.offered_load
+    }
+
     /// A copy of the full latency histogram.
     pub fn latency_histogram(&self) -> LatencyHistogram {
         self.inner.lock().latency.clone()
