@@ -24,6 +24,13 @@
 //! against a real data plane as easily as against the bundled simulator.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod border;

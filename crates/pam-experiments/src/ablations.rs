@@ -34,9 +34,12 @@ pub fn pcie_sweep(crossing_latencies: &[SimDuration]) -> Vec<PcieSweepRow> {
     let chain = ChainModel::figure1_example();
     let original = Placement::figure1_initial();
     let mut naive = original.clone();
-    naive.set(NfId::new(1), Device::Cpu).unwrap();
+    naive
+        .set(NfId::new(1), Device::Cpu)
+        .unwrap_or_else(|_| unreachable!("NF 1 exists in the Figure 1 placement"));
     let mut pam = original.clone();
-    pam.set(NfId::new(2), Device::Cpu).unwrap();
+    pam.set(NfId::new(2), Device::Cpu)
+        .unwrap_or_else(|_| unreachable!("NF 2 exists in the Figure 1 placement"));
 
     crossing_latencies
         .iter()
@@ -222,8 +225,11 @@ pub fn migration_cost_sweep(flow_counts: &[usize]) -> Vec<MigrationCostRow> {
                 vec![NfKind::Monitor],
             );
             let placement = Placement::all_on(Device::SmartNic, 1);
-            let mut runtime =
-                ChainRuntime::new(spec, &placement, RuntimeConfig::evaluation_default()).unwrap();
+            let Ok(mut runtime) =
+                ChainRuntime::new(spec, &placement, RuntimeConfig::evaluation_default())
+            else {
+                unreachable!("the fixed monitor-only chain always builds");
+            };
             // Warm the flow table with the requested number of flows.
             let mut trace = TraceSynthesizer::new(TraceConfig {
                 sizes: PacketSizeProfile::Fixed(ByteSize::bytes(256)),
@@ -240,9 +246,9 @@ pub fn migration_cost_sweep(flow_counts: &[usize]) -> Vec<MigrationCostRow> {
                 seed: 99,
             });
             runtime.run_to_completion(&mut trace);
-            let report = runtime
-                .live_migrate(NfId::new(0), Device::Cpu, runtime.now())
-                .unwrap();
+            let Ok(report) = runtime.live_migrate(NfId::new(0), Device::Cpu, runtime.now()) else {
+                unreachable!("migrating the only NF off an idle chain cannot fail");
+            };
             MigrationCostRow {
                 flows: report.flows_transferred,
                 state_size: report.state_size,

@@ -31,6 +31,15 @@
 //! `--summary` throughput sweep is the one machine-dependent number; it is
 //! reported for reading, never gated.)
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
+
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -266,7 +275,9 @@ fn throughput_sweep(servers: usize) -> Vec<ThroughputPoint> {
             let scenario =
                 FleetScenario::new(FleetScenarioKind::RollingHotspot, servers).with_batch(batch);
             let start = Instant::now();
-            let report = scenario.run(StrategyKind::Pam).expect("scenario runs");
+            let Ok(report) = scenario.run(StrategyKind::Pam) else {
+                unreachable!("the fixed rolling-hotspot scenario always runs");
+            };
             let wall_secs = start.elapsed().as_secs_f64();
             ThroughputPoint {
                 batch,
@@ -453,13 +464,25 @@ fn main() -> ExitCode {
     );
 
     if let Some(path) = &args.timings {
-        let json = serde_json::to_string(&timings).expect("timings serialize");
+        let json = match serde_json::to_string(&timings) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("fleet_bench: serializing timings: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("fleet_bench: writing timings {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    let json = serde_json::to_string(&output).expect("report serializes");
+    let json = match serde_json::to_string(&output) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("fleet_bench: serializing the report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, &json) {

@@ -10,6 +10,15 @@
 //! pam-repro all         # everything above
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
+
 use pam_experiments::ablations::{
     migration_cost_sweep, pcie_sweep, render_migration_cost, render_pcie_sweep,
     render_strategy_sweep, strategy_sweep,

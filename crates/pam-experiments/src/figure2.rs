@@ -182,7 +182,9 @@ fn run_single(strategy: StrategyKind, size: ByteSize, scenario: &Figure1Scenario
         sizes: pam_traffic::PacketSizeProfile::Fixed(size),
         ..scenario.clone()
     };
-    let mut runtime = scenario.build_runtime().expect("scenario runtime");
+    let Ok(mut runtime) = scenario.build_runtime() else {
+        unreachable!("the Figure 1 scenario always builds");
+    };
     let mut trace = scenario.build_trace();
     let mut orchestrator = Orchestrator::new(OrchestratorConfig::with_strategy(strategy));
 

@@ -457,7 +457,10 @@ pub fn run_fleet_matrix_jobs(
     let mut entries = Vec::with_capacity(slots.len());
     let mut timings = Vec::with_capacity(slots.len());
     for slot in slots {
-        let (entry, timing) = slot.expect("every cell was claimed and run")?;
+        let Some(cell) = slot else {
+            unreachable!("every cell was claimed and run");
+        };
+        let (entry, timing) = cell?;
         entries.push(entry);
         timings.push(timing);
     }

@@ -24,6 +24,9 @@
 
 use pam_core::{Decision, ResourceModel};
 use pam_orchestrator::OrchestratorConfig;
+use pam_protocol::{
+    Action as HandoverAction, Event as HandoverEvent, HandoverState, Phase, ProtocolConfig,
+};
 use pam_runtime::state_transfer_size;
 use pam_sim::{EventQueue, LinkDirection, PcieLink, PcieLinkConfig};
 use pam_types::{ByteSize, Device, Gbps, Result, ServerId, SimDuration, SimTime};
@@ -255,7 +258,9 @@ impl Fleet {
             if next > until {
                 break;
             }
-            let (now, event) = self.events.pop().expect("peeked event must pop");
+            let Some((now, event)) = self.events.pop() else {
+                unreachable!("peeked event must pop");
+            };
             match event {
                 FleetEvent::Arrival(home) => self.on_arrival(now, home),
                 FleetEvent::ControlTick => {
@@ -378,6 +383,19 @@ impl Fleet {
         // the transfer is non-blocking — re-steered packets that beat their
         // state simply re-create it, exactly as OpenNF's loss-free mode
         // would buffer — but its bytes and duration are accounted.
+        //
+        // The handoff is an execution of `pam-protocol`'s model-checked
+        // ScaleOutHandoff machine: `Start` exports the slice (no pause —
+        // the home server keeps serving its remaining flows), and the slice
+        // round's delivery activates the recipient. The exhaustively checked
+        // model is what licenses "packets that beat their state re-create
+        // it": the recipient's re-created entries outrank the slice.
+        let protocol = HandoverState::new(ProtocolConfig::scale_out_handoff());
+        let Ok((protocol, actions)) = protocol.step(HandoverEvent::Start) else {
+            unreachable!("a fresh handover always accepts Start");
+        };
+        debug_assert!(actions.contains(HandoverAction::ExportFull));
+        debug_assert!(!actions.contains(HandoverAction::PauseSource));
         let runtime = self.servers[home.index()].runtime();
         let moved_flows =
             (runtime.stateful_flow_entries() as f64 * (fraction - before).max(0.0)).round() as u64;
@@ -389,6 +407,14 @@ impl Fleet {
         let done = self
             .interconnect
             .transfer(now, bytes, LinkDirection::NicToCpu);
+        // The slice lands at `done`; its delivery completes the protocol and
+        // makes the recipient authoritative for the re-steered flows.
+        let Ok((protocol, actions)) = protocol.step(HandoverEvent::RoundDelivered { dirty: 0 })
+        else {
+            unreachable!("the snapshot phase always accepts the slice delivery");
+        };
+        debug_assert_eq!(protocol.phase, Phase::Done);
+        debug_assert!(actions.contains(HandoverAction::ActivateTarget));
         self.handoff_flows += moved_flows;
         self.handoff_bytes += bytes.as_bytes();
         self.handoff_us += done.duration_since(now).as_micros_f64();

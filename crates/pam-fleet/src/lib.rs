@@ -17,6 +17,13 @@
 //!   as JSON and CI gates on it).
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod controller;

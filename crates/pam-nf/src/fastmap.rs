@@ -93,14 +93,16 @@ impl<V> FlowMap<V> {
     #[inline]
     pub fn get(&self, key: u64) -> Option<&V> {
         self.find(key)
-            .map(|i| &self.slots[i].as_ref().expect("found slot is occupied").1)
+            .and_then(|i| self.slots[i].as_ref())
+            .map(|(_, v)| v)
     }
 
     /// A mutable reference to the value for `key`.
     #[inline]
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
         self.find(key)
-            .map(|i| &mut self.slots[i].as_mut().expect("found slot is occupied").1)
+            .and_then(|i| self.slots[i].as_mut())
+            .map(|(_, v)| v)
     }
 
     /// True when `key` is present.
@@ -135,7 +137,7 @@ impl<V> FlowMap<V> {
     /// its home slot, so no tombstones accumulate.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let mut hole = self.find(key)?;
-        let (_, value) = self.slots[hole].take().expect("found slot is occupied");
+        let (_, value) = self.slots[hole].take()?;
         self.len -= 1;
         let mut probe = hole;
         loop {

@@ -139,7 +139,10 @@ impl<V> FlowTable<V> {
         // "remove, then append", which reproduces the source's insertion
         // order on the migration target.
         self.dirty.insert(key);
-        self.entries.get_mut(key).expect("entry was just ensured")
+        let Some(entry) = self.entries.get_mut(key) else {
+            unreachable!("entry was just ensured");
+        };
+        entry
     }
 
     /// Removes a flow's entry.

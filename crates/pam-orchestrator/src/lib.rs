@@ -15,6 +15,13 @@
 //! plane, but the signal is what an operator would act on.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod orchestrator;

@@ -1,0 +1,241 @@
+//! Exhaustive small-scope model checking of the PAM handover protocol.
+//!
+//! Runs the scenario suite (see `pam_protocol::checker`), prints one line
+//! per scenario with the explored-state count, and exits non-zero if any
+//! scenario's outcome differs from its expectation. Scenarios with an
+//! `expect` column are *teeth checks*: they run a deliberately unsafe apply
+//! policy and MUST produce the named counterexample, proving the checker
+//! can still find bugs.
+//!
+//! ```text
+//! model_check [--deep] [--json PATH]
+//! ```
+//!
+//! * `--deep` — widen the bounds (3 flows, reorder window 2, more writes);
+//!   this is the nightly CI configuration and explores a much larger space.
+//! * `--json PATH` — also write a machine-readable report (scenario names,
+//!   explored/terminal counts, violation traces) for CI artifact upload.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
+
+use pam_protocol::checker::{check, ApplyPolicy, Scenario};
+use pam_protocol::machine::DivergencePolicy;
+use std::process::ExitCode;
+
+/// One suite entry: the scenario plus the invariant it is expected to
+/// violate (`None` for must-pass scenarios).
+struct Entry {
+    scenario: Scenario,
+    expect_violation: Option<&'static str>,
+}
+
+fn suite(deep: bool) -> Vec<Entry> {
+    let flows = if deep { 3 } else { 2 };
+    let writes = if deep { 3 } else { 2 };
+    let window = if deep { 2 } else { 1 };
+    let mut entries = Vec::new();
+    let mut pass = |scenario: Scenario| {
+        entries.push(Entry {
+            scenario,
+            expect_violation: None,
+        })
+    };
+
+    // Pre-copy on a FIFO link: the baseline space.
+    let mut s = Scenario::pre_copy("pre_copy/fifo", flows, 0);
+    s.max_writes_per_flow = writes;
+    pass(s);
+
+    // Pre-copy under bounded reorder with abort and crash enabled at every
+    // phase — the headline scenario.
+    let mut s = Scenario::pre_copy("pre_copy/reorder+abort+crash", flows, window);
+    s.max_writes_per_flow = writes;
+    s.enable_abort = true;
+    s.enable_crash = true;
+    pass(s);
+
+    // Divergence policy Abort: convergence is unreachable (bound 0, every
+    // write dirties), so the round cap must roll back — and the blackout
+    // bound must hold everywhere.
+    let mut s = Scenario::pre_copy("pre_copy/divergence-abort", flows, window);
+    s.max_writes_per_flow = writes;
+    s.on_divergence = DivergencePolicy::Abort;
+    s.convergence_flows = 0;
+    s.max_rounds = 2;
+    s.enable_crash = true;
+    pass(s);
+
+    // Stop-and-copy with crashes during the freeze.
+    let mut s = Scenario::stop_and_copy("stop_and_copy/crash", flows, window);
+    s.enable_crash = true;
+    pass(s);
+
+    // The fleet's scale-out handoff: re-steered packets re-create state at
+    // the recipient while the slice is in flight.
+    let mut s = Scenario::scale_out_handoff("scale_out_handoff/guarded", flows, window);
+    s.max_writes_per_flow = writes;
+    s.enable_abort = true;
+    pass(s);
+
+    // Teeth checks: the checker must refute the unsafe apply policy.
+    let mut s = Scenario::pre_copy("teeth/pre_copy/last-arrival", 2, 1);
+    s.apply_policy = ApplyPolicy::LastArrival;
+    entries.push(Entry {
+        scenario: s,
+        expect_violation: Some("per-flow-order"),
+    });
+    let mut s = Scenario::scale_out_handoff("teeth/handoff/last-arrival", 2, 0);
+    s.apply_policy = ApplyPolicy::LastArrival;
+    entries.push(Entry {
+        scenario: s,
+        expect_violation: Some("per-flow-order"),
+    });
+
+    entries
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut deep = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deep" => deep = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: model_check [--deep] [--json PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "PAM handover protocol model checker ({} bounds)",
+        if deep { "deep" } else { "PR" }
+    );
+    println!(
+        "{:<34} {:>12} {:>10}  result",
+        "scenario", "explored", "terminal"
+    );
+
+    let mut failures = 0u32;
+    let mut total_explored = 0u64;
+    let mut rows = Vec::new();
+    for entry in suite(deep) {
+        let outcome = check(&entry.scenario);
+        total_explored += outcome.explored;
+        let (ok, result) = match (&outcome.violation, entry.expect_violation) {
+            (None, None) => (true, "ok (all invariants hold)".to_owned()),
+            (Some(v), Some(expected)) if v.invariant == expected => {
+                (true, format!("ok (refuted as expected: {})", v.invariant))
+            }
+            (Some(v), None) => (false, format!("FAIL: {}", v.invariant)),
+            (None, Some(expected)) => (
+                false,
+                format!("FAIL: expected {expected} counterexample, found none"),
+            ),
+            (Some(v), Some(expected)) => (
+                false,
+                format!("FAIL: expected {expected}, found {}", v.invariant),
+            ),
+        };
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<34} {:>12} {:>10}  {}",
+            entry.scenario.name, outcome.explored, outcome.terminal, result
+        );
+        if let Some(v) = &outcome.violation {
+            if entry.expect_violation.is_none() {
+                eprint!("{v}");
+            }
+        }
+        rows.push((entry, outcome, ok));
+    }
+    println!("total states explored: {total_explored}");
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n  \"bounds\": \"");
+        out.push_str(if deep { "deep" } else { "pr" });
+        out.push_str("\",\n  \"total_explored\": ");
+        out.push_str(&total_explored.to_string());
+        out.push_str(",\n  \"scenarios\": [\n");
+        for (index, (entry, outcome, ok)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"kind\": \"{}\", \"apply_policy\": \"{}\", \
+                 \"explored\": {}, \"terminal\": {}, \"passed\": {}",
+                json_escape(&entry.scenario.name),
+                entry.scenario.kind.name(),
+                entry.scenario.apply_policy.name(),
+                outcome.explored,
+                outcome.terminal,
+                ok
+            ));
+            if let Some(v) = &outcome.violation {
+                out.push_str(&format!(
+                    ", \"violation\": \"{}\", \"trace\": [",
+                    json_escape(v.invariant)
+                ));
+                for (step_index, step) in v.trace.iter().enumerate() {
+                    if step_index > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(step));
+                    out.push('"');
+                }
+                out.push(']');
+            }
+            out.push('}');
+            if index + 1 < rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(error) = std::fs::write(&path, out) {
+            eprintln!("failed to write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

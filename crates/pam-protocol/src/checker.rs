@@ -1,0 +1,881 @@
+//! Exhaustive small-scope model checking of the handover protocol.
+//!
+//! The checker composes the pure [`HandoverState`] machine with a small
+//! *world model* — a source flow table with per-flow version counters, a
+//! staged target, and an in-flight link modelled by
+//! [`pam_sim::ReorderBuffer`] (bounded reorder window; `0` = FIFO) — and
+//! then enumerates, by breadth-first search, **every** reachable state of
+//! every interleaving the bounded scenario permits: packet writes dirtying
+//! flows, round completions, out-of-order link deliveries, operator aborts
+//! and target crashes at every phase.
+//!
+//! Unlike the proptest suites (which *sample* interleavings), the explored
+//! state space is exhaustive within the scenario's bounds, in the style of
+//! TLA+ small-scope checking (cf. the IBC packet-delay spec): if an
+//! invariant can be violated within the bounds, the checker finds it and
+//! returns the violating trace.
+//!
+//! Checked invariants:
+//!
+//! * **I1 per-flow order** — a flow's state version at the target never
+//!   regresses (the paper's order-preserving guarantee);
+//! * **I2 no duplicate apply** — no transferred round is applied twice to
+//!   the same flow;
+//! * **I3 no lost acked state** — at quiescence after `Done`, the target
+//!   holds every flow at exactly the version the source last exported
+//!   (zero-loss); after `Aborted`, the source is serving and intact and the
+//!   staged target is discarded;
+//! * **I4 bounded blackout** — a pre-copy freeze never ships more than the
+//!   convergence bound, unless the round cap forced it *and* the divergence
+//!   policy permits forcing (under [`DivergencePolicy::Abort`], never);
+//! * **I5 no stuck state** — every non-final state has at least one enabled
+//!   transition (the protocol cannot wedge).
+//!
+//! The world model's *apply policy* is part of the scenario:
+//! [`ApplyPolicy::RoundGuarded`] (a delta only applies if its round is newer
+//! than what the target holds — the shipped import discipline) passes every
+//! scenario; [`ApplyPolicy::LastArrival`] (blind overwrite) exists to prove
+//! the checker has teeth — under a reordering link, or when re-steered
+//! packets re-create state ahead of a scale-out slice, it reproduces
+//! exactly the overtaking-bug class the PCIe FIFO clamp of PR 3 fixed, and
+//! the checker returns the counterexample trace.
+
+use crate::machine::{
+    Action, DivergencePolicy, Event, HandoverKind, HandoverState, Phase, ProtocolConfig,
+};
+use pam_sim::ReorderBuffer;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// The checker's hard cap on modelled flows (scenario `flows` must not
+/// exceed it).
+pub const MAX_FLOWS: usize = 3;
+
+/// The sentinel round number recording "this target entry was re-created by
+/// a re-steered packet, newer than any transferred round".
+const RECREATED_ROUND: u8 = 200;
+
+/// How the model target applies an arriving state message to a flow entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyPolicy {
+    /// Apply only if the message's round is newer than the round that last
+    /// wrote the entry. This is the shipped discipline (order-exact
+    /// delta import keyed by monotone rounds) and is safe under reorder.
+    RoundGuarded,
+    /// Blind overwrite: whatever arrives last wins. Unsafe under any
+    /// reordering — kept so the checker's teeth are themselves pinned by
+    /// tests (it must find the counterexample).
+    LastArrival,
+}
+
+impl ApplyPolicy {
+    /// The machine-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplyPolicy::RoundGuarded => "round_guarded",
+            ApplyPolicy::LastArrival => "last_arrival",
+        }
+    }
+}
+
+/// One bounded scenario: the protocol knobs plus the world-model bounds the
+/// checker exhausts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name (appears in reports and CI summaries).
+    pub name: String,
+    /// Which handover sub-protocol runs.
+    pub kind: HandoverKind,
+    /// Modelled flows (at most [`MAX_FLOWS`]).
+    pub flows: usize,
+    /// How many times each flow may be written (dirtied) during the run.
+    pub max_writes_per_flow: u8,
+    /// Pre-copy round cap (the snapshot counts).
+    pub max_rounds: usize,
+    /// Pre-copy convergence bound, in flows.
+    pub convergence_flows: usize,
+    /// What happens at the round cap without convergence.
+    pub on_divergence: DivergencePolicy,
+    /// Link reorder window (`0` = FIFO).
+    pub reorder_window: usize,
+    /// Whether the operator may abort in every abortable phase.
+    pub enable_abort: bool,
+    /// Whether the target may crash in every non-final phase.
+    pub enable_crash: bool,
+    /// The target's apply discipline.
+    pub apply_policy: ApplyPolicy,
+}
+
+impl Scenario {
+    /// A pre-copy scenario with the given bounds and safe apply policy;
+    /// tune fields afterwards as needed.
+    pub fn pre_copy(name: &str, flows: usize, reorder_window: usize) -> Self {
+        Scenario {
+            name: name.to_owned(),
+            kind: HandoverKind::PreCopy,
+            flows,
+            max_writes_per_flow: 2,
+            max_rounds: 3,
+            convergence_flows: 1,
+            on_divergence: DivergencePolicy::ForceFreeze,
+            reorder_window,
+            enable_abort: false,
+            enable_crash: false,
+            apply_policy: ApplyPolicy::RoundGuarded,
+        }
+    }
+
+    /// A stop-and-copy scenario (no serving rounds, whole-state freeze).
+    pub fn stop_and_copy(name: &str, flows: usize, reorder_window: usize) -> Self {
+        Scenario {
+            kind: HandoverKind::StopAndCopy,
+            ..Scenario::pre_copy(name, flows, reorder_window)
+        }
+    }
+
+    /// A fleet scale-out handoff scenario (re-steered packets may re-create
+    /// state at the recipient while the slice is in flight).
+    pub fn scale_out_handoff(name: &str, flows: usize, reorder_window: usize) -> Self {
+        Scenario {
+            kind: HandoverKind::ScaleOutHandoff,
+            ..Scenario::pre_copy(name, flows, reorder_window)
+        }
+    }
+
+    fn protocol_config(&self) -> ProtocolConfig {
+        match self.kind {
+            HandoverKind::StopAndCopy => ProtocolConfig::stop_and_copy(),
+            HandoverKind::ScaleOutHandoff => ProtocolConfig::scale_out_handoff(),
+            HandoverKind::PreCopy => ProtocolConfig::pre_copy(
+                self.max_rounds,
+                self.convergence_flows,
+                self.on_divergence,
+            ),
+        }
+    }
+}
+
+/// A state message in flight on the modelled link.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Msg {
+    /// The round that exported this message (monotone per handover).
+    round: u8,
+    /// True for the freeze/stop-and-copy payload (its delivery acks the
+    /// switchover).
+    is_freeze: bool,
+    /// Version carried per flow; `0` means the flow is not in this message.
+    payload: [u8; MAX_FLOWS],
+}
+
+/// The full model state: protocol machine + world. Small, `Ord`-erable and
+/// hashable so BFS can deduplicate millions of them.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ModelState {
+    protocol: HandoverState,
+    /// Source flow-table versions (index < scenario.flows; 1 = initial).
+    source: [u8; MAX_FLOWS],
+    /// Writes each flow may still receive.
+    writes_left: [u8; MAX_FLOWS],
+    /// Flows dirtied since the last export.
+    dirty: [bool; MAX_FLOWS],
+    /// Highest version of each flow ever exported (what "acked state" the
+    /// target must eventually hold).
+    exported: [u8; MAX_FLOWS],
+    source_paused: bool,
+    /// Target flow-table versions (0 = absent).
+    target: [u8; MAX_FLOWS],
+    /// The round that last wrote each target entry.
+    target_round: [u8; MAX_FLOWS],
+    /// False once the staged target was discarded (abort/crash).
+    target_alive: bool,
+    link: ReorderBuffer<Msg>,
+    /// The current serving round was sent but its completion has not fired.
+    round_in_flight: bool,
+    freeze_sent: bool,
+    /// The freeze payload landed at the target (acks [`Event::FreezeDelivered`]).
+    freeze_applied: bool,
+    /// Flows the freeze payload carried (blackout-critical set).
+    freeze_flows: u8,
+}
+
+/// One step label of a trace (rendered lazily into strings on violation).
+#[derive(Debug, Clone, Copy)]
+enum StepLabel {
+    Init,
+    Start,
+    SourceWrite(usize),
+    TargetWrite(usize),
+    RoundComplete(usize),
+    FreezeComplete,
+    Deliver {
+        slot: usize,
+        round: u8,
+        freeze: bool,
+    },
+    Abort,
+    TargetCrash,
+}
+
+impl std::fmt::Display for StepLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepLabel::Init => write!(f, "init"),
+            StepLabel::Start => write!(f, "start"),
+            StepLabel::SourceWrite(flow) => write!(f, "source write flow{flow}"),
+            StepLabel::TargetWrite(flow) => {
+                write!(f, "re-steered packet re-creates flow{flow} at target")
+            }
+            StepLabel::RoundComplete(round) => write!(f, "round {round} transfer completes"),
+            StepLabel::FreezeComplete => write!(f, "freeze switchover completes"),
+            StepLabel::Deliver {
+                slot,
+                round,
+                freeze,
+            } => write!(
+                f,
+                "link delivers {} round {round} (queue slot {slot})",
+                if *freeze { "freeze" } else { "copy" }
+            ),
+            StepLabel::Abort => write!(f, "operator abort"),
+            StepLabel::TargetCrash => write!(f, "target crash"),
+        }
+    }
+}
+
+/// An invariant violation with the interleaving that reached it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke (short identifier, e.g. `per-flow-order`).
+    pub invariant: &'static str,
+    /// What exactly went wrong in the violating state.
+    pub detail: String,
+    /// The event trace from the initial state to the violation, one line
+    /// per step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant {} violated: {}", self.invariant, self.detail)?;
+        for (index, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {index:>3}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of exhaustively checking one scenario.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Distinct model states explored (the exhaustive small-scope space).
+    pub explored: u64,
+    /// Terminal (quiescent final) states among them.
+    pub terminal: u64,
+    /// The first violation found, if any (BFS order, so a shortest trace).
+    pub violation: Option<Violation>,
+}
+
+impl CheckOutcome {
+    /// True when every reachable state satisfied every invariant.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+struct Node {
+    state: ModelState,
+    parent: usize,
+    label: StepLabel,
+}
+
+/// The BFS worklist: arena of deduplicated states plus the frontier.
+struct Search {
+    arena: Vec<Node>,
+    visited: BTreeSet<ModelState>,
+    frontier: VecDeque<usize>,
+}
+
+impl Search {
+    fn trace_to(&self, index: usize) -> Vec<String> {
+        let mut steps = Vec::new();
+        let mut at = index;
+        loop {
+            let node = &self.arena[at];
+            steps.push(node.label.to_string());
+            if at == node.parent {
+                break;
+            }
+            at = node.parent;
+        }
+        steps.reverse();
+        steps
+    }
+
+    fn push(&mut self, state: ModelState, parent: usize, label: StepLabel) {
+        if self.visited.insert(state.clone()) {
+            self.arena.push(Node {
+                state,
+                parent,
+                label,
+            });
+            self.frontier.push_back(self.arena.len() - 1);
+        }
+    }
+}
+
+/// Exhaustively explores `scenario` and reports the explored-state count
+/// and the first invariant violation (if any).
+pub fn check(scenario: &Scenario) -> CheckOutcome {
+    assert!(
+        scenario.flows >= 1 && scenario.flows <= MAX_FLOWS,
+        "scenario flows must be in 1..={MAX_FLOWS}"
+    );
+    assert!(
+        scenario.max_rounds + 2 < RECREATED_ROUND as usize,
+        "round bound collides with the recreation sentinel"
+    );
+
+    let mut initial = ModelState {
+        protocol: HandoverState::new(scenario.protocol_config()),
+        source: [0; MAX_FLOWS],
+        writes_left: [0; MAX_FLOWS],
+        dirty: [false; MAX_FLOWS],
+        exported: [0; MAX_FLOWS],
+        source_paused: false,
+        target: [0; MAX_FLOWS],
+        target_round: [0; MAX_FLOWS],
+        target_alive: true,
+        link: ReorderBuffer::new(scenario.reorder_window),
+        round_in_flight: false,
+        freeze_sent: false,
+        freeze_applied: false,
+        freeze_flows: 0,
+    };
+    for flow in 0..scenario.flows {
+        initial.source[flow] = 1;
+        initial.writes_left[flow] = scenario.max_writes_per_flow;
+    }
+
+    let mut search = Search {
+        arena: Vec::new(),
+        visited: BTreeSet::new(),
+        frontier: VecDeque::new(),
+    };
+    search.visited.insert(initial.clone());
+    search.arena.push(Node {
+        state: initial,
+        parent: 0,
+        label: StepLabel::Init,
+    });
+    search.frontier.push_back(0);
+
+    let mut terminal = 0u64;
+    let mut violation: Option<Violation> = None;
+
+    while let Some(index) = search.frontier.pop_front() {
+        let state = search.arena[index].state.clone();
+
+        if let Some(detail) = check_state_invariants(scenario, &state) {
+            violation = Some(Violation {
+                invariant: detail.0,
+                detail: detail.1,
+                trace: search.trace_to(index),
+            });
+            break;
+        }
+
+        if is_terminal(&state) {
+            terminal += 1;
+            continue;
+        }
+
+        let before = search.arena.len();
+        if let Some((invariant, detail, label)) = expand(scenario, &state, index, &mut search) {
+            let mut trace = search.trace_to(index);
+            trace.push(label.to_string());
+            violation = Some(Violation {
+                invariant,
+                detail,
+                trace,
+            });
+            break;
+        }
+        let frontier_grew = search.arena.len() > before;
+        let rediscovered_only = !frontier_grew && has_enabled_transition(scenario, &state);
+        if !frontier_grew && !rediscovered_only {
+            violation = Some(Violation {
+                invariant: "no-stuck-state",
+                detail: format!(
+                    "non-final state has no enabled transition (phase {})",
+                    state.protocol.phase
+                ),
+                trace: search.trace_to(index),
+            });
+            break;
+        }
+    }
+
+    CheckOutcome {
+        explored: search.arena.len() as u64,
+        terminal,
+        violation,
+    }
+}
+
+/// A state is terminal when the protocol is final and the world is
+/// quiescent (nothing left in flight).
+fn is_terminal(state: &ModelState) -> bool {
+    state.protocol.phase.is_final() && state.link.is_empty() && !state.round_in_flight
+}
+
+/// Invariants that must hold of *every* reachable state (I3 at terminals,
+/// I4 whenever frozen). Returns `(invariant, detail)` on violation.
+fn check_state_invariants(
+    scenario: &Scenario,
+    state: &ModelState,
+) -> Option<(&'static str, String)> {
+    // I4 — bounded blackout (pre-copy only; stop-and-copy's blackout is by
+    // definition the whole state).
+    if scenario.kind == HandoverKind::PreCopy && state.freeze_sent {
+        let bounded = state.freeze_flows as usize <= scenario.convergence_flows;
+        let cap_hit = state.protocol.rounds_completed >= scenario.max_rounds;
+        let forced_allowed = scenario.on_divergence == DivergencePolicy::ForceFreeze && cap_hit;
+        if !bounded && !forced_allowed {
+            return Some((
+                "bounded-blackout",
+                format!(
+                    "freeze shipped {} flows > convergence bound {} (rounds_completed {}, policy {})",
+                    state.freeze_flows,
+                    scenario.convergence_flows,
+                    state.protocol.rounds_completed,
+                    scenario.on_divergence
+                ),
+            ));
+        }
+    }
+
+    if !is_terminal(state) {
+        return None;
+    }
+    match state.protocol.phase {
+        Phase::Done => {
+            // I3 — zero loss: the target holds every flow at the exact
+            // version the source last exported (which, at a freeze, is the
+            // source's final version) or newer re-created state.
+            if !state.source_paused && scenario.kind == HandoverKind::PreCopy {
+                return Some((
+                    "no-lost-acked-state",
+                    "pre-copy done without the source ever freezing".into(),
+                ));
+            }
+            for flow in 0..scenario.flows {
+                if state.target[flow] < state.exported[flow] {
+                    return Some((
+                        "no-lost-acked-state",
+                        format!(
+                            "done, but target holds flow{flow} at v{} < exported v{}",
+                            state.target[flow], state.exported[flow]
+                        ),
+                    ));
+                }
+            }
+            None
+        }
+        Phase::Aborted => {
+            // I3 (rollback half) — the source serves again, intact; the
+            // staged target is gone.
+            if state.source_paused {
+                return Some((
+                    "rollback-resumes-source",
+                    "aborted, but the source is still paused".into(),
+                ));
+            }
+            if state.target_alive
+                && state.target.iter().any(|&v| v > 0)
+                && scenario.kind != HandoverKind::ScaleOutHandoff
+            {
+                return Some((
+                    "rollback-discards-target",
+                    "aborted, but the staged target still holds state".into(),
+                ));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// True when `state` has at least one enabled transition (used to tell a
+/// genuinely stuck state from one whose successors were all visited).
+fn has_enabled_transition(scenario: &Scenario, state: &ModelState) -> bool {
+    !enabled_labels(scenario, state).is_empty()
+}
+
+/// The enabled transitions of `state`, as labels the expansion interprets.
+fn enabled_labels(scenario: &Scenario, state: &ModelState) -> Vec<StepLabel> {
+    let mut labels = Vec::new();
+    let phase = state.protocol.phase;
+
+    if phase == Phase::Serving {
+        labels.push(StepLabel::Start);
+        return labels;
+    }
+
+    let serving_round = matches!(phase, Phase::Snapshot | Phase::DirtyRound(_));
+
+    // Source writes: pre-copy keeps serving (and dirtying) until the freeze.
+    if scenario.kind == HandoverKind::PreCopy && serving_round && !state.source_paused {
+        for flow in 0..scenario.flows {
+            if state.writes_left[flow] > 0 {
+                labels.push(StepLabel::SourceWrite(flow));
+            }
+        }
+    }
+    // Re-steered packets re-creating state at the recipient while the
+    // handoff slice is in flight (they beat their state).
+    if scenario.kind == HandoverKind::ScaleOutHandoff && serving_round && state.target_alive {
+        for flow in 0..scenario.flows {
+            if state.writes_left[flow] > 0 {
+                labels.push(StepLabel::TargetWrite(flow));
+            }
+        }
+    }
+
+    // Round completion. Pre-copy rounds are non-blocking: the source starts
+    // the next round once the transfer is sent (delivery may lag, modelling
+    // pipelined rounds over a delayed link). The handoff's single round
+    // completes only when the slice actually landed (its delivery is the
+    // ack that makes the recipient authoritative).
+    if serving_round && state.round_in_flight {
+        let acked = match scenario.kind {
+            HandoverKind::PreCopy => true,
+            _ => state.link.is_empty(),
+        };
+        if acked {
+            labels.push(StepLabel::RoundComplete(
+                state.protocol.rounds_completed + 1,
+            ));
+        }
+    }
+
+    // Freeze switchover: requires the freeze payload to have landed (the
+    // control plane's completion is causally after the residual's arrival).
+    if phase == Phase::Freeze && state.freeze_sent && state.freeze_applied {
+        labels.push(StepLabel::FreezeComplete);
+    }
+
+    // Link deliveries: every slot the reorder window allows.
+    for slot in 0..state.link.deliverable() {
+        if let Some(msg) = state.link.peek(slot) {
+            labels.push(StepLabel::Deliver {
+                slot,
+                round: msg.round,
+                freeze: msg.is_freeze,
+            });
+        }
+    }
+
+    // Operator abort — legal before the freeze only.
+    if scenario.enable_abort && serving_round {
+        labels.push(StepLabel::Abort);
+    }
+    // Target crash — any non-final in-progress phase, including the freeze.
+    if scenario.enable_crash && (serving_round || phase == Phase::Freeze) {
+        labels.push(StepLabel::TargetCrash);
+    }
+
+    labels
+}
+
+/// Expands `state` into every successor, pushing unvisited ones. Returns a
+/// violation (with the offending step) if applying a transition breaks an
+/// apply-time invariant.
+fn expand(
+    scenario: &Scenario,
+    state: &ModelState,
+    parent: usize,
+    search: &mut Search,
+) -> Option<(&'static str, String, StepLabel)> {
+    for label in enabled_labels(scenario, state) {
+        let mut next = state.clone();
+        match label {
+            StepLabel::Init => unreachable!("init is never enabled"),
+            StepLabel::Start => {
+                let (proto, actions) = match next.protocol.step(Event::Start) {
+                    Ok(ok) => ok,
+                    Err(e) => return Some(("machine-accepts-start", e.to_string(), label)),
+                };
+                next.protocol = proto;
+                debug_assert!(actions.contains(Action::ExportFull));
+                let is_freeze = actions.contains(Action::PauseSource);
+                let mut payload = [0u8; MAX_FLOWS];
+                let mut carried = 0u8;
+                for (flow, cell) in payload.iter_mut().enumerate().take(scenario.flows) {
+                    *cell = next.source[flow];
+                    next.exported[flow] = next.source[flow];
+                    carried += 1;
+                }
+                next.link.send(Msg {
+                    round: 1,
+                    is_freeze,
+                    payload,
+                });
+                next.dirty = [false; MAX_FLOWS];
+                if is_freeze {
+                    next.source_paused = true;
+                    next.freeze_sent = true;
+                    next.freeze_flows = carried;
+                } else {
+                    next.round_in_flight = true;
+                }
+            }
+            StepLabel::SourceWrite(flow) => {
+                next.source[flow] += 1;
+                next.writes_left[flow] -= 1;
+                next.dirty[flow] = true;
+            }
+            StepLabel::TargetWrite(flow) => {
+                // The re-steered packet applies the write the source would
+                // have applied: strictly newer than anything exported.
+                next.target[flow] = next.source[flow] + 1;
+                next.target_round[flow] = RECREATED_ROUND;
+                next.writes_left[flow] -= 1;
+                // The recipient now owns the newest version of this flow.
+                next.exported[flow] = next.exported[flow].max(next.target[flow]);
+            }
+            StepLabel::RoundComplete(_) => {
+                let dirty_count = next.dirty.iter().filter(|&&d| d).count();
+                let (proto, actions) = match next
+                    .protocol
+                    .step(Event::RoundDelivered { dirty: dirty_count })
+                {
+                    Ok(ok) => ok,
+                    Err(e) => return Some(("machine-accepts-round", e.to_string(), label)),
+                };
+                next.protocol = proto;
+                next.round_in_flight = false;
+                if actions.contains(Action::ExportDirty) {
+                    let round = (next.protocol.rounds_completed + 1) as u8;
+                    let mut payload = [0u8; MAX_FLOWS];
+                    let mut carried = 0u8;
+                    for (flow, cell) in payload.iter_mut().enumerate().take(scenario.flows) {
+                        if next.dirty[flow] {
+                            *cell = next.source[flow];
+                            next.exported[flow] = next.source[flow];
+                            carried += 1;
+                        }
+                    }
+                    next.dirty = [false; MAX_FLOWS];
+                    next.link.send(Msg {
+                        round,
+                        is_freeze: actions.contains(Action::PauseSource),
+                        payload,
+                    });
+                    if actions.contains(Action::PauseSource) {
+                        next.source_paused = true;
+                        next.freeze_sent = true;
+                        next.freeze_flows = carried;
+                    } else {
+                        next.round_in_flight = true;
+                    }
+                } else if actions.contains(Action::DiscardTarget) {
+                    // Divergence policy rolled the migration back.
+                    next.target_alive = false;
+                    next.target = [0; MAX_FLOWS];
+                    next.target_round = [0; MAX_FLOWS];
+                }
+                // ActivateTarget (handoff Done) needs no world change: the
+                // slice already landed (delivery gated the completion).
+            }
+            StepLabel::FreezeComplete => {
+                let (proto, actions) = match next.protocol.step(Event::FreezeDelivered) {
+                    Ok(ok) => ok,
+                    Err(e) => return Some(("machine-accepts-freeze", e.to_string(), label)),
+                };
+                next.protocol = proto;
+                debug_assert!(actions.contains(Action::ActivateTarget));
+            }
+            StepLabel::Deliver { slot, .. } => {
+                let Some(msg) = next.link.deliver(slot) else {
+                    return Some((
+                        "link-delivery",
+                        "reorder buffer refused an enumerated delivery".into(),
+                        label,
+                    ));
+                };
+                // Stale messages to a discarded target (or after rollback)
+                // are dropped on the floor, exactly like the runtime's
+                // stale MigrationRound events.
+                let stale = !next.target_alive || next.protocol.phase == Phase::Aborted;
+                if !stale {
+                    for flow in 0..scenario.flows {
+                        let version = msg.payload[flow];
+                        if version == 0 {
+                            continue;
+                        }
+                        let apply = match scenario.apply_policy {
+                            ApplyPolicy::RoundGuarded => msg.round > next.target_round[flow],
+                            ApplyPolicy::LastArrival => true,
+                        };
+                        if !apply {
+                            continue;
+                        }
+                        // I1 — per-flow order: the applied version must
+                        // never regress.
+                        if version < next.target[flow] {
+                            return Some((
+                                "per-flow-order",
+                                format!(
+                                    "round {} delivers flow{flow} v{version} over newer v{} at the target",
+                                    msg.round, next.target[flow]
+                                ),
+                                label,
+                            ));
+                        }
+                        // I2 — no duplicate apply: a round may write a flow
+                        // at most once, and rounds apply in increasing
+                        // order per flow under the guard.
+                        if msg.round == next.target_round[flow] {
+                            return Some((
+                                "no-duplicate-apply",
+                                format!("round {} applied twice to flow{flow}", msg.round),
+                                label,
+                            ));
+                        }
+                        next.target[flow] = version;
+                        next.target_round[flow] = msg.round;
+                    }
+                    if msg.is_freeze {
+                        next.freeze_applied = true;
+                    }
+                }
+            }
+            StepLabel::Abort => {
+                let (proto, actions) = match next.protocol.step(Event::Abort) {
+                    Ok(ok) => ok,
+                    Err(e) => return Some(("machine-accepts-abort", e.to_string(), label)),
+                };
+                next.protocol = proto;
+                debug_assert!(actions.contains(Action::DiscardTarget));
+                next.target_alive = false;
+                next.target = [0; MAX_FLOWS];
+                next.target_round = [0; MAX_FLOWS];
+                next.round_in_flight = false;
+            }
+            StepLabel::TargetCrash => {
+                let (proto, actions) = match next.protocol.step(Event::TargetCrash) {
+                    Ok(ok) => ok,
+                    Err(e) => return Some(("machine-accepts-crash", e.to_string(), label)),
+                };
+                next.protocol = proto;
+                next.target_alive = false;
+                next.target = [0; MAX_FLOWS];
+                next.target_round = [0; MAX_FLOWS];
+                next.round_in_flight = false;
+                if actions.contains(Action::ResumeSource) {
+                    next.source_paused = false;
+                }
+            }
+        }
+        search.push(next, parent, label);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_copy_fifo_space_is_clean_and_nontrivial() {
+        let scenario = Scenario::pre_copy("pre_copy/w0", 2, 0);
+        let outcome = check(&scenario);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+        assert!(outcome.explored > 100, "explored {}", outcome.explored);
+        assert!(outcome.terminal > 0);
+    }
+
+    #[test]
+    fn pre_copy_survives_reorder_abort_and_crash() {
+        let mut scenario = Scenario::pre_copy("pre_copy/w2/chaos", 3, 2);
+        scenario.enable_abort = true;
+        scenario.enable_crash = true;
+        let outcome = check(&scenario);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+        assert!(outcome.explored > 1000, "explored {}", outcome.explored);
+    }
+
+    #[test]
+    fn abort_divergence_policy_keeps_blackout_bounded() {
+        let mut scenario = Scenario::pre_copy("pre_copy/abort-policy", 3, 1);
+        scenario.on_divergence = DivergencePolicy::Abort;
+        scenario.convergence_flows = 0;
+        scenario.max_rounds = 2;
+        let outcome = check(&scenario);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn last_arrival_under_reorder_is_caught_with_a_trace() {
+        // The counterexample the checker found on the way to the abort arc:
+        // with blind last-arrival applies, a reordered link lets an older
+        // round overtake a newer one and regress a flow — the same bug
+        // class as the PCIe FIFO clamp fix of PR 3. Pinned here so the
+        // checker's teeth never dull.
+        let mut scenario = Scenario::pre_copy("pre_copy/last-arrival/w1", 2, 1);
+        scenario.apply_policy = ApplyPolicy::LastArrival;
+        let outcome = check(&scenario);
+        let violation = outcome
+            .violation
+            .expect("checker must find the reorder bug");
+        assert_eq!(violation.invariant, "per-flow-order");
+        assert!(violation.trace.len() > 3);
+        assert!(violation.to_string().contains("per-flow-order"));
+    }
+
+    #[test]
+    fn last_arrival_on_fifo_link_is_safe_for_pre_copy() {
+        // On a FIFO link (window 0) rounds arrive in order, so even blind
+        // applies cannot regress — which is exactly why the runtime's PCIe
+        // FIFO clamp makes the shipped import discipline sufficient.
+        let mut scenario = Scenario::pre_copy("pre_copy/last-arrival/w0", 2, 0);
+        scenario.apply_policy = ApplyPolicy::LastArrival;
+        let outcome = check(&scenario);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn handoff_recreated_state_needs_the_round_guard() {
+        // Re-steered packets can beat their state to the recipient; a blind
+        // apply then clobbers the newer re-created entry even on a FIFO
+        // link. The round guard (recreated state outranks any transferred
+        // round) keeps it safe.
+        let mut naive = Scenario::scale_out_handoff("handoff/last-arrival", 2, 0);
+        naive.apply_policy = ApplyPolicy::LastArrival;
+        let outcome = check(&naive);
+        let violation = outcome.violation.expect("blind handoff apply must fail");
+        assert_eq!(violation.invariant, "per-flow-order");
+
+        let guarded = Scenario::scale_out_handoff("handoff/guarded", 2, 0);
+        let outcome = check(&guarded);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn stop_and_copy_space_is_clean() {
+        let mut scenario = Scenario::stop_and_copy("stop_and_copy/w1", 2, 1);
+        scenario.enable_crash = true;
+        let outcome = check(&scenario);
+        assert!(outcome.passed(), "{:?}", outcome.violation);
+        assert!(outcome.terminal > 0);
+    }
+
+    #[test]
+    fn explored_count_is_deterministic() {
+        let scenario = Scenario::pre_copy("determinism", 2, 1);
+        let first = check(&scenario);
+        let second = check(&scenario);
+        assert_eq!(first.explored, second.explored);
+        assert_eq!(first.terminal, second.terminal);
+    }
+}

@@ -1,0 +1,48 @@
+//! The migration/handover protocol as an explicit, pure state machine —
+//! plus the exhaustive small-scope model checker that pins its safety.
+//!
+//! The paper's core guarantee — zero-loss, order-preserving vNF state
+//! migration under live traffic — used to live implicitly inside
+//! `pam-runtime`'s `ChainRuntime` and was pinned only by property-test
+//! *sampling*. This crate extracts the protocol into [`HandoverState`] with a
+//! pure [`HandoverState::step`] transition function, and the shipped runtime
+//! drives exactly these transitions, so the checked model and the executing
+//! code cannot drift apart.
+//!
+//! Three handover kinds share the machine (see [`HandoverKind`]):
+//!
+//! * **stop-and-copy** — pause, ship everything, resume (one freeze round);
+//! * **iterative pre-copy** — a snapshot round plus dirty rounds while the
+//!   source serves, then a freeze of the residual dirty set, with abort /
+//!   rollback arcs before the point of no return;
+//! * **scale-out handoff** — the fleet's non-blocking cross-server state
+//!   slice transfer behind flow re-steering.
+//!
+//! The [`checker`] module enumerates — exhaustively, by breadth-first search
+//! over *all* interleavings of bounded scenarios (few flows, few writes,
+//! bounded rounds, a bounded link-reorder window, abort/crash at every
+//! phase) — every reachable state of the protocol composed with a small
+//! world model (source, target, in-flight link messages), and asserts the
+//! safety invariants the runtime relies on: no lost acked state, no
+//! duplicate or regressive apply, per-flow ordering, bounded blackout, and
+//! no stuck non-final state. The `model_check` binary runs the suite and
+//! reports the explored-state counts (CI gates on it).
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod machine;
+
+pub use checker::{check, ApplyPolicy, CheckOutcome, Scenario, Violation};
+pub use machine::{
+    Action, Actions, DivergencePolicy, Event, HandoverKind, HandoverState, Phase, ProtocolConfig,
+    ProtocolError,
+};

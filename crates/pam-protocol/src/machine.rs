@@ -1,0 +1,650 @@
+//! The handover protocol state machine.
+//!
+//! [`HandoverState::step`] is a *pure* function `(state, event) -> (state,
+//! actions)`: it performs no I/O, touches no clocks and allocates nothing,
+//! which is what makes it exhaustively checkable (see [`crate::checker`])
+//! while still being the exact transition relation the runtime executes.
+//!
+//! ```text
+//!                    ┌───────────────────────────────────────────────┐
+//!                    │                (pre-copy)                     │
+//!  Serving ──Start──▶ Snapshot ──RoundDelivered──▶ DirtyRound(n) ──┐ │
+//!     │                  │   ▲                        │    │       │ │
+//!     │                  │   └──────RoundDelivered────┘    │       │ │
+//!     │                  │      (dirty > convergence)      │       │ │
+//!     │                  │                                 │       │ │
+//!     │                  ├──── converged / round cap ──────┘       │ │
+//!     │                  ▼                                         │ │
+//!     │               Freeze ──FreezeDelivered──▶ Done             │ │
+//!     │                  │                                         │ │
+//!     │                  │ TargetCrash / DeltaRejected             │ │
+//!     │                  ▼                                         │ │
+//!     │              Aborted ◀── Abort / TargetCrash / ────────────┘ │
+//!     │                          DeltaRejected / divergence policy   │
+//!     └──Start (stop-and-copy)──▶ Freeze ── ... ─────────────────────┘
+//! ```
+//!
+//! The abort/rollback arcs keep the source authoritative: before the freeze
+//! the source never stopped serving, so aborting merely discards the staged
+//! target; during the freeze the source is paused but its state is intact,
+//! so a target crash rolls back by resuming the source. Only
+//! [`Action::ActivateTarget`] (the `Done` transition) retires the source —
+//! that is the protocol's point of no return.
+
+use serde::{Deserialize, Serialize};
+
+/// Which handover sub-protocol a [`HandoverState`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HandoverKind {
+    /// Pause the vNF, ship its whole state in one freeze round, resume on
+    /// the target. `Start` goes straight to [`Phase::Freeze`].
+    StopAndCopy,
+    /// Iterative pre-copy: snapshot + dirty rounds while the source serves,
+    /// then a freeze of the residual dirty set.
+    PreCopy,
+    /// The fleet's cross-server scale-out handoff: one non-blocking state
+    /// slice transfer behind flow re-steering; the source never pauses
+    /// (re-steered packets that beat their state re-create it, so there is
+    /// no freeze phase at all).
+    ScaleOutHandoff,
+}
+
+impl HandoverKind {
+    /// All kinds, in report order.
+    pub const ALL: [HandoverKind; 3] = [
+        HandoverKind::StopAndCopy,
+        HandoverKind::PreCopy,
+        HandoverKind::ScaleOutHandoff,
+    ];
+
+    /// The machine-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HandoverKind::StopAndCopy => "stop_and_copy",
+            HandoverKind::PreCopy => "pre_copy",
+            HandoverKind::ScaleOutHandoff => "scale_out_handoff",
+        }
+    }
+}
+
+/// The phase of a handover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// No handover in progress; the source serves alone.
+    Serving,
+    /// The full snapshot (pre-copy round 1, or the handoff's state slice) is
+    /// in flight while the source keeps serving.
+    Snapshot,
+    /// Pre-copy dirty round `n` (`n >= 2`) is in flight; the source keeps
+    /// serving and dirtying flows.
+    DirtyRound(u32),
+    /// The source is paused; the residual dirty set (or, under
+    /// stop-and-copy, the whole state) is in flight. This is the blackout
+    /// window.
+    Freeze,
+    /// The target is authoritative; the handover succeeded. Final.
+    Done,
+    /// The handover was rolled back: the staged target was discarded and the
+    /// source serves (again). Final.
+    Aborted,
+}
+
+impl Phase {
+    /// True for the two terminal phases.
+    pub fn is_final(self) -> bool {
+        matches!(self, Phase::Done | Phase::Aborted)
+    }
+
+    /// A short machine-readable name (round numbers elided).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Serving => "serving",
+            Phase::Snapshot => "snapshot",
+            Phase::DirtyRound(_) => "dirty_round",
+            Phase::Freeze => "freeze",
+            Phase::Done => "done",
+            Phase::Aborted => "aborted",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::DirtyRound(n) => write!(f, "dirty_round({n})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// An input to [`HandoverState::step`].
+///
+/// Events describe what *happened* (a transfer completed, the operator
+/// aborted, the target crashed); the machine answers with what must be done
+/// next ([`Action`]s) and the successor state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Event {
+    /// Begin the handover (only legal in [`Phase::Serving`]).
+    Start,
+    /// The in-flight snapshot/dirty round finished its transfer; `dirty` is
+    /// the number of flows dirtied at the source since that round's export.
+    RoundDelivered {
+        /// Flows dirtied since the completed round was exported.
+        dirty: usize,
+    },
+    /// The freeze round's residual transfer (and control-plane switchover)
+    /// completed: the target takes over.
+    FreezeDelivered,
+    /// The target rejected an imported state blob or delta (corruption).
+    DeltaRejected,
+    /// Operator / policy abort request. Legal before the freeze only — the
+    /// freeze is the point of no return for voluntary aborts.
+    Abort,
+    /// The staged target crashed. Legal in every non-final in-progress
+    /// phase, including the freeze (the source is paused there but intact,
+    /// so the machine rolls back and resumes it).
+    TargetCrash,
+}
+
+impl Event {
+    /// A short machine-readable name (payloads elided).
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Start => "start",
+            Event::RoundDelivered { .. } => "round_delivered",
+            Event::FreezeDelivered => "freeze_delivered",
+            Event::DeltaRejected => "delta_rejected",
+            Event::Abort => "abort",
+            Event::TargetCrash => "target_crash",
+        }
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An obligation the runtime must discharge when a transition fires.
+///
+/// Actions are *instructions to the environment*: the pure machine never
+/// touches flow tables or links itself. The runtime (and the model checker's
+/// world model) interpret them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// Export the source's full state and ship it (snapshot round, or the
+    /// stop-and-copy freeze payload, or the handoff slice).
+    ExportFull,
+    /// Export the flows dirtied since the last export and ship them as the
+    /// next round (or as the freeze's residual payload).
+    ExportDirty,
+    /// Pause the source: the blackout begins.
+    PauseSource,
+    /// The target becomes authoritative; retire the source instance.
+    ActivateTarget,
+    /// Discard the staged target and any state it accumulated.
+    DiscardTarget,
+    /// Resume the paused source (rollback out of a freeze).
+    ResumeSource,
+}
+
+/// A small fixed-capacity action list (at most three actions accompany any
+/// transition), cheap to copy and free of heap allocation so the checker can
+/// store and compare millions of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Actions {
+    slots: [Option<Action>; 3],
+}
+
+impl Actions {
+    /// No actions.
+    pub const EMPTY: Actions = Actions { slots: [None; 3] };
+
+    fn of(actions: &[Action]) -> Actions {
+        let mut out = Actions::EMPTY;
+        for (slot, action) in out.slots.iter_mut().zip(actions) {
+            *slot = Some(*action);
+        }
+        debug_assert!(actions.len() <= out.slots.len());
+        out
+    }
+
+    /// The actions, in the order the runtime must perform them.
+    pub fn iter(&self) -> impl Iterator<Item = Action> + '_ {
+        self.slots.iter().filter_map(|slot| *slot)
+    }
+
+    /// True when `action` is among the obligations.
+    pub fn contains(&self, action: Action) -> bool {
+        self.slots.contains(&Some(action))
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// True when there is nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.slots[0].is_none()
+    }
+}
+
+/// A rejected [`HandoverState::step`]: the event is not legal in the current
+/// phase. The state is unchanged (step takes `&self`), so illegal events are
+/// side-effect-free by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The phase the machine was in.
+    pub phase: Phase,
+    /// The rejected event.
+    pub event: Event,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "illegal handover event {} in phase {}",
+            self.event, self.phase
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// What to do when pre-copy hits its round cap without converging (the dirty
+/// set is still larger than the convergence bound after `max_rounds` rounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DivergencePolicy {
+    /// Freeze anyway and eat the (unbounded) blackout of shipping the whole
+    /// residual dirty set. This is the classic pre-copy fallback.
+    ForceFreeze,
+    /// Roll the migration back instead: discard the staged target and keep
+    /// serving from the source. The blackout stays bounded by the
+    /// convergence knob — a freeze only ever ships a converged residual.
+    Abort,
+}
+
+impl DivergencePolicy {
+    /// Both policies, in report order.
+    pub const ALL: [DivergencePolicy; 2] = [DivergencePolicy::ForceFreeze, DivergencePolicy::Abort];
+
+    /// The machine-readable name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            DivergencePolicy::ForceFreeze => "force_freeze",
+            DivergencePolicy::Abort => "abort",
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for DivergencePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The static knobs of one handover (mirrors the runtime's
+/// `MigrationConfig`, restricted to what the transition relation needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProtocolConfig {
+    /// Which sub-protocol runs.
+    pub kind: HandoverKind,
+    /// Maximum number of non-blocking pre-copy rounds (the snapshot round
+    /// counts) before the divergence policy applies.
+    pub max_rounds: usize,
+    /// Convergence bound: a round leaving at most this many dirty flows
+    /// triggers the freeze.
+    pub convergence_flows: usize,
+    /// What happens at the round cap without convergence.
+    pub on_divergence: DivergencePolicy,
+}
+
+impl ProtocolConfig {
+    /// A pre-copy protocol with the given knobs.
+    pub fn pre_copy(
+        max_rounds: usize,
+        convergence_flows: usize,
+        on_divergence: DivergencePolicy,
+    ) -> Self {
+        ProtocolConfig {
+            kind: HandoverKind::PreCopy,
+            max_rounds,
+            convergence_flows,
+            on_divergence,
+        }
+    }
+
+    /// The stop-and-copy protocol (rounds and convergence are moot: the one
+    /// freeze round ships everything).
+    pub fn stop_and_copy() -> Self {
+        ProtocolConfig {
+            kind: HandoverKind::StopAndCopy,
+            max_rounds: 1,
+            convergence_flows: 0,
+            on_divergence: DivergencePolicy::ForceFreeze,
+        }
+    }
+
+    /// The fleet's scale-out handoff protocol (one non-blocking slice
+    /// round, no freeze).
+    pub fn scale_out_handoff() -> Self {
+        ProtocolConfig {
+            kind: HandoverKind::ScaleOutHandoff,
+            max_rounds: 1,
+            convergence_flows: 0,
+            on_divergence: DivergencePolicy::ForceFreeze,
+        }
+    }
+}
+
+/// The complete dynamic state of one handover: phase plus the round
+/// counter. `Copy` and tiny on purpose — the model checker stores millions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HandoverState {
+    /// The static knobs this handover runs under.
+    pub config: ProtocolConfig,
+    /// The current phase.
+    pub phase: Phase,
+    /// Rounds whose transfer has completed (the snapshot is round 1). Only
+    /// pre-copy advances this beyond 1.
+    pub rounds_completed: usize,
+}
+
+impl HandoverState {
+    /// A fresh handover in [`Phase::Serving`], ready for [`Event::Start`].
+    pub fn new(config: ProtocolConfig) -> Self {
+        HandoverState {
+            config,
+            phase: Phase::Serving,
+            rounds_completed: 0,
+        }
+    }
+
+    /// A handover frozen at an arbitrary phase/round — for table-driven
+    /// tests and tooling that must exercise every `(phase, event)` pair
+    /// without replaying a history. The runtime itself only ever uses
+    /// [`HandoverState::new`] and [`HandoverState::step`].
+    pub fn at_phase(config: ProtocolConfig, phase: Phase, rounds_completed: usize) -> Self {
+        HandoverState {
+            config,
+            phase,
+            rounds_completed,
+        }
+    }
+
+    /// True once the handover reached a terminal phase.
+    pub fn is_final(&self) -> bool {
+        self.phase.is_final()
+    }
+
+    /// The pure transition function.
+    ///
+    /// Returns the successor state and the [`Actions`] the environment must
+    /// perform, or a [`ProtocolError`] if `event` is illegal in the current
+    /// phase — in which case the machine is untouched (the receiver is
+    /// `&self`), so rejection can never corrupt a handover.
+    pub fn step(&self, event: Event) -> Result<(HandoverState, Actions), ProtocolError> {
+        use HandoverKind as K;
+        let illegal = || {
+            Err(ProtocolError {
+                phase: self.phase,
+                event,
+            })
+        };
+        let next = |phase: Phase, rounds_completed: usize, actions: &[Action]| {
+            Ok((
+                HandoverState {
+                    config: self.config,
+                    phase,
+                    rounds_completed,
+                },
+                Actions::of(actions),
+            ))
+        };
+
+        match (self.phase, event) {
+            // ---- Start ---------------------------------------------------
+            (Phase::Serving, Event::Start) => match self.config.kind {
+                // Stop-and-copy has no serving rounds: the whole state is
+                // the freeze payload and the blackout starts immediately.
+                K::StopAndCopy => {
+                    next(Phase::Freeze, 0, &[Action::ExportFull, Action::PauseSource])
+                }
+                // Pre-copy and the fleet handoff ship a full snapshot while
+                // the source keeps serving.
+                K::PreCopy | K::ScaleOutHandoff => next(Phase::Snapshot, 0, &[Action::ExportFull]),
+            },
+            (_, Event::Start) => illegal(),
+
+            // ---- Serving rounds (snapshot + dirty rounds) ----------------
+            (Phase::Snapshot | Phase::DirtyRound(_), Event::RoundDelivered { dirty }) => {
+                let completed = self.rounds_completed + 1;
+                match self.config.kind {
+                    K::StopAndCopy => illegal(),
+                    // The handoff's single slice round completes the
+                    // protocol: the recipient is authoritative for the
+                    // re-steered flows the moment their state lands
+                    // (packets that beat it re-created it already).
+                    K::ScaleOutHandoff => next(Phase::Done, completed, &[Action::ActivateTarget]),
+                    K::PreCopy => {
+                        if dirty <= self.config.convergence_flows {
+                            // Converged: freeze and ship the residual. The
+                            // blackout is bounded by the convergence knob.
+                            next(
+                                Phase::Freeze,
+                                completed,
+                                &[Action::ExportDirty, Action::PauseSource],
+                            )
+                        } else if completed >= self.config.max_rounds {
+                            match self.config.on_divergence {
+                                // Round cap without convergence: the classic
+                                // fallback freezes anyway (unbounded
+                                // blackout), the abort policy rolls back.
+                                DivergencePolicy::ForceFreeze => next(
+                                    Phase::Freeze,
+                                    completed,
+                                    &[Action::ExportDirty, Action::PauseSource],
+                                ),
+                                DivergencePolicy::Abort => {
+                                    next(Phase::Aborted, completed, &[Action::DiscardTarget])
+                                }
+                            }
+                        } else {
+                            next(
+                                Phase::DirtyRound((completed + 1) as u32),
+                                completed,
+                                &[Action::ExportDirty],
+                            )
+                        }
+                    }
+                }
+            }
+            (_, Event::RoundDelivered { .. }) => illegal(),
+
+            // ---- Freeze completion --------------------------------------
+            (Phase::Freeze, Event::FreezeDelivered) => next(
+                Phase::Done,
+                self.rounds_completed + 1,
+                &[Action::ActivateTarget],
+            ),
+            (_, Event::FreezeDelivered) => illegal(),
+
+            // ---- Rollback arcs ------------------------------------------
+            // Before the freeze the source never stopped serving, so abort,
+            // crash and corruption all roll back by discarding the target.
+            (Phase::Snapshot | Phase::DirtyRound(_), Event::Abort)
+            | (Phase::Snapshot | Phase::DirtyRound(_), Event::TargetCrash)
+            | (Phase::Snapshot | Phase::DirtyRound(_), Event::DeltaRejected) => next(
+                Phase::Aborted,
+                self.rounds_completed,
+                &[Action::DiscardTarget],
+            ),
+            // During the freeze the source is paused but intact: a crash or
+            // a rejected residual rolls back by resuming it. A *voluntary*
+            // abort is illegal here — the freeze is the point of no return
+            // for operator aborts (matching the runtime, whose freeze is
+            // atomic).
+            (Phase::Freeze, Event::TargetCrash) | (Phase::Freeze, Event::DeltaRejected) => next(
+                Phase::Aborted,
+                self.rounds_completed,
+                &[Action::DiscardTarget, Action::ResumeSource],
+            ),
+            (Phase::Freeze, Event::Abort) => illegal(),
+            (Phase::Serving | Phase::Done | Phase::Aborted, _) => illegal(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pre_copy() -> ProtocolConfig {
+        ProtocolConfig::pre_copy(3, 1, DivergencePolicy::ForceFreeze)
+    }
+
+    #[test]
+    fn pre_copy_happy_path_converges_into_freeze() {
+        let state = HandoverState::new(pre_copy());
+        let (state, actions) = state.step(Event::Start).unwrap();
+        assert_eq!(state.phase, Phase::Snapshot);
+        assert!(actions.contains(Action::ExportFull));
+        assert!(!actions.contains(Action::PauseSource));
+
+        // Snapshot done, 5 flows dirty: not converged, round 2 follows.
+        let (state, actions) = state.step(Event::RoundDelivered { dirty: 5 }).unwrap();
+        assert_eq!(state.phase, Phase::DirtyRound(2));
+        assert_eq!(state.rounds_completed, 1);
+        assert!(actions.contains(Action::ExportDirty));
+
+        // Round 2 done, 1 flow dirty: converged, freeze the residual.
+        let (state, actions) = state.step(Event::RoundDelivered { dirty: 1 }).unwrap();
+        assert_eq!(state.phase, Phase::Freeze);
+        assert!(actions.contains(Action::ExportDirty));
+        assert!(actions.contains(Action::PauseSource));
+
+        let (state, actions) = state.step(Event::FreezeDelivered).unwrap();
+        assert_eq!(state.phase, Phase::Done);
+        assert!(state.is_final());
+        assert!(actions.contains(Action::ActivateTarget));
+    }
+
+    #[test]
+    fn round_cap_forces_freeze_or_aborts_by_policy() {
+        for (policy, phase) in [
+            (DivergencePolicy::ForceFreeze, Phase::Freeze),
+            (DivergencePolicy::Abort, Phase::Aborted),
+        ] {
+            let config = ProtocolConfig::pre_copy(2, 0, policy);
+            let state = HandoverState::new(config);
+            let (state, _) = state.step(Event::Start).unwrap();
+            let (state, _) = state.step(Event::RoundDelivered { dirty: 9 }).unwrap();
+            assert_eq!(state.phase, Phase::DirtyRound(2));
+            // Round 2 is the cap; still 9 dirty — the policy decides.
+            let (state, actions) = state.step(Event::RoundDelivered { dirty: 9 }).unwrap();
+            assert_eq!(state.phase, phase, "policy {policy}");
+            if policy == DivergencePolicy::Abort {
+                assert!(actions.contains(Action::DiscardTarget));
+                assert!(!actions.contains(Action::PauseSource));
+            }
+        }
+    }
+
+    #[test]
+    fn stop_and_copy_is_one_freeze_round() {
+        let state = HandoverState::new(ProtocolConfig::stop_and_copy());
+        let (state, actions) = state.step(Event::Start).unwrap();
+        assert_eq!(state.phase, Phase::Freeze);
+        assert!(actions.contains(Action::ExportFull));
+        assert!(actions.contains(Action::PauseSource));
+        let (state, actions) = state.step(Event::FreezeDelivered).unwrap();
+        assert_eq!(state.phase, Phase::Done);
+        assert!(actions.contains(Action::ActivateTarget));
+        // No serving rounds exist under stop-and-copy.
+        let err = HandoverState::at_phase(ProtocolConfig::stop_and_copy(), Phase::Snapshot, 0)
+            .step(Event::RoundDelivered { dirty: 0 })
+            .unwrap_err();
+        assert_eq!(err.event.name(), "round_delivered");
+    }
+
+    #[test]
+    fn handoff_is_one_non_blocking_round() {
+        let state = HandoverState::new(ProtocolConfig::scale_out_handoff());
+        let (state, actions) = state.step(Event::Start).unwrap();
+        assert_eq!(state.phase, Phase::Snapshot);
+        assert!(actions.contains(Action::ExportFull));
+        let (state, actions) = state.step(Event::RoundDelivered { dirty: 0 }).unwrap();
+        assert_eq!(state.phase, Phase::Done);
+        assert!(actions.contains(Action::ActivateTarget));
+        // The source never paused anywhere along the way.
+        assert!(!actions.contains(Action::PauseSource));
+    }
+
+    #[test]
+    fn freeze_rolls_back_on_crash_but_rejects_voluntary_abort() {
+        let config = pre_copy();
+        let frozen = HandoverState::at_phase(config, Phase::Freeze, 2);
+        let err = frozen.step(Event::Abort).unwrap_err();
+        assert_eq!(err.phase, Phase::Freeze);
+        assert!(err.to_string().contains("illegal"));
+        let (state, actions) = frozen.step(Event::TargetCrash).unwrap();
+        assert_eq!(state.phase, Phase::Aborted);
+        assert!(actions.contains(Action::DiscardTarget));
+        assert!(actions.contains(Action::ResumeSource));
+    }
+
+    #[test]
+    fn final_phases_reject_everything() {
+        for phase in [Phase::Done, Phase::Aborted] {
+            let state = HandoverState::at_phase(pre_copy(), phase, 3);
+            for event in [
+                Event::Start,
+                Event::RoundDelivered { dirty: 0 },
+                Event::FreezeDelivered,
+                Event::DeltaRejected,
+                Event::Abort,
+                Event::TargetCrash,
+            ] {
+                assert!(state.step(event).is_err(), "{phase} must reject {event}");
+            }
+        }
+    }
+
+    #[test]
+    fn actions_list_behaves() {
+        assert!(Actions::EMPTY.is_empty());
+        assert_eq!(Actions::EMPTY.len(), 0);
+        let actions = Actions::of(&[Action::ExportDirty, Action::PauseSource]);
+        assert_eq!(actions.len(), 2);
+        assert_eq!(
+            actions.iter().collect::<Vec<_>>(),
+            vec![Action::ExportDirty, Action::PauseSource]
+        );
+        assert!(actions.contains(Action::PauseSource));
+        assert!(!actions.contains(Action::ActivateTarget));
+    }
+
+    #[test]
+    fn names_and_serde_round_trip() {
+        for kind in HandoverKind::ALL {
+            assert!(!kind.name().is_empty());
+        }
+        for policy in DivergencePolicy::ALL {
+            assert_eq!(DivergencePolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(DivergencePolicy::from_name("give_up"), None);
+        let json = serde_json::to_string(&DivergencePolicy::Abort).unwrap();
+        let back: DivergencePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, DivergencePolicy::Abort);
+        assert_eq!(format!("{}", Phase::DirtyRound(3)), "dirty_round(3)");
+        assert_eq!(Event::FreezeDelivered.to_string(), "freeze_delivered");
+    }
+}

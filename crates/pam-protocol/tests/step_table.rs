@@ -1,0 +1,387 @@
+//! Table-driven coverage of the handover machine's full transition table:
+//! every `(phase, event)` pair, for every handover kind, including the
+//! illegal pairs — which must be *rejected* (`Err`, state untouched), never
+//! silently absorbed. The tables below are the protocol's ground truth in
+//! test form; any edit to `HandoverState::step` that changes a single cell
+//! fails here before the model checker even runs.
+
+use pam_protocol::{Action, DivergencePolicy, Event, HandoverState, Phase, ProtocolConfig};
+
+/// What a `(phase, event)` cell of the transition table must produce.
+enum Expect {
+    /// The event is illegal in this phase: `step` returns `Err` naming both.
+    Illegal,
+    /// The event fires: the machine moves to this phase with these actions.
+    Goes(Phase, &'static [Action]),
+}
+use Expect::{Goes, Illegal};
+
+/// One row: start phase (+ rounds already completed), event, expectation.
+struct Row {
+    phase: Phase,
+    rounds_completed: usize,
+    event: Event,
+    expect: Expect,
+}
+
+fn row(phase: Phase, rounds_completed: usize, event: Event, expect: Expect) -> Row {
+    Row {
+        phase,
+        rounds_completed,
+        event,
+        expect,
+    }
+}
+
+fn run_table(config: ProtocolConfig, rows: Vec<Row>) {
+    for r in rows {
+        let state = HandoverState::at_phase(config, r.phase, r.rounds_completed);
+        let result = state.step(r.event);
+        match r.expect {
+            Illegal => {
+                let error = result.expect_err(&format!(
+                    "{:?}: {} in {} (rounds={}) must be illegal",
+                    config.kind, r.event, r.phase, r.rounds_completed
+                ));
+                assert_eq!(error.phase, r.phase);
+                assert_eq!(error.event, r.event);
+                // Rejection is loud and diagnosable.
+                assert!(error.to_string().contains("illegal handover event"));
+            }
+            Goes(next_phase, actions) => {
+                let (next, got) = result.unwrap_or_else(|e| {
+                    panic!(
+                        "{:?}: {} in {} (rounds={}) must be legal, got {e}",
+                        config.kind, r.event, r.phase, r.rounds_completed
+                    )
+                });
+                assert_eq!(
+                    next.phase, next_phase,
+                    "{:?}: {} in {} lands wrong",
+                    config.kind, r.event, r.phase
+                );
+                assert_eq!(
+                    got.iter().collect::<Vec<_>>(),
+                    actions.to_vec(),
+                    "{:?}: {} in {} emits wrong actions",
+                    config.kind,
+                    r.event,
+                    r.phase
+                );
+                // The machine is pure: stepping must not mutate the input.
+                assert_eq!(state.phase, r.phase);
+                assert_eq!(state.rounds_completed, r.rounds_completed);
+            }
+        }
+    }
+}
+
+/// Shorthands for the six events (RoundDelivered carries its dirty count).
+const START: Event = Event::Start;
+const FREEZE_OK: Event = Event::FreezeDelivered;
+const REJECT: Event = Event::DeltaRejected;
+const ABORT: Event = Event::Abort;
+const CRASH: Event = Event::TargetCrash;
+fn round(dirty: usize) -> Event {
+    Event::RoundDelivered { dirty }
+}
+
+#[test]
+fn pre_copy_full_transition_table() {
+    // max_rounds 3, convergence 1, force-freeze on divergence.
+    let config = ProtocolConfig::pre_copy(3, 1, DivergencePolicy::ForceFreeze);
+    let dirty2 = Phase::DirtyRound(2);
+    run_table(
+        config,
+        vec![
+            // -- Serving: only Start is legal. ---------------------------
+            row(
+                Phase::Serving,
+                0,
+                START,
+                Goes(Phase::Snapshot, &[Action::ExportFull]),
+            ),
+            row(Phase::Serving, 0, round(0), Illegal),
+            row(Phase::Serving, 0, FREEZE_OK, Illegal),
+            row(Phase::Serving, 0, REJECT, Illegal),
+            row(Phase::Serving, 0, ABORT, Illegal),
+            row(Phase::Serving, 0, CRASH, Illegal),
+            // -- Snapshot: rounds and rollback arcs. ---------------------
+            row(Phase::Snapshot, 0, START, Illegal),
+            // Converged at the snapshot: freeze the residual immediately.
+            row(
+                Phase::Snapshot,
+                0,
+                round(1),
+                Goes(Phase::Freeze, &[Action::ExportDirty, Action::PauseSource]),
+            ),
+            // Not converged: next dirty round.
+            row(
+                Phase::Snapshot,
+                0,
+                round(5),
+                Goes(dirty2, &[Action::ExportDirty]),
+            ),
+            row(Phase::Snapshot, 0, FREEZE_OK, Illegal),
+            row(
+                Phase::Snapshot,
+                0,
+                REJECT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                Phase::Snapshot,
+                0,
+                ABORT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                Phase::Snapshot,
+                0,
+                CRASH,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            // -- DirtyRound(2) with one round completed. -----------------
+            row(dirty2, 1, START, Illegal),
+            row(
+                dirty2,
+                1,
+                round(0),
+                Goes(Phase::Freeze, &[Action::ExportDirty, Action::PauseSource]),
+            ),
+            row(
+                dirty2,
+                1,
+                round(9),
+                Goes(Phase::DirtyRound(3), &[Action::ExportDirty]),
+            ),
+            row(dirty2, 1, FREEZE_OK, Illegal),
+            row(
+                dirty2,
+                1,
+                REJECT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                dirty2,
+                1,
+                ABORT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                dirty2,
+                1,
+                CRASH,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            // At the round cap without convergence, ForceFreeze freezes.
+            row(
+                Phase::DirtyRound(3),
+                2,
+                round(9),
+                Goes(Phase::Freeze, &[Action::ExportDirty, Action::PauseSource]),
+            ),
+            // -- Freeze: completion, rollback, and the point of no return.
+            row(Phase::Freeze, 2, START, Illegal),
+            row(Phase::Freeze, 2, round(0), Illegal),
+            row(
+                Phase::Freeze,
+                2,
+                FREEZE_OK,
+                Goes(Phase::Done, &[Action::ActivateTarget]),
+            ),
+            row(
+                Phase::Freeze,
+                2,
+                REJECT,
+                Goes(
+                    Phase::Aborted,
+                    &[Action::DiscardTarget, Action::ResumeSource],
+                ),
+            ),
+            // A voluntary abort is illegal once frozen.
+            row(Phase::Freeze, 2, ABORT, Illegal),
+            row(
+                Phase::Freeze,
+                2,
+                CRASH,
+                Goes(
+                    Phase::Aborted,
+                    &[Action::DiscardTarget, Action::ResumeSource],
+                ),
+            ),
+            // -- Final phases reject everything. -------------------------
+            row(Phase::Done, 3, START, Illegal),
+            row(Phase::Done, 3, round(0), Illegal),
+            row(Phase::Done, 3, FREEZE_OK, Illegal),
+            row(Phase::Done, 3, REJECT, Illegal),
+            row(Phase::Done, 3, ABORT, Illegal),
+            row(Phase::Done, 3, CRASH, Illegal),
+            row(Phase::Aborted, 1, START, Illegal),
+            row(Phase::Aborted, 1, round(0), Illegal),
+            row(Phase::Aborted, 1, FREEZE_OK, Illegal),
+            row(Phase::Aborted, 1, REJECT, Illegal),
+            row(Phase::Aborted, 1, ABORT, Illegal),
+            row(Phase::Aborted, 1, CRASH, Illegal),
+        ],
+    );
+}
+
+#[test]
+fn pre_copy_divergence_abort_policy_rolls_back_at_the_cap() {
+    let config = ProtocolConfig::pre_copy(3, 1, DivergencePolicy::Abort);
+    run_table(
+        config,
+        vec![
+            // Below the cap the policies agree...
+            row(
+                Phase::DirtyRound(2),
+                1,
+                round(9),
+                Goes(Phase::DirtyRound(3), &[Action::ExportDirty]),
+            ),
+            // ...at the cap without convergence, Abort discards instead of
+            // freezing (and never pauses the source).
+            row(
+                Phase::DirtyRound(3),
+                2,
+                round(9),
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            // Convergence still freezes normally even at the cap.
+            row(
+                Phase::DirtyRound(3),
+                2,
+                round(1),
+                Goes(Phase::Freeze, &[Action::ExportDirty, Action::PauseSource]),
+            ),
+        ],
+    );
+}
+
+#[test]
+fn stop_and_copy_full_transition_table() {
+    let config = ProtocolConfig::stop_and_copy();
+    run_table(
+        config,
+        vec![
+            // Start goes straight to the freeze: the whole state is the
+            // blackout payload.
+            row(
+                Phase::Serving,
+                0,
+                START,
+                Goes(Phase::Freeze, &[Action::ExportFull, Action::PauseSource]),
+            ),
+            row(Phase::Serving, 0, round(0), Illegal),
+            row(Phase::Serving, 0, FREEZE_OK, Illegal),
+            row(Phase::Serving, 0, REJECT, Illegal),
+            row(Phase::Serving, 0, ABORT, Illegal),
+            row(Phase::Serving, 0, CRASH, Illegal),
+            // Serving rounds do not exist under stop-and-copy — even if the
+            // machine were somehow parked there, rounds are illegal.
+            row(Phase::Snapshot, 0, round(0), Illegal),
+            row(Phase::DirtyRound(2), 1, round(0), Illegal),
+            // Freeze behaves identically to pre-copy's.
+            row(
+                Phase::Freeze,
+                0,
+                FREEZE_OK,
+                Goes(Phase::Done, &[Action::ActivateTarget]),
+            ),
+            row(
+                Phase::Freeze,
+                0,
+                CRASH,
+                Goes(
+                    Phase::Aborted,
+                    &[Action::DiscardTarget, Action::ResumeSource],
+                ),
+            ),
+            row(
+                Phase::Freeze,
+                0,
+                REJECT,
+                Goes(
+                    Phase::Aborted,
+                    &[Action::DiscardTarget, Action::ResumeSource],
+                ),
+            ),
+            row(Phase::Freeze, 0, ABORT, Illegal),
+            row(Phase::Freeze, 0, START, Illegal),
+            row(Phase::Freeze, 0, round(0), Illegal),
+            row(Phase::Done, 1, START, Illegal),
+            row(Phase::Aborted, 0, CRASH, Illegal),
+        ],
+    );
+}
+
+#[test]
+fn scale_out_handoff_full_transition_table() {
+    let config = ProtocolConfig::scale_out_handoff();
+    run_table(
+        config,
+        vec![
+            // Start exports the slice; the home server never pauses.
+            row(
+                Phase::Serving,
+                0,
+                START,
+                Goes(Phase::Snapshot, &[Action::ExportFull]),
+            ),
+            row(Phase::Serving, 0, round(0), Illegal),
+            row(Phase::Serving, 0, ABORT, Illegal),
+            // The single slice round completes the handoff — no freeze
+            // phase exists, whatever the dirty count claims.
+            row(
+                Phase::Snapshot,
+                0,
+                round(0),
+                Goes(Phase::Done, &[Action::ActivateTarget]),
+            ),
+            row(
+                Phase::Snapshot,
+                0,
+                round(500),
+                Goes(Phase::Done, &[Action::ActivateTarget]),
+            ),
+            // Rollback arcs still work while the slice is in flight.
+            row(
+                Phase::Snapshot,
+                0,
+                ABORT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                Phase::Snapshot,
+                0,
+                CRASH,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(
+                Phase::Snapshot,
+                0,
+                REJECT,
+                Goes(Phase::Aborted, &[Action::DiscardTarget]),
+            ),
+            row(Phase::Snapshot, 0, FREEZE_OK, Illegal),
+            row(Phase::Snapshot, 0, START, Illegal),
+            row(Phase::Done, 1, round(0), Illegal),
+            row(Phase::Done, 1, ABORT, Illegal),
+            row(Phase::Aborted, 0, round(0), Illegal),
+        ],
+    );
+}
+
+#[test]
+fn rejection_leaves_no_side_effects() {
+    // `step` takes `&self`, so an illegal event cannot corrupt a handover:
+    // the very same value keeps working afterwards.
+    let config = ProtocolConfig::pre_copy(3, 1, DivergencePolicy::ForceFreeze);
+    let state = HandoverState::new(config);
+    assert!(state.step(Event::FreezeDelivered).is_err());
+    assert!(state.step(Event::Abort).is_err());
+    let (after, _) = state.step(Event::Start).unwrap();
+    assert_eq!(after.phase, Phase::Snapshot);
+    assert_eq!(after.rounds_completed, 0);
+}

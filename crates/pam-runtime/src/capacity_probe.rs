@@ -61,7 +61,9 @@ fn delivered_fraction(kind: NfKind, device: Device, load: Gbps, catalog: &Profil
         cpu,
         ..RuntimeConfig::evaluation_default()
     };
-    let mut runtime = ChainRuntime::new(spec, &placement, config).expect("probe runtime");
+    let Ok(mut runtime) = ChainRuntime::new(spec, &placement, config) else {
+        unreachable!("the fixed single-NF probe chain always builds");
+    };
     let mut trace = TraceSynthesizer::new(TraceConfig {
         sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
         flows: FlowGeneratorConfig {

@@ -42,6 +42,7 @@ use crate::instance::VnfInstance;
 use crate::migration::{
     state_transfer_size, MigrationEstimate, MigrationMode, MigrationReport, MigrationRound,
 };
+use pam_protocol::{Action as HandoverAction, Event as HandoverEvent, HandoverState, Phase};
 
 /// What happened to one injected packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,10 @@ pub struct RunOutcome {
     pub pcie_crossings: u64,
     /// Every live migration performed during the run.
     pub migrations: Vec<MigrationReport>,
+    /// Migrations rolled back before handover (operator aborts, corrupt
+    /// deltas, or the [`crate::migration::DivergencePolicy::Abort`] policy at
+    /// the round cap). The source kept serving through each of these.
+    pub aborted_migrations: u64,
 }
 
 /// A measurement over an explicit window (see
@@ -212,6 +217,11 @@ impl BatchPool {
 /// An iterative pre-copy migration in flight: the staged target instance is
 /// warmed round by round while the source keeps serving.
 struct PreCopyInFlight {
+    /// The model-checked protocol machine this migration is an execution of.
+    /// Every phase change below goes through [`HandoverState::step`], so the
+    /// engine cannot drift from the exhaustively checked transition relation
+    /// (see `pam-protocol`).
+    protocol: HandoverState,
     nf_index: usize,
     from: Device,
     to: Device,
@@ -261,6 +271,7 @@ pub struct ChainRuntime {
     drops_migration: u64,
     latency_total: LatencyHistogram,
     migrations: Vec<MigrationReport>,
+    aborted_migrations: u64,
 
     // Explicit measurement window (experiments).
     latency_window: LatencyHistogram,
@@ -360,6 +371,7 @@ impl ChainRuntime {
             drops_migration: 0,
             latency_total: LatencyHistogram::new(),
             migrations: Vec::new(),
+            aborted_migrations: 0,
             latency_window: LatencyHistogram::new(),
             delivered_meter: ThroughputMeter::new(),
             offered_meter: ThroughputMeter::new(),
@@ -474,7 +486,9 @@ impl ChainRuntime {
             if next > until {
                 break;
             }
-            let (now, event) = self.events.pop().expect("peeked event must pop");
+            let Some((now, event)) = self.events.pop() else {
+                unreachable!("peeked event must pop");
+            };
             self.now = self.now.max(now);
             match event {
                 RuntimeEvent::Packet(in_flight) => self.handle_arrival(now, in_flight),
@@ -854,7 +868,9 @@ impl ChainRuntime {
                     let send_time = *send_time;
                     // Process everything scheduled before this packet enters.
                     self.drain_until(send_time);
-                    let (send_time, packet) = self.pending.take().expect("pending checked");
+                    let Some((send_time, packet)) = self.pending.take() else {
+                        unreachable!("pending checked");
+                    };
                     self.now = self.now.max(send_time);
                     self.submit(send_time, packet);
                     submitted += 1;
@@ -929,6 +945,11 @@ impl ChainRuntime {
     }
 
     /// The classic OpenNF stop-and-copy transfer (see [`ChainRuntime::live_migrate`]).
+    ///
+    /// The whole handover happens within this call, but every phase change
+    /// still goes through the model-checked machine: `Start` must yield the
+    /// freeze (export-everything + pause) and `FreezeDelivered` must yield
+    /// the activation, or the engine refuses to proceed.
     fn stop_and_copy_migrate(
         &mut self,
         nf: NfId,
@@ -936,6 +957,12 @@ impl ChainRuntime {
         now: SimTime,
     ) -> Result<MigrationReport> {
         let index = self.check_migratable(nf, device, now)?;
+        let protocol = HandoverState::new(self.config.migration.protocol());
+        let (protocol, actions) = protocol
+            .step(HandoverEvent::Start)
+            .map_err(|e| PamError::state(e.to_string()))?;
+        debug_assert!(actions.contains(HandoverAction::ExportFull));
+        debug_assert!(actions.contains(HandoverAction::PauseSource));
         let (from, kind, state, flows) = {
             let instance = &self.instances[index];
             (
@@ -955,13 +982,37 @@ impl ChainRuntime {
         // Restore the target instance before booking the PCIe transfer: a
         // rejected state blob must abort the migration without leaving a
         // phantom transfer on the link.
-        let mut target_nf = pam_nf::restore_kind(kind, state)?;
+        let mut target_nf = match pam_nf::restore_kind(kind, state) {
+            Ok(target_nf) => target_nf,
+            Err(error) => {
+                // The machine's rollback arc: a rejected blob during the
+                // freeze discards the target and resumes the source (which,
+                // here, was never visibly paused — the freeze is atomic
+                // within this call).
+                let (aborted, rollback) = protocol
+                    .step(HandoverEvent::DeltaRejected)
+                    .map_err(|e| PamError::state(e.to_string()))?;
+                debug_assert_eq!(aborted.phase, Phase::Aborted);
+                debug_assert!(rollback.contains(HandoverAction::ResumeSource));
+                self.aborted_migrations += 1;
+                return Err(error);
+            }
+        };
         target_nf.clear_dirty();
 
         let transfer_done = self
             .pcie
             .transfer(now, state_size, Self::transfer_direction(device));
         let completed_at = transfer_done + self.config.migration_control_overhead;
+
+        // The freeze payload "arrives" at `completed_at`; the activation is
+        // modelled by installing the target now and keeping the instance
+        // paused until then.
+        let (protocol, actions) = protocol
+            .step(HandoverEvent::FreezeDelivered)
+            .map_err(|e| PamError::state(e.to_string()))?;
+        debug_assert_eq!(protocol.phase, Phase::Done);
+        debug_assert!(actions.contains(HandoverAction::ActivateTarget));
 
         let instance = &mut self.instances[index];
         instance.nf = target_nf;
@@ -1005,6 +1056,15 @@ impl ChainRuntime {
         now: SimTime,
     ) -> Result<MigrationReport> {
         let index = self.check_migratable(nf, device, now)?;
+        let protocol = HandoverState::new(self.config.migration.protocol());
+        let (protocol, actions) = protocol
+            .step(HandoverEvent::Start)
+            .map_err(|e| PamError::state(e.to_string()))?;
+        debug_assert_eq!(protocol.phase, Phase::Snapshot);
+        debug_assert!(actions.contains(HandoverAction::ExportFull));
+        // The source keeps serving through the snapshot: the machine must
+        // not have asked for a pause.
+        debug_assert!(!actions.contains(HandoverAction::PauseSource));
         let (from, kind, state, flows) = {
             let instance = &self.instances[index];
             (
@@ -1023,7 +1083,18 @@ impl ChainRuntime {
 
         // Stage the target instance from the snapshot before booking the
         // transfer, so a rejected blob aborts cleanly (as in stop-and-copy).
-        let mut target = pam_nf::restore_kind(kind, state)?;
+        let mut target = match pam_nf::restore_kind(kind, state) {
+            Ok(target) => target,
+            Err(error) => {
+                let (aborted, rollback) = protocol
+                    .step(HandoverEvent::DeltaRejected)
+                    .map_err(|e| PamError::state(e.to_string()))?;
+                debug_assert_eq!(aborted.phase, Phase::Aborted);
+                debug_assert!(rollback.contains(HandoverAction::DiscardTarget));
+                self.aborted_migrations += 1;
+                return Err(error);
+            }
+        };
         target.clear_dirty();
         // Every mutation from here on belongs to the next round's delta.
         self.instances[index].nf.clear_dirty();
@@ -1040,6 +1111,7 @@ impl ChainRuntime {
         self.events
             .schedule(transfer_done, RuntimeEvent::MigrationRound);
         self.pre_copy = Some(PreCopyInFlight {
+            protocol,
             nf_index: index,
             from,
             to: device,
@@ -1069,21 +1141,42 @@ impl ChainRuntime {
         })
     }
 
-    /// One pre-copy round finished its transfer at `now`: export the flows
-    /// dirtied meanwhile and either keep iterating or — once the dirty set is
-    /// within the convergence bound or the round cap is hit — freeze the
-    /// source, ship the residual and hand over.
+    /// One pre-copy round finished its transfer at `now`. The machine
+    /// decides what happens next from the dirty count: export another round
+    /// ([`Phase::DirtyRound`]), freeze the residual and hand over
+    /// ([`Phase::Freeze`]), or — at the round cap under
+    /// [`crate::migration::DivergencePolicy::Abort`] — roll the whole
+    /// migration back ([`Phase::Aborted`]). This function only interprets
+    /// the machine's actions; the transition logic itself lives in
+    /// `pam-protocol`, where it is exhaustively model-checked.
     fn on_migration_round(&mut self, now: SimTime) {
         let Some(mut pre_copy) = self.pre_copy.take() else {
             // The migration was aborted; the stale round event is a no-op.
             return;
         };
         let index = pre_copy.nf_index;
-        let knobs = self.config.migration;
         let dirty = self.instances[index].nf.dirty_flow_count();
-        let finalize =
-            dirty <= knobs.convergence_flows || pre_copy.rounds.len() >= knobs.max_precopy_rounds;
+        let Ok((protocol, actions)) = pre_copy
+            .protocol
+            .step(HandoverEvent::RoundDelivered { dirty })
+        else {
+            // Unreachable while `pre_copy` is only stored in a serving-round
+            // phase; dropping it (= abort) is the safe response regardless.
+            self.aborted_migrations += 1;
+            return;
+        };
+        pre_copy.protocol = protocol;
 
+        if actions.contains(HandoverAction::DiscardTarget) {
+            // Round cap without convergence under the abort policy: discard
+            // the staged target. The source never paused and stays
+            // authoritative, so the blackout bound survives divergence.
+            debug_assert_eq!(protocol.phase, Phase::Aborted);
+            self.aborted_migrations += 1;
+            return;
+        }
+
+        debug_assert!(actions.contains(HandoverAction::ExportDirty));
         let delta = self.instances[index].nf.export_dirty_state();
         self.instances[index].nf.clear_dirty();
         let bytes = state_transfer_size(
@@ -1094,6 +1187,18 @@ impl ChainRuntime {
         if pre_copy.target.import_dirty_state(delta).is_err() {
             // A corrupt delta aborts the migration: the source was never
             // paused and stays authoritative; the staged target is dropped.
+            let rollback = pre_copy.protocol.step(HandoverEvent::DeltaRejected);
+            debug_assert!(matches!(
+                rollback,
+                Ok((
+                    HandoverState {
+                        phase: Phase::Aborted,
+                        ..
+                    },
+                    _
+                ))
+            ));
+            self.aborted_migrations += 1;
             return;
         }
         let transfer_done = self
@@ -1108,7 +1213,9 @@ impl ChainRuntime {
         pre_copy.total_bytes = pre_copy.total_bytes.saturating_add(bytes);
         pre_copy.total_flows += dirty;
 
-        if !finalize {
+        if !actions.contains(HandoverAction::PauseSource) {
+            // Another serving round: the machine stayed in a dirty round.
+            debug_assert!(matches!(pre_copy.protocol.phase, Phase::DirtyRound(_)));
             self.events
                 .schedule(transfer_done, RuntimeEvent::MigrationRound);
             self.pre_copy = Some(pre_copy);
@@ -1118,7 +1225,18 @@ impl ChainRuntime {
         // Final freeze: the residual delta exported above is the last state
         // to move; the source pauses from `now` until the transfer (plus the
         // control-plane overhead) completes, then the target takes over.
+        debug_assert_eq!(pre_copy.protocol.phase, Phase::Freeze);
         let completed_at = transfer_done + self.config.migration_control_overhead;
+        let (protocol, actions) = match pre_copy.protocol.step(HandoverEvent::FreezeDelivered) {
+            Ok(ok) => ok,
+            Err(_) => {
+                // Unreachable: `Freeze` always accepts `FreezeDelivered`.
+                self.aborted_migrations += 1;
+                return;
+            }
+        };
+        debug_assert_eq!(protocol.phase, Phase::Done);
+        debug_assert!(actions.contains(HandoverAction::ActivateTarget));
         let instance = &mut self.instances[index];
         let mut target = pre_copy.target;
         target.clear_dirty();
@@ -1143,6 +1261,32 @@ impl ChainRuntime {
         });
         // After the report is recorded, so flushed-batch drops attribute to it.
         self.flush_stage_for_pause(index, now, completed_at);
+    }
+
+    /// Aborts the in-flight pre-copy migration, if any: the staged target
+    /// and every copied round are discarded and the source — which never
+    /// stopped serving — stays authoritative. This is the machine's
+    /// voluntary-abort arc, legal in any serving-round phase; once the
+    /// engine freezes (which happens atomically with the handover here) the
+    /// migration can no longer be aborted. Returns the position that was
+    /// migrating, or an error when nothing is in flight.
+    pub fn abort_migration(&mut self, _now: SimTime) -> Result<NfId> {
+        let Some(pre_copy) = self.pre_copy.take() else {
+            return Err(PamError::state(
+                "no pre-copy migration is in flight".to_owned(),
+            ));
+        };
+        let nf = self.instances[pre_copy.nf_index].nf_id;
+        let (protocol, actions) = pre_copy
+            .protocol
+            .step(HandoverEvent::Abort)
+            .map_err(|e| PamError::state(e.to_string()))?;
+        debug_assert_eq!(protocol.phase, Phase::Aborted);
+        debug_assert!(actions.contains(HandoverAction::DiscardTarget));
+        // Dropping `pre_copy` discards the staged target; the already
+        // scheduled MigrationRound event becomes a stale no-op.
+        self.aborted_migrations += 1;
+        Ok(nf)
     }
 
     /// True while a pre-copy migration is still iterating or any instance is
@@ -1276,6 +1420,7 @@ impl ChainRuntime {
             delivered_throughput,
             pcie_crossings: self.pcie.stats().total_crossings(),
             migrations: self.migrations.clone(),
+            aborted_migrations: self.aborted_migrations,
         }
     }
 
@@ -1430,6 +1575,7 @@ mod tests {
                 mode,
                 max_precopy_rounds: 8,
                 convergence_flows: 16,
+                ..MigrationConfig::default()
             });
             let mut runtime = ChainRuntime::new(
                 ServiceChainSpec::figure1(),
@@ -1478,6 +1624,95 @@ mod tests {
     }
 
     #[test]
+    fn divergence_abort_rolls_back_instead_of_force_freezing() {
+        use crate::migration::{DivergencePolicy, MigrationConfig, MigrationMode};
+
+        // Convergence is unreachable (bound 0 under live traffic), so the
+        // round cap decides: ForceFreeze hands over anyway, Abort rolls the
+        // migration back. The model checker proves the abort arc keeps the
+        // blackout bounded; this pins the engine to the same behaviour.
+        let run = |policy: DivergencePolicy| {
+            let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+                mode: MigrationMode::PreCopy,
+                max_precopy_rounds: 2,
+                convergence_flows: 0,
+                on_divergence: policy,
+            });
+            let mut runtime = ChainRuntime::new(
+                ServiceChainSpec::figure1(),
+                &Placement::figure1_initial(),
+                config,
+            )
+            .unwrap();
+            let mut t = trace(1.5, 20, 4);
+            runtime.run_until(&mut t, SimTime::from_millis(5));
+            runtime
+                .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+                .unwrap();
+            runtime.run_to_completion(&mut t);
+            let device = runtime.instances()[2].device;
+            (runtime.outcome(), device)
+        };
+
+        let (forced, forced_device) = run(DivergencePolicy::ForceFreeze);
+        assert_eq!(forced.migrations.len(), 1, "force-freeze hands over");
+        assert_eq!(forced.aborted_migrations, 0);
+        assert_eq!(forced_device, Device::Cpu);
+
+        let (aborted, aborted_device) = run(DivergencePolicy::Abort);
+        assert_eq!(aborted.migrations.len(), 0, "abort never hands over");
+        assert_eq!(aborted.aborted_migrations, 1);
+        assert_eq!(aborted_device, Device::SmartNic, "source stays put");
+        // The source never paused: no packet ever saw a blackout.
+        assert_eq!(aborted.drops_migration, 0);
+        // Rollback does not disturb the data plane: the aborted run delivers
+        // exactly what it injected minus policy/overload drops.
+        assert!(aborted.delivered > 0);
+    }
+
+    #[test]
+    fn abort_migration_discards_the_staged_target_and_frees_the_engine() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+
+        let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 8,
+            convergence_flows: 0,
+            ..MigrationConfig::default()
+        });
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        // Nothing in flight yet: abort must refuse.
+        assert!(runtime.abort_migration(runtime.now()).is_err());
+
+        let mut t = trace(1.5, 20, 4);
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        assert!(runtime.pre_copy_in_progress());
+
+        let nf = runtime.abort_migration(runtime.now()).unwrap();
+        assert_eq!(nf, NfId::new(2));
+        assert!(!runtime.pre_copy_in_progress());
+
+        // The stale MigrationRound event must be a no-op, and the engine is
+        // free for a fresh migration immediately.
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.aborted_migrations, 1);
+        assert_eq!(outcome.migrations.len(), 1, "the retry handed over");
+        assert_eq!(runtime.instances()[2].device, Device::Cpu);
+    }
+
+    #[test]
     fn pre_copy_hands_over_the_exact_source_state() {
         use crate::migration::{MigrationConfig, MigrationMode};
 
@@ -1491,6 +1726,7 @@ mod tests {
             mode: MigrationMode::PreCopy,
             max_precopy_rounds: 8,
             convergence_flows: 16,
+            ..MigrationConfig::default()
         });
         let mut migrated = ChainRuntime::new(
             ServiceChainSpec::figure1(),
@@ -1874,6 +2110,7 @@ mod tests {
                 mode: MigrationMode::PreCopy,
                 max_precopy_rounds: 8,
                 convergence_flows: 16,
+                ..MigrationConfig::default()
             });
         let mut runtime = ChainRuntime::new(
             ServiceChainSpec::figure1(),

@@ -4,7 +4,7 @@ use pam_nf::ProfileCatalog;
 use pam_sim::{DeviceConfig, PcieLinkConfig};
 use pam_types::{ByteSize, SimDuration};
 
-use crate::migration::{MigrationConfig, MigrationMode};
+use crate::migration::{DivergencePolicy, MigrationConfig, MigrationMode};
 
 /// Doorbell batching knobs of the [`crate::ChainRuntime`] datapath.
 ///
@@ -149,6 +149,14 @@ impl RuntimeConfig {
         self
     }
 
+    /// Selects what pre-copy does at the round cap without convergence
+    /// (force the freeze, or roll the migration back), keeping the other
+    /// engine knobs at their current values.
+    pub fn with_divergence_policy(mut self, policy: DivergencePolicy) -> Self {
+        self.migration.on_divergence = policy;
+        self
+    }
+
     /// Overrides the datapath batching knobs.
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
         self.batch = batch;
@@ -234,8 +242,18 @@ mod tests {
             mode: MigrationMode::PreCopy,
             max_precopy_rounds: 3,
             convergence_flows: 8,
+            ..MigrationConfig::default()
         });
         assert_eq!(custom.migration.max_precopy_rounds, 3);
         assert_eq!(custom.migration.convergence_flows, 8);
+        assert_eq!(
+            custom.migration.on_divergence,
+            DivergencePolicy::ForceFreeze
+        );
+        let aborting = RuntimeConfig::default()
+            .with_migration_mode(MigrationMode::PreCopy)
+            .with_divergence_policy(DivergencePolicy::Abort);
+        assert_eq!(aborting.migration.on_divergence, DivergencePolicy::Abort);
+        assert_eq!(aborting.migration.mode, MigrationMode::PreCopy);
     }
 }

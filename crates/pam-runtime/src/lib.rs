@@ -14,14 +14,28 @@
 //!   metrics publication), servicing packets in doorbell batches and
 //!   coalescing PCIe crossings into DMA bursts when `max_batch > 1`.
 //! * [`migration`] — the live-migration engine's types: stop-and-copy vs
-//!   iterative pre-copy ([`MigrationMode`]), per-round accounting
-//!   ([`MigrationRound`]) and pre-execution cost estimates
-//!   ([`MigrationEstimate`]).
+//!   iterative pre-copy ([`MigrationMode`]), the divergence policy
+//!   ([`DivergencePolicy`]: force-freeze or roll back at the round cap),
+//!   per-round accounting ([`MigrationRound`]) and pre-execution cost
+//!   estimates ([`MigrationEstimate`]).
+//!
+//! Every phase change of a migration — snapshot, dirty rounds, freeze,
+//! handover, abort/rollback — is driven through the pure state machine in
+//! `pam-protocol` (`HandoverState::step`), whose transition relation is
+//! exhaustively model-checked. The runtime interprets the machine's actions
+//! (export, pause, activate, discard); it never decides a phase on its own.
 //! * [`RunOutcome`] / [`MigrationReport`] — what a run / a migration produced.
 //! * [`capacity_probe`] — measures a single vNF's saturation throughput on a
 //!   device, reproducing the paper's Table 1 from the simulated substrate.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod capacity_probe;
@@ -35,6 +49,6 @@ pub use chain::{ChainRuntime, PacketOutcome, RunOutcome};
 pub use config::{BatchConfig, RuntimeConfig};
 pub use instance::VnfInstance;
 pub use migration::{
-    state_transfer_size, MigrationConfig, MigrationEstimate, MigrationMode, MigrationReport,
-    MigrationRound,
+    state_transfer_size, DivergencePolicy, MigrationConfig, MigrationEstimate, MigrationMode,
+    MigrationReport, MigrationRound,
 };

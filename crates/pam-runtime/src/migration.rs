@@ -21,6 +21,9 @@
 use pam_types::{ByteSize, Device, Gbps, NfId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+pub use pam_protocol::DivergencePolicy;
+use pam_protocol::ProtocolConfig;
+
 /// How a vNF's state is transferred during live migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MigrationMode {
@@ -66,6 +69,13 @@ pub struct MigrationConfig {
     /// Convergence bound: once a round leaves at most this many dirty flows,
     /// the engine freezes the residual set and hands over.
     pub convergence_flows: usize,
+    /// What happens when pre-copy hits the round cap without converging:
+    /// [`DivergencePolicy::ForceFreeze`] (the classic fallback: freeze the
+    /// whole residual dirty set, eating an unbounded blackout) or
+    /// [`DivergencePolicy::Abort`] (roll the migration back — the staged
+    /// target is discarded, the source keeps serving, and blackouts stay
+    /// bounded by the convergence knob). Ignored under stop-and-copy.
+    pub on_divergence: DivergencePolicy,
 }
 
 impl Default for MigrationConfig {
@@ -74,6 +84,7 @@ impl Default for MigrationConfig {
             mode: MigrationMode::StopAndCopy,
             max_precopy_rounds: 8,
             convergence_flows: 64,
+            on_divergence: DivergencePolicy::ForceFreeze,
         }
     }
 }
@@ -84,6 +95,21 @@ impl MigrationConfig {
         MigrationConfig {
             mode,
             ..Default::default()
+        }
+    }
+
+    /// The knobs as the protocol machine's configuration: the runtime drives
+    /// `pam-protocol`'s model-checked [`pam_protocol::HandoverState`] with
+    /// exactly these bounds, so the checked model and the executing engine
+    /// cannot drift apart.
+    pub fn protocol(&self) -> ProtocolConfig {
+        match self.mode {
+            MigrationMode::StopAndCopy => ProtocolConfig::stop_and_copy(),
+            MigrationMode::PreCopy => ProtocolConfig::pre_copy(
+                self.max_precopy_rounds,
+                self.convergence_flows,
+                self.on_divergence,
+            ),
         }
     }
 }
@@ -318,8 +344,27 @@ mod tests {
         assert_eq!(config.mode, MigrationMode::StopAndCopy);
         assert!(config.max_precopy_rounds >= 2);
         assert!(config.convergence_flows > 0);
+        assert_eq!(config.on_divergence, DivergencePolicy::ForceFreeze);
         let pre = MigrationConfig::with_mode(MigrationMode::PreCopy);
         assert_eq!(pre.mode, MigrationMode::PreCopy);
         assert_eq!(pre.max_precopy_rounds, config.max_precopy_rounds);
+    }
+
+    #[test]
+    fn protocol_config_mirrors_the_knobs() {
+        use pam_protocol::HandoverKind;
+        let config = MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 5,
+            convergence_flows: 10,
+            on_divergence: DivergencePolicy::Abort,
+        };
+        let protocol = config.protocol();
+        assert_eq!(protocol.kind, HandoverKind::PreCopy);
+        assert_eq!(protocol.max_rounds, 5);
+        assert_eq!(protocol.convergence_flows, 10);
+        assert_eq!(protocol.on_divergence, DivergencePolicy::Abort);
+        let stop = MigrationConfig::default().protocol();
+        assert_eq!(stop.kind, HandoverKind::StopAndCopy);
     }
 }

@@ -253,7 +253,9 @@ impl<E> EventQueue<E> {
         }
         let slot = &mut bucket.items[bucket.head];
         let time = slot.time;
-        let event = slot.event.take().expect("live slot holds an event");
+        let Some(event) = slot.event.take() else {
+            unreachable!("live slot holds an event");
+        };
         bucket.head += 1;
         if bucket.live() == 0 {
             bucket.items.clear();
@@ -423,7 +425,9 @@ pub fn run_until<H: EventHandler>(
         if next > until {
             break;
         }
-        let (now, event) = queue.pop().expect("peeked event must pop");
+        let Some((now, event)) = queue.pop() else {
+            unreachable!("peeked event must pop");
+        };
         handler.handle(now, event, queue);
         processed += 1;
     }

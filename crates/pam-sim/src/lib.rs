@@ -22,14 +22,25 @@
 //!   of the poster constrain).
 //! * [`PcieLink`] — the latency/bandwidth model of the PCIe path between the
 //!   two devices, with per-direction crossing counters.
+//! * [`ReorderBuffer`] — a bounded link-reorder model (window `0` = FIFO)
+//!   whose deliverable set is *enumerable*, so the protocol model checker in
+//!   `pam-protocol` can branch on every legal delivery interleaving.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod device;
 pub mod events;
 pub mod link;
 pub mod queue;
+pub mod reorder;
 pub mod rng;
 pub mod server;
 
@@ -37,5 +48,6 @@ pub use device::{ComputeDevice, DeviceConfig, DeviceStats, ProcessOutcome};
 pub use events::{run_until, EventHandler, EventQueue, ScheduledEvent};
 pub use link::{LinkDirection, PcieLink, PcieLinkConfig, PcieLinkStats};
 pub use queue::{DropTailQueue, QueueStats};
+pub use reorder::ReorderBuffer;
 pub use rng::SimRng;
 pub use server::{RateServer, ServerStats};

@@ -1,0 +1,135 @@
+//! Bounded link-reorder modeling.
+//!
+//! The workspace's PCIe model delivers strictly in FIFO order per direction
+//! (the per-direction watermark clamp in [`crate::link`]), but inter-server
+//! links — the path the fleet's cross-server handoffs travel, and the path
+//! future overlapping migrations will travel — may reorder messages within a
+//! bounded window. [`ReorderBuffer`] models exactly that environment: it
+//! holds sent-but-undelivered messages in send order and, at any moment,
+//! allows any of the **first `window + 1` pending** messages to be delivered
+//! next. With `window == 0` it degenerates to an exact FIFO.
+//!
+//! The protocol model checker (`pam-protocol`) uses this as its link model:
+//! because `deliverable()` *enumerates* the legal next deliveries instead of
+//! picking one, the checker can branch on every allowed interleaving and
+//! exhaustively explore the reorder behaviour the real link is permitted to
+//! exhibit.
+
+use std::collections::VecDeque;
+
+/// A send-ordered buffer of in-flight messages with bounded-reorder
+/// delivery (see the module docs). Deterministic and allocation-light; the
+/// model checker clones and compares these wholesale, hence the full
+/// comparison/hash derive set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReorderBuffer<T> {
+    window: usize,
+    pending: VecDeque<T>,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer whose deliveries may overtake at most `window`
+    /// earlier messages (`0` = exact FIFO).
+    pub fn new(window: usize) -> Self {
+        ReorderBuffer {
+            window,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The configured reorder window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Enqueues a message in send order.
+    pub fn send(&mut self, message: T) {
+        self.pending.push_back(message);
+    }
+
+    /// How many of the oldest pending messages are legal to deliver next
+    /// (`min(window + 1, len)`): index `k < deliverable()` may be passed to
+    /// [`ReorderBuffer::deliver`].
+    pub fn deliverable(&self) -> usize {
+        self.pending.len().min(self.window + 1)
+    }
+
+    /// The `k`-th oldest pending message, if it is within the deliverable
+    /// prefix.
+    pub fn peek(&self, k: usize) -> Option<&T> {
+        if k < self.deliverable() {
+            self.pending.get(k)
+        } else {
+            None
+        }
+    }
+
+    /// Delivers (removes and returns) the `k`-th oldest pending message.
+    /// Returns `None` when `k` is outside the deliverable prefix — the
+    /// reorder bound is enforced, not merely documented.
+    pub fn deliver(&mut self, k: usize) -> Option<T> {
+        if k < self.deliverable() {
+            self.pending.remove(k)
+        } else {
+            None
+        }
+    }
+
+    /// Messages still in flight.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_zero_is_exact_fifo() {
+        let mut link = ReorderBuffer::new(0);
+        for m in 1..=3 {
+            link.send(m);
+        }
+        assert_eq!(link.deliverable(), 1);
+        assert_eq!(link.deliver(1), None); // overtaking is rejected
+        assert_eq!(link.deliver(0), Some(1));
+        assert_eq!(link.deliver(0), Some(2));
+        assert_eq!(link.deliver(0), Some(3));
+        assert!(link.is_empty());
+    }
+
+    #[test]
+    fn window_allows_bounded_overtaking_only() {
+        let mut link = ReorderBuffer::new(1);
+        for m in 1..=4 {
+            link.send(m);
+        }
+        assert_eq!(link.deliverable(), 2);
+        assert_eq!(link.peek(1), Some(&2));
+        assert_eq!(link.peek(2), None);
+        assert_eq!(link.deliver(2), None); // message 3 may not jump two ahead
+        assert_eq!(link.deliver(1), Some(2)); // message 2 overtakes message 1
+        assert_eq!(link.deliver(1), Some(3)); // now 3 may overtake 1
+        assert_eq!(link.deliver(0), Some(1));
+        assert_eq!(link.deliver(0), Some(4));
+        assert!(link.is_empty());
+    }
+
+    #[test]
+    fn deliverable_never_exceeds_pending() {
+        let mut link: ReorderBuffer<u8> = ReorderBuffer::new(5);
+        assert_eq!(link.deliverable(), 0);
+        assert_eq!(link.window(), 5);
+        link.send(7);
+        assert_eq!(link.deliverable(), 1);
+        assert_eq!(link.len(), 1);
+        assert_eq!(link.deliver(0), Some(7));
+        assert_eq!(link.deliverable(), 0);
+    }
+}

@@ -98,7 +98,11 @@ impl SimRng {
             return 0;
         }
         let u = self.uniform() * cdf[cdf.len() - 1];
-        match cdf.binary_search_by(|probe| probe.partial_cmp(&u).unwrap()) {
+        // CDF weights are finite by construction; treat a NaN probe as Less
+        // so the search stays total instead of panicking.
+        match cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
             Ok(i) => i,
             Err(i) => i.min(cdf.len() - 1),
         }

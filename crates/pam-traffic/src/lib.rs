@@ -18,6 +18,13 @@
 //!   [`pam_nf::Packet`]s with ingress timestamps.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub mod arrival;

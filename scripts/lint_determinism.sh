@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Determinism / unsafe lint wall.
+#
+# The whole point of the model-checked protocol work is that what we prove
+# about the machine transfers to the code that drives it. That transfer
+# breaks if production code smuggles in nondeterminism or unsafety, so CI
+# rejects, in every non-test source file of the workspace:
+#
+#   1. a crate root (lib or bin) missing `#![forbid(unsafe_code)]`,
+#   2. any use of the `unsafe` keyword (comments excluded),
+#   3. std HashMap/HashSet — their iteration order is randomized per
+#      process, which is exactly the nondeterminism that would make the
+#      byte-identical benchmark gate and the model checker's replayable
+#      counterexamples meaningless. Use BTreeMap/BTreeSet or the fixed-key
+#      FastMap in pam-nf instead. Test modules (`#[cfg(test)]` and files
+#      under tests/) may use whatever they like.
+#
+# Run from the repo root: scripts/lint_determinism.sh
+set -u
+
+cd "$(dirname "$0")/.."
+fail=0
+
+say() { printf '%s\n' "$*"; }
+
+# ---- 1. every crate root forbids unsafe code -------------------------------
+roots=$(ls src/lib.rs crates/*/src/lib.rs crates/*/src/bin/*.rs 2>/dev/null)
+for root in $roots; do
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        say "FAIL: $root is a crate root without #![forbid(unsafe_code)]"
+        fail=1
+    fi
+done
+
+# ---- 2 + 3. scan non-test production source --------------------------------
+# For each source file, strip everything from the first `#[cfg(test)]` line
+# to EOF (the test-module tail), drop comment lines, then grep what remains.
+srcs=$(find src crates/*/src -name '*.rs' 2>/dev/null)
+for f in $srcs; do
+    stripped=$(awk '/^[[:space:]]*#\[cfg\(test\)\]/ { exit } { print }' "$f" |
+        grep -vE '^[[:space:]]*//')
+
+    hits=$(printf '%s\n' "$stripped" | grep -nE '\bunsafe\b' |
+        grep -v 'forbid(unsafe_code)' || true)
+    if [ -n "$hits" ]; then
+        say "FAIL: $f uses the unsafe keyword outside a test module:"
+        say "$hits"
+        fail=1
+    fi
+
+    hits=$(printf '%s\n' "$stripped" |
+        grep -nE '\b(HashMap|HashSet)\b' || true)
+    if [ -n "$hits" ]; then
+        say "FAIL: $f uses std HashMap/HashSet outside a test module"
+        say "      (randomized iteration order breaks determinism;"
+        say "       use BTreeMap/BTreeSet or pam-nf's FastMap):"
+        say "$hits"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    say "determinism lint: FAILED"
+    exit 1
+fi
+say "determinism lint: OK ($(printf '%s\n' "$roots" | wc -l | tr -d ' ') crate roots, $(printf '%s\n' "$srcs" | wc -l | tr -d ' ') source files)"

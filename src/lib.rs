@@ -10,7 +10,10 @@
 //! * [`traffic`] — synthetic traffic generation.
 //! * [`telemetry`] — counters, histograms and the metrics registry.
 //! * [`core`] — the PAM algorithm, its baselines and the resource model.
-//! * [`runtime`] — the packet-level chain runtime with live migration.
+//! * [`protocol`] — the migration/handover protocol as an explicit pure
+//!   state machine, plus its exhaustive small-scope model checker.
+//! * [`runtime`] — the packet-level chain runtime with live migration
+//!   (every phase change drives the model-checked machine in [`protocol`]).
 //! * [`orchestrator`] — the periodic monitor/decide/migrate control loop.
 //! * [`fleet`] — N servers under one deterministic event queue, with
 //!   cross-server scale-out via flow re-steering.
@@ -35,6 +38,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(
+    clippy::dbg_macro,
+    clippy::todo,
+    clippy::unimplemented,
+    clippy::mem_forget
+)]
 #![warn(missing_docs)]
 
 pub use pam_core as core;
@@ -42,6 +52,7 @@ pub use pam_experiments as experiments;
 pub use pam_fleet as fleet;
 pub use pam_nf as nf;
 pub use pam_orchestrator as orchestrator;
+pub use pam_protocol as protocol;
 pub use pam_runtime as runtime;
 pub use pam_sim as sim;
 pub use pam_telemetry as telemetry;

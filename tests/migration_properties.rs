@@ -39,6 +39,7 @@ fn pre_copy_run(
         mode: MigrationMode::PreCopy,
         max_precopy_rounds: max_rounds,
         convergence_flows,
+        ..MigrationConfig::default()
     });
     let mut runtime = ChainRuntime::new(
         ServiceChainSpec::figure1(),
