@@ -22,6 +22,16 @@
 //!                                           # throughput + datapath sweep) —
 //!                                           # CI appends it to
 //!                                           # $GITHUB_STEP_SUMMARY
+//! fleet_bench --shards 4                    # run every matrix cell on the
+//!                                           # sharded fleet runner; the JSON
+//!                                           # is byte-identical at any N
+//! fleet_bench --scale 64,128                # also run the scaling curve at
+//!                                           # these fleet sizes ...
+//! fleet_bench --scale-shards 1,2,4          # ... across these shard counts
+//!                                           # (default 1,2,4); points land in
+//!                                           # --timings and --summary
+//! fleet_bench --scale-only                  # skip the matrix and the gate,
+//!                                           # run only the scaling curve
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
@@ -46,8 +56,8 @@ use std::time::Instant;
 
 use pam_core::StrategyKind;
 use pam_experiments::fleet::{
-    run_fleet_matrix_jobs, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
-    MatrixTimings,
+    run_fleet_matrix_opts, run_scale_curve, FleetBenchEntry, FleetBenchOutput, FleetScenario,
+    FleetScenarioKind, MatrixTimings, ScalePoint, SCALE_CURVE_SCENARIO,
 };
 
 /// Relative tolerance band the gate allows before calling a change a
@@ -67,6 +77,10 @@ struct Args {
     tolerance: f64,
     servers: usize,
     jobs: usize,
+    shards: usize,
+    scale: Vec<usize>,
+    scale_shards: Vec<usize>,
+    scale_only: bool,
 }
 
 /// The default worker-thread count: the machine's available parallelism.
@@ -74,6 +88,24 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Parses a comma-separated list of positive integers (`64,128,256`).
+fn parse_list(name: &str, raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: `{part}`: {e}"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err(format!("{name}: entries must be positive"))
+                    } else {
+                        Ok(n)
+                    }
+                })
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -85,6 +117,10 @@ fn parse_args() -> Result<Args, String> {
         tolerance: DEFAULT_TOLERANCE,
         servers: 4,
         jobs: default_jobs(),
+        shards: 1,
+        scale: Vec::new(),
+        scale_shards: vec![1, 2, 4],
+        scale_only: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -100,6 +136,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--jobs: {e}"))?
                     .max(1)
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .max(1)
+            }
+            "--scale" => args.scale = parse_list("--scale", &value("--scale")?)?,
+            "--scale-shards" => {
+                args.scale_shards = parse_list("--scale-shards", &value("--scale-shards")?)?
+            }
+            "--scale-only" => args.scale_only = true,
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -112,6 +159,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.scale_only && args.scale.is_empty() {
+        return Err("--scale-only needs --scale".to_string());
     }
     Ok(args)
 }
@@ -390,6 +440,44 @@ fn render_simulator_throughput_markdown(timings: &MatrixTimings) -> String {
     md
 }
 
+/// Renders the sharded scaling curve as a markdown table. Every point was
+/// byte-compared against the sequential run inside `run_scale_curve`, so a
+/// row in this table is also a determinism witness; `speedup` is wall-clock
+/// (machine-dependent, reported for reading, never gated).
+fn render_scale_markdown(points: &[ScalePoint]) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Sharded scaling curve — {} under PAM, byte-identical at every point\n",
+        SCALE_CURVE_SCENARIO.name()
+    );
+    let _ = writeln!(
+        md,
+        "| servers | shards | wall ms | events | events/s | speedup | windows | max barrier wait ms |"
+    );
+    let _ = writeln!(md, "|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for point in points {
+        let max_wait = point
+            .lanes
+            .iter()
+            .map(|l| l.barrier_wait_ms)
+            .fold(0.0f64, f64::max);
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:.1} | {} | {:.0} | {:.2}x | {} | {:.1} |",
+            point.servers,
+            point.shards,
+            point.wall_ms,
+            point.events,
+            point.events_per_sec,
+            point.speedup,
+            point.windows,
+            max_wait
+        );
+    }
+    md
+}
+
 /// Renders the datapath-throughput sweep as a markdown table.
 fn render_throughput_markdown(points: &[ThroughputPoint]) -> String {
     let mut md = String::new();
@@ -442,26 +530,71 @@ fn main() -> ExitCode {
             eprintln!("fleet_bench: {e}");
             eprintln!(
                 "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
-                 [--timings PATH] [--tolerance F] [--servers N] [--jobs N]"
+                 [--timings PATH] [--tolerance F] [--servers N] [--jobs N] [--shards N] \
+                 [--scale N,N,..] [--scale-shards N,N,..] [--scale-only]"
             );
             return ExitCode::FAILURE;
         }
     };
 
-    let (output, timings) = match run_fleet_matrix_jobs(args.servers, args.jobs) {
-        Ok(output) => output,
-        Err(e) => {
-            eprintln!("fleet_bench: matrix failed: {e}");
-            return ExitCode::FAILURE;
+    let matrix = if args.scale_only {
+        None
+    } else {
+        match run_fleet_matrix_opts(args.servers, args.jobs, args.shards) {
+            Ok(pair) => Some(pair),
+            Err(e) => {
+                eprintln!("fleet_bench: matrix failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    eprintln!(
-        "fleet_bench: {} cells on {} thread(s) in {:.1} ms ({:.2}M events/s aggregate)",
-        timings.cells.len(),
-        timings.jobs,
-        timings.total_wall_ms,
-        timings.total_events as f64 / timings.total_wall_ms / 1e3,
-    );
+    let (output, mut timings) = match matrix {
+        Some((output, timings)) => {
+            eprintln!(
+                "fleet_bench: {} cells on {} thread(s) x {} shard(s) in {:.1} ms \
+                 ({:.2}M events/s aggregate)",
+                timings.cells.len(),
+                timings.jobs,
+                timings.shards,
+                timings.total_wall_ms,
+                timings.total_events as f64 / timings.total_wall_ms / 1e3,
+            );
+            (Some(output), timings)
+        }
+        None => (
+            None,
+            MatrixTimings {
+                jobs: args.jobs,
+                shards: args.shards,
+                total_wall_ms: 0.0,
+                total_events: 0,
+                cells: Vec::new(),
+                scale: Vec::new(),
+            },
+        ),
+    };
+
+    if !args.scale.is_empty() {
+        // Every sharded point is byte-compared against its sequential
+        // reference inside `run_scale_curve`; divergence is a hard error.
+        timings.scale = match run_scale_curve(&args.scale, &args.scale_shards) {
+            Ok(points) => points,
+            Err(e) => {
+                eprintln!("fleet_bench: scale curve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for point in &timings.scale {
+            eprintln!(
+                "fleet_bench: scale {} servers x {} shard(s): {:.1} ms, {:.2}M events/s, {:.2}x",
+                point.servers,
+                point.shards,
+                point.wall_ms,
+                point.events_per_sec / 1e6,
+                point.speedup
+            );
+        }
+    }
 
     if let Some(path) = &args.timings {
         let json = match serde_json::to_string(&timings) {
@@ -476,21 +609,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let json = match serde_json::to_string(&output) {
-        Ok(json) => json,
-        Err(e) => {
-            eprintln!("fleet_bench: serializing the report: {e}");
-            return ExitCode::FAILURE;
+    if let Some(output) = &output {
+        let json = match serde_json::to_string(output) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("fleet_bench: serializing the report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("fleet_bench: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            println!("{json}");
         }
-    };
-
-    if let Some(path) = &args.out {
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("fleet_bench: writing {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    } else {
-        println!("{json}");
     }
 
     let baseline: Option<FleetBenchOutput> = match &args.check {
@@ -512,17 +646,34 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    let gate_ok = match &baseline {
-        Some(baseline) => run_gate(baseline, &output, args.tolerance),
-        None => true,
+    let gate_ok = match (&baseline, &output) {
+        (Some(baseline), Some(output)) => run_gate(baseline, output, args.tolerance),
+        (Some(_), None) => {
+            eprintln!("fleet_bench: --check needs the matrix; drop --scale-only");
+            false
+        }
+        (None, _) => true,
     };
 
     if let Some(path) = &args.summary {
-        let mut md = render_gate_markdown(baseline.as_ref(), &output, args.tolerance);
-        md.push('\n');
-        md.push_str(&render_simulator_throughput_markdown(&timings));
-        md.push('\n');
-        md.push_str(&render_throughput_markdown(&throughput_sweep(args.servers)));
+        let mut md = String::new();
+        if let Some(output) = &output {
+            md.push_str(&render_gate_markdown(
+                baseline.as_ref(),
+                output,
+                args.tolerance,
+            ));
+            md.push('\n');
+            md.push_str(&render_simulator_throughput_markdown(&timings));
+            md.push('\n');
+        }
+        if !timings.scale.is_empty() {
+            md.push_str(&render_scale_markdown(&timings.scale));
+            md.push('\n');
+        }
+        if output.is_some() {
+            md.push_str(&render_throughput_markdown(&throughput_sweep(args.servers)));
+        }
         if let Err(e) = std::fs::write(path, md) {
             eprintln!("fleet_bench: writing summary {path}: {e}");
             return ExitCode::FAILURE;

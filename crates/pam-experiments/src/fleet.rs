@@ -17,14 +17,14 @@
 //! what lets CI gate on the committed `BENCH_baseline.json`.
 
 use pam_core::{Placement, StrategyKind};
-use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec};
+use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec, ShardLane, ShardRunStats};
 use pam_nf::ServiceChainSpec;
 use pam_runtime::{MigrationMode, RuntimeConfig};
 use pam_sim::PcieLinkConfig;
 use pam_traffic::{
     ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, Phase, TraceConfig, TrafficSchedule,
 };
-use pam_types::{Gbps, Result, SimDuration, SimTime};
+use pam_types::{Gbps, PamError, Result, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The default seed of the fleet benchmarks (kept stable: CI compares
@@ -268,6 +268,28 @@ impl FleetScenario {
         let events = fleet.events_scheduled();
         Ok((fleet.report(), events))
     }
+
+    /// Runs the scenario on `shards` worker lanes (`pam_fleet`'s conservative
+    /// time-window runner; `1` is exactly the sequential runner). The report
+    /// is byte-identical at any shard count.
+    pub fn run_sharded(&self, strategy: StrategyKind, shards: usize) -> Result<FleetReport> {
+        Ok(self.run_with_stats_sharded(strategy, shards)?.0)
+    }
+
+    /// Like [`FleetScenario::run_with_stats`] but sharded, additionally
+    /// returning the runner's wall-clock side channel (per-lane event counts
+    /// and barrier-wait time).
+    pub fn run_with_stats_sharded(
+        &self,
+        strategy: StrategyKind,
+        shards: usize,
+    ) -> Result<(FleetReport, u64, ShardRunStats)> {
+        let mut fleet = self.build_fleet(strategy)?;
+        fleet.run_sharded(self.horizon(), shards);
+        let events = fleet.events_scheduled();
+        let stats = fleet.shard_stats().clone();
+        Ok((fleet.report(), events, stats))
+    }
 }
 
 /// One cell of the benchmark matrix.
@@ -332,25 +354,60 @@ pub struct CellTiming {
     pub migration_mode: String,
     /// Doorbell batch size of the cell.
     pub batch: u32,
+    /// Shard lanes the cell's fleet ran on (1 = sequential runner).
+    pub shards: usize,
     /// Wall-clock time of the cell run, milliseconds.
     pub wall_ms: f64,
     /// Discrete events the run scheduled (deterministic).
     pub events: u64,
     /// Simulator throughput of the cell: `events / wall seconds`.
     pub events_per_sec: f64,
+    /// Per-lane event counts, busy time and barrier-wait time of the sharded
+    /// runner (empty for sequential cells) — the honest synchronisation
+    /// overhead behind the headline speedup.
+    pub lanes: Vec<ShardLane>,
 }
 
 /// The simulator-throughput side channel of one matrix run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixTimings {
-    /// Worker threads the matrix ran on.
+    /// Worker threads the matrix ran on (across-cell parallelism).
     pub jobs: usize,
+    /// Shard lanes inside every cell's fleet (within-cell parallelism).
+    pub shards: usize,
     /// End-to-end wall clock of the whole matrix, milliseconds.
     pub total_wall_ms: f64,
     /// Sum of all cells' events (deterministic).
     pub total_events: u64,
     /// Per-cell measurements, in canonical matrix order.
     pub cells: Vec<CellTiming>,
+    /// The events/sec-vs-servers-vs-shards scaling curve (empty unless the
+    /// harness ran one; see [`run_scale_curve`]).
+    pub scale: Vec<ScalePoint>,
+}
+
+/// One point of the fleet-size × shard-count scaling curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Scenario name the curve runs (the diurnal wave: its horizon is
+    /// independent of the fleet size, so events scale with servers).
+    pub scenario: String,
+    /// Fleet size of the point.
+    pub servers: usize,
+    /// Shard lanes of the point (1 = sequential runner).
+    pub shards: usize,
+    /// Wall-clock time of the run, milliseconds (machine-dependent).
+    pub wall_ms: f64,
+    /// Discrete events the run scheduled (deterministic).
+    pub events: u64,
+    /// Simulator throughput: `events / wall seconds`.
+    pub events_per_sec: f64,
+    /// Wall-clock speedup over the sequential run of the same fleet size.
+    pub speedup: f64,
+    /// Synchronisation windows the sharded runner executed (0 = sequential).
+    pub windows: u64,
+    /// Per-lane counters (empty for the sequential point).
+    pub lanes: Vec<ShardLane>,
 }
 
 /// One finished matrix cell: its benchmark entry plus its timing.
@@ -371,16 +428,17 @@ fn matrix_cells() -> Vec<(FleetScenarioKind, MigrationMode, u32, StrategyKind)> 
     cells
 }
 
-/// Runs one matrix cell, returning its entry and timing.
+/// Runs one matrix cell on `shards` lanes, returning its entry and timing.
 fn run_cell(
     servers: usize,
+    shards: usize,
     (kind, mode, batch, strategy): (FleetScenarioKind, MigrationMode, u32, StrategyKind),
 ) -> CellOutcome {
     let scenario = FleetScenario::new(kind, servers)
         .with_mode(mode)
         .with_batch(batch);
     let start = std::time::Instant::now();
-    let (report, events) = scenario.run_with_stats(strategy)?;
+    let (report, events, shard_stats) = scenario.run_with_stats_sharded(strategy, shards)?;
     let wall = start.elapsed().as_secs_f64();
     let entry = FleetBenchEntry {
         scenario: kind.name().to_string(),
@@ -394,6 +452,7 @@ fn run_cell(
         strategy: entry.strategy.clone(),
         migration_mode: entry.migration_mode.clone(),
         batch,
+        shards,
         wall_ms: wall * 1e3,
         events,
         events_per_sec: if wall > 0.0 {
@@ -401,6 +460,7 @@ fn run_cell(
         } else {
             0.0
         },
+        lanes: shard_stats.lanes,
     };
     Ok((entry, timing))
 }
@@ -425,12 +485,31 @@ pub fn run_fleet_matrix_jobs(
     servers: usize,
     jobs: usize,
 ) -> Result<(FleetBenchOutput, MatrixTimings)> {
+    run_fleet_matrix_opts(servers, jobs, 1)
+}
+
+/// Runs the full matrix across `jobs` worker threads with every cell's fleet
+/// itself sharded over `shards` lanes (both parallelism dimensions compose:
+/// `jobs` spreads independent cells, `shards` splits one fleet's windows).
+/// The `FleetBenchOutput` JSON is byte-identical for every `(jobs, shards)`
+/// combination — CI's shard-determinism wall diffs shards 1/2/8 crossed with
+/// jobs 1/4.
+pub fn run_fleet_matrix_opts(
+    servers: usize,
+    jobs: usize,
+    shards: usize,
+) -> Result<(FleetBenchOutput, MatrixTimings)> {
     let started = std::time::Instant::now();
     let cells = matrix_cells();
     let jobs = jobs.max(1).min(cells.len());
+    let shards = shards.max(1);
     let mut slots: Vec<Option<CellOutcome>> = Vec::new();
     if jobs == 1 {
-        slots.extend(cells.iter().map(|&cell| Some(run_cell(servers, cell))));
+        slots.extend(
+            cells
+                .iter()
+                .map(|&cell| Some(run_cell(servers, shards, cell))),
+        );
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results: Vec<std::sync::Mutex<Option<CellOutcome>>> =
@@ -442,7 +521,7 @@ pub fn run_fleet_matrix_jobs(
                     let Some(&cell) = cells.get(index) else {
                         break;
                     };
-                    let outcome = run_cell(servers, cell);
+                    let outcome = run_cell(servers, shards, cell);
                     *results[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 });
             }
@@ -474,11 +553,78 @@ pub fn run_fleet_matrix_jobs(
         },
         MatrixTimings {
             jobs,
+            shards,
             total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
             total_events,
             cells: timings,
+            scale: Vec::new(),
         },
     ))
+}
+
+/// The scenario family of the scaling curve: the diurnal wave, whose horizon
+/// is independent of the fleet size (64–256 servers sweep the same 40 ms),
+/// so events — and sequential wall time — grow linearly with servers while
+/// its spill-free steady state leaves every server an independent shard
+/// group.
+pub const SCALE_CURVE_SCENARIO: FleetScenarioKind = FleetScenarioKind::DiurnalWave;
+
+/// Runs the events/sec-vs-servers-vs-shards scaling curve: for every fleet
+/// size, one sequential reference run plus one sharded run per requested
+/// shard count, all under PAM with the stable benchmark seed.
+///
+/// Every sharded run is byte-compared against the sequential reference
+/// report — the curve doubles as a determinism wall at fleet scale — and a
+/// divergence is an error, not a silently wrong speedup.
+pub fn run_scale_curve(server_counts: &[usize], shard_counts: &[usize]) -> Result<Vec<ScalePoint>> {
+    let mut points = Vec::new();
+    for &servers in server_counts {
+        let scenario = FleetScenario::new(SCALE_CURVE_SCENARIO, servers);
+        let start = std::time::Instant::now();
+        let (reference, events) = scenario.run_with_stats(StrategyKind::Pam)?;
+        let sequential_wall = start.elapsed().as_secs_f64();
+        let reference_json = serde_json::to_string(&reference)
+            .map_err(|e| PamError::InvalidState(format!("reference report serialization: {e}")))?;
+        for &shards in shard_counts {
+            let (wall, windows, lanes) = if shards <= 1 {
+                (sequential_wall, 0, Vec::new())
+            } else {
+                let start = std::time::Instant::now();
+                let (report, sharded_events, stats) =
+                    scenario.run_with_stats_sharded(StrategyKind::Pam, shards)?;
+                let wall = start.elapsed().as_secs_f64();
+                let json = serde_json::to_string(&report).map_err(|e| {
+                    PamError::InvalidState(format!("sharded report serialization: {e}"))
+                })?;
+                if json != reference_json || sharded_events != events {
+                    return Err(PamError::InvalidState(format!(
+                        "sharded run diverged from sequential: servers={servers} shards={shards}"
+                    )));
+                }
+                (wall, stats.windows, stats.lanes)
+            };
+            points.push(ScalePoint {
+                scenario: SCALE_CURVE_SCENARIO.name().to_string(),
+                servers,
+                shards: shards.max(1),
+                wall_ms: wall * 1e3,
+                events,
+                events_per_sec: if wall > 0.0 {
+                    events as f64 / wall
+                } else {
+                    0.0
+                },
+                speedup: if wall > 0.0 {
+                    sequential_wall / wall
+                } else {
+                    0.0
+                },
+                windows,
+                lanes,
+            });
+        }
+    }
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -622,23 +768,26 @@ mod tests {
         }
     }
 
-    /// The parallel-runner tentpole's fidelity criterion: the matrix output
-    /// must be byte-identical at every thread count — same cells, same
-    /// order, same numbers — and the per-cell event counts (the
+    /// The parallel-runner tentpole's fidelity criterion, now across *both*
+    /// parallelism dimensions: the matrix output must be byte-identical at
+    /// every thread count *and* every within-cell shard count — same cells,
+    /// same order, same numbers — and the per-cell event counts (the
     /// deterministic half of the timings side channel) must agree too.
     #[test]
     fn parallel_matrix_is_byte_identical_to_serial() {
         let (serial, serial_timings) = run_fleet_matrix_jobs(2, 1).unwrap();
-        let (parallel, parallel_timings) = run_fleet_matrix_jobs(2, 4).unwrap();
+        let (parallel, parallel_timings) = run_fleet_matrix_opts(2, 4, 2).unwrap();
         assert_eq!(
             serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&parallel).unwrap(),
-            "matrix JSON must not depend on the thread count"
+            "matrix JSON must not depend on the thread or shard count"
         );
         assert_eq!(serial_timings.cells.len(), 48);
         assert_eq!(parallel_timings.cells.len(), 48);
         assert_eq!(serial_timings.jobs, 1);
+        assert_eq!(serial_timings.shards, 1);
         assert_eq!(parallel_timings.jobs, 4);
+        assert_eq!(parallel_timings.shards, 2);
         let serial_events: Vec<u64> = serial_timings.cells.iter().map(|c| c.events).collect();
         let parallel_events: Vec<u64> = parallel_timings.cells.iter().map(|c| c.events).collect();
         assert_eq!(
@@ -647,6 +796,38 @@ mod tests {
         );
         assert!(serial_timings.total_events > 0);
         assert!(serial_timings.cells.iter().all(|c| c.events > 0));
+        // The sequential matrix reports no lanes; the sharded one reports
+        // per-lane counters that sum to the cell's injected packets.
+        assert!(serial_timings.cells.iter().all(|c| c.lanes.is_empty()));
+        assert!(parallel_timings
+            .cells
+            .iter()
+            .all(|c| c.lanes.len() == 2 && c.lanes.iter().map(|l| l.packets).sum::<u64>() > 0));
+    }
+
+    /// The scaling curve runs its own determinism wall (every sharded point
+    /// byte-compared to the sequential reference) and reports honest
+    /// synchronisation overhead per lane.
+    #[test]
+    fn scale_curve_points_carry_lane_accounting() {
+        let points = run_scale_curve(&[3], &[1, 2]).unwrap();
+        assert_eq!(points.len(), 2);
+        let sequential = &points[0];
+        assert_eq!(sequential.shards, 1);
+        assert_eq!(sequential.speedup, 1.0);
+        assert!(sequential.lanes.is_empty());
+        assert_eq!(sequential.windows, 0);
+        let sharded = &points[1];
+        assert_eq!(sharded.shards, 2);
+        assert_eq!(sharded.servers, 3);
+        assert_eq!(
+            sharded.events, sequential.events,
+            "events are deterministic"
+        );
+        assert!(sharded.windows > 0);
+        assert_eq!(sharded.lanes.len(), 2);
+        assert!(sharded.lanes.iter().map(|l| l.packets).sum::<u64>() > 0);
+        assert!(sharded.speedup > 0.0);
     }
 
     /// The tentpole's fidelity criterion: batch=1 must be *exactly* the

@@ -10,6 +10,7 @@
 //! | A3 | Ablation — latency penalty vs PCIe crossing latency | [`ablations::pcie_sweep`] |
 //! | A4 | Ablation — live-migration cost vs flow-table size | [`ablations::migration_cost_sweep`] |
 //! | F1 | Fleet — scenario × strategy matrix behind CI's perf gate | [`fleet::run_fleet_matrix`] |
+//! | F2 | Fleet — sharded scaling curve (byte-compared to sequential) | [`fleet::run_scale_curve`] |
 //!
 //! Each experiment returns plain data rows plus a [`report`]-rendered text
 //! table whose layout mirrors the paper, so the benches' stdout doubles as
@@ -34,7 +35,8 @@ pub mod table1;
 
 pub use figure2::{run_figure2, Figure2Config, Figure2Results, Figure2Row};
 pub use fleet::{
-    run_fleet_matrix, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+    run_fleet_matrix, run_scale_curve, FleetBenchEntry, FleetBenchOutput, FleetScenario,
+    FleetScenarioKind, ScalePoint,
 };
 pub use scenarios::Figure1Scenario;
 pub use table1::{run_table1, Table1Results};

@@ -123,7 +123,7 @@ pub struct FleetDecisionRecord {
 
 /// The events the fleet's single deterministic queue carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FleetEvent {
+pub(crate) enum FleetEvent {
     /// The next home packet of this server is due.
     Arrival(ServerId),
     /// Run the control ladder over every server.
@@ -131,11 +131,14 @@ enum FleetEvent {
 }
 
 /// N servers, the steering table and the decision-ladder controller.
+///
+/// Fields are crate-visible so the sharded runner in [`crate::shard`] can
+/// drive the same queue, servers and steering table as [`Fleet::run`].
 pub struct Fleet {
-    config: FleetConfig,
-    servers: Vec<FleetServer>,
-    steering: SteeringTable,
-    events: EventQueue<FleetEvent>,
+    pub(crate) config: FleetConfig,
+    pub(crate) servers: Vec<FleetServer>,
+    pub(crate) steering: SteeringTable,
+    pub(crate) events: EventQueue<FleetEvent>,
     log: Vec<FleetDecisionRecord>,
     last_scale_action: Vec<Option<SimTime>>,
     /// The inter-server link cross-server state handoffs travel over.
@@ -143,11 +146,17 @@ pub struct Fleet {
     scale_outs: u64,
     scale_ins: u64,
     scale_out_blocked: u64,
-    control_steps: u64,
+    pub(crate) control_steps: u64,
     handoff_flows: u64,
     handoff_bytes: u64,
     handoff_us: f64,
     started: bool,
+    /// When the last control tick ran — the start of the current
+    /// synchronisation window for the sharded runner's safety assertion.
+    pub(crate) last_tick: SimTime,
+    /// Wall-clock side channel of the sharded runner (empty for sequential
+    /// runs); never part of the gated [`FleetReport`].
+    pub(crate) shard_stats: crate::shard::ShardRunStats,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -190,6 +199,8 @@ impl Fleet {
             handoff_bytes: 0,
             handoff_us: 0.0,
             started: false,
+            last_tick: SimTime::ZERO,
+            shard_stats: crate::shard::ShardRunStats::default(),
         })
     }
 
@@ -236,23 +247,37 @@ impl Fleet {
                 .sum::<u64>()
     }
 
+    /// Wall-clock statistics of every sharded run so far (empty when only
+    /// [`Fleet::run`] was used). A side channel: never part of the report.
+    pub fn shard_stats(&self) -> &crate::shard::ShardRunStats {
+        &self.shard_stats
+    }
+
+    /// Lazily schedules the initial arrivals (in server-id order) and the
+    /// first control tick. Shared by [`Fleet::run`] and
+    /// [`crate::shard::run_sharded`] so both start from the same queue state.
+    pub(crate) fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for index in 0..self.servers.len() {
+            if let Some(at) = self.servers[index].next_arrival() {
+                self.events
+                    .schedule(at, FleetEvent::Arrival(ServerId::from(index)));
+            }
+        }
+        self.events.schedule(
+            SimTime::ZERO + self.config.orchestrator.poll_interval,
+            FleetEvent::ControlTick,
+        );
+    }
+
     /// Runs the fleet until `until`, interleaving every server's home
     /// arrivals and the control ticks through the single event queue.
     /// Returns the number of control ticks run.
     pub fn run(&mut self, until: SimTime) -> u64 {
-        if !self.started {
-            self.started = true;
-            for index in 0..self.servers.len() {
-                if let Some(at) = self.servers[index].next_arrival() {
-                    self.events
-                        .schedule(at, FleetEvent::Arrival(ServerId::from(index)));
-                }
-            }
-            self.events.schedule(
-                SimTime::ZERO + self.config.orchestrator.poll_interval,
-                FleetEvent::ControlTick,
-            );
-        }
+        self.start();
         let ticks_before = self.control_steps;
         while let Some(next) = self.events.peek_time() {
             if next > until {
@@ -288,6 +313,8 @@ impl Fleet {
             let target = self.steering.route(home, packet.flow_id());
             let server = &mut self.servers[target.index()];
             server.note_arrival(packet.size());
+            #[cfg(test)]
+            server.log_submission(now, packet.flow_id().raw());
             let runtime = server.runtime_mut();
             runtime.drain_until(now);
             runtime.submit(now, packet);
@@ -298,8 +325,9 @@ impl Fleet {
     }
 
     /// One pass of the decision ladder over every server, in id order.
-    fn control_tick(&mut self, now: SimTime) {
+    pub(crate) fn control_tick(&mut self, now: SimTime) {
         self.control_steps += 1;
+        self.last_tick = now;
 
         // Phase 1 — measure: drain every data plane to `now` and feed the
         // sliding windows with the load that actually arrived this tick

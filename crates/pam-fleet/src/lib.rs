@@ -30,10 +30,12 @@ pub mod controller;
 pub mod estimator;
 pub mod node;
 pub mod report;
+pub mod shard;
 pub mod steering;
 
 pub use controller::{Fleet, FleetAction, FleetConfig, FleetDecisionRecord};
 pub use estimator::SlidingWindowEstimator;
 pub use node::{FleetServer, ServerSpec};
 pub use report::{FleetReport, FleetTotals, ServerReport};
+pub use shard::{ShardLane, ShardRunStats};
 pub use steering::{Spill, SteeringStats, SteeringTable};

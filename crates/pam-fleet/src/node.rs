@@ -37,6 +37,14 @@ pub struct FleetServer {
     orchestrator: Orchestrator,
     estimator: SlidingWindowEstimator,
     bytes_since_tick: u64,
+    /// Home packets sequenced into the current synchronisation window by the
+    /// sharded runner, waiting for their group's worker to submit them.
+    parked: std::collections::VecDeque<Packet>,
+    /// Test-only: the `(time, flow)` sequence of every packet submitted to
+    /// this server's runtime, for pinning that the sharded runner replays the
+    /// sequential per-server submission order exactly.
+    #[cfg(test)]
+    submissions: Vec<(SimTime, u64)>,
 }
 
 impl std::fmt::Debug for FleetServer {
@@ -66,6 +74,9 @@ impl FleetServer {
             orchestrator: Orchestrator::new(orchestrator),
             estimator: SlidingWindowEstimator::new(estimator_window),
             bytes_since_tick: 0,
+            parked: std::collections::VecDeque::new(),
+            #[cfg(test)]
+            submissions: Vec::new(),
         })
     }
 
@@ -138,6 +149,30 @@ impl FleetServer {
     /// Takes the parked home packet (call after its arrival event fired).
     pub fn take_pending(&mut self) -> Option<(SimTime, Packet)> {
         self.pending.take()
+    }
+
+    /// Parks one due home packet for the sharded runner's current window.
+    /// The sequencer calls this in global `(time, seq)` pop order, so the
+    /// FIFO preserves that order within the window.
+    pub fn park(&mut self, packet: Packet) {
+        self.parked.push_back(packet);
+    }
+
+    /// Takes the oldest packet parked by [`FleetServer::park`].
+    pub fn take_parked(&mut self) -> Option<Packet> {
+        self.parked.pop_front()
+    }
+
+    /// Test-only: records one packet submission to this server's runtime.
+    #[cfg(test)]
+    pub(crate) fn log_submission(&mut self, at: SimTime, flow: u64) {
+        self.submissions.push((at, flow));
+    }
+
+    /// Test-only: the recorded `(time, flow)` submission sequence.
+    #[cfg(test)]
+    pub(crate) fn submissions(&self) -> &[(SimTime, u64)] {
+        &self.submissions
     }
 }
 

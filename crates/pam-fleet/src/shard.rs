@@ -1,0 +1,567 @@
+//! Sharded parallel execution of one fleet, byte-identical to [`Fleet::run`].
+//!
+//! [`Fleet::run_sharded`] splits one fleet simulation across scoped worker
+//! threads with **conservative time-window synchronisation** and produces the
+//! *exact* state — report, counters, event totals — of the sequential run at
+//! any shard count. The design separates what must be ordered from what is
+//! expensive:
+//!
+//! * **Sequencing stays sequential.** The fleet's own deterministic
+//!   [`pam_sim::EventQueue`] carries only home-arrival and control-tick
+//!   events, and arrival streams are pure per-server seeded traces — so the
+//!   caller's thread can replay the queue's exact global `(time, seq)` pop
+//!   order cheaply, parking each due packet on its home server and appending
+//!   `(time, home)` to its group's order list. Every `schedule` call happens
+//!   on this thread in the same order as in [`Fleet::run`], so equal-time
+//!   cross-server ties (common under CBR traffic) resolve identically and
+//!   [`Fleet::events_scheduled`] matches to the event.
+//! * **Execution parallelises.** The expensive work — routing each packet
+//!   through the steering table into a server's [`ChainRuntime`]
+//!   (`drain_until` + `submit`) and draining every runtime to the window end
+//!   — runs on worker lanes at each barrier.
+//!
+//! A **window** is one control interval: the orchestrator only re-steers
+//! flows at control ticks, so the steering table is frozen mid-window and a
+//! [`ShardPlan`] built from it is valid for the whole window. Every active
+//! spill is a zero-lookahead channel (a re-steered packet reaches its
+//! recipient at its original arrival instant), so the plan merges
+//! spill-connected servers into one *group* executed sequentially on one
+//! lane; independent servers parallelise freely. At the tick barrier the
+//! sequential controller runs the unchanged decision ladder (scale-out
+//! handoffs over the shared interconnect, scale-in, local migration) and the
+//! plan is rebuilt for the next window.
+//!
+//! Determinism argument, per server runtime: the sequence of
+//! `drain_until`/`submit` calls it observes is identical to the sequential
+//! run's — same packets, same times, same relative order (the group order
+//! list is a subsequence of the global pop order, and extra `drain_until`
+//! calls at window ends are idempotent no-ops the sequential tick performs
+//! too). Runtimes are deterministic functions of their call sequence, and all
+//! cross-server merges (steering counters, per-tick byte loads) are
+//! order-independent `u64` sums, so the merged report is byte-identical.
+//!
+//! Wall-clock measurements ([`ShardRunStats`]) are a side channel for the
+//! benchmark harness and never enter the gated report; this module is the
+//! only simulation code allowed to touch `std::time::Instant` (enforced by
+//! `scripts/lint_determinism.sh`, which also pins scoped threads to this
+//! module and the experiment harness).
+//!
+//! [`ChainRuntime`]: pam_runtime::ChainRuntime
+
+use std::time::Instant;
+
+use pam_sim::{ShardChannel, ShardPlan};
+use pam_types::{ServerId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{Fleet, FleetEvent};
+use crate::node::FleetServer;
+use crate::steering::{SteeringStats, SteeringTable};
+
+/// Wall-clock and event counters for one worker lane across a sharded run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardLane {
+    /// Packets this lane submitted into its runtimes.
+    pub packets: u64,
+    /// Data-plane events its runtimes scheduled while this lane owned them.
+    pub events: u64,
+    /// Wall-clock time the lane spent executing windows.
+    pub busy_ms: f64,
+    /// Wall-clock time the lane waited at barriers for slower lanes
+    /// (window wall time minus its own busy time, summed over windows).
+    pub barrier_wait_ms: f64,
+}
+
+/// What the sharded runner did: a machine-dependent side channel for the
+/// benchmark harness's `--timings` output, never part of the gated report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardRunStats {
+    /// The largest shard count any `run_sharded` call requested.
+    pub shards: usize,
+    /// Synchronisation windows executed (including partial final windows).
+    pub windows: u64,
+    /// Fewest independent groups seen in any window — the parallelism floor.
+    pub groups_min: usize,
+    /// Most independent groups seen in any window.
+    pub groups_max: usize,
+    /// Per-lane counters, indexed by lane; lanes beyond the group count of
+    /// every window stay zero.
+    pub lanes: Vec<ShardLane>,
+}
+
+/// One group's work for the current window: its servers (split-borrowed out
+/// of the fleet) and the globally-ordered arrivals sequenced into the window.
+struct GroupJob<'a> {
+    /// `(server index, server)` pairs in ascending index order.
+    members: Vec<(usize, &'a mut FleetServer)>,
+    /// `(arrival time, home server)` in global `(time, seq)` pop order.
+    order: &'a [(SimTime, ServerId)],
+}
+
+/// Executes one lane's groups sequentially: replays each group's sequenced
+/// arrivals against the window-frozen steering table, then drains every
+/// member runtime to the window end (the barrier). Returns the lane's
+/// steering tally, packets submitted, runtime events scheduled and busy
+/// wall-clock milliseconds.
+fn run_lane(
+    jobs: &mut [GroupJob<'_>],
+    steering: &SteeringTable,
+    end: SimTime,
+) -> (SteeringStats, u64, u64, f64) {
+    let clock = Instant::now();
+    let mut stats = SteeringStats::default();
+    let mut packets = 0u64;
+    let mut events = 0u64;
+    for job in jobs.iter_mut() {
+        let before: u64 = job
+            .members
+            .iter()
+            .map(|(_, server)| server.runtime().events_scheduled())
+            .sum();
+        for &(at, home) in job.order {
+            let Ok(home_position) = job
+                .members
+                .binary_search_by_key(&home.index(), |(node, _)| *node)
+            else {
+                unreachable!("a sequenced arrival's home server is in its group");
+            };
+            let Some(packet) = job.members[home_position].1.take_parked() else {
+                unreachable!("the sequencer parked one packet per order entry");
+            };
+            let target = steering.route_into(home, packet.flow_id(), &mut stats);
+            let Ok(target_position) = job
+                .members
+                .binary_search_by_key(&target.index(), |(node, _)| *node)
+            else {
+                unreachable!("spill channels keep recipients in the home's group");
+            };
+            let server = &mut job.members[target_position].1;
+            server.note_arrival(packet.size());
+            #[cfg(test)]
+            server.log_submission(at, packet.flow_id().raw());
+            let runtime = server.runtime_mut();
+            runtime.drain_until(at);
+            runtime.submit(at, packet);
+            packets += 1;
+        }
+        for (_, server) in job.members.iter_mut() {
+            server.runtime_mut().drain_until(end);
+        }
+        let after: u64 = job
+            .members
+            .iter()
+            .map(|(_, server)| server.runtime().events_scheduled())
+            .sum();
+        events += after - before;
+    }
+    let busy_ms = clock.elapsed().as_secs_f64() * 1e3;
+    (stats, packets, events, busy_ms)
+}
+
+impl Fleet {
+    /// Runs the fleet until `until` with window execution spread over up to
+    /// `shards` worker lanes. Produces byte-identical state to [`Fleet::run`]
+    /// at any shard count; `shards <= 1` *is* [`Fleet::run`]. Returns the
+    /// number of control ticks run. Sequential and sharded runs may be mixed
+    /// freely on one fleet (both drive the same queue).
+    pub fn run_sharded(&mut self, until: SimTime, shards: usize) -> u64 {
+        if shards <= 1 {
+            return self.run(until);
+        }
+        self.start();
+        let ticks_before = self.control_steps;
+        let interval = self.config.orchestrator.poll_interval;
+        self.shard_stats.shards = self.shard_stats.shards.max(shards);
+        if self.shard_stats.lanes.len() < shards {
+            self.shard_stats.lanes.resize(shards, ShardLane::default());
+        }
+        let mut plan = self.shard_plan(interval);
+        let mut orders: Vec<Vec<(SimTime, ServerId)>> = vec![Vec::new(); plan.groups().len()];
+        loop {
+            let at_end = match self.events.peek_time() {
+                None => true,
+                Some(next) => next > until,
+            };
+            if at_end {
+                // Partial final window: execute what was sequenced so far and
+                // drain every runtime to `until`, exactly where the
+                // sequential run's final drain loop would leave them.
+                self.execute_window(&plan, &orders, until, shards);
+                break;
+            }
+            let Some((now, event)) = self.events.pop() else {
+                unreachable!("peeked event must pop");
+            };
+            match event {
+                FleetEvent::Arrival(home) => {
+                    if let Some((send_time, packet)) = self.servers[home.index()].take_pending() {
+                        debug_assert_eq!(
+                            send_time, now,
+                            "arrival event fires at the packet's send time"
+                        );
+                        debug_assert!(
+                            plan.is_safe(self.last_tick, now),
+                            "sequenced arrival past the window's safe horizon"
+                        );
+                        orders[plan.group_of(home.index())].push((now, home));
+                        self.servers[home.index()].park(packet);
+                    }
+                    if let Some(at) = self.servers[home.index()].next_arrival() {
+                        self.events.schedule(at, FleetEvent::Arrival(home));
+                    }
+                }
+                FleetEvent::ControlTick => {
+                    self.execute_window(&plan, &orders, now, shards);
+                    self.control_tick(now);
+                    self.events
+                        .schedule(now + interval, FleetEvent::ControlTick);
+                    // The tick may have re-steered flows: re-plan the groups
+                    // for the next window against the updated table.
+                    plan = self.shard_plan(interval);
+                    orders.clear();
+                    orders.resize(plan.groups().len(), Vec::new());
+                }
+            }
+        }
+        for server in &mut self.servers {
+            server.runtime_mut().drain_until(until);
+        }
+        self.control_steps - ticks_before
+    }
+
+    /// The conservative plan for the current steering table: one node per
+    /// server; every active spill is a zero-lookahead channel (re-steered
+    /// packets reach the recipient at their original arrival instant), so
+    /// its endpoints are co-scheduled. Scale-out handoffs and controller
+    /// decisions happen only at the tick barrier itself and need no channel
+    /// — the barrier already orders them.
+    fn shard_plan(&self, barrier: SimDuration) -> ShardPlan {
+        let channels: Vec<ShardChannel> = (0..self.servers.len())
+            .filter_map(|home| {
+                self.steering
+                    .spill_of(ServerId::from(home))
+                    .map(|spill| ShardChannel {
+                        from: home,
+                        to: spill.to.index(),
+                        lookahead: SimDuration::ZERO,
+                    })
+            })
+            .collect();
+        ShardPlan::conservative(self.servers.len(), &channels, barrier)
+    }
+
+    /// Executes one synchronisation window: deals the plan's groups onto
+    /// worker lanes, replays each group's sequenced arrivals and drains every
+    /// runtime to `end`, then merges the lanes' order-independent tallies.
+    fn execute_window(
+        &mut self,
+        plan: &ShardPlan,
+        orders: &[Vec<(SimTime, ServerId)>],
+        end: SimTime,
+        shards: usize,
+    ) {
+        debug_assert_eq!(orders.len(), plan.groups().len());
+        let groups = plan.groups().len();
+        if self.shard_stats.windows == 0 {
+            self.shard_stats.groups_min = groups;
+            self.shard_stats.groups_max = groups;
+        } else {
+            self.shard_stats.groups_min = self.shard_stats.groups_min.min(groups);
+            self.shard_stats.groups_max = self.shard_stats.groups_max.max(groups);
+        }
+        self.shard_stats.windows += 1;
+
+        let steering = &self.steering;
+        let mut slots: Vec<Option<&mut FleetServer>> = self.servers.iter_mut().map(Some).collect();
+        let mut lane_jobs: Vec<Vec<GroupJob<'_>>> = plan
+            .lanes(shards)
+            .iter()
+            .map(|lane| {
+                lane.iter()
+                    .map(|&group| GroupJob {
+                        order: orders[group].as_slice(),
+                        members: plan.groups()[group]
+                            .iter()
+                            .map(|&node| {
+                                let Some(server) = slots[node].take() else {
+                                    unreachable!("plan groups partition the servers");
+                                };
+                                (node, server)
+                            })
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let window_clock = Instant::now();
+        let results: Vec<(SteeringStats, u64, u64, f64)> = if lane_jobs.len() <= 1 {
+            lane_jobs
+                .iter_mut()
+                .map(|jobs| run_lane(jobs, steering, end))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lane_jobs
+                    .into_iter()
+                    .map(|mut jobs| scope.spawn(move || run_lane(&mut jobs, steering, end)))
+                    .collect();
+                // Join in lane order: the merge below is order-independent,
+                // but a deterministic order keeps panics reproducible.
+                handles
+                    .into_iter()
+                    .map(|handle| match handle.join() {
+                        Ok(result) => result,
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    })
+                    .collect()
+            })
+        };
+        let window_wall_ms = window_clock.elapsed().as_secs_f64() * 1e3;
+
+        for (lane_index, (stats, packets, events, busy_ms)) in results.into_iter().enumerate() {
+            self.steering.absorb(stats);
+            let lane = &mut self.shard_stats.lanes[lane_index];
+            lane.packets += packets;
+            lane.events += events;
+            lane.busy_ms += busy_ms;
+            lane.barrier_wait_ms += (window_wall_ms - busy_ms).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::FleetConfig;
+    use crate::node::ServerSpec;
+    use pam_core::{Placement, StrategyKind};
+    use pam_nf::ServiceChainSpec;
+    use pam_runtime::RuntimeConfig;
+    use pam_traffic::{
+        ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, Phase, TraceConfig, TrafficSchedule,
+    };
+    use pam_types::{ByteSize, Gbps};
+
+    fn spec_with(schedule: TrafficSchedule, seed: u64) -> ServerSpec {
+        ServerSpec {
+            chain: ServiceChainSpec::figure1(),
+            placement: Placement::figure1_initial(),
+            runtime: RuntimeConfig::evaluation_default(),
+            trace: TraceConfig {
+                sizes: PacketSizeProfile::Fixed(ByteSize::bytes(512)),
+                flows: FlowGeneratorConfig {
+                    flow_count: 2000,
+                    zipf_exponent: 1.0,
+                    tcp_fraction: 0.8,
+                },
+                arrival: ArrivalProcess::Cbr,
+                schedule,
+                seed,
+            },
+        }
+    }
+
+    /// Server 0 takes a hopeless burst that forces cross-server scale-out
+    /// (and later scale-in); servers 1..n idle — the scenario exercising
+    /// spill groups, handoffs and window re-planning.
+    fn hopeless_fleet(servers: usize, strategy: StrategyKind) -> Fleet {
+        let hot = TrafficSchedule::from_phases(vec![
+            Phase::new(Gbps::new(3.9), SimDuration::from_millis(10)),
+            Phase::new(Gbps::new(0.3), SimDuration::from_millis(20)),
+        ]);
+        let mut specs = vec![spec_with(hot, 11)];
+        for cold in 1..servers {
+            specs.push(spec_with(
+                TrafficSchedule::constant(Gbps::new(0.5), SimDuration::from_millis(30)),
+                11 + cold as u64,
+            ));
+        }
+        Fleet::new(specs, FleetConfig::with_strategy(strategy)).unwrap()
+    }
+
+    fn report_json(fleet: &Fleet) -> String {
+        serde_json::to_string(&fleet.report()).unwrap()
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_sequential() {
+        let mut sequential = hopeless_fleet(4, StrategyKind::Pam);
+        sequential.run(SimTime::from_millis(30));
+        for shards in [2, 3, 8] {
+            let mut sharded = hopeless_fleet(4, StrategyKind::Pam);
+            let ticks = sharded.run_sharded(SimTime::from_millis(30), shards);
+            assert_eq!(ticks, 30, "1 ms cadence over 30 ms");
+            assert_eq!(
+                report_json(&sequential),
+                report_json(&sharded),
+                "{shards} shards diverged from the sequential run"
+            );
+            assert_eq!(
+                sequential.events_scheduled(),
+                sharded.events_scheduled(),
+                "{shards} shards scheduled a different event count"
+            );
+            assert_eq!(sequential.scale_outs(), sharded.scale_outs());
+            assert_eq!(sequential.scale_ins(), sharded.scale_ins());
+            assert_eq!(sequential.log(), sharded.log());
+        }
+    }
+
+    #[test]
+    fn per_server_submission_sequences_match_the_sequential_run() {
+        let mut sequential = hopeless_fleet(3, StrategyKind::Pam);
+        sequential.run(SimTime::from_millis(30));
+        let mut sharded = hopeless_fleet(3, StrategyKind::Pam);
+        sharded.run_sharded(SimTime::from_millis(30), 3);
+        for (a, b) in sequential.servers.iter().zip(&sharded.servers) {
+            assert!(!a.submissions().is_empty(), "scenario feeds every server");
+            assert_eq!(
+                a.submissions(),
+                b.submissions(),
+                "server {:?} saw a different (time, flow) submission sequence",
+                a.id()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_runs_resume_and_mix_with_sequential_runs() {
+        let mut whole = hopeless_fleet(2, StrategyKind::Pam);
+        whole.run(SimTime::from_millis(30));
+        let expected = report_json(&whole);
+
+        let mut resumed = hopeless_fleet(2, StrategyKind::Pam);
+        resumed.run_sharded(SimTime::from_millis(13), 4);
+        resumed.run_sharded(SimTime::from_millis(30), 4);
+        assert_eq!(expected, report_json(&resumed), "split sharded runs");
+
+        let mut mixed = hopeless_fleet(2, StrategyKind::Pam);
+        mixed.run(SimTime::from_millis(9));
+        mixed.run_sharded(SimTime::from_millis(21), 2);
+        mixed.run(SimTime::from_millis(30));
+        assert_eq!(expected, report_json(&mixed), "mixed sequential/sharded");
+    }
+
+    #[test]
+    fn one_shard_delegates_to_the_sequential_runner() {
+        let mut fleet = hopeless_fleet(2, StrategyKind::Pam);
+        fleet.run_sharded(SimTime::from_millis(30), 1);
+        assert_eq!(fleet.shard_stats().windows, 0, "no windowed execution");
+        assert!(fleet.shard_stats().lanes.is_empty());
+    }
+
+    #[test]
+    fn shard_stats_account_every_submitted_packet() {
+        let mut fleet = hopeless_fleet(4, StrategyKind::Pam);
+        fleet.run_sharded(SimTime::from_millis(30), 4);
+        let stats = fleet.shard_stats().clone();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.lanes.len(), 4);
+        assert!(stats.windows >= 30, "one window per control tick");
+        assert!(stats.groups_min >= 1 && stats.groups_max <= 4);
+        assert!(
+            stats.groups_min < 4,
+            "the scale-out window co-schedules the spill pair"
+        );
+        let report = fleet.report();
+        let submitted: u64 = stats.lanes.iter().map(|lane| lane.packets).sum();
+        assert_eq!(submitted, report.totals.injected);
+        let lane_events: u64 = stats.lanes.iter().map(|lane| lane.events).sum();
+        let runtime_events: u64 = fleet
+            .servers()
+            .iter()
+            .map(|server| server.runtime().events_scheduled())
+            .sum();
+        assert_eq!(lane_events, runtime_events);
+    }
+
+    #[test]
+    fn window_plans_co_schedule_active_spills() {
+        let mut fleet = hopeless_fleet(2, StrategyKind::Pam);
+        fleet.run(SimTime::from_millis(5));
+        assert!(fleet.scale_outs() > 0, "the burst forces a spill by 5 ms");
+        let plan = fleet.shard_plan(fleet.config().orchestrator.poll_interval);
+        assert_eq!(plan.groups().len(), 1, "spill pair shares a group");
+        assert_eq!(
+            plan.safe_horizon(),
+            fleet.config().orchestrator.poll_interval
+        );
+    }
+
+    /// The sequencer schedules exactly like the sequential run: drive both
+    /// queues side by side and compare every `(time, event)` pop. This is the
+    /// strongest form of the "identical `(time, seq)` sequences" property —
+    /// checked at the fleet queue (the sequencer) here, and per server by
+    /// `per_server_submission_sequences_match_the_sequential_run`.
+    #[test]
+    fn sequencer_pop_order_matches_the_sequential_run() {
+        let mut sequential = hopeless_fleet(3, StrategyKind::Pam);
+        let mut sharded = hopeless_fleet(3, StrategyKind::Pam);
+        // Alternate 1 ms slices so both fleets interleave run styles.
+        for slice in 1..=30u64 {
+            let until = SimTime::from_millis(slice);
+            sequential.run(until);
+            sharded.run_sharded(until, 3);
+            assert_eq!(
+                sequential.events.scheduled_total(),
+                sharded.events.scheduled_total(),
+                "sequencer diverged by {slice} ms"
+            );
+            assert_eq!(
+                sequential.events.peek_time(),
+                sharded.events.peek_time(),
+                "next event time diverged by {slice} ms"
+            );
+        }
+        assert_eq!(report_json(&sequential), report_json(&sharded));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Random mini-fleets: any mix of rates, seeds, server counts and
+            /// shard counts replays byte-identically under sharding, with
+            /// identical per-server submission sequences. Ignored on the
+            /// default path (each case simulates two full fleets); CI's
+            /// proptest job runs it deep in release.
+            #[test]
+            #[ignore = "randomised deep suite; CI proptest job runs it in release"]
+            fn random_fleets_are_byte_identical_under_sharding(
+                servers in 2usize..5,
+                shards in 2usize..7,
+                seed in 0u64..1_000,
+                hot_tenths in 30u64..40,
+                horizon_ms in 4u64..9,
+            ) {
+                let build = || {
+                    let mut specs = Vec::new();
+                    for index in 0..servers {
+                        let rate = if index == 0 {
+                            Gbps::new(hot_tenths as f64 / 10.0)
+                        } else {
+                            Gbps::new(0.4 + index as f64 * 0.2)
+                        };
+                        specs.push(spec_with(
+                            TrafficSchedule::constant(rate, SimDuration::from_millis(horizon_ms)),
+                            seed + index as u64,
+                        ));
+                    }
+                    Fleet::new(specs, FleetConfig::with_strategy(StrategyKind::Pam)).unwrap()
+                };
+                let until = SimTime::from_millis(horizon_ms);
+                let mut sequential = build();
+                sequential.run(until);
+                let mut sharded = build();
+                sharded.run_sharded(until, shards);
+                prop_assert_eq!(report_json(&sequential), report_json(&sharded));
+                prop_assert_eq!(sequential.events_scheduled(), sharded.events_scheduled());
+                for (a, b) in sequential.servers.iter().zip(&sharded.servers) {
+                    prop_assert_eq!(a.submissions(), b.submissions());
+                }
+            }
+        }
+    }
+}

@@ -104,24 +104,52 @@ impl SteeringTable {
         }
     }
 
-    /// Routes one packet of `home`'s ingress traffic: the home server itself
-    /// or the spill recipient, decided by the flow-hash threshold.
-    pub fn route(&mut self, home: ServerId, flow: FlowId) -> ServerId {
-        let target = match self.spills[home.index()] {
+    /// Where a packet of `home`'s ingress traffic is served, decided by the
+    /// flow-hash threshold: the home server itself or the spill recipient.
+    /// Pure — no counters move — so the sharded runner's worker threads can
+    /// resolve targets against the table frozen for the current window.
+    pub fn target_of(&self, home: ServerId, flow: FlowId) -> ServerId {
+        match self.spills[home.index()] {
             Some(spill) if flow_unit(flow) < spill.fraction => spill.to,
             _ => home,
-        };
-        if target == home {
-            self.stats.local_packets += 1;
-        } else {
-            self.stats.resteered_packets += 1;
         }
+    }
+
+    /// Routes one packet of `home`'s ingress traffic, tallying into the
+    /// table's own counters.
+    pub fn route(&mut self, home: ServerId, flow: FlowId) -> ServerId {
+        let target = self.target_of(home, flow);
+        tally(&mut self.stats, home, target);
         target
+    }
+
+    /// Routes like [`SteeringTable::route`] but tallies into `stats`, so a
+    /// shard worker can count against a group-local scratch and merge later.
+    pub fn route_into(&self, home: ServerId, flow: FlowId, stats: &mut SteeringStats) -> ServerId {
+        let target = self.target_of(home, flow);
+        tally(stats, home, target);
+        target
+    }
+
+    /// Folds counters tallied elsewhere (a shard worker's group-local
+    /// scratch) into the table's totals. Counter sums are order-independent,
+    /// so the merged totals match a sequential run's exactly.
+    pub fn absorb(&mut self, stats: SteeringStats) {
+        self.stats.resteered_packets += stats.resteered_packets;
+        self.stats.local_packets += stats.local_packets;
     }
 
     /// Accumulated routing counters.
     pub fn stats(&self) -> SteeringStats {
         self.stats
+    }
+}
+
+fn tally(stats: &mut SteeringStats, home: ServerId, target: ServerId) {
+    if target == home {
+        stats.local_packets += 1;
+    } else {
+        stats.resteered_packets += 1;
     }
 }
 

@@ -25,6 +25,11 @@
 //! * [`ReorderBuffer`] — a bounded link-reorder model (window `0` = FIFO)
 //!   whose deliverable set is *enumerable*, so the protocol model checker in
 //!   `pam-protocol` can branch on every legal delivery interleaving.
+//! * [`ShardPlan`] — conservative-lookahead shard planning for parallel
+//!   simulation: partitions nodes into groups no sub-barrier channel
+//!   crosses, so a windowed runner can execute groups on worker threads and
+//!   stay event-for-event identical to the sequential run (`pam-fleet`'s
+//!   `run_sharded` is the consumer).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
@@ -43,6 +48,7 @@ pub mod queue;
 pub mod reorder;
 pub mod rng;
 pub mod server;
+pub mod shard;
 
 pub use device::{ComputeDevice, DeviceConfig, DeviceStats, ProcessOutcome};
 pub use events::{run_until, EventHandler, EventQueue, ScheduledEvent};
@@ -51,3 +57,4 @@ pub use queue::{DropTailQueue, QueueStats};
 pub use reorder::ReorderBuffer;
 pub use rng::SimRng;
 pub use server::{RateServer, ServerStats};
+pub use shard::{ShardChannel, ShardPlan};

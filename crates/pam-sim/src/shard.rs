@@ -1,0 +1,410 @@
+//! Conservative-lookahead shard planning for parallel simulation.
+//!
+//! A fleet-scale simulation is a set of per-node event streams coupled by
+//! *channels* (re-steered flows, state handoffs, controller decisions), each
+//! with a modeled delivery latency. Conservative parallel discrete-event
+//! simulation exploits that latency as **lookahead**: if every channel into a
+//! node carries at least `L` of latency, the node can safely execute `L`
+//! ahead of its peers without ever receiving an event from its past.
+//!
+//! [`ShardPlan::conservative`] turns a topology into an execution plan for a
+//! *windowed* runner that synchronises all shards at a global barrier every
+//! `barrier` of simulated time:
+//!
+//! * a channel whose lookahead is **at least** the barrier interval never
+//!   delivers inside the window it was sent in — it is exchanged at the
+//!   barrier, and its endpoints may run on different shards;
+//! * a channel with **less** lookahead than the barrier (in the limit, a
+//!   zero-lookahead channel such as a re-steered flow delivered at its
+//!   original arrival instant) could deliver mid-window, so its endpoints are
+//!   merged into one **group** and executed sequentially on one worker.
+//!
+//! Groups are the unit of parallelism: the plan partitions nodes into groups
+//! (the connected components of the sub-barrier channel graph) and
+//! [`ShardPlan::lanes`] deals groups round-robin onto worker lanes. Within a
+//! group the runner preserves the exact global `(time, seq)` event order, so
+//! the parallel run is event-for-event identical to the sequential one — the
+//! property the fleet's shard-determinism CI wall byte-diffs.
+//!
+//! [`ShardPlan::safe_horizon`] is the windowed runner's safety bound: the
+//! largest distance past a window's start any group may execute before the
+//! next barrier, `min(barrier, min cross-group lookahead)`. With the grouping
+//! rule above every cross-group channel has lookahead ≥ barrier, so the
+//! horizon equals the barrier interval; the formula stays general so a
+//! future runner can trade shorter windows for more parallelism.
+
+use pam_types::{SimDuration, SimTime};
+
+/// One directed coupling between two simulated nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardChannel {
+    /// Sending node index.
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// Minimum simulated time between sending and delivery. Zero means the
+    /// receiver can observe the sender's events instantaneously, forcing the
+    /// two nodes onto the same shard.
+    pub lookahead: SimDuration,
+}
+
+/// A partition of nodes into sequentially-executed groups plus the safe
+/// execution horizon per synchronisation window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    barrier: SimDuration,
+    safe_horizon: SimDuration,
+    group_of: Vec<usize>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Builds the conservative plan for `nodes` nodes coupled by `channels`,
+    /// synchronised at a global barrier every `barrier` of simulated time.
+    ///
+    /// Channels with `lookahead < barrier` merge their endpoints into one
+    /// group (transitively). Groups are numbered in order of their smallest
+    /// member and list members in ascending order, so the plan is a pure
+    /// function of its inputs.
+    ///
+    /// # Panics
+    /// Panics if a channel endpoint is out of range.
+    pub fn conservative(nodes: usize, channels: &[ShardChannel], barrier: SimDuration) -> Self {
+        let mut parent: Vec<usize> = (0..nodes).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for channel in channels {
+            assert!(
+                channel.from < nodes && channel.to < nodes,
+                "channel {}->{} out of range for {} nodes",
+                channel.from,
+                channel.to,
+                nodes
+            );
+            if channel.lookahead < barrier {
+                let a = find(&mut parent, channel.from);
+                let b = find(&mut parent, channel.to);
+                // Union by smaller root keeps the representative the
+                // component's least member, independent of channel order.
+                if a != b {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+        let mut group_of = vec![usize::MAX; nodes];
+        let mut group_index_of_root = vec![usize::MAX; nodes];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (node, slot) in group_of.iter_mut().enumerate() {
+            let root = find(&mut parent, node);
+            if group_index_of_root[root] == usize::MAX {
+                group_index_of_root[root] = groups.len();
+                groups.push(Vec::new());
+            }
+            let group = group_index_of_root[root];
+            *slot = group;
+            groups[group].push(node);
+        }
+        let mut safe_horizon = barrier;
+        for channel in channels {
+            if group_of[channel.from] != group_of[channel.to] {
+                safe_horizon = safe_horizon.min(channel.lookahead);
+            }
+        }
+        ShardPlan {
+            barrier,
+            safe_horizon,
+            group_of,
+            groups,
+        }
+    }
+
+    /// The synchronisation-window length the plan was built for.
+    pub fn barrier(&self) -> SimDuration {
+        self.barrier
+    }
+
+    /// How far past a window's start any group may execute before the next
+    /// barrier. By construction `min(barrier, min cross-group lookahead)`.
+    pub fn safe_horizon(&self) -> SimDuration {
+        self.safe_horizon
+    }
+
+    /// The groups, each a sorted list of node indices. Groups are ordered by
+    /// their smallest member; together they partition `0..nodes`.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The group `node` belongs to.
+    pub fn group_of(&self, node: usize) -> usize {
+        self.group_of[node]
+    }
+
+    /// True iff an event at `at` may execute inside the window starting at
+    /// `window_start` without risking a causality violation.
+    pub fn is_safe(&self, window_start: SimTime, at: SimTime) -> bool {
+        at <= window_start + self.safe_horizon
+    }
+
+    /// Deals the groups round-robin onto at most `shards` worker lanes
+    /// (never more lanes than groups). Deterministic: lane `w` gets groups
+    /// `w, w + lanes, w + 2·lanes, …`.
+    pub fn lanes(&self, shards: usize) -> Vec<Vec<usize>> {
+        if self.groups.is_empty() {
+            return Vec::new();
+        }
+        let count = shards.clamp(1, self.groups.len());
+        let mut lanes = vec![Vec::new(); count];
+        for group in 0..self.groups.len() {
+            lanes[group % count].push(group);
+        }
+        lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BARRIER: SimDuration = SimDuration::from_micros(500);
+
+    fn ch(from: usize, to: usize, lookahead: SimDuration) -> ShardChannel {
+        ShardChannel {
+            from,
+            to,
+            lookahead,
+        }
+    }
+
+    #[test]
+    fn unconnected_nodes_each_get_their_own_group() {
+        let plan = ShardPlan::conservative(4, &[], BARRIER);
+        assert_eq!(plan.groups(), &[vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(plan.safe_horizon(), BARRIER);
+        assert_eq!(plan.barrier(), BARRIER);
+        for node in 0..4 {
+            assert_eq!(plan.group_of(node), node);
+        }
+    }
+
+    #[test]
+    fn zero_lookahead_channels_merge_their_endpoints() {
+        let plan = ShardPlan::conservative(4, &[ch(0, 2, SimDuration::ZERO)], BARRIER);
+        assert_eq!(plan.groups(), &[vec![0, 2], vec![1], vec![3]]);
+        assert_eq!(plan.group_of(0), plan.group_of(2));
+        assert_ne!(plan.group_of(0), plan.group_of(1));
+    }
+
+    #[test]
+    fn merging_is_transitive_regardless_of_channel_order() {
+        let forward = [
+            ch(0, 1, SimDuration::ZERO),
+            ch(1, 2, SimDuration::from_micros(1)),
+        ];
+        let reverse = [
+            ch(1, 2, SimDuration::from_micros(1)),
+            ch(0, 1, SimDuration::ZERO),
+        ];
+        let a = ShardPlan::conservative(3, &forward, BARRIER);
+        let b = ShardPlan::conservative(3, &reverse, BARRIER);
+        assert_eq!(a, b);
+        assert_eq!(a.groups(), &[vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn channels_with_barrier_or_more_lookahead_do_not_merge() {
+        let plan = ShardPlan::conservative(2, &[ch(0, 1, BARRIER)], BARRIER);
+        assert_eq!(plan.groups().len(), 2);
+        // The cross-group channel's lookahead bounds the horizon (here it
+        // equals the barrier, so the bound is not binding).
+        assert_eq!(plan.safe_horizon(), BARRIER);
+    }
+
+    #[test]
+    fn cross_group_lookahead_tightens_the_safe_horizon() {
+        // Build a plan with a *shorter* barrier so the 200 µs channel stays
+        // cross-group, then check the general horizon formula.
+        let barrier = SimDuration::from_micros(100);
+        let plan = ShardPlan::conservative(2, &[ch(0, 1, SimDuration::from_micros(200))], barrier);
+        assert_eq!(plan.groups().len(), 2);
+        assert_eq!(plan.safe_horizon(), barrier);
+        let start = SimTime::from_micros(700);
+        assert!(plan.is_safe(start, start + barrier));
+        assert!(!plan.is_safe(start, start + barrier + SimDuration::from_nanos(1)));
+    }
+
+    #[test]
+    fn lanes_deal_groups_round_robin_without_exceeding_group_count() {
+        let plan = ShardPlan::conservative(5, &[], BARRIER);
+        assert_eq!(plan.lanes(2), vec![vec![0, 2, 4], vec![1, 3]]);
+        assert_eq!(plan.lanes(8).len(), 5, "never more lanes than groups");
+        assert_eq!(plan.lanes(1), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(plan.lanes(0).len(), 1, "zero shards clamps to one lane");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_channel_endpoints_panic() {
+        ShardPlan::conservative(2, &[ch(0, 2, SimDuration::ZERO)], BARRIER);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random topologies: up to 24 nodes, channels with lookaheads straddling
+    /// the barrier. The vendored proptest has no mapping combinators, so the
+    /// strategy samples raw tuples and `build_topology` shapes them (channel
+    /// endpoints land in range via modulo).
+    fn arb_topology() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>, u64)> {
+        (
+            2usize..24,
+            proptest::collection::vec((0usize..24, 0usize..24, 0u64..2_000), 0..40),
+            1u64..2_000,
+        )
+    }
+
+    fn build_topology(
+        topology: (usize, Vec<(usize, usize, u64)>, u64),
+    ) -> (usize, Vec<ShardChannel>, SimDuration) {
+        let (nodes, raw, barrier_nanos) = topology;
+        let channels = raw
+            .into_iter()
+            .map(|(from, to, nanos)| ShardChannel {
+                from: from % nodes,
+                to: to % nodes,
+                lookahead: SimDuration::from_nanos(nanos),
+            })
+            .collect();
+        (nodes, channels, SimDuration::from_nanos(barrier_nanos))
+    }
+
+    /// Reference partition: BFS connected components over the undirected
+    /// sub-barrier channel graph, components ordered by smallest member.
+    fn bfs_components(
+        nodes: usize,
+        channels: &[ShardChannel],
+        barrier: SimDuration,
+    ) -> Vec<Vec<usize>> {
+        let mut adjacency = vec![Vec::new(); nodes];
+        for c in channels {
+            if c.lookahead < barrier {
+                adjacency[c.from].push(c.to);
+                adjacency[c.to].push(c.from);
+            }
+        }
+        let mut seen = vec![false; nodes];
+        let mut components = Vec::new();
+        for start in 0..nodes {
+            if seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut frontier = vec![start];
+            seen[start] = true;
+            while let Some(node) = frontier.pop() {
+                component.push(node);
+                for &next in &adjacency[node] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        frontier.push(next);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    proptest! {
+        /// The plan's groups are exactly the connected components of the
+        /// sub-barrier channel graph, in canonical order.
+        #[test]
+        fn groups_match_the_bfs_reference(topology in arb_topology()) {
+            let (nodes, channels, barrier) = build_topology(topology);
+            let plan = ShardPlan::conservative(nodes, &channels, barrier);
+            prop_assert_eq!(plan.groups(), bfs_components(nodes, &channels, barrier).as_slice());
+        }
+
+        /// Groups partition the nodes and `group_of` agrees with membership.
+        #[test]
+        fn groups_partition_the_nodes(topology in arb_topology()) {
+            let (nodes, channels, barrier) = build_topology(topology);
+            let plan = ShardPlan::conservative(nodes, &channels, barrier);
+            let mut seen = vec![0u32; nodes];
+            for (index, group) in plan.groups().iter().enumerate() {
+                for &node in group {
+                    seen[node] += 1;
+                    prop_assert_eq!(plan.group_of(node), index);
+                }
+            }
+            prop_assert!(seen.iter().all(|&count| count == 1));
+        }
+
+        /// No channel that could deliver mid-window ever crosses groups, and
+        /// the safe horizon never exceeds the barrier or any cross-group
+        /// channel's lookahead.
+        #[test]
+        fn lookahead_safety(topology in arb_topology()) {
+            let (nodes, channels, barrier) = build_topology(topology);
+            let plan = ShardPlan::conservative(nodes, &channels, barrier);
+            prop_assert!(plan.safe_horizon() <= barrier);
+            for c in &channels {
+                if c.lookahead < barrier {
+                    prop_assert_eq!(
+                        plan.group_of(c.from), plan.group_of(c.to),
+                        "sub-barrier channel {}->{} crosses groups", c.from, c.to
+                    );
+                } else {
+                    prop_assert!(plan.safe_horizon() <= c.lookahead.max(barrier));
+                }
+                if plan.group_of(c.from) != plan.group_of(c.to) {
+                    prop_assert!(plan.safe_horizon() <= c.lookahead);
+                }
+            }
+            // An event at the horizon is safe; one past it is not.
+            let start = SimTime::from_micros(3);
+            prop_assert!(plan.is_safe(start, start + plan.safe_horizon()));
+            prop_assert!(!plan.is_safe(
+                start,
+                start + plan.safe_horizon() + SimDuration::from_nanos(1)
+            ));
+        }
+
+        /// Lane assignment is a partition of the groups, lane count never
+        /// exceeds min(shards, groups), and the deal is stable round-robin.
+        #[test]
+        fn lanes_partition_the_groups(topology in arb_topology(), shards in 1usize..9) {
+            let (nodes, channels, barrier) = build_topology(topology);
+            let plan = ShardPlan::conservative(nodes, &channels, barrier);
+            let lanes = plan.lanes(shards);
+            prop_assert_eq!(lanes.len(), shards.min(plan.groups().len()));
+            let mut seen = vec![false; plan.groups().len()];
+            for (lane_index, lane) in lanes.iter().enumerate() {
+                for &group in lane {
+                    prop_assert!(!std::mem::replace(&mut seen[group], true));
+                    prop_assert_eq!(group % lanes.len(), lane_index);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// The plan is a pure function of its inputs.
+        #[test]
+        fn planning_is_deterministic(topology in arb_topology()) {
+            let (nodes, channels, barrier) = build_topology(topology);
+            let a = ShardPlan::conservative(nodes, &channels, barrier);
+            let b = ShardPlan::conservative(nodes, &channels, barrier);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

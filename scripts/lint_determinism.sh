@@ -14,6 +14,17 @@
 #      counterexamples meaningless. Use BTreeMap/BTreeSet or the fixed-key
 #      FastMap in pam-nf instead. Test modules (`#[cfg(test)]` and files
 #      under tests/) may use whatever they like.
+#   4. `std::thread::spawn` anywhere, and scoped threads
+#      (`thread::scope` / `.spawn`) outside the two window-parallel runners
+#      (the sharded fleet runner and the benchmark matrix runner). Both
+#      merge worker results through order-independent reductions; ad-hoc
+#      threads elsewhere would race results into the gated output.
+#   5. wall-clock (`Instant` / `SystemTime`) in simulation crates.
+#      Simulated time is `SimTime`; reading the host clock inside the
+#      simulation is how "deterministic" runs drift. The harness crates
+#      (pam-experiments, pam-bench) measure wall-clock on purpose, and the
+#      sharded runner keeps per-lane busy/wait accounting in a side channel
+#      that never enters the gated report — those are the only exemptions.
 #
 # Run from the repo root: scripts/lint_determinism.sh
 set -u
@@ -32,7 +43,17 @@ for root in $roots; do
     fi
 done
 
-# ---- 2 + 3. scan non-test production source --------------------------------
+# Files allowed to use scoped threads: the two window-parallel runners.
+scoped_thread_allow="crates/pam-fleet/src/shard.rs crates/pam-experiments/src/fleet.rs"
+# Simulation-crate file allowed to read the wall clock: the sharded runner's
+# per-lane busy/wait accounting (a side channel, never in the gated report).
+wallclock_allow="crates/pam-fleet/src/shard.rs"
+
+allowed() { # allowed <file> <list>
+    case " $2 " in *" $1 "*) return 0 ;; *) return 1 ;; esac
+}
+
+# ---- 2-5. scan non-test production source ----------------------------------
 # For each source file, strip everything from the first `#[cfg(test)]` line
 # to EOF (the test-module tail), drop comment lines, then grep what remains.
 srcs=$(find src crates/*/src -name '*.rs' 2>/dev/null)
@@ -57,6 +78,45 @@ for f in $srcs; do
         say "$hits"
         fail=1
     fi
+
+    # 4a. detached threads are banned everywhere in production code.
+    hits=$(printf '%s\n' "$stripped" | grep -nE 'thread::spawn' || true)
+    if [ -n "$hits" ]; then
+        say "FAIL: $f uses std::thread::spawn (detached threads race results;"
+        say "      use std::thread::scope inside an allowlisted runner):"
+        say "$hits"
+        fail=1
+    fi
+
+    # 4b. scoped threads only inside the window-parallel runners.
+    if ! allowed "$f" "$scoped_thread_allow"; then
+        hits=$(printf '%s\n' "$stripped" |
+            grep -nE 'thread::scope|\.spawn\(' || true)
+        if [ -n "$hits" ]; then
+            say "FAIL: $f spawns threads outside the allowlisted runners"
+            say "      ($scoped_thread_allow):"
+            say "$hits"
+            fail=1
+        fi
+    fi
+
+    # 5. wall-clock stays out of the simulation crates.
+    case "$f" in
+    crates/pam-experiments/* | crates/pam-bench/*) ;; # harness crates: exempt
+    *)
+        if ! allowed "$f" "$wallclock_allow"; then
+            hits=$(printf '%s\n' "$stripped" |
+                grep -nE '\b(Instant|SystemTime)\b' || true)
+            if [ -n "$hits" ]; then
+                say "FAIL: $f reads the wall clock in a simulation crate"
+                say "      (use SimTime; only the sharded runner's lane"
+                say "       accounting may touch Instant):"
+                say "$hits"
+                fail=1
+            fi
+        fi
+        ;;
+    esac
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -54,6 +54,27 @@ fn every_scenario_replays_byte_identically_with_a_batched_datapath() {
 }
 
 #[test]
+fn batched_pre_copy_runs_shard_byte_identically() {
+    // The heavy configuration — pre-copy live migration on the coalesced
+    // batch=8 datapath — through the sharded runner: exactly the bytes the
+    // sequential run produces.
+    for kind in FleetScenarioKind::ALL {
+        let scenario = FleetScenario::new(kind, 2)
+            .with_mode(MigrationMode::PreCopy)
+            .with_batch(8);
+        let sequential = scenario.run(StrategyKind::Pam).expect("scenario runs");
+        let sharded = scenario
+            .run_sharded(StrategyKind::Pam, 2)
+            .expect("sharded scenario runs");
+        assert_eq!(
+            serde_json::to_string(&sequential).expect("report serializes"),
+            serde_json::to_string(&sharded).expect("report serializes"),
+            "{kind} diverged between the sequential and sharded runners"
+        );
+    }
+}
+
+#[test]
 fn batch_size_changes_the_report_but_batch_one_is_the_baseline() {
     let kind = FleetScenarioKind::RollingHotspot;
     let unbatched = FleetScenario::new(kind, 2);

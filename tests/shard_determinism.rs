@@ -1,0 +1,90 @@
+//! The sharded fleet runner against the sequential one, end to end through
+//! the `pam` facade: same scenario, same seeds, any shard count — the report
+//! JSON, the simulator event count and the decision outcome must match byte
+//! for byte. The in-crate suites pin the mechanism (window plans, lookahead
+//! safety, per-server submission order); this wall pins the product.
+
+use pam::core::StrategyKind;
+use pam::experiments::fleet::{run_scale_curve, FleetScenario, FleetScenarioKind};
+
+/// Sequential reference: `(report JSON, events scheduled)`.
+fn sequential(kind: FleetScenarioKind, servers: usize) -> (String, u64) {
+    let scenario = FleetScenario::new(kind, servers);
+    let (report, events) = scenario
+        .run_with_stats(StrategyKind::Pam)
+        .expect("sequential run");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (json, events)
+}
+
+/// Sharded run at `shards`: `(report JSON, events scheduled, lane packets)`.
+fn sharded(kind: FleetScenarioKind, servers: usize, shards: usize) -> (String, u64, u64) {
+    let scenario = FleetScenario::new(kind, servers);
+    let (report, events, stats) = scenario
+        .run_with_stats_sharded(StrategyKind::Pam, shards)
+        .expect("sharded run");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let lane_packets = stats.lanes.iter().map(|lane| lane.packets).sum();
+    (json, events, lane_packets)
+}
+
+#[test]
+fn every_scenario_is_byte_identical_under_sharding() {
+    for kind in FleetScenarioKind::ALL {
+        let (seq_json, seq_events) = sequential(kind, 2);
+        let (shard_json, shard_events, lane_packets) = sharded(kind, 2, 2);
+        assert_eq!(seq_json, shard_json, "{kind} report diverged at 2 shards");
+        assert_eq!(
+            seq_events, shard_events,
+            "{kind} scheduled a different number of events under sharding"
+        );
+        assert!(
+            lane_packets > 0,
+            "{kind} lanes submitted no packets — the sharded path did not run"
+        );
+    }
+}
+
+#[test]
+fn the_shard_count_never_changes_the_report() {
+    let kind = FleetScenarioKind::RollingHotspot;
+    let (seq_json, seq_events) = sequential(kind, 3);
+    for shards in [2, 8] {
+        let (json, events, _) = sharded(kind, 3, shards);
+        assert_eq!(seq_json, json, "report diverged at {shards} shards");
+        assert_eq!(
+            seq_events, events,
+            "event count diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn non_pam_strategies_shard_identically_too() {
+    let scenario = FleetScenario::new(FleetScenarioKind::FlashCrowd, 2);
+    let sequential = scenario
+        .run(StrategyKind::NaiveBottleneck)
+        .expect("sequential run");
+    let sharded = scenario
+        .run_sharded(StrategyKind::NaiveBottleneck, 2)
+        .expect("sharded run");
+    assert_eq!(
+        serde_json::to_string(&sequential).expect("serializes"),
+        serde_json::to_string(&sharded).expect("serializes"),
+    );
+}
+
+#[test]
+fn the_scale_curve_carries_its_own_determinism_check() {
+    // `run_scale_curve` byte-compares every sharded point against the
+    // sequential reference and errors on divergence, so a successful return
+    // IS the determinism assertion; the rest pins the curve's accounting.
+    let points = run_scale_curve(&[2], &[1, 2]).expect("curve runs and matches");
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0].shards, 1);
+    assert!((points[0].speedup - 1.0).abs() < f64::EPSILON);
+    assert_eq!(points[1].shards, 2);
+    assert_eq!(points[0].events, points[1].events);
+    assert!(points[1].windows > 0);
+    assert!(!points[1].lanes.is_empty());
+}
