@@ -32,6 +32,11 @@
 //!                                           # --timings and --summary
 //! fleet_bench --scale-only                  # skip the matrix and the gate,
 //!                                           # run only the scaling curve
+//! fleet_bench --link-models                 # also run the link-model
+//!                                           # ablation (FIFO-fixed vs
+//!                                           # fair-share contention under
+//!                                           # pre-copy); cells land in
+//!                                           # --summary and on stderr
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
@@ -56,8 +61,9 @@ use std::time::Instant;
 
 use pam_core::StrategyKind;
 use pam_experiments::fleet::{
-    run_fleet_matrix_opts, run_scale_curve, FleetBenchEntry, FleetBenchOutput, FleetScenario,
-    FleetScenarioKind, MatrixTimings, ScalePoint, SCALE_CURVE_SCENARIO,
+    run_fleet_matrix_opts, run_link_model_ablation, run_scale_curve, FleetBenchEntry,
+    FleetBenchOutput, FleetScenario, FleetScenarioKind, LinkModelCell, MatrixTimings, ScalePoint,
+    SCALE_CURVE_SCENARIO,
 };
 
 /// Relative tolerance band the gate allows before calling a change a
@@ -81,6 +87,7 @@ struct Args {
     scale: Vec<usize>,
     scale_shards: Vec<usize>,
     scale_only: bool,
+    link_models: bool,
 }
 
 /// The default worker-thread count: the machine's available parallelism.
@@ -121,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Vec::new(),
         scale_shards: vec![1, 2, 4],
         scale_only: false,
+        link_models: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -147,6 +155,7 @@ fn parse_args() -> Result<Args, String> {
                 args.scale_shards = parse_list("--scale-shards", &value("--scale-shards")?)?
             }
             "--scale-only" => args.scale_only = true,
+            "--link-models" => args.link_models = true,
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -478,6 +487,48 @@ fn render_scale_markdown(points: &[ScalePoint]) -> String {
     md
 }
 
+/// Renders the link-model ablation as a markdown table: for every
+/// (scenario, strategy) pair, the FIFO-fixed row is the committed-baseline
+/// behaviour and the fair-share row shows what contention with foreground
+/// DMA does to the same migrations — longer pre-copy rounds first, then the
+/// knock-on blackout/p99/drop shifts.
+fn render_link_models_markdown(cells: &[LinkModelCell]) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Link-model ablation — pre-copy under FIFO-fixed vs fair-share contention\n"
+    );
+    let _ = writeln!(
+        md,
+        "Fair sharing splits each link direction's bandwidth across concurrent \
+         transfers, so migration state transfer and foreground DMA slow each \
+         other down instead of queueing at full line rate."
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| scenario | strategy | link model | migrations | rounds | mean round µs | max round µs | blackout µs | p99 µs | migration drops |"
+    );
+    let _ = writeln!(md, "|---|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for cell in cells {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {} |",
+            cell.scenario,
+            cell.strategy,
+            cell.link_model,
+            cell.migrations,
+            cell.rounds,
+            cell.mean_round_us,
+            cell.max_round_us,
+            cell.blackout_us,
+            cell.p99_us,
+            cell.drops_migration
+        );
+    }
+    md
+}
+
 /// Renders the datapath-throughput sweep as a markdown table.
 fn render_throughput_markdown(points: &[ThroughputPoint]) -> String {
     let mut md = String::new();
@@ -531,7 +582,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
                  [--timings PATH] [--tolerance F] [--servers N] [--jobs N] [--shards N] \
-                 [--scale N,N,..] [--scale-shards N,N,..] [--scale-only]"
+                 [--scale N,N,..] [--scale-shards N,N,..] [--scale-only] [--link-models]"
             );
             return ExitCode::FAILURE;
         }
@@ -595,6 +646,34 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    let link_model_cells: Vec<LinkModelCell> = if args.link_models {
+        match run_link_model_ablation(args.servers) {
+            Ok(cells) => {
+                for cell in &cells {
+                    eprintln!(
+                        "fleet_bench: link-model {}/{}/{}: {} migration(s), {} round(s), \
+                         mean round {:.1} µs, blackout {:.1} µs, p99 {:.1} µs",
+                        cell.scenario,
+                        cell.strategy,
+                        cell.link_model,
+                        cell.migrations,
+                        cell.rounds,
+                        cell.mean_round_us,
+                        cell.blackout_us,
+                        cell.p99_us
+                    );
+                }
+                cells
+            }
+            Err(e) => {
+                eprintln!("fleet_bench: link-model ablation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
 
     if let Some(path) = &args.timings {
         let json = match serde_json::to_string(&timings) {
@@ -669,6 +748,10 @@ fn main() -> ExitCode {
         }
         if !timings.scale.is_empty() {
             md.push_str(&render_scale_markdown(&timings.scale));
+            md.push('\n');
+        }
+        if !link_model_cells.is_empty() {
+            md.push_str(&render_link_models_markdown(&link_model_cells));
             md.push('\n');
         }
         if output.is_some() {

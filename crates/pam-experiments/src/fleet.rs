@@ -20,7 +20,7 @@ use pam_core::{Placement, StrategyKind};
 use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec, ShardLane, ShardRunStats};
 use pam_nf::ServiceChainSpec;
 use pam_runtime::{MigrationMode, RuntimeConfig};
-use pam_sim::PcieLinkConfig;
+use pam_sim::{LinkModel, PcieLinkConfig};
 use pam_traffic::{
     ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, Phase, TraceConfig, TrafficSchedule,
 };
@@ -91,6 +91,10 @@ pub struct FleetScenario {
     /// Doorbell batch size of every server's datapath (1 = unbatched; see
     /// [`pam_runtime::BatchConfig`]).
     pub batch: u32,
+    /// Throughput model of every link in the fleet — each server's PCIe link
+    /// and the inter-server steering interconnect (FIFO-fixed baseline or
+    /// contention-aware fair sharing; see [`pam_sim::LinkModel`]).
+    pub link_model: LinkModel,
     /// Base RNG seed; server `i` traces with `seed + i`.
     pub seed: u64,
 }
@@ -109,6 +113,7 @@ impl FleetScenario {
             peak: Gbps::new(1.90),
             migration_mode: MigrationMode::StopAndCopy,
             batch: 1,
+            link_model: LinkModel::FifoFixed,
             seed: DEFAULT_FLEET_SEED,
         }
     }
@@ -123,6 +128,14 @@ impl FleetScenario {
     /// packets per doorbell (1 restores the unbatched baseline).
     pub fn with_batch(mut self, batch: u32) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// The same scenario running every link — per-server PCIe and the
+    /// inter-server interconnect — under the given throughput model
+    /// ([`LinkModel::FifoFixed`] restores the committed-baseline behaviour).
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
         self
     }
 
@@ -215,6 +228,7 @@ impl FleetScenario {
             runtime: RuntimeConfig::evaluation_default()
                 .with_pcie(PcieLinkConfig {
                     crossing_latency: SimDuration::from_micros(40),
+                    link_model: self.link_model,
                     ..PcieLinkConfig::default()
                 })
                 .with_migration_mode(self.migration_mode)
@@ -245,6 +259,7 @@ impl FleetScenario {
         let mut config = FleetConfig::with_strategy(strategy);
         config.orchestrator.poll_interval = SimDuration::from_micros(500);
         config.estimator_window = SimDuration::from_micros(1_500);
+        config.interconnect = config.interconnect.with_link_model(self.link_model);
         config
     }
 
@@ -290,6 +305,132 @@ impl FleetScenario {
         let stats = fleet.shard_stats().clone();
         Ok((fleet.report(), events, stats))
     }
+
+    /// Runs the scenario and additionally returns aggregate state-transfer
+    /// round accounting, collected from the per-server runtime side channel.
+    /// The rounds never enter [`FleetReport`] — its serialized form is what
+    /// `BENCH_baseline.json` pins — which is why the link-model ablation
+    /// reads them out of band.
+    pub fn run_with_round_stats(
+        &self,
+        strategy: StrategyKind,
+    ) -> Result<(FleetReport, RoundStats)> {
+        let mut fleet = self.build_fleet(strategy)?;
+        fleet.run(self.horizon());
+        let rounds = collect_round_stats(&fleet);
+        Ok((fleet.report(), rounds))
+    }
+}
+
+/// Aggregate state-transfer round accounting of one fleet run: every round of
+/// every live migration on every server (pre-copy iterations plus the final
+/// freeze round; stop-and-copy migrations contribute one round each).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// State-transfer rounds executed fleet-wide.
+    pub rounds: u64,
+    /// Mean wall-clock duration of a round (including link contention and
+    /// queueing), microseconds.
+    pub mean_round_us: f64,
+    /// Longest single round, microseconds.
+    pub max_round_us: f64,
+}
+
+/// Walks every server's migration reports and aggregates their per-round
+/// transfer durations.
+fn collect_round_stats(fleet: &Fleet) -> RoundStats {
+    let mut rounds = 0u64;
+    let mut total_us = 0.0f64;
+    let mut max_us = 0.0f64;
+    for server in fleet.servers() {
+        for migration in &server.runtime().outcome().migrations {
+            for round in &migration.rounds {
+                rounds += 1;
+                let us = round.duration.as_micros_f64();
+                total_us += us;
+                max_us = max_us.max(us);
+            }
+        }
+    }
+    RoundStats {
+        rounds,
+        mean_round_us: if rounds > 0 {
+            total_us / rounds as f64
+        } else {
+            0.0
+        },
+        max_round_us: max_us,
+    }
+}
+
+/// One cell of the link-model ablation: a (scenario, strategy, link model)
+/// triple under pre-copy migration, with the migration-facing report metrics
+/// plus the out-of-band round accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkModelCell {
+    /// Scenario name (see [`FleetScenarioKind::name`]).
+    pub scenario: String,
+    /// Strategy name (see [`pam_core::MigrationStrategy::name`]).
+    pub strategy: String,
+    /// Link throughput model name (see [`LinkModel::name`]).
+    pub link_model: String,
+    /// Live migrations executed fleet-wide.
+    pub migrations: u64,
+    /// Total migration-blackout time fleet-wide, microseconds.
+    pub blackout_us: f64,
+    /// Fleet-wide 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Migration-blackout drops fleet-wide.
+    pub drops_migration: u64,
+    /// State-transfer rounds executed fleet-wide.
+    pub rounds: u64,
+    /// Mean wall-clock duration of a round, microseconds.
+    pub mean_round_us: f64,
+    /// Longest single round, microseconds.
+    pub max_round_us: f64,
+}
+
+/// The scenarios of the link-model ablation: the migration-heavy shapes,
+/// where pre-copy rounds overlap sustained foreground traffic and the two
+/// link models actually diverge.
+pub const LINK_MODEL_SCENARIOS: [FleetScenarioKind; 2] = [
+    FleetScenarioKind::DiurnalWave,
+    FleetScenarioKind::RollingHotspot,
+];
+
+/// The link throughput models the ablation compares.
+pub const LINK_MODEL_MODELS: [LinkModel; 2] = [LinkModel::FifoFixed, LinkModel::fair_share()];
+
+/// Runs the link-model ablation: every migration-heavy scenario × strategy ×
+/// link model under pre-copy migration, reporting how the strategy rankings
+/// (blackout, p99, migration drops) shift when state transfer has to share
+/// the link with foreground DMA — and how much longer the pre-copy rounds
+/// themselves take under contention.
+pub fn run_link_model_ablation(servers: usize) -> Result<Vec<LinkModelCell>> {
+    let mut cells = Vec::new();
+    for kind in LINK_MODEL_SCENARIOS {
+        for model in LINK_MODEL_MODELS {
+            for strategy in FLEET_BENCH_STRATEGIES {
+                let scenario = FleetScenario::new(kind, servers)
+                    .with_mode(MigrationMode::PreCopy)
+                    .with_link_model(model);
+                let (report, rounds) = scenario.run_with_round_stats(strategy)?;
+                cells.push(LinkModelCell {
+                    scenario: kind.name().to_string(),
+                    strategy: strategy.build().name().to_string(),
+                    link_model: model.name().to_string(),
+                    migrations: report.totals.migrations,
+                    blackout_us: report.totals.blackout_us,
+                    p99_us: report.totals.p99_us,
+                    drops_migration: report.totals.drops_migration,
+                    rounds: rounds.rounds,
+                    mean_round_us: rounds.mean_round_us,
+                    max_round_us: rounds.max_round_us,
+                });
+            }
+        }
+    }
+    Ok(cells)
 }
 
 /// One cell of the benchmark matrix.
@@ -730,6 +871,63 @@ mod tests {
             correlated.totals.scale_out_blocked > 0,
             "correlated overload leaves no recipient"
         );
+    }
+
+    /// The contention tentpole's acceptance criterion: when state transfer
+    /// has to fair-share the link with foreground DMA, pre-copy rounds take
+    /// measurably longer than under the FIFO-fixed model, where a round's
+    /// bytes are serialised at the full line rate.
+    #[test]
+    fn fair_share_stretches_precopy_rounds_under_foreground_load() {
+        let base = FleetScenario::new(FleetScenarioKind::RollingHotspot, 4)
+            .with_mode(MigrationMode::PreCopy);
+        let (_, fifo) = base.run_with_round_stats(StrategyKind::Pam).unwrap();
+        let (_, fair) = base
+            .with_link_model(LinkModel::fair_share())
+            .run_with_round_stats(StrategyKind::Pam)
+            .unwrap();
+        assert!(fifo.rounds > 0, "the hotspot migrates under FIFO");
+        assert!(fair.rounds > 0, "the hotspot migrates under fair sharing");
+        assert!(
+            fair.mean_round_us > fifo.mean_round_us,
+            "fair-share rounds must stretch under foreground load: \
+             fair mean {} µs !> fifo mean {} µs",
+            fair.mean_round_us,
+            fifo.mean_round_us
+        );
+        assert!(fair.max_round_us > fifo.max_round_us);
+    }
+
+    /// The FIFO-fixed cells of the ablation are plain pre-copy runs — the
+    /// ablation must not perturb the baseline configuration it compares
+    /// against.
+    #[test]
+    fn link_model_ablation_covers_both_models() {
+        let cells = run_link_model_ablation(2).unwrap();
+        assert_eq!(
+            cells.len(),
+            12,
+            "2 scenarios x 2 link models x 3 strategies"
+        );
+        for model in LINK_MODEL_MODELS {
+            assert!(cells.iter().any(|c| c.link_model == model.name()));
+        }
+        // Spot-check one FIFO cell against the same scenario run directly.
+        let direct = FleetScenario::new(FleetScenarioKind::RollingHotspot, 2)
+            .with_mode(MigrationMode::PreCopy)
+            .run(StrategyKind::Pam)
+            .unwrap();
+        let cell = cells
+            .iter()
+            .find(|c| {
+                c.scenario == "rolling_hotspot"
+                    && c.strategy == StrategyKind::Pam.build().name()
+                    && c.link_model == "fifo_fixed"
+            })
+            .unwrap();
+        assert_eq!(cell.p99_us, direct.totals.p99_us);
+        assert_eq!(cell.migrations, direct.totals.migrations);
+        assert_eq!(cell.blackout_us, direct.totals.blackout_us);
     }
 
     #[test]

@@ -30,7 +30,10 @@
 
 use pam_core::{ChainModel, Placement, VnfDescriptor};
 use pam_nf::{build_nf, NetworkFunction, NfContext, NfVerdict, Packet, ServiceChainSpec};
-use pam_sim::{ComputeDevice, EventQueue, LinkDirection, PcieLink, ProcessOutcome};
+use pam_sim::{
+    ComputeDevice, EventQueue, LinkDirection, PcieLink, ProcessOutcome, TransferStatus,
+    TransferToken,
+};
 use pam_telemetry::{ChainMetrics, LatencyHistogram, MetricsRegistry, ThroughputMeter};
 use pam_traffic::TraceSynthesizer;
 use pam_types::{
@@ -231,6 +234,14 @@ struct PreCopyInFlight {
     rounds: Vec<MigrationRound>,
     total_bytes: ByteSize,
     total_flows: usize,
+    /// Link-level handle of the round transfer currently in flight. Under
+    /// the fair-sharing link model the round's arrival is re-planned when
+    /// foreground DMA traffic steals bandwidth; under FIFO-fixed the poll
+    /// always confirms the provisional arrival, byte-identically.
+    transfer: TransferToken,
+    /// When the in-flight round's transfer was admitted, so the recorded
+    /// round duration reflects the *actual* (possibly contended) span.
+    round_booked_at: SimTime,
 }
 
 /// The packet-level service-chain runtime.
@@ -1099,9 +1110,9 @@ impl ChainRuntime {
         // Every mutation from here on belongs to the next round's delta.
         self.instances[index].nf.clear_dirty();
 
-        let transfer_done = self
-            .pcie
-            .transfer(now, bytes, Self::transfer_direction(device));
+        let (transfer, transfer_done) =
+            self.pcie
+                .begin_transfer(now, bytes, Self::transfer_direction(device));
         let snapshot_round = MigrationRound {
             round: 1,
             flows,
@@ -1120,6 +1131,8 @@ impl ChainRuntime {
             rounds: vec![snapshot_round],
             total_bytes: bytes,
             total_flows: flows,
+            transfer,
+            round_booked_at: now,
         });
 
         // Initiation record: no blackout yet, nothing frozen. The completed
@@ -1154,6 +1167,25 @@ impl ChainRuntime {
             // The migration was aborted; the stale round event is a no-op.
             return;
         };
+        match self.pcie.poll_transfer(pre_copy.transfer, now) {
+            TransferStatus::InFlight(eta) => {
+                // Foreground DMA traffic stole link bandwidth since the round
+                // was admitted (fair-sharing model only): the provisional
+                // arrival this event fired at is stale. Re-plan the round's
+                // completion at the link's revised arrival instant.
+                self.events.schedule(eta, RuntimeEvent::MigrationRound);
+                self.pre_copy = Some(pre_copy);
+                return;
+            }
+            TransferStatus::Complete => {
+                // The round really delivered at `now`. Under fair sharing the
+                // datapath may have stretched it past the duration booked at
+                // admission; under FIFO-fixed this rewrite is the identity.
+                if let Some(round) = pre_copy.rounds.last_mut() {
+                    round.duration = now.duration_since(pre_copy.round_booked_at);
+                }
+            }
+        }
         let index = pre_copy.nf_index;
         let dirty = self.instances[index].nf.dirty_flow_count();
         let Ok((protocol, actions)) = pre_copy
@@ -1201,9 +1233,15 @@ impl ChainRuntime {
             self.aborted_migrations += 1;
             return;
         }
-        let transfer_done = self
-            .pcie
-            .transfer(now, bytes, Self::transfer_direction(pre_copy.to));
+        // The freeze round keeps this arrival as committed (the contention
+        // known now is priced in; the source is paused, so re-planning it
+        // would only trade blackout accounting for event churn). A dirty
+        // round's token is polled — and re-planned — when the event fires.
+        let (transfer, transfer_done) =
+            self.pcie
+                .begin_transfer(now, bytes, Self::transfer_direction(pre_copy.to));
+        pre_copy.transfer = transfer;
+        pre_copy.round_booked_at = now;
         pre_copy.rounds.push(MigrationRound {
             round: pre_copy.rounds.len() as u32 + 1,
             flows: dirty,

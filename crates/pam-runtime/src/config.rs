@@ -136,6 +136,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Selects the PCIe link throughput model (FIFO-fixed baseline or
+    /// contention-aware fair sharing), keeping the other link knobs.
+    pub fn with_link_model(mut self, link_model: pam_sim::LinkModel) -> Self {
+        self.pcie = self.pcie.with_link_model(link_model);
+        self
+    }
+
     /// Overrides the live-migration engine configuration.
     pub fn with_migration(mut self, migration: MigrationConfig) -> Self {
         self.migration = migration;

@@ -730,6 +730,42 @@ mod tests {
             }
         }
 
+        /// u64::MAX-adjacent regression: schedules right at the edge of the
+        /// clock (the `SimTime::MAX` "never" sentinel and its neighbourhood)
+        /// mixed with ordinary times must still match the reference heap —
+        /// the overflow rebase and the width window arithmetic must not wrap.
+        #[test]
+        fn near_u64_max_times_match_the_reference_heap(
+            ops in proptest::collection::vec(
+                // (time selector, op selector): op 0 = pop, 1-2 = schedule
+                // near the top of the clock, 3-4 = schedule near zero.
+                (0u64..40, 0u8..5),
+                1..200,
+            ),
+        ) {
+            let mut calendar = EventQueue::new();
+            let mut heap = ReferenceEventQueue::new();
+            for (step, (t, op)) in ops.iter().enumerate() {
+                if *op == 0 {
+                    prop_assert_eq!(calendar.pop(), heap.pop(), "pop diverged at step {}", step);
+                } else {
+                    let nanos = if *op <= 2 { u64::MAX - t } else { *t };
+                    let time = SimTime::from_nanos(nanos);
+                    calendar.schedule(time, step);
+                    heap.schedule(time, step);
+                }
+                prop_assert_eq!(calendar.peek_time(), heap.peek_time());
+                prop_assert_eq!(calendar.len(), heap.len());
+            }
+            loop {
+                let (a, b) = (calendar.pop(), heap.pop());
+                prop_assert_eq!(&a, &b, "drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
         /// Differential suite over *burst-heavy* workloads: many events at
         /// exactly the same instant (the doorbell-batch pattern), where
         /// insertion stability is the whole game.
@@ -760,6 +796,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn far_future_schedule_in_saturates_instead_of_wrapping() {
+        // Regression: `now + delay` used to wrap for a near-MAX delay, so an
+        // "effectively never" event landed in the past, was clamped to `now`
+        // and fired immediately. With saturating SimTime arithmetic it pins
+        // to the SimTime::MAX sentinel instead.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1_000), "tick");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("tick"));
+        assert_eq!(q.now(), SimTime::from_nanos(1_000));
+        q.schedule_in(SimDuration::from_nanos(u64::MAX - 10), "never");
+        assert_eq!(q.peek_time(), Some(SimTime::MAX));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::MAX, "never"));
+    }
+
+    #[test]
+    fn events_at_the_max_sentinel_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..32 {
+            q.schedule(SimTime::MAX, i);
+            q.schedule(SimTime::from_nanos(u64::MAX - 1), 100 + i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order.len(), 64);
+        // All MAX-1 events precede all MAX events, each group in seq order.
+        let expected: Vec<_> = (0..32)
+            .map(|i| (SimTime::from_nanos(u64::MAX - 1), 100 + i))
+            .chain((0..32).map(|i| (SimTime::MAX, i)))
+            .collect();
+        assert_eq!(order, expected);
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   of the poster constrain).
 //! * [`PcieLink`] — the latency/bandwidth model of the PCIe path between the
 //!   two devices, with per-direction crossing counters.
+//! * [`FairShareLink`] and [`LinkModel`] — an opt-in contention-aware
+//!   throughput model where concurrent transfers on a link direction split
+//!   the bandwidth via a pluggable [`DegradationFn`] (fair `throughput / n`
+//!   by default); the FIFO-fixed model remains the baseline default.
 //! * [`ReorderBuffer`] — a bounded link-reorder model (window `0` = FIFO)
 //!   whose deliverable set is *enumerable*, so the protocol model checker in
 //!   `pam-protocol` can branch on every legal delivery interleaving.
@@ -49,12 +53,18 @@ pub mod reorder;
 pub mod rng;
 pub mod server;
 pub mod shard;
+pub mod sharing;
 
 pub use device::{ComputeDevice, DeviceConfig, DeviceStats, ProcessOutcome};
 pub use events::{run_until, EventHandler, EventQueue, ScheduledEvent};
-pub use link::{LinkDirection, PcieLink, PcieLinkConfig, PcieLinkStats};
+pub use link::{
+    LinkDirection, PcieLink, PcieLinkConfig, PcieLinkStats, TransferStatus, TransferToken,
+};
 pub use queue::{DropTailQueue, QueueStats};
 pub use reorder::ReorderBuffer;
 pub use rng::SimRng;
 pub use server::{RateServer, ServerStats};
 pub use shard::{ShardChannel, ShardPlan};
+pub use sharing::{
+    ActivityId, DegradationFn, FairShareLink, FairShareStats, LinkModel, SharedTransfer,
+};

@@ -10,9 +10,12 @@
 //! each migration strategy caused.
 
 use pam_types::{ByteSize, Gbps, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
 
 use crate::server::RateServer;
+use crate::sharing::SharedTransfer;
+use crate::sharing::{ActivityId, DegradationFn, FairShareLink, FairShareStats, LinkModel};
 
 /// Direction of a PCIe crossing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,12 +34,15 @@ impl LinkDirection {
 /// Configuration of the PCIe link model. The same rate-server + fixed
 /// latency shape also models other point-to-point transports (the fleet
 /// layer instantiates one as its inter-server state-handoff link).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieLinkConfig {
     /// Fixed one-way crossing latency (DMA + descriptor ring + batching).
     pub crossing_latency: SimDuration,
     /// Usable bandwidth per direction.
     pub bandwidth: Gbps,
+    /// Throughput model: FIFO-fixed (the baseline default) or contention-
+    /// aware fair sharing (see [`crate::sharing`]).
+    pub link_model: LinkModel,
 }
 
 impl Default for PcieLinkConfig {
@@ -48,6 +54,7 @@ impl Default for PcieLinkConfig {
         PcieLinkConfig {
             crossing_latency: SimDuration::from_micros(22),
             bandwidth: Gbps::new(63.0),
+            link_model: LinkModel::FifoFixed,
         }
     }
 }
@@ -68,7 +75,56 @@ impl PcieLinkConfig {
         PcieLinkConfig {
             crossing_latency: SimDuration::from_micros(40),
             bandwidth: Gbps::new(25.0),
+            link_model: LinkModel::FifoFixed,
         }
+    }
+
+    /// Selects the throughput model, keeping the other knobs.
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
+        self
+    }
+}
+
+// `link_model` is hand-serialised so configs written before the knob existed
+// (and the committed baselines) deserialise as FIFO-fixed instead of failing
+// on a missing field (the vendored serde derive has no `#[serde(default)]`).
+impl Serialize for PcieLinkConfig {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert(
+            "crossing_latency".to_owned(),
+            self.crossing_latency.to_value(),
+        );
+        map.insert("bandwidth".to_owned(), self.bandwidth.to_value());
+        map.insert("link_model".to_owned(), self.link_model.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for PcieLinkConfig {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("PcieLinkConfig must be an object")),
+        };
+        let crossing_latency = SimDuration::from_value(
+            map.get("crossing_latency")
+                .ok_or_else(|| Error::custom("missing field `crossing_latency`"))?,
+        )?;
+        let bandwidth = Gbps::from_value(
+            map.get("bandwidth")
+                .ok_or_else(|| Error::custom("missing field `bandwidth`"))?,
+        )?;
+        let link_model = match map.get("link_model") {
+            Some(value) => LinkModel::from_value(value)?,
+            None => LinkModel::FifoFixed,
+        };
+        Ok(PcieLinkConfig {
+            crossing_latency,
+            bandwidth,
+            link_model,
+        })
     }
 }
 
@@ -95,10 +151,12 @@ impl PcieLinkStats {
 }
 
 /// Per-direction link state: the rate server bulk transfers queue on, the
-/// FIFO delivery watermark of per-packet crossings, and the crossing count.
-/// Grouping these per direction means every link operation resolves its
-/// direction exactly once instead of re-matching for each field it touches.
-#[derive(Debug, Clone, Default)]
+/// FIFO delivery watermark of per-packet crossings, the fair-share engine
+/// (used when [`PcieLinkConfig::link_model`] is fair-sharing), and the
+/// crossing count. Grouping these per direction means every link operation
+/// resolves its direction exactly once instead of re-matching for each field
+/// it touches.
+#[derive(Debug, Clone)]
 struct DirectionState {
     server: RateServer,
     /// Running last-delivery watermark: DMA descriptor rings complete in
@@ -106,7 +164,43 @@ struct DirectionState {
     /// (larger) one on the same direction. Updated in O(1) per burst — the
     /// clamp never re-scans earlier deliveries.
     last_delivery: SimTime,
+    /// Contention engine for the fair-sharing model; idle (and unused)
+    /// under [`LinkModel::FifoFixed`].
+    shared: FairShareLink,
     crossings: u64,
+}
+
+impl DirectionState {
+    fn new(config: &PcieLinkConfig) -> Self {
+        let degradation = match config.link_model {
+            LinkModel::FairShare(degradation) => degradation,
+            LinkModel::FifoFixed => DegradationFn::Fair,
+        };
+        DirectionState {
+            server: RateServer::default(),
+            last_delivery: SimTime::ZERO,
+            shared: FairShareLink::new(config.bandwidth, degradation),
+            crossings: 0,
+        }
+    }
+}
+
+/// Handle to a transfer admitted via [`PcieLink::begin_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferToken {
+    direction: LinkDirection,
+    /// `None` under FIFO-fixed: the arrival committed at begin time is final.
+    activity: Option<ActivityId>,
+}
+
+/// Result of [`PcieLink::poll_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// The transfer's payload has arrived on the far side.
+    Complete,
+    /// Contention pushed the arrival out; reschedule at the contained
+    /// (strictly later) instant and poll again there.
+    InFlight(SimTime),
 }
 
 /// The PCIe link: an independent rate server per direction plus a fixed
@@ -124,9 +218,9 @@ impl PcieLink {
     /// Creates a link from its configuration.
     pub fn new(config: PcieLinkConfig) -> Self {
         PcieLink {
+            nic_to_cpu: DirectionState::new(&config),
+            cpu_to_nic: DirectionState::new(&config),
             config,
-            nic_to_cpu: DirectionState::default(),
-            cpu_to_nic: DirectionState::default(),
             bytes: 0,
             dma_bursts: 0,
         }
@@ -148,14 +242,106 @@ impl PcieLink {
 
     /// Transfers `size` bytes in `direction` starting (at the earliest) at
     /// `now`; returns the instant the data is available on the far side.
+    ///
+    /// Under [`LinkModel::FifoFixed`] bulk transfers queue behind each other
+    /// on the direction's rate server. Under fair sharing the transfer joins
+    /// the direction's activity set instead: its arrival is committed using
+    /// the contention known at `now` (later arrivals slow *this* transfer's
+    /// peers but do not retroactively delay its committed instant — use
+    /// [`PcieLink::begin_transfer`] for re-planned arrivals).
     pub fn transfer(&mut self, now: SimTime, size: ByteSize, direction: LinkDirection) -> SimTime {
         let serialisation = SimDuration::transmission(size, self.config.bandwidth);
         let crossing_latency = self.config.crossing_latency;
-        let state = self.direction_mut(direction);
-        let (_, finish) = state.server.serve(now, serialisation);
-        state.crossings += 1;
+        let fair_share = self.config.link_model.is_fair_share();
         self.bytes += size.as_bytes();
-        finish + crossing_latency
+        let state = self.direction_mut(direction);
+        state.crossings += 1;
+        if fair_share {
+            let (_, eta) = state.shared.begin(now, size);
+            eta + crossing_latency
+        } else {
+            let (_, finish) = state.server.serve(now, serialisation);
+            finish + crossing_latency
+        }
+    }
+
+    /// Admits `size` bytes in `direction` at `now` as a *re-plannable*
+    /// transfer, returning a token and a provisional arrival instant.
+    ///
+    /// Schedule a completion event at the returned instant and call
+    /// [`PcieLink::poll_transfer`] when it fires: under FIFO-fixed the poll
+    /// always confirms completion (the provisional instant is exact, so the
+    /// event sequence is byte-identical to [`PcieLink::transfer`]); under
+    /// fair sharing, activities that arrived in the meantime may have pushed
+    /// the arrival out, in which case the poll hands back the later instant
+    /// to reschedule at. ETAs only move *out* on new arrivals, so each
+    /// reschedule corresponds to at least one arrival and the loop
+    /// terminates.
+    pub fn begin_transfer(
+        &mut self,
+        now: SimTime,
+        size: ByteSize,
+        direction: LinkDirection,
+    ) -> (TransferToken, SimTime) {
+        if !self.config.link_model.is_fair_share() {
+            let arrival = self.transfer(now, size, direction);
+            return (
+                TransferToken {
+                    direction,
+                    activity: None,
+                },
+                arrival,
+            );
+        }
+        let crossing_latency = self.config.crossing_latency;
+        self.bytes += size.as_bytes();
+        let state = self.direction_mut(direction);
+        state.crossings += 1;
+        let (activity, eta) = state.shared.begin(now, size);
+        (
+            TransferToken {
+                direction,
+                activity: Some(activity),
+            },
+            eta + crossing_latency,
+        )
+    }
+
+    /// Reports whether the transfer behind `token` has delivered by `now`
+    /// (its completion event just fired), or the later instant to reschedule
+    /// its completion event at. See [`PcieLink::begin_transfer`].
+    pub fn poll_transfer(&mut self, token: TransferToken, now: SimTime) -> TransferStatus {
+        let activity = match token.activity {
+            // FIFO-fixed transfers commit their arrival at begin time.
+            None => return TransferStatus::Complete,
+            Some(activity) => activity,
+        };
+        let crossing_latency = self.config.crossing_latency;
+        let state = self.direction_mut(token.direction);
+        // The crossing latency is a pure pipeline delay after serialisation:
+        // a delivery at `now` means serialisation finished a crossing earlier.
+        match state.shared.poll(now - crossing_latency, activity) {
+            SharedTransfer::Complete => TransferStatus::Complete,
+            SharedTransfer::InFlight(eta) => TransferStatus::InFlight(eta + crossing_latency),
+        }
+    }
+
+    /// Number of fair-share activities currently in flight on `direction`
+    /// (always zero under [`LinkModel::FifoFixed`]).
+    pub fn in_flight(&self, direction: LinkDirection) -> usize {
+        match direction {
+            LinkDirection::NicToCpu => self.nic_to_cpu.shared.in_flight(),
+            LinkDirection::CpuToNic => self.cpu_to_nic.shared.in_flight(),
+        }
+    }
+
+    /// Counters of the fair-share engine on `direction` (all zero under
+    /// [`LinkModel::FifoFixed`]).
+    pub fn fair_share_stats(&self, direction: LinkDirection) -> FairShareStats {
+        match direction {
+            LinkDirection::NicToCpu => self.nic_to_cpu.shared.stats(),
+            LinkDirection::CpuToNic => self.cpu_to_nic.shared.stats(),
+        }
     }
 
     /// Models an uncongested per-packet crossing starting at `now`: the data
@@ -192,6 +378,16 @@ impl PcieLink {
     /// bursts never overtake earlier crossings on the same direction.
     ///
     /// A single-packet burst is exactly [`PcieLink::propagate`].
+    ///
+    /// An empty burst (`packets == 0`) is a no-op: nothing crosses, so no
+    /// doorbell rings, no setup latency is paid and the FIFO delivery
+    /// watermark does not move; the call returns `now`.
+    ///
+    /// Under the fair-sharing [`LinkModel`] the burst's payload joins the
+    /// direction's activity set, so an in-flight migration round genuinely
+    /// slows the datapath down (and vice versa). Its arrival is committed
+    /// with the contention known at `now`; the FIFO delivery clamp still
+    /// applies so bursts never overtake earlier crossings.
     pub fn propagate_burst(
         &mut self,
         now: SimTime,
@@ -199,13 +395,23 @@ impl PcieLink {
         total: ByteSize,
         direction: LinkDirection,
     ) -> SimTime {
+        if packets == 0 {
+            return now;
+        }
         let serialisation = SimDuration::transmission(total, self.config.bandwidth);
         let crossing_latency = self.config.crossing_latency;
+        let fair_share = self.config.link_model.is_fair_share();
         self.bytes += total.as_bytes();
         self.dma_bursts += 1;
         let state = self.direction_mut(direction);
         state.crossings += packets;
-        let arrival = (now + serialisation + crossing_latency).max(state.last_delivery);
+        let serialised = if fair_share {
+            let (_, eta) = state.shared.begin(now, total);
+            eta
+        } else {
+            now + serialisation
+        };
+        let arrival = (serialised + crossing_latency).max(state.last_delivery);
         state.last_delivery = arrival;
         arrival
     }
@@ -226,25 +432,50 @@ impl PcieLink {
         }
     }
 
-    /// Clears the statistics counters (queue state — the rate servers and
-    /// the FIFO delivery watermarks — is preserved).
+    /// Clears the statistics counters only.
+    ///
+    /// Transport state — the rate servers, the per-direction FIFO
+    /// `last_delivery` watermarks and any fair-share activities — is
+    /// deliberately **preserved**: a warm-up phase that resets counters
+    /// mid-run must keep queueing continuity. This means a run *resumed at
+    /// an earlier `now`* after `reset_stats` still observes deliveries
+    /// clamped to the stale future watermark; such resumed runs must call
+    /// [`PcieLink::reset_transport`] as well.
     pub fn reset_stats(&mut self) {
         self.nic_to_cpu.crossings = 0;
         self.cpu_to_nic.crossings = 0;
         self.bytes = 0;
         self.dma_bursts = 0;
     }
+
+    /// Returns the link's transport state to idle: empties the rate servers,
+    /// rewinds the FIFO delivery watermarks to [`SimTime::ZERO`] and drops
+    /// any in-flight fair-share activities. Statistics counters are left
+    /// untouched (pair with [`PcieLink::reset_stats`] for a full reset).
+    ///
+    /// Resumed runs that restart the clock at an earlier instant use this so
+    /// deliveries are not clamped to a watermark from the abandoned future.
+    pub fn reset_transport(&mut self) {
+        let nic_crossings = self.nic_to_cpu.crossings;
+        let cpu_crossings = self.cpu_to_nic.crossings;
+        self.nic_to_cpu = DirectionState::new(&self.config);
+        self.cpu_to_nic = DirectionState::new(&self.config);
+        self.nic_to_cpu.crossings = nic_crossings;
+        self.cpu_to_nic.crossings = cpu_crossings;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn transfer_adds_latency_and_serialisation() {
         let config = PcieLinkConfig {
             crossing_latency: SimDuration::from_micros(20),
             bandwidth: Gbps::new(8.0),
+            link_model: LinkModel::FifoFixed,
         };
         let mut link = PcieLink::new(config);
         // 1000 bytes at 8 Gbps = 1 us serialisation + 20 us latency.
@@ -261,6 +492,7 @@ mod tests {
         let config = PcieLinkConfig {
             crossing_latency: SimDuration::from_micros(10),
             bandwidth: Gbps::new(0.008), // deliberately slow: 1000 B = 1 ms
+            link_model: LinkModel::FifoFixed,
         };
         let mut link = PcieLink::new(config);
         let a = link.transfer(
@@ -380,6 +612,7 @@ mod tests {
         let config = PcieLinkConfig {
             crossing_latency: SimDuration::from_micros(20),
             bandwidth: Gbps::new(8.0),
+            link_model: LinkModel::FifoFixed,
         };
         // 8 packets of 125 B each: 1000 B at 8 Gbps = 1 us serialisation.
         let mut burst = PcieLink::new(config);
@@ -424,6 +657,236 @@ mod tests {
             LinkDirection::NicToCpu,
         );
         assert!(second >= first, "burst FIFO: {second} before {first}");
+    }
+
+    #[test]
+    fn empty_burst_is_a_no_op() {
+        // Regression: an empty burst used to ring a doorbell, pay the full
+        // setup latency and advance the FIFO watermark for nothing.
+        for model in [LinkModel::FifoFixed, LinkModel::fair_share()] {
+            let mut link = PcieLink::new(PcieLinkConfig::default().with_link_model(model));
+            let now = SimTime::from_micros(7);
+            let arrival = link.propagate_burst(now, 0, ByteSize::ZERO, LinkDirection::NicToCpu);
+            assert_eq!(arrival, now, "an empty burst delivers nothing, instantly");
+            assert_eq!(link.stats(), PcieLinkStats::default());
+            assert_eq!(link.in_flight(LinkDirection::NicToCpu), 0);
+            // The watermark did not move: a real packet right after the empty
+            // burst is not clamped to the phantom delivery.
+            let real = link.propagate(now, ByteSize::bytes(64), LinkDirection::NicToCpu);
+            let mut fresh = PcieLink::new(PcieLinkConfig::default().with_link_model(model));
+            assert_eq!(
+                real,
+                fresh.propagate(now, ByteSize::bytes(64), LinkDirection::NicToCpu),
+                "watermark moved by an empty burst ({model:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_stats_preserves_the_fifo_watermark_for_warmups() {
+        // Documented behaviour: reset_stats clears counters only, so the
+        // delivery watermark survives a mid-run warm-up reset.
+        let mut link = PcieLink::new(PcieLinkConfig::default());
+        let first = link.propagate(
+            SimTime::from_millis(10),
+            ByteSize::bytes(1500),
+            LinkDirection::NicToCpu,
+        );
+        link.reset_stats();
+        assert_eq!(link.stats(), PcieLinkStats::default());
+        let resumed = link.propagate(SimTime::ZERO, ByteSize::bytes(64), LinkDirection::NicToCpu);
+        assert!(
+            resumed >= first,
+            "after reset_stats alone the stale watermark still clamps: {resumed} < {first}"
+        );
+    }
+
+    #[test]
+    fn reset_transport_unclamps_a_run_resumed_at_an_earlier_now() {
+        for model in [LinkModel::FifoFixed, LinkModel::fair_share()] {
+            let config = PcieLinkConfig::default().with_link_model(model);
+            let mut link = PcieLink::new(config);
+            // Drive the watermark, the rate server and (under fair sharing)
+            // the activity set far into the future.
+            link.propagate(
+                SimTime::from_millis(10),
+                ByteSize::bytes(1500),
+                LinkDirection::NicToCpu,
+            );
+            link.transfer(
+                SimTime::from_millis(10),
+                ByteSize::mib(1),
+                LinkDirection::NicToCpu,
+            );
+            let stats_before = link.stats();
+            link.reset_transport();
+            assert_eq!(link.stats(), stats_before, "transport reset keeps stats");
+            assert_eq!(link.in_flight(LinkDirection::NicToCpu), 0);
+            // A resumed run restarting at t=0 behaves like a fresh link.
+            let mut fresh = PcieLink::new(config);
+            assert_eq!(
+                link.propagate(SimTime::ZERO, ByteSize::bytes(64), LinkDirection::NicToCpu),
+                fresh.propagate(SimTime::ZERO, ByteSize::bytes(64), LinkDirection::NicToCpu),
+                "resumed run clamped to a stale future watermark ({model:?})"
+            );
+            assert_eq!(
+                link.transfer(
+                    SimTime::ZERO,
+                    ByteSize::bytes(4096),
+                    LinkDirection::NicToCpu
+                ),
+                fresh.transfer(
+                    SimTime::ZERO,
+                    ByteSize::bytes(4096),
+                    LinkDirection::NicToCpu
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn fair_share_burst_contends_with_an_in_flight_transfer() {
+        // Under FIFO-fixed a datapath burst is oblivious to a migration
+        // transfer in flight on the same direction; under fair sharing the
+        // two split the bandwidth and the burst lands later.
+        let fifo_cfg = PcieLinkConfig::default();
+        let fair_cfg = fifo_cfg.with_link_model(LinkModel::fair_share());
+        let mut fifo = PcieLink::new(fifo_cfg);
+        let mut fair = PcieLink::new(fair_cfg);
+        for link in [&mut fifo, &mut fair] {
+            link.transfer(SimTime::ZERO, ByteSize::mib(8), LinkDirection::NicToCpu);
+        }
+        let in_flight = SimTime::from_micros(100);
+        let burst_fifo = fifo.propagate_burst(
+            in_flight,
+            8,
+            ByteSize::bytes(12_000),
+            LinkDirection::NicToCpu,
+        );
+        let burst_fair = fair.propagate_burst(
+            in_flight,
+            8,
+            ByteSize::bytes(12_000),
+            LinkDirection::NicToCpu,
+        );
+        assert!(
+            burst_fair > burst_fifo,
+            "the burst must see the migration transfer: {burst_fair} vs {burst_fifo}"
+        );
+    }
+
+    #[test]
+    fn re_planned_transfer_slows_down_when_a_burst_arrives() {
+        let mut link =
+            PcieLink::new(PcieLinkConfig::default().with_link_model(LinkModel::fair_share()));
+        let (token, provisional) =
+            link.begin_transfer(SimTime::ZERO, ByteSize::mib(1), LinkDirection::NicToCpu);
+        // A datapath burst joins mid-transfer: the provisional ETA is stale.
+        link.propagate_burst(
+            SimTime::from_micros(20),
+            16,
+            ByteSize::bytes(24_000),
+            LinkDirection::NicToCpu,
+        );
+        let rescheduled = match link.poll_transfer(token, provisional) {
+            TransferStatus::InFlight(eta) => eta,
+            TransferStatus::Complete => panic!("transfer cannot be done: a burst stole bandwidth"),
+        };
+        assert!(rescheduled > provisional);
+        assert_eq!(
+            link.poll_transfer(token, rescheduled),
+            TransferStatus::Complete,
+            "no further arrivals, so the re-planned ETA is exact"
+        );
+    }
+
+    #[test]
+    fn fifo_begin_transfer_commits_exactly_like_transfer() {
+        let mut a = PcieLink::new(PcieLinkConfig::default());
+        let mut b = PcieLink::new(PcieLinkConfig::default());
+        for i in 0..5u64 {
+            let now = SimTime::from_micros(i * 3);
+            let size = ByteSize::bytes(10_000 + i * 777);
+            let expected = a.transfer(now, size, LinkDirection::CpuToNic);
+            let (token, arrival) = b.begin_transfer(now, size, LinkDirection::CpuToNic);
+            assert_eq!(arrival, expected);
+            assert_eq!(b.poll_transfer(token, arrival), TransferStatus::Complete);
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn link_model_serde_defaults_to_fifo_for_old_configs() {
+        // Configs serialised before the knob existed have no `link_model`
+        // key; they must deserialise to the FIFO-fixed baseline.
+        let mut map = Map::new();
+        map.insert(
+            "crossing_latency".to_owned(),
+            SimDuration::from_micros(22).to_value(),
+        );
+        map.insert("bandwidth".to_owned(), Gbps::new(63.0).to_value());
+        let config = PcieLinkConfig::from_value(&Value::Object(map)).unwrap();
+        assert_eq!(config, PcieLinkConfig::default());
+        assert_eq!(config.link_model, LinkModel::FifoFixed);
+
+        // And the new field round-trips in both variants.
+        for model in [
+            LinkModel::fair_share(),
+            LinkModel::FairShare(DegradationFn::LinearPenalty { penalty: 0.07 }),
+        ] {
+            let config = PcieLinkConfig::default().with_link_model(model);
+            assert_eq!(pam_types_serde_round_trip(&config), config);
+        }
+    }
+
+    proptest::proptest! {
+        /// Satellite differential: with at most one activity in flight at a
+        /// time, the fair-share link is byte-identical to FIFO-fixed across
+        /// transfers, packets and bursts.
+        #[test]
+        fn uncontended_fair_share_is_byte_identical_to_fifo(
+            ops in proptest::collection::vec((0u8..3, 64u64..100_000, 1u64..32), 1..30),
+        ) {
+            let fifo_cfg = PcieLinkConfig::default();
+            let fair_cfg = fifo_cfg.with_link_model(LinkModel::fair_share());
+            let mut fifo = PcieLink::new(fifo_cfg);
+            let mut fair = PcieLink::new(fair_cfg);
+            // Space the operations out so nothing ever overlaps: 100 KB at
+            // 63 Gbps serialises in ~12.7 us, far below the 1 ms gap.
+            let mut now = SimTime::ZERO;
+            for (i, &(kind, bytes, packets)) in ops.iter().enumerate() {
+                let dir = if i % 2 == 0 { LinkDirection::NicToCpu } else { LinkDirection::CpuToNic };
+                let size = ByteSize::bytes(bytes);
+                let arrival = match kind {
+                    0 => {
+                        let (a, b) = (
+                            fifo.transfer(now, size, dir),
+                            fair.transfer(now, size, dir),
+                        );
+                        prop_assert_eq!(a, b, "transfer diverged at op {}", i);
+                        a
+                    }
+                    1 => {
+                        let (a, b) = (
+                            fifo.propagate(now, size, dir),
+                            fair.propagate(now, size, dir),
+                        );
+                        prop_assert_eq!(a, b, "propagate diverged at op {}", i);
+                        a
+                    }
+                    _ => {
+                        let (a, b) = (
+                            fifo.propagate_burst(now, packets, size, dir),
+                            fair.propagate_burst(now, packets, size, dir),
+                        );
+                        prop_assert_eq!(a, b, "burst diverged at op {}", i);
+                        a
+                    }
+                };
+                now = arrival + SimDuration::from_millis(1);
+            }
+            prop_assert_eq!(fifo.stats(), fair.stats());
+        }
     }
 
     #[test]

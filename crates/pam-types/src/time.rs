@@ -34,14 +34,16 @@ impl SimTime {
         SimTime(nanos)
     }
 
-    /// Creates an instant from microseconds since simulation start.
+    /// Creates an instant from microseconds since simulation start,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
+        SimTime(micros.saturating_mul(1_000))
     }
 
-    /// Creates an instant from milliseconds since simulation start.
+    /// Creates an instant from milliseconds since simulation start,
+    /// saturating at [`SimTime::MAX`].
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(millis.saturating_mul(1_000_000))
     }
 
     /// Creates an instant from seconds since simulation start.
@@ -92,16 +94,20 @@ impl fmt::Display for SimTime {
     }
 }
 
+/// Saturates at [`SimTime::MAX`]: the "never" sentinel stays at `MAX`
+/// instead of wrapping back to the start of the simulation, so an event
+/// offset from an unscheduled instant remains unscheduled. Use
+/// [`SimTime::checked_add`] to detect the overflow instead.
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -135,19 +141,19 @@ impl SimDuration {
         SimDuration(nanos)
     }
 
-    /// Creates a duration from microseconds.
+    /// Creates a duration from microseconds, saturating at `u64::MAX` ns.
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(micros.saturating_mul(1_000))
     }
 
-    /// Creates a duration from milliseconds.
+    /// Creates a duration from milliseconds, saturating at `u64::MAX` ns.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(millis.saturating_mul(1_000_000))
     }
 
-    /// Creates a duration from whole seconds.
+    /// Creates a duration from whole seconds, saturating at `u64::MAX` ns.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs.saturating_mul(1_000_000_000))
     }
 
     /// Creates a duration from fractional seconds (rounded to nanoseconds).
@@ -231,16 +237,19 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// Saturates at `u64::MAX` nanoseconds rather than wrapping: a sum of
+/// near-sentinel spans stays "effectively infinite" instead of collapsing
+/// to a short duration.
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -260,7 +269,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -392,6 +401,52 @@ mod tests {
         );
         assert!(SimDuration::ZERO.is_zero());
         assert_eq!(SimTime::MAX.as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn near_max_arithmetic_saturates_instead_of_wrapping() {
+        // The "never scheduled" sentinel must stay at MAX when offset.
+        assert_eq!(SimTime::MAX + SimDuration::from_nanos(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(30), SimTime::MAX);
+        let mut t = SimTime::from_nanos(u64::MAX - 5);
+        t += SimDuration::from_nanos(100);
+        assert_eq!(t, SimTime::MAX);
+
+        // Durations saturate as well, in both Add and Mul.
+        let near = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(near + near, SimDuration::from_nanos(u64::MAX));
+        let mut d = near;
+        d += SimDuration::from_nanos(1_000);
+        assert_eq!(d, SimDuration::from_nanos(u64::MAX));
+        assert_eq!(near * 3u64, SimDuration::from_nanos(u64::MAX));
+
+        // Unit constructors clamp rather than truncating the high bits.
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_micros(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimDuration::from_secs(u64::MAX),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn transmission_of_huge_payloads_does_not_wrap() {
+        // u64::MAX bytes is ~2^64 * 8 bits; `as_bits` must clamp instead of
+        // wrapping to a tiny value, so the serialisation time stays huge.
+        let d = SimDuration::transmission(ByteSize::bytes(u64::MAX), Gbps::new(100.0));
+        assert!(
+            d > SimDuration::from_secs(1_000_000),
+            "near-MAX payload produced a wrapped-short serialisation time: {d}"
+        );
+        // And a sane payload is unaffected by the clamping fix.
+        assert_eq!(
+            SimDuration::transmission(ByteSize::bytes(1500), Gbps::new(10.0)),
+            SimDuration::from_nanos(1200)
+        );
     }
 
     #[test]

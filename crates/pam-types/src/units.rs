@@ -298,14 +298,14 @@ impl ByteSize {
         ByteSize(n)
     }
 
-    /// Creates a size from a number of kibibytes.
+    /// Creates a size from a number of kibibytes, saturating at `u64::MAX` B.
     pub const fn kib(n: u64) -> Self {
-        ByteSize(n * 1024)
+        ByteSize(n.saturating_mul(1024))
     }
 
-    /// Creates a size from a number of mebibytes.
+    /// Creates a size from a number of mebibytes, saturating at `u64::MAX` B.
     pub const fn mib(n: u64) -> Self {
-        ByteSize(n * 1024 * 1024)
+        ByteSize(n.saturating_mul(1024 * 1024))
     }
 
     /// Number of bytes.
@@ -313,9 +313,14 @@ impl ByteSize {
         self.0
     }
 
-    /// Number of bits.
+    /// Number of bits, saturating at `u64::MAX`.
+    ///
+    /// Sizes above `u64::MAX / 8` bytes clamp instead of wrapping; this
+    /// matters for [`crate::SimDuration::transmission`], which would
+    /// otherwise compute a near-zero serialisation time for a near-MAX
+    /// payload.
     pub const fn as_bits(self) -> u64 {
-        self.0 * 8
+        self.0.saturating_mul(8)
     }
 
     /// Saturating addition.
@@ -353,16 +358,18 @@ impl fmt::Display for ByteSize {
     }
 }
 
+/// Saturates at `u64::MAX` bytes rather than wrapping, matching the
+/// explicit [`ByteSize::saturating_add`] helper.
 impl Add for ByteSize {
     type Output = ByteSize;
     fn add(self, rhs: ByteSize) -> ByteSize {
-        ByteSize(self.0 + rhs.0)
+        ByteSize(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for ByteSize {
     fn add_assign(&mut self, rhs: ByteSize) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -376,7 +383,7 @@ impl Sub for ByteSize {
 impl Mul<u64> for ByteSize {
     type Output = ByteSize;
     fn mul(self, rhs: u64) -> ByteSize {
-        ByteSize(self.0 * rhs)
+        ByteSize(self.0.saturating_mul(rhs))
     }
 }
 
@@ -504,6 +511,31 @@ mod tests {
             ByteSize::bytes(u64::MAX)
         );
         assert_eq!(ByteSize::bytes(u64::MAX).saturating_mul(0), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn byte_size_operators_clamp_near_u64_max() {
+        // The plain operators must behave like the saturating helpers for
+        // u64::MAX-adjacent values instead of wrapping (regression: a near-MAX
+        // running byte counter wrapped to a tiny total).
+        let huge = ByteSize::bytes(u64::MAX - 10);
+        assert_eq!(huge + ByteSize::bytes(100), ByteSize::bytes(u64::MAX));
+        let mut acc = huge;
+        acc += ByteSize::bytes(100);
+        assert_eq!(acc, ByteSize::bytes(u64::MAX));
+        assert_eq!(huge * 5, ByteSize::bytes(u64::MAX));
+        assert_eq!(ByteSize::kib(u64::MAX), ByteSize::bytes(u64::MAX));
+        assert_eq!(ByteSize::mib(u64::MAX), ByteSize::bytes(u64::MAX));
+    }
+
+    #[test]
+    fn as_bits_clamps_instead_of_wrapping() {
+        // (u64::MAX/8 + 1) * 8 used to wrap to 0 bits.
+        assert_eq!(ByteSize::bytes(u64::MAX / 8 + 1).as_bits(), u64::MAX);
+        assert_eq!(ByteSize::bytes(u64::MAX).as_bits(), u64::MAX);
+        // Normal sizes are unchanged by the clamp.
+        assert_eq!(ByteSize::bytes(u64::MAX / 8).as_bits(), u64::MAX - 7);
+        assert_eq!(ByteSize::bytes(64).as_bits(), 512);
     }
 
     #[test]

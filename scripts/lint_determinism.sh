@@ -57,6 +57,20 @@ allowed() { # allowed <file> <list>
 # For each source file, strip everything from the first `#[cfg(test)]` line
 # to EOF (the test-module tail), drop comment lines, then grep what remains.
 srcs=$(find src crates/*/src -name '*.rs' 2>/dev/null)
+
+# Sanity: files whose determinism the byte-identical gates lean on hardest
+# must actually be in the scan set — if one of these ever moves out of the
+# scanned tree, fail loudly instead of silently shrinking the wall. The
+# fair-share link engine is listed explicitly: its f64 bookkeeping is only
+# deterministic because it never touches the host (no clocks, no randomized
+# containers), which is exactly what this script checks.
+required_srcs="crates/pam-sim/src/sharing.rs crates/pam-sim/src/link.rs crates/pam-sim/src/events.rs"
+for req in $required_srcs; do
+    if ! printf '%s\n' "$srcs" | grep -qx "$req"; then
+        say "FAIL: $req is not in the determinism scan set (moved or deleted?)"
+        fail=1
+    fi
+done
 for f in $srcs; do
     stripped=$(awk '/^[[:space:]]*#\[cfg\(test\)\]/ { exit } { print }' "$f" |
         grep -vE '^[[:space:]]*//')
