@@ -7,17 +7,24 @@
 //! heavy small-packet trace at each batch size, prints a simulated-packets
 //!-per-wall-second table, and registers one criterion group per batch size
 //! so regressions in the batched hot path are visible in isolation.
+//!
+//! A second group times the per-arrival cost of the fleet's two load
+//! estimators — the exact per-flow table vs the sliding heavy-hitter
+//! sketch — over the same skewed flow mix, and prints their resident
+//! footprints: the sketch must not make `record_arrival` the datapath's
+//! bottleneck while cutting estimator memory by an order of magnitude.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pam_core::Placement;
+use pam_fleet::{EstimatorConfig, EstimatorKind, LoadEstimator};
 use pam_nf::ServiceChainSpec;
 use pam_runtime::{ChainRuntime, RuntimeConfig};
 use pam_traffic::{
     ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, TraceConfig, TrafficSchedule,
 };
-use pam_types::{ByteSize, Gbps, SimDuration};
+use pam_types::{ByteSize, Gbps, SimDuration, SimTime};
 
 /// The batch sizes the sweep compares (1 = the unbatched baseline).
 const BATCHES: [usize; 4] = [1, 4, 16, 64];
@@ -51,6 +58,69 @@ fn run_datapath(max_batch: usize) -> u64 {
     runtime.run_to_completion(&mut trace)
 }
 
+/// Distinct flows the estimator benches spread arrivals over — enough that
+/// the exact table's per-flow cost shows up in its footprint.
+const ESTIMATOR_FLOWS: u64 = 100_000;
+
+/// Arrivals per timed iteration of the estimator benches.
+const ESTIMATOR_ARRIVALS: u64 = 65_536;
+
+/// Builds a warm estimator of the given kind at the fleet's control cadence.
+fn estimator(kind: EstimatorKind) -> LoadEstimator {
+    LoadEstimator::new(
+        &EstimatorConfig::of(kind).with_window(SimDuration::from_micros(1_500)),
+        SimDuration::from_micros(500),
+    )
+}
+
+/// One timed pass: an arrival mix skewed toward low flow ids (min of two
+/// uniform draws) plus a control tick every 4096 arrivals, like the fleet's.
+fn drive_estimator(e: &mut LoadEstimator) -> u64 {
+    let mut tick = 0u64;
+    for i in 0..ESTIMATOR_ARRIVALS {
+        let hash = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let flow = (hash % ESTIMATOR_FLOWS).min((hash >> 32) % ESTIMATOR_FLOWS);
+        e.record_arrival(flow, 64 + i % 1_436);
+        if (i + 1) % 4_096 == 0 {
+            tick += 1;
+            e.record(SimTime::from_micros(tick * 500), Gbps::new(1.0));
+        }
+    }
+    e.windowed_flow_bytes(0)
+}
+
+fn bench_load_estimators(c: &mut Criterion) {
+    // The headline table: per-arrival cost and resident footprint per kind.
+    println!(
+        "\nload_estimators — {ESTIMATOR_ARRIVALS} skewed arrivals over {ESTIMATOR_FLOWS} flows"
+    );
+    println!("estimator | wall ms | ns/arrival | resident bytes");
+    for kind in EstimatorKind::ALL {
+        let mut e = estimator(kind);
+        let start = Instant::now();
+        drive_estimator(&mut e);
+        let wall = start.elapsed().as_secs_f64();
+        println!(
+            "{:9} | {:7.2} | {:10.1} | {}",
+            kind.name(),
+            wall * 1e3,
+            wall * 1e9 / ESTIMATOR_ARRIVALS as f64,
+            e.resident_bytes(),
+        );
+    }
+
+    let mut group = c.benchmark_group("load_estimators");
+    group.sample_size(20);
+    for kind in EstimatorKind::ALL {
+        // A fresh estimator per iteration keeps tick timestamps monotone
+        // (the ring clamps out-of-order samples rather than rewinding).
+        group.bench_function(format!("record_arrival_{kind}"), |b| {
+            b.iter(|| drive_estimator(&mut estimator(kind)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_datapath_throughput(c: &mut Criterion) {
     // The headline table: simulated packets per wall-clock second per batch
     // size, with the batch=1 run as the speedup reference.
@@ -80,5 +150,5 @@ fn bench_datapath_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_datapath_throughput);
+criterion_group!(benches, bench_datapath_throughput, bench_load_estimators);
 criterion_main!(benches);

@@ -32,11 +32,20 @@
 //!                                           # --timings and --summary
 //! fleet_bench --scale-only                  # skip the matrix and the gate,
 //!                                           # run only the scaling curve
+//!                                           # and/or requested ablations
 //! fleet_bench --link-models                 # also run the link-model
 //!                                           # ablation (FIFO-fixed vs
 //!                                           # fair-share contention under
 //!                                           # pre-copy); cells land in
 //!                                           # --summary and on stderr
+//! fleet_bench --estimators                  # also run the estimator
+//!                                           # ablation (exact per-flow vs
+//!                                           # heavy-hitter sketch on the
+//!                                           # flash crowd); cells land in
+//!                                           # --summary and on stderr
+//! fleet_bench --estimator-flows 1000000     # flow population per server of
+//!                                           # the estimator ablation
+//!                                           # (default 100000)
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
@@ -61,9 +70,9 @@ use std::time::Instant;
 
 use pam_core::StrategyKind;
 use pam_experiments::fleet::{
-    run_fleet_matrix_opts, run_link_model_ablation, run_scale_curve, FleetBenchEntry,
-    FleetBenchOutput, FleetScenario, FleetScenarioKind, LinkModelCell, MatrixTimings, ScalePoint,
-    SCALE_CURVE_SCENARIO,
+    run_estimator_ablation, run_fleet_matrix_opts, run_link_model_ablation, run_scale_curve,
+    EstimatorCell, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
+    FleetTuning, LinkModelCell, MatrixTimings, ScalePoint, SCALE_CURVE_SCENARIO,
 };
 
 /// Relative tolerance band the gate allows before calling a change a
@@ -88,6 +97,8 @@ struct Args {
     scale_shards: Vec<usize>,
     scale_only: bool,
     link_models: bool,
+    estimators: bool,
+    estimator_flows: usize,
 }
 
 /// The default worker-thread count: the machine's available parallelism.
@@ -129,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
         scale_shards: vec![1, 2, 4],
         scale_only: false,
         link_models: false,
+        estimators: false,
+        estimator_flows: 100_000,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -156,6 +169,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scale-only" => args.scale_only = true,
             "--link-models" => args.link_models = true,
+            "--estimators" => args.estimators = true,
+            "--estimator-flows" => {
+                args.estimator_flows = value("--estimator-flows")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--estimator-flows: {e}"))?
+                    .max(1)
+            }
             "--tolerance" => {
                 args.tolerance = value("--tolerance")?
                     .parse()
@@ -169,8 +189,10 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.scale_only && args.scale.is_empty() {
-        return Err("--scale-only needs --scale".to_string());
+    if args.scale_only && args.scale.is_empty() && !args.link_models && !args.estimators {
+        return Err(
+            "--scale-only needs --scale (or an ablation: --link-models / --estimators)".to_string(),
+        );
     }
     Ok(args)
 }
@@ -331,8 +353,8 @@ fn throughput_sweep(servers: usize) -> Vec<ThroughputPoint> {
     [1u32, 2, 4, 8, 16]
         .iter()
         .map(|&batch| {
-            let scenario =
-                FleetScenario::new(FleetScenarioKind::RollingHotspot, servers).with_batch(batch);
+            let scenario = FleetScenario::new(FleetScenarioKind::RollingHotspot, servers)
+                .with_tuning(FleetTuning::default().with_batch(batch));
             let start = Instant::now();
             let Ok(report) = scenario.run(StrategyKind::Pam) else {
                 unreachable!("the fixed rolling-hotspot scenario always runs");
@@ -529,6 +551,63 @@ fn render_link_models_markdown(cells: &[LinkModelCell]) -> String {
     md
 }
 
+/// Renders the estimator ablation as a markdown table: for every strategy,
+/// the exact row is the committed-baseline estimator and the sketch row runs
+/// the same seeded flash crowd behind the sliding heavy-hitter sketch. Both
+/// feed the ladder from the same tick-sample window, so the decision columns
+/// must agree — the memory column is the win, and the footer states it.
+fn render_estimators_markdown(cells: &[EstimatorCell]) -> String {
+    let mut md = String::new();
+    let flows = cells.first().map(|c| c.flows).unwrap_or(0);
+    let _ = writeln!(
+        md,
+        "## Estimator ablation — exact per-flow vs heavy-hitter sketch, \
+         flash crowd at {flows} flows/server\n"
+    );
+    let _ = writeln!(
+        md,
+        "| strategy | estimator | migrations | scale-outs | p99 µs | drops | estimator bytes | ε | δ |"
+    );
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---:|---:|---:|---:|");
+    for cell in cells {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {:.1} | {} | {} | {:.4} | {:.4} |",
+            cell.strategy,
+            cell.estimator,
+            cell.migrations,
+            cell.scale_outs,
+            cell.p99_us,
+            cell.drops,
+            cell.estimator_bytes,
+            cell.epsilon,
+            cell.delta
+        );
+    }
+    let exact: usize = cells
+        .iter()
+        .filter(|c| c.estimator == "exact")
+        .map(|c| c.estimator_bytes)
+        .sum();
+    let sketch: usize = cells
+        .iter()
+        .filter(|c| c.estimator == "sketch")
+        .map(|c| c.estimator_bytes)
+        .sum();
+    if sketch > 0 {
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "Sketch estimator memory: {:.1}x less than exact ({} B vs {} B summed \
+             across cells) at identical control decisions.",
+            exact as f64 / sketch as f64,
+            sketch,
+            exact
+        );
+    }
+    md
+}
+
 /// Renders the datapath-throughput sweep as a markdown table.
 fn render_throughput_markdown(points: &[ThroughputPoint]) -> String {
     let mut md = String::new();
@@ -582,7 +661,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
                  [--timings PATH] [--tolerance F] [--servers N] [--jobs N] [--shards N] \
-                 [--scale N,N,..] [--scale-shards N,N,..] [--scale-only] [--link-models]"
+                 [--scale N,N,..] [--scale-shards N,N,..] [--scale-only] [--link-models] \
+                 [--estimators] [--estimator-flows N]"
             );
             return ExitCode::FAILURE;
         }
@@ -675,6 +755,34 @@ fn main() -> ExitCode {
         Vec::new()
     };
 
+    let estimator_cells: Vec<EstimatorCell> = if args.estimators {
+        match run_estimator_ablation(args.servers, args.estimator_flows) {
+            Ok(cells) => {
+                for cell in &cells {
+                    eprintln!(
+                        "fleet_bench: estimator {}/{}/{}: {} migration(s), {} scale-out(s), \
+                         p99 {:.1} µs, {} drop(s), {} estimator byte(s)",
+                        cell.scenario,
+                        cell.strategy,
+                        cell.estimator,
+                        cell.migrations,
+                        cell.scale_outs,
+                        cell.p99_us,
+                        cell.drops,
+                        cell.estimator_bytes
+                    );
+                }
+                cells
+            }
+            Err(e) => {
+                eprintln!("fleet_bench: estimator ablation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = &args.timings {
         let json = match serde_json::to_string(&timings) {
             Ok(json) => json,
@@ -752,6 +860,10 @@ fn main() -> ExitCode {
         }
         if !link_model_cells.is_empty() {
             md.push_str(&render_link_models_markdown(&link_model_cells));
+            md.push('\n');
+        }
+        if !estimator_cells.is_empty() {
+            md.push_str(&render_estimators_markdown(&estimator_cells));
             md.push('\n');
         }
         if output.is_some() {

@@ -17,15 +17,19 @@
 //! what lets CI gate on the committed `BENCH_baseline.json`.
 
 use pam_core::{Placement, StrategyKind};
-use pam_fleet::{Fleet, FleetConfig, FleetReport, ServerSpec, ShardLane, ShardRunStats};
+use pam_fleet::{
+    EstimatorConfig, EstimatorKind, Fleet, FleetConfig, FleetReport, ServerSpec, ShardLane,
+    ShardRunStats,
+};
 use pam_nf::ServiceChainSpec;
-use pam_runtime::{MigrationMode, RuntimeConfig};
+use pam_runtime::{MigrationMode, RuntimeConfig, RuntimeTuning};
 use pam_sim::{LinkModel, PcieLinkConfig};
 use pam_traffic::{
     ArrivalProcess, FlowGeneratorConfig, PacketSizeProfile, Phase, TraceConfig, TrafficSchedule,
 };
 use pam_types::{Gbps, PamError, Result, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
 
 /// The default seed of the fleet benchmarks (kept stable: CI compares
 /// reports against a committed baseline).
@@ -75,17 +79,15 @@ impl std::fmt::Display for FleetScenarioKind {
     }
 }
 
-/// One concrete, fully seeded fleet scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct FleetScenario {
-    /// The traffic shape.
-    pub kind: FleetScenarioKind,
-    /// Number of servers in the fleet.
-    pub servers: usize,
-    /// The comfortable per-server load.
-    pub baseline: Gbps,
-    /// The overload every scenario ramps some server(s) to.
-    pub peak: Gbps,
+/// The experiment dimensions of a [`FleetScenario`], bundled.
+///
+/// Every dimension defaults to the committed-baseline knob, so
+/// `FleetTuning::default()` reproduces `BENCH_baseline.json` and an
+/// ablation overrides exactly the dimensions it moves. New dimensions are
+/// added here (one field, one builder) instead of as parallel `with_*`
+/// setters on [`FleetScenario`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetTuning {
     /// How every server transfers state during live migration.
     pub migration_mode: MigrationMode,
     /// Doorbell batch size of every server's datapath (1 = unbatched; see
@@ -95,6 +97,73 @@ pub struct FleetScenario {
     /// and the inter-server steering interconnect (FIFO-fixed baseline or
     /// contention-aware fair sharing; see [`pam_sim::LinkModel`]).
     pub link_model: LinkModel,
+    /// Which load estimator feeds the fleet controller's decision ladder
+    /// (exact per-flow accounting, or the sliding heavy-hitter sketch).
+    pub estimator: EstimatorKind,
+    /// Synthetic flows per server's trace (the fleet-wide flow population is
+    /// `servers x flows`). The baseline 2000; the million-flow nightly cell
+    /// raises it to stress estimator memory.
+    pub flows: usize,
+}
+
+impl Default for FleetTuning {
+    fn default() -> Self {
+        FleetTuning {
+            migration_mode: MigrationMode::StopAndCopy,
+            batch: 1,
+            link_model: LinkModel::FifoFixed,
+            estimator: EstimatorKind::Exact,
+            flows: 2000,
+        }
+    }
+}
+
+impl FleetTuning {
+    /// Overrides the live-migration transfer mode.
+    pub fn with_mode(mut self, mode: MigrationMode) -> Self {
+        self.migration_mode = mode;
+        self
+    }
+
+    /// Overrides the doorbell batch size (1 restores the unbatched baseline).
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Overrides the link throughput model.
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
+        self
+    }
+
+    /// Overrides the load estimator kind.
+    pub fn with_estimator(mut self, estimator: EstimatorKind) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Overrides the per-server flow population.
+    pub fn with_flows(mut self, flows: usize) -> Self {
+        self.flows = flows.max(1);
+        self
+    }
+}
+
+/// One concrete, fully seeded fleet scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetScenario {
+    /// The traffic shape.
+    pub kind: FleetScenarioKind,
+    /// Number of servers in the fleet.
+    pub servers: usize,
+    /// The comfortable per-server load.
+    pub baseline: Gbps,
+    /// The overload every scenario ramps some server(s) to.
+    pub peak: Gbps,
+    /// The experiment dimensions (migration mode, batch, link model,
+    /// estimator, flow population) — see [`FleetTuning`].
+    pub tuning: FleetTuning,
     /// Base RNG seed; server `i` traces with `seed + i`.
     pub seed: u64,
 }
@@ -111,31 +180,51 @@ impl FleetScenario {
             servers,
             baseline: Gbps::new(1.4),
             peak: Gbps::new(1.90),
-            migration_mode: MigrationMode::StopAndCopy,
-            batch: 1,
-            link_model: LinkModel::FifoFixed,
+            tuning: FleetTuning::default(),
             seed: DEFAULT_FLEET_SEED,
         }
     }
 
+    /// The same scenario under the given experiment tuning — the single
+    /// builder path for every ablation dimension.
+    pub fn with_tuning(mut self, tuning: FleetTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// The same scenario running the given live-migration transfer mode.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_tuning(FleetTuning::default().with_mode(..))` — \
+                one builder path for every experiment dimension"
+    )]
     pub fn with_mode(mut self, mode: MigrationMode) -> Self {
-        self.migration_mode = mode;
+        self.tuning = self.tuning.with_mode(mode);
         self
     }
 
     /// The same scenario with every server's datapath batching up to `batch`
     /// packets per doorbell (1 restores the unbatched baseline).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_tuning(FleetTuning::default().with_batch(..))` — \
+                one builder path for every experiment dimension"
+    )]
     pub fn with_batch(mut self, batch: u32) -> Self {
-        self.batch = batch.max(1);
+        self.tuning = self.tuning.with_batch(batch);
         self
     }
 
     /// The same scenario running every link — per-server PCIe and the
     /// inter-server interconnect — under the given throughput model
     /// ([`LinkModel::FifoFixed`] restores the committed-baseline behaviour).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_tuning(FleetTuning::default().with_link_model(..))` — \
+                one builder path for every experiment dimension"
+    )]
     pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
-        self.link_model = link_model;
+        self.tuning = self.tuning.with_link_model(link_model);
         self
     }
 
@@ -228,18 +317,21 @@ impl FleetScenario {
             runtime: RuntimeConfig::evaluation_default()
                 .with_pcie(PcieLinkConfig {
                     crossing_latency: SimDuration::from_micros(40),
-                    link_model: self.link_model,
                     ..PcieLinkConfig::default()
                 })
-                .with_migration_mode(self.migration_mode)
-                .with_max_batch(self.batch as usize),
+                .tuned(
+                    &RuntimeTuning::default()
+                        .with_link_model(self.tuning.link_model)
+                        .with_migration_mode(self.tuning.migration_mode)
+                        .with_max_batch(self.tuning.batch as usize),
+                ),
             trace: TraceConfig {
                 // The paper's mixed packet sizes: service-time variance gives
                 // the steady-state latency distribution a real tail, so p99
                 // reflects placement quality, not just reaction transients.
                 sizes: PacketSizeProfile::paper_sweep(),
                 flows: FlowGeneratorConfig {
-                    flow_count: 2000,
+                    flow_count: self.tuning.flows,
                     zipf_exponent: 1.0,
                     tcp_fraction: 0.8,
                 },
@@ -258,8 +350,9 @@ impl FleetScenario {
     pub fn fleet_config(&self, strategy: StrategyKind) -> FleetConfig {
         let mut config = FleetConfig::with_strategy(strategy);
         config.orchestrator.poll_interval = SimDuration::from_micros(500);
-        config.estimator_window = SimDuration::from_micros(1_500);
-        config.interconnect = config.interconnect.with_link_model(self.link_model);
+        config.estimator =
+            EstimatorConfig::of(self.tuning.estimator).with_window(SimDuration::from_micros(1_500));
+        config.interconnect = config.interconnect.with_link_model(self.tuning.link_model);
         config
     }
 
@@ -319,6 +412,83 @@ impl FleetScenario {
         fleet.run(self.horizon());
         let rounds = collect_round_stats(&fleet);
         Ok((fleet.report(), rounds))
+    }
+}
+
+// Hand-serialised with the historical *flat* key layout: the tuning
+// dimensions appear as top-level `migration_mode` / `batch` / `link_model` /
+// `estimator` / `flows` keys, and every missing key deserialises to the
+// committed-baseline default — so scenarios written before a dimension
+// existed keep parsing (the vendored serde derive has no
+// `#[serde(default)]`).
+impl Serialize for FleetScenario {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("kind".to_owned(), self.kind.to_value());
+        map.insert("servers".to_owned(), self.servers.to_value());
+        map.insert("baseline".to_owned(), self.baseline.to_value());
+        map.insert("peak".to_owned(), self.peak.to_value());
+        map.insert(
+            "migration_mode".to_owned(),
+            self.tuning.migration_mode.to_value(),
+        );
+        map.insert("batch".to_owned(), self.tuning.batch.to_value());
+        map.insert("link_model".to_owned(), self.tuning.link_model.to_value());
+        map.insert("estimator".to_owned(), self.tuning.estimator.to_value());
+        map.insert("flows".to_owned(), self.tuning.flows.to_value());
+        map.insert("seed".to_owned(), self.seed.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for FleetScenario {
+    fn from_value(value: &Value) -> std::result::Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("FleetScenario must be an object")),
+        };
+        let kind = FleetScenarioKind::from_value(
+            map.get("kind")
+                .ok_or_else(|| Error::custom("missing field `kind`"))?,
+        )?;
+        let servers = usize::from_value(
+            map.get("servers")
+                .ok_or_else(|| Error::custom("missing field `servers`"))?,
+        )?;
+        let defaults = FleetScenario::new(kind, servers);
+        let mut tuning = defaults.tuning;
+        if let Some(value) = map.get("migration_mode") {
+            tuning.migration_mode = MigrationMode::from_value(value)?;
+        }
+        if let Some(value) = map.get("batch") {
+            tuning.batch = u32::from_value(value)?;
+        }
+        if let Some(value) = map.get("link_model") {
+            tuning.link_model = LinkModel::from_value(value)?;
+        }
+        if let Some(value) = map.get("estimator") {
+            tuning.estimator = EstimatorKind::from_value(value)?;
+        }
+        if let Some(value) = map.get("flows") {
+            tuning.flows = usize::from_value(value)?;
+        }
+        Ok(FleetScenario {
+            kind,
+            servers,
+            baseline: match map.get("baseline") {
+                Some(value) => Gbps::from_value(value)?,
+                None => defaults.baseline,
+            },
+            peak: match map.get("peak") {
+                Some(value) => Gbps::from_value(value)?,
+                None => defaults.peak,
+            },
+            tuning,
+            seed: match map.get("seed") {
+                Some(value) => u64::from_value(value)?,
+                None => defaults.seed,
+            },
+        })
     }
 }
 
@@ -411,9 +581,11 @@ pub fn run_link_model_ablation(servers: usize) -> Result<Vec<LinkModelCell>> {
     for kind in LINK_MODEL_SCENARIOS {
         for model in LINK_MODEL_MODELS {
             for strategy in FLEET_BENCH_STRATEGIES {
-                let scenario = FleetScenario::new(kind, servers)
-                    .with_mode(MigrationMode::PreCopy)
-                    .with_link_model(model);
+                let scenario = FleetScenario::new(kind, servers).with_tuning(
+                    FleetTuning::default()
+                        .with_mode(MigrationMode::PreCopy)
+                        .with_link_model(model),
+                );
                 let (report, rounds) = scenario.run_with_round_stats(strategy)?;
                 cells.push(LinkModelCell {
                     scenario: kind.name().to_string(),
@@ -428,6 +600,97 @@ pub fn run_link_model_ablation(servers: usize) -> Result<Vec<LinkModelCell>> {
                     max_round_us: rounds.max_round_us,
                 });
             }
+        }
+    }
+    Ok(cells)
+}
+
+/// One cell of the estimator ablation: a (strategy, estimator kind) pair on
+/// the flash-crowd scenario, with the control-quality metrics the decision
+/// ladder is judged by plus the out-of-band estimator memory accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorCell {
+    /// Scenario name (see [`FleetScenarioKind::name`]).
+    pub scenario: String,
+    /// Strategy name (see [`pam_core::MigrationStrategy::name`]).
+    pub strategy: String,
+    /// Estimator kind name (see [`EstimatorKind::name`]).
+    pub estimator: String,
+    /// Synthetic flows per server's trace.
+    pub flows: usize,
+    /// Live migrations executed fleet-wide.
+    pub migrations: u64,
+    /// Scale-out actions executed fleet-wide.
+    pub scale_outs: u64,
+    /// Fleet-wide 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Packets dropped fleet-wide, all causes.
+    pub drops: u64,
+    /// Bytes resident in every server's estimator at the end of the run —
+    /// the ablation's headline number. Exact estimators grow with distinct
+    /// flows; the sketch is fixed at construction.
+    pub estimator_bytes: usize,
+    /// The estimator's (epsilon, delta) overcount bound: epsilon as a
+    /// fraction of the window's bytes, delta the per-query failure
+    /// probability ((0, 0) for exact).
+    pub epsilon: f64,
+    /// See `epsilon`.
+    pub delta: f64,
+}
+
+/// The scenario of the estimator ablation: the flash crowd, where one
+/// server's flow table floods while the ladder has to pick a scale-out
+/// recipient — the exact workload where estimator memory scales with the
+/// attack and the sketch does not.
+pub const ESTIMATOR_SCENARIO: FleetScenarioKind = FleetScenarioKind::FlashCrowd;
+
+/// Runs the estimator ablation: every strategy × estimator kind on the
+/// flash crowd at `flows` synthetic flows per server, comparing control
+/// quality (migrations, scale-outs, p99, drops) and estimator memory. Both
+/// estimators feed the ladder from the same tick-sample window, so the
+/// decisions agree — the ablation's point is the memory column: exact
+/// per-flow state pays O(distinct flows), the sketch stays at its fixed
+/// (epsilon, delta)-bounded footprint.
+pub fn run_estimator_ablation(servers: usize, flows: usize) -> Result<Vec<EstimatorCell>> {
+    let mut cells = Vec::new();
+    for strategy in FLEET_BENCH_STRATEGIES {
+        for estimator in EstimatorKind::ALL {
+            let scenario = FleetScenario::new(ESTIMATOR_SCENARIO, servers).with_tuning(
+                FleetTuning::default()
+                    .with_estimator(estimator)
+                    .with_flows(flows),
+            );
+            // Run the fleet directly (not through `run`) so the estimator's
+            // resident bytes can be read out of band after the horizon — the
+            // memory column must never enter the gated `FleetReport`.
+            let mut fleet = scenario.build_fleet(strategy)?;
+            fleet.run(scenario.horizon());
+            let report = fleet.report();
+            let estimator_bytes = fleet
+                .servers()
+                .iter()
+                .map(|s| s.estimator().resident_bytes())
+                .sum();
+            let (epsilon, delta) = fleet
+                .servers()
+                .first()
+                .map(|s| s.estimator().error_bound())
+                .unwrap_or((0.0, 0.0));
+            cells.push(EstimatorCell {
+                scenario: ESTIMATOR_SCENARIO.name().to_string(),
+                strategy: strategy.build().name().to_string(),
+                estimator: estimator.name().to_string(),
+                flows,
+                migrations: report.totals.migrations,
+                scale_outs: report.totals.scale_outs,
+                p99_us: report.totals.p99_us,
+                drops: report.totals.drops_overload
+                    + report.totals.drops_policy
+                    + report.totals.drops_migration,
+                estimator_bytes,
+                epsilon,
+                delta,
+            });
         }
     }
     Ok(cells)
@@ -576,8 +839,7 @@ fn run_cell(
     (kind, mode, batch, strategy): (FleetScenarioKind, MigrationMode, u32, StrategyKind),
 ) -> CellOutcome {
     let scenario = FleetScenario::new(kind, servers)
-        .with_mode(mode)
-        .with_batch(batch);
+        .with_tuning(FleetTuning::default().with_mode(mode).with_batch(batch));
     let start = std::time::Instant::now();
     let (report, events, shard_stats) = scenario.run_with_stats_sharded(strategy, shards)?;
     let wall = start.elapsed().as_secs_f64();
@@ -879,11 +1141,11 @@ mod tests {
     /// bytes are serialised at the full line rate.
     #[test]
     fn fair_share_stretches_precopy_rounds_under_foreground_load() {
-        let base = FleetScenario::new(FleetScenarioKind::RollingHotspot, 4)
-            .with_mode(MigrationMode::PreCopy);
+        let tuning = FleetTuning::default().with_mode(MigrationMode::PreCopy);
+        let base = FleetScenario::new(FleetScenarioKind::RollingHotspot, 4).with_tuning(tuning);
         let (_, fifo) = base.run_with_round_stats(StrategyKind::Pam).unwrap();
         let (_, fair) = base
-            .with_link_model(LinkModel::fair_share())
+            .with_tuning(tuning.with_link_model(LinkModel::fair_share()))
             .run_with_round_stats(StrategyKind::Pam)
             .unwrap();
         assert!(fifo.rounds > 0, "the hotspot migrates under FIFO");
@@ -914,7 +1176,7 @@ mod tests {
         }
         // Spot-check one FIFO cell against the same scenario run directly.
         let direct = FleetScenario::new(FleetScenarioKind::RollingHotspot, 2)
-            .with_mode(MigrationMode::PreCopy)
+            .with_tuning(FleetTuning::default().with_mode(MigrationMode::PreCopy))
             .run(StrategyKind::Pam)
             .unwrap();
         let cell = cells
@@ -1036,13 +1298,103 @@ mod tests {
         let kind = FleetScenarioKind::RollingHotspot;
         let default_run = FleetScenario::new(kind, 2).run(StrategyKind::Pam).unwrap();
         let batch1_run = FleetScenario::new(kind, 2)
-            .with_batch(1)
+            .with_tuning(FleetTuning::default().with_batch(1))
             .run(StrategyKind::Pam)
             .unwrap();
         assert_eq!(
             serde_json::to_string(&default_run).unwrap(),
             serde_json::to_string(&batch1_run).unwrap()
         );
+    }
+
+    /// The estimator tentpole's fidelity criterion: `estimator = exact` is
+    /// not a new mode — it must reproduce the default-constructed scenario
+    /// (and therefore the committed v3 baseline) byte-identically.
+    #[test]
+    fn exact_estimator_is_byte_identical_to_the_default() {
+        let kind = FleetScenarioKind::FlashCrowd;
+        let default_run = FleetScenario::new(kind, 2).run(StrategyKind::Pam).unwrap();
+        let exact_run = FleetScenario::new(kind, 2)
+            .with_tuning(FleetTuning::default().with_estimator(EstimatorKind::Exact))
+            .run(StrategyKind::Pam)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&default_run).unwrap(),
+            serde_json::to_string(&exact_run).unwrap()
+        );
+    }
+
+    /// Both estimators feed the ladder from the same tick-sample window, so
+    /// on the same seeded trace the *decisions* must agree exactly; what the
+    /// sketch buys is the memory column — the acceptance bar is ≥10x less
+    /// estimator memory on a 100k+-flow flash crowd.
+    #[test]
+    fn estimator_ablation_sketch_matches_decisions_at_a_fraction_of_the_memory() {
+        let cells = run_estimator_ablation(3, 100_000).unwrap();
+        assert_eq!(cells.len(), 6, "3 strategies x 2 estimator kinds");
+        for pair in cells.chunks(2) {
+            let (exact, sketch) = (&pair[0], &pair[1]);
+            assert_eq!(exact.estimator, "exact");
+            assert_eq!(sketch.estimator, "sketch");
+            assert_eq!(exact.strategy, sketch.strategy);
+            assert_eq!(exact.migrations, sketch.migrations, "{}", exact.strategy);
+            assert_eq!(exact.scale_outs, sketch.scale_outs, "{}", exact.strategy);
+            assert_eq!(exact.p99_us, sketch.p99_us, "{}", exact.strategy);
+            assert_eq!(exact.drops, sketch.drops, "{}", exact.strategy);
+            assert!(
+                exact.estimator_bytes >= 10 * sketch.estimator_bytes,
+                "{}: exact {} B !>= 10x sketch {} B",
+                exact.strategy,
+                exact.estimator_bytes,
+                sketch.estimator_bytes
+            );
+            assert_eq!((exact.epsilon, exact.delta), (0.0, 0.0));
+            assert!(sketch.epsilon > 0.0 && sketch.delta > 0.0);
+        }
+    }
+
+    /// Scenario serde keeps the historical flat key layout: pre-redesign
+    /// JSON (no `estimator`/`flows` keys) parses to the baseline tuning, and
+    /// a round trip preserves every dimension.
+    #[test]
+    fn scenario_serde_defaults_missing_tuning_keys() {
+        let scenario = FleetScenario::new(FleetScenarioKind::FlashCrowd, 4).with_tuning(
+            FleetTuning::default()
+                .with_mode(MigrationMode::PreCopy)
+                .with_estimator(EstimatorKind::Sketch)
+                .with_flows(5000),
+        );
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: FleetScenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scenario);
+        // A pre-redesign scenario: flat keys, no estimator/flows.
+        let legacy = r#"{"kind":"FlashCrowd","servers":2,"migration_mode":"PreCopy","batch":8}"#;
+        let parsed: FleetScenario = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed.tuning.migration_mode, MigrationMode::PreCopy);
+        assert_eq!(parsed.tuning.batch, 8);
+        assert_eq!(parsed.tuning.estimator, EstimatorKind::Exact);
+        assert_eq!(parsed.tuning.flows, 2000);
+        assert_eq!(parsed.seed, DEFAULT_FLEET_SEED);
+        assert_eq!(parsed.baseline, FleetScenario::new(parsed.kind, 2).baseline);
+    }
+
+    /// Pins the one-release deprecated shims: the old per-dimension setters
+    /// must be exactly the tuning path.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_scenario_setters_are_thin_tuning_shims() {
+        let kind = FleetScenarioKind::RollingHotspot;
+        let shimmed = FleetScenario::new(kind, 2)
+            .with_mode(MigrationMode::PreCopy)
+            .with_batch(8)
+            .with_link_model(LinkModel::fair_share());
+        let tuned = FleetScenario::new(kind, 2).with_tuning(
+            FleetTuning::default()
+                .with_mode(MigrationMode::PreCopy)
+                .with_batch(8)
+                .with_link_model(LinkModel::fair_share()),
+        );
+        assert_eq!(shimmed, tuned);
     }
 
     /// Batching must not change *what* is delivered on a drop-free scenario,
@@ -1054,7 +1406,7 @@ mod tests {
     fn batched_diurnal_wave_stays_drop_free() {
         for batch in FLEET_BENCH_BATCHES {
             let report = FleetScenario::new(FleetScenarioKind::DiurnalWave, 2)
-                .with_batch(batch)
+                .with_tuning(FleetTuning::default().with_batch(batch))
                 .run(StrategyKind::Original)
                 .unwrap();
             assert_eq!(report.totals.drops_overload, 0, "batch={batch}");
@@ -1070,11 +1422,11 @@ mod tests {
     fn pre_copy_beats_stop_and_copy_on_rolling_hotspot_blackout() {
         let scenario = FleetScenario::new(FleetScenarioKind::RollingHotspot, 4);
         let stop = scenario
-            .with_mode(MigrationMode::StopAndCopy)
+            .with_tuning(FleetTuning::default().with_mode(MigrationMode::StopAndCopy))
             .run(StrategyKind::Pam)
             .unwrap();
         let pre = scenario
-            .with_mode(MigrationMode::PreCopy)
+            .with_tuning(FleetTuning::default().with_mode(MigrationMode::PreCopy))
             .run(StrategyKind::Pam)
             .unwrap();
         assert!(stop.totals.migrations > 0, "the hotspot forces migrations");

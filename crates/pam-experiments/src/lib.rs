@@ -35,8 +35,8 @@ pub mod table1;
 
 pub use figure2::{run_figure2, Figure2Config, Figure2Results, Figure2Row};
 pub use fleet::{
-    run_fleet_matrix, run_scale_curve, FleetBenchEntry, FleetBenchOutput, FleetScenario,
-    FleetScenarioKind, ScalePoint,
+    run_estimator_ablation, run_fleet_matrix, run_scale_curve, EstimatorCell, FleetBenchEntry,
+    FleetBenchOutput, FleetScenario, FleetScenarioKind, FleetTuning, ScalePoint,
 };
 pub use scenarios::Figure1Scenario;
 pub use table1::{run_table1, Table1Results};

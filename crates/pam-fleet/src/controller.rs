@@ -30,20 +30,23 @@ use pam_protocol::{
 use pam_runtime::state_transfer_size;
 use pam_sim::{EventQueue, LinkDirection, PcieLink, PcieLinkConfig};
 use pam_types::{ByteSize, Device, Gbps, Result, ServerId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
 
+use crate::estimator::{EstimatorConfig, LoadEstimator};
 use crate::node::{FleetServer, ServerSpec};
 use crate::report::{FleetReport, FleetTotals, ServerReport};
 use crate::steering::SteeringTable;
 
 /// Fleet-level control parameters (the per-server loop keeps its own
 /// [`OrchestratorConfig`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetConfig {
     /// Per-server control loop (strategy, poll cadence, cooldown).
     pub orchestrator: OrchestratorConfig,
-    /// Length of the sliding window feeding every fleet decision.
-    pub estimator_window: SimDuration,
+    /// The load estimator feeding every fleet decision (kind, window,
+    /// sketch dimensions).
+    pub estimator: EstimatorConfig,
     /// Whether the ladder may re-steer flows across servers at all
     /// (disabled for the pure single-box baselines).
     pub scale_out_enabled: bool,
@@ -67,7 +70,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             orchestrator: OrchestratorConfig::default(),
-            estimator_window: SimDuration::from_millis(2),
+            estimator: EstimatorConfig::default(),
             scale_out_enabled: true,
             spill_step: 0.25,
             max_spill: 0.5,
@@ -86,6 +89,91 @@ impl FleetConfig {
             orchestrator: OrchestratorConfig::with_strategy(strategy),
             ..Default::default()
         }
+    }
+
+    /// Selects the load estimator, keeping the other knobs.
+    pub fn with_estimator(mut self, estimator: EstimatorConfig) -> Self {
+        self.estimator = estimator;
+        self
+    }
+}
+
+// Hand-serialised so configs written before the estimator knob existed (and
+// the committed baselines) deserialise with the exact estimator instead of
+// failing on a missing field (the vendored serde derive has no
+// `#[serde(default)]`). The pre-redesign flat `estimator_window` key is
+// still honoured as a legacy alias for `estimator.window`.
+impl Serialize for FleetConfig {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("orchestrator".to_owned(), self.orchestrator.to_value());
+        map.insert("estimator".to_owned(), self.estimator.to_value());
+        map.insert(
+            "scale_out_enabled".to_owned(),
+            self.scale_out_enabled.to_value(),
+        );
+        map.insert("spill_step".to_owned(), self.spill_step.to_value());
+        map.insert("max_spill".to_owned(), self.max_spill.to_value());
+        map.insert(
+            "recipient_headroom".to_owned(),
+            self.recipient_headroom.to_value(),
+        );
+        map.insert("scale_in_below".to_owned(), self.scale_in_below.to_value());
+        map.insert("scale_cooldown".to_owned(), self.scale_cooldown.to_value());
+        map.insert("interconnect".to_owned(), self.interconnect.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for FleetConfig {
+    fn from_value(value: &Value) -> std::result::Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("FleetConfig must be an object")),
+        };
+        let defaults = FleetConfig::default();
+        let mut estimator = match map.get("estimator") {
+            Some(value) => EstimatorConfig::from_value(value)?,
+            None => defaults.estimator,
+        };
+        if let Some(value) = map.get("estimator_window") {
+            estimator.window = SimDuration::from_value(value)?;
+        }
+        Ok(FleetConfig {
+            orchestrator: match map.get("orchestrator") {
+                Some(value) => OrchestratorConfig::from_value(value)?,
+                None => defaults.orchestrator,
+            },
+            estimator,
+            scale_out_enabled: match map.get("scale_out_enabled") {
+                Some(value) => bool::from_value(value)?,
+                None => defaults.scale_out_enabled,
+            },
+            spill_step: match map.get("spill_step") {
+                Some(value) => f64::from_value(value)?,
+                None => defaults.spill_step,
+            },
+            max_spill: match map.get("max_spill") {
+                Some(value) => f64::from_value(value)?,
+                None => defaults.max_spill,
+            },
+            recipient_headroom: match map.get("recipient_headroom") {
+                Some(value) => f64::from_value(value)?,
+                None => defaults.recipient_headroom,
+            },
+            scale_in_below: match map.get("scale_in_below") {
+                Some(value) => f64::from_value(value)?,
+                None => defaults.scale_in_below,
+            },
+            scale_cooldown: match map.get("scale_cooldown") {
+                Some(value) => SimDuration::from_value(value)?,
+                None => defaults.scale_cooldown,
+            },
+            interconnect: match map.get("interconnect") {
+                Some(value) => PcieLinkConfig::from_value(value)?,
+                None => defaults.interconnect,
+            },
+        })
     }
 }
 
@@ -175,11 +263,13 @@ impl Fleet {
     pub fn new(specs: Vec<ServerSpec>, config: FleetConfig) -> Result<Self> {
         let mut servers = Vec::with_capacity(specs.len());
         for (index, spec) in specs.into_iter().enumerate() {
+            let estimator =
+                LoadEstimator::new(&config.estimator, config.orchestrator.poll_interval);
             servers.push(FleetServer::new(
                 ServerId::from(index),
                 spec,
                 config.orchestrator,
-                config.estimator_window,
+                estimator,
             )?);
         }
         let count = servers.len();
@@ -312,7 +402,7 @@ impl Fleet {
             );
             let target = self.steering.route(home, packet.flow_id());
             let server = &mut self.servers[target.index()];
-            server.note_arrival(packet.size());
+            server.note_arrival(packet.flow_id().raw(), packet.size());
             #[cfg(test)]
             server.log_submission(now, packet.flow_id().raw());
             let runtime = server.runtime_mut();
@@ -336,14 +426,14 @@ impl Fleet {
         for server in &mut self.servers {
             server.runtime_mut().drain_until(now);
             let offered = server.take_tick_load(interval);
-            server.estimator_mut().record(now, offered);
+            server.record_load(now, offered);
         }
 
         // Phase 2 — decide and act per server.
         for index in 0..self.servers.len() {
             let server_id = ServerId::from(index);
-            let windowed = self.servers[index].estimator().mean();
-            let peak = self.servers[index].estimator().peak();
+            let windowed = self.servers[index].windowed_load();
+            let peak = self.servers[index].peak_load();
 
             let record = {
                 let server = &mut self.servers[index];
@@ -384,7 +474,7 @@ impl Fleet {
         // headroom (ties broken by lowest id, keeping the scan deterministic).
         let recipient = match self.steering.spill_of(home) {
             Some(spill) => {
-                let windowed = self.servers[spill.to.index()].estimator().mean();
+                let windowed = self.servers[spill.to.index()].windowed_load();
                 if self.nic_utilisation_at(spill.to, windowed) < self.config.recipient_headroom {
                     Some(spill.to)
                 } else {
@@ -481,7 +571,7 @@ impl Fleet {
             {
                 continue;
             }
-            let windowed = server.estimator().mean();
+            let windowed = server.windowed_load();
             let utilisation = self.nic_utilisation_at(candidate, windowed);
             if utilisation >= self.config.recipient_headroom {
                 continue;

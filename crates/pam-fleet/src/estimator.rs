@@ -1,18 +1,43 @@
-//! Sliding-window load estimation.
+//! Load estimation behind one interface: exact per-flow accounting or a
+//! sliding-window heavy-hitter sketch.
 //!
 //! The single-server orchestrator polls the *instantaneous* offered load,
 //! which whipsaws under bursty traffic: one quiet poll interval during a
-//! flash crowd and the controller believes the overload is gone. Following
-//! the Memento line of work (sliding-window sketches that survive bursts),
-//! the fleet controller instead feeds every decision from a
-//! [`SlidingWindowEstimator`]: a ring of timestamped load samples over a
-//! fixed window, answering both the windowed mean (used to decide
-//! migrations and scale-out) and the windowed peak (used to hold off
-//! scale-in until the *whole* window has receded).
+//! flash crowd and the controller believes the overload is gone. The fleet
+//! controller instead feeds every decision from a [`LoadEstimator`]: a
+//! window of tick-aligned load samples answering the windowed mean (used to
+//! decide migrations and scale-out), the windowed peak (used to hold off
+//! scale-in until the *whole* window has receded), and the window's top-k
+//! heaviest flows.
+//!
+//! Two implementations sit behind the interface, selected by
+//! [`EstimatorKind`]:
+//!
+//! * **`Exact`** — the historical estimator: a ring of tick samples plus an
+//!   exact windowed byte counter per flow. Ground truth, O(distinct flows)
+//!   memory — the committed `BENCH_baseline.json` is pinned to its
+//!   decisions.
+//! * **`Sketch`** — a Memento-style sliding count-min sketch (see
+//!   [`crate::sketch`]): the same tick-sample ring for mean/peak (so the
+//!   decision ladder sees identical windowed loads), but per-flow state
+//!   collapses to `slots x depth x width` counters with a documented
+//!   (epsilon, delta) overcount bound — O(1) in the flow count, which is
+//!   what makes million-flow fleets feasible.
+//!
+//! The concrete types are private: the fleet records through
+//! [`LoadEstimator::record`]/[`LoadEstimator::record_arrival`] and queries
+//! through [`LoadEstimator::windowed`]/[`LoadEstimator::peak`]/
+//! [`LoadEstimator::heavy_hitters`], so swapping the estimator never touches
+//! a call site again.
 
 use std::collections::VecDeque;
 
+use pam_nf::fastmap::FlowMap;
 use pam_types::{Gbps, SimDuration, SimTime};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
+
+use crate::sketch::SlidingSketch;
 
 /// A timestamped offered-load sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,22 +46,23 @@ struct Sample {
     load: Gbps,
 }
 
-/// A sliding window over offered-load samples.
+/// A sliding window over offered-load samples (the tick-sample ring both
+/// estimator variants share for mean/peak).
 ///
 /// Samples older than the configured window are evicted on every
-/// [`record`](SlidingWindowEstimator::record), so the estimator's memory is
+/// [`record`](SlidingWindowEstimator::record), so the ring's memory is
 /// bounded by `window / sample_interval`. The queries (`mean`, `peak`,
 /// `latest`) do not evict — they reflect the window as of the most recent
 /// sample, so record at the current time before querying.
 #[derive(Debug, Clone)]
-pub struct SlidingWindowEstimator {
+pub(crate) struct SlidingWindowEstimator {
     window: SimDuration,
     samples: VecDeque<Sample>,
 }
 
 impl SlidingWindowEstimator {
     /// Creates an estimator remembering samples for `window`.
-    pub fn new(window: SimDuration) -> Self {
+    pub(crate) fn new(window: SimDuration) -> Self {
         SlidingWindowEstimator {
             window,
             samples: VecDeque::new(),
@@ -44,28 +70,45 @@ impl SlidingWindowEstimator {
     }
 
     /// The configured window length.
-    pub fn window(&self) -> SimDuration {
+    pub(crate) fn window(&self) -> SimDuration {
         self.window
     }
 
     /// Records a load sample taken at `now` and evicts expired samples.
-    pub fn record(&mut self, now: SimTime, load: Gbps) {
+    ///
+    /// Timestamps must not run backwards; a `now` earlier than the latest
+    /// sample (possible when a resumed run re-records the boundary tick) is
+    /// clamped to the latest sample's time, so the ring stays monotone and
+    /// eviction can never resurrect an already-evicted sample. Debug builds
+    /// additionally assert, to surface the caller's ordering bug.
+    pub(crate) fn record(&mut self, now: SimTime, load: Gbps) {
+        let now = match self.samples.back() {
+            Some(last) if now < last.at => {
+                debug_assert!(
+                    now >= last.at,
+                    "out-of-order estimator sample: {now:?} after {:?}",
+                    last.at
+                );
+                last.at
+            }
+            _ => now,
+        };
         self.samples.push_back(Sample { at: now, load });
         self.evict(now);
     }
 
     /// Number of samples currently inside the window.
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.samples.len()
     }
 
     /// True when no sample is inside the window.
-    pub fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
 
     /// The windowed mean load (zero with no samples).
-    pub fn mean(&self) -> Gbps {
+    pub(crate) fn mean(&self) -> Gbps {
         if self.samples.is_empty() {
             return Gbps::ZERO;
         }
@@ -74,7 +117,7 @@ impl SlidingWindowEstimator {
     }
 
     /// The windowed peak load (zero with no samples).
-    pub fn peak(&self) -> Gbps {
+    pub(crate) fn peak(&self) -> Gbps {
         self.samples
             .iter()
             .map(|s| s.load)
@@ -82,8 +125,13 @@ impl SlidingWindowEstimator {
     }
 
     /// The most recent sample (zero with no samples).
-    pub fn latest(&self) -> Gbps {
+    pub(crate) fn latest(&self) -> Gbps {
         self.samples.back().map(|s| s.load).unwrap_or(Gbps::ZERO)
+    }
+
+    /// Heap bytes held by the sample ring.
+    fn resident_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<Sample>()
     }
 
     /// Drops samples that left the window as of `now`.
@@ -94,6 +142,405 @@ impl SlidingWindowEstimator {
             } else {
                 break;
             }
+        }
+    }
+}
+
+/// Which load-estimator implementation a fleet runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EstimatorKind {
+    /// Exact per-flow windowed accounting (the committed-baseline default).
+    #[default]
+    Exact,
+    /// The sliding count-min heavy-hitter sketch (see [`crate::sketch`]).
+    Sketch,
+}
+
+impl EstimatorKind {
+    /// Both kinds, in ablation order.
+    pub const ALL: [EstimatorKind; 2] = [EstimatorKind::Exact, EstimatorKind::Sketch];
+
+    /// The machine-readable name used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::Exact => "exact",
+            EstimatorKind::Sketch => "sketch",
+        }
+    }
+
+    /// Parses a CLI/report name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for EstimatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+// Hand-serialised as a plain string so configs stay greppable and the
+// vendored serde derive (which has no `#[serde(default)]`) is not needed.
+impl Serialize for EstimatorKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for EstimatorKind {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(name) => EstimatorKind::from_name(name)
+                .ok_or_else(|| Error::custom(format!("unknown estimator kind `{name}`"))),
+            _ => Err(Error::custom("EstimatorKind must be a string")),
+        }
+    }
+}
+
+/// Configuration of a fleet's [`LoadEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Which implementation to run.
+    pub kind: EstimatorKind,
+    /// Length of the sliding window feeding every fleet decision.
+    pub window: SimDuration,
+    /// Count-min rows of the sketch variant (`delta = e^-depth`).
+    pub depth: usize,
+    /// Count-min counters per row of the sketch variant, rounded up to a
+    /// power of two (`epsilon = e / width`).
+    pub width: usize,
+    /// How many heavy-hitter flows the sketch variant tracks.
+    pub top_k: usize,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            kind: EstimatorKind::Exact,
+            window: SimDuration::from_millis(2),
+            depth: 4,
+            width: 256,
+            top_k: 32,
+        }
+    }
+}
+
+impl EstimatorConfig {
+    /// The default parameters of the given kind.
+    pub fn of(kind: EstimatorKind) -> Self {
+        EstimatorConfig {
+            kind,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the window length.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = window;
+        self
+    }
+}
+
+// Every key is optional on the way in — a config written before the
+// estimator knob existed (or one naming only `kind`) deserialises with the
+// committed-baseline defaults, following the `link_model` pattern (the
+// vendored serde derive has no `#[serde(default)]`).
+impl Serialize for EstimatorConfig {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("kind".to_owned(), self.kind.to_value());
+        map.insert("window".to_owned(), self.window.to_value());
+        map.insert("depth".to_owned(), self.depth.to_value());
+        map.insert("width".to_owned(), self.width.to_value());
+        map.insert("top_k".to_owned(), self.top_k.to_value());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for EstimatorConfig {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("EstimatorConfig must be an object")),
+        };
+        let defaults = EstimatorConfig::default();
+        Ok(EstimatorConfig {
+            kind: match map.get("kind") {
+                Some(value) => EstimatorKind::from_value(value)?,
+                None => defaults.kind,
+            },
+            window: match map.get("window") {
+                Some(value) => SimDuration::from_value(value)?,
+                None => defaults.window,
+            },
+            depth: match map.get("depth") {
+                Some(value) => usize::from_value(value)?,
+                None => defaults.depth,
+            },
+            width: match map.get("width") {
+                Some(value) => usize::from_value(value)?,
+                None => defaults.width,
+            },
+            top_k: match map.get("top_k") {
+                Some(value) => usize::from_value(value)?,
+                None => defaults.top_k,
+            },
+        })
+    }
+}
+
+/// Exact windowed per-flow accounting: the ground-truth estimator.
+///
+/// Per flow, one byte counter per window slot (epoch-stamped, recycled in
+/// place), so windowed queries are exact. Entries are never evicted — a
+/// flow seen once costs its slot ring forever — which is precisely the
+/// O(distinct flows) memory the sketch variant exists to replace, and what
+/// [`LoadEstimator::resident_bytes`] makes visible in the ablation.
+#[derive(Debug, Clone)]
+struct ExactEstimator {
+    ring: SlidingWindowEstimator,
+    /// flow -> per-slot `(epoch, bytes)` counters, `slots` entries each.
+    flows: FlowMap<Vec<(u64, u64)>>,
+    /// Insertion-ordered flow keys (the map has no ordered iteration).
+    keys: Vec<u64>,
+    /// The current (in-progress) epoch; advanced once per control tick.
+    epoch: u64,
+    /// Window slots: the in-progress epoch plus `slots - 1` sealed ones.
+    slots: usize,
+}
+
+impl ExactEstimator {
+    fn new(window: SimDuration, slots: usize) -> Self {
+        ExactEstimator {
+            ring: SlidingWindowEstimator::new(window),
+            flows: FlowMap::new(),
+            keys: Vec::new(),
+            epoch: 0,
+            slots: slots.max(1),
+        }
+    }
+
+    fn record_arrival(&mut self, flow: u64, bytes: u64) {
+        let (epoch, slots) = (self.epoch, self.slots);
+        if let Some(ring) = self.flows.get_mut(flow) {
+            let slot = &mut ring[(epoch % slots as u64) as usize];
+            if slot.0 != epoch {
+                *slot = (epoch, 0);
+            }
+            slot.1 += bytes;
+        } else {
+            let mut ring = vec![(0u64, 0u64); slots];
+            ring[(epoch % slots as u64) as usize] = (epoch, bytes);
+            self.flows.insert(flow, ring);
+            self.keys.push(flow);
+        }
+    }
+
+    /// The flow's exact byte count across the window's live epochs.
+    fn windowed_bytes(&self, flow: u64) -> u64 {
+        let Some(ring) = self.flows.get(flow) else {
+            return 0;
+        };
+        ring.iter()
+            .filter(|(epoch, _)| epoch + self.slots as u64 > self.epoch)
+            .map(|(_, bytes)| bytes)
+            .sum()
+    }
+
+    fn heavy_hitters(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut scored: Vec<(u64, u64)> = self
+            .keys
+            .iter()
+            .filter_map(|&flow| {
+                let bytes = self.windowed_bytes(flow);
+                (bytes > 0).then_some((flow, bytes))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    fn resident_bytes(&self) -> usize {
+        // The open-addressed table (slot array) plus each entry's heap slot
+        // ring plus the ordered key list.
+        let table = (self.flows.len() * 8).max(16) / 7
+            * std::mem::size_of::<Option<(u64, Vec<(u64, u64)>)>>();
+        let rings = self.flows.len() * self.slots * std::mem::size_of::<(u64, u64)>();
+        let keys = self.keys.capacity() * std::mem::size_of::<u64>();
+        table + rings + keys + self.ring.resident_bytes()
+    }
+}
+
+/// The estimator implementations, behind the [`LoadEstimator`] facade.
+#[derive(Debug, Clone)]
+enum Inner {
+    Exact(ExactEstimator),
+    Sketch {
+        ring: SlidingWindowEstimator,
+        sketch: SlidingSketch,
+    },
+}
+
+/// The load estimator a [`crate::FleetServer`] feeds and the fleet
+/// controller's decision ladder reads.
+///
+/// One surface, two implementations (see [`EstimatorKind`]): the fleet
+/// records a tick's offered load through [`LoadEstimator::record`] and every
+/// packet arrival through [`LoadEstimator::record_arrival`]; the ladder
+/// queries [`LoadEstimator::windowed`] and [`LoadEstimator::peak`]. Both
+/// variants answer mean/peak from the same tick-sample ring, so the
+/// *decisions* are identical — what changes is the per-flow state behind
+/// [`LoadEstimator::heavy_hitters`] and [`LoadEstimator::resident_bytes`]:
+/// exact tables grow with distinct flows, the sketch does not.
+#[derive(Debug, Clone)]
+pub struct LoadEstimator {
+    inner: Inner,
+}
+
+impl LoadEstimator {
+    /// Builds the estimator `config` describes, with the window split into
+    /// `interval`-aligned slots (the control tick cadence): the in-progress
+    /// tick plus `window / interval` sealed ones, mirroring the tick-sample
+    /// ring's eviction rule.
+    pub fn new(config: &EstimatorConfig, interval: SimDuration) -> Self {
+        let slots = if interval.is_zero() {
+            1
+        } else {
+            (config.window.as_nanos() / interval.as_nanos()) as usize + 1
+        };
+        let inner = match config.kind {
+            EstimatorKind::Exact => Inner::Exact(ExactEstimator::new(config.window, slots)),
+            EstimatorKind::Sketch => Inner::Sketch {
+                ring: SlidingWindowEstimator::new(config.window),
+                sketch: SlidingSketch::new(slots, config.depth, config.width, config.top_k),
+            },
+        };
+        LoadEstimator { inner }
+    }
+
+    /// Which implementation is running.
+    pub fn kind(&self) -> EstimatorKind {
+        match &self.inner {
+            Inner::Exact(_) => EstimatorKind::Exact,
+            Inner::Sketch { .. } => EstimatorKind::Sketch,
+        }
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> SimDuration {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.window(),
+            Inner::Sketch { ring, .. } => ring.window(),
+        }
+    }
+
+    /// Records the offered load measured over the tick ending at `now` and
+    /// seals the tick's per-flow accounting (the window slides one slot).
+    /// Out-of-order timestamps are clamped monotone (and debug-asserted —
+    /// see `SlidingWindowEstimator::record`).
+    pub fn record(&mut self, now: SimTime, offered: Gbps) {
+        match &mut self.inner {
+            Inner::Exact(exact) => {
+                exact.ring.record(now, offered);
+                exact.epoch += 1;
+            }
+            Inner::Sketch { ring, sketch } => {
+                ring.record(now, offered);
+                sketch.rotate();
+            }
+        }
+    }
+
+    /// Accounts `bytes` arriving for `flow` in the current tick.
+    pub fn record_arrival(&mut self, flow: u64, bytes: u64) {
+        match &mut self.inner {
+            Inner::Exact(exact) => exact.record_arrival(flow, bytes),
+            Inner::Sketch { sketch, .. } => sketch.record(flow, bytes),
+        }
+    }
+
+    /// The windowed mean load (zero with no samples).
+    pub fn windowed(&self) -> Gbps {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.mean(),
+            Inner::Sketch { ring, .. } => ring.mean(),
+        }
+    }
+
+    /// The windowed peak load (zero with no samples).
+    pub fn peak(&self) -> Gbps {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.peak(),
+            Inner::Sketch { ring, .. } => ring.peak(),
+        }
+    }
+
+    /// The most recent tick's load (zero with no samples).
+    pub fn latest(&self) -> Gbps {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.latest(),
+            Inner::Sketch { ring, .. } => ring.latest(),
+        }
+    }
+
+    /// Number of tick samples currently inside the window.
+    pub fn samples(&self) -> usize {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.len(),
+            Inner::Sketch { ring, .. } => ring.len(),
+        }
+    }
+
+    /// True when no tick sample is inside the window yet.
+    pub fn is_empty(&self) -> bool {
+        match &self.inner {
+            Inner::Exact(exact) => exact.ring.is_empty(),
+            Inner::Sketch { ring, .. } => ring.is_empty(),
+        }
+    }
+
+    /// The flow's estimated bytes across the window: exact for
+    /// [`EstimatorKind::Exact`], a count-min overestimate within the
+    /// [`LoadEstimator::error_bound`] for [`EstimatorKind::Sketch`].
+    pub fn windowed_flow_bytes(&self, flow: u64) -> u64 {
+        match &self.inner {
+            Inner::Exact(exact) => exact.windowed_bytes(flow),
+            Inner::Sketch { sketch, .. } => sketch.estimate(flow),
+        }
+    }
+
+    /// The `k` heaviest flows of the window as `(flow, bytes)`, heaviest
+    /// first, ties broken by lowest flow id. Exact truth for
+    /// [`EstimatorKind::Exact`]; for [`EstimatorKind::Sketch`] the set is
+    /// drawn from the sketch's bounded candidate table and each count is a
+    /// count-min estimate.
+    pub fn heavy_hitters(&self, k: usize) -> Vec<(u64, u64)> {
+        match &self.inner {
+            Inner::Exact(exact) => exact.heavy_hitters(k),
+            Inner::Sketch { sketch, .. } => sketch.heavy_hitters(k),
+        }
+    }
+
+    /// The (epsilon, delta) overcount bound of
+    /// [`LoadEstimator::windowed_flow_bytes`]: `estimate <= truth +
+    /// epsilon * window_bytes` with probability at least `1 - delta`.
+    /// `(0, 0)` for the exact estimator.
+    pub fn error_bound(&self) -> (f64, f64) {
+        match &self.inner {
+            Inner::Exact(_) => (0.0, 0.0),
+            Inner::Sketch { sketch, .. } => sketch.error_bound(),
+        }
+    }
+
+    /// Bytes of memory resident in the estimator's per-flow state (plus the
+    /// tick ring). The ablation's headline number: exact grows with distinct
+    /// flows, the sketch is fixed at construction.
+    pub fn resident_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Exact(exact) => exact.resident_bytes(),
+            Inner::Sketch { ring, sketch } => ring.resident_bytes() + sketch.resident_bytes(),
         }
     }
 }
@@ -149,5 +596,174 @@ mod tests {
         // over; the windowed peak still remembers the burst.
         assert_eq!(e.peak(), Gbps::new(2.5));
         assert_eq!(e.latest(), Gbps::new(0.1));
+    }
+
+    /// The pinned out-of-order behaviour: a sample timestamped before the
+    /// latest one (a resumed run re-recording its boundary tick) is clamped
+    /// to the latest time instead of corrupting the ring's monotone order.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out-of-order"))]
+    fn out_of_order_samples_are_clamped_monotone() {
+        let mut e = estimator();
+        e.record(SimTime::from_millis(5), Gbps::new(2.0));
+        e.record(SimTime::from_millis(3), Gbps::new(4.0));
+        // Release builds clamp: both samples live at t=5ms, in record order.
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.latest(), Gbps::new(4.0));
+        assert_eq!(e.peak(), Gbps::new(4.0));
+        // Eviction keyed by the clamped (not raw) time: a later sample one
+        // window after the clamp point evicts both earlier samples.
+        e.record(SimTime::from_millis(10), Gbps::new(1.0));
+        assert_eq!(e.len(), 1);
+    }
+
+    /// The clamp must not resurrect evicted samples: recording at an older
+    /// time keys eviction to the clamped (latest) time, never backwards.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "out-of-order"))]
+    fn clamped_samples_do_not_unevict() {
+        let mut e = estimator();
+        e.record(SimTime::from_millis(1), Gbps::new(9.0));
+        e.record(SimTime::from_millis(6), Gbps::new(1.0));
+        assert_eq!(e.len(), 1, "the burst expired");
+        e.record(SimTime::from_millis(2), Gbps::new(5.0));
+        assert_eq!(e.len(), 2, "clamped to t=6ms, joining the window");
+        assert_eq!(e.peak(), Gbps::new(5.0));
+    }
+
+    fn config(kind: EstimatorKind) -> EstimatorConfig {
+        EstimatorConfig::of(kind).with_window(SimDuration::from_micros(1_500))
+    }
+
+    #[test]
+    fn facade_reports_kind_window_and_bounds() {
+        let interval = SimDuration::from_micros(500);
+        let exact = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        assert_eq!(exact.kind(), EstimatorKind::Exact);
+        assert_eq!(exact.window(), SimDuration::from_micros(1_500));
+        assert_eq!(exact.error_bound(), (0.0, 0.0));
+        let sketch = LoadEstimator::new(&config(EstimatorKind::Sketch), interval);
+        assert_eq!(sketch.kind(), EstimatorKind::Sketch);
+        let (eps, delta) = sketch.error_bound();
+        assert!(eps > 0.0 && delta > 0.0);
+    }
+
+    #[test]
+    fn both_kinds_answer_identical_windowed_means() {
+        let interval = SimDuration::from_micros(500);
+        let mut exact = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        let mut sketch = LoadEstimator::new(&config(EstimatorKind::Sketch), interval);
+        for tick in 1..=6u64 {
+            let now = SimTime::from_micros(tick * 500);
+            let load = Gbps::new(tick as f64 * 0.3);
+            exact.record(now, load);
+            sketch.record(now, load);
+            assert_eq!(exact.windowed(), sketch.windowed(), "tick {tick}");
+            assert_eq!(exact.peak(), sketch.peak(), "tick {tick}");
+            assert_eq!(exact.latest(), sketch.latest(), "tick {tick}");
+            assert_eq!(exact.samples(), sketch.samples(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn exact_windowed_flow_bytes_slide_with_the_ticks() {
+        let interval = SimDuration::from_micros(500);
+        // window/interval = 3 -> 4 slots: the in-progress tick + 3 sealed.
+        let mut e = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        e.record_arrival(42, 1000);
+        for tick in 1..=3u64 {
+            e.record(SimTime::from_micros(tick * 500), Gbps::new(1.0));
+            assert_eq!(e.windowed_flow_bytes(42), 1000, "tick {tick}");
+        }
+        e.record(SimTime::from_micros(2_000), Gbps::new(1.0));
+        assert_eq!(e.windowed_flow_bytes(42), 0, "slid out after 4 ticks");
+    }
+
+    #[test]
+    fn exact_heavy_hitters_are_ground_truth() {
+        let interval = SimDuration::from_micros(500);
+        let mut e = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        e.record_arrival(1, 100);
+        e.record_arrival(2, 900);
+        e.record_arrival(1, 50);
+        e.record_arrival(3, 150);
+        let hh = e.heavy_hitters(2);
+        assert_eq!(hh, vec![(2, 900), (1, 150)]);
+        assert_eq!(e.windowed_flow_bytes(1), 150);
+        assert_eq!(e.windowed_flow_bytes(9), 0);
+    }
+
+    #[test]
+    fn sketch_never_undercounts_the_exact_table() {
+        let interval = SimDuration::from_micros(500);
+        let mut exact = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        let mut sketch = LoadEstimator::new(&config(EstimatorKind::Sketch), interval);
+        for i in 0..2000u64 {
+            let (flow, bytes) = (i % 97, (i % 13 + 1) * 64);
+            exact.record_arrival(flow, bytes);
+            sketch.record_arrival(flow, bytes);
+            if i % 400 == 399 {
+                let now = SimTime::from_micros((i / 400 + 1) * 500);
+                exact.record(now, Gbps::new(1.0));
+                sketch.record(now, Gbps::new(1.0));
+            }
+        }
+        for flow in 0..97u64 {
+            assert!(
+                sketch.windowed_flow_bytes(flow) >= exact.windowed_flow_bytes(flow),
+                "flow {flow} undercounted"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_memory_is_flow_count_independent() {
+        let interval = SimDuration::from_micros(500);
+        let mut exact = LoadEstimator::new(&config(EstimatorKind::Exact), interval);
+        let mut sketch = LoadEstimator::new(&config(EstimatorKind::Sketch), interval);
+        let sketch_before = sketch.resident_bytes();
+        for flow in 0..50_000u64 {
+            exact.record_arrival(flow, 64);
+            sketch.record_arrival(flow, 64);
+        }
+        assert!(
+            exact.resident_bytes() > 50_000 * 32,
+            "exact pays per distinct flow"
+        );
+        assert!(
+            sketch.resident_bytes() < sketch_before + 64 * 1024,
+            "sketch stays near its fixed footprint"
+        );
+        assert!(exact.resident_bytes() > 10 * sketch.resident_bytes());
+    }
+
+    #[test]
+    fn estimator_config_serde_defaults_missing_keys() {
+        use serde::{Deserialize, Serialize};
+        let config = EstimatorConfig::of(EstimatorKind::Sketch);
+        let back = EstimatorConfig::from_value(&config.to_value()).unwrap();
+        assert_eq!(back, config);
+        // An empty object (a config written before the knob existed) and a
+        // kind-only object both deserialise with baseline defaults.
+        let empty = EstimatorConfig::from_value(&Value::Object(Map::new())).unwrap();
+        assert_eq!(empty, EstimatorConfig::default());
+        assert_eq!(empty.kind, EstimatorKind::Exact);
+        let mut kind_only = Map::new();
+        kind_only.insert("kind".to_owned(), Value::String("sketch".to_owned()));
+        let parsed = EstimatorConfig::from_value(&Value::Object(kind_only)).unwrap();
+        assert_eq!(parsed.kind, EstimatorKind::Sketch);
+        assert_eq!(parsed.width, EstimatorConfig::default().width);
+        assert!(EstimatorConfig::from_value(&Value::Null).is_err());
+        assert!(EstimatorKind::from_value(&Value::String("nope".into())).is_err());
+    }
+
+    #[test]
+    fn estimator_kind_names_round_trip() {
+        for kind in EstimatorKind::ALL {
+            assert_eq!(EstimatorKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(EstimatorKind::from_name("nope"), None);
+        assert_eq!(EstimatorKind::default(), EstimatorKind::Exact);
     }
 }

@@ -6,7 +6,8 @@
 //!
 //! * [`FleetServer`] — one server (SmartNIC + CPU + PCIe + chain runtime)
 //!   with its own local [`pam_orchestrator::Orchestrator`] and a
-//!   [`SlidingWindowEstimator`] smoothing its load;
+//!   [`LoadEstimator`] smoothing its load (exact per-flow accounting or a
+//!   sliding heavy-hitter sketch, see [`sketch`]);
 //! * [`SteeringTable`] — flow-sticky, monotone re-steering of a fraction of
 //!   one server's flows to another;
 //! * [`Fleet`] — N servers under a **single deterministic
@@ -31,10 +32,11 @@ pub mod estimator;
 pub mod node;
 pub mod report;
 pub mod shard;
+pub mod sketch;
 pub mod steering;
 
 pub use controller::{Fleet, FleetAction, FleetConfig, FleetDecisionRecord};
-pub use estimator::SlidingWindowEstimator;
+pub use estimator::{EstimatorConfig, EstimatorKind, LoadEstimator};
 pub use node::{FleetServer, ServerSpec};
 pub use report::{FleetReport, FleetTotals, ServerReport};
 pub use shard::{ShardLane, ShardRunStats};

@@ -11,9 +11,9 @@ use pam_nf::{Packet, ServiceChainSpec};
 use pam_orchestrator::{Orchestrator, OrchestratorConfig};
 use pam_runtime::{ChainRuntime, RuntimeConfig};
 use pam_traffic::{TraceConfig, TraceSynthesizer};
-use pam_types::{Result, ServerId, SimDuration, SimTime};
+use pam_types::{Gbps, Result, ServerId, SimDuration, SimTime};
 
-use crate::estimator::SlidingWindowEstimator;
+use crate::estimator::LoadEstimator;
 
 /// Everything needed to stand up one server of the fleet.
 #[derive(Debug, Clone)]
@@ -35,7 +35,7 @@ pub struct FleetServer {
     trace: TraceSynthesizer,
     pending: Option<(SimTime, Packet)>,
     orchestrator: Orchestrator,
-    estimator: SlidingWindowEstimator,
+    estimator: LoadEstimator,
     bytes_since_tick: u64,
     /// Home packets sequenced into the current synchronisation window by the
     /// sharded runner, waiting for their group's worker to submit them.
@@ -52,18 +52,20 @@ impl std::fmt::Debug for FleetServer {
         f.debug_struct("FleetServer")
             .field("id", &self.id)
             .field("orchestrator", &self.orchestrator)
-            .field("window_samples", &self.estimator.len())
+            .field("window_samples", &self.estimator.samples())
             .finish()
     }
 }
 
 impl FleetServer {
-    /// Builds the server from its spec and control-loop parameters.
+    /// Builds the server from its spec, control-loop parameters and the
+    /// load estimator the fleet controller will feed (see
+    /// [`LoadEstimator::new`]).
     pub fn new(
         id: ServerId,
         spec: ServerSpec,
         orchestrator: OrchestratorConfig,
-        estimator_window: SimDuration,
+        estimator: LoadEstimator,
     ) -> Result<Self> {
         let runtime = ChainRuntime::new(spec.chain, &spec.placement, spec.runtime)?;
         Ok(FleetServer {
@@ -72,7 +74,7 @@ impl FleetServer {
             trace: TraceSynthesizer::new(spec.trace),
             pending: None,
             orchestrator: Orchestrator::new(orchestrator),
-            estimator: SlidingWindowEstimator::new(estimator_window),
+            estimator,
             bytes_since_tick: 0,
             parked: std::collections::VecDeque::new(),
             #[cfg(test)]
@@ -105,14 +107,30 @@ impl FleetServer {
         &mut self.orchestrator
     }
 
-    /// The server's sliding-window load estimator.
-    pub fn estimator(&self) -> &SlidingWindowEstimator {
+    /// Read-only access to the server's load estimator (kind, error bounds,
+    /// resident bytes, heavy hitters). All mutation goes through
+    /// [`FleetServer::record_load`] and [`FleetServer::note_arrival`] — the
+    /// concrete estimator type is no longer part of the server's API.
+    pub fn estimator(&self) -> &LoadEstimator {
         &self.estimator
     }
 
-    /// Mutable access to the estimator (the fleet records samples into it).
-    pub fn estimator_mut(&mut self) -> &mut SlidingWindowEstimator {
-        &mut self.estimator
+    /// Records the offered load measured over the tick ending at `now` into
+    /// the estimator's sliding window (sealing the tick's per-flow slot).
+    pub fn record_load(&mut self, now: SimTime, offered: Gbps) {
+        self.estimator.record(now, offered);
+    }
+
+    /// The estimator's windowed mean load — what the fleet ladder's
+    /// migration and scale-out decisions consume.
+    pub fn windowed_load(&self) -> Gbps {
+        self.estimator.windowed()
+    }
+
+    /// The estimator's windowed peak load — what holds scale-in back until
+    /// the whole window has receded.
+    pub fn peak_load(&self) -> Gbps {
+        self.estimator.peak()
     }
 
     /// The control loop and data plane together, split-borrowed so the
@@ -121,9 +139,12 @@ impl FleetServer {
         (&mut self.orchestrator, &mut self.runtime)
     }
 
-    /// Accounts one packet arriving at this server (home or re-steered).
-    pub fn note_arrival(&mut self, size: pam_types::ByteSize) {
+    /// Accounts one packet arriving at this server (home or re-steered):
+    /// the tick byte counter for offered load, and the estimator's per-flow
+    /// window for heavy-hitter queries.
+    pub fn note_arrival(&mut self, flow: u64, size: pam_types::ByteSize) {
         self.bytes_since_tick += size.as_bytes();
+        self.estimator.record_arrival(flow, size.as_bytes());
     }
 
     /// The load that actually arrived since the previous tick, measured over
@@ -199,11 +220,15 @@ mod tests {
 
     #[test]
     fn arrivals_are_parked_until_taken() {
+        let estimator = LoadEstimator::new(
+            &crate::estimator::EstimatorConfig::default(),
+            SimDuration::from_micros(500),
+        );
         let mut server = FleetServer::new(
             ServerId::new(0),
             spec(),
             OrchestratorConfig::default(),
-            SimDuration::from_millis(3),
+            estimator,
         )
         .unwrap();
         let first = server.next_arrival().expect("trace has packets");

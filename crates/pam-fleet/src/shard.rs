@@ -136,7 +136,7 @@ fn run_lane(
                 unreachable!("spill channels keep recipients in the home's group");
             };
             let server = &mut job.members[target_position].1;
-            server.note_arrival(packet.size());
+            server.note_arrival(packet.flow_id().raw(), packet.size());
             #[cfg(test)]
             server.log_submission(at, packet.flow_id().raw());
             let runtime = server.runtime_mut();

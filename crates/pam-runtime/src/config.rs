@@ -1,8 +1,10 @@
 //! Runtime configuration.
 
 use pam_nf::ProfileCatalog;
-use pam_sim::{DeviceConfig, PcieLinkConfig};
+use pam_sim::{DeviceConfig, LinkModel, PcieLinkConfig};
 use pam_types::{ByteSize, SimDuration};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
 
 use crate::migration::{DivergencePolicy, MigrationConfig, MigrationMode};
 
@@ -138,9 +140,13 @@ impl RuntimeConfig {
 
     /// Selects the PCIe link throughput model (FIFO-fixed baseline or
     /// contention-aware fair sharing), keeping the other link knobs.
-    pub fn with_link_model(mut self, link_model: pam_sim::LinkModel) -> Self {
-        self.pcie = self.pcie.with_link_model(link_model);
-        self
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `tuned(RuntimeTuning::default().with_link_model(..))` — \
+                one builder path for every experiment dimension"
+    )]
+    pub fn with_link_model(self, link_model: LinkModel) -> Self {
+        self.tuned(&RuntimeTuning::default().with_link_model(link_model))
     }
 
     /// Overrides the live-migration engine configuration.
@@ -159,9 +165,13 @@ impl RuntimeConfig {
     /// Selects what pre-copy does at the round cap without convergence
     /// (force the freeze, or roll the migration back), keeping the other
     /// engine knobs at their current values.
-    pub fn with_divergence_policy(mut self, policy: DivergencePolicy) -> Self {
-        self.migration.on_divergence = policy;
-        self
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `tuned(RuntimeTuning::default().with_divergence(..))` — \
+                one builder path for every experiment dimension"
+    )]
+    pub fn with_divergence_policy(self, policy: DivergencePolicy) -> Self {
+        self.tuned(&RuntimeTuning::default().with_divergence(policy))
     }
 
     /// Overrides the datapath batching knobs.
@@ -179,6 +189,122 @@ impl RuntimeConfig {
             BatchConfig::of(max_batch)
         };
         self
+    }
+
+    /// Applies an experiment tuning bundle: every `Some` dimension
+    /// overrides the corresponding knob, every `None` keeps the baseline.
+    /// The single builder path for experiment dimensions — new dimensions
+    /// extend [`RuntimeTuning`] instead of adding parallel `with_*` setters.
+    pub fn tuned(mut self, tuning: &RuntimeTuning) -> Self {
+        if let Some(link_model) = tuning.link_model {
+            self.pcie = self.pcie.with_link_model(link_model);
+        }
+        if let Some(mode) = tuning.migration_mode {
+            self.migration.mode = mode;
+        }
+        if let Some(policy) = tuning.divergence {
+            self.migration.on_divergence = policy;
+        }
+        if let Some(max_batch) = tuning.max_batch {
+            self = self.with_max_batch(max_batch);
+        }
+        self
+    }
+}
+
+/// The experiment dimensions of a [`RuntimeConfig`], bundled.
+///
+/// Every field is optional: `None` keeps the committed-baseline knob, `Some`
+/// overrides it — so a tuning serialises to exactly the dimensions it moves
+/// and an empty object is the baseline. This is the consolidation target for
+/// the historical one-setter-per-dimension sprawl (`with_link_model`,
+/// `with_divergence_policy`, ...): ablations build one `RuntimeTuning` and
+/// apply it with [`RuntimeConfig::tuned`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RuntimeTuning {
+    /// PCIe link throughput model (`None` = FIFO-fixed baseline).
+    pub link_model: Option<LinkModel>,
+    /// Live-migration transfer mode (`None` = stop-and-copy baseline).
+    pub migration_mode: Option<MigrationMode>,
+    /// Pre-copy divergence policy (`None` = force-freeze baseline).
+    pub divergence: Option<DivergencePolicy>,
+    /// Doorbell batch size (`None` = unbatched baseline).
+    pub max_batch: Option<usize>,
+}
+
+impl RuntimeTuning {
+    /// Overrides the PCIe link throughput model.
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = Some(link_model);
+        self
+    }
+
+    /// Overrides the live-migration transfer mode.
+    pub fn with_migration_mode(mut self, mode: MigrationMode) -> Self {
+        self.migration_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the pre-copy divergence policy.
+    pub fn with_divergence(mut self, policy: DivergencePolicy) -> Self {
+        self.divergence = Some(policy);
+        self
+    }
+
+    /// Overrides the doorbell batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+}
+
+// Hand-serialised: only the overridden dimensions appear as keys, and every
+// missing key deserialises to `None` (the baseline), so tunings written
+// before a dimension existed keep parsing (the vendored serde derive has no
+// `#[serde(default)]` and no `Option` support).
+impl Serialize for RuntimeTuning {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        if let Some(link_model) = &self.link_model {
+            map.insert("link_model".to_owned(), link_model.to_value());
+        }
+        if let Some(mode) = &self.migration_mode {
+            map.insert("migration_mode".to_owned(), mode.to_value());
+        }
+        if let Some(policy) = &self.divergence {
+            map.insert("divergence".to_owned(), policy.to_value());
+        }
+        if let Some(max_batch) = &self.max_batch {
+            map.insert("max_batch".to_owned(), max_batch.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for RuntimeTuning {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("RuntimeTuning must be an object")),
+        };
+        Ok(RuntimeTuning {
+            link_model: match map.get("link_model") {
+                Some(value) => Some(LinkModel::from_value(value)?),
+                None => None,
+            },
+            migration_mode: match map.get("migration_mode") {
+                Some(value) => Some(MigrationMode::from_value(value)?),
+                None => None,
+            },
+            divergence: match map.get("divergence") {
+                Some(value) => Some(DivergencePolicy::from_value(value)?),
+                None => None,
+            },
+            max_batch: match map.get("max_batch") {
+                Some(value) => Some(usize::from_value(value)?),
+                None => None,
+            },
+        })
     }
 }
 
@@ -240,6 +366,70 @@ mod tests {
     }
 
     #[test]
+    fn tuning_bundle_overrides_only_some_dimensions() {
+        let tuning = RuntimeTuning::default()
+            .with_link_model(LinkModel::fair_share())
+            .with_migration_mode(MigrationMode::PreCopy)
+            .with_divergence(DivergencePolicy::Abort)
+            .with_max_batch(8);
+        let config = RuntimeConfig::evaluation_default().tuned(&tuning);
+        assert_eq!(config.pcie.link_model, LinkModel::fair_share());
+        assert_eq!(config.migration.mode, MigrationMode::PreCopy);
+        assert_eq!(config.migration.on_divergence, DivergencePolicy::Abort);
+        assert_eq!(config.batch.max_batch, 8);
+
+        // An empty tuning is the identity: every knob keeps its baseline.
+        let baseline = RuntimeConfig::evaluation_default().tuned(&RuntimeTuning::default());
+        assert_eq!(baseline.pcie, RuntimeConfig::evaluation_default().pcie);
+        assert_eq!(baseline.batch, BatchConfig::unbatched());
+        assert_eq!(baseline.migration.mode, MigrationMode::StopAndCopy);
+    }
+
+    #[test]
+    fn tuning_serde_round_trips_and_defaults_missing_keys() {
+        let tuning = RuntimeTuning::default()
+            .with_link_model(LinkModel::fair_share())
+            .with_max_batch(4);
+        let value = tuning.to_value();
+        assert_eq!(RuntimeTuning::from_value(&value).unwrap(), tuning);
+        // Unset dimensions serialise to no key at all...
+        if let Value::Object(map) = &value {
+            assert!(map.get("migration_mode").is_none());
+            assert!(map.get("divergence").is_none());
+        } else {
+            panic!("tuning serialises to an object");
+        }
+        // ...and an empty object is the all-baseline tuning.
+        let empty = RuntimeTuning::from_value(&Value::Object(Map::new())).unwrap();
+        assert_eq!(empty, RuntimeTuning::default());
+        assert!(RuntimeTuning::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_are_thin_tuning_shims() {
+        // Pins the one-release compatibility shims: the old setters must
+        // produce exactly what the tuning path produces.
+        assert_eq!(
+            RuntimeConfig::evaluation_default()
+                .with_link_model(LinkModel::fair_share())
+                .pcie,
+            RuntimeConfig::evaluation_default()
+                .tuned(&RuntimeTuning::default().with_link_model(LinkModel::fair_share()))
+                .pcie
+        );
+        assert_eq!(
+            RuntimeConfig::evaluation_default()
+                .with_divergence_policy(DivergencePolicy::Abort)
+                .migration,
+            RuntimeConfig::evaluation_default()
+                .tuned(&RuntimeTuning::default().with_divergence(DivergencePolicy::Abort))
+                .migration
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn migration_builders_select_mode_and_knobs() {
         let config = RuntimeConfig::default();
         assert_eq!(config.migration.mode, MigrationMode::StopAndCopy);

@@ -46,7 +46,7 @@ pub mod migration;
 
 pub use capacity_probe::{probe_capacity, CapacityProbeResult};
 pub use chain::{ChainRuntime, PacketOutcome, RunOutcome};
-pub use config::{BatchConfig, RuntimeConfig};
+pub use config::{BatchConfig, RuntimeConfig, RuntimeTuning};
 pub use instance::VnfInstance;
 pub use migration::{
     state_transfer_size, DivergencePolicy, MigrationConfig, MigrationEstimate, MigrationMode,

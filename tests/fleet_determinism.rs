@@ -3,7 +3,7 @@
 //! under both live-migration transfer modes.
 
 use pam::core::StrategyKind;
-use pam::experiments::fleet::{FleetScenario, FleetScenarioKind};
+use pam::experiments::fleet::{FleetScenario, FleetScenarioKind, FleetTuning};
 use pam::runtime::MigrationMode;
 
 fn report_json(
@@ -12,7 +12,8 @@ fn report_json(
     servers: usize,
     mode: MigrationMode,
 ) -> String {
-    let scenario = FleetScenario::new(kind, servers).with_mode(mode);
+    let scenario =
+        FleetScenario::new(kind, servers).with_tuning(FleetTuning::default().with_mode(mode));
     let report = scenario.run(strategy).expect("scenario runs");
     serde_json::to_string(&report).expect("report serializes")
 }
@@ -39,9 +40,11 @@ fn every_scenario_replays_byte_identically_with_pre_copy() {
 fn every_scenario_replays_byte_identically_with_a_batched_datapath() {
     for kind in FleetScenarioKind::ALL {
         let run = || {
-            let scenario = FleetScenario::new(kind, 2)
-                .with_mode(MigrationMode::PreCopy)
-                .with_batch(8);
+            let scenario = FleetScenario::new(kind, 2).with_tuning(
+                FleetTuning::default()
+                    .with_mode(MigrationMode::PreCopy)
+                    .with_batch(8),
+            );
             let report = scenario.run(StrategyKind::Pam).expect("scenario runs");
             serde_json::to_string(&report).expect("report serializes")
         };
@@ -59,9 +62,11 @@ fn batched_pre_copy_runs_shard_byte_identically() {
     // batch=8 datapath — through the sharded runner: exactly the bytes the
     // sequential run produces.
     for kind in FleetScenarioKind::ALL {
-        let scenario = FleetScenario::new(kind, 2)
-            .with_mode(MigrationMode::PreCopy)
-            .with_batch(8);
+        let scenario = FleetScenario::new(kind, 2).with_tuning(
+            FleetTuning::default()
+                .with_mode(MigrationMode::PreCopy)
+                .with_batch(8),
+        );
         let sequential = scenario.run(StrategyKind::Pam).expect("scenario runs");
         let sharded = scenario
             .run_sharded(StrategyKind::Pam, 2)
@@ -80,13 +85,13 @@ fn batch_size_changes_the_report_but_batch_one_is_the_baseline() {
     let unbatched = FleetScenario::new(kind, 2);
     let baseline = serde_json::to_string(&unbatched.run(StrategyKind::Pam).unwrap()).unwrap();
     // batch=1 is the identity knob...
-    let batch1 = unbatched.with_batch(1);
+    let batch1 = unbatched.with_tuning(FleetTuning::default().with_batch(1));
     assert_eq!(
         baseline,
         serde_json::to_string(&batch1.run(StrategyKind::Pam).unwrap()).unwrap()
     );
     // ...and batch=8 is a genuinely different (but self-consistent) datapath.
-    let batch8 = unbatched.with_batch(8);
+    let batch8 = unbatched.with_tuning(FleetTuning::default().with_batch(8));
     assert_ne!(
         baseline,
         serde_json::to_string(&batch8.run(StrategyKind::Pam).unwrap()).unwrap()
