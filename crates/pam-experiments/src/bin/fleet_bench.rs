@@ -46,6 +46,18 @@
 //! fleet_bench --estimator-flows 1000000     # flow population per server of
 //!                                           # the estimator ablation
 //!                                           # (default 100000)
+//! fleet_bench --faults                      # also run the failure scenarios
+//!                                           # (crash mid-pre-copy, link-flap
+//!                                           # storm, correlated overload
+//!                                           # recovery) under their invariant
+//!                                           # audits; any violation fails the
+//!                                           # run. Faulted fleets run on
+//!                                           # --shards lanes and the cells
+//!                                           # are byte-identical at any
+//!                                           # shard/job count
+//! fleet_bench --faults-out faults.json      # write the fault cells as JSON
+//!                                           # (what CI's fault matrix diffs
+//!                                           # across shard counts)
 //! ```
 //!
 //! Every run uses fixed seeds (see `pam_experiments::fleet`), so two runs of
@@ -69,6 +81,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pam_core::StrategyKind;
+use pam_experiments::faults::{run_fault_scenarios, FaultCell};
 use pam_experiments::fleet::{
     run_estimator_ablation, run_fleet_matrix_opts, run_link_model_ablation, run_scale_curve,
     EstimatorCell, FleetBenchEntry, FleetBenchOutput, FleetScenario, FleetScenarioKind,
@@ -99,6 +112,8 @@ struct Args {
     link_models: bool,
     estimators: bool,
     estimator_flows: usize,
+    faults: bool,
+    faults_out: Option<String>,
 }
 
 /// The default worker-thread count: the machine's available parallelism.
@@ -142,6 +157,8 @@ fn parse_args() -> Result<Args, String> {
         link_models: false,
         estimators: false,
         estimator_flows: 100_000,
+        faults: false,
+        faults_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -170,6 +187,8 @@ fn parse_args() -> Result<Args, String> {
             "--scale-only" => args.scale_only = true,
             "--link-models" => args.link_models = true,
             "--estimators" => args.estimators = true,
+            "--faults" => args.faults = true,
+            "--faults-out" => args.faults_out = Some(value("--faults-out")?),
             "--estimator-flows" => {
                 args.estimator_flows = value("--estimator-flows")?
                     .parse::<usize>()
@@ -189,10 +208,19 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.scale_only && args.scale.is_empty() && !args.link_models && !args.estimators {
+    if args.scale_only
+        && args.scale.is_empty()
+        && !args.link_models
+        && !args.estimators
+        && !args.faults
+    {
         return Err(
-            "--scale-only needs --scale (or an ablation: --link-models / --estimators)".to_string(),
+            "--scale-only needs --scale (or an ablation: --link-models / --estimators / --faults)"
+                .to_string(),
         );
+    }
+    if args.faults_out.is_some() && !args.faults {
+        return Err("--faults-out needs --faults".to_string());
     }
     Ok(args)
 }
@@ -388,9 +416,12 @@ fn render_gate_markdown(
     );
     let _ = writeln!(
         md,
-        "| scenario | strategy | mode | batch | p50 µs | p99 µs | mean µs | delivered | drops | blackout µs | status |"
+        "| scenario | strategy | mode | batch | p50 µs | p99 µs | mean µs | delivered | drops | blackout µs | aborted | crash/rec | status |"
     );
-    let _ = writeln!(md, "|---|---|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    let _ = writeln!(
+        md,
+        "|---|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|"
+    );
     for cur in &current.results {
         let totals = &cur.report.totals;
         let drops = totals.drops_overload + totals.drops_policy + totals.drops_migration;
@@ -411,7 +442,7 @@ fn render_gate_markdown(
         };
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {} | {} | {:.1} | {} |",
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {} | {} | {:.1} | {} | {}/{} | {} |",
             cur.scenario,
             cur.strategy,
             cur.migration_mode,
@@ -422,7 +453,61 @@ fn render_gate_markdown(
             totals.delivered,
             drops,
             totals.blackout_us,
+            totals.aborted_migrations,
+            totals.server_crashes,
+            totals.server_recoveries,
             status
+        );
+    }
+    md
+}
+
+/// Renders the audited failure scenarios as a markdown table. Every row
+/// already passed its `FaultAudit` (a violation would have failed the run),
+/// so the table reports *how* the fleet survived: what was black-holed,
+/// aborted, re-steered and recovered, next to the fault-free reference.
+fn render_faults_markdown(cells: &[FaultCell]) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "## Failure scenarios — fault injection under invariant audits\n"
+    );
+    let _ = writeln!(
+        md,
+        "Each faulted run is audited against a fault-free reference: offered \
+         load conserved exactly (`injected + fault drops == reference \
+         injected`), per-server `injected == delivered + drops` (no lost \
+         acked state, no duplicate apply), blackout bounded, and recovery \
+         delivering strictly more than a never-recovered control run."
+    );
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "| scenario | servers | faults | injected | delivered | fault drops | crashes | recoveries | aborted | target crashes | re-steered | blackout µs | p99 µs | ref delivered | control delivered |"
+    );
+    let _ = writeln!(
+        md,
+        "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"
+    );
+    for cell in cells {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} | {} | {} |",
+            cell.scenario,
+            cell.servers,
+            cell.faults,
+            cell.injected,
+            cell.delivered,
+            cell.fault_drops,
+            cell.server_crashes,
+            cell.server_recoveries,
+            cell.aborted_migrations,
+            cell.target_crashes,
+            cell.resteered_packets,
+            cell.blackout_us,
+            cell.p99_us,
+            cell.reference_delivered,
+            cell.control_delivered
         );
     }
     md
@@ -662,7 +747,7 @@ fn main() -> ExitCode {
                 "usage: fleet_bench [--out PATH] [--check BASELINE] [--summary PATH] \
                  [--timings PATH] [--tolerance F] [--servers N] [--jobs N] [--shards N] \
                  [--scale N,N,..] [--scale-shards N,N,..] [--scale-only] [--link-models] \
-                 [--estimators] [--estimator-flows N]"
+                 [--estimators] [--estimator-flows N] [--faults] [--faults-out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -783,6 +868,50 @@ fn main() -> ExitCode {
         Vec::new()
     };
 
+    let fault_cells: Vec<FaultCell> = if args.faults {
+        match run_fault_scenarios(args.servers, args.shards) {
+            Ok(cells) => {
+                for cell in &cells {
+                    eprintln!(
+                        "fleet_bench: faults {} ({} servers, {} fault(s)): audit OK — \
+                         {} injected, {} delivered, {} black-holed, {} crash(es)/{} recover(ies), \
+                         {} aborted migration(s), {} TargetCrash abort(s)",
+                        cell.scenario,
+                        cell.servers,
+                        cell.faults,
+                        cell.injected,
+                        cell.delivered,
+                        cell.fault_drops,
+                        cell.server_crashes,
+                        cell.server_recoveries,
+                        cell.aborted_migrations,
+                        cell.target_crashes
+                    );
+                }
+                cells
+            }
+            Err(e) => {
+                eprintln!("fleet_bench: fault scenarios failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    if let Some(path) = &args.faults_out {
+        let json = match serde_json::to_string(&fault_cells) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("fleet_bench: serializing fault cells: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("fleet_bench: writing fault cells {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if let Some(path) = &args.timings {
         let json = match serde_json::to_string(&timings) {
             Ok(json) => json,
@@ -864,6 +993,10 @@ fn main() -> ExitCode {
         }
         if !estimator_cells.is_empty() {
             md.push_str(&render_estimators_markdown(&estimator_cells));
+            md.push('\n');
+        }
+        if !fault_cells.is_empty() {
+            md.push_str(&render_faults_markdown(&fault_cells));
             md.push('\n');
         }
         if output.is_some() {

@@ -11,6 +11,7 @@
 //! | A4 | Ablation — live-migration cost vs flow-table size | [`ablations::migration_cost_sweep`] |
 //! | F1 | Fleet — scenario × strategy matrix behind CI's perf gate | [`fleet::run_fleet_matrix`] |
 //! | F2 | Fleet — sharded scaling curve (byte-compared to sequential) | [`fleet::run_scale_curve`] |
+//! | F3 | Fleet — failure scenarios under invariant pins (crash mid-pre-copy, link-flap storm, correlated crash/recovery) | [`faults::run_fault_scenarios`] |
 //!
 //! Each experiment returns plain data rows plus a [`report`]-rendered text
 //! table whose layout mirrors the paper, so the benches' stdout doubles as
@@ -27,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod faults;
 pub mod figure2;
 pub mod fleet;
 pub mod report;
 pub mod scenarios;
 pub mod table1;
 
+pub use faults::{run_fault_scenarios, FaultAudit, FaultCell, FaultScenario, FaultScenarioKind};
 pub use figure2::{run_figure2, Figure2Config, Figure2Results, Figure2Row};
 pub use fleet::{
     run_estimator_ablation, run_fleet_matrix, run_scale_curve, EstimatorCell, FleetBenchEntry,

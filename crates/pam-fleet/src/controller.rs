@@ -28,12 +28,13 @@ use pam_protocol::{
     Action as HandoverAction, Event as HandoverEvent, HandoverState, Phase, ProtocolConfig,
 };
 use pam_runtime::state_transfer_size;
-use pam_sim::{EventQueue, LinkDirection, PcieLink, PcieLinkConfig};
-use pam_types::{ByteSize, Device, Gbps, Result, ServerId, SimDuration, SimTime};
+use pam_sim::{EventQueue, FaultKind, FaultPlan, LinkDirection, PcieLink, PcieLinkConfig};
+use pam_types::{ByteSize, Device, Gbps, PamError, Result, ServerId, SimDuration, SimTime};
 use serde::value::{Map, Value};
 use serde::{Deserialize, Error, Serialize};
 
 use crate::estimator::{EstimatorConfig, LoadEstimator};
+use crate::health::{NodeHealth, DEFAULT_WARMUP};
 use crate::node::{FleetServer, ServerSpec};
 use crate::report::{FleetReport, FleetTotals, ServerReport};
 use crate::steering::SteeringTable;
@@ -216,6 +217,13 @@ pub(crate) enum FleetEvent {
     Arrival(ServerId),
     /// Run the control ladder over every server.
     ControlTick,
+    /// Deliver fault-plan event `index` (crash, recovery, flap or swing).
+    Fault(usize),
+    /// A link flap on this server ends; recover its transport unless a
+    /// later, overlapping flap extended the outage past this instant.
+    LinkRestore(ServerId),
+    /// A capacity swing on this server ends; restore nominal bandwidth.
+    SwingRestore(ServerId),
 }
 
 /// N servers, the steering table and the decision-ladder controller.
@@ -239,6 +247,12 @@ pub struct Fleet {
     handoff_bytes: u64,
     handoff_us: f64,
     started: bool,
+    /// The fault schedule injected through the event queue, if any.
+    fault_plan: Option<FaultPlan>,
+    /// The controller's liveness view of every server.
+    pub(crate) health: NodeHealth,
+    /// Packets routed to a crashed server and black-holed at its ingress.
+    pub(crate) fault_drops: u64,
     /// When the last control tick ran — the start of the current
     /// synchronisation window for the sharded runner's safety assertion.
     pub(crate) last_tick: SimTime,
@@ -289,6 +303,9 @@ impl Fleet {
             handoff_bytes: 0,
             handoff_us: 0.0,
             started: false,
+            fault_plan: None,
+            health: NodeHealth::new(count, DEFAULT_WARMUP),
+            fault_drops: 0,
             last_tick: SimTime::ZERO,
             shard_stats: crate::shard::ShardRunStats::default(),
         })
@@ -343,6 +360,43 @@ impl Fleet {
         &self.shard_stats
     }
 
+    /// Installs a fault schedule. Must be called before the first
+    /// [`Fleet::run`]/[`crate::shard::run_sharded`] window (the fault events
+    /// are scheduled once, when the queue starts) and the plan must validate
+    /// against this fleet's server count.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<()> {
+        if self.started {
+            return Err(PamError::state(
+                "the fault plan must be installed before the fleet starts".to_owned(),
+            ));
+        }
+        plan.validate(self.servers.len())
+            .map_err(PamError::config)?;
+        self.fault_plan = Some(plan);
+        Ok(())
+    }
+
+    /// Overrides the warm-up guard recovered servers sit behind before the
+    /// ladder touches them again (default [`DEFAULT_WARMUP`]).
+    pub fn set_fault_warmup(&mut self, warmup: SimDuration) {
+        self.health.set_warmup(warmup);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The controller's liveness view of every server.
+    pub fn health(&self) -> &NodeHealth {
+        &self.health
+    }
+
+    /// Packets routed to a crashed server and black-holed at its ingress.
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
+    }
+
     /// Lazily schedules the initial arrivals (in server-id order) and the
     /// first control tick. Shared by [`Fleet::run`] and
     /// [`crate::shard::run_sharded`] so both start from the same queue state.
@@ -361,6 +415,11 @@ impl Fleet {
             SimTime::ZERO + self.config.orchestrator.poll_interval,
             FleetEvent::ControlTick,
         );
+        if let Some(plan) = &self.fault_plan {
+            for (index, event) in plan.events().iter().enumerate() {
+                self.events.schedule(event.at, FleetEvent::Fault(index));
+            }
+        }
     }
 
     /// Runs the fleet until `until`, interleaving every server's home
@@ -385,6 +444,9 @@ impl Fleet {
                         FleetEvent::ControlTick,
                     );
                 }
+                FleetEvent::Fault(index) => self.apply_fault(now, index),
+                FleetEvent::LinkRestore(server) => self.link_restore(now, server),
+                FleetEvent::SwingRestore(server) => self.swing_restore(now, server),
             }
         }
         for server in &mut self.servers {
@@ -401,13 +463,23 @@ impl Fleet {
                 "arrival event fires at the packet's send time"
             );
             let target = self.steering.route(home, packet.flow_id());
-            let server = &mut self.servers[target.index()];
-            server.note_arrival(packet.flow_id().raw(), packet.size());
-            #[cfg(test)]
-            server.log_submission(now, packet.flow_id().raw());
-            let runtime = server.runtime_mut();
-            runtime.drain_until(now);
-            runtime.submit(now, packet);
+            if !self.health.is_alive(target) {
+                // A crashed server black-holes its ingress: the packet is
+                // counted and dropped before admission, never submitted.
+                // (Between a crash and its failover spill taking effect
+                // there is no window — `crash_server` installs the spill at
+                // the crash instant — so this arm only fires when *every*
+                // candidate survivor was also down.)
+                self.fault_drops += 1;
+            } else {
+                let server = &mut self.servers[target.index()];
+                server.note_arrival(packet.flow_id().raw(), packet.size());
+                #[cfg(test)]
+                server.log_submission(now, packet.flow_id().raw());
+                let runtime = server.runtime_mut();
+                runtime.drain_until(now);
+                runtime.submit(now, packet);
+            }
         }
         if let Some(at) = self.servers[home.index()].next_arrival() {
             self.events.schedule(at, FleetEvent::Arrival(home));
@@ -429,9 +501,17 @@ impl Fleet {
             server.record_load(now, offered);
         }
 
-        // Phase 2 — decide and act per server.
+        // Phase 2 — decide and act per server. Crashed servers are skipped
+        // outright; recovered servers stay skipped until their warm-up guard
+        // expires, so the ladder never acts on a server whose windows are
+        // still cold. (Phase 1 stays uniform over *all* servers — draining a
+        // dead server's already-admitted packets is part of the black-hole
+        // semantics and keeps the sharded runner's windows identical.)
         for index in 0..self.servers.len() {
             let server_id = ServerId::from(index);
+            if !self.health.eligible(server_id, now) {
+                continue;
+            }
             let windowed = self.servers[index].windowed_load();
             let peak = self.servers[index].peak_load();
 
@@ -475,13 +555,15 @@ impl Fleet {
         let recipient = match self.steering.spill_of(home) {
             Some(spill) => {
                 let windowed = self.servers[spill.to.index()].windowed_load();
-                if self.nic_utilisation_at(spill.to, windowed) < self.config.recipient_headroom {
+                if self.health.eligible(spill.to, now)
+                    && self.nic_utilisation_at(spill.to, windowed) < self.config.recipient_headroom
+                {
                     Some(spill.to)
                 } else {
                     None
                 }
             }
-            None => self.pick_recipient(home),
+            None => self.pick_recipient(now, home),
         };
         let Some(recipient) = recipient else {
             self.scale_out_blocked += 1;
@@ -555,17 +637,163 @@ impl Fleet {
         FleetAction::ScaleIn(fraction)
     }
 
-    /// The least-loaded server (by windowed mean) that is not `home`, has
-    /// NIC headroom at its windowed load, is not itself spilling, and is not
-    /// already the recipient of another server's spill. The last condition
-    /// matters within a single tick: the estimator lags spill decisions by up
-    /// to a window, so without it every overloaded home would pick the same
-    /// idle server before any re-steered packet shows up in its samples.
-    fn pick_recipient(&self, home: ServerId) -> Option<ServerId> {
+    /// Delivers fault-plan event `index`. Every runtime is drained to `now`
+    /// first — exactly what the sharded runner's window barrier does — so
+    /// the fault lands on identical data-plane state in both drivers.
+    pub(crate) fn apply_fault(&mut self, now: SimTime, index: usize) {
+        let Some(event) = self
+            .fault_plan
+            .as_ref()
+            .and_then(|plan| plan.events().get(index))
+            .copied()
+        else {
+            debug_assert!(false, "fault event {index} scheduled but not in the plan");
+            return;
+        };
+        debug_assert_eq!(event.at, now, "fault events fire at their plan time");
+        self.drain_all(now);
+        match event.kind {
+            FaultKind::ServerCrash { server } => self.crash_server(now, server),
+            FaultKind::ServerRecover { server } => self.recover_server(now, server),
+            FaultKind::LinkFlap { server, down_for } => {
+                self.servers[server.index()]
+                    .runtime_mut()
+                    .link_flap(now, down_for);
+                self.events
+                    .schedule(now + down_for, FleetEvent::LinkRestore(server));
+            }
+            FaultKind::CapacitySwing {
+                server,
+                factor,
+                period,
+            } => {
+                self.servers[server.index()]
+                    .runtime_mut()
+                    .link_set_capacity_factor(now, factor);
+                self.events
+                    .schedule(now + period, FleetEvent::SwingRestore(server));
+            }
+        }
+    }
+
+    /// Ends a link flap on `server`, unless a later overlapping flap pushed
+    /// the outage past this restore — every flap schedules its own restore,
+    /// and only the one matching the final `down_until` may recover (an
+    /// early `recover_transport` would *shorten* the extended outage).
+    pub(crate) fn link_restore(&mut self, now: SimTime, server: ServerId) {
+        let runtime = self.servers[server.index()].runtime_mut();
+        runtime.drain_until(now);
+        if runtime.link_down_until() <= now {
+            runtime.link_recover(now);
+        }
+    }
+
+    /// Ends a capacity swing on `server`, restoring nominal bandwidth.
+    pub(crate) fn swing_restore(&mut self, now: SimTime, server: ServerId) {
+        let runtime = self.servers[server.index()].runtime_mut();
+        runtime.drain_until(now);
+        runtime.link_set_capacity_factor(now, 1.0);
+    }
+
+    /// Drains every runtime's data plane to `now`. Idempotent — the sharded
+    /// runner's windows and the sequential driver's per-arrival drains reach
+    /// the same state in any interleaving.
+    fn drain_all(&mut self, now: SimTime) {
+        for server in &mut self.servers {
+            server.runtime_mut().drain_until(now);
+        }
+    }
+
+    /// Crashes `server`: aborts any in-flight pre-copy through the
+    /// protocol's `TargetCrash` arc, black-holes its ingress, drains every
+    /// steering entry pointing *at* it back home, and fails its own flow
+    /// population over to the least-loaded survivor. Already-admitted
+    /// packets still complete (the crash is an ingress black-hole, so no
+    /// acked per-flow state is ever lost).
+    fn crash_server(&mut self, now: SimTime, crashed: ServerId) {
+        if !self.health.is_alive(crashed) {
+            return;
+        }
+        {
+            let runtime = self.servers[crashed.index()].runtime_mut();
+            if runtime.pre_copy_in_progress() {
+                // The staged target dies with the box: Snapshot/DirtyRound +
+                // TargetCrash → Aborted, DiscardTarget, never ResumeSource.
+                let _ = runtime.crash_target(now);
+            }
+        }
+        self.health.crash(crashed);
+        // Spills whose *recipient* just died return home: serving re-steered
+        // flows at an overloaded home beats black-holing them. A home that is
+        // itself down needs a fresh survivor instead.
+        let mut orphaned = Vec::new();
+        for index in 0..self.servers.len() {
+            let home = ServerId::from(index);
+            if self
+                .steering
+                .spill_of(home)
+                .is_some_and(|spill| spill.to == crashed)
+            {
+                self.steering.clear_spill(home);
+                if !self.health.is_alive(home) {
+                    orphaned.push(home);
+                }
+            }
+        }
+        // The crashed server's own ladder spill is superseded by failover.
+        self.steering.clear_spill(crashed);
+        for home in std::iter::once(crashed).chain(orphaned) {
+            if let Some(survivor) = self.pick_failover(home) {
+                self.steering.force_spill(home, survivor);
+            }
+        }
+    }
+
+    /// Re-admits `server` behind the warm-up guard. Its forced failover
+    /// spill is *not* torn down here: the ladder's ordinary scale-in walks
+    /// the flows home step by step once the guard expires, so a recovered
+    /// server is re-loaded gradually instead of all at once.
+    fn recover_server(&mut self, now: SimTime, server: ServerId) {
+        if !self.health.recover(server, now) {
+            return;
+        }
+        // A re-admitted server comes back with clean transport: no pre-crash
+        // FIFO watermark, no leftover outage (see the recovered-link
+        // regression tests on `PcieLink::recover_transport`).
+        self.servers[server.index()].runtime_mut().link_recover(now);
+    }
+
+    /// The least-loaded *alive* server other than `home` — failover is
+    /// mandatory, so unlike [`Fleet::pick_recipient`] there is no headroom
+    /// bar and warming servers qualify. Ties break to the lowest id.
+    fn pick_failover(&self, home: ServerId) -> Option<ServerId> {
+        let mut best: Option<(ServerId, f64)> = None;
+        for (index, server) in self.servers.iter().enumerate() {
+            let candidate = ServerId::from(index);
+            if candidate == home || !self.health.is_alive(candidate) {
+                continue;
+            }
+            let windowed = server.windowed_load().as_gbps();
+            if best.map_or(true, |(_, load)| windowed < load) {
+                best = Some((candidate, windowed));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+
+    /// The least-loaded server (by windowed mean) that is not `home`, is
+    /// alive and past any warm-up guard, has NIC headroom at its windowed
+    /// load, is not itself spilling, and is not already the recipient of
+    /// another server's spill. The last condition matters within a single
+    /// tick: the estimator lags spill decisions by up to a window, so
+    /// without it every overloaded home would pick the same idle server
+    /// before any re-steered packet shows up in its samples.
+    fn pick_recipient(&self, now: SimTime, home: ServerId) -> Option<ServerId> {
         let mut best: Option<(ServerId, f64)> = None;
         for (index, server) in self.servers.iter().enumerate() {
             let candidate = ServerId::from(index);
             if candidate == home
+                || !self.health.eligible(candidate, now)
                 || self.steering.fraction_of(candidate) > 0.0
                 || self.steering.is_recipient(candidate)
             {
@@ -612,6 +840,9 @@ impl Fleet {
             handoff_flows: self.handoff_flows,
             handoff_bytes: self.handoff_bytes,
             handoff_us: self.handoff_us,
+            server_crashes: self.health.total_crashes(),
+            server_recoveries: self.health.total_recoveries(),
+            fault_drops: self.fault_drops,
             ..FleetTotals::default()
         };
         let mut servers = Vec::with_capacity(self.servers.len());
@@ -631,6 +862,7 @@ impl Fleet {
             totals.drops_migration += outcome.drops_migration;
             totals.migrations += outcome.migrations.len() as u64;
             totals.blackout_us += blackout_us;
+            totals.aborted_migrations += outcome.aborted_migrations;
             servers.push(ServerReport {
                 server: server.id().raw(),
                 injected: outcome.injected,
@@ -645,6 +877,9 @@ impl Fleet {
                 migrations: outcome.migrations.len() as u64,
                 blackout_us,
                 spill_fraction: self.steering.fraction_of(server.id()),
+                aborted_migrations: outcome.aborted_migrations,
+                crashes: self.health.crashes(server.id()),
+                recoveries: self.health.recoveries(server.id()),
             });
         }
         totals.p50_us = merged.p50().as_micros_f64();
@@ -875,6 +1110,266 @@ mod tests {
             serde_json::to_string(&whole.report()).unwrap(),
             serde_json::to_string(&split.report()).unwrap(),
             "split runs replay identically"
+        );
+    }
+
+    use pam_sim::{FaultEvent, FaultKind, FaultPlan};
+
+    fn crash_recover_plan(server: u64, crash_ms: u64, recover_ms: u64) -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at: SimTime::from_millis(crash_ms),
+                kind: FaultKind::ServerCrash {
+                    server: ServerId::new(server),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(recover_ms),
+                kind: FaultKind::ServerRecover {
+                    server: ServerId::new(server),
+                },
+            },
+        ])
+    }
+
+    #[test]
+    fn fault_plan_must_be_installed_before_start_and_must_validate() {
+        let mut fleet = hopeless_fleet(StrategyKind::Pam);
+        // Out-of-range server index is rejected.
+        assert!(fleet.set_fault_plan(crash_recover_plan(7, 1, 2)).is_err());
+        assert!(fleet.set_fault_plan(crash_recover_plan(0, 5, 15)).is_ok());
+        fleet.run(SimTime::from_millis(1));
+        // Too late: the queue already started.
+        assert!(fleet.set_fault_plan(crash_recover_plan(1, 5, 15)).is_err());
+    }
+
+    #[test]
+    fn crash_black_holes_ingress_and_fails_over_to_the_survivor() {
+        // Server 0 crashes at 5 ms mid-burst and recovers at 15 ms. Its
+        // flows must fail over to server 1 at the crash instant (no drop
+        // window), and the ladder must walk them home after the warm-up.
+        let mut fleet = hopeless_fleet(StrategyKind::Pam);
+        fleet.set_fault_plan(crash_recover_plan(0, 5, 15)).unwrap();
+        fleet.run(SimTime::from_millis(40));
+        let report = fleet.report();
+        assert_eq!(report.totals.server_crashes, 1);
+        assert_eq!(report.totals.server_recoveries, 1);
+        assert_eq!(report.servers[0].crashes, 1);
+        assert_eq!(report.servers[0].recoveries, 1);
+        assert_eq!(report.servers[1].crashes, 0);
+        assert_eq!(
+            report.totals.fault_drops, 0,
+            "the survivor absorbed every re-steered packet"
+        );
+        assert!(
+            report.totals.resteered_packets > 0,
+            "failover actually moved traffic"
+        );
+        // After recovery + warm-up the scale-in ladder walked the forced
+        // spill back down (run long enough for the cooldown-spaced steps).
+        assert_eq!(fleet.steering().fraction_of(ServerId::new(0)), 0.0);
+        assert!(
+            fleet.scale_ins() >= 4,
+            "a full fraction walks home in spill_step steps"
+        );
+        // Nothing already admitted was lost: per-server packet conservation
+        // holds on both servers after the final drain.
+        for server in &report.servers {
+            assert_eq!(
+                server.injected,
+                server.delivered
+                    + server.drops_overload
+                    + server.drops_policy
+                    + server.drops_migration,
+                "server {} leaked admitted packets",
+                server.server
+            );
+        }
+    }
+
+    #[test]
+    fn crash_with_no_survivor_black_holes_packets_until_recovery() {
+        // A single-server fleet has nowhere to fail over: packets routed to
+        // the dead server are counted as fault drops, and service resumes
+        // after recovery.
+        let build = || {
+            Fleet::new(
+                vec![spec_with(
+                    TrafficSchedule::constant(Gbps::new(0.5), SimDuration::from_millis(30)),
+                    11,
+                )],
+                FleetConfig::with_strategy(StrategyKind::Pam),
+            )
+            .unwrap()
+        };
+        let mut fleet = build();
+        fleet.set_fault_plan(crash_recover_plan(0, 5, 15)).unwrap();
+        fleet.run(SimTime::from_millis(40));
+        let report = fleet.report();
+        assert!(report.totals.fault_drops > 0, "the black hole was real");
+        assert_eq!(report.totals.server_crashes, 1);
+        // Packets admitted before the crash all completed (ingress
+        // black-hole, not state loss)...
+        assert_eq!(
+            report.totals.injected,
+            report.totals.delivered
+                + report.totals.drops_overload
+                + report.totals.drops_policy
+                + report.totals.drops_migration
+        );
+        // ...and recovery restored service: admissions well beyond what a
+        // crash-with-no-recovery run of the same scenario ever admits.
+        let mut unrecovered = build();
+        unrecovered
+            .set_fault_plan(FaultPlan::new(vec![FaultEvent {
+                at: SimTime::from_millis(5),
+                kind: FaultKind::ServerCrash {
+                    server: ServerId::new(0),
+                },
+            }]))
+            .unwrap();
+        unrecovered.run(SimTime::from_millis(40));
+        assert!(
+            report.totals.injected > unrecovered.report().totals.injected * 3,
+            "recovery must re-admit traffic (got {} vs {} unrecovered)",
+            report.totals.injected,
+            unrecovered.report().totals.injected
+        );
+    }
+
+    #[test]
+    fn crash_aborts_an_in_flight_precopy_through_the_target_crash_arc() {
+        // Find a deterministic instant where server 0 has a pre-copy in
+        // flight (the moderate overload triggers a local PAM migration),
+        // then replay the same fleet with a crash pinned to that instant.
+        let schedule = || {
+            TrafficSchedule::step_overload(
+                Gbps::new(1.5),
+                SimDuration::from_millis(6),
+                Gbps::new(2.2),
+                SimDuration::from_millis(14),
+            )
+        };
+        // The evaluation default migrates stop-and-copy (atomic, nothing to
+        // crash into); run this fleet's migrations in pre-copy mode so a
+        // staged target exists mid-flight.
+        let build = || {
+            use pam_runtime::{MigrationConfig, MigrationMode};
+            let mut spec = spec_with(schedule(), 21);
+            spec.runtime = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+                mode: MigrationMode::PreCopy,
+                ..MigrationConfig::default()
+            });
+            Fleet::new(vec![spec], FleetConfig::with_strategy(StrategyKind::Pam)).unwrap()
+        };
+        // Pre-copy rounds complete in tens of microseconds, so probe finely.
+        let mut probe = build();
+        let mut at = SimTime::ZERO;
+        while !probe.servers()[0].runtime().pre_copy_in_progress() {
+            at += SimDuration::from_micros(5);
+            assert!(
+                at <= SimTime::from_millis(20),
+                "no pre-copy migration ever started"
+            );
+            probe.run(at);
+        }
+        // The migration may have been started by the control tick at `at`
+        // itself, and a fault scheduled at `at` would sort *before* that
+        // tick (fault events are queued at start). Crash strictly after the
+        // probe point instead, checking the pre-copy is still in flight.
+        let crash_at = at + SimDuration::from_micros(1);
+        probe.run(crash_at);
+        assert!(
+            probe.servers()[0].runtime().pre_copy_in_progress(),
+            "the staged migration must still be in flight at the crash instant"
+        );
+        let mut fleet = build();
+        fleet
+            .set_fault_plan(FaultPlan::new(vec![FaultEvent {
+                at: crash_at,
+                kind: FaultKind::ServerCrash {
+                    server: ServerId::new(0),
+                },
+            }]))
+            .unwrap();
+        fleet.run(SimTime::from_millis(20));
+        assert_eq!(
+            fleet.servers()[0].runtime().target_crashes(),
+            1,
+            "the crash aborted the staged migration via TargetCrash"
+        );
+        let report = fleet.report();
+        assert!(report.totals.aborted_migrations >= 1);
+        assert_eq!(
+            report.servers[0].aborted_migrations,
+            report.totals.aborted_migrations
+        );
+        // The abort lost nothing that was admitted: conservation holds.
+        assert_eq!(
+            report.totals.injected,
+            report.totals.delivered
+                + report.totals.drops_overload
+                + report.totals.drops_policy
+                + report.totals.drops_migration
+        );
+    }
+
+    #[test]
+    fn link_faults_delay_but_never_lose_traffic_and_replay_identically() {
+        let plan = || {
+            FaultPlan::new(vec![
+                FaultEvent {
+                    at: SimTime::from_millis(3),
+                    kind: FaultKind::LinkFlap {
+                        server: ServerId::new(0),
+                        down_for: SimDuration::from_micros(600),
+                    },
+                },
+                // Overlapping flap: extends the outage; only the later
+                // restore may recover the link.
+                FaultEvent {
+                    at: SimTime::from_micros(3_300),
+                    kind: FaultKind::LinkFlap {
+                        server: ServerId::new(0),
+                        down_for: SimDuration::from_micros(800),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_millis(8),
+                    kind: FaultKind::CapacitySwing {
+                        server: ServerId::new(1),
+                        factor: 0.4,
+                        period: SimDuration::from_millis(2),
+                    },
+                },
+            ])
+        };
+        // Traffic ends at 30 ms; run past it so in-flight packets drain
+        // before asserting conservation.
+        let mut whole = hopeless_fleet(StrategyKind::Pam);
+        whole.set_fault_plan(plan()).unwrap();
+        whole.run(SimTime::from_millis(32));
+        let report = whole.report();
+        assert_eq!(report.totals.server_crashes, 0);
+        assert_eq!(report.totals.fault_drops, 0);
+        assert_eq!(
+            report.totals.injected,
+            report.totals.delivered
+                + report.totals.drops_overload
+                + report.totals.drops_policy
+                + report.totals.drops_migration,
+            "link faults delay packets, they never lose them"
+        );
+        // Resumable mid-outage: splitting the run across the flap window
+        // replays byte-identically.
+        let mut split = hopeless_fleet(StrategyKind::Pam);
+        split.set_fault_plan(plan()).unwrap();
+        split.run(SimTime::from_micros(3_500));
+        split.run(SimTime::from_millis(32));
+        assert_eq!(
+            serde_json::to_string(&whole.report()).unwrap(),
+            serde_json::to_string(&split.report()).unwrap(),
+            "split faulted runs replay identically"
         );
     }
 }

@@ -14,6 +14,10 @@
 //!   [`pam_sim::EventQueue`]**, with a controller walking the full decision
 //!   ladder every tick: local PAM migration → cross-server scale-out →
 //!   scale-in when the windowed load recedes;
+//! * [`NodeHealth`] — the controller's liveness view under fault injection:
+//!   crashed servers black-hole their ingress and drain their steering
+//!   entries to survivors; recovered servers re-admit behind a warm-up
+//!   guard (see [`pam_sim::FaultPlan`] for the fault schedule itself);
 //! * [`FleetReport`] — the machine-readable outcome (`fleet_bench` dumps it
 //!   as JSON and CI gates on it).
 
@@ -29,6 +33,7 @@
 
 pub mod controller;
 pub mod estimator;
+pub mod health;
 pub mod node;
 pub mod report;
 pub mod shard;
@@ -37,6 +42,7 @@ pub mod steering;
 
 pub use controller::{Fleet, FleetAction, FleetConfig, FleetDecisionRecord};
 pub use estimator::{EstimatorConfig, EstimatorKind, LoadEstimator};
+pub use health::{NodeHealth, DEFAULT_WARMUP};
 pub use node::{FleetServer, ServerSpec};
 pub use report::{FleetReport, FleetTotals, ServerReport};
 pub use shard::{ShardLane, ShardRunStats};

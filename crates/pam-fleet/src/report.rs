@@ -1,14 +1,38 @@
 //! Machine-readable fleet run reports.
 //!
-//! Everything here derives `Serialize`/`Deserialize` and holds only scalars
-//! and `Vec`s (never maps), so `serde_json::to_string` of the same run is
-//! byte-identical across replays — the property both the determinism tests
-//! and the CI perf gate rely on.
+//! Everything here holds only scalars and `Vec`s (never maps), so
+//! `serde_json::to_string` of the same run is byte-identical across replays
+//! — the property both the determinism tests and the CI perf gate rely on.
+//!
+//! `Serialize` is derived (fields are emitted in declaration order; new
+//! fields are appended at the end), but `Deserialize` for [`ServerReport`]
+//! and [`FleetTotals`] is hand-written: the vendored serde derive has no
+//! `#[serde(default)]`, and the CI perf gate must keep parsing baselines
+//! committed before the fault-injection fields existed. Fields added since
+//! default to zero when absent.
 
-use serde::{Deserialize, Serialize};
+use serde::value::{Map, Value};
+use serde::{Deserialize, Error, Serialize};
+
+/// Extracts a required field, failing with the field name when absent.
+fn required<T: Deserialize>(map: &Map, key: &str) -> Result<T, Error> {
+    match map.get(key) {
+        Some(value) => T::from_value(value),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Extracts a field added after the first committed baselines, defaulting
+/// when absent so old reports keep parsing.
+fn defaulted<T: Deserialize + Default>(map: &Map, key: &str) -> Result<T, Error> {
+    match map.get(key) {
+        Some(value) => T::from_value(value),
+        None => Ok(T::default()),
+    }
+}
 
 /// Per-server outcome of a fleet run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ServerReport {
     /// The server's fleet index.
     pub server: u64,
@@ -36,10 +60,44 @@ pub struct ServerReport {
     pub blackout_us: f64,
     /// Fraction of this server's flows spilled elsewhere at run end.
     pub spill_fraction: f64,
+    /// Migrations rolled back before handover on this server (includes
+    /// fault-injected target crashes).
+    pub aborted_migrations: u64,
+    /// Times this server crashed under the fault plan.
+    pub crashes: u64,
+    /// Times this server recovered and re-admitted behind the warm-up guard.
+    pub recoveries: u64,
+}
+
+impl Deserialize for ServerReport {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("ServerReport must be an object")),
+        };
+        Ok(ServerReport {
+            server: required(map, "server")?,
+            injected: required(map, "injected")?,
+            delivered: required(map, "delivered")?,
+            drops_overload: required(map, "drops_overload")?,
+            drops_policy: required(map, "drops_policy")?,
+            drops_migration: required(map, "drops_migration")?,
+            p50_us: required(map, "p50_us")?,
+            p99_us: required(map, "p99_us")?,
+            mean_us: required(map, "mean_us")?,
+            throughput_gbps: required(map, "throughput_gbps")?,
+            migrations: required(map, "migrations")?,
+            blackout_us: required(map, "blackout_us")?,
+            spill_fraction: required(map, "spill_fraction")?,
+            aborted_migrations: defaulted(map, "aborted_migrations")?,
+            crashes: defaulted(map, "crashes")?,
+            recoveries: defaulted(map, "recoveries")?,
+        })
+    }
 }
 
 /// Fleet-wide aggregates (latency quantiles merged across all servers).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct FleetTotals {
     /// Packets injected fleet-wide.
     pub injected: u64,
@@ -77,6 +135,48 @@ pub struct FleetTotals {
     pub handoff_bytes: u64,
     /// Total inter-server state-transfer time (non-blocking), microseconds.
     pub handoff_us: f64,
+    /// Migrations rolled back before handover fleet-wide (includes
+    /// fault-injected target crashes).
+    pub aborted_migrations: u64,
+    /// Server crashes injected by the fault plan.
+    pub server_crashes: u64,
+    /// Server recoveries completed under the fault plan.
+    pub server_recoveries: u64,
+    /// Packets black-holed at a crashed server's ingress.
+    pub fault_drops: u64,
+}
+
+impl Deserialize for FleetTotals {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let map = match value {
+            Value::Object(map) => map,
+            _ => return Err(Error::custom("FleetTotals must be an object")),
+        };
+        Ok(FleetTotals {
+            injected: required(map, "injected")?,
+            delivered: required(map, "delivered")?,
+            drops_overload: required(map, "drops_overload")?,
+            drops_policy: required(map, "drops_policy")?,
+            drops_migration: required(map, "drops_migration")?,
+            p50_us: required(map, "p50_us")?,
+            p99_us: required(map, "p99_us")?,
+            mean_us: required(map, "mean_us")?,
+            migrations: required(map, "migrations")?,
+            scale_outs: required(map, "scale_outs")?,
+            scale_ins: required(map, "scale_ins")?,
+            scale_out_blocked: required(map, "scale_out_blocked")?,
+            blackout_us: required(map, "blackout_us")?,
+            resteered_packets: required(map, "resteered_packets")?,
+            control_steps: required(map, "control_steps")?,
+            handoff_flows: required(map, "handoff_flows")?,
+            handoff_bytes: required(map, "handoff_bytes")?,
+            handoff_us: required(map, "handoff_us")?,
+            aborted_migrations: defaulted(map, "aborted_migrations")?,
+            server_crashes: defaulted(map, "server_crashes")?,
+            server_recoveries: defaulted(map, "server_recoveries")?,
+            fault_drops: defaulted(map, "fault_drops")?,
+        })
+    }
 }
 
 /// The full report of one fleet run.
@@ -103,24 +203,31 @@ impl FleetReport {
 mod tests {
     use super::*;
 
+    fn sample_server() -> ServerReport {
+        ServerReport {
+            server: 0,
+            injected: 100,
+            delivered: 90,
+            drops_overload: 10,
+            drops_policy: 0,
+            drops_migration: 0,
+            p50_us: 12.5,
+            p99_us: 80.0,
+            mean_us: 20.0,
+            throughput_gbps: 1.5,
+            migrations: 1,
+            blackout_us: 700.0,
+            spill_fraction: 0.25,
+            aborted_migrations: 2,
+            crashes: 1,
+            recoveries: 1,
+        }
+    }
+
     #[test]
     fn report_round_trips_through_json() {
         let report = FleetReport {
-            servers: vec![ServerReport {
-                server: 0,
-                injected: 100,
-                delivered: 90,
-                drops_overload: 10,
-                drops_policy: 0,
-                drops_migration: 0,
-                p50_us: 12.5,
-                p99_us: 80.0,
-                mean_us: 20.0,
-                throughput_gbps: 1.5,
-                migrations: 1,
-                blackout_us: 700.0,
-                spill_fraction: 0.25,
-            }],
+            servers: vec![sample_server()],
             totals: FleetTotals {
                 injected: 100,
                 delivered: 90,
@@ -133,6 +240,10 @@ mod tests {
                 blackout_us: 700.0,
                 resteered_packets: 20,
                 control_steps: 8,
+                aborted_migrations: 2,
+                server_crashes: 1,
+                server_recoveries: 1,
+                fault_drops: 7,
                 ..FleetTotals::default()
             },
         };
@@ -140,6 +251,52 @@ mod tests {
         let back: FleetReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!((report.delivery_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    /// The serialised object with the named keys stripped — stands in for a
+    /// report written before those fields existed.
+    fn without(value: &Value, keys: &[&str]) -> Value {
+        let Value::Object(map) = value else {
+            panic!("reports serialise as objects");
+        };
+        Value::Object(Map::from_pairs(
+            map.iter()
+                .filter(|(k, _)| !keys.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn pre_fault_reports_parse_with_zero_fault_counters() {
+        // A report serialised before the fault-injection fields existed
+        // (the committed CI baseline) must keep deserialising, with the new
+        // counters defaulting to zero.
+        let server = without(
+            &sample_server().to_value(),
+            &["aborted_migrations", "crashes", "recoveries"],
+        );
+        let parsed = ServerReport::from_value(&server).unwrap();
+        assert_eq!(parsed.aborted_migrations, 0);
+        assert_eq!(parsed.crashes, 0);
+        assert_eq!(parsed.recoveries, 0);
+
+        let totals = without(
+            &FleetTotals::default().to_value(),
+            &[
+                "aborted_migrations",
+                "server_crashes",
+                "server_recoveries",
+                "fault_drops",
+            ],
+        );
+        let parsed = FleetTotals::from_value(&totals).unwrap();
+        assert_eq!(parsed.server_crashes, 0);
+        assert_eq!(parsed.fault_drops, 0);
+
+        // A *missing* pre-existing field is still an error.
+        let broken = without(&server, &["injected"]);
+        assert!(ServerReport::from_value(&broken).is_err());
     }
 
     #[test]

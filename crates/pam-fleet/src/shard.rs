@@ -55,6 +55,7 @@ use pam_types::{ServerId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::controller::{Fleet, FleetEvent};
+use crate::health::NodeHealth;
 use crate::node::FleetServer;
 use crate::steering::{SteeringStats, SteeringTable};
 
@@ -99,19 +100,22 @@ struct GroupJob<'a> {
 }
 
 /// Executes one lane's groups sequentially: replays each group's sequenced
-/// arrivals against the window-frozen steering table, then drains every
-/// member runtime to the window end (the barrier). Returns the lane's
-/// steering tally, packets submitted, runtime events scheduled and busy
-/// wall-clock milliseconds.
+/// arrivals against the window-frozen steering table (packets whose target
+/// is crashed are black-holed, exactly as the sequential driver does), then
+/// drains every member runtime to the window end (the barrier). Returns the
+/// lane's steering tally, packets submitted, runtime events scheduled,
+/// fault drops and busy wall-clock milliseconds.
 fn run_lane(
     jobs: &mut [GroupJob<'_>],
     steering: &SteeringTable,
+    health: &NodeHealth,
     end: SimTime,
-) -> (SteeringStats, u64, u64, f64) {
+) -> (SteeringStats, u64, u64, u64, f64) {
     let clock = Instant::now();
     let mut stats = SteeringStats::default();
     let mut packets = 0u64;
     let mut events = 0u64;
+    let mut fault_drops = 0u64;
     for job in jobs.iter_mut() {
         let before: u64 = job
             .members
@@ -129,6 +133,13 @@ fn run_lane(
                 unreachable!("the sequencer parked one packet per order entry");
             };
             let target = steering.route_into(home, packet.flow_id(), &mut stats);
+            if !health.is_alive(target) {
+                // The target crashed and no survivor could take its flows:
+                // count the black-holed packet and never submit it, matching
+                // the sequential driver's `on_arrival`.
+                fault_drops += 1;
+                continue;
+            }
             let Ok(target_position) = job
                 .members
                 .binary_search_by_key(&target.index(), |(node, _)| *node)
@@ -155,7 +166,7 @@ fn run_lane(
         events += after - before;
     }
     let busy_ms = clock.elapsed().as_secs_f64() * 1e3;
-    (stats, packets, events, busy_ms)
+    (stats, packets, events, fault_drops, busy_ms)
 }
 
 impl Fleet {
@@ -221,6 +232,33 @@ impl Fleet {
                     orders.clear();
                     orders.resize(plan.groups().len(), Vec::new());
                 }
+                // Fault-plan events are window barriers, exactly like the
+                // control tick: everything sequenced so far executes against
+                // the pre-fault state, the fault (or restore) applies on the
+                // caller's thread, and the groups are re-planned — a crash
+                // re-steers flows (failover spill), so the old plan's groups
+                // may no longer co-schedule the right servers.
+                FleetEvent::Fault(index) => {
+                    self.execute_window(&plan, &orders, now, shards);
+                    self.apply_fault(now, index);
+                    plan = self.shard_plan(interval);
+                    orders.clear();
+                    orders.resize(plan.groups().len(), Vec::new());
+                }
+                FleetEvent::LinkRestore(server) => {
+                    self.execute_window(&plan, &orders, now, shards);
+                    self.link_restore(now, server);
+                    plan = self.shard_plan(interval);
+                    orders.clear();
+                    orders.resize(plan.groups().len(), Vec::new());
+                }
+                FleetEvent::SwingRestore(server) => {
+                    self.execute_window(&plan, &orders, now, shards);
+                    self.swing_restore(now, server);
+                    plan = self.shard_plan(interval);
+                    orders.clear();
+                    orders.resize(plan.groups().len(), Vec::new());
+                }
             }
         }
         for server in &mut self.servers {
@@ -272,6 +310,7 @@ impl Fleet {
         self.shard_stats.windows += 1;
 
         let steering = &self.steering;
+        let health = &self.health;
         let mut slots: Vec<Option<&mut FleetServer>> = self.servers.iter_mut().map(Some).collect();
         let mut lane_jobs: Vec<Vec<GroupJob<'_>>> = plan
             .lanes(shards)
@@ -295,16 +334,16 @@ impl Fleet {
             .collect();
 
         let window_clock = Instant::now();
-        let results: Vec<(SteeringStats, u64, u64, f64)> = if lane_jobs.len() <= 1 {
+        let results: Vec<(SteeringStats, u64, u64, u64, f64)> = if lane_jobs.len() <= 1 {
             lane_jobs
                 .iter_mut()
-                .map(|jobs| run_lane(jobs, steering, end))
+                .map(|jobs| run_lane(jobs, steering, health, end))
                 .collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = lane_jobs
                     .into_iter()
-                    .map(|mut jobs| scope.spawn(move || run_lane(&mut jobs, steering, end)))
+                    .map(|mut jobs| scope.spawn(move || run_lane(&mut jobs, steering, health, end)))
                     .collect();
                 // Join in lane order: the merge below is order-independent,
                 // but a deterministic order keeps panics reproducible.
@@ -319,8 +358,11 @@ impl Fleet {
         };
         let window_wall_ms = window_clock.elapsed().as_secs_f64() * 1e3;
 
-        for (lane_index, (stats, packets, events, busy_ms)) in results.into_iter().enumerate() {
+        for (lane_index, (stats, packets, events, fault_drops, busy_ms)) in
+            results.into_iter().enumerate()
+        {
             self.steering.absorb(stats);
+            self.fault_drops += fault_drops;
             let lane = &mut self.shard_stats.lanes[lane_index];
             lane.packets += packets;
             lane.events += events;
@@ -515,6 +557,84 @@ mod tests {
             );
         }
         assert_eq!(report_json(&sequential), report_json(&sharded));
+    }
+
+    use pam_sim::{FaultEvent, FaultKind, FaultPlan};
+
+    /// A schedule mixing every fault kind: server 0 crashes mid-burst and
+    /// recovers, server 1's link flaps twice (overlapping), server 2's
+    /// capacity swings.
+    fn mixed_fault_plan() -> FaultPlan {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at: SimTime::from_millis(4),
+                kind: FaultKind::ServerCrash {
+                    server: ServerId::new(0),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_micros(6_200),
+                kind: FaultKind::LinkFlap {
+                    server: ServerId::new(1),
+                    down_for: SimDuration::from_micros(700),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_micros(6_500),
+                kind: FaultKind::LinkFlap {
+                    server: ServerId::new(1),
+                    down_for: SimDuration::from_micros(900),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(9),
+                kind: FaultKind::CapacitySwing {
+                    server: ServerId::new(2),
+                    factor: 0.35,
+                    period: SimDuration::from_millis(2),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_millis(14),
+                kind: FaultKind::ServerRecover {
+                    server: ServerId::new(0),
+                },
+            },
+        ])
+    }
+
+    #[test]
+    fn sharded_run_with_faults_is_byte_identical_to_sequential() {
+        let mut sequential = hopeless_fleet(4, StrategyKind::Pam);
+        sequential.set_fault_plan(mixed_fault_plan()).unwrap();
+        sequential.run(SimTime::from_millis(30));
+        let report = sequential.report();
+        assert_eq!(report.totals.server_crashes, 1, "the plan actually fired");
+        assert_eq!(report.totals.server_recoveries, 1);
+        for shards in [2, 3, 8] {
+            let mut sharded = hopeless_fleet(4, StrategyKind::Pam);
+            sharded.set_fault_plan(mixed_fault_plan()).unwrap();
+            sharded.run_sharded(SimTime::from_millis(30), shards);
+            assert_eq!(
+                report_json(&sequential),
+                report_json(&sharded),
+                "{shards} shards diverged from the sequential faulted run"
+            );
+            assert_eq!(
+                sequential.events_scheduled(),
+                sharded.events_scheduled(),
+                "{shards} shards scheduled a different event count under faults"
+            );
+            assert_eq!(sequential.log(), sharded.log());
+            assert_eq!(sequential.fault_drops(), sharded.fault_drops());
+        }
+        // Mixed sequential/sharded resumption across fault instants too.
+        let mut mixed = hopeless_fleet(4, StrategyKind::Pam);
+        mixed.set_fault_plan(mixed_fault_plan()).unwrap();
+        mixed.run(SimTime::from_micros(4_500));
+        mixed.run_sharded(SimTime::from_millis(13), 3);
+        mixed.run(SimTime::from_millis(30));
+        assert_eq!(report_json(&sequential), report_json(&mixed));
     }
 
     mod proptests {

@@ -104,6 +104,26 @@ impl SteeringTable {
         }
     }
 
+    /// Removes `home`'s spill entirely (its flows route home again).
+    /// Returns the fraction that was active. Fault injection uses this when
+    /// a spill's *recipient* crashes: black-holing re-steered flows on a
+    /// dead recipient is strictly worse than serving them at the overloaded
+    /// home.
+    pub fn clear_spill(&mut self, home: ServerId) -> f64 {
+        self.spills[home.index()].take().map_or(0.0, |s| s.fraction)
+    }
+
+    /// Fails `home`'s *entire* flow population over to `to` (fraction 1.0),
+    /// replacing any existing spill and bypassing the ladder's headroom and
+    /// max-spill policy — fault injection uses this when `home` itself
+    /// crashes, where the alternative is dropping every packet. The ladder's
+    /// ordinary scale-in walks the flows back step by step once `home`
+    /// recovers and its warm-up guard expires.
+    pub fn force_spill(&mut self, home: ServerId, to: ServerId) {
+        debug_assert_ne!(home, to, "a server cannot fail over to itself");
+        self.spills[home.index()] = Some(Spill { to, fraction: 1.0 });
+    }
+
     /// Where a packet of `home`'s ingress traffic is served, decided by the
     /// flow-hash threshold: the home server itself or the spill recipient.
     /// Pure — no counters move — so the sharded runner's worker threads can
@@ -229,6 +249,24 @@ mod tests {
         assert_eq!(table.scale_in(S0, 0.25), 0.0);
         assert_eq!(table.spill_of(S0), None);
         assert_eq!(table.scale_in(S0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn clear_and_force_spill_drive_the_failover_arcs() {
+        let mut table = SteeringTable::new(3);
+        table.scale_out(S0, S1, 0.4, 1.0);
+        assert!((table.clear_spill(S0) - 0.4).abs() < 1e-12);
+        assert_eq!(table.spill_of(S0), None);
+        assert_eq!(table.clear_spill(S0), 0.0, "clearing twice is a no-op");
+
+        table.force_spill(S0, S2);
+        assert_eq!(table.fraction_of(S0), 1.0);
+        // Every single flow fails over, none stays on the dead home.
+        for raw in 0..1_000 {
+            assert_eq!(table.route(S0, FlowId::new(raw)), S2);
+        }
+        // Scale-in walks the failed-over flows back step by step.
+        assert!((table.scale_in(S0, 0.25) - 0.75).abs() < 1e-12);
     }
 
     #[test]

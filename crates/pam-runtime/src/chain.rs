@@ -283,6 +283,9 @@ pub struct ChainRuntime {
     latency_total: LatencyHistogram,
     migrations: Vec<MigrationReport>,
     aborted_migrations: u64,
+    /// Subset of `aborted_migrations` rolled back because the *target*
+    /// crashed mid-copy (fault injection drives this arc).
+    target_crashes: u64,
 
     // Explicit measurement window (experiments).
     latency_window: LatencyHistogram,
@@ -383,6 +386,7 @@ impl ChainRuntime {
             latency_total: LatencyHistogram::new(),
             migrations: Vec::new(),
             aborted_migrations: 0,
+            target_crashes: 0,
             latency_window: LatencyHistogram::new(),
             delivered_meter: ThroughputMeter::new(),
             offered_meter: ThroughputMeter::new(),
@@ -1327,6 +1331,69 @@ impl ChainRuntime {
         Ok(nf)
     }
 
+    /// Injects a *target crash* into the in-flight pre-copy migration, if
+    /// any: the machine takes its [`HandoverEvent::TargetCrash`] arc, the
+    /// staged target and every copied round are discarded, and the source —
+    /// which never stopped serving, since `pre_copy` is only parked in the
+    /// serving-round phases (`Snapshot`/`DirtyRound`) — stays authoritative
+    /// with every acked flow intact. Fault injection calls this when the
+    /// server hosting the staged target dies mid-copy. Returns the position
+    /// that was migrating, or an error when nothing is in flight.
+    pub fn crash_target(&mut self, _now: SimTime) -> Result<NfId> {
+        let Some(pre_copy) = self.pre_copy.take() else {
+            return Err(PamError::state(
+                "no pre-copy migration is in flight".to_owned(),
+            ));
+        };
+        let nf = self.instances[pre_copy.nf_index].nf_id;
+        let (protocol, actions) = pre_copy
+            .protocol
+            .step(HandoverEvent::TargetCrash)
+            .map_err(|e| PamError::state(e.to_string()))?;
+        debug_assert_eq!(protocol.phase, Phase::Aborted);
+        debug_assert!(actions.contains(HandoverAction::DiscardTarget));
+        // The source was never frozen in these phases, so no ResumeSource is
+        // required: the freeze/stop-and-copy path runs inline and atomically.
+        debug_assert!(!actions.contains(HandoverAction::ResumeSource));
+        self.aborted_migrations += 1;
+        self.target_crashes += 1;
+        Ok(nf)
+    }
+
+    /// Migrations aborted specifically by [`ChainRuntime::crash_target`]
+    /// (a subset of [`RunOutcome::aborted_migrations`]).
+    pub fn target_crashes(&self) -> u64 {
+        self.target_crashes
+    }
+
+    /// Fault injection: takes this runtime's PCIe link down for `down_for`
+    /// starting at `now`. See [`PcieLink::flap`].
+    pub fn link_flap(&mut self, now: SimTime, down_for: SimDuration) {
+        self.pcie.flap(now, down_for);
+    }
+
+    /// Fault injection: brings this runtime's PCIe link back from a flap at
+    /// `now` without the pre-flap FIFO watermark. See
+    /// [`PcieLink::recover_transport`].
+    pub fn link_recover(&mut self, now: SimTime) {
+        self.pcie.recover_transport(now);
+    }
+
+    /// Fault injection: scales this runtime's PCIe bandwidth by `factor`
+    /// from `now` on (`1.0` restores nominal). See
+    /// [`PcieLink::set_capacity_factor`].
+    pub fn link_set_capacity_factor(&mut self, now: SimTime, factor: f64) {
+        self.pcie.set_capacity_factor(now, factor);
+    }
+
+    /// The instant this runtime's PCIe link finishes its current flap
+    /// (`SimTime::ZERO` when the link is up). Overlapping flaps extend it,
+    /// so a recovery scheduled by an earlier flap can check whether a later
+    /// flap superseded it. See [`PcieLink::down_until`].
+    pub fn link_down_until(&self) -> SimTime {
+        self.pcie.down_until()
+    }
+
     /// True while a pre-copy migration is still iterating or any instance is
     /// paused in a blackout at `now`.
     pub fn migration_in_progress(&self, now: SimTime) -> bool {
@@ -1339,6 +1406,14 @@ impl ChainRuntime {
     /// other instances may still proceed.
     pub fn pre_copy_in_progress(&self) -> bool {
         self.pre_copy.is_some()
+    }
+
+    /// The protocol phase of the in-flight pre-copy migration, if any. Fault
+    /// injection uses this to tell which crash arc a kill at `now` exercises
+    /// (only the serving-round phases — `Snapshot` and `DirtyRound` — are
+    /// ever parked here; freeze and handover run atomically inline).
+    pub fn pre_copy_phase(&self) -> Option<Phase> {
+        self.pre_copy.as_ref().map(|p| p.protocol.phase)
     }
 
     /// Estimates what migrating `nf` to `device` would cost under the
@@ -1748,6 +1823,120 @@ mod tests {
         assert_eq!(outcome.aborted_migrations, 1);
         assert_eq!(outcome.migrations.len(), 1, "the retry handed over");
         assert_eq!(runtime.instances()[2].device, Device::Cpu);
+    }
+
+    #[test]
+    fn target_crash_in_snapshot_phase_rolls_back_with_no_lost_state() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+        use pam_protocol::Phase;
+
+        let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 8,
+            convergence_flows: 0,
+            ..MigrationConfig::default()
+        });
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        // Nothing in flight yet: a crash injection must refuse.
+        assert!(runtime.crash_target(runtime.now()).is_err());
+
+        let mut t = trace(1.5, 20, 4);
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        let before = runtime.stateful_flow_entries();
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        // Immediately after live_migrate the snapshot round is in flight.
+        assert_eq!(runtime.pre_copy_phase(), Some(Phase::Snapshot));
+
+        let nf = runtime.crash_target(runtime.now()).unwrap();
+        assert_eq!(nf, NfId::new(2));
+        assert!(!runtime.pre_copy_in_progress());
+        assert_eq!(runtime.target_crashes(), 1);
+        // The source never paused and keeps every acked flow entry.
+        assert_eq!(runtime.stateful_flow_entries(), before);
+        assert_eq!(runtime.instances()[2].device, Device::SmartNic);
+
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.aborted_migrations, 1);
+        assert_eq!(outcome.migrations.len(), 0, "no handover ever landed");
+        assert_eq!(outcome.drops_migration, 0, "no blackout from the crash");
+    }
+
+    #[test]
+    fn target_crash_in_dirty_round_phase_rolls_back_and_frees_the_engine() {
+        use crate::migration::{MigrationConfig, MigrationMode};
+        use pam_protocol::Phase;
+
+        let config = RuntimeConfig::evaluation_default().with_migration(MigrationConfig {
+            mode: MigrationMode::PreCopy,
+            max_precopy_rounds: 64,
+            convergence_flows: 0,
+            ..MigrationConfig::default()
+        });
+        let mut runtime = ChainRuntime::new(
+            ServiceChainSpec::figure1(),
+            &Placement::figure1_initial(),
+            config,
+        )
+        .unwrap();
+        let mut t = trace(1.5, 20, 4);
+        runtime.run_until(&mut t, SimTime::from_millis(5));
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        // Drive the engine past the snapshot round: live traffic with a
+        // convergence bound of 0 keeps it iterating dirty rounds.
+        let mut probe = runtime.now();
+        while runtime.pre_copy_phase() == Some(Phase::Snapshot) {
+            probe += SimDuration::from_micros(50);
+            runtime.run_until(&mut t, probe);
+        }
+        assert!(
+            matches!(runtime.pre_copy_phase(), Some(Phase::DirtyRound(_))),
+            "expected a dirty round, got {:?}",
+            runtime.pre_copy_phase()
+        );
+        let before = runtime.stateful_flow_entries();
+
+        let nf = runtime.crash_target(runtime.now()).unwrap();
+        assert_eq!(nf, NfId::new(2));
+        assert_eq!(runtime.target_crashes(), 1);
+        assert_eq!(runtime.stateful_flow_entries(), before, "no lost state");
+
+        // The stale MigrationRound event is a no-op and the engine is free:
+        // a fresh migration succeeds right away.
+        runtime
+            .live_migrate(NfId::new(2), Device::Cpu, runtime.now())
+            .unwrap();
+        runtime.run_to_completion(&mut t);
+        let outcome = runtime.outcome();
+        assert_eq!(outcome.aborted_migrations, 1);
+        assert_eq!(runtime.target_crashes(), 1, "the retry was crash-free");
+    }
+
+    #[test]
+    fn link_fault_delegates_reach_the_pcie_link() {
+        let mut runtime = figure1_runtime(&Placement::figure1_initial());
+        runtime.link_flap(SimTime::ZERO, SimDuration::from_micros(100));
+        runtime.link_set_capacity_factor(SimTime::ZERO, 0.5);
+        let mut t = trace(1.0, 4, 7);
+        runtime.run_until(&mut t, SimTime::from_micros(50));
+        runtime.link_recover(SimTime::from_micros(100));
+        runtime.link_set_capacity_factor(SimTime::from_micros(100), 1.0);
+        runtime.run_to_completion(&mut t);
+        // The faults only delay traffic; nothing is lost outright.
+        let outcome = runtime.outcome();
+        assert_eq!(
+            outcome.injected,
+            outcome.delivered + outcome.drops_overload + outcome.drops_policy
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! * [`ReorderBuffer`] — a bounded link-reorder model (window `0` = FIFO)
 //!   whose deliverable set is *enumerable*, so the protocol model checker in
 //!   `pam-protocol` can branch on every legal delivery interleaving.
+//! * [`FaultPlan`] — a seeded, serde-configured schedule of fault-injection
+//!   events (server crashes/recoveries, link flaps, capacity swings) that the
+//!   fleet layer delivers through its event queue, so chaos runs replay
+//!   byte-identically at any shard/job count.
 //! * [`ShardPlan`] — conservative-lookahead shard planning for parallel
 //!   simulation: partitions nodes into groups no sub-barrier channel
 //!   crosses, so a windowed runner can execute groups on worker threads and
@@ -47,6 +51,7 @@
 
 pub mod device;
 pub mod events;
+pub mod fault;
 pub mod link;
 pub mod queue;
 pub mod reorder;
@@ -57,6 +62,7 @@ pub mod sharing;
 
 pub use device::{ComputeDevice, DeviceConfig, DeviceStats, ProcessOutcome};
 pub use events::{run_until, EventHandler, EventQueue, ScheduledEvent};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use link::{
     LinkDirection, PcieLink, PcieLinkConfig, PcieLinkStats, TransferStatus, TransferToken,
 };

@@ -15,7 +15,9 @@ use serde::{Deserialize, Error, Serialize};
 
 use crate::server::RateServer;
 use crate::sharing::SharedTransfer;
-use crate::sharing::{ActivityId, DegradationFn, FairShareLink, FairShareStats, LinkModel};
+use crate::sharing::{
+    ActivityId, DegradationFn, FairShareLink, FairShareStats, LinkModel, MIN_CAPACITY_FACTOR,
+};
 
 /// Direction of a PCIe crossing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,6 +214,14 @@ pub struct PcieLink {
     cpu_to_nic: DirectionState,
     bytes: u64,
     dma_bursts: u64,
+    /// Fault injection: no new admission serialises before this instant
+    /// ([`SimTime::ZERO`] = link up). Committed FIFO arrivals are not
+    /// retroactively delayed; fair-share activities stall via the engines'
+    /// own outage state.
+    down_until: SimTime,
+    /// Fault injection: volatile-capacity factor applied to the bandwidth of
+    /// new serialisations (clamped to a positive floor; `1.0` = nominal).
+    capacity_factor: f64,
 }
 
 impl PcieLink {
@@ -223,6 +233,8 @@ impl PcieLink {
             config,
             bytes: 0,
             dma_bursts: 0,
+            down_until: SimTime::ZERO,
+            capacity_factor: 1.0,
         }
     }
 
@@ -240,6 +252,76 @@ impl PcieLink {
         }
     }
 
+    /// The bandwidth new serialisations see: nominal scaled by the volatile
+    /// capacity factor (exactly nominal while the factor is `1.0`).
+    fn effective_bandwidth(&self) -> Gbps {
+        if self.capacity_factor == 1.0 {
+            self.config.bandwidth
+        } else {
+            Gbps::new(self.config.bandwidth.as_gbps() * self.capacity_factor)
+        }
+    }
+
+    /// Takes the link down for `down_for` starting at `now`: no new admission
+    /// serialises before the outage ends (overlapping flaps extend, never
+    /// shorten, the outage), and in-flight fair-share activities stall and
+    /// re-plan past the outage on their next poll. Committed FIFO arrivals
+    /// are not retroactively delayed — FIFO-fixed commits at admission by
+    /// design; use the fair-share [`LinkModel`] for retroactive stalls.
+    ///
+    /// Pair with [`PcieLink::recover_transport`] when the flap ends so the
+    /// direction FIFOs do not carry a phantom backlog out of the outage.
+    pub fn flap(&mut self, now: SimTime, down_for: SimDuration) {
+        let until = now + down_for;
+        self.down_until = self.down_until.max(until);
+        let down_until = self.down_until;
+        for direction in LinkDirection::ALL {
+            self.direction_mut(direction)
+                .shared
+                .set_outage(now, down_until);
+        }
+    }
+
+    /// Brings the link back from a flap at `now`: empties the per-direction
+    /// rate servers (the descriptor rings restart empty) and rewinds any FIFO
+    /// delivery watermark that points past `now`, so a recovered link adds no
+    /// phantom serialization delay inherited from before the flap. In-flight
+    /// fair-share activities are **kept** — they stalled through the outage
+    /// and resume from their surviving remainders. Statistics are untouched.
+    pub fn recover_transport(&mut self, now: SimTime) {
+        self.down_until = self.down_until.min(now);
+        for direction in LinkDirection::ALL {
+            let state = self.direction_mut(direction);
+            state.server = RateServer::default();
+            state.last_delivery = state.last_delivery.min(now);
+        }
+    }
+
+    /// Scales the bandwidth new serialisations see by `factor` from `now`
+    /// on (clamped to a small positive floor — a full outage is
+    /// [`PcieLink::flap`], not factor zero). In-flight fair-share activities
+    /// re-plan: bits already drained keep their old rate, the remainder
+    /// drains at the new one. Pass `1.0` to restore nominal capacity.
+    pub fn set_capacity_factor(&mut self, now: SimTime, factor: f64) {
+        self.capacity_factor = factor.max(MIN_CAPACITY_FACTOR);
+        for direction in LinkDirection::ALL {
+            self.direction_mut(direction)
+                .shared
+                .set_capacity_factor(now, factor);
+        }
+    }
+
+    /// The current volatile-capacity factor (`1.0` = nominal).
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// The instant the current outage ends ([`SimTime::ZERO`] if the link has
+    /// never flapped or has recovered).
+    pub fn down_until(&self) -> SimTime {
+        self.down_until
+    }
+
     /// Transfers `size` bytes in `direction` starting (at the earliest) at
     /// `now`; returns the instant the data is available on the far side.
     ///
@@ -250,9 +332,12 @@ impl PcieLink {
     /// peers but do not retroactively delay its committed instant — use
     /// [`PcieLink::begin_transfer`] for re-planned arrivals).
     pub fn transfer(&mut self, now: SimTime, size: ByteSize, direction: LinkDirection) -> SimTime {
-        let serialisation = SimDuration::transmission(size, self.config.bandwidth);
+        let serialisation = SimDuration::transmission(size, self.effective_bandwidth());
         let crossing_latency = self.config.crossing_latency;
         let fair_share = self.config.link_model.is_fair_share();
+        // During an outage new admissions wait for the link to come back (the
+        // fair-share engines carry their own outage state).
+        let start = now.max(self.down_until);
         self.bytes += size.as_bytes();
         let state = self.direction_mut(direction);
         state.crossings += 1;
@@ -260,7 +345,7 @@ impl PcieLink {
             let (_, eta) = state.shared.begin(now, size);
             eta + crossing_latency
         } else {
-            let (_, finish) = state.server.serve(now, serialisation);
+            let (_, finish) = state.server.serve(start, serialisation);
             finish + crossing_latency
         }
     }
@@ -398,9 +483,11 @@ impl PcieLink {
         if packets == 0 {
             return now;
         }
-        let serialisation = SimDuration::transmission(total, self.config.bandwidth);
+        let serialisation = SimDuration::transmission(total, self.effective_bandwidth());
         let crossing_latency = self.config.crossing_latency;
         let fair_share = self.config.link_model.is_fair_share();
+        // Bursts admitted during an outage cross once the link is back.
+        let start = now.max(self.down_until);
         self.bytes += total.as_bytes();
         self.dma_bursts += 1;
         let state = self.direction_mut(direction);
@@ -409,7 +496,7 @@ impl PcieLink {
             let (_, eta) = state.shared.begin(now, total);
             eta
         } else {
-            now + serialisation
+            start + serialisation
         };
         let arrival = (serialised + crossing_latency).max(state.last_delivery);
         state.last_delivery = arrival;
@@ -462,6 +549,10 @@ impl PcieLink {
         self.cpu_to_nic = DirectionState::new(&self.config);
         self.nic_to_cpu.crossings = nic_crossings;
         self.cpu_to_nic.crossings = cpu_crossings;
+        // Fault state is transport state: a fully reset link is up at
+        // nominal capacity (the rebuilt fair-share engines already are).
+        self.down_until = SimTime::ZERO;
+        self.capacity_factor = 1.0;
     }
 }
 
@@ -887,6 +978,157 @@ mod tests {
             }
             prop_assert_eq!(fifo.stats(), fair.stats());
         }
+    }
+
+    #[test]
+    fn flap_delays_new_admissions_until_the_outage_ends() {
+        for model in [LinkModel::FifoFixed, LinkModel::fair_share()] {
+            let config = PcieLinkConfig {
+                crossing_latency: SimDuration::from_micros(20),
+                bandwidth: Gbps::new(8.0),
+                link_model: model,
+            };
+            let mut link = PcieLink::new(config);
+            link.flap(SimTime::ZERO, SimDuration::from_micros(50));
+            assert_eq!(link.down_until(), SimTime::from_micros(50));
+            // 1000 B at 8 Gbps = 1 us serialisation, starting at outage end.
+            let arrival = link.transfer(
+                SimTime::from_micros(10),
+                ByteSize::bytes(1000),
+                LinkDirection::NicToCpu,
+            );
+            assert_eq!(
+                arrival,
+                SimTime::from_micros(71),
+                "admission during a flap must wait for recovery ({model:?})"
+            );
+            // Overlapping flaps extend, never shorten, the outage.
+            link.flap(SimTime::from_micros(20), SimDuration::from_micros(10));
+            assert_eq!(link.down_until(), SimTime::from_micros(50));
+        }
+    }
+
+    #[test]
+    fn flap_stalls_an_in_flight_fair_share_transfer() {
+        let mut link =
+            PcieLink::new(PcieLinkConfig::default().with_link_model(LinkModel::fair_share()));
+        let (token, provisional) =
+            link.begin_transfer(SimTime::ZERO, ByteSize::mib(1), LinkDirection::NicToCpu);
+        // The link goes dark mid-transfer for 1 ms: the committed ETA is
+        // stale by at least the outage remainder.
+        let mid = SimTime::from_micros(20);
+        link.flap(mid, SimDuration::from_millis(1));
+        let rescheduled = match link.poll_transfer(token, provisional) {
+            TransferStatus::InFlight(eta) => eta,
+            TransferStatus::Complete => panic!("the flap must stall the transfer"),
+        };
+        assert!(rescheduled >= mid + SimDuration::from_millis(1));
+        link.recover_transport(link.down_until());
+        assert_eq!(
+            link.poll_transfer(token, rescheduled),
+            TransferStatus::Complete,
+            "the stalled transfer resumes from its remainder after recovery"
+        );
+    }
+
+    #[test]
+    fn recovered_link_does_not_inherit_the_pre_flap_fifo_watermark() {
+        // Satellite regression: a link coming back from a flap must not clamp
+        // post-recovery deliveries to a FIFO watermark or rate-server backlog
+        // accumulated before (or during) the flap — no phantom serialization
+        // delay after recovery.
+        for model in [LinkModel::FifoFixed, LinkModel::fair_share()] {
+            let config = PcieLinkConfig::default().with_link_model(model);
+            let mut link = PcieLink::new(config);
+            // Drive the watermark (and, under FIFO, the rate server) deep
+            // into the future, then flap. Under fair sharing a bulk transfer
+            // would *survive* recovery by design (see
+            // flap_stalls_an_in_flight_fair_share_transfer) and legitimately
+            // contend, so only the FIFO variant queues one.
+            if model == LinkModel::FifoFixed {
+                link.transfer(SimTime::ZERO, ByteSize::mib(8), LinkDirection::NicToCpu);
+            }
+            link.propagate(
+                SimTime::from_micros(5),
+                ByteSize::bytes(9000),
+                LinkDirection::NicToCpu,
+            );
+            link.flap(SimTime::from_micros(10), SimDuration::from_millis(5));
+            let back = link.down_until();
+            link.recover_transport(back);
+            let stats_before = link.stats();
+            // After recovery the link behaves like a fresh link at `back`.
+            let mut fresh = PcieLink::new(config);
+            assert_eq!(
+                link.propagate(back, ByteSize::bytes(64), LinkDirection::NicToCpu),
+                fresh.propagate(back, ByteSize::bytes(64), LinkDirection::NicToCpu),
+                "recovered link carried a phantom FIFO watermark ({model:?})"
+            );
+            assert_eq!(
+                link.transfer(back, ByteSize::bytes(4096), LinkDirection::NicToCpu),
+                fresh.transfer(back, ByteSize::bytes(4096), LinkDirection::NicToCpu),
+                "recovered link carried a phantom rate-server backlog ({model:?})"
+            );
+            assert_eq!(
+                link.stats().total_crossings(),
+                stats_before.total_crossings() + 2,
+                "recovery must not touch statistics"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_swing_stretches_new_serialisations_and_restores() {
+        let config = PcieLinkConfig {
+            crossing_latency: SimDuration::from_micros(20),
+            bandwidth: Gbps::new(8.0),
+            link_model: LinkModel::FifoFixed,
+        };
+        let mut link = PcieLink::new(config);
+        // Nominal: 1000 B at 8 Gbps = 1 us.
+        assert_eq!(
+            link.transfer(
+                SimTime::ZERO,
+                ByteSize::bytes(1000),
+                LinkDirection::NicToCpu
+            ),
+            SimTime::from_micros(21)
+        );
+        // Halved capacity: the same payload takes 2 us (queued behind the
+        // first transfer's 1 us).
+        link.set_capacity_factor(SimTime::from_micros(1), 0.5);
+        assert!((link.capacity_factor() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            link.transfer(
+                SimTime::from_micros(1),
+                ByteSize::bytes(1000),
+                LinkDirection::NicToCpu
+            ),
+            SimTime::from_micros(23)
+        );
+        // Restored: back to nominal for new admissions.
+        link.set_capacity_factor(SimTime::from_micros(3), 1.0);
+        assert_eq!(
+            link.transfer(
+                SimTime::from_micros(3),
+                ByteSize::bytes(1000),
+                LinkDirection::NicToCpu
+            ),
+            SimTime::from_micros(24)
+        );
+        // A non-positive factor clamps instead of dividing by zero.
+        link.set_capacity_factor(SimTime::from_micros(4), -3.0);
+        assert!(link.capacity_factor() > 0.0);
+    }
+
+    #[test]
+    fn reset_transport_clears_fault_state() {
+        let mut link = PcieLink::new(PcieLinkConfig::default());
+        link.flap(SimTime::ZERO, SimDuration::from_millis(1));
+        link.set_capacity_factor(SimTime::ZERO, 0.25);
+        link.reset_transport();
+        assert_eq!(link.down_until(), SimTime::ZERO);
+        assert!((link.capacity_factor() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -200,7 +200,19 @@ pub struct FairShareLink {
     next_id: u64,
     activities: Vec<Activity>,
     stats: FairShareStats,
+    /// No draining happens before this instant (a link flap / outage):
+    /// in-flight activities stall and their re-planned ETAs move past the
+    /// outage end. [`SimTime::ZERO`] means no outage.
+    outage_until: SimTime,
+    /// Multiplier on the nominal bandwidth (a capacity swing); clamped to a
+    /// small positive floor so the segment walk always terminates — a full
+    /// outage is expressed via [`FairShareLink::set_outage`] instead.
+    capacity_factor: f64,
 }
+
+/// The floor [`FairShareLink::set_capacity_factor`] clamps to: low enough to
+/// model a crippled link, high enough that ETAs stay finite.
+pub const MIN_CAPACITY_FACTOR: f64 = 1e-6;
 
 /// Rounds a bit count at a rate into integer nanoseconds with *exactly* the
 /// expression [`SimDuration::transmission`] uses, so a lone fair-share
@@ -223,7 +235,35 @@ impl FairShareLink {
             next_id: 0,
             activities: Vec::new(),
             stats: FairShareStats::default(),
+            outage_until: SimTime::ZERO,
+            capacity_factor: 1.0,
         }
+    }
+
+    /// Declares an outage: no bits drain between `now` and `until`.
+    /// In-flight activities are kept (not dropped) — their next
+    /// [`FairShareLink::poll`] re-plans a completion past the outage end, so
+    /// a flap retroactively stretches every transfer it interrupts.
+    /// Overlapping outages extend each other (the later end wins).
+    pub fn set_outage(&mut self, now: SimTime, until: SimTime) {
+        self.advance(now);
+        self.outage_until = self.outage_until.max(until.max(now));
+    }
+
+    /// Scales the link's usable bandwidth by `factor` from `now` on (an
+    /// AQM/WiFi-style capacity swing). Bits already drained are untouched;
+    /// the remainder of every in-flight activity drains at the new rate and
+    /// re-plans on its next [`FairShareLink::poll`]. `factor` is clamped to
+    /// a small positive floor — use [`FairShareLink::set_outage`] for a full
+    /// outage. `1.0` restores the nominal rate.
+    pub fn set_capacity_factor(&mut self, now: SimTime, factor: f64) {
+        self.advance(now);
+        self.capacity_factor = factor.max(MIN_CAPACITY_FACTOR);
+    }
+
+    /// The capacity multiplier currently in force.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
     }
 
     /// Number of activities currently in flight.
@@ -236,12 +276,14 @@ impl FairShareLink {
         self.stats
     }
 
-    /// The per-activity drain rate (bits per nanosecond) with `n` activities.
+    /// The per-activity drain rate (bits per nanosecond) with `n` activities,
+    /// including any capacity swing in force.
     fn per_activity_rate(&self, n: usize) -> f64 {
         if n == 0 {
             return 0.0;
         }
-        self.bandwidth.as_gbps() * self.degradation.total_factor(n) / n as f64
+        self.bandwidth.as_gbps() * self.capacity_factor * self.degradation.total_factor(n)
+            / n as f64
     }
 
     /// Index of the activity that completes next: smallest remainder, ties
@@ -257,9 +299,16 @@ impl FairShareLink {
         best
     }
 
-    /// Drains all activities up to `now`. Backwards time is a no-op.
+    /// Drains all activities up to `now`. Backwards time is a no-op; time
+    /// spent inside an outage drains nothing.
     pub fn advance(&mut self, now: SimTime) {
         while self.clock < now {
+            if self.clock < self.outage_until {
+                // The link is dark: skip to the outage end (or `now`)
+                // without draining a bit.
+                self.clock = self.outage_until.min(now);
+                continue;
+            }
             if self.activities.is_empty() {
                 self.clock = now;
                 return;
@@ -366,7 +415,8 @@ impl FairShareLink {
             return None;
         }
         let mut acts = self.activities.clone();
-        let mut clock = self.clock;
+        // During an outage nothing drains until the outage end.
+        let mut clock = self.clock.max(self.outage_until);
         loop {
             let rate = self.per_activity_rate(acts.len());
             if rate <= 0.0 {
@@ -492,6 +542,62 @@ mod tests {
         l.advance(SimTime::ZERO);
         assert_eq!(l.in_flight(), 1);
         assert_eq!(l.poll(eta, id), SharedTransfer::Complete);
+    }
+
+    #[test]
+    fn outage_stalls_and_replans_an_in_flight_activity() {
+        let mut l = link(10.0);
+        // 10_000 bits: solo ETA 1 us.
+        let (id, eta) = l.begin(SimTime::ZERO, ByteSize::bytes(1_250));
+        assert_eq!(eta, SimTime::from_micros(1));
+        // The link goes dark from 0.5 us to 3 us: half the bits drained, the
+        // other half resumes at 3 us and takes another 0.5 us.
+        l.set_outage(SimTime::from_nanos(500), SimTime::from_micros(3));
+        match l.poll(eta, id) {
+            SharedTransfer::InFlight(replanned) => {
+                assert_eq!(replanned, SimTime::from_nanos(3_500));
+                assert_eq!(l.poll(replanned, id), SharedTransfer::Complete);
+            }
+            SharedTransfer::Complete => panic!("the outage must stall the transfer"),
+        }
+    }
+
+    #[test]
+    fn begin_during_an_outage_completes_after_it_ends() {
+        let mut l = link(10.0);
+        l.set_outage(SimTime::ZERO, SimTime::from_micros(5));
+        let (id, eta) = l.begin(SimTime::from_micros(1), ByteSize::bytes(1_250));
+        // Nothing drains before 5 us; the 1 us of serialisation follows.
+        assert_eq!(eta, SimTime::from_micros(6));
+        assert_eq!(l.poll(eta, id), SharedTransfer::Complete);
+    }
+
+    #[test]
+    fn capacity_swing_slows_only_the_remainder_and_restores() {
+        let mut l = link(10.0);
+        // 20_000 bits: solo 2 us at 10 Gbps.
+        let (id, eta) = l.begin(SimTime::ZERO, ByteSize::bytes(2_500));
+        assert_eq!(eta, SimTime::from_micros(2));
+        // At 1 us half the bits are gone; the swing halves the rate, so the
+        // remaining 10_000 bits take 2 us -> completion at 3 us.
+        l.set_capacity_factor(SimTime::from_micros(1), 0.5);
+        assert!((l.capacity_factor() - 0.5).abs() < 1e-12);
+        let replanned = match l.poll(eta, id) {
+            SharedTransfer::InFlight(t) => t,
+            SharedTransfer::Complete => panic!("the swing must stretch the transfer"),
+        };
+        assert_eq!(replanned, SimTime::from_micros(3));
+        // Restoring at 2 us: 5_000 bits drained in [1us, 2us] at 5 Gbps,
+        // the last 5_000 at full rate -> completion at 2.5 us.
+        l.set_capacity_factor(SimTime::from_micros(2), 1.0);
+        match l.poll(SimTime::from_nanos(2_500), id) {
+            SharedTransfer::Complete => {}
+            SharedTransfer::InFlight(t) => panic!("restored link must finish by 2.5 us, got {t}"),
+        }
+        // A non-positive factor clamps to the positive floor instead of
+        // stalling forever (full outages use set_outage).
+        l.set_capacity_factor(SimTime::from_micros(3), 0.0);
+        assert!(l.capacity_factor() > 0.0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ srcs=$(find src crates/*/src -name '*.rs' 2>/dev/null)
 # fair-share link engine is listed explicitly: its f64 bookkeeping is only
 # deterministic because it never touches the host (no clocks, no randomized
 # containers), which is exactly what this script checks.
-required_srcs="crates/pam-sim/src/sharing.rs crates/pam-sim/src/link.rs crates/pam-sim/src/events.rs crates/pam-fleet/src/sketch.rs crates/pam-fleet/src/estimator.rs"
+required_srcs="crates/pam-sim/src/sharing.rs crates/pam-sim/src/link.rs crates/pam-sim/src/events.rs crates/pam-fleet/src/sketch.rs crates/pam-fleet/src/estimator.rs crates/pam-sim/src/fault.rs crates/pam-fleet/src/health.rs"
 for req in $required_srcs; do
     if ! printf '%s\n' "$srcs" | grep -qx "$req"; then
         say "FAIL: $req is not in the determinism scan set (moved or deleted?)"
